@@ -1,0 +1,52 @@
+"""Workload builders shared by the benchmark scripts.
+
+Each builder produces the scaled-down analogue of one of the paper's
+experimental data sets (Section 5.1), memoised so that several
+benchmarks can share a generation pass.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.bench.harness import Workbench, rows_for_mb
+from repro.datagen.census import CensusConfig, census_spec, generate_census_rows
+from repro.datagen.dataset import uniform_spec
+from repro.datagen.random_tree import RandomTreeConfig, build_random_tree
+
+#: The paper's default generator settings (§5.1.3), scaled leaf count.
+DEFAULT_ATTRIBUTES = 25
+DEFAULT_VALUES = 4
+DEFAULT_CLASSES = 10
+
+
+@functools.lru_cache(maxsize=None)
+def random_tree_workbench(paper_mb, n_leaves=100, n_attributes=DEFAULT_ATTRIBUTES,
+                          values_per_attribute=DEFAULT_VALUES,
+                          n_classes=DEFAULT_CLASSES, skew=0.0,
+                          complete_splits=True, seed=42):
+    """A loaded workbench holding a random-tree data set of ``paper_mb``."""
+    spec = uniform_spec(n_attributes, values_per_attribute, n_classes)
+    target_rows = rows_for_mb(spec, paper_mb)
+    cases = max(1, target_rows // n_leaves)
+    generating = build_random_tree(
+        RandomTreeConfig(
+            n_attributes=n_attributes,
+            values_per_attribute=values_per_attribute,
+            n_classes=n_classes,
+            n_leaves=n_leaves,
+            cases_per_leaf=cases,
+            skew=skew,
+            complete_splits=complete_splits,
+            seed=seed,
+        )
+    )
+    return Workbench(generating.spec, generating.materialize())
+
+
+@functools.lru_cache(maxsize=None)
+def census_workbench(n_rows=3000, seed=7):
+    """A loaded workbench holding the census-like data set."""
+    spec = census_spec()
+    rows = list(generate_census_rows(CensusConfig(n_rows=n_rows, seed=seed)))
+    return Workbench(spec, rows)

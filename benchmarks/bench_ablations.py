@@ -1,0 +1,121 @@
+"""Ablations of the middleware's design choices (beyond the paper).
+
+Three knobs DESIGN.md calls out get an isolated sweep each:
+
+* **filter push-down** (§4.3.1) — on vs off, at several data sizes;
+* **file-split threshold** (§4.3.2) — 0.0 .. 1.0 on the census tree;
+* **memory staging** (§4.1.2) — on/off across memory budgets.
+"""
+
+from _workloads import census_workbench, random_tree_workbench
+
+from repro.bench.harness import mb, series_table, write_report
+from repro.client.growth import GrowthPolicy
+from repro.core.config import MiddlewareConfig
+
+PUSHDOWN_DATA_MB = [2, 5, 10]
+SPLIT_THRESHOLDS = [0.0, 0.25, 0.5, 0.75, 1.0]
+STAGING_RAM_MB = [2, 8, 32]
+
+
+def run_pushdown():
+    on = []
+    off = []
+    for size in PUSHDOWN_DATA_MB:
+        bench = random_tree_workbench(size, n_leaves=20, seed=95)
+        on.append(
+            bench.run_middleware(
+                MiddlewareConfig.no_staging(mb(32)), label="pushdown on"
+            )
+        )
+        off.append(
+            bench.run_middleware(
+                MiddlewareConfig.no_staging(mb(32), push_filters=False),
+                label="pushdown off",
+            )
+        )
+    return on, off
+
+
+def run_split_thresholds():
+    bench = census_workbench()
+    policy = GrowthPolicy(min_rows=24)
+    return [
+        bench.run_middleware(
+            MiddlewareConfig.file_only(mb(8), split_threshold=threshold),
+            policy=policy,
+            label=f"threshold {threshold}",
+        )
+        for threshold in SPLIT_THRESHOLDS
+    ]
+
+
+def run_memory_staging():
+    bench = random_tree_workbench(10, n_leaves=40, seed=96)
+    with_staging = []
+    without = []
+    for ram in STAGING_RAM_MB:
+        with_staging.append(
+            bench.run_middleware(
+                MiddlewareConfig.memory_only(mb(ram)), label="staging"
+            )
+        )
+        without.append(
+            bench.run_middleware(
+                MiddlewareConfig.no_staging(mb(ram)), label="no staging"
+            )
+        )
+    return with_staging, without
+
+
+def bench_ablation_filter_pushdown(benchmark):
+    on, off = benchmark.pedantic(run_pushdown, rounds=1, iterations=1)
+    text = series_table(
+        "Ablation: filter push-down (§4.3.1), no staging",
+        "data (MB)",
+        PUSHDOWN_DATA_MB,
+        [("push-down on", on), ("push-down off", off)],
+    )
+    write_report("ablation_pushdown", text)
+    for fast, slow in zip(on, off):
+        assert fast.tree_nodes == slow.tree_nodes
+        assert fast.cost < slow.cost
+    # The saving grows with data size (more irrelevant rows avoided).
+    gaps = [slow.cost - fast.cost for fast, slow in zip(on, off)]
+    assert gaps == sorted(gaps)
+
+
+def bench_ablation_split_threshold(benchmark):
+    runs = benchmark.pedantic(run_split_thresholds, rounds=1, iterations=1)
+    text = series_table(
+        "Ablation: file-split threshold (§4.3.2), census tree, 8 MB RAM",
+        "threshold",
+        SPLIT_THRESHOLDS,
+        [("file staging only", runs)],
+    )
+    write_report("ablation_split_threshold", text)
+    costs = {t: r.cost for t, r in zip(SPLIT_THRESHOLDS, runs)}
+    sizes = {r.tree_nodes for r in runs}
+    assert len(sizes) == 1
+    # The hybrid region (0.25-0.75) beats both extremes, echoing Fig 6.
+    best_hybrid = min(costs[0.25], costs[0.5], costs[0.75])
+    assert best_hybrid <= costs[0.0]
+    assert best_hybrid <= costs[1.0]
+
+
+def bench_ablation_memory_staging(benchmark):
+    with_staging, without = benchmark.pedantic(
+        run_memory_staging, rounds=1, iterations=1
+    )
+    text = series_table(
+        "Ablation: memory staging on/off across budgets (10 MB data)",
+        "memory (MB)",
+        STAGING_RAM_MB,
+        [("staging", with_staging), ("no staging", without)],
+    )
+    write_report("ablation_memory_staging", text)
+    for staged, plain in zip(with_staging, without):
+        assert staged.tree_nodes == plain.tree_nodes
+        assert staged.cost <= plain.cost * 1.02
+    # At ample memory, staging wins by a wide margin.
+    assert with_staging[-1].cost < 0.5 * without[-1].cost

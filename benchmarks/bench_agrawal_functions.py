@@ -1,0 +1,74 @@
+"""The SLIQ/SPRINT workload: Agrawal benchmark functions.
+
+The scalable classifiers the paper positions against — SLIQ [MAR96]
+and SPRINT [SAM96] — evaluate on the Agrawal et al. synthetic
+functions.  This bench runs the middleware on that exact workload
+(functions 1–3), confirming the paper's architecture handles the
+competing systems' benchmark: the middleware dominates both straw men
+and learns each function accurately.
+"""
+
+from repro.bench.harness import Workbench, mb, series_table, write_report
+from repro.client.growth import GrowthPolicy
+from repro.core.config import MiddlewareConfig
+from repro.datagen.agrawal import AgrawalConfig, generate_agrawal_dataset
+
+FUNCTIONS = [1, 2, 3]
+N_ROWS = 2000
+RAM_MB = 32
+
+
+def run_all():
+    policy = GrowthPolicy(min_rows=16)
+    middleware = []
+    extract = []
+    sql = []
+    accuracies = []
+    for function in FUNCTIONS:
+        spec, rows = generate_agrawal_dataset(
+            AgrawalConfig(function=function, n_rows=N_ROWS, seed=13)
+        )
+        bench = Workbench(spec, rows)
+        run = bench.run_middleware(
+            MiddlewareConfig(memory_bytes=mb(RAM_MB)),
+            policy=policy,
+            label=f"middleware f{function}",
+        )
+        accuracies.append(run.classifier.accuracy(rows))
+        middleware.append(run)
+        extract.append(
+            bench.run_extract_all(policy=policy, label=f"extract f{function}")
+        )
+        sql.append(
+            bench.run_sql_counting(policy=policy, label=f"sql f{function}")
+        )
+    return middleware, extract, sql, accuracies
+
+
+def bench_agrawal_functions(benchmark):
+    middleware, extract, sql, accuracies = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    text = series_table(
+        f"Agrawal functions (SLIQ/SPRINT workload), {N_ROWS} rows",
+        "function",
+        FUNCTIONS,
+        [
+            ("middleware", middleware),
+            ("extract-all", extract),
+            ("per-node SQL", sql),
+        ],
+    )
+    accuracy_line = "  ".join(
+        f"f{f}={a:.3f}" for f, a in zip(FUNCTIONS, accuracies)
+    )
+    write_report(
+        "agrawal_functions", text + f"\n\ntraining accuracy: {accuracy_line}"
+    )
+
+    for fast, mid, slow in zip(middleware, extract, sql):
+        assert fast.tree_nodes == mid.tree_nodes == slow.tree_nodes
+        assert fast.cost < mid.cost < slow.cost
+    for accuracy in accuracies:
+        assert accuracy > 0.9

@@ -1,0 +1,64 @@
+"""Section 2.3 straw man: extract the whole data set to the client.
+
+The paper's first "straightforward way" of mining over a SQL backend
+ships the entire table to the client's secondary storage.  This bench
+compares it with the middleware and the SQL-counting straw man across
+data sizes.
+
+Paper shapes to reproduce:
+* the middleware beats extract-all at every size (it only ever ships
+  rows relevant to active nodes and stages shrinking subsets);
+* extract-all beats per-node SQL counting (which re-scans the table
+  once per attribute per node);
+* all three grow the identical tree.
+"""
+
+from _workloads import random_tree_workbench
+
+from repro.bench.harness import mb, series_table, write_report
+from repro.core.config import MiddlewareConfig
+
+DATA_MB = [2, 5, 10]
+RAM_MB = 32
+
+
+def run_sweep():
+    middleware = []
+    extract = []
+    sql = []
+    for size in DATA_MB:
+        bench = random_tree_workbench(
+            size, n_leaves=20, n_attributes=15, seed=91
+        )
+        middleware.append(
+            bench.run_middleware(
+                MiddlewareConfig(memory_bytes=mb(RAM_MB)),
+                label=f"middleware {size}MB",
+            )
+        )
+        extract.append(bench.run_extract_all(label=f"extract {size}MB"))
+        sql.append(bench.run_sql_counting(label=f"sql {size}MB"))
+    return middleware, extract, sql
+
+
+def bench_baseline_extract(benchmark):
+    middleware, extract, sql = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+
+    text = series_table(
+        "Section 2.3 straw men vs the middleware",
+        "data (MB)",
+        DATA_MB,
+        [
+            ("middleware (hybrid staging)", middleware),
+            ("extract-all client", extract),
+            ("per-node SQL counting", sql),
+        ],
+    )
+    write_report("baseline_extract", text)
+
+    for fast, mid, slow in zip(middleware, extract, sql):
+        assert fast.tree_nodes == mid.tree_nodes == slow.tree_nodes
+        assert fast.cost < mid.cost
+        assert mid.cost < slow.cost

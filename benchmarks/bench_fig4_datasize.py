@@ -1,0 +1,70 @@
+"""Figure 4 (right): time to grow the tree vs data-set size.
+
+Paper setup: the 500-leaf generator with cases/leaf varied to produce
+2–50 MB of data, run at 5 MB and 20 MB of middleware RAM, each with and
+without data caching.
+
+Paper shapes to reproduce:
+* cost grows with data size for every configuration;
+* more RAM never hurts; caching never hurts (beyond noise);
+* the caching advantage is largest while the data still fits in RAM
+  and shrinks once the data set far exceeds it.
+"""
+
+from _workloads import random_tree_workbench
+
+from repro.bench.harness import mb, series_table, write_report
+from repro.core.config import MiddlewareConfig
+
+DATA_MB = [2, 5, 10, 20, 35, 50]
+RAM_MB = [5, 20]
+
+
+def run_sweep():
+    series = {}
+    for ram in RAM_MB:
+        for caching in (True, False):
+            key = f"{ram}MB RAM, {'caching' if caching else 'no caching'}"
+            config = (
+                MiddlewareConfig.memory_only(mb(ram))
+                if caching
+                else MiddlewareConfig.no_staging(mb(ram))
+            )
+            series[key] = [
+                random_tree_workbench(size).run_middleware(config, label=key)
+                for size in DATA_MB
+            ]
+    return series
+
+
+def bench_fig4_datasize(benchmark):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    text = series_table(
+        "Figure 4 (right): cost vs data-set size at 5/20 MB RAM",
+        "data (MB)",
+        DATA_MB,
+        list(series.items()),
+    )
+    write_report("fig4_datasize", text)
+
+    for name, runs in series.items():
+        costs = [r.cost for r in runs]
+        # Cost grows with data size.
+        assert costs == sorted(costs), name
+
+    for caching in ("caching", "no caching"):
+        small = [r.cost for r in series[f"5MB RAM, {caching}"]]
+        large = [r.cost for r in series[f"20MB RAM, {caching}"]]
+        # More RAM never hurts (beyond 2% staging noise).
+        assert all(b <= a * 1.02 for a, b in zip(small, large))
+
+    # Caching at 20 MB RAM wins big while data fits (2-10 MB) ...
+    cached = [r.cost for r in series["20MB RAM, caching"]]
+    plain = [r.cost for r in series["20MB RAM, no caching"]]
+    index_5mb = DATA_MB.index(5)
+    assert cached[index_5mb] < 0.7 * plain[index_5mb]
+    # ... and the relative advantage shrinks when data far exceeds RAM.
+    advantage_small = plain[index_5mb] / cached[index_5mb]
+    advantage_big = plain[-1] / cached[-1]
+    assert advantage_big < advantage_small

@@ -1,0 +1,81 @@
+"""Figure 4 (left): time to grow the tree vs middleware memory.
+
+Paper setup: a ~50 MB random-tree data set (500 leaves, ~950
+cases/leaf, 7000-node tree), middleware memory swept from 4 MB to
+96 MB, with and without data caching (staging to memory).
+
+Paper shapes to reproduce:
+* with caching, cost drops as memory grows and collapses once the
+  entire data set fits in middleware memory;
+* without caching, extra memory helps only until all CC tables for a
+  frontier fit in one scan; both curves flatten past ~64 MB;
+* caching is never worse than no caching.
+"""
+
+from _workloads import random_tree_workbench
+
+from repro.bench.harness import mb, series_table, write_report
+from repro.core.config import MiddlewareConfig
+
+MEMORY_MB = [4, 8, 16, 32, 48, 64, 80, 96]
+DATA_MB = 50
+
+
+def run_sweep():
+    bench = random_tree_workbench(DATA_MB)
+    caching = [
+        bench.run_middleware(
+            MiddlewareConfig.memory_only(mb(m)), label=f"caching {m}MB"
+        )
+        for m in MEMORY_MB
+    ]
+    no_caching = [
+        bench.run_middleware(
+            MiddlewareConfig.no_staging(mb(m)), label=f"no caching {m}MB"
+        )
+        for m in MEMORY_MB
+    ]
+    return caching, no_caching
+
+
+def bench_fig4_memory(benchmark):
+    caching, no_caching = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    text = series_table(
+        "Figure 4 (left): cost vs middleware memory (50 MB data set)",
+        "memory (MB)",
+        MEMORY_MB,
+        [
+            ("data caching", caching),
+            ("no caching", no_caching),
+        ],
+    )
+    write_report("fig4_memory", text)
+
+    costs_caching = [r.cost for r in caching]
+    costs_none = [r.cost for r in no_caching]
+
+    # Caching dominates no-caching at every memory size (up to staging
+    # overhead noise at budgets too small to cache anything useful).
+    for cached, plain in zip(costs_caching, costs_none):
+        assert cached <= plain * 1.02
+
+    # More memory monotonically (weakly) helps both configurations.
+    assert all(a >= b for a, b in zip(costs_caching, costs_caching[1:]))
+    assert all(a >= b for a, b in zip(costs_none, costs_none[1:]))
+
+    # With 64+ MB the caching run loads everything on the first scan:
+    # exactly one server scan, the rest from memory.
+    big = caching[MEMORY_MB.index(64)]
+    assert big.scans["SERVER"] == 1
+    assert big.scans["MEMORY"] >= 1
+
+    # Both curves flatten past 64 MB (within 5%).
+    assert costs_caching[-1] >= 0.95 * costs_caching[MEMORY_MB.index(64)]
+    assert costs_none[-1] >= 0.95 * costs_none[MEMORY_MB.index(64)]
+
+    # Caching at 4 MB cannot hold the 50 MB data set, so it still beats
+    # no-caching by much less than at 96 MB.
+    gain_small = costs_none[0] / costs_caching[0]
+    gain_large = costs_none[-1] / costs_caching[-1]
+    assert gain_large > gain_small

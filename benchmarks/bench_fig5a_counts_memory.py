@@ -1,0 +1,64 @@
+"""Figure 5a: limited memory for count tables forces multiple scans.
+
+Paper setup: the ~5 MB data set, available memory swept below the point
+where all CC tables of a frontier fit, **no data caching** — isolating
+the effect of CC-table memory alone.
+
+Paper shapes to reproduce:
+* less memory → more scans per frontier → higher cost;
+* the curve flattens once one scan can hold every CC table;
+* scan counts decrease monotonically as memory grows.
+"""
+
+from _workloads import random_tree_workbench
+
+from repro.bench.harness import mb, series_table, write_report
+from repro.core.config import MiddlewareConfig
+
+MEMORY_MB = [0.5, 1, 2, 4, 8, 16, 32]
+DATA_MB = 5
+
+
+def run_sweep():
+    bench = random_tree_workbench(DATA_MB)
+    return [
+        bench.run_middleware(
+            MiddlewareConfig.no_staging(mb(m)), label=f"{m}MB"
+        )
+        for m in MEMORY_MB
+    ]
+
+
+def bench_fig5a_counts_memory(benchmark):
+    runs = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    text = series_table(
+        "Figure 5a: cost vs memory for CC tables (5 MB data, no caching)",
+        "memory (MB)",
+        MEMORY_MB,
+        [("no caching", runs)],
+    )
+    scans_text = series_table(
+        "Figure 5a (detail): server scans vs memory",
+        "memory (MB)",
+        MEMORY_MB,
+        [("scans", [_as_cost(r.scans["SERVER"]) for r in runs])],
+    )
+    write_report("fig5a_counts_memory", text + "\n\n" + scans_text)
+
+    costs = [r.cost for r in runs]
+    scans = [r.scans["SERVER"] for r in runs]
+
+    # Starved memory means multiple scans per frontier.
+    assert scans[0] > scans[-1]
+    assert all(a >= b for a, b in zip(scans, scans[1:]))
+    assert all(a >= b for a, b in zip(costs, costs[1:]))
+    # The curve flattens at the top end (all CCs fit in one pass).
+    assert costs[-1] >= 0.95 * costs[-2]
+
+
+class _as_cost:
+    """Adapter so series_table can render scan counts."""
+
+    def __init__(self, value):
+        self.cost = value

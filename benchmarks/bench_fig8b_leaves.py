@@ -1,0 +1,75 @@
+"""Figure 8b: increasing the number of leaves in the generating tree.
+
+Paper setup: a fixed ~10 MB data set generated from trees with more
+and more leaves — the data points become less similar and harder to
+classify, blowing up the request frontier — run with a small (8 MB)
+memory for count tables, with and without data caching.
+
+Paper shapes to reproduce:
+* more leaves → bigger grown tree → more scans → higher cost, for both
+  configurations;
+* caching stays at or below no caching;
+* the frontier blow-up shows up as a growing scan count.
+"""
+
+from _workloads import random_tree_workbench
+
+from repro.bench.harness import mb, series_table, write_report
+from repro.core.config import MiddlewareConfig
+
+# Chosen to divide the 1008-row (10 MB scaled) budget evenly, so
+# every point has exactly the same data-set size.
+LEAVES = [21, 42, 84, 168, 336]
+DATA_MB = 10
+RAM_MB = 8
+
+
+def run_sweep():
+    caching = []
+    no_caching = []
+    for leaves in LEAVES:
+        bench = random_tree_workbench(
+            DATA_MB, n_leaves=leaves, seed=81
+        )
+        caching.append(
+            bench.run_middleware(
+                MiddlewareConfig.memory_only(mb(RAM_MB)),
+                label=f"caching {leaves} leaves",
+            )
+        )
+        no_caching.append(
+            bench.run_middleware(
+                MiddlewareConfig.no_staging(mb(RAM_MB)),
+                label=f"no caching {leaves} leaves",
+            )
+        )
+    return caching, no_caching
+
+
+def bench_fig8b_leaves(benchmark):
+    caching, no_caching = benchmark.pedantic(run_sweep, rounds=1,
+                                             iterations=1)
+
+    text = series_table(
+        "Figure 8b: cost vs leaves in the generating tree "
+        "(10 MB data, 8 MB RAM)",
+        "leaves",
+        LEAVES,
+        [
+            ("data caching", caching),
+            ("no caching", no_caching),
+        ],
+    )
+    write_report("fig8b_leaves", text)
+
+    costs_caching = [r.cost for r in caching]
+    costs_none = [r.cost for r in no_caching]
+
+    assert costs_caching == sorted(costs_caching)
+    assert costs_none == sorted(costs_none)
+    for cached, plain in zip(costs_caching, costs_none):
+        assert cached <= plain * 1.02
+
+    # More leaves grow bigger trees and need more server scans.
+    assert no_caching[-1].tree_nodes > no_caching[0].tree_nodes
+    assert no_caching[-1].scans["SERVER"] > no_caching[0].scans["SERVER"]

@@ -1,0 +1,92 @@
+"""Scalable Classification over SQL Databases — a full reproduction.
+
+Reproduces Chaudhuri, Fayyad & Bernhardt (ICDE 1999): a middleware
+layer that scales decision-tree (and Naive Bayes) classification over a
+SQL backend by batching sufficient-statistics queries into single data
+scans and staging shrinking data sets from the server to middleware
+files to middleware memory.
+
+Quickstart::
+
+    from repro import (
+        SQLServer, Middleware, MiddlewareConfig, DecisionTreeClassifier,
+        RandomTreeConfig, build_random_tree, load_dataset,
+    )
+
+    tree = build_random_tree(RandomTreeConfig(n_leaves=50, cases_per_leaf=40))
+    server = SQLServer()
+    load_dataset(server, "data", tree.spec, tree.generate_rows())
+
+    with Middleware(server, "data", tree.spec, MiddlewareConfig()) as mw:
+        model = DecisionTreeClassifier().fit(mw)
+
+    print(model.tree.render(max_depth=2))
+    print(f"simulated cost: {server.meter.total:.0f}")
+"""
+
+from .client import (
+    DecisionTree,
+    DecisionTreeClassifier,
+    Discretizer,
+    GrowthPolicy,
+    NaiveBayesClassifier,
+    grow_in_memory,
+    prune,
+)
+from .common import CostMeter, CostModel, MemoryBudget
+from .core import (
+    CCTable,
+    CountsRequest,
+    CountsResult,
+    DataLocation,
+    Middleware,
+    MiddlewareConfig,
+)
+from .datagen import (
+    CensusConfig,
+    DatasetSpec,
+    GaussianMixtureConfig,
+    RandomTreeConfig,
+    build_random_tree,
+    census_spec,
+    generate_census_dataset,
+    generate_gaussian_dataset,
+    generate_random_tree_dataset,
+    load_dataset,
+    uniform_spec,
+)
+from .sqlengine import SQLServer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CCTable",
+    "CensusConfig",
+    "CostMeter",
+    "CostModel",
+    "CountsRequest",
+    "CountsResult",
+    "DataLocation",
+    "DatasetSpec",
+    "DecisionTree",
+    "DecisionTreeClassifier",
+    "Discretizer",
+    "GaussianMixtureConfig",
+    "GrowthPolicy",
+    "MemoryBudget",
+    "Middleware",
+    "MiddlewareConfig",
+    "NaiveBayesClassifier",
+    "RandomTreeConfig",
+    "SQLServer",
+    "__version__",
+    "build_random_tree",
+    "census_spec",
+    "generate_census_dataset",
+    "generate_gaussian_dataset",
+    "generate_random_tree_dataset",
+    "grow_in_memory",
+    "load_dataset",
+    "prune",
+    "uniform_spec",
+]

@@ -1,0 +1,26 @@
+"""Benchmark harness shared by the scripts in ``benchmarks/``."""
+
+from .charts import ascii_chart
+
+from .harness import (
+    SCALE,
+    RunResult,
+    Workbench,
+    mb,
+    results_dir,
+    rows_for_mb,
+    series_table,
+    write_report,
+)
+
+__all__ = [
+    "RunResult",
+    "ascii_chart",
+    "SCALE",
+    "Workbench",
+    "mb",
+    "results_dir",
+    "rows_for_mb",
+    "series_table",
+    "write_report",
+]

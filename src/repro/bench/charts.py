@@ -1,0 +1,93 @@
+"""ASCII line charts for benchmark reports.
+
+The paper's results are charts; the reports this harness writes should
+let a reader *see* the curve shapes (who wins, where curves flatten or
+cross) without plotting tools.  ``ascii_chart`` renders one or more
+series over a shared x axis using one glyph per series.
+"""
+
+from __future__ import annotations
+
+#: Glyphs assigned to series, in order.
+GLYPHS = "ox*+#@%&"
+
+#: Plot area size (characters).
+WIDTH = 60
+HEIGHT = 14
+
+
+def ascii_chart(xs, series, width=WIDTH, height=HEIGHT):
+    """Render ``series`` (``[(name, [y, ...]), ...]``) over ``xs``.
+
+    X positions are spaced by rank (the paper's sweeps are roughly
+    geometric, so rank spacing keeps small-x structure visible); the y
+    axis is linear from 0 to the maximum value.  Returns the chart as
+    a string including a legend.
+    """
+    if not xs:
+        raise ValueError("chart needs at least one x value")
+    for name, ys in series:
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    peak = max((y for _, ys in series for y in ys), default=0)
+    if peak <= 0:
+        peak = 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def x_position(index):
+        if len(xs) == 1:
+            return 0
+        return round(index * (width - 1) / (len(xs) - 1))
+
+    def y_position(value):
+        row = round((height - 1) * (1 - value / peak))
+        return min(height - 1, max(0, row))
+
+    for series_index, (name, ys) in enumerate(series):
+        glyph = GLYPHS[series_index % len(GLYPHS)]
+        previous = None
+        for i, y in enumerate(ys):
+            column = x_position(i)
+            row = y_position(y)
+            # Connect to the previous point with a light vertical run.
+            if previous is not None:
+                prev_column, prev_row = previous
+                for c in range(prev_column + 1, column):
+                    interp = prev_row + (row - prev_row) * (
+                        (c - prev_column) / (column - prev_column)
+                    )
+                    r = min(height - 1, max(0, round(interp)))
+                    if grid[r][c] == " ":
+                        grid[r][c] = "."
+            grid[row][column] = glyph
+            previous = (column, row)
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{peak:>10,.0f} |"
+        elif row_index == HEIGHT - 1:
+            label = f"{0:>10,} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    first = _fmt(xs[0])
+    last = _fmt(xs[-1])
+    lines.append(
+        " " * 12 + first + " " * max(1, width - len(first) - len(last))
+        + last
+    )
+    legend = "   ".join(
+        f"{GLYPHS[i % len(GLYPHS)]} = {name}"
+        for i, (name, _) in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)

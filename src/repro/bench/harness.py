@@ -1,0 +1,190 @@
+"""Shared benchmark harness.
+
+Every benchmark in ``benchmarks/`` reproduces one table or figure from
+the paper's Section 5.  The harness gives them a common vocabulary:
+
+* **scaling** — paper sizes (MB of data, MB of middleware memory) are
+  mapped to simulated bytes through :data:`SCALE`, preserving every
+  ratio the scheduler and staging logic depend on;
+* **Workbench** — loads a data set into a fresh SQL server once and
+  runs classifier configurations against it, resetting the cost meter
+  between runs so each run reports its own simulated cost;
+* **reporting** — aligned text tables of the same series the paper
+  plots, written to ``benchmarks/results/`` and printed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..client.baselines import extract_all_fit, sql_counting_fit
+from ..client.decision_tree import DecisionTreeClassifier
+from ..client.growth import GrowthPolicy
+from ..common.cost import CostMeter, CostModel
+from ..common.text import render_table
+from ..core.middleware import Middleware
+from ..datagen.loader import load_dataset
+from ..sqlengine.database import SQLServer
+
+#: Paper-size → simulation scale factor.  All experiments shrink the
+#: paper's data sets and memory budgets by the same factor, so every
+#: decision the scheduler takes is driven by the same ratios.
+SCALE = 0.01
+
+#: One paper megabyte, in real bytes, before scaling.
+_MB = 1024 * 1024
+
+
+def mb(paper_megabytes):
+    """Paper megabytes → simulated bytes at :data:`SCALE`."""
+    return max(1, int(paper_megabytes * _MB * SCALE))
+
+
+def rows_for_mb(spec, paper_megabytes):
+    """Rows forming a data set of the given (paper) size."""
+    return spec.rows_for_bytes(mb(paper_megabytes))
+
+
+@dataclass
+class RunResult:
+    """Outcome of growing one tree under one configuration."""
+
+    label: str
+    cost: float
+    wall_seconds: float
+    tree_nodes: int
+    tree_leaves: int
+    tree_depth: int
+    scans: dict = field(default_factory=dict)
+    rows_seen: int = 0
+    sql_fallbacks: int = 0
+    breakdown: dict = field(default_factory=dict)
+    #: The fitted classifier (middleware runs only).
+    classifier: object = None
+
+    def __repr__(self):
+        return f"RunResult({self.label!r}, cost={self.cost:.1f})"
+
+
+class Workbench:
+    """One loaded data set; many metered classifier runs against it."""
+
+    def __init__(self, spec, rows, table_name="data", model=None):
+        self.spec = spec
+        self.table_name = table_name
+        self.model = model or CostModel()
+        self.meter = CostMeter()
+        self.server = SQLServer(model=self.model, meter=self.meter)
+        rows = list(rows)
+        load_dataset(self.server, table_name, spec, rows)
+        self.n_rows = len(rows)
+
+    def run_middleware(self, config, policy=None, label="middleware"):
+        """Grow a tree through the middleware; returns a RunResult."""
+        policy = policy or GrowthPolicy()
+        classifier = DecisionTreeClassifier(
+            criterion=policy.criterion,
+            binary_splits=policy.binary_splits,
+            max_depth=policy.max_depth,
+            min_rows=policy.min_rows,
+            min_gain=policy.min_gain,
+        )
+        self.meter.reset()
+        started = time.perf_counter()
+        with Middleware(
+            self.server, self.table_name, self.spec, config
+        ) as middleware:
+            classifier.fit(middleware)
+            stats = middleware.stats
+            scans = {
+                location.name: count
+                for location, count in stats.scans_by_mode.items()
+            }
+            result = RunResult(
+                label=label,
+                cost=self.meter.total,
+                wall_seconds=time.perf_counter() - started,
+                tree_nodes=classifier.tree.n_nodes,
+                tree_leaves=classifier.tree.n_leaves,
+                tree_depth=classifier.tree.depth,
+                scans=scans,
+                rows_seen=stats.rows_seen,
+                sql_fallbacks=stats.sql_fallbacks,
+                breakdown=dict(self.meter.breakdown()),
+            )
+        result.classifier = classifier
+        return result
+
+    def run_sql_counting(self, policy=None, label="sql counting"):
+        """Grow via the per-node UNION baseline; returns a RunResult."""
+        policy = policy or GrowthPolicy()
+        self.meter.reset()
+        started = time.perf_counter()
+        tree = sql_counting_fit(
+            self.server, self.table_name, self.spec, policy
+        )
+        return self._baseline_result(tree, label, started)
+
+    def run_extract_all(self, policy=None, label="extract all"):
+        """Grow via the extract-everything baseline; returns a RunResult."""
+        policy = policy or GrowthPolicy()
+        self.meter.reset()
+        started = time.perf_counter()
+        tree = extract_all_fit(
+            self.server, self.table_name, self.spec, policy
+        )
+        return self._baseline_result(tree, label, started)
+
+    def _baseline_result(self, tree, label, started):
+        return RunResult(
+            label=label,
+            cost=self.meter.total,
+            wall_seconds=time.perf_counter() - started,
+            tree_nodes=tree.n_nodes,
+            tree_leaves=tree.n_leaves,
+            tree_depth=tree.depth,
+            breakdown=dict(self.meter.breakdown()),
+        )
+
+
+def series_table(title, x_header, xs, series):
+    """Render one paper chart: an aligned table plus an ASCII plot.
+
+    ``series`` is ``[(name, [RunResult, ...]), ...]`` aligned with
+    ``xs``.
+    """
+    from .charts import ascii_chart
+
+    headers = [x_header] + [name for name, _ in series]
+    rows = []
+    for i, x in enumerate(xs):
+        row = [x] + [runs[i].cost for _, runs in series]
+        rows.append(row)
+    table = render_table(headers, rows, title=title)
+    chart = ascii_chart(
+        list(xs),
+        [(name, [run.cost for run in runs]) for name, runs in series],
+    )
+    return table + "\n\n" + chart
+
+
+def results_dir():
+    """The benchmarks/results directory (created on demand)."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_report(name, text):
+    """Print a report and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path

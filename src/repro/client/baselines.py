@@ -1,0 +1,109 @@
+"""Reference and straw-man classifiers.
+
+* :func:`grow_in_memory` — a plain in-memory grower used as ground
+  truth in tests: the middleware-grown tree must be identical.
+* :func:`extract_all_fit` — Section 2.3's first straw man: ship the
+  entire table to the client and mine locally.
+* :func:`sql_counting_fit` — Section 2.3's second straw man: one
+  UNION-of-GROUP-BYs statement per active node, no batching, no
+  staging (the configuration Fig. 7's right chart shows collapsing).
+
+All three produce trees via the shared :func:`partition_node`, so they
+are exactly comparable with the middleware classifier — only the data
+access (and hence the cost) differs.
+"""
+
+from __future__ import annotations
+
+from ..core.cc_table import CCTable
+from ..core.sql_counting import counts_via_sql
+from ..sqlengine.ast_nodes import Select, Star
+from .growth import partition_node
+from .tree import DecisionTree
+
+
+def build_cc_from_rows(rows, spec, attributes):
+    """Build a CC table locally by scanning ``rows`` once."""
+    attributes = tuple(attributes)
+    cc = CCTable(attributes, spec.n_classes)
+    names = spec.attribute_names
+    class_index = spec.n_attributes
+    for row in rows:
+        values = dict(zip(names, row))
+        cc.count_row(values, row[class_index])
+    return cc
+
+
+def grow_in_memory(rows, spec, policy, meter=None, model=None):
+    """Grow a tree from rows held in client memory.
+
+    When a meter is supplied, each node's CC construction charges one
+    client-side pass over the node's rows at the *file* rate, modelling
+    the extracted data sitting in "client secondary storage" (§2.3).
+    """
+    rows = list(rows)
+    tree = DecisionTree(spec)
+    root = tree.root
+    root.n_rows = len(rows)
+
+    pending = [(root, rows)]
+    attr_index = {name: i for i, name in enumerate(spec.attribute_names)}
+    while pending:
+        node, node_rows = pending.pop()
+        if meter is not None:
+            meter.charge(
+                "file_read",
+                model.file_row_io * len(node_rows),
+                events=len(node_rows),
+            )
+        cc = build_cc_from_rows(node_rows, spec, node.attributes)
+        children = partition_node(tree, node, cc, policy)
+        if not children:
+            continue
+        for child in children:
+            index = attr_index[child.condition.attribute]
+            condition = child.condition
+            child_rows = [
+                row for row in node_rows if condition.matches(row[index])
+            ]
+            pending.append((child, child_rows))
+    return tree
+
+
+def extract_all_fit(server, table_name, spec, policy):
+    """Straw man 1: extract the whole table, then mine at the client.
+
+    Pays one SELECT * (full scan + transfer of every row), then the
+    per-level client-side scans of the local copy.
+    """
+    result = server.execute(Select(Star(), table_name))
+    return grow_in_memory(
+        result.rows, spec, policy, meter=server.meter, model=server.model
+    )
+
+
+def sql_counting_fit(server, table_name, spec, policy):
+    """Straw man 2: per-node UNION-of-GROUP-BYs counting at the server.
+
+    Every active node issues its own CC statement; the server scans the
+    table once per attribute per node because its optimizer shares
+    nothing between the branches.
+    """
+    tree = DecisionTree(spec)
+    root = tree.root
+    root.n_rows = server.table(table_name).row_count
+
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        predicate = None
+        conditions = node.path_conditions()
+        if conditions:
+            from ..core.filters import path_predicate
+
+            predicate = path_predicate(conditions)
+        cc = counts_via_sql(
+            server, table_name, spec, node.attributes, predicate
+        )
+        frontier.extend(partition_node(tree, node, cc, policy))
+    return tree

@@ -1,0 +1,153 @@
+"""Splitting criteria, computed from CC tables only (Section 2.2).
+
+Every criterion scores a partition of a node's records from the class
+distributions of the would-be children — which the CC table provides
+exactly — so no criterion ever touches data.  The paper's experiments
+use "the standard entropy measure used in ID3, C4.5, and CART"; Gini
+and gain ratio are provided for the broader family the scheme supports.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..common.errors import ClientError
+
+
+def entropy(counts):
+    """Shannon entropy (bits) of a class-count vector."""
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    result = 0.0
+    for count in counts:
+        if count:
+            p = count / total
+            result -= p * math.log2(p)
+    return result
+
+
+def gini(counts):
+    """Gini impurity of a class-count vector."""
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    return 1.0 - sum((count / total) ** 2 for count in counts)
+
+
+class SplitCriterion:
+    """Interface: higher scores are better; <= 0 means "do not split"."""
+
+    name = "abstract"
+
+    def score(self, parent_counts, children_counts):
+        """Score a partition given parent and per-child class counts."""
+        raise NotImplementedError
+
+
+class InformationGain(SplitCriterion):
+    """ID3's information gain: H(parent) - Σ w_i · H(child_i)."""
+
+    name = "entropy"
+
+    def score(self, parent_counts, children_counts):
+        total = sum(parent_counts)
+        if total == 0:
+            return 0.0
+        remainder = 0.0
+        for counts in children_counts:
+            weight = sum(counts) / total
+            remainder += weight * entropy(counts)
+        return entropy(parent_counts) - remainder
+
+
+class GainRatio(SplitCriterion):
+    """C4.5's gain ratio: information gain / split information."""
+
+    name = "gain_ratio"
+
+    def __init__(self):
+        self._gain = InformationGain()
+
+    def score(self, parent_counts, children_counts):
+        gain = self._gain.score(parent_counts, children_counts)
+        if gain <= 0.0:
+            return 0.0
+        sizes = [sum(counts) for counts in children_counts]
+        split_info = entropy(sizes)
+        if split_info <= 0.0:
+            return 0.0
+        return gain / split_info
+
+
+class GiniGain(SplitCriterion):
+    """CART's impurity decrease: G(parent) - Σ w_i · G(child_i)."""
+
+    name = "gini"
+
+    def score(self, parent_counts, children_counts):
+        total = sum(parent_counts)
+        if total == 0:
+            return 0.0
+        remainder = 0.0
+        for counts in children_counts:
+            weight = sum(counts) / total
+            remainder += weight * gini(counts)
+        return gini(parent_counts) - remainder
+
+
+class ChiSquare(SplitCriterion):
+    """CHAID-style chi-square association, normalised to [0, 1].
+
+    The score is Cramér's V squared: χ² / (N · (min(r, c) − 1)) over
+    the children × classes contingency table, so it is comparable to
+    the other criteria under the same ``min_gain`` semantics — 0 means
+    the partition is independent of the class, 1 a perfect association.
+    """
+
+    name = "chi2"
+
+    def score(self, parent_counts, children_counts):
+        total = sum(parent_counts)
+        if total == 0:
+            return 0.0
+        class_totals = [0] * len(parent_counts)
+        for counts in children_counts:
+            for label, count in enumerate(counts):
+                class_totals[label] += count
+        child_totals = [sum(counts) for counts in children_counts]
+
+        statistic = 0.0
+        for counts, child_total in zip(children_counts, child_totals):
+            if child_total == 0:
+                continue
+            for label, observed in enumerate(counts):
+                expected = child_total * class_totals[label] / total
+                if expected > 0:
+                    deviation = observed - expected
+                    statistic += deviation * deviation / expected
+
+        live_rows = sum(1 for t in child_totals if t)
+        live_cols = sum(1 for t in class_totals if t)
+        dof_scale = min(live_rows, live_cols) - 1
+        if dof_scale <= 0:
+            return 0.0
+        return statistic / (total * dof_scale)
+
+
+_CRITERIA = {
+    cls.name: cls
+    for cls in (InformationGain, GainRatio, GiniGain, ChiSquare)
+}
+
+
+def make_criterion(name):
+    """Instantiate a criterion by name ('entropy', 'gain_ratio', 'gini')."""
+    if isinstance(name, SplitCriterion):
+        return name
+    try:
+        return _CRITERIA[name]()
+    except KeyError:
+        raise ClientError(
+            f"unknown criterion {name!r}; choose from {sorted(_CRITERIA)}"
+        ) from None

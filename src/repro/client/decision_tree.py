@@ -1,0 +1,110 @@
+"""The middleware-driven decision-tree classifier (the paper's client).
+
+Implements the client side of Figure 3:
+
+1. queue a counts request for every active node,
+2. wait for the middleware to fulfil *some* of them (the middleware
+   decides the order),
+3. consume the CC tables, partition those nodes, and queue requests
+   for the new active children,
+4. repeat until no active nodes remain.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import NotFittedError
+from ..core.estimators import estimate_cc_pairs, root_cc_pairs
+from ..core.requests import CountsRequest
+from .growth import GrowthPolicy, partition_node
+from .tree import DecisionTree
+
+
+class DecisionTreeClassifier:
+    """Decision-tree induction over a SQL table via the middleware."""
+
+    def __init__(self, criterion="entropy", binary_splits=True,
+                 max_depth=None, min_rows=2, min_gain=0.0):
+        self.policy = GrowthPolicy(
+            criterion=criterion,
+            binary_splits=binary_splits,
+            max_depth=max_depth,
+            min_rows=min_rows,
+            min_gain=min_gain,
+        )
+        self.tree_ = None
+
+    # -- fitting ---------------------------------------------------------
+
+    def fit(self, middleware):
+        """Grow the full tree through ``middleware``; returns self."""
+        spec = middleware.spec
+        tree = DecisionTree(spec)
+        root = tree.root
+        root.n_rows = middleware.server.table(middleware.table_name).row_count
+
+        middleware.queue_request(self._root_request(root, spec))
+        for results in middleware.serve():
+            for result in results:
+                node = tree.nodes[result.node_id]
+                node.location_tag = result.source.tag
+                children = partition_node(tree, node, result.cc, self.policy)
+                for child in children:
+                    middleware.queue_request(
+                        self._child_request(child, node, result.cc)
+                    )
+        self.tree_ = tree
+        return self
+
+    def _root_request(self, root, spec):
+        return CountsRequest(
+            node_id=root.node_id,
+            lineage=root.lineage(),
+            conditions=(),
+            attributes=root.attributes,
+            n_rows=root.n_rows,
+            est_cc_pairs=root_cc_pairs(spec, root.attributes),
+        )
+
+    def _child_request(self, child, parent, parent_cc):
+        est_pairs = estimate_cc_pairs(
+            child.n_rows,
+            parent.n_rows,
+            parent_cc.pair_count_by_attribute(),
+            child.attributes,
+        )
+        return CountsRequest(
+            node_id=child.node_id,
+            lineage=child.lineage(),
+            conditions=child.path_conditions(),
+            attributes=child.attributes,
+            n_rows=child.n_rows,
+            est_cc_pairs=est_pairs,
+        )
+
+    # -- prediction -------------------------------------------------------
+
+    @property
+    def tree(self):
+        if self.tree_ is None:
+            raise NotFittedError("call fit() before using the model")
+        return self.tree_
+
+    def predict_row(self, row):
+        return self.tree.predict_row(row)
+
+    def predict(self, rows):
+        return self.tree.predict(rows)
+
+    def accuracy(self, rows):
+        return self.tree.accuracy(rows)
+
+    def rules(self):
+        return self.tree.rules()
+
+    def __repr__(self):
+        if self.tree_ is None:
+            return "DecisionTreeClassifier(unfitted)"
+        return (
+            f"DecisionTreeClassifier(nodes={self.tree_.n_nodes}, "
+            f"leaves={self.tree_.n_leaves}, depth={self.tree_.depth})"
+        )

@@ -1,0 +1,196 @@
+"""Discretisation of numeric attributes.
+
+The paper assumes "all attributes are categorical or have been
+discretized (see [CFB97] for how numeric-valued attributes are
+treated)".  This module supplies the missing step: equal-width,
+equal-frequency, and Fayyad–Irani entropy/MDL discretisation, plus a
+:class:`Discretizer` that converts a numeric matrix into the
+categorical codes the rest of the system consumes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..common.errors import ClientError
+from ..datagen.dataset import DatasetSpec
+from .criteria import entropy
+
+
+def equal_width_edges(values, n_bins):
+    """Cut points splitting [min, max] into ``n_bins`` equal intervals."""
+    if n_bins < 2:
+        raise ClientError("need at least two bins")
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ClientError("cannot discretise an empty column")
+    low = float(values.min())
+    high = float(values.max())
+    if low == high:
+        return []
+    return list(np.linspace(low, high, n_bins + 1)[1:-1])
+
+
+def equal_frequency_edges(values, n_bins):
+    """Cut points putting ~equal record counts in each bin."""
+    if n_bins < 2:
+        raise ClientError("need at least two bins")
+    values = np.sort(np.asarray(values, dtype=float))
+    if values.size == 0:
+        raise ClientError("cannot discretise an empty column")
+    quantiles = np.linspace(0, 1, n_bins + 1)[1:-1]
+    edges = np.quantile(values, quantiles)
+    # Collapse duplicate edges (heavy ties) so bins stay distinct.
+    unique = []
+    for edge in edges:
+        if not unique or edge > unique[-1]:
+            unique.append(float(edge))
+    return unique
+
+
+def mdl_entropy_edges(values, labels, max_depth=16):
+    """Fayyad–Irani recursive entropy discretisation with MDL stopping.
+
+    Candidate cuts are boundary points (midpoints between adjacent
+    examples of different classes); a cut is accepted when its
+    information gain beats the MDL criterion, and accepted intervals
+    are split recursively.
+    """
+    values = np.asarray(values, dtype=float)
+    labels = np.asarray(labels)
+    if values.size != labels.size:
+        raise ClientError("values and labels must align")
+    if values.size == 0:
+        raise ClientError("cannot discretise an empty column")
+    order = np.argsort(values, kind="stable")
+    values = values[order]
+    labels = labels[order]
+    edges = []
+    _mdl_split(values, labels, 0, values.size, edges, max_depth)
+    edges.sort()
+    return edges
+
+
+def _mdl_split(values, labels, start, stop, edges, depth):
+    if depth <= 0 or stop - start < 4:
+        return
+    best = _best_cut(values, labels, start, stop)
+    if best is None:
+        return
+    cut_index, gain, cut_value = best
+    if not _mdl_accepts(labels, start, stop, cut_index, gain):
+        return
+    edges.append(cut_value)
+    _mdl_split(values, labels, start, cut_index, edges, depth - 1)
+    _mdl_split(values, labels, cut_index, stop, edges, depth - 1)
+
+
+def _class_counts(labels, start, stop):
+    counts = {}
+    for label in labels[start:stop]:
+        counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+def _best_cut(values, labels, start, stop):
+    """Highest-gain boundary cut in [start, stop), or None."""
+    n = stop - start
+    parent_entropy = entropy(list(_class_counts(labels, start, stop).values()))
+    best = None
+    left = {}
+    right = _class_counts(labels, start, stop)
+    for i in range(start, stop - 1):
+        label = labels[i]
+        left[label] = left.get(label, 0) + 1
+        right[label] -= 1
+        if values[i] == values[i + 1]:
+            continue
+        n_left = i - start + 1
+        n_right = n - n_left
+        gain = parent_entropy - (
+            n_left / n * entropy(list(left.values()))
+            + n_right / n * entropy(list(right.values()))
+        )
+        if best is None or gain > best[1]:
+            cut_value = (values[i] + values[i + 1]) / 2.0
+            best = (i + 1, gain, cut_value)
+    return best
+
+
+def _mdl_accepts(labels, start, stop, cut_index, gain):
+    """The Fayyad–Irani MDL acceptance test."""
+    n = stop - start
+    parent = _class_counts(labels, start, stop)
+    left = _class_counts(labels, start, cut_index)
+    right = _class_counts(labels, cut_index, stop)
+    k = len(parent)
+    k_left = len(left)
+    k_right = len(right)
+    ent = entropy(list(parent.values()))
+    ent_left = entropy(list(left.values()))
+    ent_right = entropy(list(right.values()))
+    delta = (
+        math.log2(3**k - 2)
+        - (k * ent - k_left * ent_left - k_right * ent_right)
+    )
+    threshold = (math.log2(n - 1) + delta) / n
+    return gain > threshold
+
+
+class Discretizer:
+    """Fit bucket edges on a numeric matrix; transform to codes."""
+
+    METHODS = ("equal_width", "equal_frequency", "mdl")
+
+    def __init__(self, method="equal_width", n_bins=8):
+        if method not in self.METHODS:
+            raise ClientError(f"method must be one of {self.METHODS}")
+        self.method = method
+        self.n_bins = n_bins
+        self.edges_ = None
+
+    def fit(self, X, y=None):
+        """Learn per-column cut points; returns self."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ClientError("X must be a 2-D matrix")
+        if self.method == "mdl" and y is None:
+            raise ClientError("mdl discretisation requires labels")
+        edges = []
+        for j in range(X.shape[1]):
+            column = X[:, j]
+            if self.method == "equal_width":
+                edges.append(equal_width_edges(column, self.n_bins))
+            elif self.method == "equal_frequency":
+                edges.append(equal_frequency_edges(column, self.n_bins))
+            else:
+                edges.append(mdl_entropy_edges(column, y))
+        self.edges_ = edges
+        return self
+
+    def transform(self, X):
+        """Map numeric values to bucket codes column by column."""
+        if self.edges_ is None:
+            raise ClientError("fit() the discretizer first")
+        X = np.asarray(X, dtype=float)
+        codes = np.empty(X.shape, dtype=np.int64)
+        for j, edges in enumerate(self.edges_):
+            codes[:, j] = np.searchsorted(np.asarray(edges), X[:, j])
+        return codes
+
+    def fit_transform(self, X, y=None):
+        return self.fit(X, y).transform(X)
+
+    def spec(self, n_classes, attribute_names=None):
+        """A :class:`DatasetSpec` describing the discretised matrix.
+
+        Columns whose discretisation produced no cut (constant or MDL
+        rejected everything) still get cardinality 2 so the spec stays
+        valid; such attributes simply never split.
+        """
+        if self.edges_ is None:
+            raise ClientError("fit() the discretizer first")
+        cards = [max(2, len(edges) + 1) for edges in self.edges_]
+        return DatasetSpec(cards, n_classes, attribute_names=attribute_names)

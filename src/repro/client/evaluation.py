@@ -1,0 +1,139 @@
+"""Model evaluation: splits, confusion matrices, cross-validation.
+
+Utilities a downstream user needs to assess the classifiers this
+package produces.  Everything operates on plain data rows (attribute
+codes with the class label last), matching the generators' output.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..common.errors import ClientError
+from .baselines import grow_in_memory
+from .growth import GrowthPolicy
+
+
+def train_test_split(rows, test_fraction=0.25, seed=0):
+    """Shuffle and split rows into ``(train, test)``."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ClientError("test_fraction must be within (0, 1)")
+    rows = list(rows)
+    if len(rows) < 2:
+        raise ClientError("need at least two rows to split")
+    rng = random.Random(seed)
+    rng.shuffle(rows)
+    cut = max(1, int(len(rows) * test_fraction))
+    return rows[cut:], rows[:cut]
+
+
+def confusion_matrix(y_true, y_pred, n_classes):
+    """``matrix[actual][predicted]`` counts."""
+    y_true = list(y_true)
+    y_pred = list(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ClientError("label sequences must align")
+    matrix = [[0] * n_classes for _ in range(n_classes)]
+    for actual, predicted in zip(y_true, y_pred):
+        if not (0 <= actual < n_classes and 0 <= predicted < n_classes):
+            raise ClientError("label outside [0, n_classes)")
+        matrix[actual][predicted] += 1
+    return matrix
+
+
+@dataclass
+class ClassReport:
+    """Per-class precision / recall / F1."""
+
+    label: int
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+@dataclass
+class EvaluationReport:
+    """Full evaluation of a classifier on one data set."""
+
+    accuracy: float
+    matrix: list
+    per_class: list = field(default_factory=list)
+
+    @property
+    def macro_f1(self):
+        """Unweighted mean F1 over classes that appear in the data."""
+        present = [c for c in self.per_class if c.support > 0]
+        if not present:
+            return 0.0
+        return sum(c.f1 for c in present) / len(present)
+
+    def __str__(self):
+        lines = [f"accuracy: {self.accuracy:.4f}   macro-F1: {self.macro_f1:.4f}"]
+        for entry in self.per_class:
+            lines.append(
+                f"  class {entry.label}: precision={entry.precision:.3f} "
+                f"recall={entry.recall:.3f} f1={entry.f1:.3f} "
+                f"support={entry.support}"
+            )
+        return "\n".join(lines)
+
+
+def evaluate(model, rows, n_classes):
+    """Evaluate a fitted model (anything with ``predict_row``)."""
+    rows = list(rows)
+    if not rows:
+        raise ClientError("cannot evaluate on an empty data set")
+    y_true = [row[-1] for row in rows]
+    y_pred = [model.predict_row(row) for row in rows]
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+
+    hits = sum(matrix[c][c] for c in range(n_classes))
+    per_class = []
+    for label in range(n_classes):
+        support = sum(matrix[label])
+        predicted = sum(matrix[row][label] for row in range(n_classes))
+        true_positive = matrix[label][label]
+        precision = true_positive / predicted if predicted else 0.0
+        recall = true_positive / support if support else 0.0
+        if precision + recall > 0:
+            f1 = 2 * precision * recall / (precision + recall)
+        else:
+            f1 = 0.0
+        per_class.append(
+            ClassReport(label, precision, recall, f1, support)
+        )
+    return EvaluationReport(hits / len(rows), matrix, per_class)
+
+
+def cross_validate(rows, spec, policy=None, k=5, seed=0):
+    """k-fold cross-validation of the decision-tree grower.
+
+    Grows each fold's tree with the in-memory reference grower — the
+    integration suite proves it identical to the middleware-grown tree,
+    so the measured accuracy transfers exactly.  Returns the list of
+    per-fold test accuracies.
+    """
+    if k < 2:
+        raise ClientError("cross-validation needs k >= 2")
+    rows = list(rows)
+    if len(rows) < k:
+        raise ClientError("need at least one row per fold")
+    policy = policy or GrowthPolicy()
+    rng = random.Random(seed)
+    rng.shuffle(rows)
+
+    folds = [rows[i::k] for i in range(k)]
+    accuracies = []
+    for held_out in range(k):
+        test = folds[held_out]
+        train = [
+            row
+            for i, fold in enumerate(folds)
+            if i != held_out
+            for row in fold
+        ]
+        tree = grow_in_memory(train, spec, policy)
+        accuracies.append(tree.accuracy(test))
+    return accuracies

@@ -1,0 +1,108 @@
+"""Deploying a trained tree back into the database as SQL.
+
+The natural companion to mining *over* SQL: once the tree exists, its
+leaves are decision rules whose paths are WHERE clauses, so scoring a
+table reduces to one SELECT per leaf.  ``tree_to_sql`` renders the
+model as a UNION ALL of such SELECTs — executable by this package's
+SQL engine (which has no CASE expression, like many 1999-era dialects'
+restricted middleware surfaces) and trivially portable to any RDBMS.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ClientError
+from ..sqlengine.ast_nodes import Select, SelectItem, UnionAll
+from ..sqlengine.expr import ColumnRef, Literal
+from .tree import DecisionTree
+
+
+def leaf_predicates(tree):
+    """``(predicate_sql, label)`` for every leaf, in walk order."""
+    out = []
+    for node in tree.walk():
+        if not node.is_leaf:
+            continue
+        conditions = node.path_conditions()
+        if conditions:
+            rendered = " AND ".join(
+                condition.to_expr().to_sql() for condition in conditions
+            )
+        else:
+            rendered = None
+        out.append((rendered, node.majority_class))
+    return out
+
+
+def tree_to_statement(tree, table_name, predicted_column="predicted"):
+    """The scoring statement as an AST (one SELECT branch per leaf).
+
+    Each branch projects the table's attribute columns, the true class,
+    and the leaf's label as ``predicted_column``.  Binary-split trees
+    partition the attribute space, so the UNION covers every row
+    exactly once.
+    """
+    if not isinstance(tree, DecisionTree):
+        raise ClientError("tree_to_statement expects a DecisionTree")
+    spec = tree.spec
+    if predicted_column in spec.attribute_names:
+        raise ClientError(
+            f"predicted column {predicted_column!r} collides with an attribute"
+        )
+
+    from ..core.filters import path_predicate
+
+    branches = []
+    for node in tree.walk():
+        if not node.is_leaf:
+            continue
+        items = [
+            SelectItem(ColumnRef(name)) for name in spec.attribute_names
+        ]
+        items.append(SelectItem(ColumnRef(spec.class_name)))
+        items.append(
+            SelectItem(Literal(node.majority_class), predicted_column)
+        )
+        conditions = node.path_conditions()
+        where = path_predicate(conditions) if conditions else None
+        branches.append(Select(items, table_name, where=where))
+    if not branches:
+        raise ClientError("tree has no leaves to export")
+    if len(branches) == 1:
+        return branches[0]
+    return UnionAll(branches)
+
+
+def tree_to_sql(tree, table_name, predicted_column="predicted"):
+    """The scoring statement as SQL text."""
+    return tree_to_statement(tree, table_name, predicted_column).to_sql()
+
+
+def predict_in_database(server, table_name, tree,
+                        predicted_column="predicted"):
+    """Score ``table_name`` inside the server; returns the ResultSet.
+
+    The result has one row per covered table row, with the predicted
+    label in the last column.
+    """
+    statement = tree_to_statement(tree, table_name, predicted_column)
+    return server.execute(statement)
+
+
+def in_database_accuracy(server, table_name, tree):
+    """Accuracy of the deployed model over the whole table.
+
+    Raises if the leaf SELECTs do not cover the table exactly once
+    (possible for multiway trees applied to values unseen in training —
+    those rows fall through every branch).
+    """
+    result = predict_in_database(server, table_name, tree)
+    table = server.table(table_name)
+    if len(result) != table.row_count:
+        raise ClientError(
+            f"deployed tree covered {len(result)} of "
+            f"{table.row_count} rows; use client-side prediction for "
+            "partial coverage"
+        )
+    class_index = tree.spec.n_attributes
+    hits = sum(1 for row in result if row[class_index] == row[-1])
+    return hits / len(result)

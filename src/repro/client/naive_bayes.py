@@ -1,0 +1,131 @@
+"""Naive Bayes over the middleware.
+
+The paper notes that "other classification algorithms such as Naive
+Bayes can also plug-in to this architecture": Naive Bayes is driven by
+exactly one CC table — the root's — since
+``P(A = v | C = c)`` is ``count(A, v, c) / count(c)``.  This client
+issues that single request and never touches data.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..common.errors import ClientError, NotFittedError
+from ..core.estimators import root_cc_pairs
+from ..core.requests import CountsRequest
+
+
+class NaiveBayesClassifier:
+    """Multinomial Naive Bayes with Laplace smoothing."""
+
+    def __init__(self, alpha=1.0):
+        if alpha < 0:
+            raise ClientError("smoothing alpha must be non-negative")
+        self.alpha = alpha
+        self._spec = None
+        self._log_priors = None
+        self._log_likelihoods = None  # (attribute, value, class) -> logp
+        self._class_counts = None
+
+    def fit(self, middleware):
+        """Request the root CC table and derive the model; returns self."""
+        spec = middleware.spec
+        attributes = tuple(
+            name for name in spec.attribute_names
+            if spec.cardinality(name) >= 2
+        )
+        n_rows = middleware.server.table(middleware.table_name).row_count
+        request = CountsRequest(
+            node_id="nb-root",
+            lineage=("nb-root",),
+            conditions=(),
+            attributes=attributes,
+            n_rows=n_rows,
+            est_cc_pairs=root_cc_pairs(spec, attributes),
+        )
+        middleware.queue_request(request)
+        (result,) = middleware.process_next_batch()
+        self._build_model(spec, attributes, result.cc)
+        return self
+
+    def fit_from_cc(self, spec, cc):
+        """Build the model from an existing root CC table (offline path)."""
+        self._build_model(spec, cc.attributes, cc)
+        return self
+
+    def _build_model(self, spec, attributes, cc):
+        totals = cc.class_totals()
+        n = cc.records
+        if n == 0:
+            raise ClientError("cannot fit Naive Bayes on an empty table")
+        alpha = self.alpha
+        n_classes = spec.n_classes
+
+        self._log_priors = [
+            math.log((totals[c] + alpha) / (n + alpha * n_classes))
+            for c in range(n_classes)
+        ]
+        likelihoods = {}
+        for attribute in attributes:
+            card = spec.cardinality(attribute)
+            for value in range(card):
+                vector = cc.vector(attribute, value)
+                for c in range(n_classes):
+                    likelihoods[(attribute, value, c)] = math.log(
+                        (vector[c] + alpha) / (totals[c] + alpha * card)
+                    )
+        self._log_likelihoods = likelihoods
+        self._class_counts = totals
+        self._spec = spec
+        self._attributes = attributes
+
+    # -- prediction ---------------------------------------------------------
+
+    def _require_fitted(self):
+        if self._log_priors is None:
+            raise NotFittedError("call fit() before predicting")
+
+    def predict_values(self, values_by_attribute):
+        """Most probable class for an attribute dict."""
+        self._require_fitted()
+        best_class = 0
+        best_score = -math.inf
+        lookup = self._log_likelihoods
+        for c, prior in enumerate(self._log_priors):
+            score = prior
+            for attribute in self._attributes:
+                value = values_by_attribute[attribute]
+                term = lookup.get((attribute, value, c))
+                if term is not None:
+                    score += term
+            if score > best_score:
+                best_score = score
+                best_class = c
+        return best_class
+
+    def predict_row(self, row):
+        values = dict(zip(self._spec.attribute_names, row))
+        return self.predict_values(values)
+
+    def predict(self, rows):
+        return [self.predict_row(row) for row in rows]
+
+    def accuracy(self, rows):
+        rows = list(rows)
+        if not rows:
+            raise ClientError("cannot score an empty data set")
+        hits = sum(1 for row in rows if self.predict_row(row) == row[-1])
+        return hits / len(rows)
+
+    def class_log_prior(self, c):
+        self._require_fitted()
+        return self._log_priors[c]
+
+    def __repr__(self):
+        if self._log_priors is None:
+            return "NaiveBayesClassifier(unfitted)"
+        return (
+            f"NaiveBayesClassifier(classes={len(self._log_priors)}, "
+            f"alpha={self.alpha})"
+        )

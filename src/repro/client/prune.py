@@ -1,0 +1,100 @@
+"""Pessimistic (error-based) pruning — C4.5 style.
+
+The paper grew full, unpruned trees ("We did not implement any tree
+pruning criteria... This can be easily implemented in our scheme");
+this module is that easy extension.  It needs only the class counts
+already stored at every node, so pruning never touches data either.
+
+A subtree is replaced by a leaf when the leaf's pessimistic error
+estimate (upper confidence bound of the binomial error rate at
+confidence ``cf``) does not exceed the sum of its children's estimates.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..common.errors import ClientError
+from .tree import NodeState
+
+#: z-scores for the one-sided upper confidence bound at common levels.
+_Z_BY_CF = {0.10: 1.2816, 0.25: 0.6745, 0.50: 0.0}
+
+
+def _z_for(cf):
+    try:
+        return _Z_BY_CF[cf]
+    except KeyError:
+        raise ClientError(
+            f"confidence must be one of {sorted(_Z_BY_CF)}"
+        ) from None
+
+
+def pessimistic_errors(n_rows, n_errors, cf=0.25):
+    """Wilson upper bound on errors among ``n_rows`` records.
+
+    This is the normal-approximation upper confidence limit C4.5 uses;
+    returned as an *error count* (rate × n_rows).
+    """
+    if n_rows == 0:
+        return 0.0
+    z = _z_for(cf)
+    if z == 0.0:
+        return float(n_errors)
+    f = n_errors / n_rows
+    z2 = z * z
+    numerator = (
+        f
+        + z2 / (2 * n_rows)
+        + z * math.sqrt(
+            f / n_rows - f * f / n_rows + z2 / (4 * n_rows * n_rows)
+        )
+    )
+    rate = numerator / (1 + z2 / n_rows)
+    return rate * n_rows
+
+
+def node_leaf_errors(node, cf=0.25):
+    """Pessimistic error count if ``node`` were a leaf."""
+    if node.class_counts is None:
+        raise ClientError("node has no class distribution")
+    n = sum(node.class_counts)
+    errors = n - max(node.class_counts)
+    return pessimistic_errors(n, errors, cf)
+
+
+def prune(tree, cf=0.25):
+    """Prune ``tree`` in place bottom-up; returns nodes pruned.
+
+    After pruning, collapsed internal nodes become leaves and their
+    descendants are removed from the tree's node registry.
+    """
+    pruned = 0
+
+    def visit(node):
+        nonlocal pruned
+        if node.is_leaf:
+            return node_leaf_errors(node, cf)
+        subtree_errors = sum(visit(child) for child in node.children)
+        as_leaf = node_leaf_errors(node, cf)
+        if as_leaf <= subtree_errors:
+            _collapse(tree, node)
+            pruned += 1
+            return as_leaf
+        return subtree_errors
+
+    visit(tree.root)
+    return pruned
+
+
+def _collapse(tree, node):
+    """Turn ``node`` into a leaf, removing its subtree."""
+    stack = list(node.children)
+    while stack:
+        descendant = stack.pop()
+        stack.extend(descendant.children)
+        del tree.nodes[descendant.node_id]
+    node.children = []
+    node.split_attribute = None
+    node.split_kind = None
+    node.state = NodeState.LEAF

@@ -1,0 +1,181 @@
+"""Decision rules: extraction, simplification, and a rule-list model.
+
+The paper motivates decision trees because "the leaves, represented as
+decision rules, are more easily understood by domain experts".  This
+module makes that representation first-class:
+
+* extract one rule per leaf, with support and confidence from the
+  exact class counts the tree already stores;
+* *simplify* each rule by dropping conditions that are redundant given
+  the others (e.g. ``A <> 1 AND A = 2`` keeps only ``A = 2``; a chain
+  of ``<>`` exclusions covering all but one value collapses to ``=``);
+* assemble an ordered :class:`RuleList` classifier that predicts by
+  first match — equivalent to the tree on every input the tree covers.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ClientError
+from ..core.filters import PathCondition
+
+
+class Rule:
+    """One decision rule: conditions → label, with quality measures."""
+
+    __slots__ = ("conditions", "label", "support", "confidence")
+
+    def __init__(self, conditions, label, support, confidence):
+        self.conditions = tuple(conditions)
+        self.label = label
+        self.support = support
+        self.confidence = confidence
+
+    def matches(self, values_by_attribute):
+        """True if a record satisfies every condition."""
+        return all(
+            condition.matches(values_by_attribute.get(condition.attribute))
+            for condition in self.conditions
+        )
+
+    def render(self, class_names=None):
+        """Human-readable IF/THEN text."""
+        if self.conditions:
+            path = " AND ".join(
+                f"{c.attribute} {c.op} {c.value}" for c in self.conditions
+            )
+        else:
+            path = "TRUE"
+        label = (
+            class_names[self.label] if class_names else f"class {self.label}"
+        )
+        return (
+            f"IF {path} THEN {label} "
+            f"[support={self.support}, confidence={self.confidence:.3f}]"
+        )
+
+    def __repr__(self):
+        return f"Rule({self.render()})"
+
+
+def simplify_conditions(conditions, spec):
+    """Drop conditions made redundant by the others on the same path.
+
+    Per attribute:
+
+    * an equality pins the value — every other condition on that
+      attribute is redundant (tree paths never contradict themselves);
+    * duplicate exclusions collapse;
+    * exclusions covering all but one of the attribute's values
+      collapse into a single equality on the survivor.
+    """
+    by_attribute = {}
+    order = []
+    for condition in conditions:
+        if condition.attribute not in by_attribute:
+            by_attribute[condition.attribute] = []
+            order.append(condition.attribute)
+        by_attribute[condition.attribute].append(condition)
+
+    simplified = []
+    for attribute in order:
+        parts = by_attribute[attribute]
+        pinned = [c for c in parts if c.op == "="]
+        if pinned:
+            simplified.append(pinned[0])
+            continue
+        excluded = []
+        seen = set()
+        for condition in parts:
+            if condition.value not in seen:
+                seen.add(condition.value)
+                excluded.append(condition)
+        card = spec.cardinality(attribute)
+        survivors = [v for v in range(card) if v not in seen]
+        if len(survivors) == 1:
+            simplified.append(
+                PathCondition(attribute, "=", survivors[0])
+            )
+        else:
+            simplified.extend(excluded)
+    return simplified
+
+
+def extract_rules(tree, simplify=True, sort_by="support"):
+    """One :class:`Rule` per leaf of ``tree``.
+
+    ``sort_by`` orders the list: "support" (descending), "confidence"
+    (descending, then support), or None for tree walk order.
+    """
+    spec = tree.spec
+    rules = []
+    for node in tree.walk():
+        if not node.is_leaf:
+            continue
+        if node.class_counts is None:
+            raise ClientError("leaf without class counts cannot be a rule")
+        conditions = node.path_conditions()
+        if simplify:
+            conditions = simplify_conditions(conditions, spec)
+        total = sum(node.class_counts)
+        winner = max(node.class_counts)
+        confidence = winner / total if total else 0.0
+        rules.append(
+            Rule(conditions, node.majority_class, node.n_rows, confidence)
+        )
+    if sort_by == "support":
+        rules.sort(key=lambda r: -r.support)
+    elif sort_by == "confidence":
+        rules.sort(key=lambda r: (-r.confidence, -r.support))
+    elif sort_by is not None:
+        raise ClientError(f"unknown sort key: {sort_by!r}")
+    return rules
+
+
+class RuleList:
+    """An ordered first-match rule classifier with a default label."""
+
+    def __init__(self, rules, default_label, spec):
+        self.rules = list(rules)
+        self.default_label = default_label
+        self.spec = spec
+
+    @classmethod
+    def from_tree(cls, tree, simplify=True, sort_by="support"):
+        """Build a rule list equivalent to ``tree`` on covered inputs."""
+        rules = extract_rules(tree, simplify=simplify, sort_by=sort_by)
+        return cls(rules, tree.root.majority_class, tree.spec)
+
+    def predict_values(self, values_by_attribute):
+        for rule in self.rules:
+            if rule.matches(values_by_attribute):
+                return rule.label
+        return self.default_label
+
+    def predict_row(self, row):
+        values = dict(zip(self.spec.attribute_names, row))
+        return self.predict_values(values)
+
+    def predict(self, rows):
+        return [self.predict_row(row) for row in rows]
+
+    def accuracy(self, rows):
+        rows = list(rows)
+        if not rows:
+            raise ClientError("cannot score an empty data set")
+        hits = sum(1 for row in rows if self.predict_row(row) == row[-1])
+        return hits / len(rows)
+
+    def render(self, class_names=None, limit=None):
+        """The rule list as text, optionally truncated."""
+        rules = self.rules if limit is None else self.rules[:limit]
+        lines = [rule.render(class_names) for rule in rules]
+        if limit is not None and len(self.rules) > limit:
+            lines.append(f"... and {len(self.rules) - limit} more rules")
+        lines.append(f"DEFAULT class {self.default_label}")
+        return "\n".join(lines)
+
+    def __len__(self):
+        return len(self.rules)
+
+    def __repr__(self):
+        return f"RuleList(rules={len(self.rules)})"

@@ -1,0 +1,189 @@
+"""Model persistence: trees and Naive Bayes models to/from JSON.
+
+A reproduction meant for downstream use needs its models to outlive
+the process.  The format is plain JSON — stable, diffable, and
+engine-independent — with a version field for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..common.errors import ClientError
+from ..core.filters import PathCondition
+from ..datagen.dataset import DatasetSpec
+from .naive_bayes import NaiveBayesClassifier
+from .tree import DecisionTree, NodeState
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# decision trees
+# ---------------------------------------------------------------------------
+
+
+def tree_to_dict(tree):
+    """Serialise a :class:`DecisionTree` to JSON-ready primitives."""
+    spec = tree.spec
+
+    def node_to_dict(node):
+        out = {
+            "state": node.state.value,
+            "n_rows": node.n_rows,
+            "class_counts": node.class_counts,
+            "attributes": list(node.attributes),
+        }
+        if node.condition is not None:
+            out["condition"] = {
+                "attribute": node.condition.attribute,
+                "op": node.condition.op,
+                "value": node.condition.value,
+            }
+        if node.split_attribute is not None:
+            out["split_attribute"] = node.split_attribute
+            out["split_kind"] = node.split_kind
+        if node.children:
+            out["children"] = [node_to_dict(child) for child in node.children]
+        return out
+
+    return {
+        "format": "repro.decision_tree",
+        "version": FORMAT_VERSION,
+        "spec": {
+            "attribute_names": spec.attribute_names,
+            "attribute_cards": spec.attribute_cards,
+            "n_classes": spec.n_classes,
+            "class_name": spec.class_name,
+        },
+        "root": node_to_dict(tree.root),
+    }
+
+
+def tree_from_dict(payload):
+    """Rebuild a :class:`DecisionTree` from :func:`tree_to_dict` output."""
+    _check_format(payload, "repro.decision_tree")
+    spec_payload = payload["spec"]
+    spec = DatasetSpec(
+        spec_payload["attribute_cards"],
+        spec_payload["n_classes"],
+        attribute_names=spec_payload["attribute_names"],
+        class_name=spec_payload["class_name"],
+    )
+    tree = DecisionTree(spec)
+
+    def fill(node, data):
+        node.state = NodeState(data["state"])
+        node.n_rows = data["n_rows"]
+        node.class_counts = data["class_counts"]
+        node.attributes = tuple(data["attributes"])
+        node.split_attribute = data.get("split_attribute")
+        node.split_kind = data.get("split_kind")
+        for child_data in data.get("children", ()):
+            condition_data = child_data["condition"]
+            condition = PathCondition(
+                condition_data["attribute"],
+                condition_data["op"],
+                condition_data["value"],
+            )
+            child = tree.add_child(
+                node,
+                condition,
+                child_data["n_rows"],
+                child_data["class_counts"],
+                tuple(child_data["attributes"]),
+            )
+            fill(child, child_data)
+
+    fill(tree.root, payload["root"])
+    return tree
+
+
+def save_tree(tree, path):
+    """Write a tree to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(tree_to_dict(tree), handle, indent=1)
+
+
+def load_tree(path):
+    """Read a tree written by :func:`save_tree`."""
+    with open(path) as handle:
+        return tree_from_dict(json.load(handle))
+
+
+# ---------------------------------------------------------------------------
+# Naive Bayes
+# ---------------------------------------------------------------------------
+
+
+def naive_bayes_to_dict(model):
+    """Serialise a fitted :class:`NaiveBayesClassifier`."""
+    if model._log_priors is None:
+        raise ClientError("cannot serialise an unfitted model")
+    spec = model._spec
+    likelihoods = [
+        [attribute, value, label, logp]
+        for (attribute, value, label), logp in sorted(
+            model._log_likelihoods.items()
+        )
+    ]
+    return {
+        "format": "repro.naive_bayes",
+        "version": FORMAT_VERSION,
+        "alpha": model.alpha,
+        "spec": {
+            "attribute_names": spec.attribute_names,
+            "attribute_cards": spec.attribute_cards,
+            "n_classes": spec.n_classes,
+            "class_name": spec.class_name,
+        },
+        "attributes": list(model._attributes),
+        "log_priors": model._log_priors,
+        "class_counts": model._class_counts,
+        "log_likelihoods": likelihoods,
+    }
+
+
+def naive_bayes_from_dict(payload):
+    """Rebuild a :class:`NaiveBayesClassifier` from serialised form."""
+    _check_format(payload, "repro.naive_bayes")
+    spec_payload = payload["spec"]
+    spec = DatasetSpec(
+        spec_payload["attribute_cards"],
+        spec_payload["n_classes"],
+        attribute_names=spec_payload["attribute_names"],
+        class_name=spec_payload["class_name"],
+    )
+    model = NaiveBayesClassifier(alpha=payload["alpha"])
+    model._spec = spec
+    model._attributes = tuple(payload["attributes"])
+    model._log_priors = list(payload["log_priors"])
+    model._class_counts = list(payload["class_counts"])
+    model._log_likelihoods = {
+        (attribute, value, label): logp
+        for attribute, value, label, logp in payload["log_likelihoods"]
+    }
+    return model
+
+
+def save_naive_bayes(model, path):
+    """Write a Naive Bayes model to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(naive_bayes_to_dict(model), handle, indent=1)
+
+
+def load_naive_bayes(path):
+    """Read a model written by :func:`save_naive_bayes`."""
+    with open(path) as handle:
+        return naive_bayes_from_dict(json.load(handle))
+
+
+def _check_format(payload, expected):
+    if payload.get("format") != expected:
+        raise ClientError(
+            f"expected format {expected!r}, found {payload.get('format')!r}"
+        )
+    if payload.get("version") != FORMAT_VERSION:
+        raise ClientError(
+            f"unsupported format version {payload.get('version')!r}"
+        )

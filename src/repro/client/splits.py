@@ -1,0 +1,154 @@
+"""Candidate split enumeration and selection, from CC tables alone.
+
+Two split families, matching the paper's experiments:
+
+* **binary** value-vs-rest splits (``A = v`` / ``A <> v``) — the form
+  the experiments grow ("only binary trees were grown from the data"),
+* **multiway** complete splits (one child per present value).
+
+Tie-breaking is fully deterministic — (score, attribute name, value) —
+which is what makes the middleware-grown tree provably identical to an
+in-memory reference grower: both call this module on identical CC
+tables.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ClientError
+from ..core.filters import PathCondition
+
+#: Scores within this tolerance are considered tied (floating point).
+SCORE_EPSILON = 1e-12
+
+
+class ChildSpec:
+    """One would-be child: edge condition plus exact statistics."""
+
+    __slots__ = ("condition", "n_rows", "class_counts")
+
+    def __init__(self, condition, n_rows, class_counts):
+        self.condition = condition
+        self.n_rows = n_rows
+        self.class_counts = list(class_counts)
+
+    def __repr__(self):
+        c = self.condition
+        return (
+            f"ChildSpec({c.attribute} {c.op} {c.value}, rows={self.n_rows})"
+        )
+
+
+class CandidateSplit:
+    """A scored candidate partition of a node's data."""
+
+    __slots__ = ("attribute", "kind", "value", "children", "score")
+
+    def __init__(self, attribute, kind, value, children, score):
+        self.attribute = attribute
+        self.kind = kind  # "binary" or "multiway"
+        self.value = value  # the pivot value for binary splits, else None
+        self.children = children
+        self.score = score
+
+    def sort_key(self):
+        """Orders candidates best-first, deterministically."""
+        pivot = self.value if self.value is not None else -1
+        return (-self.score, self.attribute, pivot)
+
+    def __repr__(self):
+        return (
+            f"CandidateSplit({self.attribute}, {self.kind}, "
+            f"value={self.value}, score={self.score:.4f})"
+        )
+
+
+def enumerate_binary_splits(cc, attribute):
+    """All value-vs-rest splits of ``attribute`` with two non-empty sides."""
+    totals = cc.class_totals()
+    candidates = []
+    for value in cc.values_of(attribute):
+        inside = cc.vector(attribute, value)
+        n_inside = sum(inside)
+        n_outside = cc.records - n_inside
+        if n_inside == 0 or n_outside == 0:
+            continue
+        outside = [t - i for t, i in zip(totals, inside)]
+        children = [
+            ChildSpec(PathCondition(attribute, "=", value), n_inside, inside),
+            ChildSpec(
+                PathCondition(attribute, "<>", value), n_outside, outside
+            ),
+        ]
+        candidates.append((value, children))
+    return candidates
+
+
+def enumerate_multiway_split(cc, attribute):
+    """The complete split of ``attribute`` (one child per value), or None."""
+    values = cc.values_of(attribute)
+    if len(values) < 2:
+        return None
+    children = []
+    for value in values:
+        counts = cc.vector(attribute, value)
+        children.append(
+            ChildSpec(PathCondition(attribute, "=", value), sum(counts), counts)
+        )
+    return children
+
+
+def best_split(cc, criterion, binary=True, min_gain=0.0):
+    """The highest-scoring candidate split, or None if none qualifies.
+
+    ``min_gain`` filters out splits whose score is not strictly above
+    it (0.0 rejects zero-gain splits, which would loop forever).
+    """
+    if cc.records == 0:
+        raise ClientError("cannot split an empty node")
+    parent_counts = cc.class_totals()
+    candidates = []
+    for attribute in cc.attributes:
+        if binary:
+            for value, children in enumerate_binary_splits(cc, attribute):
+                score = criterion.score(
+                    parent_counts, [c.class_counts for c in children]
+                )
+                if score > min_gain + SCORE_EPSILON:
+                    candidates.append(
+                        CandidateSplit(attribute, "binary", value, children,
+                                       score)
+                    )
+        else:
+            children = enumerate_multiway_split(cc, attribute)
+            if children is None:
+                continue
+            score = criterion.score(
+                parent_counts, [c.class_counts for c in children]
+            )
+            if score > min_gain + SCORE_EPSILON:
+                candidates.append(
+                    CandidateSplit(attribute, "multiway", None, children,
+                                   score)
+                )
+    if not candidates:
+        return None
+    return min(candidates, key=CandidateSplit.sort_key)
+
+
+def child_attributes(parent_attributes, parent_cc, split, child):
+    """Attributes still informative at ``child`` after ``split``.
+
+    An attribute is dropped once the path fixes its value: the branch
+    taken on a complete split, the ``=`` branch of a binary split, and
+    the ``<>`` branch when only two values existed at the parent (the
+    exclusion pins the remaining one).
+    """
+    condition = child.condition
+    attribute = split.attribute
+    if condition.op == "=":
+        drop = True
+    else:
+        drop = parent_cc.cardinality(attribute) <= 2
+    if not drop:
+        return tuple(parent_attributes)
+    return tuple(a for a in parent_attributes if a != attribute)

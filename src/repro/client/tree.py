@@ -1,0 +1,297 @@
+"""Decision tree structure maintained by the mining client.
+
+The client (not the middleware) owns the tree: node states follow the
+paper's taxonomy — *active* (awaiting its CC table), *partitioned*
+(children created) and *leaf* — and every node records the exact data
+size and class distribution it inherited from its parent's CC table.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..common.errors import ClientError
+from ..core.filters import PathCondition
+
+
+class NodeState(enum.Enum):
+    """Lifecycle of a tree node (Section 2.1)."""
+
+    ACTIVE = "active"
+    PARTITIONED = "partitioned"
+    LEAF = "leaf"
+
+
+class TreeNode:
+    """One node of the decision tree."""
+
+    __slots__ = (
+        "node_id",
+        "parent",
+        "condition",
+        "depth",
+        "n_rows",
+        "class_counts",
+        "attributes",
+        "state",
+        "children",
+        "split_attribute",
+        "split_kind",
+        "location_tag",
+    )
+
+    def __init__(self, node_id, parent, condition, n_rows, class_counts,
+                 attributes):
+        self.node_id = node_id
+        self.parent = parent
+        #: Edge condition from the parent (None at the root).
+        self.condition = condition
+        self.depth = 0 if parent is None else parent.depth + 1
+        self.n_rows = n_rows
+        #: Exact per-class record counts (from the parent's CC table).
+        self.class_counts = list(class_counts) if class_counts else None
+        #: Attributes still present (not fixed by the path).
+        self.attributes = tuple(attributes)
+        self.state = NodeState.ACTIVE
+        self.children = []
+        self.split_attribute = None
+        self.split_kind = None
+        #: The paper's S/I/L display prefix, recorded when counted.
+        self.location_tag = None
+
+    @property
+    def is_leaf(self):
+        return self.state is NodeState.LEAF
+
+    @property
+    def is_pure(self):
+        """True when all records belong to one class."""
+        if self.class_counts is None:
+            return False
+        return sum(1 for c in self.class_counts if c > 0) <= 1
+
+    @property
+    def majority_class(self):
+        """The class assigned if this node becomes (or is) a leaf."""
+        if self.class_counts is None:
+            raise ClientError("node has no class distribution yet")
+        best = max(self.class_counts)
+        return self.class_counts.index(best)
+
+    def lineage(self):
+        """Node ids from the root down to this node, inclusive."""
+        chain = []
+        node = self
+        while node is not None:
+            chain.append(node.node_id)
+            node = node.parent
+        chain.reverse()
+        return tuple(chain)
+
+    def path_conditions(self):
+        """The edge conditions from the root to this node."""
+        conditions = []
+        node = self
+        while node.parent is not None:
+            conditions.append(node.condition)
+            node = node.parent
+        conditions.reverse()
+        return conditions
+
+    def mark_leaf(self):
+        self.state = NodeState.LEAF
+
+    def __repr__(self):
+        return (
+            f"TreeNode(id={self.node_id}, state={self.state.value}, "
+            f"rows={self.n_rows}, depth={self.depth})"
+        )
+
+
+class DecisionTree:
+    """The client's model: nodes, structure and prediction."""
+
+    def __init__(self, spec):
+        self.spec = spec
+        self._counter = 0
+        self.nodes = {}
+        usable = [
+            name
+            for name in spec.attribute_names
+            if spec.cardinality(name) >= 2
+        ]
+        self.root = self._new_node(None, None, None, None, usable)
+
+    def _new_node(self, parent, condition, n_rows, class_counts, attributes):
+        node_id = self._counter
+        self._counter += 1
+        node = TreeNode(
+            node_id, parent, condition, n_rows, class_counts, attributes
+        )
+        self.nodes[node_id] = node
+        if parent is not None:
+            parent.children.append(node)
+        return node
+
+    def add_child(self, parent, condition, n_rows, class_counts, attributes):
+        """Create a child under ``parent`` with exact statistics."""
+        if not isinstance(condition, PathCondition):
+            raise ClientError("child nodes need a PathCondition edge")
+        return self._new_node(parent, condition, n_rows, class_counts,
+                              attributes)
+
+    # -- structure queries --------------------------------------------------
+
+    @property
+    def n_nodes(self):
+        return len(self.nodes)
+
+    def leaves(self):
+        return [n for n in self.nodes.values() if n.is_leaf]
+
+    @property
+    def n_leaves(self):
+        return len(self.leaves())
+
+    @property
+    def depth(self):
+        return max(node.depth for node in self.nodes.values())
+
+    def walk(self):
+        """Yield nodes depth-first, children in creation order."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    # -- prediction -----------------------------------------------------------
+
+    def predict_values(self, values_by_attribute):
+        """Class label for one record given as an attribute dict.
+
+        Descends edge conditions; a value no branch accepts (possible
+        for data unseen during growth) falls back to the majority class
+        of the deepest node reached.
+        """
+        node = self.root
+        while not node.is_leaf and node.children:
+            value = values_by_attribute.get(node.split_attribute)
+            chosen = None
+            for child in node.children:
+                if child.condition.matches(value):
+                    chosen = child
+                    break
+            if chosen is None:
+                return node.majority_class
+            node = chosen
+        return node.majority_class
+
+    def predict_row(self, row):
+        """Class label for one data row (attribute codes, class last
+        position ignored if present)."""
+        values = dict(zip(self.spec.attribute_names, row))
+        return self.predict_values(values)
+
+    def predict(self, rows):
+        """Labels for many rows."""
+        return [self.predict_row(row) for row in rows]
+
+    def accuracy(self, rows):
+        """Fraction of rows whose last value matches the prediction."""
+        rows = list(rows)
+        if not rows:
+            raise ClientError("cannot score an empty data set")
+        hits = sum(
+            1 for row in rows if self.predict_row(row) == row[-1]
+        )
+        return hits / len(rows)
+
+    # -- interpretation ----------------------------------------------------------
+
+    def rules(self):
+        """Leaves as decision rules: (conditions, class, support)."""
+        out = []
+        for node in self.walk():
+            if node.is_leaf:
+                out.append(
+                    (node.path_conditions(), node.majority_class, node.n_rows)
+                )
+        return out
+
+    def render(self, max_depth=None):
+        """ASCII rendering of the tree (Fig. 1 style, with S/I/L tags)."""
+        lines = []
+
+        def visit(node, indent):
+            if max_depth is not None and node.depth > max_depth:
+                return
+            tag = f"{node.location_tag}-" if node.location_tag else ""
+            if node.condition is None:
+                label = "(root)"
+            else:
+                c = node.condition
+                label = f"{c.attribute} {c.op} {c.value}"
+            if node.is_leaf:
+                suffix = f"leaf class={node.majority_class}"
+            else:
+                suffix = f"split on {node.split_attribute}"
+            rows = node.n_rows if node.n_rows is not None else "?"
+            lines.append(
+                f"{indent}{tag}{node.node_id} [{label}] "
+                f"rows={rows} {suffix}"
+            )
+            for child in node.children:
+                visit(child, indent + "  ")
+
+        visit(self.root, "")
+        return "\n".join(lines)
+
+    def to_dot(self, max_depth=None, class_names=None):
+        """The tree as Graphviz DOT text (``dot -Tpng`` renders it).
+
+        Internal nodes show their split attribute and size; leaves show
+        their class and support; edges carry the branch conditions.
+        """
+        lines = [
+            "digraph decision_tree {",
+            '  node [shape=box, fontname="Helvetica"];',
+        ]
+
+        def label_for(node):
+            rows = node.n_rows if node.n_rows is not None else "?"
+            if node.is_leaf:
+                label = (
+                    class_names[node.majority_class]
+                    if class_names
+                    else f"class {node.majority_class}"
+                )
+                return f"{label}\\n{rows} rows"
+            return f"{node.split_attribute}?\\n{rows} rows"
+
+        def visit(node):
+            if max_depth is not None and node.depth > max_depth:
+                return
+            shape = ', style=filled, fillcolor="#e8f0fe"' if node.is_leaf else ""
+            lines.append(
+                f'  n{node.node_id} [label="{label_for(node)}"{shape}];'
+            )
+            for child in node.children:
+                if max_depth is not None and child.depth > max_depth:
+                    continue
+                c = child.condition
+                lines.append(
+                    f"  n{node.node_id} -> n{child.node_id} "
+                    f'[label="{c.op} {c.value}"];'
+                )
+                visit(child)
+
+        visit(self.root)
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"DecisionTree(nodes={self.n_nodes}, leaves={self.n_leaves}, "
+            f"depth={self.depth})"
+        )

@@ -1,0 +1,46 @@
+"""Cross-cutting utilities: errors, cost accounting, memory budgeting."""
+
+from .cost import CostModel, CostMeter, CATEGORIES
+from .errors import (
+    CatalogError,
+    ClientError,
+    CursorStateError,
+    DataGenerationError,
+    DuplicateObjectError,
+    MemoryBudgetExceeded,
+    MiddlewareError,
+    NotFittedError,
+    ReproError,
+    SchedulingError,
+    SQLError,
+    SQLSyntaxError,
+    StagingError,
+    TypeMismatchError,
+)
+from .memory import MemoryBudget
+from .text import format_value, human_bytes, render_series, render_table
+
+__all__ = [
+    "CATEGORIES",
+    "CatalogError",
+    "ClientError",
+    "CostMeter",
+    "CostModel",
+    "CursorStateError",
+    "DataGenerationError",
+    "DuplicateObjectError",
+    "MemoryBudget",
+    "MemoryBudgetExceeded",
+    "MiddlewareError",
+    "NotFittedError",
+    "ReproError",
+    "SchedulingError",
+    "SQLError",
+    "SQLSyntaxError",
+    "StagingError",
+    "TypeMismatchError",
+    "format_value",
+    "human_bytes",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,157 @@
+"""Deterministic cost accounting for the simulated storage hierarchy.
+
+The paper reports wall-clock seconds on 1999 hardware (Pentium-II boxes
+talking OLE-DB to SQL Server 7.0).  Absolute numbers are unreproducible,
+but every experimental *shape* in the paper is driven by cost ratios:
+
+* a server scan is far more expensive per row than a middleware file scan,
+  which in turn is more expensive than touching a row in middleware memory;
+* each SQL statement pays a fixed parse/optimize/start-up overhead, which
+  is what makes the per-node UNION-of-GROUP-BYs baseline collapse;
+* pushing a WHERE filter to the server saves *transfer* cost but the
+  server still reads every page of the table.
+
+``CostModel`` makes those ratios explicit and tunable; ``CostMeter``
+accumulates charges per category so benchmarks can report a breakdown.
+All charges are plain floats in abstract "cost units".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit costs of the simulated storage hierarchy.
+
+    The defaults were chosen so that the orderings the paper relies on
+    hold with comfortable margins:
+    ``memory_row`` < ``file_row_io`` < effective per-row server cost,
+    and ``query_overhead`` dominates small queries.
+    """
+
+    #: Cost of reading one page at the database server.
+    server_page_io: float = 1.0
+    #: Cost of shipping one qualifying row from server to middleware.
+    transfer_per_row: float = 0.2
+    #: Cost of evaluating one row against one GROUP BY branch at the server.
+    groupby_row: float = 0.02
+    #: Fixed cost per SQL statement (parse, optimize, plan start-up).
+    query_overhead: float = 50.0
+    #: Fixed cost of opening a server cursor.
+    cursor_open: float = 10.0
+
+    #: Cost of reading one row from a middleware staging file.
+    file_row_io: float = 0.05
+    #: Cost of appending one row to a middleware staging file.
+    file_write_row: float = 0.08
+
+    #: Cost of touching one row staged in middleware memory.
+    memory_row: float = 0.005
+    #: Cost of loading one row into middleware memory.
+    memory_load_row: float = 0.005
+
+    #: Cost of one hash-join probe per outer row.
+    hash_join_row: float = 0.02
+    #: Cost of one secondary-index probe (root-to-leaf descent).
+    index_probe: float = 0.5
+    #: Cost of fetching one row by TID after an index probe.
+    index_row_fetch: float = 0.05
+    #: Cost of inserting one entry while building a secondary index.
+    index_build_row: float = 0.02
+
+    #: Cost of writing one row into a server-side temp table (aux §4.3.3a).
+    temp_table_row_write: float = 0.1
+    #: Cost per row of a TID join at the server (aux §4.3.3b).
+    tid_join_row: float = 0.03
+    #: Cost per keyset entry evaluated by the stored-proc filter (§4.3.3c).
+    keyset_row: float = 0.01
+
+
+#: Charge categories used by :class:`CostMeter`. Kept as a tuple so report
+#: code can iterate them in a stable order.
+CATEGORIES = (
+    "server_io",
+    "transfer",
+    "groupby",
+    "query_overhead",
+    "cursor",
+    "file_read",
+    "file_write",
+    "memory_read",
+    "memory_load",
+    "temp_table",
+    "tid_join",
+    "keyset",
+    "index",
+    "join",
+)
+
+
+@dataclass
+class CostMeter:
+    """Accumulates simulated cost, broken down by category.
+
+    A single meter is threaded through the SQL engine and the middleware
+    so one experiment run yields one total.  Meters can be snapshotted
+    and diffed, which is how benchmarks charge individual phases.
+    """
+
+    charges: dict = field(default_factory=lambda: {c: 0.0 for c in CATEGORIES})
+    counts: dict = field(default_factory=lambda: {c: 0 for c in CATEGORIES})
+
+    def charge(self, category, amount, events=1):
+        """Add ``amount`` cost units under ``category``.
+
+        ``events`` counts how many underlying operations the charge
+        covers (e.g. rows read), for diagnostic reporting.
+        """
+        if category not in self.charges:
+            raise KeyError(f"unknown cost category: {category!r}")
+        if amount < 0:
+            raise ValueError("cost charges must be non-negative")
+        self.charges[category] += amount
+        self.counts[category] += events
+
+    @property
+    def total(self):
+        """Total simulated cost across all categories."""
+        return sum(self.charges.values())
+
+    def snapshot(self):
+        """Return an immutable copy of the current charges."""
+        return dict(self.charges)
+
+    def since(self, snapshot):
+        """Per-category charges accumulated since ``snapshot``."""
+        return {c: self.charges[c] - snapshot.get(c, 0.0) for c in self.charges}
+
+    def total_since(self, snapshot):
+        """Total cost accumulated since ``snapshot``."""
+        return self.total - sum(snapshot.values())
+
+    def rollback_to(self, snapshot):
+        """Restore charges to ``snapshot`` (event counts are kept).
+
+        Used to model idealised operations the paper assumes free, e.g.
+        "neglecting the cost of creating index structures" (§5.2.5).
+        """
+        for category in self.charges:
+            self.charges[category] = snapshot.get(category, 0.0)
+
+    def reset(self):
+        """Zero out all charges and event counts."""
+        for category in self.charges:
+            self.charges[category] = 0.0
+            self.counts[category] = 0
+
+    def breakdown(self):
+        """Non-zero charges, largest first, as ``[(category, cost), ...]``."""
+        items = [(c, v) for c, v in self.charges.items() if v > 0]
+        items.sort(key=lambda item: item[1], reverse=True)
+        return items
+
+    def __str__(self):
+        parts = ", ".join(f"{c}={v:.1f}" for c, v in self.breakdown())
+        return f"CostMeter(total={self.total:.1f}; {parts})"

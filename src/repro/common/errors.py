@@ -1,0 +1,80 @@
+"""Exception hierarchy shared by every layer of the reproduction.
+
+Keeping all exceptions in one module gives callers a single import point
+and lets tests assert on precise failure modes instead of bare ``Exception``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SQLError(ReproError):
+    """Base class for errors raised by the SQL engine substrate."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be tokenised or parsed."""
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(SQLError):
+    """A table or column referenced in a statement does not exist."""
+
+
+class DuplicateObjectError(CatalogError):
+    """An object (table, cursor) with that name already exists."""
+
+
+class TypeMismatchError(SQLError):
+    """A value does not match the declared column type."""
+
+
+class CursorStateError(SQLError):
+    """A cursor operation was issued in the wrong state (closed, exhausted)."""
+
+
+class MiddlewareError(ReproError):
+    """Base class for errors raised by the classification middleware."""
+
+
+class MemoryBudgetExceeded(MiddlewareError):
+    """A reservation was attempted beyond the configured memory budget.
+
+    The middleware catches this internally to trigger the lazy SQL
+    fallback of Section 4.1.1; it escapes only on programming errors.
+    """
+
+    def __init__(self, requested, available, budget):
+        super().__init__(
+            f"requested {requested} bytes but only {available} of "
+            f"{budget} bytes are free"
+        )
+        self.requested = requested
+        self.available = available
+        self.budget = budget
+
+
+class SchedulingError(MiddlewareError):
+    """The scheduler was asked to violate one of its invariants."""
+
+
+class StagingError(MiddlewareError):
+    """Inconsistent staging state (missing file, unknown node location)."""
+
+
+class ClientError(ReproError):
+    """Base class for errors raised by the mining clients."""
+
+
+class NotFittedError(ClientError):
+    """Predict/inspect was called before the model was fitted."""
+
+
+class DataGenerationError(ReproError):
+    """A synthetic data generator was configured inconsistently."""

@@ -1,0 +1,100 @@
+"""Byte-accurate accounting of the middleware's memory budget.
+
+The scheduler's whole job (Section 4.2) is deciding what fits: CC tables
+for the batch being counted, plus any data sets staged in middleware
+memory.  ``MemoryBudget`` is the single authority both consult.  It
+tracks named reservations so tests can verify exactly what is resident,
+and it raises :class:`~repro.common.errors.MemoryBudgetExceeded` on
+over-commit, which the execution module converts into the lazy SQL
+fallback of Section 4.1.1.
+"""
+
+from __future__ import annotations
+
+from .errors import MemoryBudgetExceeded
+
+
+class MemoryBudget:
+    """A fixed pool of simulated bytes with named reservations."""
+
+    def __init__(self, budget_bytes):
+        if budget_bytes < 0:
+            raise ValueError("memory budget must be non-negative")
+        self._budget = int(budget_bytes)
+        self._reservations = {}
+
+    @property
+    def budget(self):
+        """Total size of the pool in bytes."""
+        return self._budget
+
+    @property
+    def used(self):
+        """Bytes currently reserved."""
+        return sum(self._reservations.values())
+
+    @property
+    def available(self):
+        """Bytes currently free."""
+        return self._budget - self.used
+
+    def holds(self, tag):
+        """True if a reservation named ``tag`` exists."""
+        return tag in self._reservations
+
+    def reserved(self, tag):
+        """Size in bytes of the reservation named ``tag`` (0 if absent)."""
+        return self._reservations.get(tag, 0)
+
+    def fits(self, nbytes):
+        """True if ``nbytes`` more could be reserved right now."""
+        return nbytes <= self.available
+
+    def reserve(self, tag, nbytes):
+        """Reserve ``nbytes`` under ``tag``; raises if it does not fit.
+
+        Reserving an existing tag *adds* to it (CC tables grow as a scan
+        discovers new (attribute, value, class) combinations).
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("cannot reserve a negative size")
+        if nbytes > self.available:
+            raise MemoryBudgetExceeded(nbytes, self.available, self._budget)
+        self._reservations[tag] = self._reservations.get(tag, 0) + nbytes
+
+    def try_reserve(self, tag, nbytes):
+        """Like :meth:`reserve` but returns False instead of raising."""
+        try:
+            self.reserve(tag, nbytes)
+        except MemoryBudgetExceeded:
+            return False
+        return True
+
+    def release(self, tag):
+        """Free the reservation named ``tag``; returns the bytes freed."""
+        return self._reservations.pop(tag, 0)
+
+    def resize(self, tag, nbytes):
+        """Set the reservation named ``tag`` to exactly ``nbytes``."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("cannot resize to a negative size")
+        current = self._reservations.get(tag, 0)
+        growth = nbytes - current
+        if growth > self.available:
+            raise MemoryBudgetExceeded(growth, self.available, self._budget)
+        if nbytes == 0:
+            self._reservations.pop(tag, None)
+        else:
+            self._reservations[tag] = nbytes
+
+    def tags(self):
+        """Names of all live reservations."""
+        return list(self._reservations)
+
+    def __repr__(self):
+        return (
+            f"MemoryBudget(used={self.used}/{self._budget}, "
+            f"reservations={len(self._reservations)})"
+        )

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints the same rows/series the paper plots;
+``render_table`` keeps that output aligned and diff-friendly without any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+
+def format_value(value):
+    """Render a cell: floats get 2 decimals, everything else ``str``."""
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(headers, rows, title=None):
+    """Render ``rows`` (sequences) under ``headers`` as an aligned table."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(parts):
+        return "  ".join(part.rjust(widths[i]) for i, part in enumerate(parts))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in cells:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def render_series(name, xs, ys):
+    """Render one named (x, y) series, one point per line."""
+    rows = list(zip(xs, ys))
+    return render_table(["x", name], rows)
+
+
+def human_bytes(nbytes):
+    """Human-readable byte size (binary units), e.g. ``'64.0 KiB'``."""
+    size = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{int(size)} B"
+            return f"{size:.1f} {unit}"
+        size /= 1024
+    raise AssertionError("unreachable")

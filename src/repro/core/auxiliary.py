@@ -1,0 +1,255 @@
+"""Server-access strategies, including Section 4.3.3's auxiliary structures.
+
+When a batch must be serviced by the server, the middleware normally
+opens a plain filtered cursor (:class:`PlainScanStrategy`).  The paper
+also evaluates three ways to make the server touch only the relevant
+subset D' once most of the data has become inactive:
+
+a) copy D' into a temp table (:class:`TempTableStrategy`),
+b) copy TIDs and join back (:class:`TIDJoinStrategy`),
+c) keyset cursor + stored-procedure filter (:class:`KeysetStrategy`).
+
+Each strategy builds its structure once the relevant fraction drops
+below ``build_threshold`` and serves subsequent scans from it.  A
+structure only covers the predicate it was built for, so each strategy
+remembers that predicate and proves *containment* before reusing it:
+the current batch filter (an OR of path conjunctions) is covered when
+every disjunct extends some disjunct of the build predicate.  Batches
+outside the covered subtree fall back to a plain scan or trigger a
+rebuild.  ``free_build`` reproduces the paper's idealised experiment
+where construction costs are neglected.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import MiddlewareError
+from ..sqlengine.expr import And, ColumnRef, Comparison, Literal, Or, TrueExpr
+from ..sqlengine.tempstructs import TIDList, copy_subset_to_table
+
+
+def predicate_disjuncts(expr):
+    """Normalise a batch filter into disjuncts of condition sets.
+
+    Returns a list of frozensets of ``(attribute, op, value)`` triples
+    — one per disjunct — or ``None`` when the expression is not a
+    disjunction of equality/inequality conjunctions (nothing the
+    middleware emits, but callers must then assume non-coverage).
+    ``None``/TRUE input yields ``[frozenset()]``: the unconditional
+    predicate with an empty conjunction.
+    """
+    if expr is None or isinstance(expr, TrueExpr):
+        return [frozenset()]
+    disjuncts = expr.parts if isinstance(expr, Or) else (expr,)
+    out = []
+    for disjunct in disjuncts:
+        conjuncts = (
+            disjunct.parts if isinstance(disjunct, And) else (disjunct,)
+        )
+        items = set()
+        for conjunct in conjuncts:
+            if (
+                isinstance(conjunct, Comparison)
+                and conjunct.op in ("=", "<>")
+                and isinstance(conjunct.left, ColumnRef)
+                and isinstance(conjunct.right, Literal)
+            ):
+                items.add(
+                    (conjunct.left.name, conjunct.op, conjunct.right.value)
+                )
+            else:
+                return None
+        out.append(frozenset(items))
+    return out
+
+
+def predicate_covers(built, current):
+    """True when rows matching ``current`` all match ``built``.
+
+    Sound (never claims coverage falsely) for the path predicates tree
+    clients emit: a node's predicate is a superset of every ancestor's
+    conjunction, so subset containment per disjunct decides coverage.
+    """
+    built_disjuncts = predicate_disjuncts(built)
+    current_disjuncts = predicate_disjuncts(current)
+    if built_disjuncts is None or current_disjuncts is None:
+        return False
+    return all(
+        any(b <= c for b in built_disjuncts) for c in current_disjuncts
+    )
+
+
+class ServerAccessStrategy:
+    """Interface: produce the rows of one server-side scan."""
+
+    def rows(self, predicate, relevant_rows, covered_by_build=None):
+        """Iterate rows matching ``predicate``.
+
+        :param predicate: the pushed batch filter (None = all rows).
+        :param relevant_rows: the scheduler's exact count of rows the
+            batch needs, used against the build threshold.
+        :param covered_by_build: optional callable deciding whether an
+            existing structure still covers this batch (defaults to a
+            conservative relevant-rows comparison).
+        """
+        raise NotImplementedError
+
+    def close(self):
+        """Release any server-side structures."""
+
+
+class PlainScanStrategy(ServerAccessStrategy):
+    """The default: a fresh filtered forward cursor per scan."""
+
+    def __init__(self, server, table_name):
+        self._server = server
+        self._table_name = table_name
+
+    def rows(self, predicate, relevant_rows, covered_by_build=None):
+        with self._server.open_cursor(self._table_name, predicate) as cursor:
+            yield from cursor.rows()
+
+
+class _ThresholdStrategy(ServerAccessStrategy):
+    """Shared build-on-threshold behaviour for the aux strategies."""
+
+    def __init__(self, server, table_name, build_threshold=0.1,
+                 free_build=False):
+        if not 0.0 < build_threshold <= 1.0:
+            raise MiddlewareError("build_threshold must be within (0, 1]")
+        self._server = server
+        self._table_name = table_name
+        self._threshold = build_threshold
+        self._free_build = free_build
+        self._built = False
+        self._built_predicate = None
+
+    @property
+    def has_structure(self):
+        return self._built
+
+    def rows(self, predicate, relevant_rows, covered_by_build=None):
+        table = self._server.table(self._table_name)
+        total = max(1, table.row_count)
+        fraction = relevant_rows / total
+
+        covered = self._built and (
+            covered_by_build()
+            if covered_by_build is not None
+            else predicate_covers(self._built_predicate, predicate)
+        )
+        if not covered:
+            if fraction <= self._threshold:
+                self._rebuild(predicate, relevant_rows)
+                return self._scan_structure(predicate)
+            return self._plain_scan(predicate)
+        return self._scan_structure(predicate)
+
+    def _plain_scan(self, predicate):
+        with self._server.open_cursor(self._table_name, predicate) as cursor:
+            yield from cursor.rows()
+
+    def _rebuild(self, predicate, relevant_rows):
+        self._teardown()
+        meter = self._server.meter
+        snapshot = meter.snapshot() if self._free_build else None
+        self._build(predicate)
+        if snapshot is not None:
+            meter.rollback_to(snapshot)
+        self._built = True
+        self._built_predicate = predicate
+
+    def _build(self, predicate):
+        raise NotImplementedError
+
+    def _scan_structure(self, predicate):
+        raise NotImplementedError
+
+    def _teardown(self):
+        self._built = False
+        self._built_predicate = None
+
+    def close(self):
+        self._teardown()
+
+
+class TempTableStrategy(_ThresholdStrategy):
+    """§4.3.3(a): copy the relevant subset into a new temp table."""
+
+    def __init__(self, server, table_name, build_threshold=0.1,
+                 free_build=False):
+        super().__init__(server, table_name, build_threshold, free_build)
+        self._temp_name = None
+
+    def _build(self, predicate):
+        self._temp_name = copy_subset_to_table(
+            self._server, self._table_name, predicate
+        )
+
+    def _scan_structure(self, predicate):
+        with self._server.open_cursor(self._temp_name, predicate) as cursor:
+            yield from cursor.rows()
+
+    def _teardown(self):
+        super()._teardown()
+        if self._temp_name and self._server.database.has_table(self._temp_name):
+            self._server.drop_table(self._temp_name)
+        self._temp_name = None
+
+
+class TIDJoinStrategy(_ThresholdStrategy):
+    """§4.3.3(b): a TID list joined back to the base table."""
+
+    def __init__(self, server, table_name, build_threshold=0.1,
+                 free_build=False):
+        super().__init__(server, table_name, build_threshold, free_build)
+        self._tids = None
+
+    def _build(self, predicate):
+        self._tids = TIDList(self._server, self._table_name, predicate)
+
+    def _scan_structure(self, predicate):
+        yield from self._tids.fetch(predicate)
+
+    def _teardown(self):
+        super()._teardown()
+        self._tids = None
+
+
+class KeysetStrategy(_ThresholdStrategy):
+    """§4.3.3(c): keyset cursor + stored-procedure filtering."""
+
+    def __init__(self, server, table_name, build_threshold=0.1,
+                 free_build=False):
+        super().__init__(server, table_name, build_threshold, free_build)
+        self._cursor = None
+
+    def _build(self, predicate):
+        self._cursor = self._server.open_keyset_cursor(
+            self._table_name, predicate
+        )
+
+    def _scan_structure(self, predicate):
+        yield from self._cursor.fetch(predicate)
+
+    def _teardown(self):
+        super()._teardown()
+        if self._cursor is not None:
+            self._cursor.close()
+        self._cursor = None
+
+
+def make_strategy(name, server, table_name, build_threshold=0.1,
+                  free_build=False):
+    """Instantiate a strategy by config name."""
+    if name == "scan":
+        return PlainScanStrategy(server, table_name)
+    if name == "temp_table":
+        return TempTableStrategy(server, table_name, build_threshold,
+                                 free_build)
+    if name == "tid_join":
+        return TIDJoinStrategy(server, table_name, build_threshold,
+                               free_build)
+    if name == "keyset":
+        return KeysetStrategy(server, table_name, build_threshold,
+                              free_build)
+    raise MiddlewareError(f"unknown server-access strategy: {name!r}")

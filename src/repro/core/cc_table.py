@@ -1,0 +1,231 @@
+"""The CC (counts) table — the paper's sufficient statistic.
+
+For one tree node, the CC table holds, for every attribute ``A`` still
+present at the node and every value ``v`` it takes in the node's data,
+the vector of co-occurrence counts with each class value
+(Section 2.2's 4-column ``(attr_name, value, class, count)`` table).
+
+The paper stores CC tables as binary trees sorted so that "retrieving a
+vector of counts for the states of a class correlated with a particular
+attribute and its state is efficient".  Here each ``(attribute, value)``
+pair maps to a dense per-class count vector, giving the same O(1)
+vector retrieval; iteration is explicitly sorted.
+
+Memory accounting: one ``(attribute, value)`` pair costs
+``PAIR_KEY_BYTES + BYTES_PER_COUNT * n_classes`` simulated bytes, and
+every size the scheduler reasons about is expressed in *pairs*.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import MiddlewareError
+
+#: Simulated bytes for one (attribute, value) key.
+PAIR_KEY_BYTES = 8
+#: Simulated bytes for one class counter.
+BYTES_PER_COUNT = 4
+
+
+def bytes_for_pairs(n_pairs, n_classes):
+    """Simulated size of a CC table with ``n_pairs`` (attr, value) pairs."""
+    return n_pairs * (PAIR_KEY_BYTES + BYTES_PER_COUNT * n_classes)
+
+
+def _value_sort_key(value):
+    """Deterministic ordering for possibly-None attribute values."""
+    return (value is not None, str(type(value)), value)
+
+
+class CCTable:
+    """Co-occurrence counts of (attribute, value) with the class."""
+
+    __slots__ = ("attributes", "n_classes", "_vectors", "_records",
+                 "_class_totals")
+
+    def __init__(self, attributes, n_classes):
+        if n_classes < 1:
+            raise MiddlewareError("CC table needs at least one class")
+        self.attributes = tuple(attributes)
+        self.n_classes = n_classes
+        self._vectors = {}  # (attribute, value) -> list of class counts
+        self._records = 0
+        self._class_totals = [0] * n_classes
+
+    # -- updates ---------------------------------------------------------
+
+    def count_row(self, values_by_attribute, class_label):
+        """Count one record.
+
+        ``values_by_attribute`` maps attribute name -> value for (at
+        least) every attribute in :attr:`attributes`.  Returns the
+        number of *new* (attribute, value) pairs this record created,
+        which callers use to grow their memory reservation.
+        """
+        vectors = self._vectors
+        new_pairs = 0
+        for attribute in self.attributes:
+            key = (attribute, values_by_attribute[attribute])
+            vector = vectors.get(key)
+            if vector is None:
+                vector = [0] * self.n_classes
+                vectors[key] = vector
+                new_pairs += 1
+            vector[class_label] += 1
+        self._records += 1
+        self._class_totals[class_label] += 1
+        return new_pairs
+
+    def would_add_pairs(self, values_by_attribute):
+        """How many new pairs counting this record would create."""
+        vectors = self._vectors
+        return sum(
+            1
+            for attribute in self.attributes
+            if (attribute, values_by_attribute[attribute]) not in vectors
+        )
+
+    def add_counts(self, attribute, value, class_label, count):
+        """Bulk-add ``count`` co-occurrences (SQL result ingestion).
+
+        Does *not* touch the record total — callers deriving a CC table
+        from a SQL result set must call :meth:`set_records` (the record
+        count equals the per-attribute sum, validated there).
+        """
+        if attribute not in self.attributes:
+            raise MiddlewareError(f"unexpected attribute {attribute!r}")
+        if not 0 <= class_label < self.n_classes:
+            raise MiddlewareError(f"class label {class_label} out of range")
+        key = (attribute, value)
+        vector = self._vectors.get(key)
+        if vector is None:
+            vector = [0] * self.n_classes
+            self._vectors[key] = vector
+        vector[class_label] += count
+        self._class_totals[class_label] += count
+
+    def set_records(self, n_records):
+        """Declare the record total after bulk ingestion.
+
+        Class totals were accumulated once per attribute during
+        ingestion; this rescales them back to per-record counts and
+        validates consistency.
+        """
+        n_attributes = len(self.attributes)
+        if n_attributes and self._records == 0:
+            rescaled = []
+            for total in self._class_totals:
+                if total % n_attributes:
+                    raise MiddlewareError(
+                        "inconsistent bulk counts: class total "
+                        f"{total} not divisible by {n_attributes} attributes"
+                    )
+                rescaled.append(total // n_attributes)
+            if sum(rescaled) != n_records:
+                raise MiddlewareError(
+                    f"bulk counts sum to {sum(rescaled)} records, "
+                    f"expected {n_records}"
+                )
+            self._class_totals = rescaled
+        self._records = n_records
+
+    # -- reads ------------------------------------------------------------
+
+    @property
+    def records(self):
+        """Number of records counted (|S| at the node)."""
+        return self._records
+
+    @property
+    def n_pairs(self):
+        """Number of distinct (attribute, value) pairs."""
+        return len(self._vectors)
+
+    @property
+    def size_bytes(self):
+        """Simulated memory footprint."""
+        return bytes_for_pairs(self.n_pairs, self.n_classes)
+
+    def class_totals(self):
+        """Per-class record counts at this node (a copy)."""
+        return list(self._class_totals)
+
+    def vector(self, attribute, value):
+        """Class-count vector for ``(attribute, value)`` (a copy).
+
+        Unseen pairs return a zero vector — a value absent from the
+        node's data simply never co-occurred.
+        """
+        vector = self._vectors.get((attribute, value))
+        if vector is None:
+            return [0] * self.n_classes
+        return list(vector)
+
+    def values_of(self, attribute):
+        """Sorted values ``attribute`` takes in the node's data.
+
+        NULL-safe: a None value (possible when mining tables loaded
+        with validation off) sorts first.
+        """
+        return sorted(
+            (value for (attr, value) in self._vectors if attr == attribute),
+            key=_value_sort_key,
+        )
+
+    def cardinality(self, attribute):
+        """``card(n, A)`` — distinct values of ``attribute`` at the node."""
+        return sum(1 for (attr, _) in self._vectors if attr == attribute)
+
+    def pair_count_by_attribute(self):
+        """Mapping attribute -> cardinality (for estimators)."""
+        cards = {attribute: 0 for attribute in self.attributes}
+        for attr, _ in self._vectors:
+            cards[attr] += 1
+        return cards
+
+    def rows(self):
+        """The 4-column table, sorted: (attr_name, value, class, count).
+
+        Zero counts are omitted, as a SQL GROUP BY would.
+        """
+        out = []
+        ordered = sorted(
+            self._vectors.items(),
+            key=lambda item: (item[0][0], _value_sort_key(item[0][1])),
+        )
+        for (attribute, value), vector in ordered:
+            for class_label, count in enumerate(vector):
+                if count:
+                    out.append((attribute, value, class_label, count))
+        return out
+
+    def merge(self, other):
+        """Fold ``other``'s counts into this table (same shape required)."""
+        if (other.attributes != self.attributes
+                or other.n_classes != self.n_classes):
+            raise MiddlewareError("cannot merge CC tables of different shape")
+        for (attribute, value), vector in other._vectors.items():
+            mine = self._vectors.get((attribute, value))
+            if mine is None:
+                self._vectors[(attribute, value)] = list(vector)
+            else:
+                for class_label, count in enumerate(vector):
+                    mine[class_label] += count
+        self._records += other._records
+        for class_label, count in enumerate(other._class_totals):
+            self._class_totals[class_label] += count
+        return self
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, CCTable)
+            and self.attributes == other.attributes
+            and self.n_classes == other.n_classes
+            and self._records == other._records
+            and self._vectors == other._vectors
+        )
+
+    def __repr__(self):
+        return (
+            f"CCTable(records={self._records}, pairs={self.n_pairs}, "
+            f"attributes={len(self.attributes)})"
+        )

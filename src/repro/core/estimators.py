@@ -1,0 +1,84 @@
+"""Size estimators (paper Section 4.2.1).
+
+Two quantities drive scheduling:
+
+* ``|n|`` — the data size of an active node.  This is known *exactly*
+  from the parent's CC table: a split on ``A = v`` sends exactly
+  ``sum(vector(A, v))`` records to the child, and the "other" branch
+  receives the remainder.
+* ``CC(n)`` — the node's CC-table size, which can only be estimated.
+  The paper chooses ``Est_cc(n) = (|n| / |p|) * Σ_j card(p, A_j)``
+  (independence of the partitioning attribute from the rest), noting it
+  is conservative and that ``card(p, A_j)`` is exact, so the estimate
+  does not compound errors down the tree.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..common.errors import MiddlewareError
+
+
+def exact_child_rows_for_value(parent_cc, attribute, value):
+    """``|n|`` for the child reached via ``attribute = value``."""
+    return sum(parent_cc.vector(attribute, value))
+
+
+def exact_child_rows_for_other(parent_cc, attribute, values):
+    """``|n|`` for the residual branch ``attribute NOT IN values``."""
+    taken = sum(
+        exact_child_rows_for_value(parent_cc, attribute, value)
+        for value in values
+    )
+    remainder = parent_cc.records - taken
+    if remainder < 0:
+        raise MiddlewareError(
+            "child sizes exceed parent size — inconsistent CC table"
+        )
+    return remainder
+
+
+def estimate_cc_pairs(child_rows, parent_rows, parent_cards,
+                      child_attributes):
+    """``Est_cc(n)`` in (attribute, value) pairs.
+
+    :param child_rows: exact ``|n|``.
+    :param parent_rows: exact ``|p|``.
+    :param parent_cards: mapping attribute -> ``card(p, A_j)`` from the
+        parent's CC table.
+    :param child_attributes: attributes still present at the child (can
+        be one fewer than at the parent when the split fixed a value).
+
+    The estimate is floored at one pair per remaining attribute (every
+    attribute takes at least one value in non-empty data) and capped at
+    the parent's pair total, the trivial upper bound the paper derives
+    from ``card(n, A_j) <= card(p, A_j)``.
+    """
+    if parent_rows <= 0:
+        raise MiddlewareError("parent_rows must be positive")
+    if child_rows < 0:
+        raise MiddlewareError("child_rows must be non-negative")
+    if child_rows == 0:
+        return 0
+    total_parent_pairs = 0
+    for attribute in child_attributes:
+        try:
+            total_parent_pairs += parent_cards[attribute]
+        except KeyError:
+            raise MiddlewareError(
+                f"parent CC has no cardinality for {attribute!r}"
+            ) from None
+    estimate = math.ceil(child_rows / parent_rows * total_parent_pairs)
+    estimate = max(estimate, len(list(child_attributes)))
+    return min(estimate, total_parent_pairs)
+
+
+def root_cc_pairs(spec, attributes=None):
+    """Pair bound for the root, where no parent CC exists.
+
+    The root's CC can at most contain every (attribute, value) pair of
+    the schema, which the catalog knows exactly.
+    """
+    names = list(attributes) if attributes is not None else spec.attribute_names
+    return sum(spec.cardinality(name) for name in names)

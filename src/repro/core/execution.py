@@ -1,0 +1,326 @@
+"""The execution module (paper Section 4.1).
+
+Given a :class:`~repro.core.scheduler.Schedule`, builds the CC tables
+of every node in the batch in **one scan** of the appropriate data
+source, without external sorting: as each record is retrieved, it is
+routed to the (unique) active node whose path predicate it satisfies
+and the node's counters are updated.
+
+The same scan also performs the staging the scheduler planned: rows
+routed to a stage-target node are appended to its new middleware file
+and/or collected for middleware memory.
+
+Runtime memory errors are handled as in Section 4.1.1.  When a node's
+CC table outgrows what can be reserved there are two recoveries:
+
+* **deferral** — if the node shared the scan with other nodes, it is
+  simply counted on a *later* scan (the "multiple scans of the
+  database ... to build CC tables for active nodes" of Section 5.2.1B).
+  Its size estimate is raised to the pair count observed before the
+  overflow, so the next admission reserves realistically.
+* **SQL fallback** — if the node was scanned alone (its CC genuinely
+  cannot be accommodated), it switches to the SQL-based implementation
+  and its counts are fetched from the server after the scan, modelling
+  the paper's lazy retrieval: the middleware never holds that table
+  against its budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import MiddlewareError
+from .cc_table import CCTable
+from .filters import batch_filter
+from .requests import CountsResult
+from .scheduler import _cc_tag
+from .sql_counting import counts_via_sql
+from .staging import DataLocation
+
+
+@dataclass
+class ScanStats:
+    """Counters describing one executed scan."""
+
+    mode: DataLocation
+    rows_seen: int = 0
+    rows_routed: int = 0
+    nodes_served: int = 0
+    sql_fallbacks: int = 0
+    deferrals: int = 0
+    files_written: int = 0
+    memory_sets_loaded: int = 0
+
+
+@dataclass
+class ExecutionStats:
+    """Cumulative counters across a middleware session."""
+
+    scans_by_mode: dict = field(
+        default_factory=lambda: {loc: 0 for loc in DataLocation}
+    )
+    rows_seen: int = 0
+    rows_routed: int = 0
+    batches: int = 0
+    sql_fallbacks: int = 0
+    deferrals: int = 0
+    files_written: int = 0
+    memory_sets_loaded: int = 0
+
+    def absorb(self, scan):
+        self.scans_by_mode[scan.mode] += 1
+        self.rows_seen += scan.rows_seen
+        self.rows_routed += scan.rows_routed
+        self.batches += 1
+        self.sql_fallbacks += scan.sql_fallbacks
+        self.deferrals += scan.deferrals
+        self.files_written += scan.files_written
+        self.memory_sets_loaded += scan.memory_sets_loaded
+
+    @property
+    def total_scans(self):
+        return sum(self.scans_by_mode.values())
+
+
+class _NodeCount:
+    """Per-node counting state within one scan."""
+
+    __slots__ = ("request", "cc", "reserved", "fallback", "deferred")
+
+    def __init__(self, request, cc, reserved):
+        self.request = request
+        self.cc = cc
+        self.reserved = reserved
+        self.fallback = False
+        self.deferred = False
+
+    @property
+    def abandoned(self):
+        return self.fallback or self.deferred
+
+
+class ExecutionModule:
+    """Runs schedules: scan-based counting plus staging writes."""
+
+    def __init__(self, server, table_name, spec, staging, budget, config,
+                 strategy):
+        self._server = server
+        self._table_name = table_name
+        self._spec = spec
+        self._staging = staging
+        self._budget = budget
+        self._config = config
+        self._strategy = strategy
+        self._attr_index = {
+            name: i for i, name in enumerate(spec.attribute_names)
+        }
+        self._class_index = spec.n_attributes
+        self.stats = ExecutionStats()
+
+    def run(self, schedule):
+        """Execute one schedule.
+
+        Returns ``(results, deferred)``: the fulfilled
+        :class:`CountsResult` list plus any requests pushed to a later
+        scan by a runtime memory overflow.
+        """
+        scan = ScanStats(mode=schedule.mode)
+        states = self._make_states(schedule)
+        matchers = [
+            (state, self._make_matcher(state.request)) for state in states
+        ]
+        file_writers = self._open_file_writers(schedule)
+        memory_capture = {
+            node_id: [] for node_id in schedule.stage_memory_targets
+        }
+
+        try:
+            row_iter = self._rows_for(schedule, scan)
+            self._count_rows(
+                row_iter, matchers, file_writers, memory_capture, scan
+            )
+        except Exception:
+            for node_id in file_writers:
+                self._staging.abandon_file(node_id)
+            for node_id in memory_capture:
+                self._staging.cancel_memory_reservation(node_id)
+            self._release_cc_reservations(states)
+            raise
+
+        for node_id, writer in file_writers.items():
+            writer.seal()
+            scan.files_written += 1
+        for node_id, rows in memory_capture.items():
+            self._staging.commit_memory(node_id, rows)
+            scan.memory_sets_loaded += 1
+
+        try:
+            results, deferred = self._finish(states, schedule, scan)
+        finally:
+            self._release_cc_reservations(states)
+        self.stats.absorb(scan)
+        return results, deferred
+
+    # -- setup ------------------------------------------------------------
+
+    def _make_states(self, schedule):
+        states = []
+        for request in schedule.batch:
+            cc = CCTable(request.attributes, self._spec.n_classes)
+            reserved = schedule.cc_reservations.get(request.node_id, 0)
+            states.append(_NodeCount(request, cc, reserved))
+        return states
+
+    def _make_matcher(self, request):
+        """Compile a node's path conditions into a tuple-level check."""
+        checks = [
+            (self._attr_index[c.attribute], c.op == "=", c.value)
+            for c in request.conditions
+        ]
+
+        def match(row):
+            for index, want_equal, value in checks:
+                if (row[index] == value) != want_equal:
+                    return False
+            return True
+
+        return match
+
+    def _open_file_writers(self, schedule):
+        """Writers for planned staging targets and file splits."""
+        targets = list(schedule.stage_file_targets)
+        if schedule.split_file:
+            for node_id in schedule.node_ids:
+                if node_id != schedule.source_node and node_id not in targets:
+                    targets.append(node_id)
+        return {node_id: self._staging.open_file(node_id) for node_id in targets}
+
+    def _rows_for(self, schedule, scan):
+        """The row iterator for the schedule's data source."""
+        staging = self._staging
+        if schedule.mode is DataLocation.SERVER:
+            predicate = None
+            if self._config.push_filters:
+                predicate = batch_filter(
+                    [request.predicate for request in schedule.batch]
+                )
+            relevant = sum(request.n_rows for request in schedule.batch)
+            return self._strategy.rows(predicate, relevant)
+        if schedule.mode is DataLocation.FILE:
+            return staging.file_for(schedule.source_node).scan()
+        rows = staging.memory_rows(schedule.source_node)
+        model = self._server.model
+        self._server.meter.charge(
+            "memory_read", model.memory_row * len(rows), events=len(rows)
+        )
+        return iter(rows)
+
+    # -- the scan loop ------------------------------------------------------
+
+    def _count_rows(self, row_iter, matchers, file_writers, memory_capture,
+                    scan):
+        attribute_names = self._spec.attribute_names
+        class_index = self._class_index
+        budget = self._budget
+
+        for row in row_iter:
+            scan.rows_seen += 1
+            routed = False
+            values = None
+            # A frontier is an antichain, so normally exactly one node
+            # matches; updating every match keeps the module correct
+            # even for overlapping request sets.
+            for target, match in matchers:
+                if not match(row):
+                    continue
+                routed = True
+                node_id = target.request.node_id
+
+                if not target.abandoned:
+                    if values is None:
+                        values = dict(zip(attribute_names, row))
+                    new_pairs = target.cc.count_row(values, row[class_index])
+                    if new_pairs:
+                        needed = target.cc.size_bytes
+                        if needed > target.reserved:
+                            deficit = needed - target.reserved
+                            if budget.try_reserve(_cc_tag(node_id), deficit):
+                                target.reserved = needed
+                            else:
+                                # Section 4.1.1: no new entries fit.
+                                self._abandon(target, matchers, scan)
+
+                writer = file_writers.get(node_id)
+                if writer is not None:
+                    writer.append(row)
+                capture = memory_capture.get(node_id)
+                if capture is not None:
+                    capture.append(row)
+            if routed:
+                scan.rows_routed += 1
+
+    def _abandon(self, target, matchers, scan):
+        """Handle a CC-memory overflow for one node (Section 4.1.1).
+
+        A node sharing the scan with others is deferred to a later scan
+        with a corrected size estimate; a node scanned alone genuinely
+        cannot fit and switches to SQL-based lazy counting.
+        """
+        budget = self._budget
+        request = target.request
+        observed_pairs = target.cc.n_pairs
+        target.cc = None
+        budget.release(_cc_tag(request.node_id))
+        target.reserved = 0
+        if len(matchers) > 1:
+            target.deferred = True
+            # The estimate was too low: raise it to what was actually
+            # observed (a lower bound on the true size) so the next
+            # admission reserves realistically.
+            request.est_cc_pairs = max(request.est_cc_pairs + 1,
+                                       observed_pairs)
+            scan.deferrals += 1
+        else:
+            target.fallback = True
+            scan.sql_fallbacks += 1
+
+    # -- wrap-up ---------------------------------------------------------------
+
+    def _finish(self, states, schedule, scan):
+        results = []
+        deferred = []
+        for state in states:
+            request = state.request
+            if state.deferred:
+                deferred.append(request)
+                continue
+            if state.fallback:
+                cc = counts_via_sql(
+                    self._server,
+                    self._table_name,
+                    self._spec,
+                    request.attributes,
+                    request.predicate
+                    if request.conditions else None,
+                )
+            else:
+                cc = state.cc
+            if cc.records != request.n_rows:
+                raise MiddlewareError(
+                    f"node {request.node_id!r}: counted {cc.records} rows "
+                    f"but the parent CC table promised {request.n_rows}"
+                )
+            results.append(
+                CountsResult(
+                    request.node_id,
+                    cc,
+                    schedule.mode,
+                    used_sql_fallback=state.fallback,
+                )
+            )
+            scan.nodes_served += 1
+        return results, deferred
+
+    def _release_cc_reservations(self, states):
+        for state in states:
+            self._budget.release(_cc_tag(state.request.node_id))

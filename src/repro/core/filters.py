@@ -1,0 +1,78 @@
+"""Node-path predicates and filter push-down (paper Section 4.3.1).
+
+Each tree node carries the conjunction of edge conditions on its path
+from the root (``S`` in the paper).  When a batch of nodes
+``n_1..n_k`` is serviced by a server scan, the middleware generates the
+disjunction ``S_1 OR ... OR S_k`` and pushes it into the cursor's WHERE
+clause, so only rows relevant to *some* node in the batch are
+transmitted — avoiding the record tagging of SLIQ/SPRINT.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import MiddlewareError
+from ..sqlengine.expr import TRUE, all_of, any_of, eq, ne
+
+#: The two edge-condition operators produced by tree splits.
+CONDITION_OPS = ("=", "<>")
+
+
+class PathCondition:
+    """One edge condition: ``attribute = value`` or ``attribute <> value``.
+
+    Binary splits produce ``=`` on the chosen branch and ``<>`` on the
+    "other" branch; complete (multiway) splits produce ``=`` only.
+    """
+
+    __slots__ = ("attribute", "op", "value")
+
+    def __init__(self, attribute, op, value):
+        if op not in CONDITION_OPS:
+            raise MiddlewareError(f"unsupported edge condition op: {op!r}")
+        self.attribute = attribute
+        self.op = op
+        self.value = value
+
+    def to_expr(self):
+        """The condition as a SQL engine expression."""
+        if self.op == "=":
+            return eq(self.attribute, self.value)
+        return ne(self.attribute, self.value)
+
+    def matches(self, value):
+        """Evaluate the condition against a concrete attribute value."""
+        if self.op == "=":
+            return value == self.value
+        return value != self.value
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, PathCondition)
+            and (self.attribute, self.op, self.value)
+            == (other.attribute, other.op, other.value)
+        )
+
+    def __hash__(self):
+        return hash((self.attribute, self.op, self.value))
+
+    def __repr__(self):
+        return f"PathCondition({self.attribute} {self.op} {self.value})"
+
+
+def path_predicate(conditions):
+    """AND of a node's path conditions (TRUE for the root)."""
+    return all_of([condition.to_expr() for condition in conditions])
+
+
+def batch_filter(predicates):
+    """The pushed-down disjunction ``S_1 OR ... OR S_k``.
+
+    Returns ``None`` (no WHERE clause) when any predicate is TRUE —
+    pushing ``... OR (1=1)`` would be pointless.
+    """
+    predicates = list(predicates)
+    if not predicates:
+        raise MiddlewareError("cannot build a filter for an empty batch")
+    if any(p is TRUE or p == TRUE for p in predicates):
+        return None
+    return any_of(predicates)

@@ -1,0 +1,191 @@
+"""The middleware facade — the paper's primary contribution, assembled.
+
+One :class:`Middleware` instance binds a SQL server table to the
+scheduler, staging manager and execution module, and exposes the
+Figure-3 interface to mining clients:
+
+1. the client queues a batch of :class:`~repro.core.requests.CountsRequest`
+   (one per active node),
+2. :meth:`Middleware.process_next_batch` schedules and services *some*
+   of them (the middleware, not the client, decides which nodes are
+   processed next — Section 3.1),
+3. the client consumes the returned CC tables, partitions nodes in any
+   order it likes, and queues requests for the new active nodes.
+"""
+
+from __future__ import annotations
+
+from ..common.memory import MemoryBudget
+from .auxiliary import make_strategy
+from .config import MiddlewareConfig
+from .execution import ExecutionModule
+from .requests import RequestQueue
+from .scheduler import Scheduler
+from .staging import StagingManager
+from .trace import ExecutionTrace, ScheduleRecord
+
+
+class Middleware:
+    """Scalable classification middleware over one server table."""
+
+    def __init__(self, server, table_name, spec, config=None):
+        self.server = server
+        self.table_name = table_name
+        self.spec = spec
+        self.config = config or MiddlewareConfig()
+        self.budget = MemoryBudget(self.config.memory_bytes)
+        self.staging = StagingManager(
+            spec,
+            server.meter,
+            server.model,
+            self.budget,
+            staging_dir=self.config.staging_dir,
+            file_budget_bytes=self.config.file_budget_bytes,
+        )
+        self.scheduler = Scheduler(spec, self.staging, self.budget, self.config)
+        self._strategy = make_strategy(
+            self.config.aux_strategy,
+            server,
+            table_name,
+            build_threshold=self.config.aux_build_threshold,
+            free_build=self.config.aux_free_build,
+        )
+        self.execution = ExecutionModule(
+            server,
+            table_name,
+            spec,
+            self.staging,
+            self.budget,
+            self.config,
+            self._strategy,
+        )
+        self._queue = RequestQueue()
+        self.trace = ExecutionTrace()
+        self._closed = False
+
+    # -- the Figure-3 interface --------------------------------------------
+
+    def queue_request(self, request):
+        """Queue one counts request for an active node."""
+        self._queue.put(request)
+
+    def queue_requests(self, requests):
+        """Queue several requests at once."""
+        for request in requests:
+            self._queue.put(request)
+
+    @property
+    def pending(self):
+        """Number of requests awaiting service."""
+        return len(self._queue)
+
+    def process_next_batch(self):
+        """Schedule and service the next batch; returns its results.
+
+        Requests deferred by a runtime memory overflow (Section 4.1.1)
+        are transparently re-queued for a later scan.  Raises
+        :class:`~repro.common.errors.SchedulingError` when the queue is
+        empty — callers should check :attr:`pending` first.
+        """
+        schedule = self.scheduler.plan(self._queue.pending())
+        self._queue.remove(schedule.batch)
+        snapshot = self.server.meter.snapshot()
+        rows_before = self.execution.stats.rows_seen
+        routed_before = self.execution.stats.rows_routed
+        results, deferred = self.execution.run(schedule)
+        for request in deferred:
+            self._queue.put(request)
+        stats = self.execution.stats
+        self.trace.add(
+            ScheduleRecord(
+                sequence=len(self.trace),
+                mode=schedule.mode.name,
+                source_node=schedule.source_node,
+                batch=tuple(schedule.node_ids),
+                stage_file_targets=tuple(schedule.stage_file_targets),
+                stage_memory_targets=tuple(schedule.stage_memory_targets),
+                split_file=schedule.split_file,
+                rows_seen=stats.rows_seen - rows_before,
+                rows_routed=stats.rows_routed - routed_before,
+                deferrals=len(deferred),
+                sql_fallbacks=sum(r.used_sql_fallback for r in results),
+                cost=self.server.meter.total_since(snapshot),
+            )
+        )
+        return results
+
+    def serve(self):
+        """Yield result batches until the request queue drains.
+
+        Convenience generator for clients that interleave consuming
+        results with queueing children::
+
+            for results in middleware.serve():
+                for result in results:
+                    ...partition, queue child requests...
+        """
+        while self._queue:
+            yield self.process_next_batch()
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def stats(self):
+        """Cumulative execution statistics."""
+        return self.execution.stats
+
+    def location_tag(self, request):
+        """The paper's S/I/L data-location prefix for a node (Fig. 1)."""
+        location, _ = self.staging.resolve(request)
+        return location.tag
+
+    def report(self):
+        """A human-readable session summary: scans, cost, staging, trace."""
+        stats = self.stats
+        meter = self.server.meter
+        scans = ", ".join(
+            f"{location.name.lower()}={count}"
+            for location, count in stats.scans_by_mode.items()
+            if count
+        ) or "none"
+        lines = [
+            f"middleware session on table {self.table_name!r}",
+            f"  scans: {stats.batches} batches ({scans})",
+            f"  rows: {stats.rows_seen:,} seen, "
+            f"{stats.rows_routed:,} routed",
+            f"  recoveries: {stats.deferrals} deferrals, "
+            f"{stats.sql_fallbacks} SQL fallbacks",
+            f"  staging: {stats.files_written} files written, "
+            f"{stats.memory_sets_loaded} memory sets loaded",
+            f"  memory: {self.budget.used:,} / {self.budget.budget:,} "
+            "bytes reserved now",
+            f"  simulated cost: {meter.total:,.1f} "
+            f"({', '.join(f'{k}={v:,.1f}' for k, v in meter.breakdown())})",
+        ]
+        if len(self.trace):
+            lines.append("  trace:")
+            for record in self.trace:
+                lines.append(f"    {record}")
+        return "\n".join(lines)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self):
+        """Release staged files, memory reservations and server structures."""
+        if not self._closed:
+            self.staging.close()
+            self._strategy.close()
+            self._closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return (
+            f"Middleware(table={self.table_name!r}, pending={self.pending}, "
+            f"budget={self.budget!r})"
+        )

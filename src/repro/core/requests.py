@@ -1,0 +1,130 @@
+"""The client/middleware interface of Figure 3: request and result queues.
+
+The client queues one :class:`CountsRequest` per active tree node; the
+middleware schedules batches, fulfils them, and posts
+:class:`CountsResult` objects.  Requests carry everything the scheduler
+needs — lineage (for staging locality, Rule 2), the exact data size
+(known from the parent's CC table), and the estimated CC size — so the
+middleware never has to inspect client data structures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..common.errors import MiddlewareError
+from ..sqlengine.expr import TRUE
+from .filters import path_predicate
+
+
+class CountsRequest:
+    """A request to build the CC table for one active node."""
+
+    __slots__ = (
+        "node_id",
+        "lineage",
+        "conditions",
+        "attributes",
+        "n_rows",
+        "est_cc_pairs",
+        "predicate",
+    )
+
+    def __init__(self, node_id, lineage, conditions, attributes, n_rows,
+                 est_cc_pairs):
+        """
+        :param node_id: opaque, hashable node identifier.
+        :param lineage: node ids from the root down to *this node
+            inclusive*; staging locality checks test membership in it.
+        :param conditions: the node's path conditions
+            (:class:`~repro.core.filters.PathCondition` sequence).
+        :param attributes: attribute names still present at the node.
+        :param n_rows: exact data size |n| (from the parent's CC table).
+        :param est_cc_pairs: estimated (attribute, value) pair count of
+            the node's CC table (Section 4.2.1).
+        """
+        if not lineage or lineage[-1] != node_id:
+            raise MiddlewareError("lineage must end with the node itself")
+        if n_rows < 0:
+            raise MiddlewareError("n_rows must be non-negative")
+        if est_cc_pairs < 0:
+            raise MiddlewareError("est_cc_pairs must be non-negative")
+        self.node_id = node_id
+        self.lineage = tuple(lineage)
+        self.conditions = tuple(conditions)
+        self.attributes = tuple(attributes)
+        self.n_rows = int(n_rows)
+        self.est_cc_pairs = int(est_cc_pairs)
+        self.predicate = path_predicate(self.conditions)
+
+    @property
+    def is_root(self):
+        return self.predicate is TRUE or len(self.lineage) == 1
+
+    def descends_from(self, node_id):
+        """True if ``node_id`` is this node or one of its ancestors."""
+        return node_id in self.lineage
+
+    def __repr__(self):
+        return (
+            f"CountsRequest(node={self.node_id!r}, rows={self.n_rows}, "
+            f"est_pairs={self.est_cc_pairs})"
+        )
+
+
+class CountsResult:
+    """A fulfilled request: the node's CC table plus provenance."""
+
+    __slots__ = ("node_id", "cc", "source", "used_sql_fallback")
+
+    def __init__(self, node_id, cc, source, used_sql_fallback=False):
+        self.node_id = node_id
+        self.cc = cc
+        #: Where the data was read from: a DataLocation value.
+        self.source = source
+        #: True when the scan ran out of CC memory and this node was
+        #: recounted with the lazy SQL path (Section 4.1.1).
+        self.used_sql_fallback = used_sql_fallback
+
+    def __repr__(self):
+        return (
+            f"CountsResult(node={self.node_id!r}, records={self.cc.records}, "
+            f"source={self.source}, fallback={self.used_sql_fallback})"
+        )
+
+
+class RequestQueue:
+    """FIFO of pending :class:`CountsRequest` with membership checks."""
+
+    def __init__(self):
+        self._queue = deque()
+        self._ids = set()
+
+    def put(self, request):
+        if request.node_id in self._ids:
+            raise MiddlewareError(
+                f"node {request.node_id!r} already has a pending request"
+            )
+        self._queue.append(request)
+        self._ids.add(request.node_id)
+
+    def remove(self, requests):
+        """Remove specific requests (the scheduled batch)."""
+        batch_ids = {r.node_id for r in requests}
+        missing = batch_ids - self._ids
+        if missing:
+            raise MiddlewareError(f"requests not pending: {sorted(missing)}")
+        self._queue = deque(
+            r for r in self._queue if r.node_id not in batch_ids
+        )
+        self._ids -= batch_ids
+
+    def pending(self):
+        """Snapshot of pending requests in arrival order."""
+        return list(self._queue)
+
+    def __len__(self):
+        return len(self._queue)
+
+    def __bool__(self):
+        return bool(self._queue)

@@ -1,0 +1,78 @@
+"""SQL-based CC-table construction (paper Section 2.3).
+
+Builds the UNION-of-GROUP-BYs statement that computes one node's CC
+table entirely at the server::
+
+    SELECT 'A1' AS attr_name, A1 AS value, class, COUNT(*) ...
+    FROM data WHERE <node condition> GROUP BY class, A1
+    UNION ALL ...
+
+This path is used two ways:
+
+* as the middleware's **lazy fallback** when a scan runs out of CC
+  memory (Section 4.1.1), and
+* as the **straw-man baseline** of Section 2.3 / Fig. 7, issuing one
+  such statement per active node with no batching — the configuration
+  the paper shows collapsing beyond a few MB.
+"""
+
+from __future__ import annotations
+
+from ..sqlengine.ast_nodes import CountStar, Select, SelectItem, UnionAll
+from ..sqlengine.expr import ColumnRef, Literal
+from .cc_table import CCTable
+
+#: Result column names of a CC query, in order.
+CC_COLUMNS = ("attr_name", "value", "class_label", "cnt")
+
+
+def cc_statement(table_name, attributes, class_name, predicate=None):
+    """The UNION statement computing a node's CC table.
+
+    One GROUP BY branch per attribute; a single attribute degenerates
+    to a plain grouped SELECT.
+    """
+    attributes = list(attributes)
+    if not attributes:
+        raise ValueError("a CC query needs at least one attribute")
+    branches = []
+    for attribute in attributes:
+        items = [
+            SelectItem(Literal(attribute), "attr_name"),
+            SelectItem(ColumnRef(attribute), "value"),
+            SelectItem(ColumnRef(class_name), "class_label"),
+            SelectItem(CountStar(), "cnt"),
+        ]
+        branches.append(
+            Select(
+                items,
+                table_name,
+                where=predicate,
+                group_by=[class_name, attribute],
+            )
+        )
+    if len(branches) == 1:
+        return branches[0]
+    return UnionAll(branches)
+
+
+def counts_via_sql(server, table_name, spec, attributes, predicate=None):
+    """Execute the CC query and assemble the :class:`CCTable`.
+
+    The row total is recovered from the per-attribute sums (every
+    record contributes exactly one group row increment per attribute),
+    which :meth:`CCTable.set_records` cross-validates.
+    """
+    attributes = tuple(attributes)
+    statement = cc_statement(
+        table_name, attributes, spec.class_name, predicate
+    )
+    result = server.execute(statement)
+    cc = CCTable(attributes, spec.n_classes)
+    first_attribute_total = 0
+    for attr_name, value, class_label, count in result:
+        cc.add_counts(attr_name, value, class_label, count)
+        if attr_name == attributes[0]:
+            first_attribute_total += count
+    cc.set_records(first_attribute_total)
+    return cc

@@ -1,0 +1,307 @@
+"""Data staging: server → middleware file system → middleware memory.
+
+As the tree grows, the relevant data set shrinks monotonically, so the
+middleware copies ("stages") data downwards (Section 4.1.2):
+
+* **FILE** — a node's rows are written to a middleware staging file;
+  scanning it is much cheaper than a server scan, but still reads the
+  *whole* file.  Files can be *split* (Section 4.3.2): when the active
+  nodes being served cover a small fraction of a file, fresh per-node
+  files are written so future scans read less.
+* **MEMORY** — a node's rows are loaded into middleware memory,
+  accounted against the same :class:`~repro.common.memory.MemoryBudget`
+  as CC tables; scans become nearly free.
+
+Staging files are real files: fixed-width little-endian int32 records
+under a temporary directory, one file per staged node.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import struct
+import tempfile
+
+from ..common.errors import StagingError
+
+
+class DataLocation(enum.IntEnum):
+    """Where a node's data currently lives (ordered worst to best)."""
+
+    SERVER = 0
+    FILE = 1
+    MEMORY = 2
+
+    @property
+    def tag(self):
+        """The paper's single-letter node prefix (Fig. 1): S / I / L."""
+        return {self.SERVER: "S", self.FILE: "I", self.MEMORY: "L"}[self]
+
+
+class StagedFile:
+    """One middleware staging file holding a node's rows."""
+
+    def __init__(self, path, n_fields, owner_node, meter, model):
+        self._path = path
+        self._struct = struct.Struct(f"<{n_fields}i")
+        self.owner_node = owner_node
+        self._meter = meter
+        self._model = model
+        self._row_count = 0
+        self._handle = open(path, "wb")
+        self._writing = True
+
+    @property
+    def path(self):
+        return self._path
+
+    @property
+    def row_count(self):
+        return self._row_count
+
+    def append(self, row):
+        """Write one row; charges the file-write cost."""
+        if not self._writing:
+            raise StagingError("staged file is already sealed")
+        self._handle.write(self._struct.pack(*row))
+        self._row_count += 1
+
+    def seal(self):
+        """Finish writing and charge the accumulated write cost."""
+        if self._writing:
+            self._handle.close()
+            self._writing = False
+            self._meter.charge(
+                "file_write",
+                self._model.file_write_row * self._row_count,
+                events=self._row_count,
+            )
+
+    def scan(self):
+        """Yield all rows; charges per-row file-read cost."""
+        if self._writing:
+            raise StagingError("seal the file before scanning it")
+        record = self._struct
+        size = record.size
+        rows_read = 0
+        try:
+            with open(self._path, "rb") as handle:
+                while True:
+                    chunk = handle.read(size)
+                    if len(chunk) < size:
+                        break
+                    rows_read += 1
+                    yield record.unpack(chunk)
+        finally:
+            self._meter.charge(
+                "file_read",
+                self._model.file_row_io * rows_read,
+                events=rows_read,
+            )
+
+    def delete(self):
+        """Remove the file from disk."""
+        if self._writing:
+            self._handle.close()
+            self._writing = False
+        if os.path.exists(self._path):
+            os.remove(self._path)
+
+    def __repr__(self):
+        return (
+            f"StagedFile(owner={self.owner_node!r}, rows={self._row_count})"
+        )
+
+
+class StagingManager:
+    """Tracks which nodes have staged data and where."""
+
+    def __init__(self, spec, meter, model, budget, staging_dir=None,
+                 file_budget_bytes=None):
+        self._spec = spec
+        self._meter = meter
+        self._model = model
+        self._budget = budget
+        self._file_budget = file_budget_bytes
+        self._files = {}  # node_id -> StagedFile
+        self._memory = {}  # node_id -> list of rows
+        self._n_fields = spec.n_attributes + 1
+        self._row_bytes = spec.row_bytes
+        self._file_counter = 0
+        if staging_dir is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-stage-")
+            self._dir = self._tempdir.name
+        else:
+            self._tempdir = None
+            self._dir = staging_dir
+            os.makedirs(staging_dir, exist_ok=True)
+
+    # -- budgets -----------------------------------------------------------
+
+    @property
+    def file_bytes_used(self):
+        """Simulated bytes currently staged in files."""
+        return sum(f.row_count * self._row_bytes for f in self._files.values())
+
+    def file_space_for(self, n_rows):
+        """True if a file of ``n_rows`` fits the file-space budget."""
+        if self._file_budget is None:
+            return True
+        needed = n_rows * self._row_bytes
+        return self.file_bytes_used + needed <= self._file_budget
+
+    def memory_bytes_for(self, n_rows):
+        """Simulated bytes to hold ``n_rows`` in middleware memory."""
+        return n_rows * self._row_bytes
+
+    # -- lookup ------------------------------------------------------------
+
+    def resolve(self, request):
+        """Best data source for ``request``: ``(location, source_node)``.
+
+        Rule 1 ordering: an in-memory ancestor beats any file, a file
+        beats the server.  Among several staged ancestors of the same
+        tier, the *nearest* (deepest) one wins — its data set is the
+        smallest superset of the node's.
+        """
+        for node_id in reversed(request.lineage):
+            if node_id in self._memory:
+                return DataLocation.MEMORY, node_id
+        for node_id in reversed(request.lineage):
+            if node_id in self._files:
+                return DataLocation.FILE, node_id
+        return DataLocation.SERVER, None
+
+    def memory_rows(self, node_id):
+        try:
+            return self._memory[node_id]
+        except KeyError:
+            raise StagingError(f"no memory data staged for {node_id!r}") from None
+
+    def file_for(self, node_id):
+        try:
+            return self._files[node_id]
+        except KeyError:
+            raise StagingError(f"no file staged for {node_id!r}") from None
+
+    def memory_nodes(self):
+        return sorted(self._memory, key=str)
+
+    def file_nodes(self):
+        return sorted(self._files, key=str)
+
+    # -- staging writes ------------------------------------------------------
+
+    def open_file(self, node_id):
+        """Create (and register) a staging file for ``node_id``."""
+        if node_id in self._files:
+            raise StagingError(f"{node_id!r} already has a staged file")
+        self._file_counter += 1
+        path = os.path.join(self._dir, f"stage_{self._file_counter}.rows")
+        staged = StagedFile(
+            path, self._n_fields, node_id, self._meter, self._model
+        )
+        self._files[node_id] = staged
+        return staged
+
+    def abandon_file(self, node_id):
+        """Drop a file opened this scan (e.g. budget raced); deletes it."""
+        staged = self._files.pop(node_id, None)
+        if staged is not None:
+            staged.delete()
+
+    def reserve_memory(self, node_id, n_rows):
+        """Try to reserve budget for ``n_rows`` of ``node_id``'s data."""
+        nbytes = self.memory_bytes_for(n_rows)
+        return self._budget.try_reserve(_data_tag(node_id), nbytes)
+
+    def commit_memory(self, node_id, rows):
+        """Install rows collected during a scan; charges load cost."""
+        if node_id in self._memory:
+            raise StagingError(f"{node_id!r} already staged in memory")
+        self._budget.resize(
+            _data_tag(node_id), self.memory_bytes_for(len(rows))
+        )
+        self._memory[node_id] = rows
+        self._meter.charge(
+            "memory_load",
+            self._model.memory_load_row * len(rows),
+            events=len(rows),
+        )
+
+    def cancel_memory_reservation(self, node_id):
+        """Release a reservation that was never committed."""
+        self._budget.release(_data_tag(node_id))
+
+    def drop_memory(self, node_id):
+        """Evict a node's in-memory data set."""
+        self._memory.pop(node_id, None)
+        self._budget.release(_data_tag(node_id))
+
+    def drop_file(self, node_id):
+        """Delete a node's staging file."""
+        staged = self._files.pop(node_id, None)
+        if staged is not None:
+            staged.delete()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def garbage_collect(self, pending_requests):
+        """Drop staged data no pending request resolves to.
+
+        Called at scheduling time, when the client has queued every
+        child of the nodes it consumed (Fig. 3's loop guarantees this),
+        so "no pending request resolves here" means the subtree is
+        either finished or better served by a nearer staged set.
+        Returns the node ids dropped.
+        """
+        needed = set()
+        for request in pending_requests:
+            location, source = self.resolve(request)
+            if location is not DataLocation.SERVER:
+                needed.add((location, source))
+        dropped = []
+        for node_id in list(self._memory):
+            if (DataLocation.MEMORY, node_id) not in needed:
+                self.drop_memory(node_id)
+                dropped.append(node_id)
+        for node_id in list(self._files):
+            if (DataLocation.FILE, node_id) not in needed:
+                self.drop_file(node_id)
+                dropped.append(node_id)
+        return dropped
+
+    def evict_memory_except(self, keep_node):
+        """Evict all in-memory data sets except ``keep_node``.
+
+        Last-resort path when CC tables for the next batch cannot be
+        reserved at all; returns bytes freed.
+        """
+        freed = 0
+        for node_id in list(self._memory):
+            if node_id != keep_node:
+                freed += self._budget.reserved(_data_tag(node_id))
+                self.drop_memory(node_id)
+        return freed
+
+    def close(self):
+        """Delete every staged file and release memory reservations."""
+        for node_id in list(self._files):
+            self.drop_file(node_id)
+        for node_id in list(self._memory):
+            self.drop_memory(node_id)
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def __repr__(self):
+        return (
+            f"StagingManager(files={len(self._files)}, "
+            f"memory_sets={len(self._memory)})"
+        )
+
+
+def _data_tag(node_id):
+    """Budget reservation tag for a node's staged in-memory data."""
+    return f"data:{node_id}"

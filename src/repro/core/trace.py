@@ -1,0 +1,80 @@
+"""Execution tracing: one structured record per scheduled scan.
+
+The paper explains its system's behaviour through what each scan did
+(source tier, batch composition, staging actions).  The middleware
+records exactly that, so tests can assert scheduling behaviour and
+users can audit why a run cost what it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ScheduleRecord:
+    """What one scan was asked to do and what happened."""
+
+    sequence: int
+    mode: str                 # SERVER / FILE / MEMORY
+    source_node: object       # staged ancestor id, None for server scans
+    batch: tuple              # node ids serviced, in Rule-3 order
+    stage_file_targets: tuple
+    stage_memory_targets: tuple
+    split_file: bool
+    rows_seen: int
+    rows_routed: int
+    deferrals: int
+    sql_fallbacks: int
+    cost: float               # simulated cost charged during the scan
+
+    def __str__(self):
+        actions = []
+        if self.stage_file_targets:
+            actions.append(f"stage->file{list(self.stage_file_targets)}")
+        if self.stage_memory_targets:
+            actions.append(f"stage->mem{list(self.stage_memory_targets)}")
+        if self.split_file:
+            actions.append("split")
+        if self.deferrals:
+            actions.append(f"deferred={self.deferrals}")
+        if self.sql_fallbacks:
+            actions.append(f"sql_fallback={self.sql_fallbacks}")
+        suffix = f" [{', '.join(actions)}]" if actions else ""
+        return (
+            f"#{self.sequence} {self.mode}"
+            f"{f'({self.source_node})' if self.source_node is not None else ''}"
+            f" batch={len(self.batch)} rows={self.rows_seen}"
+            f" cost={self.cost:.1f}{suffix}"
+        )
+
+
+@dataclass
+class ExecutionTrace:
+    """The ordered sequence of :class:`ScheduleRecord` for one session."""
+
+    records: list = field(default_factory=list)
+
+    def add(self, record):
+        self.records.append(record)
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    def by_mode(self, mode_name):
+        """Records whose scan ran in the given tier."""
+        return [r for r in self.records if r.mode == mode_name]
+
+    @property
+    def total_cost(self):
+        return sum(r.cost for r in self.records)
+
+    def render(self):
+        """Multi-line human-readable trace."""
+        return "\n".join(str(record) for record in self.records)

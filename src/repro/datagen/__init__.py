@@ -1,0 +1,57 @@
+"""Synthetic workload generators (paper Section 5.1)."""
+
+from .agrawal import (
+    AGRAWAL_ATTRIBUTES,
+    AgrawalConfig,
+    agrawal_spec,
+    generate_agrawal_dataset,
+    generate_agrawal_rows,
+)
+from .census import (
+    CENSUS_ATTRIBUTES,
+    CensusConfig,
+    census_spec,
+    generate_census_dataset,
+    generate_census_rows,
+)
+from .dataset import CLASS_COLUMN, DatasetSpec, uniform_spec
+from .gaussians import (
+    GaussianMixture,
+    GaussianMixtureConfig,
+    generate_gaussian_dataset,
+)
+from .loader import load_dataset
+from .random_tree import (
+    OTHER,
+    GeneratingTree,
+    GenNode,
+    RandomTreeConfig,
+    build_random_tree,
+    generate_random_tree_dataset,
+)
+
+__all__ = [
+    "AGRAWAL_ATTRIBUTES",
+    "AgrawalConfig",
+    "agrawal_spec",
+    "generate_agrawal_dataset",
+    "generate_agrawal_rows",
+    "CENSUS_ATTRIBUTES",
+    "CLASS_COLUMN",
+    "CensusConfig",
+    "DatasetSpec",
+    "GaussianMixture",
+    "GaussianMixtureConfig",
+    "GenNode",
+    "GeneratingTree",
+    "OTHER",
+    "RandomTreeConfig",
+    "build_random_tree",
+    "census_spec",
+    "generate_census_dataset",
+    "generate_census_rows",
+    "generate_gaussian_dataset",
+    "generate_random_tree_dataset",
+    "load_dataset",
+    "uniform_spec",
+]

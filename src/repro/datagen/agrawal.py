@@ -1,0 +1,185 @@
+"""The Agrawal et al. classification benchmark functions.
+
+SLIQ [MAR96] and SPRINT [SAM96] — the scalable classifiers the paper
+compares its approach against — evaluate on the synthetic data of
+Agrawal, Imielinski & Swami ("Database Mining: A Performance
+Perspective", TKDE 1993): person records with nine attributes (salary,
+commission, age, education, car, zipcode, house value, years owned,
+loan) labelled Group A/B by one of ten predicate functions.
+
+This module generates that data in the categorical form the rest of
+the package consumes: numeric fields are drawn from the published
+distributions, the label is computed on the raw values, and the fields
+are then discretised into fixed equal-width brackets.  Functions 1–3
+(the ones most commonly reported) are implemented.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..common.errors import DataGenerationError
+from .dataset import DatasetSpec
+
+#: (name, number of brackets) for each discretised attribute.
+AGRAWAL_ATTRIBUTES = (
+    ("salary", 26),        # 20k .. 150k in 5k brackets (aligns the
+                           # 50/75/100/125k band edges of functions 2+)
+    ("commission", 6),     # 0 or 10k .. 75k
+    ("age", 12),           # 20 .. 80 in 5-year brackets (aligns 40/60)
+    ("education", 5),      # levels 0 .. 4 (already categorical)
+    ("car", 20),           # makes 1 .. 20 (already categorical)
+    ("zipcode", 9),        # 9 zipcodes (already categorical)
+    ("house_value", 10),   # 0.5 .. 1.5 x 100k x zipcode-dependent
+    ("years_owned", 10),   # 1 .. 10 (already categorical)
+    ("loan", 10),          # 0 .. 500k
+)
+
+#: Predicate functions available (Agrawal et al. numbering).
+FUNCTIONS = (1, 2, 3)
+
+
+@dataclass(frozen=True)
+class AgrawalConfig:
+    """Knobs of the Agrawal benchmark workload."""
+
+    function: int = 1
+    n_rows: int = 10_000
+    #: Fraction of labels flipped, as in the original "perturbation".
+    noise: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.function not in FUNCTIONS:
+            raise DataGenerationError(
+                f"function must be one of {FUNCTIONS}"
+            )
+        if self.n_rows < 1:
+            raise DataGenerationError("n_rows must be positive")
+        if not 0.0 <= self.noise <= 1.0:
+            raise DataGenerationError("noise must be within [0, 1]")
+
+
+def agrawal_spec():
+    """Dataset spec of the discretised Agrawal data (binary class)."""
+    names = [name for name, _ in AGRAWAL_ATTRIBUTES]
+    cards = [card for _, card in AGRAWAL_ATTRIBUTES]
+    return DatasetSpec(cards, 2, attribute_names=names, class_name="group")
+
+
+def generate_agrawal_rows(config):
+    """Yield discretised Agrawal rows (codes + group label)."""
+    rng = random.Random(config.seed)
+    label_fn = _LABEL_FUNCTIONS[config.function]
+    for _ in range(config.n_rows):
+        person = _sample_person(rng)
+        label = label_fn(person)
+        if config.noise and rng.random() < config.noise:
+            label = 1 - label
+        yield _discretise(person) + (label,)
+
+
+def generate_agrawal_dataset(config):
+    """Convenience: ``(spec, rows)``."""
+    return agrawal_spec(), list(generate_agrawal_rows(config))
+
+
+# ---------------------------------------------------------------------------
+# raw attribute sampling (published distributions)
+# ---------------------------------------------------------------------------
+
+
+def _sample_person(rng):
+    salary = rng.uniform(20_000, 150_000)
+    commission = 0.0 if salary >= 75_000 else rng.uniform(10_000, 75_000)
+    age = rng.uniform(20, 80)
+    education = rng.randrange(5)
+    car = rng.randrange(1, 21)
+    zipcode = rng.randrange(9)
+    house_value = rng.uniform(0.5, 1.5) * 100_000 * (zipcode + 1)
+    years_owned = rng.randrange(1, 11)
+    loan = rng.uniform(0, 500_000)
+    return {
+        "salary": salary,
+        "commission": commission,
+        "age": age,
+        "education": education,
+        "car": car,
+        "zipcode": zipcode,
+        "house_value": house_value,
+        "years_owned": years_owned,
+        "loan": loan,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the predicate functions (Group A -> label 1)
+# ---------------------------------------------------------------------------
+
+
+def _function1(p):
+    """Group A: age < 40 or age >= 60."""
+    return 1 if p["age"] < 40 or p["age"] >= 60 else 0
+
+
+def _function2(p):
+    """Group A: age/salary bands."""
+    age = p["age"]
+    salary = p["salary"]
+    if age < 40:
+        in_a = 50_000 <= salary <= 100_000
+    elif age < 60:
+        in_a = 75_000 <= salary <= 125_000
+    else:
+        in_a = 25_000 <= salary <= 75_000
+    return 1 if in_a else 0
+
+
+def _function3(p):
+    """Group A: age/education bands."""
+    age = p["age"]
+    education = p["education"]
+    if age < 40:
+        in_a = education in (0, 1)
+    elif age < 60:
+        in_a = education in (1, 2, 3)
+    else:
+        in_a = education in (2, 3, 4)
+    return 1 if in_a else 0
+
+
+_LABEL_FUNCTIONS = {1: _function1, 2: _function2, 3: _function3}
+
+
+# ---------------------------------------------------------------------------
+# discretisation into the fixed brackets of AGRAWAL_ATTRIBUTES
+# ---------------------------------------------------------------------------
+
+
+def _bracket(value, low, high, buckets):
+    """Equal-width bracket of ``value`` within [low, high]."""
+    if value <= low:
+        return 0
+    if value >= high:
+        return buckets - 1
+    return int((value - low) / (high - low) * buckets)
+
+
+def _discretise(p):
+    commission = p["commission"]
+    commission_code = (
+        0 if commission == 0.0
+        else 1 + _bracket(commission, 10_000, 75_000, 5)
+    )
+    return (
+        _bracket(p["salary"], 20_000, 150_000, 26),
+        commission_code,
+        _bracket(p["age"], 20, 80, 12),
+        p["education"],
+        p["car"] - 1,
+        p["zipcode"],
+        _bracket(p["house_value"], 50_000, 1_350_000, 10),
+        p["years_owned"] - 1,
+        _bracket(p["loan"], 0, 500_000, 10),
+    )

@@ -1,0 +1,111 @@
+"""Dataset metadata shared by all generators.
+
+Every mining data set in this reproduction is a table of small-integer
+categorical codes: predictive attributes ``A1..Am`` plus a ``class``
+column, exactly the all-categorical setting the paper assumes (numeric
+attributes are discretised up front; see
+:mod:`repro.client.discretize`).
+"""
+
+from __future__ import annotations
+
+from ..common.errors import DataGenerationError
+from ..sqlengine.schema import Column, TableSchema
+from ..sqlengine.types import ColumnType
+
+#: Default column name for the class label.
+CLASS_COLUMN = "class"
+
+
+class DatasetSpec:
+    """Names and cardinalities of a categorical mining data set."""
+
+    def __init__(self, attribute_cards, n_classes, attribute_names=None,
+                 class_name=CLASS_COLUMN):
+        attribute_cards = list(attribute_cards)
+        if not attribute_cards:
+            raise DataGenerationError("need at least one attribute")
+        if any(card < 2 for card in attribute_cards):
+            raise DataGenerationError(
+                "every attribute needs at least two values"
+            )
+        if n_classes < 2:
+            raise DataGenerationError("need at least two class values")
+        if attribute_names is None:
+            attribute_names = [f"A{i + 1}" for i in range(len(attribute_cards))]
+        attribute_names = list(attribute_names)
+        if len(attribute_names) != len(attribute_cards):
+            raise DataGenerationError(
+                "attribute_names and attribute_cards lengths differ"
+            )
+        if class_name in attribute_names:
+            raise DataGenerationError(
+                f"class column name {class_name!r} collides with an attribute"
+            )
+        self.attribute_names = attribute_names
+        self.attribute_cards = attribute_cards
+        self.n_classes = n_classes
+        self.class_name = class_name
+
+    @property
+    def n_attributes(self):
+        return len(self.attribute_names)
+
+    def cardinality(self, attribute_name):
+        """Number of distinct values of ``attribute_name``."""
+        try:
+            index = self.attribute_names.index(attribute_name)
+        except ValueError:
+            raise DataGenerationError(
+                f"no such attribute: {attribute_name!r}"
+            ) from None
+        return self.attribute_cards[index]
+
+    def schema(self):
+        """The SQL schema: one INT column per attribute plus the class."""
+        columns = [Column(n, ColumnType.INT) for n in self.attribute_names]
+        columns.append(Column(self.class_name, ColumnType.INT))
+        return TableSchema(columns)
+
+    @property
+    def row_bytes(self):
+        """Simulated width of one record."""
+        return self.schema().row_bytes
+
+    def rows_for_bytes(self, nbytes):
+        """How many records make a data set of ``nbytes``."""
+        return max(1, int(nbytes) // self.row_bytes)
+
+    def validate_row(self, row):
+        """Check attribute codes and class label are in range."""
+        if len(row) != self.n_attributes + 1:
+            raise DataGenerationError(
+                f"row width {len(row)} != {self.n_attributes + 1}"
+            )
+        for value, card, name in zip(
+            row, self.attribute_cards, self.attribute_names
+        ):
+            if not 0 <= value < card:
+                raise DataGenerationError(
+                    f"attribute {name}: code {value} outside [0, {card})"
+                )
+        label = row[-1]
+        if not 0 <= label < self.n_classes:
+            raise DataGenerationError(
+                f"class label {label} outside [0, {self.n_classes})"
+            )
+        return tuple(row)
+
+    def __repr__(self):
+        return (
+            f"DatasetSpec(m={self.n_attributes}, "
+            f"cards={self.attribute_cards[:4]}{'...' if self.n_attributes > 4 else ''}, "
+            f"classes={self.n_classes})"
+        )
+
+
+def uniform_spec(n_attributes, values_per_attribute, n_classes):
+    """A spec where every attribute has the same cardinality."""
+    return DatasetSpec(
+        [values_per_attribute] * n_attributes, n_classes
+    )

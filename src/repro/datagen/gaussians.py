@@ -1,0 +1,118 @@
+"""Data from mixtures of Gaussians (paper Section 5.1.2).
+
+The paper draws each class from one Gaussian in 100 dimensions, with
+means uniform in [-5, 5] and per-dimension variances uniform in
+[0.7, 1.5], 10,000 samples per class.  Because the classifier is
+categorical, samples are discretised into equal-width buckets.
+
+Two properties the paper exploits are preserved:
+
+* dropping dimensions leaves a mixture of Gaussians → ``n_dimensions``
+  is a free parameter,
+* dropping components varies the number of classes without changing the
+  data's character → ``n_classes`` is a free parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import DataGenerationError
+from .dataset import DatasetSpec
+
+
+@dataclass(frozen=True)
+class GaussianMixtureConfig:
+    """Knobs of the Gaussian-mixture workload (paper defaults scaled)."""
+
+    n_dimensions: int = 100
+    n_classes: int = 100
+    samples_per_class: int = 10_000
+    mean_low: float = -5.0
+    mean_high: float = 5.0
+    variance_low: float = 0.7
+    variance_high: float = 1.5
+    n_buckets: int = 8
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_dimensions < 1:
+            raise DataGenerationError("need at least one dimension")
+        if self.n_classes < 2:
+            raise DataGenerationError("need at least two classes")
+        if self.samples_per_class < 1:
+            raise DataGenerationError("need at least one sample per class")
+        if self.n_buckets < 2:
+            raise DataGenerationError("need at least two buckets")
+        if self.variance_low <= 0:
+            raise DataGenerationError("variances must be positive")
+
+
+class GaussianMixture:
+    """A sampled mixture: component parameters plus the discretiser."""
+
+    def __init__(self, config):
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        shape = (config.n_classes, config.n_dimensions)
+        self.means = rng.uniform(config.mean_low, config.mean_high, shape)
+        self.variances = rng.uniform(
+            config.variance_low, config.variance_high, shape
+        )
+        # Equal-width bucket edges chosen to cover ±4σ_max around the
+        # extreme means, so essentially no sample is clipped.
+        max_sigma = float(np.sqrt(config.variance_high))
+        low = config.mean_low - 4.0 * max_sigma
+        high = config.mean_high + 4.0 * max_sigma
+        self.edges = np.linspace(low, high, config.n_buckets + 1)[1:-1]
+        self._rng = rng
+
+    def spec(self):
+        """Dataset spec: every dimension becomes one bucketed attribute."""
+        return DatasetSpec(
+            [self.config.n_buckets] * self.config.n_dimensions,
+            self.config.n_classes,
+        )
+
+    def sample_continuous(self):
+        """Raw (X, y) before discretisation, as numpy arrays."""
+        config = self.config
+        n = config.n_classes * config.samples_per_class
+        X = np.empty((n, config.n_dimensions))
+        y = np.empty(n, dtype=np.int64)
+        for label in range(config.n_classes):
+            start = label * config.samples_per_class
+            stop = start + config.samples_per_class
+            X[start:stop] = self._rng.normal(
+                self.means[label],
+                np.sqrt(self.variances[label]),
+                (config.samples_per_class, config.n_dimensions),
+            )
+            y[start:stop] = label
+        return X, y
+
+    def discretize(self, X):
+        """Map continuous samples to bucket codes (0..n_buckets-1)."""
+        codes = np.searchsorted(self.edges, X)
+        return codes.astype(np.int64)
+
+    def generate_rows(self):
+        """Yield categorical data rows (codes + class label)."""
+        X, y = self.sample_continuous()
+        codes = self.discretize(X)
+        # Shuffle so class labels are not clustered in storage order.
+        order = self._rng.permutation(len(y))
+        for i in order:
+            yield tuple(int(v) for v in codes[i]) + (int(y[i]),)
+
+    def materialize(self):
+        """All rows as a list."""
+        return list(self.generate_rows())
+
+
+def generate_gaussian_dataset(config):
+    """Convenience: sample the mixture and return ``(mixture, rows)``."""
+    mixture = GaussianMixture(config)
+    return mixture, mixture.materialize()

@@ -1,0 +1,15 @@
+"""Loading generated data sets into the SQL server."""
+
+from __future__ import annotations
+
+
+def load_dataset(server, table_name, spec, rows, validate=False):
+    """Create ``table_name`` from ``spec`` and bulk-load ``rows``.
+
+    Returns the created :class:`~repro.sqlengine.heap.HeapTable`.
+    Validation is off by default: generators are trusted and the
+    mining data sets can be large.
+    """
+    table = server.create_table(table_name, spec.schema())
+    server.bulk_load(table_name, rows, validate=validate)
+    return table

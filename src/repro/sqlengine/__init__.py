@@ -1,0 +1,112 @@
+"""A miniature SQL database engine — the reproduction's RDBMS substrate.
+
+Stands in for Microsoft SQL Server 7.0: page-based heap tables, a SQL
+subset (SELECT / WHERE / GROUP BY / COUNT(*) / UNION ALL / CREATE /
+INSERT / DROP / SELECT INTO), forward and keyset cursors, server-side
+temp structures, and deterministic cost metering of every I/O.
+"""
+
+from .ast_nodes import (
+    AGGREGATE_FUNCS,
+    Aggregate,
+    CountStar,
+    CreateIndex,
+    CreateTable,
+    DeleteRows,
+    DropIndex,
+    DropTable,
+    InsertValues,
+    JoinClause,
+    Select,
+    SelectItem,
+    Star,
+    UnionAll,
+)
+from .indexes import HashIndex, IndexCatalog
+from .csvio import export_csv, import_csv
+from .cursors import ForwardCursor, KeysetCursor
+from .database import Database, SQLServer
+from .executor import ResultSet, execute_statement
+from .expr import (
+    TRUE,
+    And,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    Not,
+    Or,
+    TrueExpr,
+    all_of,
+    any_of,
+    col,
+    compile_predicate,
+    eq,
+    lit,
+    ne,
+    sql_literal,
+)
+from .heap import HeapTable
+from .pages import DEFAULT_PAGE_BYTES, Page, rows_per_page
+from .parser import parse
+from .schema import Column, TableSchema
+from .tempstructs import TIDList, copy_subset_to_table
+from .types import TYPE_WIDTH_BYTES, ColumnType, check_value
+
+__all__ = [
+    "AGGREGATE_FUNCS",
+    "Aggregate",
+    "And",
+    "Column",
+    "CreateIndex",
+    "DeleteRows",
+    "DropIndex",
+    "HashIndex",
+    "IndexCatalog",
+    "ColumnRef",
+    "ColumnType",
+    "Comparison",
+    "CountStar",
+    "CreateTable",
+    "DEFAULT_PAGE_BYTES",
+    "Database",
+    "DropTable",
+    "Expr",
+    "ForwardCursor",
+    "HeapTable",
+    "InList",
+    "InsertValues",
+    "JoinClause",
+    "KeysetCursor",
+    "Literal",
+    "Not",
+    "Or",
+    "Page",
+    "ResultSet",
+    "SQLServer",
+    "Select",
+    "SelectItem",
+    "Star",
+    "TIDList",
+    "TRUE",
+    "TYPE_WIDTH_BYTES",
+    "TableSchema",
+    "TrueExpr",
+    "UnionAll",
+    "all_of",
+    "any_of",
+    "check_value",
+    "col",
+    "compile_predicate",
+    "copy_subset_to_table",
+    "eq",
+    "execute_statement",
+    "export_csv",
+    "import_csv",
+    "lit",
+    "ne",
+    "parse",
+    "rows_per_page",
+    "sql_literal",
+]

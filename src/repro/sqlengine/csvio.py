@@ -1,0 +1,107 @@
+"""CSV import/export for tables — the bridge to real data.
+
+Mining users rarely start from a generator; they start from a file.
+``import_csv`` creates and loads a table from a header-bearing CSV
+(inferring INT vs VARCHAR per column), ``export_csv`` writes one back.
+Loading is bulk (not metered), like :meth:`SQLServer.bulk_load`.
+"""
+
+from __future__ import annotations
+
+import csv
+
+from ..common.errors import SQLError
+from .schema import Column, TableSchema
+from .types import ColumnType
+
+
+def export_csv(server, table_name, path):
+    """Write ``table_name`` to ``path`` with a header row.
+
+    NULLs are written as empty fields.  Returns the row count.
+    """
+    table = server.table(table_name)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.column_names)
+        count = 0
+        for row in table.scan_rows():
+            writer.writerow(["" if v is None else v for v in row])
+            count += 1
+    return count
+
+
+def import_csv(server, table_name, path, schema=None):
+    """Create ``table_name`` from a CSV file; returns the new table.
+
+    With no ``schema``, column types are inferred from the data: a
+    column whose every non-empty value parses as an integer becomes
+    INT, anything else VARCHAR.  Empty fields load as NULL.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SQLError(f"CSV file {path!r} is empty") from None
+        if not header or any(not name.strip() for name in header):
+            raise SQLError("CSV header must name every column")
+        header = [name.strip() for name in header]
+        raw_rows = [row for row in reader if row]
+
+    for i, row in enumerate(raw_rows):
+        if len(row) != len(header):
+            raise SQLError(
+                f"CSV row {i + 2} has {len(row)} fields, header has "
+                f"{len(header)}"
+            )
+
+    if schema is None:
+        schema = _infer_schema(header, raw_rows)
+    elif schema.column_names != header:
+        raise SQLError(
+            "provided schema column names do not match the CSV header"
+        )
+
+    table = server.create_table(table_name, schema)
+    converters = [
+        _int_or_null if column.type is ColumnType.INT else _str_or_null
+        for column in schema
+    ]
+    for row in raw_rows:
+        table.insert(
+            [convert(value) for convert, value in zip(converters, row)]
+        )
+    return table
+
+
+def _infer_schema(header, rows):
+    columns = []
+    for i, name in enumerate(header):
+        column_type = ColumnType.INT
+        for row in rows:
+            value = row[i].strip()
+            if value == "":
+                continue
+            if not _parses_as_int(value):
+                column_type = ColumnType.VARCHAR
+                break
+        columns.append(Column(name, column_type))
+    return TableSchema(columns)
+
+
+def _parses_as_int(text):
+    try:
+        int(text)
+    except ValueError:
+        return False
+    return True
+
+
+def _int_or_null(text):
+    text = text.strip()
+    return None if text == "" else int(text)
+
+
+def _str_or_null(text):
+    return None if text == "" else text

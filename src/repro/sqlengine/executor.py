@@ -1,0 +1,558 @@
+"""Statement execution against a :class:`~repro.sqlengine.database.Database`.
+
+Design notes that matter for the reproduction:
+
+* A SELECT without a usable index is a full sequential scan of its
+  table: the engine has no shared-scan optimisation, so a UNION ALL of
+  m GROUP BY branches scans the table m times.  This is deliberate —
+  it is exactly the behaviour of the commercial optimizers the paper
+  measured ("optimizers in most database systems are not capable of
+  exploiting the commonality").
+* A top-level equality (or IN-list) predicate on an indexed column
+  uses the index instead, charging per-probe and per-row-fetch costs —
+  the server-side "auxiliary structure" capability Section 4.3.3
+  evaluates.
+* All I/O is charged to the :class:`~repro.common.cost.CostMeter` the
+  owning server passes in: page reads for scans, index probes, per-row
+  GROUP BY evaluation, per-row transfer for rows shipped to the
+  client, and per-row writes for SELECT INTO.
+* GROUP BY output is sorted by key so results are deterministic.
+
+Supported aggregates: COUNT(*), COUNT(x), SUM, MIN, MAX, AVG — with or
+without GROUP BY.  ORDER BY sorts on output columns; LIMIT truncates.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import CatalogError, SQLError
+from .ast_nodes import (
+    Aggregate,
+    CreateIndex,
+    DeleteRows,
+    CreateTable,
+    DropIndex,
+    DropTable,
+    InsertValues,
+    Select,
+    SelectItem,
+    Star,
+    UnionAll,
+)
+from .expr import (
+    And,
+    ColumnRef,
+    Comparison,
+    InList,
+    Literal,
+    compile_predicate,
+)
+from .schema import Column, TableSchema
+from .types import ColumnType
+
+
+class ResultSet:
+    """Column names plus materialised result rows."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns, rows):
+        self.columns = list(columns)
+        self.rows = [tuple(r) for r in rows]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def column_index(self, name):
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise CatalogError(f"result has no column {name!r}") from None
+
+    def as_dicts(self):
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __repr__(self):
+        return f"ResultSet(columns={self.columns}, rows={len(self.rows)})"
+
+
+def execute_statement(statement, database, meter, model):
+    """Execute ``statement``; returns a :class:`ResultSet`."""
+    if isinstance(statement, Select):
+        return _execute_select(statement, database, meter, model)
+    if isinstance(statement, UnionAll):
+        return _execute_union(statement, database, meter, model)
+    if isinstance(statement, CreateTable):
+        return _execute_create(statement, database)
+    if isinstance(statement, InsertValues):
+        return _execute_insert(statement, database)
+    if isinstance(statement, DropTable):
+        database.drop_table(statement.table)
+        return ResultSet([], [])
+    if isinstance(statement, DeleteRows):
+        return _execute_delete(statement, database, meter, model)
+    if isinstance(statement, CreateIndex):
+        return _execute_create_index(statement, database, meter, model)
+    if isinstance(statement, DropIndex):
+        database.indexes.drop(statement.name, database)
+        return ResultSet([], [])
+    raise SQLError(f"cannot execute statement type {type(statement).__name__}")
+
+
+def _execute_union(statement, database, meter, model):
+    """Run each branch independently and concatenate rows."""
+    results = [
+        _execute_select(select, database, meter, model)
+        for select in statement.selects
+    ]
+    first = results[0]
+    for other in results[1:]:
+        if len(other.columns) != len(first.columns):
+            raise SQLError("UNION ALL branches have different widths")
+    rows = []
+    for result in results:
+        rows.extend(result.rows)
+    return ResultSet(first.columns, rows)
+
+
+# ---------------------------------------------------------------------------
+# SELECT
+# ---------------------------------------------------------------------------
+
+
+def _execute_select(statement, database, meter, model):
+    if statement.is_join:
+        schema, source_rows = _join_source(
+            statement.table, database, meter, model
+        )
+    else:
+        table = database.table(statement.table)
+        schema = table.schema
+        source_rows = _access_path(statement, table, database, meter, model)
+
+    predicate = compile_predicate(statement.where, schema)
+
+    if statement.group_by:
+        result = _grouped_select(
+            statement, schema, source_rows, predicate, meter, model
+        )
+    elif _has_aggregates(statement):
+        result = _global_aggregate(statement, schema, source_rows, predicate)
+    else:
+        result = _plain_select(statement, schema, source_rows, predicate)
+
+    result = _order_and_limit(statement, result)
+
+    if statement.into:
+        _materialize_into(statement.into, result, database, meter, model)
+        return ResultSet(result.columns, [])
+
+    meter.charge(
+        "transfer",
+        model.transfer_per_row * len(result.rows),
+        events=len(result.rows),
+    )
+    return result
+
+
+def _access_path(statement, table, database, meter, model):
+    """Choose index lookup or full scan; charge I/O; return row iterable.
+
+    The returned rows are *candidates*: the caller still applies the
+    full WHERE predicate (the index only narrows the fetch).
+    """
+    probe = _index_probe_values(statement.where, table, database)
+    if probe is not None:
+        index, values = probe
+        tids = index.lookup_many(values)
+        meter.charge("index", model.index_probe * len(values),
+                     events=len(values))
+        meter.charge(
+            "index", model.index_row_fetch * len(tids), events=len(tids)
+        )
+        return [table.fetch(tid) for tid in tids]
+
+    pages = table.pages_touched()
+    meter.charge("server_io", model.server_page_io * pages, events=pages)
+    return table.scan_rows()
+
+
+def _index_probe_values(where, table, database):
+    """Return ``(index, values)`` when the WHERE can use an index.
+
+    Usable shapes: a top-level ``col = literal`` / ``col IN (...)``, or
+    one such conjunct inside a top-level AND.
+    """
+    if where is None:
+        return None
+    candidates = where.parts if isinstance(where, And) else (where,)
+    for part in candidates:
+        if (
+            isinstance(part, Comparison)
+            and part.op == "="
+            and isinstance(part.left, ColumnRef)
+            and isinstance(part.right, Literal)
+        ):
+            index = database.indexes.find(table.name, part.left.name)
+            if index is not None:
+                return index, [part.right.value]
+        if isinstance(part, InList) and isinstance(part.operand, ColumnRef):
+            index = database.indexes.find(table.name, part.operand.name)
+            if index is not None:
+                return index, list(part.values)
+    return None
+
+
+def _join_source(join, database, meter, model):
+    """Hash inner equi-join: joined schema + row iterable.
+
+    The joined schema qualifies every column as ``alias.column``.
+    Costs: one full page scan of each side plus a per-probe hash cost
+    for every left row.
+    """
+    left = database.table(join.left_table)
+    right = database.table(join.right_table)
+
+    columns = [
+        Column(f"{join.left_alias}.{c.name}", c.type)
+        for c in left.schema
+    ] + [
+        Column(f"{join.right_alias}.{c.name}", c.type)
+        for c in right.schema
+    ]
+    try:
+        schema = TableSchema(columns)
+    except ValueError as exc:
+        raise SQLError(f"ambiguous joined schema: {exc}") from None
+
+    left_width = len(left.schema)
+    key_positions = []
+    for qualified in (join.left_column, join.right_column):
+        key_positions.append(schema.index_of(qualified))
+    left_keys = [p for p in key_positions if p < left_width]
+    right_keys = [p - left_width for p in key_positions if p >= left_width]
+    if len(left_keys) != 1 or len(right_keys) != 1:
+        raise SQLError(
+            "join condition must compare one column from each side"
+        )
+    left_key = left_keys[0]
+    right_key = right_keys[0]
+
+    for side in (left, right):
+        pages = side.pages_touched()
+        meter.charge("server_io", model.server_page_io * pages, events=pages)
+
+    buckets = {}
+    for row in right.scan_rows():
+        key = row[right_key]
+        if key is None:
+            continue  # NULL never joins
+        buckets.setdefault(key, []).append(row)
+
+    def rows():
+        probes = 0
+        try:
+            for left_row in left.scan_rows():
+                probes += 1
+                matches = buckets.get(left_row[left_key])
+                if not matches:
+                    continue
+                for right_row in matches:
+                    yield left_row + right_row
+        finally:
+            meter.charge("join", model.hash_join_row * probes, events=probes)
+
+    return schema, rows()
+
+
+def _has_aggregates(statement):
+    if isinstance(statement.items, Star):
+        return False
+    return any(item.is_aggregate for item in statement.items)
+
+
+def _plain_select(statement, schema, source_rows, predicate):
+    if isinstance(statement.items, Star):
+        rows = [row for row in source_rows if predicate(row)]
+        return ResultSet(schema.column_names, rows)
+
+    evaluators = []
+    names = []
+    for item in statement.items:
+        if item.is_aggregate:
+            raise SQLError(
+                "cannot mix aggregates and plain columns without GROUP BY"
+            )
+        evaluators.append(item.expression.compile(schema))
+        names.append(item.output_name)
+    rows = [
+        tuple(evaluate(row) for evaluate in evaluators)
+        for row in source_rows
+        if predicate(row)
+    ]
+    return ResultSet(names, rows)
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+
+
+class _Accumulator:
+    """Running state of one aggregate over one group."""
+
+    __slots__ = ("func", "operand", "count", "total", "best")
+
+    def __init__(self, func, operand):
+        self.func = func
+        self.operand = operand  # compiled expr, or None for COUNT(*)
+        self.count = 0
+        self.total = 0
+        self.best = None
+
+    def add(self, row):
+        if self.operand is None:  # COUNT(*)
+            self.count += 1
+            return
+        value = self.operand(row)
+        if value is None:
+            return
+        self.count += 1
+        if self.func in ("SUM", "AVG"):
+            self.total += value
+        elif self.func == "MIN":
+            if self.best is None or value < self.best:
+                self.best = value
+        elif self.func == "MAX":
+            if self.best is None or value > self.best:
+                self.best = value
+
+    def result(self):
+        if self.func == "COUNT":
+            return self.count
+        if self.count == 0:
+            return None  # SQL semantics: aggregates over no rows are NULL
+        if self.func == "SUM":
+            return self.total
+        if self.func == "AVG":
+            return self.total / self.count
+        return self.best
+
+
+def _aggregate_plan(items, schema, group_names):
+    """Compile select items into per-group output builders.
+
+    Returns ``(names, factories, builders)`` where ``factories()``
+    creates the accumulator list for a new group and
+    ``builders[i](key, accumulators)`` produces output column i.
+    """
+    names = []
+    specs = []  # aggregate specs in accumulator order
+    builders = []
+    for item in items:
+        names.append(item.output_name)
+        expression = item.expression
+        if isinstance(expression, Aggregate):
+            operand = (
+                None
+                if isinstance(expression.operand, Star)
+                else expression.operand.compile(schema)
+            )
+            position = len(specs)
+            specs.append((expression.func, operand))
+            builders.append(
+                lambda key, accs, position=position: accs[position].result()
+            )
+        elif isinstance(expression, ColumnRef):
+            if expression.name not in group_names:
+                raise SQLError(
+                    f"column {expression.name!r} must appear in GROUP BY"
+                )
+            key_position = group_names.index(expression.name)
+            builders.append(
+                lambda key, accs, key_position=key_position: key[key_position]
+            )
+        elif isinstance(expression, Literal):
+            value = expression.value
+            builders.append(lambda key, accs, value=value: value)
+        else:
+            raise SQLError(
+                "grouped SELECT items must be group columns, literals, "
+                "or aggregates"
+            )
+
+    def factories():
+        return [_Accumulator(func, operand) for func, operand in specs]
+
+    return names, factories, builders
+
+
+def _grouped_select(statement, schema, source_rows, predicate, meter,
+                    model):
+    if isinstance(statement.items, Star):
+        raise SQLError("SELECT * cannot be combined with GROUP BY")
+
+    group_indices = [schema.index_of(name) for name in statement.group_by]
+    names, factories, builders = _aggregate_plan(
+        statement.items, schema, list(statement.group_by)
+    )
+
+    groups = {}
+    qualifying = 0
+    for row in source_rows:
+        if not predicate(row):
+            continue
+        qualifying += 1
+        key = tuple(row[i] for i in group_indices)
+        accumulators = groups.get(key)
+        if accumulators is None:
+            accumulators = factories()
+            groups[key] = accumulators
+        for accumulator in accumulators:
+            accumulator.add(row)
+    meter.charge("groupby", model.groupby_row * qualifying, events=qualifying)
+
+    rows = []
+    for key in sorted(groups, key=_sort_key):
+        accumulators = groups[key]
+        rows.append(tuple(build(key, accumulators) for build in builders))
+    return ResultSet(names, rows)
+
+
+def _global_aggregate(statement, schema, source_rows, predicate):
+    """Aggregates without GROUP BY: one output row, even over no rows."""
+    names, factories, builders = _aggregate_plan(
+        statement.items, schema, []
+    )
+    accumulators = factories()
+    for row in source_rows:
+        if not predicate(row):
+            continue
+        for accumulator in accumulators:
+            accumulator.add(row)
+    row = tuple(build((), accumulators) for build in builders)
+    return ResultSet(names, [row])
+
+
+# ---------------------------------------------------------------------------
+# ORDER BY / LIMIT
+# ---------------------------------------------------------------------------
+
+
+def _order_and_limit(statement, result):
+    rows = result.rows
+    if statement.order_by:
+        # Stable sorts applied in reverse key order give multi-key sort.
+        for name, ascending in reversed(statement.order_by):
+            position = result.column_index(name)
+            rows = sorted(
+                rows,
+                key=lambda row: _sort_key((row[position],)),
+                reverse=not ascending,
+            )
+    if statement.limit is not None:
+        rows = rows[: statement.limit]
+    return ResultSet(result.columns, rows)
+
+
+def _sort_key(key):
+    """Order heterogeneous values deterministically (NULLs first,
+    matching SQL Server's ascending NULL placement)."""
+    return tuple(
+        (value is not None, str(type(value)), value) for value in key
+    )
+
+
+# ---------------------------------------------------------------------------
+# DDL / DML / materialisation
+# ---------------------------------------------------------------------------
+
+
+def _materialize_into(name, result, database, meter, model):
+    """Create ``name`` from ``result`` (SELECT INTO semantics)."""
+    columns = []
+    for i, column_name in enumerate(result.columns):
+        column_type = _infer_type(result.rows, i)
+        columns.append(Column(column_name, column_type))
+    schema = TableSchema(columns)
+    table = database.create_table(name, schema)
+    for row in result.rows:
+        table.insert(row, validate=False)
+    meter.charge(
+        "temp_table",
+        model.temp_table_row_write * len(result.rows),
+        events=len(result.rows),
+    )
+
+
+def _infer_type(rows, index):
+    """Infer a column type from materialised values (INT wins ties)."""
+    for row in rows:
+        value = row[index]
+        if value is None:
+            continue
+        return ColumnType.VARCHAR if isinstance(value, str) else ColumnType.INT
+    return ColumnType.INT
+
+
+def _execute_create(statement, database):
+    schema = TableSchema(
+        Column(name, ColumnType.parse(type_name))
+        for name, type_name in statement.columns
+    )
+    database.create_table(statement.table, schema)
+    return ResultSet([], [])
+
+
+def _execute_create_index(statement, database, meter, model):
+    table = database.table(statement.table)
+    # Building the index scans the table and inserts one entry per row.
+    pages = table.pages_touched()
+    meter.charge("server_io", model.server_page_io * pages, events=pages)
+    meter.charge(
+        "index",
+        model.index_build_row * table.row_count,
+        events=table.row_count,
+    )
+    database.indexes.create(statement.name, table, statement.column)
+    return ResultSet([], [])
+
+
+def _execute_delete(statement, database, meter, model):
+    """Tombstone qualifying rows; returns the deleted count.
+
+    Finding the victims costs a full scan; the in-place tombstoning
+    itself is free in the model (and the table's page count — hence
+    future scan cost — does not shrink, as in a heap without vacuum).
+    """
+    table = database.table(statement.table)
+    pages = table.pages_touched()
+    meter.charge("server_io", model.server_page_io * pages, events=pages)
+    predicate = compile_predicate(statement.where, table.schema)
+    victims = [tid for tid, row in table.scan() if predicate(row)]
+    for tid in victims:
+        table.delete(tid)
+    return ResultSet(["deleted"], [(len(victims),)])
+
+
+def _execute_insert(statement, database):
+    table = database.table(statement.table)
+    schema = table.schema
+    if statement.columns:
+        positions = [schema.index_of(name) for name in statement.columns]
+        if len(positions) != len(schema):
+            raise SQLError(
+                "partial-column INSERT is not supported (no defaults)"
+            )
+        for values in statement.rows:
+            row = [None] * len(schema)
+            for position, value in zip(positions, values):
+                row[position] = value
+            table.insert(row)
+    else:
+        for values in statement.rows:
+            table.insert(values)
+    return ResultSet([], [])

@@ -1,0 +1,144 @@
+"""Heap tables: schema + a list of slotted pages.
+
+Rows are identified by a TID ``(page_no, slot)``, which the auxiliary-
+structure experiments (Section 4.3.3) use for TID-list joins and keyset
+cursors.  Deletion is by tombstone: TIDs stay stable (keyset cursors
+rely on that) and pages are never reclaimed, so a sequential scan of a
+table costs the same however many rows were deleted — exactly how a
+heap without vacuuming behaves.
+"""
+
+from __future__ import annotations
+
+from .pages import DEFAULT_PAGE_BYTES, Page, rows_per_page
+
+
+class HeapTable:
+    """An append-only heap of typed rows."""
+
+    def __init__(self, name, schema, page_bytes=DEFAULT_PAGE_BYTES):
+        self.name = name
+        self.schema = schema
+        self.page_bytes = page_bytes
+        self._rows_per_page = rows_per_page(schema.row_bytes, page_bytes)
+        self._pages = [Page(self._rows_per_page)]
+        self._row_count = 0
+        self._indexes = []
+
+    @property
+    def row_count(self):
+        return self._row_count
+
+    @property
+    def page_count(self):
+        """Pages the table occupies (an empty table still has one)."""
+        return len(self._pages)
+
+    @property
+    def size_bytes(self):
+        """Simulated data size: rows × row width."""
+        return self._row_count * self.schema.row_bytes
+
+    def insert(self, row, validate=True):
+        """Append one row; returns its TID."""
+        if validate:
+            row = self.schema.validate_row(row)
+        else:
+            row = tuple(row)
+        page = self._pages[-1]
+        if page.full:
+            page = Page(self._rows_per_page)
+            self._pages.append(page)
+        slot = page.append(row)
+        self._row_count += 1
+        tid = (len(self._pages) - 1, slot)
+        for index in self._indexes:
+            index.insert(row, tid)
+        return tid
+
+    def attach_index(self, index):
+        """Register a secondary index for maintenance on insert."""
+        self._indexes.append(index)
+
+    def detach_index(self, index):
+        """Stop maintaining ``index``."""
+        self._indexes = [i for i in self._indexes if i is not index]
+
+    @property
+    def index_count(self):
+        return len(self._indexes)
+
+    def bulk_insert(self, rows, validate=True):
+        """Append many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row, validate=validate)
+            count += 1
+        return count
+
+    def fetch(self, tid):
+        """Row at ``tid``; raises :class:`LookupError` if bad or deleted."""
+        row = self.fetch_or_none(tid)
+        if row is None:
+            raise LookupError(f"no live row at TID {tid}")
+        return row
+
+    def fetch_or_none(self, tid):
+        """Row at ``tid``, or ``None`` for a tombstone.
+
+        Raises :class:`IndexError` for a TID that never existed.
+        """
+        page_no, slot = tid
+        return self._pages[page_no].rows[slot]
+
+    def delete(self, tid):
+        """Tombstone the row at ``tid``; returns the deleted row.
+
+        Raises :class:`LookupError` if the row is already deleted.
+        The page itself is not reclaimed.
+        """
+        page_no, slot = tid
+        row = self._pages[page_no].rows[slot]
+        if row is None:
+            raise LookupError(f"row at TID {tid} is already deleted")
+        self._pages[page_no].rows[slot] = None
+        self._row_count -= 1
+        for index in self._indexes:
+            index.remove(row, tid)
+        return row
+
+    def scan(self):
+        """Yield ``(tid, row)`` for live rows, in storage order."""
+        for page_no, page in enumerate(self._pages):
+            for slot, row in enumerate(page.rows):
+                if row is not None:
+                    yield (page_no, slot), row
+
+    def scan_rows(self):
+        """Yield live rows only, in storage order."""
+        for page in self._pages:
+            for row in page.rows:
+                if row is not None:
+                    yield row
+
+    def pages_touched(self, row_count=None):
+        """Pages read by a sequential scan of ``row_count`` rows.
+
+        With no argument, the full table.  A scan always touches at
+        least one page (the header read), matching real scan behaviour
+        on empty tables.
+        """
+        if row_count is None:
+            return max(1, len(self._pages))
+        if row_count <= 0:
+            return 1
+        return -(-row_count // self._rows_per_page)  # ceil division
+
+    def __len__(self):
+        return self._row_count
+
+    def __repr__(self):
+        return (
+            f"HeapTable({self.name!r}, rows={self._row_count}, "
+            f"pages={self.page_count})"
+        )

@@ -1,0 +1,169 @@
+"""Tokenizer for the SQL subset.
+
+Produces a flat list of :class:`Token`.  Keywords are recognised
+case-insensitively; identifiers keep their original spelling.  String
+literals use single quotes with ``''`` escaping, as in T-SQL.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import SQLSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "UNION", "ALL",
+        "AS", "AND", "OR", "NOT", "IN", "COUNT", "SUM", "MIN", "MAX",
+        "AVG", "CREATE", "TABLE", "INDEX", "ON", "INSERT", "INTO",
+        "VALUES", "NULL", "DROP", "DISTINCT", "ASC", "DESC", "LIMIT",
+        "JOIN", "INNER", "DELETE",
+    }
+)
+
+# Token kinds
+KEYWORD = "KEYWORD"
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OP = "OP"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+_PUNCT_CHARS = "(),*;."
+_OP_START = "=<>!"
+
+
+def _is_ascii_digit(ch):
+    """ASCII digits only: ``str.isdigit`` accepts characters like '²'
+    that ``int()`` rejects."""
+    return "0" <= ch <= "9"
+
+
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind, value, position):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def matches(self, kind, value=None):
+        """True if this token has ``kind`` (and ``value``, if given)."""
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}@{self.position})"
+
+
+def tokenize(text):
+    """Tokenise ``text``; returns a list ending with an EOF token."""
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            # Line comment.
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "'":
+            value, i = _read_string(text, i)
+            tokens.append(Token(STRING, value, i))
+            continue
+        if _is_ascii_digit(ch) or (
+            ch == "-" and i + 1 < n and _is_ascii_digit(text[i + 1])
+        ):
+            value, i = _read_number(text, i)
+            tokens.append(Token(NUMBER, value, i))
+            continue
+        if ch.isalpha() or ch == "_" or ch == "[":
+            value, i = _read_identifier(text, i)
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KEYWORD, upper, i))
+            else:
+                tokens.append(Token(IDENT, value, i))
+            continue
+        if ch in _OP_START:
+            value, i = _read_operator(text, i)
+            tokens.append(Token(OP, value, i))
+            continue
+        if ch in _PUNCT_CHARS:
+            tokens.append(Token(PUNCT, ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(EOF, None, n))
+    return tokens
+
+
+def _read_string(text, start):
+    """Read a single-quoted string starting at ``start``."""
+    i = start + 1
+    parts = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SQLSyntaxError("unterminated string literal", start)
+
+
+def _read_number(text, start):
+    """Read an integer or float (optionally negative)."""
+    i = start
+    if text[i] == "-":
+        i += 1
+    begin = i
+    n = len(text)
+    while i < n and _is_ascii_digit(text[i]):
+        i += 1
+    is_float = False
+    if (i < n and text[i] == "." and i + 1 < n
+            and _is_ascii_digit(text[i + 1])):
+        is_float = True
+        i += 1
+        while i < n and _is_ascii_digit(text[i]):
+            i += 1
+    if i == begin:
+        raise SQLSyntaxError("malformed number", start)
+    raw = text[start:i]
+    return (float(raw) if is_float else int(raw)), i
+
+
+def _read_identifier(text, start):
+    """Read an identifier, including the ``[bracketed]`` T-SQL form."""
+    n = len(text)
+    if text[start] == "[":
+        end = text.find("]", start)
+        if end == -1:
+            raise SQLSyntaxError("unterminated [identifier]", start)
+        return text[start + 1 : end], end + 1
+    i = start
+    while i < n and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    return text[start:i], i
+
+
+def _read_operator(text, start):
+    """Read one of = <> < <= > >= != (normalising != to <>)."""
+    two = text[start : start + 2]
+    if two in ("<>", "<=", ">=", "!="):
+        return ("<>" if two == "!=" else two), start + 2
+    one = text[start]
+    if one in "=<>":
+        return one, start + 1
+    raise SQLSyntaxError(f"unexpected operator start {one!r}", start)

@@ -1,0 +1,47 @@
+"""Slotted pages for heap storage.
+
+Pages exist so the cost model can charge server I/O per *page* rather
+than per row, exactly as a real scan would: a table of N rows with
+``rows_per_page`` slots costs ``ceil(N / rows_per_page)`` page reads to
+scan regardless of how selective the pushed filter is.
+"""
+
+from __future__ import annotations
+
+DEFAULT_PAGE_BYTES = 8192
+
+
+class Page:
+    """A fixed-capacity container of row tuples."""
+
+    __slots__ = ("capacity", "rows")
+
+    def __init__(self, capacity):
+        if capacity < 1:
+            raise ValueError("page capacity must be at least one row")
+        self.capacity = capacity
+        self.rows = []
+
+    @property
+    def full(self):
+        return len(self.rows) >= self.capacity
+
+    def append(self, row):
+        """Add ``row``; returns its slot number. Raises when full."""
+        if self.full:
+            raise ValueError("page is full")
+        self.rows.append(row)
+        return len(self.rows) - 1
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+def rows_per_page(row_bytes, page_bytes=DEFAULT_PAGE_BYTES):
+    """How many rows of ``row_bytes`` fit on one page (at least one)."""
+    if row_bytes < 1:
+        raise ValueError("row width must be at least one byte")
+    return max(1, page_bytes // row_bytes)

@@ -1,0 +1,420 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informal)::
+
+    statement   := select_union | create | insert | delete | drop
+    select_union:= select (UNION [ALL] select)*
+    select      := SELECT items [INTO ident] FROM from_clause
+                   [WHERE or_expr] [GROUP BY name (, name)*]
+                   [ORDER BY name [ASC|DESC] (, ...)*] [LIMIT int]
+    from_clause := table_ref [[INNER] JOIN table_ref ON name '=' name]
+    table_ref   := ident [AS? ident]
+    items       := '*' | item (',' item)*
+    item        := (AGG '(' ('*' | scalar) ')' | or_expr) [AS? ident]
+    create      := CREATE (TABLE ident '(' coldefs ')'
+                          | INDEX ident ON ident '(' ident ')')
+    insert      := INSERT INTO ident ['(' idents ')'] VALUES rows
+    delete      := DELETE FROM ident [WHERE or_expr]
+    drop        := DROP (TABLE | INDEX) ident
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | primary_pred
+    primary_pred:= '(' or_expr ')'
+                 | scalar (cmp_op scalar | [NOT] IN '(' literal,+ ')')
+    scalar      := name | literal | '(' scalar ')'
+    name        := ident ['.' ident]        -- qualified in join queries
+
+Everything the middleware emits (Section 2.3's UNION query, filter
+push-down SELECTs, SELECT INTO for temp tables) round-trips through
+this parser, and tests verify ``parse(sql).to_sql()`` re-parses.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import SQLSyntaxError
+from . import lexer
+from .ast_nodes import (
+    AGGREGATE_FUNCS,
+    Aggregate,
+    JoinClause,
+    CreateIndex,
+    DeleteRows,
+    CreateTable,
+    DropIndex,
+    DropTable,
+    InsertValues,
+    Select,
+    SelectItem,
+    Star,
+    UnionAll,
+)
+from .expr import (
+    ColumnRef,
+    Comparison,
+    InList,
+    Literal,
+    Not,
+    all_of,
+    any_of,
+)
+
+
+def parse(sql):
+    """Parse one statement; raises :class:`SQLSyntaxError` on bad input."""
+    return _Parser(lexer.tokenize(sql)).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self):
+        return self._tokens[self._pos]
+
+    def _advance(self):
+        token = self._tokens[self._pos]
+        if token.kind != lexer.EOF:
+            self._pos += 1
+        return token
+
+    def _accept(self, kind, value=None):
+        if self._peek().matches(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind, value=None):
+        token = self._accept(kind, value)
+        if token is None:
+            actual = self._peek()
+            wanted = value if value is not None else kind
+            raise SQLSyntaxError(
+                f"expected {wanted}, found {actual.value!r}", actual.position
+            )
+        return token
+
+    def _expect_ident(self):
+        token = self._peek()
+        if token.kind == lexer.IDENT:
+            return self._advance().value
+        raise SQLSyntaxError(
+            f"expected identifier, found {token.value!r}", token.position
+        )
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_statement(self):
+        token = self._peek()
+        if token.matches(lexer.KEYWORD, "SELECT"):
+            statement = self._parse_select_union()
+        elif token.matches(lexer.KEYWORD, "CREATE"):
+            statement = self._parse_create()
+        elif token.matches(lexer.KEYWORD, "INSERT"):
+            statement = self._parse_insert()
+        elif token.matches(lexer.KEYWORD, "DROP"):
+            statement = self._parse_drop()
+        elif token.matches(lexer.KEYWORD, "DELETE"):
+            statement = self._parse_delete()
+        else:
+            raise SQLSyntaxError(
+                f"unexpected start of statement: {token.value!r}",
+                token.position,
+            )
+        self._accept(lexer.PUNCT, ";")
+        end = self._peek()
+        if end.kind != lexer.EOF:
+            raise SQLSyntaxError(
+                f"trailing input after statement: {end.value!r}", end.position
+            )
+        return statement
+
+    def _parse_select_union(self):
+        selects = [self._parse_select()]
+        while self._accept(lexer.KEYWORD, "UNION"):
+            # Plain UNION (dedupe) is treated as UNION ALL: the paper's CC
+            # branches are disjoint by construction, so semantics agree.
+            self._accept(lexer.KEYWORD, "ALL")
+            selects.append(self._parse_select())
+        if len(selects) == 1:
+            return selects[0]
+        return UnionAll(selects)
+
+    def _parse_select(self):
+        self._expect(lexer.KEYWORD, "SELECT")
+        self._accept(lexer.KEYWORD, "DISTINCT")  # tolerated, counts differ
+        items = self._parse_items()
+        into = None
+        if self._accept(lexer.KEYWORD, "INTO"):
+            into = self._expect_ident()
+        self._expect(lexer.KEYWORD, "FROM")
+        table = self._parse_from()
+        where = None
+        if self._accept(lexer.KEYWORD, "WHERE"):
+            where = self._parse_or()
+        group_by = []
+        if self._accept(lexer.KEYWORD, "GROUP"):
+            self._expect(lexer.KEYWORD, "BY")
+            group_by.append(self._parse_name())
+            while self._accept(lexer.PUNCT, ","):
+                group_by.append(self._parse_name())
+        order_by = []
+        if self._accept(lexer.KEYWORD, "ORDER"):
+            self._expect(lexer.KEYWORD, "BY")
+            order_by.append(self._parse_order_item())
+            while self._accept(lexer.PUNCT, ","):
+                order_by.append(self._parse_order_item())
+        limit = None
+        if self._accept(lexer.KEYWORD, "LIMIT"):
+            token = self._peek()
+            if token.kind != lexer.NUMBER or not isinstance(token.value, int):
+                raise SQLSyntaxError(
+                    "LIMIT expects an integer", token.position
+                )
+            limit = self._advance().value
+            if limit < 0:
+                raise SQLSyntaxError("LIMIT must be non-negative",
+                                     token.position)
+        return Select(items, table, where=where, group_by=group_by,
+                      into=into, order_by=order_by, limit=limit)
+
+    def _parse_order_item(self):
+        name = self._parse_name()
+        ascending = True
+        if self._accept(lexer.KEYWORD, "DESC"):
+            ascending = False
+        else:
+            self._accept(lexer.KEYWORD, "ASC")
+        return (name, ascending)
+
+    def _parse_name(self):
+        """An identifier, optionally qualified (``alias.column``)."""
+        name = self._expect_ident()
+        if self._accept(lexer.PUNCT, "."):
+            name = f"{name}.{self._expect_ident()}"
+        return name
+
+    def _parse_from(self):
+        """The FROM clause: a table name or a two-table inner join."""
+        left_table, left_alias = self._parse_table_ref()
+        is_join = False
+        if self._accept(lexer.KEYWORD, "INNER"):
+            self._expect(lexer.KEYWORD, "JOIN")
+            is_join = True
+        elif self._accept(lexer.KEYWORD, "JOIN"):
+            is_join = True
+        if not is_join:
+            if left_alias is not None:
+                raise SQLSyntaxError(
+                    "table aliases are only supported in JOIN queries",
+                    self._peek().position,
+                )
+            return left_table
+        right_table, right_alias = self._parse_table_ref()
+        self._expect(lexer.KEYWORD, "ON")
+        left_column = self._parse_name()
+        self._expect(lexer.OP, "=")
+        right_column = self._parse_name()
+        try:
+            return JoinClause(
+                left_table, left_alias, right_table, right_alias,
+                left_column, right_column,
+            )
+        except ValueError as exc:
+            raise SQLSyntaxError(str(exc), self._peek().position) from None
+
+    def _parse_table_ref(self):
+        """``name [AS] [alias]`` — returns (name, alias-or-None)."""
+        name = self._expect_ident()
+        alias = None
+        if self._accept(lexer.KEYWORD, "AS"):
+            alias = self._expect_ident()
+        elif self._peek().kind == lexer.IDENT:
+            alias = self._advance().value
+        return name, alias
+
+    def _parse_items(self):
+        if self._accept(lexer.PUNCT, "*"):
+            return Star()
+        items = [self._parse_item()]
+        while self._accept(lexer.PUNCT, ","):
+            items.append(self._parse_item())
+        return items
+
+    def _parse_item(self):
+        token = self._peek()
+        if token.kind == lexer.KEYWORD and token.value in AGGREGATE_FUNCS:
+            func = self._advance().value
+            self._expect(lexer.PUNCT, "(")
+            if self._accept(lexer.PUNCT, "*"):
+                operand = Star()
+            else:
+                operand = self._parse_scalar()
+            self._expect(lexer.PUNCT, ")")
+            try:
+                expression = Aggregate(func, operand)
+            except ValueError as exc:
+                raise SQLSyntaxError(str(exc), token.position) from None
+        else:
+            expression = self._parse_scalar()
+        alias = None
+        if self._accept(lexer.KEYWORD, "AS"):
+            alias = self._expect_ident()
+        elif self._peek().kind == lexer.IDENT:
+            alias = self._advance().value
+        return SelectItem(expression, alias)
+
+    def _parse_create(self):
+        self._expect(lexer.KEYWORD, "CREATE")
+        if self._accept(lexer.KEYWORD, "INDEX"):
+            name = self._expect_ident()
+            self._expect(lexer.KEYWORD, "ON")
+            table = self._expect_ident()
+            self._expect(lexer.PUNCT, "(")
+            column = self._expect_ident()
+            self._expect(lexer.PUNCT, ")")
+            return CreateIndex(name, table, column)
+        self._expect(lexer.KEYWORD, "TABLE")
+        table = self._expect_ident()
+        self._expect(lexer.PUNCT, "(")
+        columns = [self._parse_column_def()]
+        while self._accept(lexer.PUNCT, ","):
+            columns.append(self._parse_column_def())
+        self._expect(lexer.PUNCT, ")")
+        return CreateTable(table, columns)
+
+    def _parse_column_def(self):
+        name = self._expect_ident()
+        type_name = self._expect_ident()
+        return (name, type_name)
+
+    def _parse_insert(self):
+        self._expect(lexer.KEYWORD, "INSERT")
+        self._expect(lexer.KEYWORD, "INTO")
+        table = self._expect_ident()
+        columns = None
+        if self._accept(lexer.PUNCT, "("):
+            columns = [self._expect_ident()]
+            while self._accept(lexer.PUNCT, ","):
+                columns.append(self._expect_ident())
+            self._expect(lexer.PUNCT, ")")
+        self._expect(lexer.KEYWORD, "VALUES")
+        rows = [self._parse_value_row()]
+        while self._accept(lexer.PUNCT, ","):
+            rows.append(self._parse_value_row())
+        return InsertValues(table, columns, rows)
+
+    def _parse_value_row(self):
+        self._expect(lexer.PUNCT, "(")
+        values = [self._parse_literal_value()]
+        while self._accept(lexer.PUNCT, ","):
+            values.append(self._parse_literal_value())
+        self._expect(lexer.PUNCT, ")")
+        return values
+
+    def _parse_delete(self):
+        self._expect(lexer.KEYWORD, "DELETE")
+        self._expect(lexer.KEYWORD, "FROM")
+        table = self._expect_ident()
+        where = None
+        if self._accept(lexer.KEYWORD, "WHERE"):
+            where = self._parse_or()
+        return DeleteRows(table, where)
+
+    def _parse_drop(self):
+        self._expect(lexer.KEYWORD, "DROP")
+        if self._accept(lexer.KEYWORD, "INDEX"):
+            return DropIndex(self._expect_ident())
+        self._expect(lexer.KEYWORD, "TABLE")
+        return DropTable(self._expect_ident())
+
+    # -- predicates ----------------------------------------------------------
+
+    def _parse_or(self):
+        parts = [self._parse_and()]
+        while self._accept(lexer.KEYWORD, "OR"):
+            parts.append(self._parse_and())
+        return any_of(parts) if len(parts) > 1 else parts[0]
+
+    def _parse_and(self):
+        parts = [self._parse_not()]
+        while self._accept(lexer.KEYWORD, "AND"):
+            parts.append(self._parse_not())
+        return all_of(parts) if len(parts) > 1 else parts[0]
+
+    def _parse_not(self):
+        if self._accept(lexer.KEYWORD, "NOT"):
+            return Not(self._parse_not())
+        return self._parse_primary_pred()
+
+    def _parse_primary_pred(self):
+        if self._peek().matches(lexer.PUNCT, "("):
+            # Could be a parenthesised predicate or a parenthesised scalar
+            # followed by a comparison; backtrack handles both.
+            saved = self._pos
+            self._advance()
+            try:
+                inner = self._parse_or()
+                self._expect(lexer.PUNCT, ")")
+            except SQLSyntaxError:
+                self._pos = saved
+            else:
+                if not self._at_comparison():
+                    return inner
+                self._pos = saved
+        left = self._parse_scalar()
+        token = self._peek()
+        if token.kind == lexer.OP:
+            op = self._advance().value
+            right = self._parse_scalar()
+            return Comparison(op, left, right)
+        negated = bool(self._accept(lexer.KEYWORD, "NOT"))
+        if self._accept(lexer.KEYWORD, "IN"):
+            self._expect(lexer.PUNCT, "(")
+            values = [self._parse_literal_value()]
+            while self._accept(lexer.PUNCT, ","):
+                values.append(self._parse_literal_value())
+            self._expect(lexer.PUNCT, ")")
+            membership = InList(left, values)
+            return Not(membership) if negated else membership
+        raise SQLSyntaxError(
+            f"expected comparison or IN, found {token.value!r}",
+            token.position,
+        )
+
+    def _at_comparison(self):
+        token = self._peek()
+        return token.kind == lexer.OP or token.matches(
+            lexer.KEYWORD, "IN"
+        )
+
+    def _parse_scalar(self):
+        token = self._peek()
+        if token.kind == lexer.IDENT:
+            return ColumnRef(self._parse_name())
+        if token.kind in (lexer.NUMBER, lexer.STRING):
+            return Literal(self._advance().value)
+        if token.matches(lexer.KEYWORD, "NULL"):
+            self._advance()
+            return Literal(None)
+        if token.matches(lexer.PUNCT, "("):
+            self._advance()
+            inner = self._parse_scalar()
+            self._expect(lexer.PUNCT, ")")
+            return inner
+        raise SQLSyntaxError(
+            f"expected a scalar expression, found {token.value!r}",
+            token.position,
+        )
+
+    def _parse_literal_value(self):
+        token = self._peek()
+        if token.kind in (lexer.NUMBER, lexer.STRING):
+            return self._advance().value
+        if token.matches(lexer.KEYWORD, "NULL"):
+            self._advance()
+            return None
+        raise SQLSyntaxError(
+            f"expected a literal, found {token.value!r}", token.position
+        )

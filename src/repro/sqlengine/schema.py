@@ -1,0 +1,111 @@
+"""Table schemas: ordered, typed columns with byte-width accounting."""
+
+from __future__ import annotations
+
+from ..common.errors import CatalogError, TypeMismatchError
+from .types import TYPE_WIDTH_BYTES, ColumnType, check_value
+
+
+class Column:
+    """A named, typed column."""
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name, column_type):
+        if not name or not isinstance(name, str):
+            raise ValueError("column name must be a non-empty string")
+        if not isinstance(column_type, ColumnType):
+            column_type = ColumnType.parse(str(column_type))
+        self.name = name
+        self.type = column_type
+
+    @property
+    def width_bytes(self):
+        """Simulated storage width of this column."""
+        return TYPE_WIDTH_BYTES[self.type]
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Column)
+            and self.name == other.name
+            and self.type == other.type
+        )
+
+    def __hash__(self):
+        return hash((self.name, self.type))
+
+    def __repr__(self):
+        return f"Column({self.name!r}, {self.type.value})"
+
+
+class TableSchema:
+    """An ordered collection of :class:`Column` with fast name lookup."""
+
+    def __init__(self, columns):
+        columns = list(columns)
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in schema: {names}")
+        self.columns = columns
+        self._index = {c.name: i for i, c in enumerate(columns)}
+
+    @classmethod
+    def of(cls, *specs):
+        """Build a schema from ``("name", "type")`` pairs."""
+        return cls(Column(name, type_) for name, type_ in specs)
+
+    @property
+    def column_names(self):
+        return [c.name for c in self.columns]
+
+    @property
+    def row_bytes(self):
+        """Simulated width of one row (sum of column widths)."""
+        return sum(c.width_bytes for c in self.columns)
+
+    def __len__(self):
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def has_column(self, name):
+        return name in self._index
+
+    def index_of(self, name):
+        """Position of column ``name``; raises :class:`CatalogError`."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise CatalogError(f"no such column: {name!r}") from None
+
+    def column(self, name):
+        return self.columns[self.index_of(name)]
+
+    def validate_row(self, row):
+        """Type-check ``row`` (a sequence) against this schema."""
+        if len(row) != len(self.columns):
+            raise TypeMismatchError(
+                f"row has {len(row)} values, schema has {len(self.columns)}"
+            )
+        for column, value in zip(self.columns, row):
+            try:
+                check_value(column.type, value)
+            except TypeMismatchError as exc:
+                raise TypeMismatchError(
+                    f"column {column.name!r}: {exc}"
+                ) from None
+        return tuple(row)
+
+    def project(self, names):
+        """A new schema containing only ``names``, in the given order."""
+        return TableSchema([self.column(name) for name in names])
+
+    def __eq__(self, other):
+        return isinstance(other, TableSchema) and self.columns == other.columns
+
+    def __repr__(self):
+        cols = ", ".join(f"{c.name} {c.type.value}" for c in self.columns)
+        return f"TableSchema({cols})"

@@ -1,0 +1,61 @@
+"""Column types supported by the SQL engine.
+
+The mining workloads only need small integers (categorical value codes)
+and strings (attribute names in CC-table result sets), so the engine
+supports exactly ``INT`` and ``VARCHAR``.  Each type knows its simulated
+on-disk width, which is what the page layout and all "data set size in
+bytes" figures are computed from.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..common.errors import TypeMismatchError
+
+
+class ColumnType(enum.Enum):
+    """SQL column types known to the engine."""
+
+    INT = "INT"
+    VARCHAR = "VARCHAR"
+
+    @classmethod
+    def parse(cls, text):
+        """Parse a type name (case-insensitive) into a :class:`ColumnType`."""
+        normalized = text.strip().upper()
+        # Accept a couple of common aliases so hand-written DDL reads well.
+        aliases = {"INTEGER": "INT", "TEXT": "VARCHAR", "STRING": "VARCHAR"}
+        normalized = aliases.get(normalized, normalized)
+        try:
+            return cls(normalized)
+        except ValueError:
+            raise TypeMismatchError(f"unknown column type: {text!r}") from None
+
+
+#: Simulated storage width in bytes for each type.  VARCHAR is modelled as
+#: a fixed-width 16-byte field: the reproduction's datasets are categorical
+#: codes, so row width must be deterministic for size accounting.
+TYPE_WIDTH_BYTES = {
+    ColumnType.INT: 4,
+    ColumnType.VARCHAR: 16,
+}
+
+
+def check_value(column_type, value):
+    """Validate ``value`` against ``column_type``; returns the value.
+
+    ``None`` is accepted for either type (SQL NULL).  Bools are rejected
+    as INTs to catch accidental predicate results stored as data.
+    """
+    if value is None:
+        return value
+    if column_type is ColumnType.INT:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeMismatchError(f"expected INT, got {value!r}")
+    elif column_type is ColumnType.VARCHAR:
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"expected VARCHAR, got {value!r}")
+    else:  # pragma: no cover - enum is closed
+        raise TypeMismatchError(f"unsupported type: {column_type}")
+    return value

@@ -1,0 +1,63 @@
+"""Unit tests for the chi-square splitting criterion."""
+
+import pytest
+
+from repro.client.baselines import grow_in_memory
+from repro.client.criteria import ChiSquare, make_criterion
+from repro.client.growth import GrowthPolicy
+
+
+class TestChiSquareScore:
+    def test_perfect_association_is_one(self):
+        score = ChiSquare().score([5, 5], [[5, 0], [0, 5]])
+        assert score == pytest.approx(1.0)
+
+    def test_independence_is_zero(self):
+        score = ChiSquare().score([6, 6], [[3, 3], [3, 3]])
+        assert score == pytest.approx(0.0)
+
+    def test_partial_association_in_between(self):
+        score = ChiSquare().score([6, 6], [[4, 2], [2, 4]])
+        assert 0.0 < score < 1.0
+
+    def test_empty_parent(self):
+        assert ChiSquare().score([0, 0], [[0, 0]]) == 0.0
+
+    def test_single_live_child_is_zero(self):
+        assert ChiSquare().score([4, 4], [[4, 4], [0, 0]]) == 0.0
+
+    def test_multiway_perfect_split(self):
+        parent = [3, 3, 3]
+        children = [[3, 0, 0], [0, 3, 0], [0, 0, 3]]
+        assert ChiSquare().score(parent, children) == pytest.approx(1.0)
+
+    def test_registered_by_name(self):
+        assert isinstance(make_criterion("chi2"), ChiSquare)
+
+
+class TestChiSquareGrowth:
+    def test_grows_perfect_tree_on_clean_data(self, small_tree_dataset):
+        generating, rows = small_tree_dataset
+        tree = grow_in_memory(
+            rows, generating.spec, GrowthPolicy(criterion="chi2")
+        )
+        assert tree.accuracy(rows) == 1.0
+
+    def test_middleware_equivalence_holds_for_chi2(self, loaded_server):
+        from repro.client.decision_tree import DecisionTreeClassifier
+        from repro.core.config import MiddlewareConfig
+        from repro.core.middleware import Middleware
+
+        from ..conftest import tree_signature
+
+        server, spec, rows = loaded_server
+        reference = grow_in_memory(
+            rows, spec, GrowthPolicy(criterion="chi2")
+        )
+        with Middleware(
+            server, "data", spec, MiddlewareConfig(memory_bytes=300_000)
+        ) as mw:
+            model = DecisionTreeClassifier(criterion="chi2").fit(mw)
+        assert tree_signature(model.tree.root) == tree_signature(
+            reference.root
+        )

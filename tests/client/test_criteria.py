@@ -1,0 +1,117 @@
+"""Unit tests for splitting criteria."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ClientError
+from repro.client.criteria import (
+    GainRatio,
+    GiniGain,
+    InformationGain,
+    entropy,
+    gini,
+    make_criterion,
+)
+
+
+class TestEntropy:
+    def test_pure_is_zero(self):
+        assert entropy([10, 0, 0]) == 0.0
+
+    def test_uniform_two_classes_is_one_bit(self):
+        assert entropy([5, 5]) == pytest.approx(1.0)
+
+    def test_uniform_four_classes_is_two_bits(self):
+        assert entropy([3, 3, 3, 3]) == pytest.approx(2.0)
+
+    def test_empty_counts(self):
+        assert entropy([]) == 0.0
+        assert entropy([0, 0]) == 0.0
+
+    def test_known_value(self):
+        # H(0.25, 0.75) = 0.8113 bits
+        assert entropy([1, 3]) == pytest.approx(0.8113, abs=1e-4)
+
+
+class TestGini:
+    def test_pure_is_zero(self):
+        assert gini([7, 0]) == 0.0
+
+    def test_uniform_two_classes(self):
+        assert gini([5, 5]) == pytest.approx(0.5)
+
+    def test_empty_counts(self):
+        assert gini([0, 0]) == 0.0
+
+    def test_bounded_below_one(self):
+        assert gini([1, 1, 1, 1, 1]) == pytest.approx(0.8)
+
+
+class TestInformationGain:
+    def test_perfect_split_gains_full_entropy(self):
+        criterion = InformationGain()
+        parent = [5, 5]
+        children = [[5, 0], [0, 5]]
+        assert criterion.score(parent, children) == pytest.approx(1.0)
+
+    def test_useless_split_gains_nothing(self):
+        criterion = InformationGain()
+        parent = [6, 6]
+        children = [[3, 3], [3, 3]]
+        assert criterion.score(parent, children) == pytest.approx(0.0)
+
+    def test_empty_parent(self):
+        assert InformationGain().score([0, 0], [[0, 0]]) == 0.0
+
+    def test_weighted_remainder(self):
+        # Quinlan's classic weather example: outlook split gain 0.2467.
+        parent = [9, 5]
+        children = [[2, 3], [4, 0], [3, 2]]
+        assert InformationGain().score(parent, children) == pytest.approx(
+            0.2467, abs=1e-4
+        )
+
+
+class TestGainRatio:
+    def test_normalises_by_split_info(self):
+        parent = [9, 5]
+        children = [[2, 3], [4, 0], [3, 2]]
+        gain = InformationGain().score(parent, children)
+        split_info = entropy([5, 4, 5])
+        assert GainRatio().score(parent, children) == pytest.approx(
+            gain / split_info
+        )
+
+    def test_zero_gain_is_zero(self):
+        assert GainRatio().score([6, 6], [[3, 3], [3, 3]]) == 0.0
+
+    def test_degenerate_single_child(self):
+        # split_info = 0 must not divide by zero.
+        assert GainRatio().score([5, 5], [[5, 5]]) == 0.0
+
+
+class TestGiniGain:
+    def test_perfect_split(self):
+        assert GiniGain().score([5, 5], [[5, 0], [0, 5]]) == pytest.approx(0.5)
+
+    def test_useless_split(self):
+        assert GiniGain().score([6, 6], [[3, 3], [3, 3]]) == pytest.approx(0.0)
+
+
+class TestMakeCriterion:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("entropy", InformationGain), ("gain_ratio", GainRatio),
+         ("gini", GiniGain)],
+    )
+    def test_by_name(self, name, cls):
+        assert isinstance(make_criterion(name), cls)
+
+    def test_instance_passthrough(self):
+        criterion = GiniGain()
+        assert make_criterion(criterion) is criterion
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ClientError):
+            make_criterion("chi_squared")

@@ -1,0 +1,93 @@
+"""Unit tests for the middleware-driven decision-tree classifier."""
+
+import pytest
+
+from repro.client.baselines import grow_in_memory
+from repro.client.decision_tree import DecisionTreeClassifier
+from repro.client.growth import GrowthPolicy
+from repro.common.errors import NotFittedError
+from repro.core.config import MiddlewareConfig
+from repro.core.middleware import Middleware
+
+from ..conftest import tree_signature
+
+
+def fit(server, spec, config=None, **classifier_kwargs):
+    config = config or MiddlewareConfig(memory_bytes=500_000)
+    with Middleware(server, "data", spec, config) as mw:
+        return DecisionTreeClassifier(**classifier_kwargs).fit(mw)
+
+
+class TestFit:
+    def test_perfect_fit_on_generating_tree_data(self, loaded_server):
+        server, spec, rows = loaded_server
+        model = fit(server, spec)
+        assert model.accuracy(rows) == 1.0
+
+    def test_matches_in_memory_reference(self, loaded_server):
+        server, spec, rows = loaded_server
+        model = fit(server, spec)
+        reference = grow_in_memory(rows, spec, GrowthPolicy())
+        assert tree_signature(model.tree.root) == tree_signature(
+            reference.root
+        )
+
+    def test_max_depth_respected(self, loaded_server):
+        server, spec, _ = loaded_server
+        model = fit(server, spec, max_depth=3)
+        assert model.tree.depth <= 3
+
+    def test_min_rows_prunes_small_nodes(self, loaded_server):
+        server, spec, _ = loaded_server
+        small = fit(server, spec, min_rows=2)
+        large = fit(server, spec, min_rows=50)
+        assert large.tree.n_nodes < small.tree.n_nodes
+
+    def test_gini_criterion_also_fits(self, loaded_server):
+        server, spec, rows = loaded_server
+        model = fit(server, spec, criterion="gini")
+        assert model.accuracy(rows) == 1.0
+
+    def test_multiway_splits(self, loaded_server):
+        server, spec, rows = loaded_server
+        model = fit(server, spec, binary_splits=False)
+        assert model.accuracy(rows) == 1.0
+        internal = [
+            n for n in model.tree.walk() if not n.is_leaf and n.children
+        ]
+        assert any(len(n.children) > 2 for n in internal)
+
+    def test_nodes_record_data_locations(self, loaded_server):
+        server, spec, _ = loaded_server
+        model = fit(server, spec)
+        tags = {
+            n.location_tag
+            for n in model.tree.walk()
+            if n.location_tag is not None
+        }
+        assert tags <= {"S", "I", "L"}
+        assert "S" in tags  # the root always comes off the server
+
+
+class TestUnfitted:
+    def test_predict_before_fit_raises(self):
+        model = DecisionTreeClassifier()
+        with pytest.raises(NotFittedError):
+            model.predict_row((0, 0, 0))
+
+    def test_repr_unfitted(self):
+        assert "unfitted" in repr(DecisionTreeClassifier())
+
+
+class TestPrediction:
+    def test_rules_cover_all_rows(self, loaded_server):
+        server, spec, rows = loaded_server
+        model = fit(server, spec)
+        support = sum(s for _, _, s in model.rules())
+        assert support == len(rows)
+
+    def test_predict_batch(self, loaded_server):
+        server, spec, rows = loaded_server
+        model = fit(server, spec)
+        labels = model.predict(rows[:10])
+        assert labels == [row[-1] for row in rows[:10]]

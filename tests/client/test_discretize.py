@@ -1,0 +1,127 @@
+"""Unit tests for numeric discretisation."""
+
+import numpy as np
+import pytest
+
+from repro.client.discretize import (
+    Discretizer,
+    equal_frequency_edges,
+    equal_width_edges,
+    mdl_entropy_edges,
+)
+from repro.common.errors import ClientError
+
+
+class TestEqualWidth:
+    def test_uniform_edges(self):
+        edges = equal_width_edges([0.0, 10.0], 5)
+        assert edges == pytest.approx([2.0, 4.0, 6.0, 8.0])
+
+    def test_constant_column_has_no_edges(self):
+        assert equal_width_edges([3.0, 3.0, 3.0], 4) == []
+
+    def test_bad_inputs(self):
+        with pytest.raises(ClientError):
+            equal_width_edges([1.0], 1)
+        with pytest.raises(ClientError):
+            equal_width_edges([], 3)
+
+
+class TestEqualFrequency:
+    def test_balances_counts(self):
+        values = list(range(100))
+        edges = equal_frequency_edges(values, 4)
+        assert len(edges) == 3
+        codes = np.searchsorted(edges, values)
+        counts = np.bincount(codes)
+        assert counts.max() - counts.min() <= 2
+
+    def test_heavy_ties_collapse_edges(self):
+        values = [1.0] * 90 + [2.0] * 10
+        edges = equal_frequency_edges(values, 4)
+        assert len(edges) <= 1
+
+    def test_bad_inputs(self):
+        with pytest.raises(ClientError):
+            equal_frequency_edges([], 2)
+
+
+class TestMDL:
+    def test_separable_data_gets_cut_at_boundary(self):
+        rng = np.random.default_rng(0)
+        left = rng.normal(0.0, 0.3, 200)
+        right = rng.normal(5.0, 0.3, 200)
+        values = np.concatenate([left, right])
+        labels = np.array([0] * 200 + [1] * 200)
+        edges = mdl_entropy_edges(values, labels)
+        assert len(edges) >= 1
+        assert any(1.0 < e < 4.0 for e in edges)
+
+    def test_random_labels_get_no_cut(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 1, 300)
+        labels = rng.integers(0, 2, 300)
+        edges = mdl_entropy_edges(values, labels)
+        assert len(edges) <= 1  # MDL rejects uninformative cuts
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ClientError):
+            mdl_entropy_edges([1.0, 2.0], [0])
+
+
+class TestDiscretizer:
+    def test_fit_transform_codes_in_range(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 3))
+        codes = Discretizer("equal_width", n_bins=4).fit_transform(X)
+        assert codes.shape == X.shape
+        assert codes.min() >= 0
+        assert codes.max() <= 3
+
+    def test_monotone_mapping(self):
+        X = np.array([[0.0], [1.0], [2.0], [10.0]])
+        codes = Discretizer("equal_width", n_bins=2).fit_transform(X)
+        assert (np.diff(codes[:, 0]) >= 0).all()
+
+    def test_mdl_requires_labels(self):
+        X = np.zeros((10, 2))
+        with pytest.raises(ClientError):
+            Discretizer("mdl").fit(X)
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(ClientError):
+            Discretizer().transform(np.zeros((2, 2)))
+
+    def test_spec_from_edges(self):
+        X = np.array([[0.0, 5.0], [1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+        disc = Discretizer("equal_width", n_bins=4).fit(X)
+        spec = disc.spec(n_classes=2, attribute_names=["x", "const"])
+        assert spec.cardinality("x") == 4
+        # The constant column got no edges but stays a valid attribute.
+        assert spec.cardinality("const") == 2
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ClientError):
+            Discretizer("kmeans")
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(ClientError):
+            Discretizer().fit(np.zeros(5))
+
+    def test_end_to_end_with_tree(self):
+        # Numeric two-cluster data -> discretise -> grow a tree.
+        from repro.client.baselines import grow_in_memory
+        from repro.client.growth import GrowthPolicy
+
+        rng = np.random.default_rng(3)
+        X0 = rng.normal(-3.0, 0.5, size=(60, 2))
+        X1 = rng.normal(3.0, 0.5, size=(60, 2))
+        X = np.vstack([X0, X1])
+        y = np.array([0] * 60 + [1] * 60)
+        disc = Discretizer("equal_width", n_bins=6).fit(X)
+        codes = disc.transform(X)
+        spec = disc.spec(n_classes=2)
+        rows = [tuple(int(v) for v in row) + (int(label),)
+                for row, label in zip(codes, y)]
+        tree = grow_in_memory(rows, spec, GrowthPolicy())
+        assert tree.accuracy(rows) > 0.95

@@ -1,0 +1,128 @@
+"""Unit tests for evaluation utilities."""
+
+import pytest
+
+from repro.client.evaluation import (
+    confusion_matrix,
+    cross_validate,
+    evaluate,
+    train_test_split,
+)
+from repro.client.growth import GrowthPolicy
+from repro.common.errors import ClientError
+
+
+class _ConstantModel:
+    """Predicts one fixed label — handy for exact-metric checks."""
+
+    def __init__(self, label):
+        self._label = label
+
+    def predict_row(self, row):
+        return self._label
+
+
+class _OracleModel:
+    def predict_row(self, row):
+        return row[-1]
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        rows = [(i, i % 2) for i in range(100)]
+        train, test = train_test_split(rows, test_fraction=0.2, seed=1)
+        assert len(test) == 20
+        assert len(train) == 80
+
+    def test_partition_is_exact(self):
+        rows = [(i, 0) for i in range(30)]
+        train, test = train_test_split(rows, seed=2)
+        assert sorted(train + test) == rows
+
+    def test_deterministic_per_seed(self):
+        rows = [(i, 0) for i in range(30)]
+        assert train_test_split(rows, seed=3) == train_test_split(rows, seed=3)
+        assert train_test_split(rows, seed=3) != train_test_split(rows, seed=4)
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5])
+    def test_bad_fraction(self, fraction):
+        with pytest.raises(ClientError):
+            train_test_split([(0, 0), (1, 1)], test_fraction=fraction)
+
+    def test_too_few_rows(self):
+        with pytest.raises(ClientError):
+            train_test_split([(0, 0)])
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = confusion_matrix([0, 0, 1, 1, 1], [0, 1, 1, 1, 0], 2)
+        assert matrix == [[1, 1], [1, 2]]
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ClientError):
+            confusion_matrix([0], [0, 1], 2)
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ClientError):
+            confusion_matrix([5], [0], 2)
+
+
+class TestEvaluate:
+    ROWS = [(0, 0)] * 6 + [(0, 1)] * 4  # features irrelevant
+
+    def test_oracle_is_perfect(self):
+        report = evaluate(_OracleModel(), self.ROWS, 2)
+        assert report.accuracy == 1.0
+        assert report.macro_f1 == 1.0
+
+    def test_constant_model_metrics(self):
+        report = evaluate(_ConstantModel(0), self.ROWS, 2)
+        assert report.accuracy == pytest.approx(0.6)
+        class0, class1 = report.per_class
+        assert class0.precision == pytest.approx(0.6)
+        assert class0.recall == 1.0
+        assert class1.recall == 0.0
+        assert class1.support == 4
+
+    def test_macro_f1_ignores_absent_classes(self):
+        rows = [(0, 0)] * 5
+        report = evaluate(_OracleModel(), rows, 3)
+        assert report.macro_f1 == 1.0
+
+    def test_str_is_readable(self):
+        report = evaluate(_ConstantModel(0), self.ROWS, 2)
+        text = str(report)
+        assert "accuracy" in text
+        assert "class 1" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClientError):
+            evaluate(_OracleModel(), [], 2)
+
+
+class TestCrossValidate:
+    def test_clean_data_scores_high(self, small_tree_dataset):
+        generating, rows = small_tree_dataset
+        scores = cross_validate(rows, generating.spec, k=4, seed=5)
+        assert len(scores) == 4
+        assert min(scores) > 0.6
+        assert sum(scores) / len(scores) > 0.8
+
+    def test_max_depth_policy_flows_through(self, small_tree_dataset):
+        generating, rows = small_tree_dataset
+        shallow = cross_validate(
+            rows, generating.spec, policy=GrowthPolicy(max_depth=1), k=3
+        )
+        deep = cross_validate(rows, generating.spec, k=3)
+        assert sum(deep) >= sum(shallow)
+
+    def test_bad_k_rejected(self, small_tree_dataset):
+        generating, rows = small_tree_dataset
+        with pytest.raises(ClientError):
+            cross_validate(rows, generating.spec, k=1)
+
+    def test_more_folds_than_rows_rejected(self, small_tree_dataset):
+        generating, rows = small_tree_dataset
+        with pytest.raises(ClientError):
+            cross_validate(rows[:3], generating.spec, k=5)

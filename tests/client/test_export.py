@@ -1,0 +1,86 @@
+"""Unit tests for deploying trees back into the database as SQL."""
+
+import pytest
+
+from repro.client.baselines import grow_in_memory
+from repro.client.export import (
+    in_database_accuracy,
+    leaf_predicates,
+    predict_in_database,
+    tree_to_sql,
+    tree_to_statement,
+)
+from repro.client.growth import GrowthPolicy
+from repro.common.errors import ClientError
+from repro.sqlengine.parser import parse
+
+
+@pytest.fixture
+def deployed(loaded_server):
+    server, spec, rows = loaded_server
+    tree = grow_in_memory(rows, spec, GrowthPolicy())
+    return server, spec, rows, tree
+
+
+class TestLeafPredicates:
+    def test_one_entry_per_leaf(self, deployed):
+        _, __, ___, tree = deployed
+        assert len(leaf_predicates(tree)) == tree.n_leaves
+
+    def test_predicates_render_conditions(self, deployed):
+        _, __, ___, tree = deployed
+        rendered = [sql for sql, _ in leaf_predicates(tree) if sql]
+        assert rendered
+        assert all("=" in sql or "<>" in sql for sql in rendered)
+
+
+class TestTreeToSQL:
+    def test_sql_parses(self, deployed):
+        _, __, ___, tree = deployed
+        sql = tree_to_sql(tree, "data")
+        parse(sql)
+
+    def test_statement_has_branch_per_leaf(self, deployed):
+        _, __, ___, tree = deployed
+        statement = tree_to_statement(tree, "data")
+        assert len(statement.selects) == tree.n_leaves
+
+    def test_predicted_column_name_collision_rejected(self, deployed):
+        _, __, ___, tree = deployed
+        with pytest.raises(ClientError):
+            tree_to_statement(tree, "data", predicted_column="A1")
+
+    def test_single_leaf_tree(self, loaded_server):
+        server, spec, rows = loaded_server
+        stump = grow_in_memory(rows, spec, GrowthPolicy(max_depth=0))
+        sql = tree_to_sql(stump, "data")
+        result = server.execute(sql)
+        assert len(result) == len(rows)
+
+
+class TestInDatabaseScoring:
+    def test_covers_every_row_once(self, deployed):
+        server, _, rows, tree = deployed
+        result = predict_in_database(server, "data", tree)
+        assert len(result) == len(rows)
+
+    def test_predictions_match_client_side(self, deployed):
+        server, spec, _, tree = deployed
+        result = predict_in_database(server, "data", tree)
+        for row in result.rows:
+            data_row = row[: spec.n_attributes + 1]
+            assert tree.predict_row(data_row) == row[-1]
+
+    def test_in_database_accuracy_matches_client(self, deployed):
+        server, _, rows, tree = deployed
+        assert in_database_accuracy(server, "data", tree) == pytest.approx(
+            tree.accuracy(rows)
+        )
+
+    def test_output_schema(self, deployed):
+        server, spec, _, tree = deployed
+        result = predict_in_database(server, "data", tree,
+                                     predicted_column="label_hat")
+        assert result.columns == (
+            spec.attribute_names + [spec.class_name, "label_hat"]
+        )

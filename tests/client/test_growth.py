@@ -1,0 +1,136 @@
+"""Unit tests for the shared growth logic (Algorithm Grow)."""
+
+import pytest
+
+from repro.client.baselines import build_cc_from_rows
+from repro.client.growth import (
+    GrowthPolicy,
+    is_terminal_before_counting,
+    partition_node,
+)
+from repro.client.tree import DecisionTree, NodeState
+from repro.common.errors import ClientError
+from repro.datagen.dataset import DatasetSpec
+
+SPEC = DatasetSpec([3, 2], 2)
+
+SEPARABLE = [
+    (0, 0, 0), (0, 1, 0), (0, 0, 0),
+    (1, 0, 1), (1, 1, 1),
+    (2, 1, 1), (2, 0, 1),
+]
+
+
+class TestGrowthPolicy:
+    def test_defaults(self):
+        policy = GrowthPolicy()
+        assert policy.criterion.name == "entropy"
+        assert policy.binary_splits
+        assert policy.max_depth is None
+        assert policy.min_rows == 2
+
+    def test_criterion_coerced_from_string(self):
+        policy = GrowthPolicy(criterion="gini")
+        assert policy.criterion.name == "gini"
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ClientError):
+            GrowthPolicy(min_rows=0)
+        with pytest.raises(ClientError):
+            GrowthPolicy(max_depth=-1)
+
+
+class TestTerminalChecks:
+    def make_node(self, **overrides):
+        tree = DecisionTree(SPEC)
+        node = tree.root
+        node.n_rows = overrides.get("n_rows", 10)
+        node.class_counts = overrides.get("class_counts", [5, 5])
+        if "attributes" in overrides:
+            node.attributes = overrides["attributes"]
+        return node
+
+    def test_pure_node_is_terminal(self):
+        node = self.make_node(class_counts=[10, 0])
+        assert is_terminal_before_counting(node, GrowthPolicy())
+
+    def test_small_node_is_terminal(self):
+        node = self.make_node(n_rows=1)
+        assert is_terminal_before_counting(node, GrowthPolicy(min_rows=2))
+
+    def test_depth_limit(self):
+        node = self.make_node()
+        assert is_terminal_before_counting(node, GrowthPolicy(max_depth=0))
+        assert not is_terminal_before_counting(node, GrowthPolicy(max_depth=1))
+
+    def test_no_attributes_is_terminal(self):
+        node = self.make_node(attributes=())
+        assert is_terminal_before_counting(node, GrowthPolicy())
+
+    def test_healthy_node_not_terminal(self):
+        node = self.make_node()
+        assert not is_terminal_before_counting(node, GrowthPolicy())
+
+
+class TestPartitionNode:
+    def test_root_adopts_cc_statistics(self):
+        tree = DecisionTree(SPEC)
+        tree.root.n_rows = len(SEPARABLE)
+        cc = build_cc_from_rows(SEPARABLE, SPEC, tree.root.attributes)
+        partition_node(tree, tree.root, cc, GrowthPolicy())
+        assert tree.root.class_counts == [3, 4]
+
+    def test_partition_creates_children_with_exact_stats(self):
+        tree = DecisionTree(SPEC)
+        tree.root.n_rows = len(SEPARABLE)
+        cc = build_cc_from_rows(SEPARABLE, SPEC, tree.root.attributes)
+        to_count = partition_node(tree, tree.root, cc, GrowthPolicy())
+        assert tree.root.state is NodeState.PARTITIONED
+        assert tree.root.split_attribute == "A1"
+        left, right = tree.root.children
+        assert left.n_rows == 3 and right.n_rows == 4
+        # Both children are pure -> leaves without further counting.
+        assert to_count == []
+        assert left.is_leaf and right.is_leaf
+
+    def test_impure_children_returned_for_counting(self):
+        rows = [
+            (0, 0, 0), (0, 1, 1), (0, 0, 0), (0, 1, 1),
+            (1, 0, 1), (1, 1, 1),
+            (2, 0, 0), (2, 1, 0),
+        ]
+        tree = DecisionTree(SPEC)
+        tree.root.n_rows = len(rows)
+        cc = build_cc_from_rows(rows, SPEC, tree.root.attributes)
+        to_count = partition_node(tree, tree.root, cc, GrowthPolicy())
+        assert to_count
+        assert all(n.state is NodeState.ACTIVE for n in to_count)
+
+    def test_no_split_marks_leaf(self):
+        rows = [(0, 0, 0), (0, 0, 1)]  # identical attributes, mixed class
+        tree = DecisionTree(SPEC)
+        tree.root.n_rows = len(rows)
+        cc = build_cc_from_rows(rows, SPEC, tree.root.attributes)
+        assert partition_node(tree, tree.root, cc, GrowthPolicy()) == []
+        assert tree.root.is_leaf
+
+    def test_cc_size_mismatch_rejected(self):
+        tree = DecisionTree(SPEC)
+        tree.root.n_rows = 99
+        tree.root.class_counts = [44, 55]  # known stats promise 99 rows
+        cc = build_cc_from_rows(SEPARABLE, SPEC, tree.root.attributes)
+        with pytest.raises(ClientError):
+            partition_node(tree, tree.root, cc, GrowthPolicy())
+
+    def test_multiway_policy(self):
+        tree = DecisionTree(SPEC)
+        tree.root.n_rows = len(SEPARABLE)
+        cc = build_cc_from_rows(SEPARABLE, SPEC, tree.root.attributes)
+        partition_node(
+            tree, tree.root, cc, GrowthPolicy(binary_splits=False)
+        )
+        assert len(tree.root.children) == 3
+        # The split attribute is consumed by a complete split.
+        assert all(
+            "A1" not in child.attributes for child in tree.root.children
+        )

@@ -1,0 +1,88 @@
+"""Unit tests for pessimistic pruning."""
+
+import pytest
+
+from repro.client.baselines import grow_in_memory
+from repro.client.growth import GrowthPolicy
+from repro.client.prune import node_leaf_errors, pessimistic_errors, prune
+from repro.common.errors import ClientError
+from repro.datagen.dataset import DatasetSpec
+from repro.datagen.random_tree import RandomTreeConfig, build_random_tree
+
+
+class TestPessimisticErrors:
+    def test_zero_rows(self):
+        assert pessimistic_errors(0, 0) == 0.0
+
+    def test_upper_bound_exceeds_observed(self):
+        assert pessimistic_errors(20, 4) > 4.0
+
+    def test_monotone_in_observed_errors(self):
+        assert pessimistic_errors(50, 10) > pessimistic_errors(50, 5)
+
+    def test_cf_50_is_observed_rate(self):
+        assert pessimistic_errors(40, 8, cf=0.50) == pytest.approx(8.0)
+
+    def test_tighter_confidence_is_more_pessimistic(self):
+        assert pessimistic_errors(30, 6, cf=0.10) > pessimistic_errors(
+            30, 6, cf=0.25
+        )
+
+    def test_unknown_cf_rejected(self):
+        with pytest.raises(ClientError):
+            pessimistic_errors(10, 1, cf=0.33)
+
+    def test_pure_leaf_still_penalised(self):
+        # Even a pure leaf has a non-zero pessimistic error estimate.
+        assert pessimistic_errors(10, 0) > 0.0
+
+
+class TestPrune:
+    def grow(self, class_noise, seed=13):
+        generating = build_random_tree(
+            RandomTreeConfig(
+                n_attributes=6,
+                values_per_attribute=3,
+                n_classes=3,
+                n_leaves=10,
+                cases_per_leaf=30,
+                class_noise=class_noise,
+                seed=seed,
+            )
+        )
+        rows = generating.materialize()
+        tree = grow_in_memory(rows, generating.spec, GrowthPolicy())
+        return tree, rows
+
+    def test_noisy_tree_shrinks(self):
+        tree, _ = self.grow(class_noise=0.25)
+        before = tree.n_nodes
+        pruned = prune(tree)
+        assert pruned > 0
+        assert tree.n_nodes < before
+
+    def test_pruned_nodes_removed_from_registry(self):
+        tree, _ = self.grow(class_noise=0.25)
+        prune(tree)
+        for node in tree.walk():
+            assert node.node_id in tree.nodes
+        assert len(tree.nodes) == sum(1 for _ in tree.walk())
+
+    def test_collapsed_nodes_become_leaves(self):
+        tree, _ = self.grow(class_noise=0.3)
+        prune(tree)
+        for node in tree.walk():
+            assert node.is_leaf or node.children
+
+    def test_prediction_still_works_after_pruning(self):
+        tree, rows = self.grow(class_noise=0.2)
+        prune(tree)
+        accuracy = tree.accuracy(rows)
+        assert 0.5 < accuracy <= 1.0
+
+    def test_node_leaf_errors_requires_counts(self):
+        tree, _ = self.grow(class_noise=0.0)
+        node = tree.root
+        node.class_counts = None
+        with pytest.raises(ClientError):
+            node_leaf_errors(node)

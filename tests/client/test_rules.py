@@ -1,0 +1,160 @@
+"""Unit tests for rule extraction and simplification."""
+
+import pytest
+
+from repro.client.baselines import grow_in_memory
+from repro.client.growth import GrowthPolicy
+from repro.client.rules import (
+    Rule,
+    RuleList,
+    extract_rules,
+    simplify_conditions,
+)
+from repro.common.errors import ClientError
+from repro.core.filters import PathCondition
+from repro.datagen.dataset import DatasetSpec
+
+SPEC = DatasetSpec([4, 3], 2)
+
+
+def cond(attribute, op, value):
+    return PathCondition(attribute, op, value)
+
+
+class TestSimplifyConditions:
+    def test_equality_subsumes_exclusions(self):
+        conditions = [cond("A1", "<>", 0), cond("A1", "<>", 1),
+                      cond("A1", "=", 2)]
+        simplified = simplify_conditions(conditions, SPEC)
+        assert simplified == [cond("A1", "=", 2)]
+
+    def test_exhaustive_exclusions_collapse_to_equality(self):
+        conditions = [cond("A1", "<>", 0), cond("A1", "<>", 1),
+                      cond("A1", "<>", 3)]
+        simplified = simplify_conditions(conditions, SPEC)
+        assert simplified == [cond("A1", "=", 2)]
+
+    def test_duplicate_exclusions_dedupe(self):
+        conditions = [cond("A1", "<>", 0), cond("A1", "<>", 0)]
+        simplified = simplify_conditions(conditions, SPEC)
+        assert simplified == [cond("A1", "<>", 0)]
+
+    def test_partial_exclusions_kept(self):
+        conditions = [cond("A1", "<>", 0)]
+        assert simplify_conditions(conditions, SPEC) == conditions
+
+    def test_attributes_kept_in_path_order(self):
+        conditions = [cond("A2", "=", 1), cond("A1", "<>", 0)]
+        simplified = simplify_conditions(conditions, SPEC)
+        assert [c.attribute for c in simplified] == ["A2", "A1"]
+
+    def test_empty_path(self):
+        assert simplify_conditions([], SPEC) == []
+
+
+class TestRule:
+    def test_matches(self):
+        rule = Rule([cond("A1", "=", 1), cond("A2", "<>", 0)], 1, 10, 0.9)
+        assert rule.matches({"A1": 1, "A2": 2})
+        assert not rule.matches({"A1": 1, "A2": 0})
+        assert not rule.matches({"A1": 0, "A2": 2})
+
+    def test_render(self):
+        rule = Rule([cond("A1", "=", 1)], 0, 12, 0.75)
+        text = rule.render()
+        assert "IF A1 = 1 THEN class 0" in text
+        assert "support=12" in text
+        assert "confidence=0.750" in text
+
+    def test_render_with_class_names(self):
+        rule = Rule([], 1, 5, 1.0)
+        assert "THEN >50K" in rule.render(class_names=["<=50K", ">50K"])
+        assert "IF TRUE" in rule.render()
+
+
+@pytest.fixture
+def fitted(small_tree_dataset):
+    generating, rows = small_tree_dataset
+    tree = grow_in_memory(rows, generating.spec, GrowthPolicy())
+    return tree, rows
+
+
+class TestExtractRules:
+    def test_one_rule_per_leaf(self, fitted):
+        tree, _ = fitted
+        rules = extract_rules(tree)
+        assert len(rules) == tree.n_leaves
+
+    def test_support_partitions_data(self, fitted):
+        tree, rows = fitted
+        rules = extract_rules(tree)
+        assert sum(r.support for r in rules) == len(rows)
+
+    def test_sorted_by_support(self, fitted):
+        tree, _ = fitted
+        supports = [r.support for r in extract_rules(tree, sort_by="support")]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_sorted_by_confidence(self, fitted):
+        tree, _ = fitted
+        rules = extract_rules(tree, sort_by="confidence")
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_unknown_sort_rejected(self, fitted):
+        tree, _ = fitted
+        with pytest.raises(ClientError):
+            extract_rules(tree, sort_by="alphabetical")
+
+    def test_full_tree_rules_are_pure(self, fitted):
+        tree, _ = fitted
+        # Grown to purity on clean data: every rule is 100% confident.
+        assert all(r.confidence == 1.0 for r in extract_rules(tree))
+
+    def test_simplification_shortens_some_rules(self, fitted):
+        tree, _ = fitted
+        raw = extract_rules(tree, simplify=False, sort_by=None)
+        simplified = extract_rules(tree, simplify=True, sort_by=None)
+        raw_len = sum(len(r.conditions) for r in raw)
+        simple_len = sum(len(r.conditions) for r in simplified)
+        assert simple_len <= raw_len
+
+
+class TestRuleList:
+    def test_equivalent_to_tree_on_training_data(self, fitted):
+        tree, rows = fitted
+        rule_list = RuleList.from_tree(tree)
+        for row in rows[:100]:
+            assert rule_list.predict_row(row) == tree.predict_row(row)
+
+    def test_simplified_rules_stay_equivalent(self, fitted):
+        tree, rows = fitted
+        simplified = RuleList.from_tree(tree, simplify=True)
+        plain = RuleList.from_tree(tree, simplify=False)
+        sample = rows[:100]
+        assert simplified.predict(sample) == plain.predict(sample)
+
+    def test_accuracy_matches_tree(self, fitted):
+        tree, rows = fitted
+        rule_list = RuleList.from_tree(tree)
+        assert rule_list.accuracy(rows) == tree.accuracy(rows)
+
+    def test_default_label_for_uncovered_input(self, fitted):
+        tree, _ = fitted
+        rule_list = RuleList(
+            [Rule([cond("A1", "=", 99)], 0, 1, 1.0)], 1, tree.spec
+        )
+        assert rule_list.predict_values({"A1": 0, "A2": 0}) == 1
+
+    def test_render(self, fitted):
+        tree, _ = fitted
+        rule_list = RuleList.from_tree(tree)
+        text = rule_list.render(limit=3)
+        assert text.count("IF ") == 3
+        assert "more rules" in text
+        assert text.strip().endswith(f"DEFAULT class {rule_list.default_label}")
+
+    def test_empty_accuracy_rejected(self, fitted):
+        tree, _ = fitted
+        with pytest.raises(ClientError):
+            RuleList.from_tree(tree).accuracy([])

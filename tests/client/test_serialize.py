@@ -1,0 +1,107 @@
+"""Unit tests for model persistence."""
+
+import pytest
+
+from repro.client.baselines import grow_in_memory
+from repro.client.growth import GrowthPolicy
+from repro.client.naive_bayes import NaiveBayesClassifier
+from repro.client.serialize import (
+    load_naive_bayes,
+    load_tree,
+    naive_bayes_from_dict,
+    naive_bayes_to_dict,
+    save_naive_bayes,
+    save_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.common.errors import ClientError
+
+from ..conftest import tree_signature
+
+
+@pytest.fixture
+def fitted_tree(small_tree_dataset):
+    generating, rows = small_tree_dataset
+    return grow_in_memory(rows, generating.spec, GrowthPolicy()), rows
+
+
+@pytest.fixture
+def fitted_bayes(small_tree_dataset):
+    from repro.client.baselines import build_cc_from_rows
+
+    generating, rows = small_tree_dataset
+    cc = build_cc_from_rows(
+        rows, generating.spec, generating.spec.attribute_names
+    )
+    model = NaiveBayesClassifier().fit_from_cc(generating.spec, cc)
+    return model, rows
+
+
+class TestTreeRoundTrip:
+    def test_dict_round_trip_preserves_structure(self, fitted_tree):
+        tree, _ = fitted_tree
+        rebuilt = tree_from_dict(tree_to_dict(tree))
+        assert tree_signature(rebuilt.root) == tree_signature(tree.root)
+        assert rebuilt.n_nodes == tree.n_nodes
+
+    def test_predictions_survive_round_trip(self, fitted_tree):
+        tree, rows = fitted_tree
+        rebuilt = tree_from_dict(tree_to_dict(tree))
+        for row in rows[:50]:
+            assert rebuilt.predict_row(row) == tree.predict_row(row)
+
+    def test_file_round_trip(self, fitted_tree, tmp_path):
+        tree, rows = fitted_tree
+        path = tmp_path / "model.json"
+        save_tree(tree, path)
+        rebuilt = load_tree(path)
+        assert rebuilt.accuracy(rows) == tree.accuracy(rows)
+
+    def test_spec_survives(self, fitted_tree):
+        tree, _ = fitted_tree
+        rebuilt = tree_from_dict(tree_to_dict(tree))
+        assert rebuilt.spec.attribute_names == tree.spec.attribute_names
+        assert rebuilt.spec.attribute_cards == tree.spec.attribute_cards
+        assert rebuilt.spec.n_classes == tree.spec.n_classes
+
+    def test_json_is_plain_data(self, fitted_tree):
+        import json
+
+        tree, _ = fitted_tree
+        json.dumps(tree_to_dict(tree))  # must not raise
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ClientError):
+            tree_from_dict({"format": "something_else", "version": 1})
+
+    def test_wrong_version_rejected(self, fitted_tree):
+        tree, _ = fitted_tree
+        payload = tree_to_dict(tree)
+        payload["version"] = 99
+        with pytest.raises(ClientError):
+            tree_from_dict(payload)
+
+
+class TestNaiveBayesRoundTrip:
+    def test_dict_round_trip(self, fitted_bayes):
+        model, rows = fitted_bayes
+        rebuilt = naive_bayes_from_dict(naive_bayes_to_dict(model))
+        for row in rows[:50]:
+            assert rebuilt.predict_row(row) == model.predict_row(row)
+
+    def test_file_round_trip(self, fitted_bayes, tmp_path):
+        model, rows = fitted_bayes
+        path = tmp_path / "nb.json"
+        save_naive_bayes(model, path)
+        rebuilt = load_naive_bayes(path)
+        assert rebuilt.accuracy(rows) == model.accuracy(rows)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ClientError):
+            naive_bayes_to_dict(NaiveBayesClassifier())
+
+    def test_alpha_preserved(self, fitted_bayes):
+        model, _ = fitted_bayes
+        rebuilt = naive_bayes_from_dict(naive_bayes_to_dict(model))
+        assert rebuilt.alpha == model.alpha

@@ -1,0 +1,145 @@
+"""Unit tests for candidate split enumeration and selection."""
+
+import pytest
+
+from repro.client.baselines import build_cc_from_rows
+from repro.client.criteria import make_criterion
+from repro.client.splits import (
+    best_split,
+    child_attributes,
+    enumerate_binary_splits,
+    enumerate_multiway_split,
+)
+from repro.common.errors import ClientError
+from repro.datagen.dataset import DatasetSpec
+
+SPEC = DatasetSpec([3, 2], 2)
+
+
+def cc_from(rows, attributes=("A1", "A2")):
+    return build_cc_from_rows(rows, SPEC, attributes)
+
+
+# A data set where A1 separates classes perfectly and A2 is noise.
+SEPARABLE = [
+    (0, 0, 0), (0, 1, 0), (0, 0, 0),
+    (1, 0, 1), (1, 1, 1),
+    (2, 1, 1), (2, 0, 1),
+]
+
+
+class TestEnumerateBinary:
+    def test_one_candidate_per_present_value(self):
+        cc = cc_from(SEPARABLE)
+        candidates = enumerate_binary_splits(cc, "A1")
+        assert [value for value, _ in candidates] == [0, 1, 2]
+
+    def test_children_sizes_and_counts(self):
+        cc = cc_from(SEPARABLE)
+        candidates = dict(enumerate_binary_splits(cc, "A1"))
+        inside, outside = candidates[0]
+        assert inside.condition.op == "="
+        assert inside.n_rows == 3
+        assert inside.class_counts == [3, 0]
+        assert outside.condition.op == "<>"
+        assert outside.n_rows == 4
+        assert outside.class_counts == [0, 4]
+
+    def test_single_valued_attribute_has_no_candidates(self):
+        rows = [(1, 0, 0), (1, 1, 1)]
+        cc = cc_from(rows)
+        assert enumerate_binary_splits(cc, "A1") == []
+
+
+class TestEnumerateMultiway:
+    def test_child_per_value(self):
+        cc = cc_from(SEPARABLE)
+        children = enumerate_multiway_split(cc, "A1")
+        assert len(children) == 3
+        assert [c.condition.value for c in children] == [0, 1, 2]
+        assert all(c.condition.op == "=" for c in children)
+
+    def test_none_for_single_value(self):
+        rows = [(1, 0, 0), (1, 1, 1)]
+        assert enumerate_multiway_split(cc_from(rows), "A1") is None
+
+
+class TestBestSplit:
+    def test_picks_separating_attribute(self):
+        cc = cc_from(SEPARABLE)
+        split = best_split(cc, make_criterion("entropy"))
+        assert split.attribute == "A1"
+        assert split.kind == "binary"
+        assert split.value == 0  # A1=0 vs rest separates perfectly
+
+    def test_multiway_mode(self):
+        cc = cc_from(SEPARABLE)
+        split = best_split(cc, make_criterion("entropy"), binary=False)
+        assert split.kind == "multiway"
+        assert split.attribute == "A1"
+
+    def test_no_split_when_pure(self):
+        rows = [(0, 0, 1), (1, 1, 1), (2, 0, 1)]
+        split = best_split(cc_from(rows), make_criterion("entropy"))
+        assert split is None
+
+    def test_min_gain_filters(self):
+        # A2 barely helps here; a large min_gain rejects everything.
+        rows = [(0, 0, 0), (0, 1, 1), (0, 0, 0), (0, 1, 0)]
+        cc = cc_from(rows)
+        weak = best_split(cc, make_criterion("entropy"), min_gain=0.0)
+        assert weak is not None
+        none = best_split(cc, make_criterion("entropy"), min_gain=2.0)
+        assert none is None
+
+    def test_deterministic_tie_break(self):
+        # Symmetric data: A1 and A2 equally informative -> pick A1 (name
+        # order), value 0 (value order).
+        rows = [(0, 0, 0), (1, 1, 1)]
+        cc = cc_from(rows)
+        split = best_split(cc, make_criterion("entropy"))
+        assert split.attribute == "A1"
+        assert split.value == 0
+
+    def test_empty_node_rejected(self):
+        cc = cc_from([])
+        with pytest.raises(ClientError):
+            best_split(cc, make_criterion("entropy"))
+
+    def test_gini_criterion_also_separates(self):
+        split = best_split(cc_from(SEPARABLE), make_criterion("gini"))
+        assert split.attribute == "A1"
+
+
+class TestChildAttributes:
+    def make_split(self, rows):
+        cc = cc_from(rows)
+        return cc, best_split(cc, make_criterion("entropy"))
+
+    def test_eq_branch_drops_attribute(self):
+        cc, split = self.make_split(SEPARABLE)
+        eq_child = split.children[0]
+        remaining = child_attributes(("A1", "A2"), cc, split, eq_child)
+        assert remaining == ("A2",)
+
+    def test_ne_branch_keeps_attribute_when_values_remain(self):
+        cc, split = self.make_split(SEPARABLE)  # A1 has 3 values
+        ne_child = split.children[1]
+        remaining = child_attributes(("A1", "A2"), cc, split, ne_child)
+        assert remaining == ("A1", "A2")
+
+    def test_ne_branch_drops_attribute_when_binary_valued(self):
+        rows = [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)]
+        cc = cc_from(rows)
+        split = best_split(cc, make_criterion("gini"))
+        # Force a split on A2 (two values) to check the drop.
+        from repro.client.splits import CandidateSplit, ChildSpec
+        from repro.core.filters import PathCondition
+
+        children = [
+            ChildSpec(PathCondition("A2", "=", 0), 2, [1, 1]),
+            ChildSpec(PathCondition("A2", "<>", 0), 2, [1, 1]),
+        ]
+        split = CandidateSplit("A2", "binary", 0, children, 0.1)
+        remaining = child_attributes(("A1", "A2"), cc, split, children[1])
+        assert remaining == ("A1",)

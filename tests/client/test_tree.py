@@ -1,0 +1,181 @@
+"""Unit tests for the client-side decision tree structure."""
+
+import pytest
+
+from repro.client.tree import DecisionTree, NodeState
+from repro.common.errors import ClientError
+from repro.core.filters import PathCondition
+from repro.datagen.dataset import DatasetSpec
+
+SPEC = DatasetSpec([3, 2], 2)
+
+
+def build_stub_tree():
+    """root splits on A1: (=0 -> leaf class 0) / (<>0 -> leaf class 1)."""
+    tree = DecisionTree(SPEC)
+    root = tree.root
+    root.n_rows = 10
+    root.class_counts = [4, 6]
+    root.split_attribute = "A1"
+    root.split_kind = "binary"
+    root.state = NodeState.PARTITIONED
+    left = tree.add_child(
+        root, PathCondition("A1", "=", 0), 4, [4, 0], ("A2",)
+    )
+    right = tree.add_child(
+        root, PathCondition("A1", "<>", 0), 6, [0, 6], ("A1", "A2")
+    )
+    left.mark_leaf()
+    right.mark_leaf()
+    return tree
+
+
+class TestNode:
+    def test_root_state(self):
+        tree = DecisionTree(SPEC)
+        assert tree.root.state is NodeState.ACTIVE
+        assert tree.root.depth == 0
+        assert tree.root.condition is None
+        assert tree.root.attributes == ("A1", "A2")
+
+    def test_purity(self):
+        tree = build_stub_tree()
+        left, right = tree.root.children
+        assert left.is_pure
+        assert not tree.root.is_pure
+
+    def test_majority_class(self):
+        tree = build_stub_tree()
+        assert tree.root.majority_class == 1
+        assert tree.root.children[0].majority_class == 0
+
+    def test_majority_without_counts_raises(self):
+        tree = DecisionTree(SPEC)
+        with pytest.raises(ClientError):
+            tree.root.majority_class
+
+    def test_lineage_and_path(self):
+        tree = build_stub_tree()
+        left = tree.root.children[0]
+        assert left.lineage() == (0, 1)
+        conditions = left.path_conditions()
+        assert len(conditions) == 1
+        assert conditions[0].attribute == "A1"
+
+    def test_child_requires_condition(self):
+        tree = DecisionTree(SPEC)
+        with pytest.raises(ClientError):
+            tree.add_child(tree.root, None, 1, [1, 0], ())
+
+
+class TestTreeQueries:
+    def test_counts(self):
+        tree = build_stub_tree()
+        assert tree.n_nodes == 3
+        assert tree.n_leaves == 2
+        assert tree.depth == 1
+
+    def test_walk_visits_all(self):
+        tree = build_stub_tree()
+        assert {n.node_id for n in tree.walk()} == {0, 1, 2}
+
+    def test_single_valued_attributes_excluded_from_root(self):
+        spec = DatasetSpec([3, 2], 2)
+        tree = DecisionTree(spec)
+        assert tree.root.attributes == ("A1", "A2")
+
+
+class TestPrediction:
+    def test_predict_routes_by_condition(self):
+        tree = build_stub_tree()
+        assert tree.predict_values({"A1": 0, "A2": 1}) == 0
+        assert tree.predict_values({"A1": 2, "A2": 0}) == 1
+
+    def test_predict_row_ignores_trailing_class(self):
+        tree = build_stub_tree()
+        assert tree.predict_row((0, 1, 999)) == 0
+
+    def test_predict_many(self):
+        tree = build_stub_tree()
+        assert tree.predict([(0, 0, 0), (1, 0, 0)]) == [0, 1]
+
+    def test_unseen_value_falls_back_to_majority(self):
+        # Make a multiway-style tree with only an =0 child.
+        tree = DecisionTree(SPEC)
+        root = tree.root
+        root.n_rows = 5
+        root.class_counts = [2, 3]
+        root.split_attribute = "A1"
+        root.state = NodeState.PARTITIONED
+        child = tree.add_child(
+            root, PathCondition("A1", "=", 0), 2, [2, 0], ("A2",)
+        )
+        child.mark_leaf()
+        assert tree.predict_values({"A1": 2, "A2": 0}) == 1  # root majority
+
+    def test_accuracy(self):
+        tree = build_stub_tree()
+        rows = [(0, 0, 0), (1, 0, 1), (2, 1, 0)]
+        assert tree.accuracy(rows) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_rejected(self):
+        tree = build_stub_tree()
+        with pytest.raises(ClientError):
+            tree.accuracy([])
+
+
+class TestInterpretation:
+    def test_rules(self):
+        tree = build_stub_tree()
+        rules = tree.rules()
+        assert len(rules) == 2
+        conditions, label, support = rules[0]
+        assert label == 0
+        assert support == 4
+        assert conditions[0].op == "="
+
+    def test_render_contains_nodes(self):
+        tree = build_stub_tree()
+        text = tree.render()
+        assert "(root)" in text
+        assert "A1 = 0" in text
+        assert "leaf class=0" in text
+
+    def test_render_respects_max_depth(self):
+        tree = build_stub_tree()
+        text = tree.render(max_depth=0)
+        assert "A1 = 0" not in text
+
+    def test_render_shows_location_tags(self):
+        tree = build_stub_tree()
+        tree.root.location_tag = "L"
+        assert "L-0" in tree.render()
+
+
+class TestDotExport:
+    def test_dot_structure(self):
+        tree = build_stub_tree()
+        dot = tree.to_dot()
+        assert dot.startswith("digraph decision_tree {")
+        assert dot.rstrip().endswith("}")
+        assert 'n0 [label="A1?\\n10 rows"]' in dot
+        assert 'n0 -> n1 [label="= 0"]' in dot
+        assert 'n0 -> n2 [label="<> 0"]' in dot
+        assert "class 0" in dot and "class 1" in dot
+
+    def test_dot_class_names(self):
+        tree = build_stub_tree()
+        dot = tree.to_dot(class_names=["no", "yes"])
+        assert "no\\n4 rows" in dot
+        assert "yes\\n6 rows" in dot
+
+    def test_dot_max_depth_truncates(self):
+        tree = build_stub_tree()
+        dot = tree.to_dot(max_depth=0)
+        assert "n1 [" not in dot
+        assert "->" not in dot
+
+    def test_dot_node_count_matches_tree(self):
+        tree = build_stub_tree()
+        dot = tree.to_dot()
+        assert dot.count("[label=") - dot.count("->") == tree.n_nodes

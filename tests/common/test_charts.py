@@ -1,0 +1,66 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.bench.charts import GLYPHS, HEIGHT, ascii_chart
+
+
+class TestAsciiChart:
+    def test_single_series_renders_all_points(self):
+        chart = ascii_chart([1, 2, 3], [("cost", [10.0, 5.0, 1.0])])
+        assert chart.count("o") >= 3
+        assert "o = cost" in chart
+
+    def test_two_series_get_distinct_glyphs(self):
+        chart = ascii_chart(
+            [1, 2], [("a", [1.0, 2.0]), ("b", [2.0, 1.0])]
+        )
+        assert "o = a" in chart
+        assert "x = b" in chart
+
+    def test_y_axis_labels(self):
+        chart = ascii_chart([1, 2], [("a", [0.0, 500.0])])
+        assert "500 |" in chart
+        assert "0 |" in chart
+
+    def test_x_axis_endpoints(self):
+        chart = ascii_chart([4, 96], [("a", [1.0, 2.0])])
+        lines = chart.splitlines()
+        axis_line = lines[-2]
+        assert axis_line.strip().startswith("4")
+        assert axis_line.strip().endswith("96")
+
+    def test_monotone_series_rows_monotone(self):
+        ys = [100.0, 75.0, 50.0, 25.0, 1.0]
+        chart = ascii_chart([1, 2, 3, 4, 5], [("a", ys)])
+        lines = chart.splitlines()[:HEIGHT]
+        rows = []
+        for row_index, line in enumerate(lines):
+            for col, ch in enumerate(line):
+                if ch == "o":
+                    rows.append((col, row_index))
+        rows.sort()
+        # Falling values appear on non-decreasing rows (row 0 is top).
+        assert all(b[1] >= a[1] for a, b in zip(rows, rows[1:]))
+
+    def test_single_point(self):
+        chart = ascii_chart([7], [("a", [3.0])])
+        assert "o" in chart
+
+    def test_all_zero_values_ok(self):
+        chart = ascii_chart([1, 2], [("a", [0.0, 0.0])])
+        assert "o" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], [("a", [1.0])])
+
+    def test_empty_xs_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], [("a", [])])
+
+    def test_many_series_wrap_glyphs(self):
+        series = [(f"s{i}", [1.0, 2.0]) for i in range(len(GLYPHS) + 2)]
+        chart = ascii_chart([1, 2], series)
+        assert f"{GLYPHS[0]} = s0" in chart
+        assert f"{GLYPHS[0]} = s{len(GLYPHS)}" in chart

@@ -1,0 +1,95 @@
+"""Unit tests for the cost model and meter."""
+
+import pytest
+
+from repro.common.cost import CATEGORIES, CostMeter, CostModel
+
+
+class TestCostModel:
+    def test_defaults_preserve_storage_hierarchy_ordering(self):
+        model = CostModel()
+        # The orderings every experiment depends on.
+        assert model.memory_row < model.file_row_io
+        assert model.file_row_io < model.transfer_per_row
+        assert model.query_overhead > 10 * model.server_page_io
+
+    def test_is_frozen(self):
+        model = CostModel()
+        with pytest.raises(AttributeError):
+            model.server_page_io = 2.0
+
+    def test_custom_constants(self):
+        model = CostModel(server_page_io=5.0, query_overhead=100.0)
+        assert model.server_page_io == 5.0
+        assert model.query_overhead == 100.0
+
+
+class TestCostMeter:
+    def test_starts_at_zero(self):
+        meter = CostMeter()
+        assert meter.total == 0.0
+        assert all(meter.charges[c] == 0.0 for c in CATEGORIES)
+
+    def test_charge_accumulates(self):
+        meter = CostMeter()
+        meter.charge("server_io", 3.0)
+        meter.charge("server_io", 2.0, events=4)
+        assert meter.charges["server_io"] == 5.0
+        assert meter.counts["server_io"] == 5
+        assert meter.total == 5.0
+
+    def test_charge_unknown_category_rejected(self):
+        meter = CostMeter()
+        with pytest.raises(KeyError):
+            meter.charge("warp_drive", 1.0)
+
+    def test_negative_charge_rejected(self):
+        meter = CostMeter()
+        with pytest.raises(ValueError):
+            meter.charge("server_io", -1.0)
+
+    def test_snapshot_and_since(self):
+        meter = CostMeter()
+        meter.charge("transfer", 10.0)
+        snap = meter.snapshot()
+        meter.charge("transfer", 5.0)
+        meter.charge("file_read", 2.0)
+        delta = meter.since(snap)
+        assert delta["transfer"] == 5.0
+        assert delta["file_read"] == 2.0
+        assert meter.total_since(snap) == 7.0
+
+    def test_snapshot_is_immutable_copy(self):
+        meter = CostMeter()
+        snap = meter.snapshot()
+        meter.charge("transfer", 1.0)
+        assert snap["transfer"] == 0.0
+
+    def test_rollback_to(self):
+        meter = CostMeter()
+        meter.charge("temp_table", 8.0)
+        snap = meter.snapshot()
+        meter.charge("temp_table", 100.0)
+        meter.rollback_to(snap)
+        assert meter.charges["temp_table"] == 8.0
+
+    def test_reset(self):
+        meter = CostMeter()
+        meter.charge("cursor", 10.0)
+        meter.reset()
+        assert meter.total == 0.0
+        assert meter.counts["cursor"] == 0
+
+    def test_breakdown_sorted_descending(self):
+        meter = CostMeter()
+        meter.charge("transfer", 1.0)
+        meter.charge("server_io", 10.0)
+        meter.charge("file_read", 5.0)
+        breakdown = meter.breakdown()
+        assert [c for c, _ in breakdown] == ["server_io", "file_read",
+                                             "transfer"]
+
+    def test_str_mentions_total(self):
+        meter = CostMeter()
+        meter.charge("transfer", 2.5)
+        assert "total=2.5" in str(meter)

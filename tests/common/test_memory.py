@@ -1,0 +1,97 @@
+"""Unit tests for the memory budget accountant."""
+
+import pytest
+
+from repro.common.errors import MemoryBudgetExceeded
+from repro.common.memory import MemoryBudget
+
+
+class TestMemoryBudget:
+    def test_initial_state(self):
+        budget = MemoryBudget(1000)
+        assert budget.budget == 1000
+        assert budget.used == 0
+        assert budget.available == 1000
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(-1)
+
+    def test_reserve_and_release(self):
+        budget = MemoryBudget(1000)
+        budget.reserve("cc:1", 400)
+        assert budget.used == 400
+        assert budget.holds("cc:1")
+        assert budget.reserved("cc:1") == 400
+        assert budget.release("cc:1") == 400
+        assert budget.used == 0
+
+    def test_reserve_same_tag_accumulates(self):
+        budget = MemoryBudget(1000)
+        budget.reserve("cc:1", 100)
+        budget.reserve("cc:1", 200)
+        assert budget.reserved("cc:1") == 300
+
+    def test_overcommit_raises_with_details(self):
+        budget = MemoryBudget(100)
+        budget.reserve("a", 80)
+        with pytest.raises(MemoryBudgetExceeded) as info:
+            budget.reserve("b", 30)
+        assert info.value.requested == 30
+        assert info.value.available == 20
+        assert info.value.budget == 100
+
+    def test_try_reserve_returns_bool(self):
+        budget = MemoryBudget(100)
+        assert budget.try_reserve("a", 60)
+        assert not budget.try_reserve("b", 50)
+        assert budget.used == 60  # the failed attempt changed nothing
+
+    def test_fits(self):
+        budget = MemoryBudget(100)
+        budget.reserve("a", 70)
+        assert budget.fits(30)
+        assert not budget.fits(31)
+
+    def test_release_unknown_tag_is_zero(self):
+        budget = MemoryBudget(100)
+        assert budget.release("ghost") == 0
+
+    def test_resize_up_and_down(self):
+        budget = MemoryBudget(100)
+        budget.reserve("a", 50)
+        budget.resize("a", 80)
+        assert budget.reserved("a") == 80
+        budget.resize("a", 10)
+        assert budget.reserved("a") == 10
+
+    def test_resize_to_zero_drops_tag(self):
+        budget = MemoryBudget(100)
+        budget.reserve("a", 50)
+        budget.resize("a", 0)
+        assert not budget.holds("a")
+
+    def test_resize_overcommit_raises(self):
+        budget = MemoryBudget(100)
+        budget.reserve("a", 50)
+        budget.reserve("b", 40)
+        with pytest.raises(MemoryBudgetExceeded):
+            budget.resize("a", 70)
+
+    def test_negative_reservation_rejected(self):
+        budget = MemoryBudget(100)
+        with pytest.raises(ValueError):
+            budget.reserve("a", -5)
+        with pytest.raises(ValueError):
+            budget.resize("a", -5)
+
+    def test_tags_lists_live_reservations(self):
+        budget = MemoryBudget(100)
+        budget.reserve("a", 10)
+        budget.reserve("b", 10)
+        assert sorted(budget.tags()) == ["a", "b"]
+
+    def test_zero_budget_allows_zero_reservation(self):
+        budget = MemoryBudget(0)
+        budget.reserve("a", 0)
+        assert budget.used == 0

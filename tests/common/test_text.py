@@ -1,0 +1,60 @@
+"""Unit tests for report formatting helpers."""
+
+import pytest
+
+from repro.common.text import format_value, human_bytes, render_series, render_table
+
+
+class TestFormatValue:
+    def test_float_two_decimals(self):
+        assert format_value(3.14159) == "3.14"
+
+    def test_int_thousands_separator(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["x", "cost"], [[1, 10.5], [20, 3.25]], title="Fig"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig"
+        assert "x" in lines[1] and "cost" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # Columns align right: the widest cell fixes the width.
+        assert lines[3].endswith("10.50")
+        assert lines[4].endswith("3.25")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_pairs(self):
+        text = render_series("time", [1, 2], [5.0, 6.0])
+        assert "time" in text
+        assert "5.00" in text
+        assert "6.00" in text
+
+
+class TestHumanBytes:
+    def test_bytes(self):
+        assert human_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert human_bytes(2048) == "2.0 KiB"
+
+    def test_mib(self):
+        assert human_bytes(5 * 1024 * 1024) == "5.0 MiB"
+
+    def test_gib_cap(self):
+        assert human_bytes(3 * 1024**3) == "3.0 GiB"

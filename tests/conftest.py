@@ -1,0 +1,64 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.growth import GrowthPolicy
+from repro.datagen.loader import load_dataset
+from repro.datagen.random_tree import RandomTreeConfig, build_random_tree
+from repro.sqlengine.database import SQLServer
+
+
+def tree_signature(node):
+    """Order-independent structural signature of a (sub)tree.
+
+    Node ids depend on processing order (the middleware may service
+    active nodes in any order — Section 3.1), so equivalence tests
+    compare structure: splits, edge conditions, sizes and leaf labels.
+    """
+    if node.is_leaf:
+        return (
+            "leaf",
+            node.majority_class,
+            node.n_rows,
+            tuple(node.class_counts or ()),
+        )
+    children = tuple(
+        sorted(
+            (child.condition.op, child.condition.value, tree_signature(child))
+            for child in node.children
+        )
+    )
+    return ("split", node.split_attribute, node.split_kind, node.n_rows,
+            children)
+
+
+@pytest.fixture
+def small_tree_dataset():
+    """A small random-tree workload: (generating_tree, rows)."""
+    generating = build_random_tree(
+        RandomTreeConfig(
+            n_attributes=8,
+            values_per_attribute=3,
+            n_classes=4,
+            n_leaves=15,
+            cases_per_leaf=20,
+            seed=11,
+        )
+    )
+    return generating, generating.materialize()
+
+
+@pytest.fixture
+def loaded_server(small_tree_dataset):
+    """A SQLServer with the small workload loaded as table 'data'."""
+    generating, rows = small_tree_dataset
+    server = SQLServer()
+    load_dataset(server, "data", generating.spec, rows)
+    return server, generating.spec, rows
+
+
+@pytest.fixture
+def default_policy():
+    return GrowthPolicy()

@@ -1,0 +1,153 @@
+"""Property-based tests for the middleware core (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client.baselines import build_cc_from_rows
+from repro.core.cc_table import CCTable
+from repro.core.config import MiddlewareConfig
+from repro.core.estimators import (
+    estimate_cc_pairs,
+    exact_child_rows_for_other,
+    exact_child_rows_for_value,
+)
+from repro.core.filters import PathCondition
+from repro.core.middleware import Middleware
+from repro.core.requests import CountsRequest
+from repro.datagen.dataset import DatasetSpec
+from repro.datagen.loader import load_dataset
+from repro.sqlengine.database import SQLServer
+
+SPEC = DatasetSpec([3, 3, 2], 3)
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 2), st.integers(0, 2), st.integers(0, 1),
+        st.integers(0, 2),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def cc_of(rows, attributes=("A1", "A2", "A3")):
+    return build_cc_from_rows(rows, SPEC, attributes)
+
+
+class TestCCTableProperties:
+    @given(rows_strategy)
+    @settings(max_examples=80)
+    def test_class_totals_sum_to_records(self, rows):
+        cc = cc_of(rows)
+        assert sum(cc.class_totals()) == cc.records == len(rows)
+
+    @given(rows_strategy)
+    @settings(max_examples=80)
+    def test_attribute_vectors_sum_to_records(self, rows):
+        cc = cc_of(rows)
+        for attribute in cc.attributes:
+            total = sum(
+                sum(cc.vector(attribute, value))
+                for value in cc.values_of(attribute)
+            )
+            assert total == cc.records
+
+    @given(rows_strategy, rows_strategy)
+    @settings(max_examples=60)
+    def test_merge_equals_counting_concatenation(self, rows_a, rows_b):
+        merged = cc_of(rows_a).merge(cc_of(rows_b))
+        assert merged == cc_of(rows_a + rows_b)
+
+    @given(rows_strategy, rows_strategy)
+    @settings(max_examples=60)
+    def test_merge_is_commutative(self, rows_a, rows_b):
+        left = cc_of(rows_a).merge(cc_of(rows_b))
+        right = cc_of(rows_b).merge(cc_of(rows_a))
+        assert left == right
+
+    @given(rows_strategy)
+    @settings(max_examples=60)
+    def test_rows_reconstruct_table(self, rows):
+        cc = cc_of(rows)
+        rebuilt = CCTable(cc.attributes, cc.n_classes)
+        for attribute, value, class_label, count in cc.rows():
+            rebuilt.add_counts(attribute, value, class_label, count)
+        rebuilt.set_records(cc.records)
+        assert rebuilt == cc
+
+
+class TestEstimatorProperties:
+    @given(rows_strategy, st.integers(0, 2))
+    @settings(max_examples=80)
+    def test_child_sizes_partition_parent(self, rows, __):
+        cc = cc_of(rows)
+        for attribute in cc.attributes:
+            values = cc.values_of(attribute)
+            covered = sum(
+                exact_child_rows_for_value(cc, attribute, v) for v in values
+            )
+            assert covered == cc.records
+            if values:
+                first = values[0]
+                rest = exact_child_rows_for_other(cc, attribute, [first])
+                assert rest == cc.records - exact_child_rows_for_value(
+                    cc, attribute, first
+                )
+
+    @given(rows_strategy, st.integers(1, 59))
+    @settings(max_examples=80)
+    def test_estimate_bounded_by_parent_pairs(self, rows, child_rows):
+        cc = cc_of(rows)
+        child_rows = min(child_rows, cc.records)
+        if child_rows == 0:
+            return
+        cards = cc.pair_count_by_attribute()
+        estimate = estimate_cc_pairs(
+            child_rows, cc.records, cards, cc.attributes
+        )
+        assert len(cc.attributes) <= estimate <= sum(cards.values())
+
+
+class TestMiddlewareCountingProperty:
+    @given(rows_strategy, st.integers(0, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_middleware_counts_equal_local_counts(self, rows, split_value):
+        server = SQLServer()
+        load_dataset(server, "data", SPEC, rows)
+        subset = [r for r in rows if r[0] == split_value]
+
+        config = MiddlewareConfig(
+            memory_bytes=100_000, file_staging=False, memory_staging=False
+        )
+        with Middleware(server, "data", SPEC, config) as mw:
+            mw.queue_request(
+                CountsRequest(
+                    node_id="root",
+                    lineage=("root",),
+                    conditions=(),
+                    attributes=SPEC.attribute_names,
+                    n_rows=len(rows),
+                    est_cc_pairs=8,
+                )
+            )
+            if subset:
+                mw.queue_request(
+                    CountsRequest(
+                        node_id="child",
+                        lineage=("root", "child"),
+                        conditions=(PathCondition("A1", "=", split_value),),
+                        attributes=("A2", "A3"),
+                        n_rows=len(subset),
+                        est_cc_pairs=5,
+                    )
+                )
+            results = {}
+            while mw.pending:
+                for result in mw.process_next_batch():
+                    results[result.node_id] = result.cc
+
+        assert results["root"] == cc_of(rows)
+        if subset:
+            assert results["child"] == build_cc_from_rows(
+                subset, SPEC, ("A2", "A3")
+            )

@@ -1,0 +1,97 @@
+"""Unit tests for the scheduler's size estimators (§4.2.1)."""
+
+import pytest
+
+from repro.common.errors import MiddlewareError
+from repro.core.cc_table import CCTable
+from repro.core.estimators import (
+    estimate_cc_pairs,
+    exact_child_rows_for_other,
+    exact_child_rows_for_value,
+    root_cc_pairs,
+)
+from repro.datagen.dataset import DatasetSpec
+
+
+@pytest.fixture
+def parent_cc():
+    cc = CCTable(("A1", "A2"), 2)
+    rows = [
+        ({"A1": 0, "A2": 0}, 0),
+        ({"A1": 0, "A2": 1}, 0),
+        ({"A1": 0, "A2": 2}, 1),
+        ({"A1": 1, "A2": 0}, 1),
+        ({"A1": 1, "A2": 1}, 1),
+        ({"A1": 2, "A2": 2}, 0),
+    ]
+    for values, label in rows:
+        cc.count_row(values, label)
+    return cc
+
+
+class TestExactChildRows:
+    def test_value_branch(self, parent_cc):
+        assert exact_child_rows_for_value(parent_cc, "A1", 0) == 3
+        assert exact_child_rows_for_value(parent_cc, "A1", 1) == 2
+        assert exact_child_rows_for_value(parent_cc, "A1", 2) == 1
+
+    def test_unseen_value_is_zero(self, parent_cc):
+        assert exact_child_rows_for_value(parent_cc, "A1", 9) == 0
+
+    def test_other_branch_complements(self, parent_cc):
+        assert exact_child_rows_for_other(parent_cc, "A1", [0]) == 3
+        assert exact_child_rows_for_other(parent_cc, "A1", [0, 1]) == 1
+
+    def test_branches_partition_parent(self, parent_cc):
+        value_rows = sum(
+            exact_child_rows_for_value(parent_cc, "A1", v)
+            for v in parent_cc.values_of("A1")
+        )
+        assert value_rows == parent_cc.records
+
+
+class TestEstimateCCPairs:
+    def test_paper_formula(self, parent_cc):
+        cards = parent_cc.pair_count_by_attribute()  # A1: 3, A2: 3
+        # Est = ceil(3/6 * (3 + 3)) = 3
+        assert estimate_cc_pairs(3, 6, cards, ["A1", "A2"]) == 3
+
+    def test_floor_one_pair_per_attribute(self, parent_cc):
+        cards = parent_cc.pair_count_by_attribute()
+        assert estimate_cc_pairs(1, 600, cards, ["A1", "A2"]) == 2
+
+    def test_capped_at_parent_pairs(self, parent_cc):
+        cards = parent_cc.pair_count_by_attribute()
+        assert estimate_cc_pairs(6, 6, cards, ["A1", "A2"]) == 6
+
+    def test_zero_rows_is_zero(self, parent_cc):
+        cards = parent_cc.pair_count_by_attribute()
+        assert estimate_cc_pairs(0, 6, cards, ["A1", "A2"]) == 0
+
+    def test_dropped_attribute_shrinks_estimate(self, parent_cc):
+        cards = parent_cc.pair_count_by_attribute()
+        both = estimate_cc_pairs(4, 6, cards, ["A1", "A2"])
+        one = estimate_cc_pairs(4, 6, cards, ["A2"])
+        assert one < both
+
+    def test_missing_parent_cardinality_rejected(self, parent_cc):
+        cards = parent_cc.pair_count_by_attribute()
+        with pytest.raises(MiddlewareError):
+            estimate_cc_pairs(3, 6, cards, ["A9"])
+
+    def test_bad_sizes_rejected(self, parent_cc):
+        cards = parent_cc.pair_count_by_attribute()
+        with pytest.raises(MiddlewareError):
+            estimate_cc_pairs(3, 0, cards, ["A1"])
+        with pytest.raises(MiddlewareError):
+            estimate_cc_pairs(-1, 6, cards, ["A1"])
+
+
+class TestRootPairs:
+    def test_sums_schema_cardinalities(self):
+        spec = DatasetSpec([3, 4, 5], 2)
+        assert root_cc_pairs(spec) == 12
+
+    def test_subset_of_attributes(self):
+        spec = DatasetSpec([3, 4, 5], 2)
+        assert root_cc_pairs(spec, ["A2"]) == 4

@@ -1,0 +1,140 @@
+"""Failure injection: the middleware cleans up when scans die mid-way."""
+
+import pytest
+
+from repro.common.errors import MiddlewareError, StagingError
+from repro.core.config import MiddlewareConfig
+from repro.core.filters import PathCondition
+from repro.core.middleware import Middleware
+from repro.core.requests import CountsRequest
+from repro.datagen.dataset import DatasetSpec
+from repro.datagen.loader import load_dataset
+from repro.sqlengine.database import SQLServer
+
+SPEC = DatasetSpec([3, 3], 2)
+ROWS = [(a, b, (a + b) % 2) for a in range(3) for b in range(3)
+        for _ in range(4)]
+
+
+def make_middleware(**overrides):
+    server = SQLServer()
+    load_dataset(server, "data", SPEC, ROWS)
+    overrides.setdefault("memory_bytes", 50_000)
+    return Middleware(server, "data", SPEC, MiddlewareConfig(**overrides))
+
+
+def root_request(n_rows=len(ROWS)):
+    return CountsRequest(
+        node_id="root",
+        lineage=("root",),
+        conditions=(),
+        attributes=("A1", "A2"),
+        n_rows=n_rows,
+        est_cc_pairs=6,
+    )
+
+
+class _ExplodingIterator:
+    """Row iterator that dies after a few rows."""
+
+    def __init__(self, rows, blow_after):
+        self._rows = iter(rows)
+        self._remaining = blow_after
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        if self._remaining == 0:
+            raise RuntimeError("disk on fire")
+        self._remaining -= 1
+        return next(self._rows)
+
+
+class TestScanFailureCleanup:
+    def _explode(self, middleware, blow_after=3):
+        """Patch the execution module's row source to fail mid-scan."""
+        original = middleware.execution._rows_for
+
+        def failing(schedule, scan):
+            return _ExplodingIterator(original(schedule, scan), blow_after)
+
+        middleware.execution._rows_for = failing
+
+    def test_cc_reservations_released_on_failure(self):
+        with make_middleware() as mw:
+            self._explode(mw)
+            mw.queue_request(root_request())
+            with pytest.raises(RuntimeError, match="disk on fire"):
+                mw.process_next_batch()
+            assert mw.budget.used == 0
+
+    def test_partial_staging_files_removed_on_failure(self):
+        with make_middleware(memory_staging=False) as mw:
+            self._explode(mw)
+            mw.queue_request(root_request())
+            with pytest.raises(RuntimeError):
+                mw.process_next_batch()
+            assert mw.staging.file_nodes() == []
+
+    def test_memory_reservations_cancelled_on_failure(self):
+        with make_middleware(file_staging=False) as mw:
+            self._explode(mw)
+            mw.queue_request(root_request())
+            with pytest.raises(RuntimeError):
+                mw.process_next_batch()
+            assert mw.staging.memory_nodes() == []
+            assert mw.budget.used == 0
+
+    def test_middleware_still_usable_after_failure(self):
+        with make_middleware() as mw:
+            self._explode(mw)
+            mw.queue_request(root_request())
+            with pytest.raises(RuntimeError):
+                mw.process_next_batch()
+            # Restore a healthy row source and retry from scratch.
+            mw.execution._rows_for = type(mw.execution)._rows_for.__get__(
+                mw.execution
+            )
+            mw.queue_request(root_request())
+            (result,) = mw.process_next_batch()
+            assert result.cc.records == len(ROWS)
+
+
+class TestBadClientInput:
+    def test_wrong_row_promise_surfaces_clearly(self):
+        with make_middleware() as mw:
+            mw.queue_request(root_request(n_rows=7))
+            with pytest.raises(MiddlewareError, match="promised"):
+                mw.process_next_batch()
+            assert mw.budget.used == 0
+
+    def test_unsealed_file_scan_rejected(self):
+        with make_middleware() as mw:
+            staged = mw.staging.open_file("x")
+            with pytest.raises(StagingError, match="seal"):
+                list(staged.scan())
+
+    def test_overlapping_requests_still_counted_exactly(self):
+        # Root and a child queued simultaneously (a client protocol
+        # violation): every node still receives exact counts.
+        with make_middleware(file_staging=False,
+                             memory_staging=False) as mw:
+            child_rows = sum(1 for r in ROWS if r[0] == 1)
+            mw.queue_request(root_request())
+            mw.queue_request(
+                CountsRequest(
+                    node_id="child",
+                    lineage=("root", "child"),
+                    conditions=(PathCondition("A1", "=", 1),),
+                    attributes=("A2",),
+                    n_rows=child_rows,
+                    est_cc_pairs=3,
+                )
+            )
+            results = {}
+            while mw.pending:
+                for result in mw.process_next_batch():
+                    results[result.node_id] = result.cc
+            assert results["root"].records == len(ROWS)
+            assert results["child"].records == child_rows

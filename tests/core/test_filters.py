@@ -1,0 +1,86 @@
+"""Unit tests for node-path predicates and filter push-down (§4.3.1)."""
+
+import pytest
+
+from repro.common.errors import MiddlewareError
+from repro.core.filters import PathCondition, batch_filter, path_predicate
+from repro.sqlengine.expr import TRUE, And, Or
+from repro.sqlengine.schema import TableSchema
+
+SCHEMA = TableSchema.of(("A1", "int"), ("A2", "int"))
+
+
+class TestPathCondition:
+    def test_eq_matches(self):
+        condition = PathCondition("A1", "=", 2)
+        assert condition.matches(2)
+        assert not condition.matches(3)
+
+    def test_ne_matches(self):
+        condition = PathCondition("A1", "<>", 2)
+        assert condition.matches(3)
+        assert not condition.matches(2)
+
+    def test_to_expr(self):
+        assert PathCondition("A1", "=", 2).to_expr().to_sql() == "A1 = 2"
+        assert PathCondition("A1", "<>", 2).to_expr().to_sql() == "A1 <> 2"
+
+    def test_unsupported_op_rejected(self):
+        with pytest.raises(MiddlewareError):
+            PathCondition("A1", "<", 2)
+
+    def test_equality_and_hash(self):
+        assert PathCondition("A1", "=", 2) == PathCondition("A1", "=", 2)
+        assert hash(PathCondition("A1", "=", 2)) == hash(
+            PathCondition("A1", "=", 2)
+        )
+        assert PathCondition("A1", "=", 2) != PathCondition("A1", "<>", 2)
+
+
+class TestPathPredicate:
+    def test_empty_path_is_true(self):
+        assert path_predicate([]) is TRUE
+
+    def test_single_condition(self):
+        predicate = path_predicate([PathCondition("A1", "=", 1)])
+        assert predicate.to_sql() == "A1 = 1"
+
+    def test_conjunction(self):
+        predicate = path_predicate(
+            [PathCondition("A1", "=", 1), PathCondition("A2", "<>", 0)]
+        )
+        assert isinstance(predicate, And)
+        check = predicate.compile(SCHEMA)
+        assert check((1, 5))
+        assert not check((1, 0))
+        assert not check((2, 5))
+
+
+class TestBatchFilter:
+    def test_disjunction_of_paths(self):
+        predicates = [
+            path_predicate([PathCondition("A1", "=", 1)]),
+            path_predicate([PathCondition("A1", "=", 2)]),
+        ]
+        combined = batch_filter(predicates)
+        assert isinstance(combined, Or)
+        check = combined.compile(SCHEMA)
+        assert check((1, 0))
+        assert check((2, 0))
+        assert not check((3, 0))
+
+    def test_root_batch_means_no_filter(self):
+        assert batch_filter([TRUE]) is None
+        assert batch_filter([path_predicate([])]) is None
+
+    def test_true_anywhere_means_no_filter(self):
+        predicates = [path_predicate([PathCondition("A1", "=", 1)]), TRUE]
+        assert batch_filter(predicates) is None
+
+    def test_single_node_batch_keeps_predicate(self):
+        predicate = path_predicate([PathCondition("A1", "=", 1)])
+        assert batch_filter([predicate]) == predicate
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(MiddlewareError):
+            batch_filter([])

@@ -1,0 +1,100 @@
+"""Unit tests for the Middleware facade (Fig. 3 interface)."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.core.config import MiddlewareConfig
+from repro.core.filters import PathCondition
+from repro.core.middleware import Middleware
+from repro.core.requests import CountsRequest
+from repro.datagen.dataset import DatasetSpec
+from repro.datagen.loader import load_dataset
+from repro.sqlengine.database import SQLServer
+
+SPEC = DatasetSpec([2, 2], 2)
+ROWS = [(a, b, (a + b) % 2) for a in range(2) for b in range(2)
+        for _ in range(5)]
+
+
+@pytest.fixture
+def server():
+    server = SQLServer()
+    load_dataset(server, "data", SPEC, ROWS)
+    return server
+
+
+def request_for(node_id, lineage, conditions, n_rows):
+    return CountsRequest(
+        node_id=node_id,
+        lineage=lineage,
+        conditions=conditions,
+        attributes=("A1", "A2"),
+        n_rows=n_rows,
+        est_cc_pairs=4,
+    )
+
+
+class TestFacade:
+    def test_pending_tracks_queue(self, server):
+        with Middleware(server, "data", SPEC) as mw:
+            assert mw.pending == 0
+            mw.queue_request(request_for("r", ("r",), (), len(ROWS)))
+            assert mw.pending == 1
+            mw.process_next_batch()
+            assert mw.pending == 0
+
+    def test_queue_requests_plural(self, server):
+        with Middleware(server, "data", SPEC) as mw:
+            mw.queue_requests(
+                [
+                    request_for(
+                        "a", ("a",), (), len(ROWS)
+                    )
+                ]
+            )
+            assert mw.pending == 1
+
+    def test_process_empty_queue_raises(self, server):
+        with Middleware(server, "data", SPEC) as mw:
+            with pytest.raises(SchedulingError):
+                mw.process_next_batch()
+
+    def test_serve_drains_queue(self, server):
+        with Middleware(server, "data", SPEC) as mw:
+            mw.queue_request(request_for("r", ("r",), (), len(ROWS)))
+            batches = list(mw.serve())
+        assert len(batches) == 1
+        assert batches[0][0].node_id == "r"
+
+    def test_default_config_applied(self, server):
+        with Middleware(server, "data", SPEC) as mw:
+            assert mw.config.memory_bytes == MiddlewareConfig().memory_bytes
+
+    def test_location_tag(self, server):
+        config = MiddlewareConfig(file_staging=False, memory_staging=True)
+        with Middleware(server, "data", SPEC, config) as mw:
+            root = request_for("r", ("r",), (), len(ROWS))
+            assert mw.location_tag(root) == "S"
+            mw.queue_request(root)
+            mw.process_next_batch()
+            child = request_for(
+                "c", ("r", "c"), (PathCondition("A1", "=", 1),), 10
+            )
+            assert mw.location_tag(child) == "L"
+
+    def test_close_is_idempotent(self, server):
+        mw = Middleware(server, "data", SPEC)
+        mw.close()
+        mw.close()
+
+    def test_close_releases_everything(self, server):
+        mw = Middleware(server, "data", SPEC)
+        mw.queue_request(request_for("r", ("r",), (), len(ROWS)))
+        mw.process_next_batch()
+        mw.close()
+        assert mw.budget.used == 0
+        assert mw.staging.file_nodes() == []
+
+    def test_repr_mentions_table(self, server):
+        with Middleware(server, "data", SPEC) as mw:
+            assert "data" in repr(mw)

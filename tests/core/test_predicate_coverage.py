@@ -1,0 +1,101 @@
+"""Unit tests for auxiliary-structure predicate containment.
+
+Regression suite for the bug where a structure built for one subtree
+was reused for a *different* subtree whose batch merely had fewer
+relevant rows (found by the configuration fuzzer).
+"""
+
+from repro.core.auxiliary import predicate_covers, predicate_disjuncts
+from repro.core.filters import PathCondition, batch_filter, path_predicate
+from repro.sqlengine.expr import TRUE, all_of, col, eq, lit, ne
+from repro.sqlengine.expr import Comparison
+
+
+def path(*conditions):
+    return path_predicate(
+        [PathCondition(a, op, v) for a, op, v in conditions]
+    )
+
+
+class TestDisjuncts:
+    def test_none_and_true_are_unconditional(self):
+        assert predicate_disjuncts(None) == [frozenset()]
+        assert predicate_disjuncts(TRUE) == [frozenset()]
+
+    def test_single_conjunction(self):
+        expr = path(("A1", "=", 1), ("A2", "<>", 0))
+        assert predicate_disjuncts(expr) == [
+            frozenset({("A1", "=", 1), ("A2", "<>", 0)})
+        ]
+
+    def test_disjunction_of_paths(self):
+        expr = batch_filter([path(("A1", "=", 1)), path(("A1", "=", 2))])
+        disjuncts = predicate_disjuncts(expr)
+        assert len(disjuncts) == 2
+
+    def test_unanalysable_shapes_return_none(self):
+        assert predicate_disjuncts(Comparison("<", col("A1"), lit(3))) is None
+        assert predicate_disjuncts(
+            all_of([eq("A1", 1), Comparison(">", col("A2"), lit(0))])
+        ) is None
+
+
+class TestCovers:
+    def test_descendant_is_covered(self):
+        built = path(("A1", "=", 1))
+        descendant = path(("A1", "=", 1), ("A2", "=", 0))
+        assert predicate_covers(built, descendant)
+
+    def test_sibling_is_not_covered(self):
+        built = path(("A1", "=", 1))
+        sibling = path(("A1", "=", 2))
+        assert not predicate_covers(built, sibling)
+
+    def test_fuzzer_regression_smaller_subtree_elsewhere(self):
+        # Built for the A1=1 subtree; a *smaller* batch from A1=2's
+        # subtree must NOT be considered covered.
+        built = path(("A1", "=", 1))
+        other = path(("A1", "=", 2), ("A2", "=", 0), ("A3", "<>", 1))
+        assert not predicate_covers(built, other)
+
+    def test_unconditional_build_covers_everything(self):
+        assert predicate_covers(None, path(("A1", "=", 1)))
+        assert predicate_covers(TRUE, None)
+
+    def test_nothing_covers_unconditional_except_unconditional(self):
+        built = path(("A1", "=", 1))
+        assert not predicate_covers(built, None)
+
+    def test_batch_disjunction_needs_every_disjunct_covered(self):
+        built = batch_filter([path(("A1", "=", 1)), path(("A1", "=", 2))])
+        inside = batch_filter(
+            [
+                path(("A1", "=", 1), ("A2", "=", 0)),
+                path(("A1", "=", 2), ("A3", "=", 1)),
+            ]
+        )
+        straddling = batch_filter(
+            [
+                path(("A1", "=", 1), ("A2", "=", 0)),
+                path(("A1", "=", 3)),
+            ]
+        )
+        assert predicate_covers(built, inside)
+        assert not predicate_covers(built, straddling)
+
+    def test_ne_conditions_participate(self):
+        built = path(("A1", "<>", 1))
+        descendant = path(("A1", "<>", 1), ("A1", "<>", 2))
+        assert predicate_covers(built, descendant)
+        assert not predicate_covers(built, path(("A1", "<>", 2)))
+
+    def test_unanalysable_is_never_covered(self):
+        odd = Comparison("<", col("A1"), lit(3))
+        assert not predicate_covers(odd, path(("A1", "=", 1)))
+        assert not predicate_covers(path(("A1", "=", 1)), odd)
+
+    def test_same_value_different_ops_distinct(self):
+        assert not predicate_covers(
+            path(("A1", "=", 1)), path(("A1", "<>", 1))
+        )
+        assert not predicate_covers(eq("A1", 1), ne("A1", 1))

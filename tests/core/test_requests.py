@@ -1,0 +1,103 @@
+"""Unit tests for the request/result queues (Fig. 3 interface)."""
+
+import pytest
+
+from repro.common.errors import MiddlewareError
+from repro.core.cc_table import CCTable
+from repro.core.filters import PathCondition
+from repro.core.requests import CountsRequest, CountsResult, RequestQueue
+from repro.core.staging import DataLocation
+
+
+def make_request(node_id, lineage=None, conditions=(), n_rows=10,
+                 est_cc_pairs=4):
+    return CountsRequest(
+        node_id=node_id,
+        lineage=lineage or (node_id,),
+        conditions=conditions,
+        attributes=("A1", "A2"),
+        n_rows=n_rows,
+        est_cc_pairs=est_cc_pairs,
+    )
+
+
+class TestCountsRequest:
+    def test_root_request(self):
+        request = make_request(0)
+        assert request.is_root
+        assert request.predicate.to_sql() == "1 = 1"
+
+    def test_lineage_must_end_with_node(self):
+        with pytest.raises(MiddlewareError):
+            make_request(5, lineage=(0, 1))
+
+    def test_descends_from(self):
+        request = make_request(5, lineage=(0, 2, 5))
+        assert request.descends_from(0)
+        assert request.descends_from(5)
+        assert not request.descends_from(3)
+
+    def test_predicate_from_conditions(self):
+        request = make_request(
+            3,
+            lineage=(0, 3),
+            conditions=(PathCondition("A1", "=", 1),),
+        )
+        assert not request.is_root
+        assert request.predicate.to_sql() == "A1 = 1"
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(MiddlewareError):
+            make_request(0, n_rows=-1)
+        with pytest.raises(MiddlewareError):
+            make_request(0, est_cc_pairs=-1)
+
+
+class TestCountsResult:
+    def test_fields(self):
+        cc = CCTable(("A1",), 2)
+        result = CountsResult(3, cc, DataLocation.FILE, used_sql_fallback=True)
+        assert result.node_id == 3
+        assert result.cc is cc
+        assert result.source is DataLocation.FILE
+        assert result.used_sql_fallback
+
+
+class TestRequestQueue:
+    def test_fifo_order(self):
+        queue = RequestQueue()
+        first = make_request(1)
+        second = make_request(2)
+        queue.put(first)
+        queue.put(second)
+        assert queue.pending() == [first, second]
+        assert len(queue) == 2
+
+    def test_duplicate_node_rejected(self):
+        queue = RequestQueue()
+        queue.put(make_request(1))
+        with pytest.raises(MiddlewareError):
+            queue.put(make_request(1))
+
+    def test_remove_batch(self):
+        queue = RequestQueue()
+        requests = [make_request(i) for i in range(4)]
+        for request in requests:
+            queue.put(request)
+        queue.remove([requests[1], requests[3]])
+        assert [r.node_id for r in queue.pending()] == [0, 2]
+
+    def test_remove_unknown_rejected(self):
+        queue = RequestQueue()
+        queue.put(make_request(1))
+        with pytest.raises(MiddlewareError):
+            queue.remove([make_request(9)])
+
+    def test_bool_and_requeue_after_remove(self):
+        queue = RequestQueue()
+        request = make_request(1)
+        queue.put(request)
+        queue.remove([request])
+        assert not queue
+        queue.put(make_request(1))  # id free again after removal
+        assert queue

@@ -1,0 +1,258 @@
+"""Unit tests for the staging manager and staged files."""
+
+import os
+
+import pytest
+
+from repro.common.cost import CostMeter, CostModel
+from repro.common.errors import StagingError
+from repro.common.memory import MemoryBudget
+from repro.core.requests import CountsRequest
+from repro.core.staging import DataLocation, StagingManager
+from repro.datagen.dataset import DatasetSpec
+
+SPEC = DatasetSpec([3, 3], 2)  # rows are (A1, A2, class)
+
+
+def make_request(node_id, lineage):
+    return CountsRequest(
+        node_id=node_id,
+        lineage=lineage,
+        conditions=(),
+        attributes=("A1", "A2"),
+        n_rows=5,
+        est_cc_pairs=4,
+    )
+
+
+@pytest.fixture
+def manager(tmp_path):
+    meter = CostMeter()
+    model = CostModel()
+    budget = MemoryBudget(10_000)
+    manager = StagingManager(
+        SPEC, meter, model, budget, staging_dir=str(tmp_path)
+    )
+    manager._test_meter = meter
+    manager._test_model = model
+    manager._test_budget = budget
+    yield manager
+    manager.close()
+
+
+class TestDataLocation:
+    def test_ordering(self):
+        assert DataLocation.MEMORY > DataLocation.FILE > DataLocation.SERVER
+
+    def test_paper_tags(self):
+        assert DataLocation.SERVER.tag == "S"
+        assert DataLocation.FILE.tag == "I"
+        assert DataLocation.MEMORY.tag == "L"
+
+
+class TestStagedFile:
+    def test_write_seal_scan_round_trip(self, manager):
+        staged = manager.open_file("n1")
+        rows = [(0, 1, 0), (2, 2, 1), (1, 0, 1)]
+        for row in rows:
+            staged.append(row)
+        staged.seal()
+        assert staged.row_count == 3
+        assert list(staged.scan()) == rows
+
+    def test_scan_before_seal_rejected(self, manager):
+        staged = manager.open_file("n1")
+        with pytest.raises(StagingError):
+            list(staged.scan())
+
+    def test_append_after_seal_rejected(self, manager):
+        staged = manager.open_file("n1")
+        staged.seal()
+        with pytest.raises(StagingError):
+            staged.append((0, 0, 0))
+
+    def test_seal_charges_writes(self, manager):
+        meter = manager._test_meter
+        staged = manager.open_file("n1")
+        staged.append((0, 0, 0))
+        staged.append((1, 1, 1))
+        assert meter.charges["file_write"] == 0  # charged at seal
+        staged.seal()
+        assert meter.charges["file_write"] == pytest.approx(
+            2 * manager._test_model.file_write_row
+        )
+
+    def test_scan_charges_reads(self, manager):
+        staged = manager.open_file("n1")
+        staged.append((0, 0, 0))
+        staged.seal()
+        before = manager._test_meter.charges["file_read"]
+        list(staged.scan())
+        after = manager._test_meter.charges["file_read"]
+        assert after - before == pytest.approx(
+            manager._test_model.file_row_io
+        )
+
+    def test_delete_removes_file(self, manager):
+        staged = manager.open_file("n1")
+        staged.append((0, 0, 0))
+        staged.seal()
+        path = staged.path
+        assert os.path.exists(path)
+        staged.delete()
+        assert not os.path.exists(path)
+
+
+class TestResolve:
+    def test_unstaged_resolves_to_server(self, manager):
+        request = make_request(3, (0, 1, 3))
+        assert manager.resolve(request) == (DataLocation.SERVER, None)
+
+    def test_file_ancestor(self, manager):
+        staged = manager.open_file(1)
+        staged.seal()
+        request = make_request(3, (0, 1, 3))
+        assert manager.resolve(request) == (DataLocation.FILE, 1)
+
+    def test_memory_beats_file(self, manager):
+        manager.open_file(1).seal()
+        manager.reserve_memory(0, 2)
+        manager.commit_memory(0, [(0, 0, 0), (1, 1, 1)])
+        request = make_request(3, (0, 1, 3))
+        assert manager.resolve(request) == (DataLocation.MEMORY, 0)
+
+    def test_nearest_ancestor_wins_within_tier(self, manager):
+        manager.open_file(0).seal()
+        manager.open_file(1).seal()
+        request = make_request(3, (0, 1, 3))
+        assert manager.resolve(request) == (DataLocation.FILE, 1)
+
+    def test_non_ancestor_staging_ignored(self, manager):
+        manager.open_file(7).seal()
+        request = make_request(3, (0, 1, 3))
+        assert manager.resolve(request) == (DataLocation.SERVER, None)
+
+
+class TestMemoryStaging:
+    def test_reserve_and_commit(self, manager):
+        budget = manager._test_budget
+        assert manager.reserve_memory("n", 10)
+        assert budget.used == 10 * SPEC.row_bytes
+        manager.commit_memory("n", [(0, 0, 0)] * 8)
+        # Reservation resized down to the actual row count.
+        assert budget.used == 8 * SPEC.row_bytes
+        assert len(manager.memory_rows("n")) == 8
+
+    def test_commit_charges_load(self, manager):
+        manager.reserve_memory("n", 2)
+        manager.commit_memory("n", [(0, 0, 0), (1, 1, 1)])
+        assert manager._test_meter.charges["memory_load"] == pytest.approx(
+            2 * manager._test_model.memory_load_row
+        )
+
+    def test_reserve_beyond_budget_fails(self, manager):
+        assert not manager.reserve_memory("n", 100_000)
+
+    def test_double_commit_rejected(self, manager):
+        manager.reserve_memory("n", 1)
+        manager.commit_memory("n", [(0, 0, 0)])
+        with pytest.raises(StagingError):
+            manager.commit_memory("n", [(0, 0, 0)])
+
+    def test_cancel_reservation(self, manager):
+        manager.reserve_memory("n", 5)
+        manager.cancel_memory_reservation("n")
+        assert manager._test_budget.used == 0
+
+    def test_drop_releases_budget(self, manager):
+        manager.reserve_memory("n", 1)
+        manager.commit_memory("n", [(0, 0, 0)])
+        manager.drop_memory("n")
+        assert manager._test_budget.used == 0
+        with pytest.raises(StagingError):
+            manager.memory_rows("n")
+
+
+class TestFileBudget:
+    def test_unlimited_by_default(self, manager):
+        assert manager.file_space_for(10**9)
+
+    def test_budget_enforced(self, tmp_path):
+        meter = CostMeter()
+        budget = MemoryBudget(1000)
+        manager = StagingManager(
+            SPEC,
+            meter,
+            CostModel(),
+            budget,
+            staging_dir=str(tmp_path),
+            file_budget_bytes=SPEC.row_bytes * 10,
+        )
+        assert manager.file_space_for(10)
+        staged = manager.open_file("a")
+        for _ in range(8):
+            staged.append((0, 0, 0))
+        staged.seal()
+        assert manager.file_space_for(2)
+        assert not manager.file_space_for(3)
+        manager.close()
+
+
+class TestGarbageCollection:
+    def test_drops_unreferenced_staging(self, manager):
+        manager.open_file(1).seal()
+        manager.reserve_memory(2, 1)
+        manager.commit_memory(2, [(0, 0, 0)])
+        # Pending request descends from neither 1 nor 2.
+        pending = [make_request(9, (0, 9))]
+        dropped = manager.garbage_collect(pending)
+        assert set(dropped) == {1, 2}
+        assert manager.file_nodes() == []
+        assert manager.memory_nodes() == []
+
+    def test_keeps_resolving_sources(self, manager):
+        manager.open_file(1).seal()
+        pending = [make_request(3, (0, 1, 3))]
+        assert manager.garbage_collect(pending) == []
+        assert manager.file_nodes() == [1]
+
+    def test_drops_file_shadowed_by_memory(self, manager):
+        manager.open_file(1).seal()
+        manager.reserve_memory(0, 1)
+        manager.commit_memory(0, [(0, 0, 0)])
+        pending = [make_request(3, (0, 1, 3))]
+        dropped = manager.garbage_collect(pending)
+        # Memory at the root shadows the file at node 1 (Rule 1).
+        assert dropped == [1]
+
+    def test_empty_queue_drops_everything(self, manager):
+        manager.open_file(1).seal()
+        assert manager.garbage_collect([]) == [1]
+
+
+class TestEviction:
+    def test_evict_memory_except(self, manager):
+        for node in ("a", "b", "c"):
+            manager.reserve_memory(node, 1)
+            manager.commit_memory(node, [(0, 0, 0)])
+        freed = manager.evict_memory_except("b")
+        assert freed == 2 * SPEC.row_bytes
+        assert manager.memory_nodes() == ["b"]
+
+
+class TestClose:
+    def test_close_removes_files_and_reservations(self, tmp_path):
+        meter = CostMeter()
+        budget = MemoryBudget(1000)
+        manager = StagingManager(
+            SPEC, meter, CostModel(), budget, staging_dir=str(tmp_path)
+        )
+        staged = manager.open_file("x")
+        staged.append((0, 0, 0))
+        staged.seal()
+        manager.reserve_memory("y", 1)
+        manager.commit_memory("y", [(0, 0, 0)])
+        path = staged.path
+        manager.close()
+        assert not os.path.exists(path)
+        assert budget.used == 0

@@ -1,0 +1,118 @@
+"""Unit tests for execution tracing."""
+
+from repro.client.decision_tree import DecisionTreeClassifier
+from repro.core.config import MiddlewareConfig
+from repro.core.middleware import Middleware
+from repro.core.trace import ExecutionTrace, ScheduleRecord
+from repro.datagen.loader import load_dataset
+from repro.datagen.random_tree import RandomTreeConfig, build_random_tree
+from repro.sqlengine.database import SQLServer
+
+
+def fit_traced(config):
+    generating = build_random_tree(
+        RandomTreeConfig(
+            n_attributes=8,
+            values_per_attribute=3,
+            n_classes=4,
+            n_leaves=12,
+            cases_per_leaf=15,
+            seed=44,
+        )
+    )
+    server = SQLServer()
+    load_dataset(server, "data", generating.spec, generating.materialize())
+    with Middleware(server, "data", generating.spec, config) as mw:
+        DecisionTreeClassifier().fit(mw)
+        return server, mw
+
+
+class TestScheduleRecord:
+    def test_str_mentions_actions(self):
+        record = ScheduleRecord(
+            sequence=3,
+            mode="FILE",
+            source_node=7,
+            batch=(8, 9),
+            stage_file_targets=(8,),
+            stage_memory_targets=(),
+            split_file=True,
+            rows_seen=100,
+            rows_routed=90,
+            deferrals=1,
+            sql_fallbacks=0,
+            cost=12.5,
+        )
+        text = str(record)
+        assert "#3 FILE(7)" in text
+        assert "split" in text
+        assert "deferred=1" in text
+
+
+class TestExecutionTrace:
+    def test_one_record_per_batch(self):
+        _, mw = fit_traced(MiddlewareConfig(memory_bytes=200_000))
+        assert len(mw.trace) == mw.stats.batches
+
+    def test_first_scan_is_server(self):
+        _, mw = fit_traced(MiddlewareConfig(memory_bytes=200_000))
+        assert mw.trace[0].mode == "SERVER"
+        assert mw.trace[0].source_node is None
+
+    def test_trace_cost_sums_to_meter(self):
+        server, mw = fit_traced(MiddlewareConfig(memory_bytes=200_000))
+        assert abs(mw.trace.total_cost - server.meter.total) < 1e-6
+
+    def test_by_mode_matches_stats(self):
+        _, mw = fit_traced(MiddlewareConfig.no_staging(200_000))
+        from repro.core.staging import DataLocation
+
+        assert len(mw.trace.by_mode("SERVER")) == mw.stats.scans_by_mode[
+            DataLocation.SERVER
+        ]
+        assert mw.trace.by_mode("MEMORY") == []
+
+    def test_staging_actions_recorded(self):
+        _, mw = fit_traced(
+            MiddlewareConfig(memory_bytes=400_000, file_split_threshold=0.5)
+        )
+        assert mw.trace[0].stage_file_targets  # root staged on first scan
+
+    def test_render_multiline(self):
+        _, mw = fit_traced(MiddlewareConfig(memory_bytes=200_000))
+        text = mw.trace.render()
+        assert text.count("\n") == len(mw.trace) - 1
+        assert text.startswith("#0 SERVER")
+
+    def test_batches_cover_every_counted_node_once(self):
+        _, mw = fit_traced(MiddlewareConfig(memory_bytes=200_000))
+        counted = [node for record in mw.trace for node in record.batch]
+        # Deferred nodes appear in several batches; subtract deferrals.
+        deferrals = sum(record.deferrals for record in mw.trace)
+        assert len(counted) - deferrals == len(set(counted))
+
+
+class TestSessionReport:
+    def test_report_summarises_session(self):
+        server, mw = fit_traced(MiddlewareConfig(memory_bytes=200_000))
+        report = mw.report()
+        assert "middleware session on table 'data'" in report
+        assert "simulated cost" in report
+        assert "trace:" in report
+        assert "#0 SERVER" in report
+        assert f"{mw.stats.batches} batches" in report
+
+    def test_report_before_any_scan(self):
+        generating = build_random_tree(
+            RandomTreeConfig(
+                n_attributes=4, values_per_attribute=2, n_classes=2,
+                n_leaves=3, cases_per_leaf=5, seed=1,
+            )
+        )
+        server = SQLServer()
+        load_dataset(server, "data", generating.spec,
+                     generating.materialize())
+        with Middleware(server, "data", generating.spec) as mw:
+            report = mw.report()
+        assert "0 batches (none)" in report
+        assert "trace:" not in report

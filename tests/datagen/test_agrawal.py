@@ -1,0 +1,107 @@
+"""Unit tests for the Agrawal benchmark generator."""
+
+import pytest
+
+from repro.client.baselines import grow_in_memory
+from repro.client.growth import GrowthPolicy
+from repro.common.errors import DataGenerationError
+from repro.datagen.agrawal import (
+    AGRAWAL_ATTRIBUTES,
+    AgrawalConfig,
+    agrawal_spec,
+    generate_agrawal_dataset,
+    generate_agrawal_rows,
+)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"function": 0},
+            {"function": 7},
+            {"n_rows": 0},
+            {"noise": 1.5},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(DataGenerationError):
+            AgrawalConfig(**kwargs)
+
+
+class TestSpec:
+    def test_attribute_profile(self):
+        spec = agrawal_spec()
+        assert spec.n_attributes == len(AGRAWAL_ATTRIBUTES)
+        assert spec.n_classes == 2
+        assert spec.cardinality("car") == 20
+        assert spec.cardinality("age") == 12
+        assert spec.class_name == "group"
+
+
+class TestGeneration:
+    def rows(self, **overrides):
+        config = AgrawalConfig(n_rows=2000, seed=3, **overrides)
+        return list(generate_agrawal_rows(config))
+
+    def test_row_count_and_validity(self):
+        rows = self.rows()
+        assert len(rows) == 2000
+        spec = agrawal_spec()
+        for row in rows[:200]:
+            spec.validate_row(row)
+
+    def test_deterministic(self):
+        assert self.rows() == self.rows()
+
+    def test_functions_differ(self):
+        f1 = self.rows(function=1)
+        f2 = self.rows(function=2)
+        labels1 = [r[-1] for r in f1]
+        labels2 = [r[-1] for r in f2]
+        assert labels1 != labels2
+
+    def test_both_groups_present(self):
+        for function in (1, 2, 3):
+            labels = {r[-1] for r in self.rows(function=function)}
+            assert labels == {0, 1}
+
+    def test_function1_age_rule_visible_in_codes(self):
+        # 5-year age brackets align the 40/60 band edges exactly:
+        # brackets 0-3 cover [20,40), brackets 8-11 cover [60,80].
+        spec = agrawal_spec()
+        age_index = spec.attribute_names.index("age")
+        for row in self.rows(function=1):
+            expected = 1 if row[age_index] <= 3 or row[age_index] >= 8 else 0
+            assert row[-1] == expected
+
+    def test_commission_zero_iff_high_salary(self):
+        spec = agrawal_spec()
+        salary_index = spec.attribute_names.index("salary")
+        commission_index = spec.attribute_names.index("commission")
+        for row in self.rows():
+            # Salary brackets 11+ start at 75k -> no commission.
+            if row[salary_index] >= 11:
+                assert row[commission_index] == 0
+
+    def test_noise_flips_labels(self):
+        clean = self.rows(noise=0.0)
+        noisy = self.rows(noise=0.4)
+        flipped = sum(
+            1 for a, b in zip(clean, noisy)
+            if a[:-1] == b[:-1] and a[-1] != b[-1]
+        )
+        assert flipped > 0
+
+
+class TestLearnability:
+    @pytest.mark.parametrize("function", [1, 2, 3])
+    def test_trees_learn_the_functions(self, function):
+        spec, rows = generate_agrawal_dataset(
+            AgrawalConfig(function=function, n_rows=1500, seed=9)
+        )
+        train, test = rows[:1000], rows[1000:]
+        tree = grow_in_memory(train, spec, GrowthPolicy(min_rows=8))
+        # The bracket edges align with every band boundary the
+        # functions use, so trees can recover them almost exactly.
+        assert tree.accuracy(test) > 0.9

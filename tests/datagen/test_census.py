@@ -1,0 +1,93 @@
+"""Unit tests for the census-like workload."""
+
+import pytest
+
+from repro.common.errors import DataGenerationError
+from repro.datagen.census import (
+    CENSUS_ATTRIBUTES,
+    CensusConfig,
+    census_spec,
+    generate_census_dataset,
+    generate_census_rows,
+)
+
+
+class TestSpec:
+    def test_attribute_profile(self):
+        spec = census_spec()
+        assert spec.n_attributes == len(CENSUS_ATTRIBUTES)
+        assert spec.n_classes == 2
+        assert spec.class_name == "income"
+        assert spec.cardinality("education") == 16
+        assert spec.cardinality("sex") == 2
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs", [{"n_rows": 0}, {"label_noise": -0.1}, {"label_noise": 1.5}]
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(DataGenerationError):
+            CensusConfig(**kwargs)
+
+
+class TestGeneration:
+    def rows(self, **overrides):
+        config = CensusConfig(n_rows=2000, seed=5, **overrides)
+        return list(generate_census_rows(config))
+
+    def test_row_count(self):
+        assert len(self.rows()) == 2000
+
+    def test_rows_valid(self):
+        spec = census_spec()
+        for row in self.rows()[:200]:
+            spec.validate_row(row)
+
+    def test_deterministic(self):
+        assert self.rows() == self.rows()
+
+    def test_both_classes_present(self):
+        labels = {row[-1] for row in self.rows()}
+        assert labels == {0, 1}
+
+    def test_education_correlates_with_income(self):
+        spec = census_spec()
+        edu = spec.attribute_names.index("education")
+        rows = self.rows(label_noise=0.0)
+        high = [r for r in rows if r[edu] >= 13]
+        low = [r for r in rows if r[edu] <= 5]
+        assert high and low
+        rate_high = sum(r[-1] for r in high) / len(high)
+        rate_low = sum(r[-1] for r in low) / len(low)
+        assert rate_high > rate_low + 0.2
+
+    def test_noise_flips_labels(self):
+        clean = self.rows(label_noise=0.0)
+        noisy = self.rows(label_noise=0.3)
+        differing = sum(
+            1 for a, b in zip(clean, noisy) if a[:-1] == b[:-1] and a[-1] != b[-1]
+        )
+        assert differing > 0
+
+    def test_marital_correlates_with_age(self):
+        spec = census_spec()
+        age = spec.attribute_names.index("age_bracket")
+        marital = spec.attribute_names.index("marital_status")
+        rows = self.rows()
+        young_married = [
+            r for r in rows if r[age] <= 1 and r[marital] == 1
+        ]
+        older_married = [
+            r for r in rows if r[age] >= 3 and r[marital] == 1
+        ]
+        young = [r for r in rows if r[age] <= 1]
+        older = [r for r in rows if r[age] >= 3]
+        assert len(older_married) / len(older) > len(young_married) / len(young)
+
+
+class TestConvenience:
+    def test_generate_dataset_tuple(self):
+        spec, rows = generate_census_dataset(CensusConfig(n_rows=50, seed=1))
+        assert spec.class_name == "income"
+        assert len(rows) == 50

@@ -1,0 +1,74 @@
+"""Unit tests for dataset specs."""
+
+import pytest
+
+from repro.common.errors import DataGenerationError
+from repro.datagen.dataset import DatasetSpec, uniform_spec
+
+
+class TestDatasetSpec:
+    def test_default_names(self):
+        spec = DatasetSpec([3, 4], 2)
+        assert spec.attribute_names == ["A1", "A2"]
+        assert spec.n_attributes == 2
+
+    def test_cardinality_lookup(self):
+        spec = DatasetSpec([3, 4], 2)
+        assert spec.cardinality("A2") == 4
+        with pytest.raises(DataGenerationError):
+            spec.cardinality("A9")
+
+    def test_schema_columns(self):
+        spec = DatasetSpec([3, 4], 2)
+        schema = spec.schema()
+        assert schema.column_names == ["A1", "A2", "class"]
+        assert all(c.type.value == "INT" for c in schema)
+
+    def test_row_bytes(self):
+        spec = DatasetSpec([3] * 25, 10)
+        assert spec.row_bytes == 26 * 4
+
+    def test_rows_for_bytes(self):
+        spec = DatasetSpec([3] * 25, 10)  # 104 bytes/row
+        assert spec.rows_for_bytes(1040) == 10
+        assert spec.rows_for_bytes(10) == 1  # never zero
+
+    def test_validate_row(self):
+        spec = DatasetSpec([3, 4], 2)
+        assert spec.validate_row((2, 3, 1)) == (2, 3, 1)
+
+    @pytest.mark.parametrize(
+        "row", [(3, 0, 0), (0, 4, 0), (0, 0, 2), (0, 0), (-1, 0, 0)]
+    )
+    def test_validate_row_rejects_out_of_range(self, row):
+        spec = DatasetSpec([3, 4], 2)
+        with pytest.raises(DataGenerationError):
+            spec.validate_row(row)
+
+    def test_custom_names(self):
+        spec = DatasetSpec([2, 2], 2, attribute_names=["x", "y"],
+                           class_name="label")
+        assert spec.schema().column_names == ["x", "y", "label"]
+
+    def test_class_name_collision_rejected(self):
+        with pytest.raises(DataGenerationError):
+            DatasetSpec([2], 2, attribute_names=["class"])
+
+    @pytest.mark.parametrize(
+        "cards,classes", [([], 2), ([1], 2), ([2], 1)]
+    )
+    def test_degenerate_specs_rejected(self, cards, classes):
+        with pytest.raises(DataGenerationError):
+            DatasetSpec(cards, classes)
+
+    def test_name_card_length_mismatch(self):
+        with pytest.raises(DataGenerationError):
+            DatasetSpec([2, 2], 2, attribute_names=["only_one"])
+
+
+class TestUniformSpec:
+    def test_shape(self):
+        spec = uniform_spec(5, 4, 3)
+        assert spec.n_attributes == 5
+        assert spec.attribute_cards == [4] * 5
+        assert spec.n_classes == 3

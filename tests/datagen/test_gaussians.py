@@ -1,0 +1,115 @@
+"""Unit tests for the Gaussian-mixture workload (§5.1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataGenerationError
+from repro.datagen.gaussians import (
+    GaussianMixture,
+    GaussianMixtureConfig,
+    generate_gaussian_dataset,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(
+        n_dimensions=6,
+        n_classes=4,
+        samples_per_class=50,
+        n_buckets=5,
+        seed=9,
+    )
+    defaults.update(overrides)
+    return GaussianMixtureConfig(**defaults)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = GaussianMixtureConfig()
+        assert config.n_dimensions == 100
+        assert config.samples_per_class == 10_000
+        assert config.mean_low == -5.0
+        assert config.variance_low == 0.7
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_dimensions": 0},
+            {"n_classes": 1},
+            {"samples_per_class": 0},
+            {"n_buckets": 1},
+            {"variance_low": 0.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(DataGenerationError):
+            small_config(**kwargs)
+
+
+class TestMixture:
+    def test_parameter_ranges(self):
+        mixture = GaussianMixture(small_config())
+        assert mixture.means.shape == (4, 6)
+        assert np.all(mixture.means >= -5.0)
+        assert np.all(mixture.means <= 5.0)
+        assert np.all(mixture.variances >= 0.7)
+        assert np.all(mixture.variances <= 1.5)
+
+    def test_sample_shapes(self):
+        mixture = GaussianMixture(small_config())
+        X, y = mixture.sample_continuous()
+        assert X.shape == (200, 6)
+        assert y.shape == (200,)
+        assert sorted(set(y.tolist())) == [0, 1, 2, 3]
+
+    def test_discretize_range(self):
+        mixture = GaussianMixture(small_config())
+        X, _ = mixture.sample_continuous()
+        codes = mixture.discretize(X)
+        assert codes.min() >= 0
+        assert codes.max() <= 4
+
+    def test_rows_match_spec(self):
+        mixture = GaussianMixture(small_config())
+        spec = mixture.spec()
+        rows = mixture.materialize()
+        assert len(rows) == 200
+        for row in rows[:20]:
+            spec.validate_row(row)
+
+    def test_rows_are_python_ints(self):
+        mixture = GaussianMixture(small_config())
+        row = mixture.materialize()[0]
+        assert all(type(v) is int for v in row)
+
+    def test_deterministic_for_seed(self):
+        a = GaussianMixture(small_config()).materialize()
+        b = GaussianMixture(small_config()).materialize()
+        assert a == b
+
+    def test_dropping_dimensions_keeps_mixture(self):
+        # The paper varies dimensionality freely; verify the config knob.
+        wide = GaussianMixture(small_config(n_dimensions=10))
+        narrow = GaussianMixture(small_config(n_dimensions=3))
+        assert wide.spec().n_attributes == 10
+        assert narrow.spec().n_attributes == 3
+
+    def test_classes_are_separable_enough_to_matter(self):
+        # With unit-ish variances and means spread over [-5, 5], nearest
+        # mean classification on the continuous data should beat chance
+        # by a wide margin.
+        mixture = GaussianMixture(small_config(samples_per_class=100))
+        X, y = mixture.sample_continuous()
+        distances = (
+            (X[:, None, :] - mixture.means[None, :, :]) ** 2
+        ).sum(axis=2)
+        predicted = distances.argmin(axis=1)
+        accuracy = (predicted == y).mean()
+        assert accuracy > 0.8
+
+
+class TestConvenience:
+    def test_generate_dataset_tuple(self):
+        mixture, rows = generate_gaussian_dataset(small_config())
+        assert len(rows) == 200
+        assert mixture.spec().n_classes == 4

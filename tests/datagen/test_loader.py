@@ -1,0 +1,28 @@
+"""Unit tests for dataset loading."""
+
+from repro.datagen.dataset import DatasetSpec
+from repro.datagen.loader import load_dataset
+from repro.sqlengine.database import SQLServer
+
+
+class TestLoadDataset:
+    def test_creates_table_with_spec_schema(self):
+        spec = DatasetSpec([2, 3], 2)
+        server = SQLServer()
+        table = load_dataset(server, "data", spec, [(0, 1, 0), (1, 2, 1)])
+        assert table.row_count == 2
+        assert table.schema.column_names == ["A1", "A2", "class"]
+        assert server.table("data") is table
+
+    def test_loading_is_not_metered(self):
+        spec = DatasetSpec([2, 3], 2)
+        server = SQLServer()
+        load_dataset(server, "data", spec, [(0, 1, 0)] * 50)
+        assert server.meter.total == 0.0
+
+    def test_accepts_generator(self):
+        spec = DatasetSpec([2, 3], 2)
+        server = SQLServer()
+        rows = ((i % 2, i % 3, i % 2) for i in range(25))
+        table = load_dataset(server, "data", spec, rows)
+        assert table.row_count == 25

@@ -1,0 +1,121 @@
+"""Integration tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("workload", ["random-tree", "gaussian", "census"])
+    def test_generates_csv(self, tmp_path, capsys, workload):
+        out = tmp_path / "data.csv"
+        code, stdout, _ = run(
+            ["generate", "--workload", workload, "--rows", "300",
+             "--seed", "1", "--out", str(out)],
+            capsys,
+        )
+        assert code == 0
+        assert "wrote" in stdout
+        lines = out.read_text().splitlines()
+        assert len(lines) > 100
+        header = lines[0].split(",")
+        assert len(header) >= 3
+
+
+class TestFitEvaluatePredict:
+    @pytest.fixture
+    def data_csv(self, tmp_path, capsys):
+        out = tmp_path / "data.csv"
+        code, _, __ = run(
+            ["generate", "--workload", "random-tree", "--rows", "400",
+             "--seed", "2", "--out", str(out)],
+            capsys,
+        )
+        assert code == 0
+        return out
+
+    def test_fit_prints_summary_and_saves(self, data_csv, tmp_path, capsys):
+        model = tmp_path / "model.json"
+        code, stdout, _ = run(
+            ["fit", str(data_csv), "--out", str(model),
+             "--render-depth", "1", "--trace"],
+            capsys,
+        )
+        assert code == 0
+        assert "fitted tree" in stdout
+        assert "training accuracy: 1.0000" in stdout
+        assert "#0 SERVER" in stdout
+        payload = json.loads(model.read_text())
+        assert payload["format"] == "repro.decision_tree"
+
+    def test_fit_no_staging_flag(self, data_csv, capsys):
+        code, stdout, _ = run(
+            ["fit", str(data_csv), "--no-staging"], capsys
+        )
+        assert code == 0
+        assert "scans" in stdout
+
+    def test_evaluate_cross_validates(self, data_csv, capsys):
+        code, stdout, _ = run(
+            ["evaluate", str(data_csv), "--folds", "3"], capsys
+        )
+        assert code == 0
+        assert "3-fold accuracies" in stdout
+        assert "mean accuracy" in stdout
+
+    def test_predict_round_trip(self, data_csv, tmp_path, capsys):
+        model = tmp_path / "model.json"
+        run(["fit", str(data_csv), "--out", str(model)], capsys)
+        scored = tmp_path / "scored.csv"
+        code, stdout, _ = run(
+            ["predict", str(model), str(data_csv), "--out", str(scored)],
+            capsys,
+        )
+        assert code == 0
+        assert "accuracy: 1.0000" in stdout
+        lines = scored.read_text().splitlines()
+        assert lines[0].endswith("predicted")
+        data_rows = len(data_csv.read_text().splitlines()) - 1
+        assert len(lines) == data_rows + 1
+
+
+class TestErrors:
+    def test_no_command_prints_help(self, capsys):
+        code, stdout, _ = run([], capsys)
+        assert code == 2
+        assert "usage" in stdout
+
+    def test_missing_file_is_reported(self, capsys):
+        code, _, stderr = run(["fit", "/nonexistent/data.csv"], capsys)
+        assert code == 1
+        assert "error" in stderr
+
+    def test_non_integer_csv_rejected(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,class\nhello,1\n")
+        code, _, stderr = run(["fit", str(path)], capsys)
+        assert code == 1
+        assert "integer" in stderr
+
+    def test_model_data_mismatch_rejected(self, tmp_path, capsys):
+        data = tmp_path / "data.csv"
+        run(
+            ["generate", "--rows", "200", "--seed", "3",
+             "--out", str(data)],
+            capsys,
+        )
+        model = tmp_path / "model.json"
+        run(["fit", str(data), "--out", str(model)], capsys)
+        other = tmp_path / "other.csv"
+        other.write_text("x,class\n0,0\n1,1\n")
+        code, _, stderr = run(["predict", str(model), str(other)], capsys)
+        assert code == 1
+        assert "attributes" in stderr

@@ -1,0 +1,71 @@
+"""Property-based fuzzing: random configs never change the tree.
+
+Hypothesis draws arbitrary (valid) middleware configurations and small
+random workloads; the middleware-grown tree must always equal the
+in-memory reference.  This is the paper's central correctness claim
+subjected to adversarial configuration search.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.client.baselines import grow_in_memory
+from repro.client.decision_tree import DecisionTreeClassifier
+from repro.client.growth import GrowthPolicy
+from repro.core.config import MiddlewareConfig
+from repro.core.middleware import Middleware
+from repro.datagen.loader import load_dataset
+from repro.datagen.random_tree import RandomTreeConfig, build_random_tree
+from repro.sqlengine.database import SQLServer
+
+from ..conftest import tree_signature
+
+configs = st.builds(
+    MiddlewareConfig,
+    memory_bytes=st.integers(min_value=0, max_value=100_000),
+    file_staging=st.booleans(),
+    memory_staging=st.booleans(),
+    file_split_threshold=st.floats(min_value=0.0, max_value=1.0),
+    file_budget_bytes=st.one_of(
+        st.none(), st.integers(min_value=0, max_value=50_000)
+    ),
+    push_filters=st.booleans(),
+    aux_strategy=st.sampled_from(("scan", "temp_table", "tid_join",
+                                  "keyset")),
+    aux_build_threshold=st.floats(min_value=0.01, max_value=1.0),
+    aux_free_build=st.booleans(),
+)
+
+
+class TestConfigFuzz:
+    @given(config=configs, seed=st.integers(min_value=0, max_value=3))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_any_config_grows_the_reference_tree(self, config, seed):
+        generating = build_random_tree(
+            RandomTreeConfig(
+                n_attributes=6,
+                values_per_attribute=3,
+                n_classes=3,
+                n_leaves=8,
+                cases_per_leaf=12,
+                seed=seed,
+            )
+        )
+        rows = generating.materialize()
+        server = SQLServer()
+        load_dataset(server, "data", generating.spec, rows)
+        reference = grow_in_memory(rows, generating.spec, GrowthPolicy())
+
+        with Middleware(server, "data", generating.spec, config) as mw:
+            model = DecisionTreeClassifier().fit(mw)
+
+        assert tree_signature(model.tree.root) == tree_signature(
+            reference.root
+        )
+        # All middleware memory is released at the end, whatever the path.
+        mw.close()
+        assert mw.budget.used == 0

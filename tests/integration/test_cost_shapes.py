@@ -1,0 +1,121 @@
+"""Integration: qualitative cost orderings the paper's charts rely on.
+
+These tests assert the *shapes* behind Section 5's figures on small
+workloads: staging helps, memory helps, the SQL straw man loses badly,
+filter push-down saves transfer, and bigger data costs more.
+"""
+
+import pytest
+
+from repro.bench.harness import Workbench
+from repro.client.growth import GrowthPolicy
+from repro.core.config import MiddlewareConfig
+from repro.datagen.random_tree import RandomTreeConfig, build_random_tree
+
+
+@pytest.fixture(scope="module")
+def bench():
+    generating = build_random_tree(
+        RandomTreeConfig(
+            n_attributes=10,
+            values_per_attribute=3,
+            n_classes=5,
+            n_leaves=40,
+            cases_per_leaf=25,
+            seed=31,
+        )
+    )
+    return Workbench(generating.spec, generating.materialize())
+
+
+class TestStagingHelps:
+    def test_memory_caching_beats_no_caching(self, bench):
+        cached = bench.run_middleware(MiddlewareConfig.memory_only(500_000))
+        uncached = bench.run_middleware(MiddlewareConfig.no_staging(500_000))
+        assert cached.cost < uncached.cost
+
+    def test_file_caching_beats_no_caching(self, bench):
+        filed = bench.run_middleware(MiddlewareConfig.file_only(500_000))
+        uncached = bench.run_middleware(MiddlewareConfig.no_staging(500_000))
+        assert filed.cost < uncached.cost
+
+    def test_memory_beats_file(self, bench):
+        cached = bench.run_middleware(MiddlewareConfig.memory_only(500_000))
+        filed = bench.run_middleware(MiddlewareConfig.file_only(500_000))
+        assert cached.cost < filed.cost
+
+
+class TestMemoryScaling:
+    def test_more_memory_never_hurts_without_staging(self, bench):
+        costs = [
+            bench.run_middleware(MiddlewareConfig.no_staging(m)).cost
+            for m in (800, 4_000, 40_000, 400_000)
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_fallbacks_vanish_with_memory(self, bench):
+        tiny = bench.run_middleware(MiddlewareConfig.no_staging(800))
+        big = bench.run_middleware(MiddlewareConfig.no_staging(400_000))
+        assert tiny.sql_fallbacks > 0
+        assert big.sql_fallbacks == 0
+
+    def test_small_memory_means_more_scans(self, bench):
+        tiny = bench.run_middleware(MiddlewareConfig.no_staging(3_000))
+        big = bench.run_middleware(MiddlewareConfig.no_staging(400_000))
+        assert tiny.scans["SERVER"] > big.scans["SERVER"]
+
+
+class TestBaselines:
+    def test_middleware_dominates_sql_counting(self, bench):
+        middleware = bench.run_middleware(
+            MiddlewareConfig(memory_bytes=500_000)
+        )
+        straw_man = bench.run_sql_counting()
+        assert straw_man.cost > 5 * middleware.cost
+
+    def test_middleware_beats_extract_all(self, bench):
+        middleware = bench.run_middleware(
+            MiddlewareConfig(memory_bytes=500_000)
+        )
+        extract = bench.run_extract_all()
+        assert middleware.cost < extract.cost
+
+    def test_baselines_and_middleware_grow_same_size_tree(self, bench):
+        middleware = bench.run_middleware(
+            MiddlewareConfig(memory_bytes=500_000)
+        )
+        straw_man = bench.run_sql_counting()
+        assert middleware.tree_nodes == straw_man.tree_nodes
+        assert middleware.tree_leaves == straw_man.tree_leaves
+
+
+class TestFilterPushdown:
+    def test_pushdown_reduces_cost_without_staging(self, bench):
+        pushed = bench.run_middleware(MiddlewareConfig.no_staging(500_000))
+        unpushed = bench.run_middleware(
+            MiddlewareConfig.no_staging(500_000, push_filters=False)
+        )
+        assert pushed.cost < unpushed.cost
+
+
+class TestDataScaling:
+    def test_cost_grows_with_rows(self):
+        policy = GrowthPolicy(max_depth=4)
+        costs = []
+        for cases in (10, 30, 90):
+            generating = build_random_tree(
+                RandomTreeConfig(
+                    n_attributes=8,
+                    values_per_attribute=3,
+                    n_classes=4,
+                    n_leaves=20,
+                    cases_per_leaf=cases,
+                    seed=5,
+                )
+            )
+            bench = Workbench(generating.spec, generating.materialize())
+            run = bench.run_middleware(
+                MiddlewareConfig.no_staging(200_000), policy=policy
+            )
+            costs.append(run.cost)
+        assert costs == sorted(costs)

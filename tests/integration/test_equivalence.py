@@ -1,0 +1,128 @@
+"""Integration: every data-access strategy grows the identical tree.
+
+The paper's architecture promises that scheduling, staging, filter
+push-down, auxiliary structures and the SQL fallback are pure
+performance decisions — "this approach does not affect the decision
+tree that is finally produced by the classifier."  These tests pin that
+guarantee across every configuration on two workloads.
+"""
+
+import pytest
+
+from repro.client.baselines import (
+    extract_all_fit,
+    grow_in_memory,
+    sql_counting_fit,
+)
+from repro.client.decision_tree import DecisionTreeClassifier
+from repro.client.growth import GrowthPolicy
+from repro.core.config import MiddlewareConfig
+from repro.core.middleware import Middleware
+from repro.datagen.census import CensusConfig, census_spec, generate_census_rows
+from repro.datagen.loader import load_dataset
+from repro.sqlengine.database import SQLServer
+
+from ..conftest import tree_signature
+
+CONFIGS = {
+    "no_staging": MiddlewareConfig.no_staging(500_000),
+    "memory_only": MiddlewareConfig.memory_only(500_000),
+    "file_only_singleton": MiddlewareConfig.file_only(
+        500_000, split_threshold=0.0
+    ),
+    "file_only_per_node": MiddlewareConfig.file_only(
+        500_000, split_threshold=1.0
+    ),
+    "full_hybrid": MiddlewareConfig(memory_bytes=500_000),
+    "tiny_memory_sql_fallback": MiddlewareConfig.no_staging(600),
+    "no_filter_pushdown": MiddlewareConfig(
+        memory_bytes=500_000, push_filters=False
+    ),
+    "aux_temp_table": MiddlewareConfig.no_staging(
+        500_000, aux_strategy="temp_table"
+    ),
+    "aux_tid_join": MiddlewareConfig.no_staging(
+        500_000, aux_strategy="tid_join"
+    ),
+    "aux_keyset": MiddlewareConfig.no_staging(500_000, aux_strategy="keyset"),
+    "tight_file_budget": MiddlewareConfig(
+        memory_bytes=500_000, file_budget_bytes=500
+    ),
+}
+
+
+def fit_with(server, spec, config):
+    with Middleware(server, "data", spec, config) as mw:
+        return DecisionTreeClassifier().fit(mw)
+
+
+class TestRandomTreeWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        from repro.datagen.random_tree import (
+            RandomTreeConfig,
+            build_random_tree,
+        )
+
+        generating = build_random_tree(
+            RandomTreeConfig(
+                n_attributes=10,
+                values_per_attribute=3,
+                n_classes=5,
+                n_leaves=25,
+                cases_per_leaf=20,
+                seed=21,
+            )
+        )
+        rows = generating.materialize()
+        server = SQLServer()
+        load_dataset(server, "data", generating.spec, rows)
+        reference = grow_in_memory(rows, generating.spec, GrowthPolicy())
+        return server, generating.spec, rows, tree_signature(reference.root)
+
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_middleware_config_equivalence(self, workload, name):
+        server, spec, _, reference = workload
+        model = fit_with(server, spec, CONFIGS[name])
+        assert tree_signature(model.tree.root) == reference
+
+    def test_sql_counting_equivalence(self, workload):
+        server, spec, _, reference = workload
+        tree = sql_counting_fit(server, "data", spec, GrowthPolicy())
+        assert tree_signature(tree.root) == reference
+
+    def test_extract_all_equivalence(self, workload):
+        server, spec, _, reference = workload
+        tree = extract_all_fit(server, "data", spec, GrowthPolicy())
+        assert tree_signature(tree.root) == reference
+
+    def test_fallback_actually_happened(self, workload):
+        server, spec, _, __ = workload
+        with Middleware(
+            server, "data", spec, CONFIGS["tiny_memory_sql_fallback"]
+        ) as mw:
+            DecisionTreeClassifier().fit(mw)
+            assert mw.stats.sql_fallbacks > 0
+
+
+class TestCensusWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        spec = census_spec()
+        rows = list(generate_census_rows(CensusConfig(n_rows=1200, seed=3)))
+        server = SQLServer()
+        load_dataset(server, "data", spec, rows)
+        policy = GrowthPolicy(max_depth=6)
+        reference = grow_in_memory(rows, spec, policy)
+        return server, spec, tree_signature(reference.root)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["no_staging", "full_hybrid", "memory_only", "file_only_per_node",
+         "tiny_memory_sql_fallback"],
+    )
+    def test_census_equivalence(self, workload, name):
+        server, spec, reference = workload
+        with Middleware(server, "data", spec, CONFIGS[name]) as mw:
+            model = DecisionTreeClassifier(max_depth=6).fit(mw)
+        assert tree_signature(model.tree.root) == reference

@@ -1,0 +1,30 @@
+"""Doc guard: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.name for path in EXAMPLES}
+        assert "quickstart.py" in names
+        assert len(EXAMPLES) >= 3  # the deliverable floor
+
+    @pytest.mark.parametrize(
+        "script", EXAMPLES, ids=lambda p: p.name
+    )
+    def test_example_runs_cleanly(self, script):
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert proc.stdout.strip(), "examples should narrate what they do"

@@ -1,0 +1,119 @@
+"""Integration: end-to-end pipelines across the three workloads."""
+
+import pytest
+
+from repro.bench.harness import RunResult, Workbench, mb, rows_for_mb, series_table
+from repro.client.decision_tree import DecisionTreeClassifier
+from repro.client.naive_bayes import NaiveBayesClassifier
+from repro.core.config import MiddlewareConfig
+from repro.core.middleware import Middleware
+from repro.datagen.census import CensusConfig, census_spec, generate_census_rows
+from repro.datagen.gaussians import GaussianMixture, GaussianMixtureConfig
+from repro.datagen.loader import load_dataset
+from repro.sqlengine.database import SQLServer
+
+
+class TestGaussianPipeline:
+    @pytest.fixture(scope="class")
+    def mixture_rows(self):
+        mixture = GaussianMixture(
+            GaussianMixtureConfig(
+                n_dimensions=8,
+                n_classes=4,
+                samples_per_class=120,
+                n_buckets=6,
+                seed=17,
+            )
+        )
+        return mixture, mixture.materialize()
+
+    def test_tree_beats_chance_heavily(self, mixture_rows):
+        mixture, rows = mixture_rows
+        spec = mixture.spec()
+        server = SQLServer()
+        load_dataset(server, "data", spec, rows)
+        with Middleware(
+            server, "data", spec, MiddlewareConfig(memory_bytes=800_000)
+        ) as mw:
+            model = DecisionTreeClassifier(max_depth=8).fit(mw)
+        # Chance is 25%; well-separated Gaussians should be near-perfect.
+        assert model.accuracy(rows) > 0.8
+
+    def test_naive_bayes_on_same_table(self, mixture_rows):
+        mixture, rows = mixture_rows
+        spec = mixture.spec()
+        server = SQLServer()
+        load_dataset(server, "data", spec, rows)
+        with Middleware(server, "data", spec) as mw:
+            model = NaiveBayesClassifier().fit(mw)
+        assert model.accuracy(rows) > 0.8
+
+
+class TestCensusPipeline:
+    def test_tree_recovers_income_rule(self):
+        spec = census_spec()
+        rows = list(generate_census_rows(CensusConfig(n_rows=3000, seed=2,
+                                                      label_noise=0.0)))
+        server = SQLServer()
+        load_dataset(server, "data", spec, rows)
+        with Middleware(
+            server, "data", spec, MiddlewareConfig(memory_bytes=800_000)
+        ) as mw:
+            model = DecisionTreeClassifier(max_depth=8).fit(mw)
+        assert model.accuracy(rows) > 0.9
+
+    def test_education_is_a_top_split(self):
+        spec = census_spec()
+        rows = list(generate_census_rows(CensusConfig(n_rows=3000, seed=2,
+                                                      label_noise=0.0)))
+        server = SQLServer()
+        load_dataset(server, "data", spec, rows)
+        with Middleware(server, "data", spec) as mw:
+            model = DecisionTreeClassifier(max_depth=3).fit(mw)
+        top_attrs = {
+            n.split_attribute
+            for n in model.tree.walk()
+            if n.split_attribute and n.depth <= 1
+        }
+        assert top_attrs & {"education", "capital_gain_bracket",
+                            "marital_status", "occupation"}
+
+
+class TestHarness:
+    def test_mb_scaling(self):
+        assert mb(1) == int(1024 * 1024 * 0.01)
+        assert mb(0) == 1  # never zero
+
+    def test_rows_for_mb(self):
+        spec = census_spec()
+        assert rows_for_mb(spec, 1) == spec.rows_for_bytes(mb(1))
+
+    def test_workbench_run_result_fields(self):
+        from repro.datagen.random_tree import (
+            RandomTreeConfig,
+            build_random_tree,
+        )
+
+        generating = build_random_tree(
+            RandomTreeConfig(
+                n_attributes=6, values_per_attribute=3, n_classes=3,
+                n_leaves=8, cases_per_leaf=10, seed=1,
+            )
+        )
+        bench = Workbench(generating.spec, generating.materialize())
+        run = bench.run_middleware(MiddlewareConfig(memory_bytes=100_000))
+        assert run.cost > 0
+        assert run.wall_seconds > 0
+        assert run.tree_nodes >= run.tree_leaves
+        assert sum(run.scans.values()) >= 1
+        assert run.breakdown
+
+    def test_series_table_renders(self):
+        runs = [
+            RunResult("a", 10.0, 0.1, 5, 3, 2),
+            RunResult("a", 20.0, 0.1, 5, 3, 2),
+        ]
+        text = series_table("Fig X", "memory", [1, 2], [("caching", runs)])
+        assert "Fig X" in text
+        assert "caching" in text
+        assert "10.00" in text

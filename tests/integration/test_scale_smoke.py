@@ -1,0 +1,67 @@
+"""Scale smoke tests: the full pipeline at tens of thousands of rows.
+
+The paper's point is scalability; these tests push row counts an order
+of magnitude past the rest of the suite to catch accidental quadratic
+behaviour, while bounding tree depth to keep the suite fast.
+"""
+
+import time
+
+import pytest
+
+from repro.client.decision_tree import DecisionTreeClassifier
+from repro.core.config import MiddlewareConfig
+from repro.core.middleware import Middleware
+from repro.datagen.loader import load_dataset
+from repro.datagen.random_tree import RandomTreeConfig, build_random_tree
+from repro.sqlengine.database import SQLServer
+
+
+@pytest.fixture(scope="module")
+def big_workload():
+    generating = build_random_tree(
+        RandomTreeConfig(
+            n_attributes=15,
+            values_per_attribute=4,
+            n_classes=6,
+            n_leaves=100,
+            cases_per_leaf=200,  # 20,000 rows
+            seed=77,
+        )
+    )
+    rows = generating.materialize()
+    server = SQLServer()
+    load_dataset(server, "data", generating.spec, rows)
+    return server, generating.spec, rows
+
+
+class TestScaleSmoke:
+    def test_20k_rows_fit_completes_quickly(self, big_workload):
+        server, spec, rows = big_workload
+        started = time.perf_counter()
+        with Middleware(
+            server, "data", spec, MiddlewareConfig(memory_bytes=4_000_000)
+        ) as mw:
+            model = DecisionTreeClassifier(max_depth=6).fit(mw)
+        elapsed = time.perf_counter() - started
+        assert model.tree.n_nodes > 10
+        assert elapsed < 30.0  # generous bound; catches quadratic blowups
+
+    def test_rows_scanned_stays_linear_in_depth(self, big_workload):
+        server, spec, rows = big_workload
+        with Middleware(
+            server, "data", spec, MiddlewareConfig(memory_bytes=4_000_000)
+        ) as mw:
+            DecisionTreeClassifier(max_depth=6).fit(mw)
+            stats = mw.stats
+        # Each tree level touches at most the full data set once per
+        # source tier; depth 6 must stay well below quadratic.
+        assert stats.rows_seen <= len(rows) * 10
+
+    def test_accuracy_at_scale(self, big_workload):
+        server, spec, rows = big_workload
+        with Middleware(
+            server, "data", spec, MiddlewareConfig(memory_bytes=4_000_000)
+        ) as mw:
+            model = DecisionTreeClassifier(max_depth=10).fit(mw)
+        assert model.accuracy(rows[:2000]) > 0.5

@@ -1,0 +1,154 @@
+"""Unit tests for SUM/MIN/MAX/AVG/COUNT, ORDER BY and LIMIT."""
+
+import pytest
+
+from repro.common.errors import SQLError, SQLSyntaxError
+from repro.sqlengine.ast_nodes import Aggregate, Star
+from repro.sqlengine.database import SQLServer
+from repro.sqlengine.parser import parse
+from repro.sqlengine.schema import TableSchema
+
+
+@pytest.fixture
+def server():
+    server = SQLServer()
+    server.create_table(
+        "t", TableSchema.of(("g", "int"), ("v", "int"))
+    )
+    server.bulk_load(
+        "t",
+        [
+            (0, 10),
+            (0, 20),
+            (0, None),
+            (1, 5),
+            (1, 7),
+        ],
+    )
+    return server
+
+
+class TestAggregateNode:
+    def test_count_star(self):
+        aggregate = Aggregate("COUNT", Star())
+        assert aggregate.is_count_star
+        assert aggregate.to_sql() == "COUNT(*)"
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(ValueError):
+            Aggregate("SUM", Star())
+
+    def test_unknown_func_rejected(self):
+        with pytest.raises(ValueError):
+            Aggregate("MEDIAN", Star())
+
+
+class TestGlobalAggregates:
+    def test_count_star(self, server):
+        result = server.execute("SELECT COUNT(*) AS n FROM t")
+        assert result.rows == [(5,)]
+
+    def test_count_column_skips_nulls(self, server):
+        result = server.execute("SELECT COUNT(v) AS n FROM t")
+        assert result.rows == [(4,)]
+
+    def test_sum_min_max_avg(self, server):
+        result = server.execute(
+            "SELECT SUM(v) AS s, MIN(v) AS lo, MAX(v) AS hi, AVG(v) AS m "
+            "FROM t"
+        )
+        assert result.rows == [(42, 5, 20, 10.5)]
+
+    def test_with_where(self, server):
+        result = server.execute("SELECT SUM(v) AS s FROM t WHERE g = 1")
+        assert result.rows == [(12,)]
+
+    def test_over_no_rows(self, server):
+        result = server.execute(
+            "SELECT COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo FROM t "
+            "WHERE g = 99"
+        )
+        assert result.rows == [(0, None, None)]
+
+    def test_default_output_names(self, server):
+        result = server.execute("SELECT COUNT(*), SUM(v) FROM t")
+        assert result.columns == ["count", "sum"]
+
+
+class TestGroupedAggregates:
+    def test_sum_per_group(self, server):
+        result = server.execute(
+            "SELECT g, SUM(v) AS s, COUNT(v) AS n FROM t GROUP BY g"
+        )
+        assert result.rows == [(0, 30, 2), (1, 12, 2)]
+
+    def test_min_max_avg_per_group(self, server):
+        result = server.execute(
+            "SELECT g, MIN(v) AS lo, MAX(v) AS hi, AVG(v) AS m "
+            "FROM t GROUP BY g"
+        )
+        assert result.rows == [(0, 10, 20, 15.0), (1, 5, 7, 6.0)]
+
+    def test_all_null_group_sums_to_null(self, server):
+        server.execute("INSERT INTO t VALUES (2, NULL)")
+        result = server.execute(
+            "SELECT g, SUM(v) AS s FROM t WHERE g = 2 GROUP BY g"
+        )
+        assert result.rows == [(2, None)]
+
+
+class TestOrderByAndLimit:
+    def test_order_by_asc(self, server):
+        result = server.execute("SELECT v FROM t WHERE g = 0 ORDER BY v")
+        assert result.rows == [(None,), (10,), (20,)]  # NULLs first
+
+    def test_order_by_desc(self, server):
+        result = server.execute(
+            "SELECT g, v FROM t ORDER BY v DESC LIMIT 2"
+        )
+        assert result.rows == [(0, 20), (0, 10)]
+
+    def test_multi_key_order(self, server):
+        result = server.execute("SELECT g, v FROM t ORDER BY g DESC, v ASC")
+        assert result.rows[0] == (1, 5)
+        assert result.rows[1] == (1, 7)
+
+    def test_order_on_aggregate_output(self, server):
+        result = server.execute(
+            "SELECT g, SUM(v) AS s FROM t GROUP BY g ORDER BY s DESC"
+        )
+        assert result.rows == [(0, 30), (1, 12)]
+
+    def test_limit_zero(self, server):
+        result = server.execute("SELECT * FROM t LIMIT 0")
+        assert result.rows == []
+
+    def test_limit_larger_than_result(self, server):
+        result = server.execute("SELECT * FROM t LIMIT 100")
+        assert len(result) == 5
+
+    def test_negative_limit_rejected(self, server):
+        with pytest.raises(SQLSyntaxError):
+            server.execute("SELECT * FROM t LIMIT -1")
+
+    def test_order_by_unknown_column_rejected(self, server):
+        from repro.common.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            server.execute("SELECT v FROM t ORDER BY nothere")
+
+
+class TestParsing:
+    def test_round_trip(self):
+        sql = (
+            "SELECT g, SUM(v) AS s FROM t WHERE v > 1 GROUP BY g "
+            "ORDER BY s DESC, g ASC LIMIT 3"
+        )
+        statement = parse(sql)
+        assert statement.order_by == [("s", False), ("g", True)]
+        assert statement.limit == 3
+        assert parse(statement.to_sql()).to_sql() == statement.to_sql()
+
+    def test_mixing_aggregate_and_column_without_group_rejected(self, server):
+        with pytest.raises(SQLError):
+            server.execute("SELECT g, SUM(v) FROM t")

@@ -1,0 +1,90 @@
+"""Unit tests for CSV import/export."""
+
+import pytest
+
+from repro.common.errors import SQLError
+from repro.sqlengine.csvio import export_csv, import_csv
+from repro.sqlengine.database import SQLServer
+from repro.sqlengine.schema import TableSchema
+from repro.sqlengine.types import ColumnType
+
+
+@pytest.fixture
+def server():
+    server = SQLServer()
+    server.create_table(
+        "t", TableSchema.of(("a", "int"), ("name", "varchar"))
+    )
+    server.bulk_load("t", [(1, "x"), (2, None), (None, "z")])
+    return server
+
+
+class TestExport:
+    def test_writes_header_and_rows(self, server, tmp_path):
+        path = tmp_path / "out.csv"
+        count = export_csv(server, "t", path)
+        assert count == 3
+        lines = path.read_text().splitlines()
+        assert lines[0] == "a,name"
+        assert lines[1] == "1,x"
+        assert lines[2] == "2,"   # NULL -> empty field
+
+    def test_round_trip(self, server, tmp_path):
+        path = tmp_path / "out.csv"
+        export_csv(server, "t", path)
+        table = import_csv(server, "t2", path)
+        assert list(table.scan_rows()) == [(1, "x"), (2, None), (None, "z")]
+
+
+class TestImport:
+    def write(self, tmp_path, text):
+        path = tmp_path / "in.csv"
+        path.write_text(text)
+        return path
+
+    def test_type_inference(self, server, tmp_path):
+        path = self.write(tmp_path, "x,label\n1,yes\n2,no\n")
+        table = import_csv(server, "data", path)
+        assert table.schema.column("x").type is ColumnType.INT
+        assert table.schema.column("label").type is ColumnType.VARCHAR
+        assert table.row_count == 2
+
+    def test_empty_fields_become_null(self, server, tmp_path):
+        path = self.write(tmp_path, "x,y\n1,\n,2\n")
+        table = import_csv(server, "data", path)
+        assert list(table.scan_rows()) == [(1, None), (None, 2)]
+
+    def test_explicit_schema(self, server, tmp_path):
+        path = self.write(tmp_path, "x,y\n1,2\n")
+        schema = TableSchema.of(("x", "int"), ("y", "int"))
+        table = import_csv(server, "data", path, schema=schema)
+        assert table.schema == schema
+
+    def test_schema_header_mismatch_rejected(self, server, tmp_path):
+        path = self.write(tmp_path, "x,y\n1,2\n")
+        schema = TableSchema.of(("a", "int"), ("b", "int"))
+        with pytest.raises(SQLError):
+            import_csv(server, "data", path, schema=schema)
+
+    def test_ragged_rows_rejected(self, server, tmp_path):
+        path = self.write(tmp_path, "x,y\n1,2\n3\n")
+        with pytest.raises(SQLError):
+            import_csv(server, "data", path)
+
+    def test_empty_file_rejected(self, server, tmp_path):
+        path = self.write(tmp_path, "")
+        with pytest.raises(SQLError):
+            import_csv(server, "data", path)
+
+    def test_blank_header_rejected(self, server, tmp_path):
+        path = self.write(tmp_path, "x,\n1,2\n")
+        with pytest.raises(SQLError):
+            import_csv(server, "data", path)
+
+    def test_imported_table_is_queryable(self, server, tmp_path):
+        path = self.write(tmp_path, "x,y\n1,10\n2,20\n1,30\n")
+        import_csv(server, "data", path)
+        result = server.execute(
+            "SELECT x, SUM(y) AS s FROM data GROUP BY x"
+        )
+        assert result.rows == [(1, 40), (2, 20)]

@@ -1,0 +1,109 @@
+"""Unit tests for forward and keyset cursors."""
+
+import pytest
+
+from repro.common.errors import CursorStateError
+from repro.sqlengine.database import SQLServer
+from repro.sqlengine.expr import eq
+from repro.sqlengine.schema import TableSchema
+
+
+@pytest.fixture
+def server():
+    server = SQLServer()
+    server.create_table("t", TableSchema.of(("a", "int"), ("b", "int")))
+    server.bulk_load("t", [(i % 3, i) for i in range(30)])
+    return server
+
+
+class TestForwardCursor:
+    def test_unfiltered_returns_all(self, server):
+        with server.open_cursor("t") as cursor:
+            rows = list(cursor.rows())
+        assert len(rows) == 30
+
+    def test_pushed_filter(self, server):
+        with server.open_cursor("t", eq("a", 1)) as cursor:
+            rows = list(cursor.rows())
+        assert len(rows) == 10
+        assert all(row[0] == 1 for row in rows)
+
+    def test_open_charges_cursor_cost(self, server):
+        server.meter.reset()
+        server.open_cursor("t")
+        assert server.meter.charges["cursor"] == server.model.cursor_open
+
+    def test_scan_charges_pages_and_transfer(self, server):
+        server.meter.reset()
+        with server.open_cursor("t", eq("a", 0)) as cursor:
+            matched = len(list(cursor.rows()))
+        pages = server.table("t").pages_touched()
+        assert server.meter.charges["server_io"] == pytest.approx(
+            pages * server.model.server_page_io
+        )
+        assert server.meter.charges["transfer"] == pytest.approx(
+            matched * server.model.transfer_per_row
+        )
+
+    def test_filter_reduces_transfer_not_pages(self, server):
+        server.meter.reset()
+        with server.open_cursor("t") as cursor:
+            list(cursor.rows())
+        full = server.meter.snapshot()
+        server.meter.reset()
+        with server.open_cursor("t", eq("a", 2)) as cursor:
+            list(cursor.rows())
+        assert server.meter.charges["server_io"] == full["server_io"]
+        assert server.meter.charges["transfer"] < full["transfer"]
+
+    def test_closed_cursor_rejects_rows(self, server):
+        cursor = server.open_cursor("t")
+        cursor.close()
+        with pytest.raises(CursorStateError):
+            list(cursor.rows())
+
+    def test_context_manager_closes(self, server):
+        with server.open_cursor("t") as cursor:
+            pass
+        assert not cursor.is_open
+
+
+class TestKeysetCursor:
+    def test_keyset_captured_at_open(self, server):
+        cursor = server.open_keyset_cursor("t", eq("a", 1))
+        assert cursor.keyset_size == 10
+
+    def test_fetch_applies_current_filter(self, server):
+        cursor = server.open_keyset_cursor("t", eq("a", 1))
+        rows = list(cursor.fetch(eq("b", 4)))
+        assert rows == [(1, 4)]
+
+    def test_fetch_without_filter_returns_keyset(self, server):
+        cursor = server.open_keyset_cursor("t", eq("a", 0))
+        assert len(list(cursor.fetch())) == 10
+
+    def test_open_pays_full_scan(self, server):
+        server.meter.reset()
+        server.open_keyset_cursor("t", eq("a", 1))
+        pages = server.table("t").pages_touched()
+        assert server.meter.charges["server_io"] == pytest.approx(
+            pages * server.model.server_page_io
+        )
+
+    def test_fetch_pays_keyset_not_pages(self, server):
+        cursor = server.open_keyset_cursor("t", eq("a", 1))
+        server.meter.reset()
+        list(cursor.fetch(eq("b", 4)))
+        assert server.meter.charges["server_io"] == 0
+        assert server.meter.charges["keyset"] == pytest.approx(
+            10 * server.model.keyset_row
+        )
+        assert server.meter.charges["transfer"] == pytest.approx(
+            server.model.transfer_per_row
+        )
+
+    def test_closed_fetch_rejected(self, server):
+        cursor = server.open_keyset_cursor("t")
+        cursor.close()
+        with pytest.raises(CursorStateError):
+            list(cursor.fetch())

@@ -1,0 +1,87 @@
+"""Unit tests for the Database catalog and SQLServer facade."""
+
+import pytest
+
+from repro.common.cost import CostModel
+from repro.common.errors import CatalogError, DuplicateObjectError
+from repro.sqlengine.database import Database, SQLServer
+from repro.sqlengine.schema import TableSchema
+
+SCHEMA = TableSchema.of(("a", "int"),)
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        db = Database()
+        table = db.create_table("t", SCHEMA)
+        assert db.table("t") is table
+        assert db.has_table("t")
+
+    def test_duplicate_rejected(self):
+        db = Database()
+        db.create_table("t", SCHEMA)
+        with pytest.raises(DuplicateObjectError):
+            db.create_table("t", SCHEMA)
+
+    def test_missing_table(self):
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.table("ghost")
+
+    def test_drop(self):
+        db = Database()
+        db.create_table("t", SCHEMA)
+        db.drop_table("t")
+        assert not db.has_table("t")
+        with pytest.raises(CatalogError):
+            db.drop_table("t")
+
+    def test_table_names_sorted(self):
+        db = Database()
+        db.create_table("zeta", SCHEMA)
+        db.create_table("alpha", SCHEMA)
+        assert db.table_names() == ["alpha", "zeta"]
+
+
+class TestSQLServer:
+    def test_bulk_load_is_free(self):
+        server = SQLServer()
+        server.create_table("t", SCHEMA)
+        server.bulk_load("t", [(i,) for i in range(100)])
+        assert server.meter.total == 0.0
+        assert server.table("t").row_count == 100
+
+    def test_execute_charges_overhead(self):
+        server = SQLServer()
+        server.create_table("t", SCHEMA)
+        server.execute("SELECT * FROM t")
+        assert server.meter.charges["query_overhead"] == pytest.approx(
+            server.model.query_overhead
+        )
+
+    def test_execute_accepts_prebuilt_statement(self):
+        from repro.sqlengine.ast_nodes import Select, Star
+
+        server = SQLServer()
+        server.create_table("t", SCHEMA)
+        server.bulk_load("t", [(1,)])
+        result = server.execute(Select(Star(), "t"))
+        assert result.rows == [(1,)]
+
+    def test_fresh_temp_names_unique(self):
+        server = SQLServer()
+        names = {server.fresh_temp_name() for _ in range(5)}
+        assert len(names) == 5
+        assert all(name.startswith("#temp_") for name in names)
+
+    def test_fresh_temp_name_skips_existing(self):
+        server = SQLServer()
+        server.create_table("#x_1", SCHEMA)
+        assert server.fresh_temp_name("x") != "#x_1"
+
+    def test_custom_model_used(self):
+        model = CostModel(query_overhead=7.0)
+        server = SQLServer(model=model)
+        server.create_table("t", SCHEMA)
+        server.execute("SELECT * FROM t")
+        assert server.meter.charges["query_overhead"] == 7.0

@@ -1,0 +1,114 @@
+"""Unit tests for DELETE and tombstone semantics."""
+
+import pytest
+
+from repro.sqlengine.database import SQLServer
+from repro.sqlengine.expr import eq
+from repro.sqlengine.schema import TableSchema
+
+
+@pytest.fixture
+def server():
+    server = SQLServer(page_bytes=64)  # 8 rows/page
+    server.create_table("t", TableSchema.of(("a", "int"), ("b", "int")))
+    server.bulk_load("t", [(i % 4, i) for i in range(32)])
+    return server
+
+
+class TestDeleteStatement:
+    def test_deletes_matching_rows(self, server):
+        result = server.execute("DELETE FROM t WHERE a = 1")
+        assert result.rows == [(8,)]
+        assert server.table("t").row_count == 24
+        remaining = server.execute("SELECT * FROM t WHERE a = 1")
+        assert remaining.rows == []
+
+    def test_delete_without_where_empties_table(self, server):
+        server.execute("DELETE FROM t")
+        assert server.table("t").row_count == 0
+        assert server.execute("SELECT * FROM t").rows == []
+
+    def test_round_trip_sql(self, server):
+        from repro.sqlengine.parser import parse
+
+        statement = parse("DELETE FROM t WHERE a = 1 AND b > 3")
+        assert parse(statement.to_sql()).to_sql() == statement.to_sql()
+
+    def test_delete_charges_a_scan(self, server):
+        server.meter.reset()
+        server.execute("DELETE FROM t WHERE a = 0")
+        pages = server.table("t").pages_touched()
+        assert server.meter.charges["server_io"] == pytest.approx(
+            pages * server.model.server_page_io
+        )
+
+
+class TestTombstoneSemantics:
+    def test_pages_do_not_shrink(self, server):
+        pages_before = server.table("t").pages_touched()
+        server.execute("DELETE FROM t WHERE a <> 0")
+        assert server.table("t").pages_touched() == pages_before
+        # A later scan therefore costs the same page I/O.
+        server.meter.reset()
+        server.execute("SELECT * FROM t")
+        assert server.meter.counts["server_io"] == pages_before
+
+    def test_tids_stay_stable(self, server):
+        table = server.table("t")
+        survivor = (1, 1)  # second row of second page: a=1? row 9 -> a=1
+        row = table.fetch(survivor)
+        server.execute("DELETE FROM t WHERE a = 0")
+        if row[0] != 0:
+            assert table.fetch(survivor) == row
+
+    def test_fetch_deleted_raises(self, server):
+        table = server.table("t")
+        table.delete((0, 0))
+        with pytest.raises(LookupError):
+            table.fetch((0, 0))
+        assert table.fetch_or_none((0, 0)) is None
+
+    def test_double_delete_raises(self, server):
+        table = server.table("t")
+        table.delete((0, 0))
+        with pytest.raises(LookupError):
+            table.delete((0, 0))
+
+    def test_insert_after_delete_appends(self, server):
+        server.execute("DELETE FROM t WHERE a = 0")
+        server.execute("INSERT INTO t VALUES (9, 99)")
+        result = server.execute("SELECT * FROM t WHERE a = 9")
+        assert result.rows == [(9, 99)]
+
+
+class TestDeleteWithIndexes:
+    def test_index_entries_removed(self, server):
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        index = server.database.indexes.get("ix_a")
+        assert index.entry_count == 32
+        server.execute("DELETE FROM t WHERE a = 2")
+        assert index.entry_count == 24
+        assert index.lookup(2) == []
+
+    def test_index_path_after_delete_is_correct(self, server):
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        server.execute("DELETE FROM t WHERE b < 16")
+        result = server.execute("SELECT * FROM t WHERE a = 3")
+        assert sorted(row[1] for row in result.rows) == [19, 23, 27, 31]
+
+
+class TestDeleteWithCursors:
+    def test_keyset_cursor_skips_deleted_rows(self, server):
+        cursor = server.open_keyset_cursor("t", eq("a", 1))
+        assert cursor.keyset_size == 8
+        server.execute("DELETE FROM t WHERE b < 16")
+        rows = list(cursor.fetch())
+        assert sorted(row[1] for row in rows) == [17, 21, 25, 29]
+
+    def test_tid_list_skips_deleted_rows(self, server):
+        from repro.sqlengine.tempstructs import TIDList
+
+        tids = TIDList(server, "t", eq("a", 1))
+        server.execute("DELETE FROM t WHERE b < 16")
+        rows = list(tids.fetch())
+        assert len(rows) == 4

@@ -1,0 +1,149 @@
+"""Unit tests for secondary indexes and index access paths."""
+
+import pytest
+
+from repro.common.errors import CatalogError
+from repro.sqlengine.database import SQLServer
+from repro.sqlengine.indexes import HashIndex
+from repro.sqlengine.schema import TableSchema
+
+
+@pytest.fixture
+def server():
+    # Small pages so the 50-row table spans several of them and the
+    # index path's saving over a full scan is visible.
+    server = SQLServer(page_bytes=64)
+    server.create_table("t", TableSchema.of(("a", "int"), ("b", "int")))
+    server.bulk_load("t", [(i % 5, i) for i in range(50)])
+    return server
+
+
+class TestHashIndex:
+    def test_insert_and_lookup(self):
+        index = HashIndex("ix", "t", "a", 0)
+        index.insert((3, 9), (0, 0))
+        index.insert((3, 8), (0, 1))
+        index.insert((4, 7), (0, 2))
+        assert index.lookup(3) == [(0, 0), (0, 1)]
+        assert index.lookup(4) == [(0, 2)]
+        assert index.lookup(99) == []
+        assert index.entry_count == 3
+        assert index.distinct_keys == 2
+
+    def test_null_keys_not_indexed(self):
+        index = HashIndex("ix", "t", "a", 0)
+        index.insert((None, 1), (0, 0))
+        assert index.entry_count == 0
+        assert index.lookup(None) == []
+
+    def test_lookup_many_dedupes_and_sorts(self):
+        index = HashIndex("ix", "t", "a", 0)
+        index.insert((1, 0), (0, 1))
+        index.insert((2, 0), (0, 0))
+        assert index.lookup_many([2, 1, 2]) == [(0, 0), (0, 1)]
+
+
+class TestCreateIndex:
+    def test_create_backfills_existing_rows(self, server):
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        index = server.database.indexes.get("ix_a")
+        assert index.entry_count == 50
+        assert index.distinct_keys == 5
+
+    def test_create_charges_scan_and_build(self, server):
+        server.meter.reset()
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        assert server.meter.charges["server_io"] > 0
+        assert server.meter.charges["index"] == pytest.approx(
+            50 * server.model.index_build_row
+        )
+
+    def test_duplicate_name_rejected(self, server):
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        server.create_table("u", TableSchema.of(("x", "int"),))
+        with pytest.raises(CatalogError):
+            server.execute("CREATE INDEX ix_a ON u (x)")
+
+    def test_duplicate_target_rejected(self, server):
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        with pytest.raises(CatalogError):
+            server.execute("CREATE INDEX ix_a2 ON t (a)")
+
+    def test_index_maintained_on_insert(self, server):
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        server.execute("INSERT INTO t VALUES (2, 999)")
+        result = server.execute("SELECT b FROM t WHERE a = 2 ORDER BY b DESC")
+        assert result.rows[0] == (999,)
+
+    def test_drop_index(self, server):
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        server.execute("DROP INDEX ix_a")
+        assert server.database.indexes.names() == []
+        # Table still queryable via full scan.
+        assert len(server.execute("SELECT * FROM t WHERE a = 1")) == 10
+
+    def test_drop_table_drops_its_indexes(self, server):
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        server.drop_table("t")
+        assert server.database.indexes.names() == []
+
+
+class TestIndexAccessPath:
+    def test_equality_uses_index(self, server):
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        server.meter.reset()
+        result = server.execute("SELECT * FROM t WHERE a = 3")
+        assert len(result) == 10
+        assert server.meter.charges["server_io"] == 0  # no page scan
+        assert server.meter.charges["index"] > 0
+
+    def test_index_results_match_full_scan(self, server):
+        plain = server.execute("SELECT * FROM t WHERE a = 3").rows
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        indexed = server.execute("SELECT * FROM t WHERE a = 3").rows
+        assert sorted(indexed) == sorted(plain)
+
+    def test_in_list_uses_index(self, server):
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        server.meter.reset()
+        result = server.execute("SELECT * FROM t WHERE a IN (1, 2)")
+        assert len(result) == 20
+        assert server.meter.charges["server_io"] == 0
+
+    def test_conjunct_uses_index_with_residual_filter(self, server):
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        server.meter.reset()
+        result = server.execute("SELECT * FROM t WHERE a = 3 AND b > 20")
+        assert all(row[0] == 3 and row[1] > 20 for row in result.rows)
+        assert server.meter.charges["server_io"] == 0
+
+    def test_disjunction_does_not_use_index(self, server):
+        # Narrowing by one OR branch would be wrong; must full-scan.
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        server.meter.reset()
+        result = server.execute("SELECT * FROM t WHERE a = 3 OR b = 7")
+        assert len(result) == 11
+        assert server.meter.charges["server_io"] > 0
+
+    def test_unindexed_column_full_scans(self, server):
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        server.meter.reset()
+        server.execute("SELECT * FROM t WHERE b = 7")
+        assert server.meter.charges["server_io"] > 0
+
+    def test_index_path_cheaper_for_selective_lookup(self, server):
+        server.meter.reset()
+        server.execute("SELECT * FROM t WHERE a = 3")
+        full = server.meter.total
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        server.meter.reset()
+        server.execute("SELECT * FROM t WHERE a = 3")
+        indexed = server.meter.total
+        assert indexed < full
+
+    def test_grouped_query_over_index_path(self, server):
+        server.execute("CREATE INDEX ix_a ON t (a)")
+        result = server.execute(
+            "SELECT a, COUNT(*) AS n FROM t WHERE a IN (1, 2) GROUP BY a"
+        )
+        assert result.rows == [(1, 10), (2, 10)]

@@ -1,0 +1,165 @@
+"""Unit tests for inner equi-joins."""
+
+import pytest
+
+from repro.common.errors import SQLError, SQLSyntaxError
+from repro.sqlengine.ast_nodes import JoinClause
+from repro.sqlengine.database import SQLServer
+from repro.sqlengine.parser import parse
+from repro.sqlengine.schema import TableSchema
+
+
+@pytest.fixture
+def server():
+    server = SQLServer()
+    server.create_table(
+        "orders", TableSchema.of(("oid", "int"), ("customer", "int"),
+                                 ("amount", "int"))
+    )
+    server.create_table(
+        "customers", TableSchema.of(("cid", "int"), ("region", "int"))
+    )
+    server.bulk_load(
+        "orders",
+        [(1, 10, 5), (2, 20, 7), (3, 10, 2), (4, 30, 9), (5, None, 4)],
+    )
+    server.bulk_load("customers", [(10, 0), (20, 1), (40, 2)])
+    return server
+
+
+class TestParsing:
+    def test_join_clause_parsed(self):
+        statement = parse(
+            "SELECT o.oid FROM orders o JOIN customers c "
+            "ON o.customer = c.cid"
+        )
+        join = statement.table
+        assert isinstance(join, JoinClause)
+        assert join.left_alias == "o"
+        assert join.right_alias == "c"
+        assert join.left_column == "o.customer"
+        assert join.right_column == "c.cid"
+
+    def test_as_alias_and_default_alias(self):
+        statement = parse(
+            "SELECT orders.oid FROM orders JOIN customers AS c "
+            "ON orders.customer = c.cid"
+        )
+        join = statement.table
+        assert join.left_alias == "orders"
+        assert join.right_alias == "c"
+
+    def test_inner_join_keyword(self):
+        statement = parse(
+            "SELECT o.oid FROM orders o INNER JOIN customers c "
+            "ON o.customer = c.cid"
+        )
+        assert isinstance(statement.table, JoinClause)
+
+    def test_round_trip(self):
+        sql = (
+            "SELECT o.oid, c.region FROM orders o JOIN customers c "
+            "ON o.customer = c.cid WHERE o.amount > 3"
+        )
+        statement = parse(sql)
+        assert parse(statement.to_sql()).to_sql() == statement.to_sql()
+
+    def test_alias_without_join_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM orders o")
+
+    def test_identical_aliases_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT x.a FROM t x JOIN u x ON x.a = x.b")
+
+
+class TestExecution:
+    def test_inner_join_matches(self, server):
+        result = server.execute(
+            "SELECT o.oid, c.region FROM orders o JOIN customers c "
+            "ON o.customer = c.cid ORDER BY o.oid"
+        )
+        assert result.columns == ["o.oid", "c.region"]
+        assert result.rows == [(1, 0), (2, 1), (3, 0)]
+
+    def test_unmatched_and_null_keys_dropped(self, server):
+        result = server.execute(
+            "SELECT o.oid FROM orders o JOIN customers c "
+            "ON o.customer = c.cid"
+        )
+        oids = {row[0] for row in result.rows}
+        assert 4 not in oids  # customer 30 has no match
+        assert 5 not in oids  # NULL never joins
+
+    def test_star_projection_yields_qualified_columns(self, server):
+        result = server.execute(
+            "SELECT * FROM orders o JOIN customers c ON o.customer = c.cid"
+        )
+        assert result.columns == [
+            "o.oid", "o.customer", "o.amount", "c.cid", "c.region"
+        ]
+
+    def test_where_over_both_sides(self, server):
+        result = server.execute(
+            "SELECT o.oid FROM orders o JOIN customers c "
+            "ON o.customer = c.cid WHERE c.region = 0 AND o.amount > 3"
+        )
+        assert result.rows == [(1,)]
+
+    def test_group_by_joined_column(self, server):
+        result = server.execute(
+            "SELECT c.region, SUM(o.amount) AS total FROM orders o "
+            "JOIN customers c ON o.customer = c.cid GROUP BY c.region"
+        )
+        assert result.rows == [(0, 7), (1, 7)]
+
+    def test_many_to_many_multiplicity(self, server):
+        server.execute("INSERT INTO customers VALUES (10, 5)")
+        result = server.execute(
+            "SELECT o.oid FROM orders o JOIN customers c "
+            "ON o.customer = c.cid WHERE o.customer = 10"
+        )
+        # Two customer rows with cid=10 -> each matching order twice.
+        assert len(result) == 4
+
+    def test_join_into_temp_table(self, server):
+        server.execute(
+            "SELECT o.oid, c.region INTO joined FROM orders o "
+            "JOIN customers c ON o.customer = c.cid"
+        )
+        assert server.table("joined").row_count == 3
+
+    def test_condition_must_span_both_sides(self, server):
+        with pytest.raises(SQLError):
+            server.execute(
+                "SELECT o.oid FROM orders o JOIN customers c "
+                "ON o.oid = o.customer"
+            )
+
+    def test_unknown_join_column_rejected(self, server):
+        from repro.common.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            server.execute(
+                "SELECT o.oid FROM orders o JOIN customers c "
+                "ON o.ghost = c.cid"
+            )
+
+
+class TestJoinCosts:
+    def test_charges_both_scans_and_probes(self, server):
+        server.meter.reset()
+        server.execute(
+            "SELECT o.oid FROM orders o JOIN customers c "
+            "ON o.customer = c.cid"
+        )
+        pages = (
+            server.table("orders").pages_touched()
+            + server.table("customers").pages_touched()
+        )
+        assert server.meter.charges["server_io"] == pytest.approx(
+            pages * server.model.server_page_io
+        )
+        assert server.meter.charges["join"] == pytest.approx(
+            5 * server.model.hash_join_row  # one probe per left row
+        )

@@ -1,0 +1,82 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.common.errors import SQLSyntaxError
+from repro.sqlengine import lexer
+
+
+def kinds_and_values(sql):
+    return [(t.kind, t.value) for t in lexer.tokenize(sql)]
+
+
+class TestTokenize:
+    def test_simple_select(self):
+        tokens = kinds_and_values("SELECT a FROM t")
+        assert tokens == [
+            (lexer.KEYWORD, "SELECT"),
+            (lexer.IDENT, "a"),
+            (lexer.KEYWORD, "FROM"),
+            (lexer.IDENT, "t"),
+            (lexer.EOF, None),
+        ]
+
+    def test_keywords_case_insensitive(self):
+        tokens = kinds_and_values("select From WHERE")
+        assert [v for _, v in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        tokens = kinds_and_values("SELECT MyCol FROM T1")
+        assert (lexer.IDENT, "MyCol") in tokens
+
+    def test_numbers(self):
+        tokens = kinds_and_values("1 -2 3.5")
+        values = [v for k, v in tokens if k == lexer.NUMBER]
+        assert values == [1, -2, 3.5]
+
+    def test_string_literal_with_escape(self):
+        tokens = kinds_and_values("'it''s'")
+        assert tokens[0] == (lexer.STRING, "it's")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            lexer.tokenize("'oops")
+
+    def test_operators(self):
+        tokens = kinds_and_values("= <> < <= > >= !=")
+        ops = [v for k, v in tokens if k == lexer.OP]
+        assert ops == ["=", "<>", "<", "<=", ">", ">=", "<>"]
+
+    def test_punctuation(self):
+        tokens = kinds_and_values("( ) , * ;")
+        puncts = [v for k, v in tokens if k == lexer.PUNCT]
+        assert puncts == ["(", ")", ",", "*", ";"]
+
+    def test_line_comment_skipped(self):
+        tokens = kinds_and_values("SELECT -- comment here\n a")
+        assert (lexer.IDENT, "a") in tokens
+        assert all("comment" not in str(v) for _, v in tokens)
+
+    def test_bracketed_identifier(self):
+        tokens = kinds_and_values("[weird name]")
+        assert tokens[0] == (lexer.IDENT, "weird name")
+
+    def test_unterminated_bracket_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            lexer.tokenize("[oops")
+
+    def test_unexpected_character_raises_with_offset(self):
+        with pytest.raises(SQLSyntaxError) as info:
+            lexer.tokenize("SELECT ?")
+        assert "offset" in str(info.value)
+
+    def test_underscore_identifiers(self):
+        tokens = kinds_and_values("attr_name _x")
+        idents = [v for k, v in tokens if k == lexer.IDENT]
+        assert idents == ["attr_name", "_x"]
+
+    def test_token_matches_helper(self):
+        token = lexer.tokenize("SELECT")[0]
+        assert token.matches(lexer.KEYWORD, "SELECT")
+        assert token.matches(lexer.KEYWORD)
+        assert not token.matches(lexer.IDENT)

@@ -1,0 +1,65 @@
+"""Robustness fuzzing: the parser fails cleanly on arbitrary input.
+
+Whatever text the parser is given, it must either return a statement
+or raise :class:`SQLSyntaxError` — never an unrelated exception, hang,
+or partial state.  Hypothesis feeds it raw text and random token
+salads built from the engine's own vocabulary.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SQLSyntaxError
+from repro.sqlengine.lexer import KEYWORDS, tokenize
+from repro.sqlengine.parser import parse
+
+VOCAB = (
+    sorted(KEYWORDS)
+    + ["t", "a", "b", "x1", "*", "(", ")", ",", ";", ".", "=", "<>",
+       "<", ">", "<=", ">=", "'str'", "42", "-7", "3.5", "[col name]"]
+)
+
+token_salad = st.lists(st.sampled_from(VOCAB), min_size=0, max_size=20).map(
+    " ".join
+)
+
+raw_text = st.text(max_size=60)
+
+
+class TestParserRobustness:
+    @given(token_salad)
+    @settings(max_examples=300, deadline=None)
+    def test_token_salad_parses_or_raises_syntax_error(self, sql):
+        try:
+            statement = parse(sql)
+        except SQLSyntaxError:
+            return
+        # Anything accepted must render back to parseable SQL.
+        parse(statement.to_sql())
+
+    @given(raw_text)
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse(text)
+        except SQLSyntaxError:
+            pass
+
+    @given(raw_text)
+    @settings(max_examples=300, deadline=None)
+    def test_lexer_never_crashes(self, text):
+        try:
+            tokens = tokenize(text)
+        except SQLSyntaxError:
+            return
+        assert tokens[-1].kind == "EOF"
+
+    @given(token_salad)
+    @settings(max_examples=200, deadline=None)
+    def test_accepted_statements_round_trip_stably(self, sql):
+        try:
+            statement = parse(sql)
+        except SQLSyntaxError:
+            return
+        rendered = statement.to_sql()
+        assert parse(rendered).to_sql() == rendered

@@ -1,0 +1,199 @@
+"""Property-based tests for the SQL engine (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlengine.ast_nodes import CountStar, Select, SelectItem
+from repro.sqlengine.database import SQLServer
+from repro.sqlengine.expr import (
+    And,
+    ColumnRef,
+    Comparison,
+    InList,
+    Literal,
+    Not,
+    Or,
+    compile_predicate,
+)
+from repro.sqlengine.heap import HeapTable
+from repro.sqlengine.parser import parse
+from repro.sqlengine.schema import TableSchema
+
+SCHEMA = TableSchema.of(("a", "int"), ("b", "int"), ("c", "int"))
+
+values = st.integers(min_value=-5, max_value=5)
+columns = st.sampled_from(["a", "b", "c"])
+operators = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+
+
+def scalars():
+    return st.one_of(
+        columns.map(ColumnRef),
+        values.map(Literal),
+    )
+
+
+def predicates(max_depth=3):
+    base = st.one_of(
+        st.builds(Comparison, operators, scalars(), scalars()),
+        st.builds(
+            InList,
+            columns.map(ColumnRef),
+            st.lists(values, min_size=1, max_size=4),
+        ),
+    )
+    return st.recursive(
+        base,
+        lambda inner: st.one_of(
+            st.lists(inner, min_size=1, max_size=3).map(And),
+            st.lists(inner, min_size=1, max_size=3).map(Or),
+            inner.map(Not),
+        ),
+        max_leaves=8,
+    )
+
+
+rows_strategy = st.lists(
+    st.tuples(values, values, values), min_size=0, max_size=40
+)
+
+
+class TestExpressionProperties:
+    @given(predicates())
+    @settings(max_examples=150)
+    def test_to_sql_reparses_to_equivalent_predicate(self, predicate):
+        sql = f"SELECT * FROM t WHERE {predicate.to_sql()}"
+        reparsed = parse(sql).where
+        original = compile_predicate(predicate, SCHEMA)
+        again = compile_predicate(reparsed, SCHEMA)
+        for row in [(-1, 0, 1), (2, 2, 2), (5, -5, 3), (0, 0, 0)]:
+            assert original(row) == again(row)
+
+    @given(predicates(), st.tuples(values, values, values))
+    @settings(max_examples=150)
+    def test_not_inverts(self, predicate, row):
+        positive = compile_predicate(predicate, SCHEMA)
+        negative = compile_predicate(Not(predicate), SCHEMA)
+        assert positive(row) != negative(row)
+
+    @given(st.lists(predicates(max_depth=1), min_size=1, max_size=3),
+           st.tuples(values, values, values))
+    @settings(max_examples=100)
+    def test_and_or_duality(self, parts, row):
+        conj = compile_predicate(And(parts), SCHEMA)(row)
+        disj = compile_predicate(Or(parts), SCHEMA)(row)
+        evaluated = [compile_predicate(p, SCHEMA)(row) for p in parts]
+        assert conj == all(evaluated)
+        assert disj == any(evaluated)
+
+
+class TestHeapProperties:
+    @given(rows_strategy)
+    @settings(max_examples=60)
+    def test_scan_returns_inserted_rows_in_order(self, rows):
+        table = HeapTable("t", SCHEMA, page_bytes=48)  # 4 rows/page
+        for row in rows:
+            table.insert(row)
+        assert list(table.scan_rows()) == rows
+        assert table.row_count == len(rows)
+
+    @given(rows_strategy)
+    @settings(max_examples=60)
+    def test_fetch_by_tid_round_trips(self, rows):
+        table = HeapTable("t", SCHEMA, page_bytes=48)
+        tids = [table.insert(row) for row in rows]
+        for tid, row in zip(tids, rows):
+            assert table.fetch(tid) == row
+
+
+class TestExecutorProperties:
+    @given(rows_strategy, columns)
+    @settings(max_examples=60, deadline=None)
+    def test_group_by_counts_match_python(self, rows, column):
+        server = SQLServer()
+        server.create_table("t", SCHEMA)
+        server.bulk_load("t", rows)
+        statement = Select(
+            [
+                SelectItem(ColumnRef(column), "v"),
+                SelectItem(CountStar(), "n"),
+            ],
+            "t",
+            group_by=[column],
+        )
+        result = server.execute(statement)
+        index = SCHEMA.index_of(column)
+        expected = {}
+        for row in rows:
+            expected[row[index]] = expected.get(row[index], 0) + 1
+        assert dict(result.rows) == expected
+
+    @given(rows_strategy, predicates(max_depth=1))
+    @settings(max_examples=60, deadline=None)
+    def test_where_matches_compiled_predicate(self, rows, predicate):
+        server = SQLServer()
+        server.create_table("t", SCHEMA)
+        server.bulk_load("t", rows)
+        sql = f"SELECT * FROM t WHERE {predicate.to_sql()}"
+        result = server.execute(sql)
+        check = compile_predicate(predicate, SCHEMA)
+        assert result.rows == [tuple(r) for r in rows if check(r)]
+
+    @given(rows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_aggregates_match_python(self, rows):
+        server = SQLServer()
+        server.create_table("t", SCHEMA)
+        server.bulk_load("t", rows)
+        result = server.execute(
+            "SELECT COUNT(*) AS n, SUM(b) AS s, MIN(b) AS lo, "
+            "MAX(b) AS hi FROM t"
+        )
+        values = [r[1] for r in rows]
+        expected = (
+            len(rows),
+            sum(values) if values else None,
+            min(values) if values else None,
+            max(values) if values else None,
+        )
+        assert result.rows == [expected]
+
+    @given(rows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_grouped_sum_partitions_global_sum(self, rows):
+        server = SQLServer()
+        server.create_table("t", SCHEMA)
+        server.bulk_load("t", rows)
+        grouped = server.execute(
+            "SELECT a, SUM(b) AS s FROM t GROUP BY a"
+        )
+        total = sum(s for _, s in grouped.rows)
+        assert total == sum(r[1] for r in rows)
+
+    @given(rows_strategy, st.integers(0, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_order_by_limit_prefix_of_sorted(self, rows, limit):
+        server = SQLServer()
+        server.create_table("t", SCHEMA)
+        server.bulk_load("t", rows)
+        result = server.execute(
+            f"SELECT a, b, c FROM t ORDER BY b ASC, a ASC LIMIT {limit}"
+        )
+        ordered = sorted(rows, key=lambda r: (r[1], r[0]))
+        got = sorted(result.rows, key=lambda r: (r[1], r[0]))
+        assert got == [tuple(r) for r in ordered[:limit]]
+
+    @given(rows_strategy, st.integers(-5, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_index_and_scan_agree(self, rows, value):
+        plain = SQLServer()
+        plain.create_table("t", SCHEMA)
+        plain.bulk_load("t", rows)
+        indexed = SQLServer()
+        indexed.create_table("t", SCHEMA)
+        indexed.bulk_load("t", rows)
+        indexed.execute("CREATE INDEX ix ON t (a)")
+        sql = f"SELECT * FROM t WHERE a = {value}"
+        assert sorted(plain.execute(sql).rows) == sorted(
+            indexed.execute(sql).rows
+        )

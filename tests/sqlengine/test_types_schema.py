@@ -1,0 +1,107 @@
+"""Unit tests for column types and table schemas."""
+
+import pytest
+
+from repro.common.errors import CatalogError, TypeMismatchError
+from repro.sqlengine.schema import Column, TableSchema
+from repro.sqlengine.types import TYPE_WIDTH_BYTES, ColumnType, check_value
+
+
+class TestColumnType:
+    def test_parse_known(self):
+        assert ColumnType.parse("int") is ColumnType.INT
+        assert ColumnType.parse("VARCHAR") is ColumnType.VARCHAR
+
+    def test_parse_aliases(self):
+        assert ColumnType.parse("INTEGER") is ColumnType.INT
+        assert ColumnType.parse("text") is ColumnType.VARCHAR
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.parse("BLOB")
+
+    def test_widths_defined_for_all_types(self):
+        assert set(TYPE_WIDTH_BYTES) == set(ColumnType)
+
+
+class TestCheckValue:
+    def test_int_accepts_ints_and_null(self):
+        assert check_value(ColumnType.INT, 5) == 5
+        assert check_value(ColumnType.INT, None) is None
+
+    def test_int_rejects_bool_and_str(self):
+        with pytest.raises(TypeMismatchError):
+            check_value(ColumnType.INT, True)
+        with pytest.raises(TypeMismatchError):
+            check_value(ColumnType.INT, "5")
+
+    def test_varchar_accepts_str(self):
+        assert check_value(ColumnType.VARCHAR, "x") == "x"
+        with pytest.raises(TypeMismatchError):
+            check_value(ColumnType.VARCHAR, 5)
+
+
+class TestColumn:
+    def test_type_coercion_from_string(self):
+        column = Column("a", "int")
+        assert column.type is ColumnType.INT
+
+    def test_width(self):
+        assert Column("a", ColumnType.INT).width_bytes == 4
+        assert Column("s", ColumnType.VARCHAR).width_bytes == 16
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("", ColumnType.INT)
+
+    def test_equality(self):
+        assert Column("a", "int") == Column("a", "int")
+        assert Column("a", "int") != Column("a", "varchar")
+
+
+class TestTableSchema:
+    def make(self):
+        return TableSchema.of(("a", "int"), ("b", "int"), ("s", "varchar"))
+
+    def test_of_and_names(self):
+        schema = self.make()
+        assert schema.column_names == ["a", "b", "s"]
+        assert len(schema) == 3
+
+    def test_row_bytes(self):
+        assert self.make().row_bytes == 4 + 4 + 16
+
+    def test_index_of(self):
+        schema = self.make()
+        assert schema.index_of("b") == 1
+        with pytest.raises(CatalogError):
+            schema.index_of("missing")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema.of(("a", "int"), ("a", "int"))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema([])
+
+    def test_validate_row_ok(self):
+        schema = self.make()
+        assert schema.validate_row([1, 2, "x"]) == (1, 2, "x")
+
+    def test_validate_row_wrong_width(self):
+        with pytest.raises(TypeMismatchError):
+            self.make().validate_row([1, 2])
+
+    def test_validate_row_wrong_type_names_column(self):
+        with pytest.raises(TypeMismatchError, match="'s'"):
+            self.make().validate_row([1, 2, 3])
+
+    def test_project(self):
+        schema = self.make().project(["s", "a"])
+        assert schema.column_names == ["s", "a"]
+
+    def test_has_column(self):
+        schema = self.make()
+        assert schema.has_column("a")
+        assert not schema.has_column("z")
