@@ -1,0 +1,211 @@
+"""Scan-kernel A/B: compiled routing kernel vs the per-row matcher loop.
+
+Not a paper figure — this benchmark guards the middleware's own scan
+loop (Section 4.1's "one scan" counting).  The same 100k-row Agrawal
+frontier is counted twice through the real middleware, flipping only
+``config.scan_kernel``:
+
+* **kernel** — the batch's path conditions compile into one
+  attribute-indexed dispatch table; routing costs one dict probe per
+  constrained attribute per row;
+* **per-row** — the reference loop evaluates every node's matcher
+  closure against every row.
+
+The scan reads a memory-staged data set, so the measured wall time is
+the routing loop itself, not the SQL engine.  Both loops must produce
+byte-identical CC tables (checked against an independent reference
+count), and the kernel must route at least ``MIN_SPEEDUP`` times as
+many rows per second.
+
+Standalone: ``python benchmarks/bench_scan_kernel.py [--rows N] [--smoke]``
+(``--smoke`` shrinks the data set and only checks equivalence — CI uses
+it to fail on crashes, not on machine-speed regressions).
+"""
+
+import argparse
+import os
+import sys
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone run from the repo root
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "src")
+    )
+
+from repro.bench.harness import write_report
+from repro.client.baselines import build_cc_from_rows
+from repro.common.text import render_table
+from repro.core.config import MiddlewareConfig
+from repro.core.filters import PathCondition
+from repro.core.middleware import Middleware
+from repro.core.requests import CountsRequest
+from repro.datagen.agrawal import AgrawalConfig, agrawal_spec, generate_agrawal_rows
+from repro.datagen.loader import load_dataset
+from repro.sqlengine.database import SQLServer
+
+#: Required kernel/per-row throughput ratio (full runs only).
+MIN_SPEEDUP = 2.0
+#: Rows in the full-size run; ``--smoke`` shrinks this.
+DEFAULT_ROWS = 100_000
+#: Best-of-N scans per loop, to damp timer noise.
+REPEATS = 3
+
+#: The frontier splits on salary (26 brackets → 26 active nodes); a
+#: wide batch is where the kernel's one-probe dispatch pays off over
+#: one-closure-per-node routing.
+SPLIT_ATTRIBUTE = "salary"
+
+
+def build_frontier(spec, rows):
+    """Reference CC tables and requests for the education frontier."""
+    split_index = spec.attribute_names.index(SPLIT_ATTRIBUTE)
+    child_attributes = tuple(
+        name for name in spec.attribute_names if name != SPLIT_ATTRIBUTE
+    )
+    frontier = []
+    for value in range(spec.attribute_cards[split_index]):
+        subset = [row for row in rows if row[split_index] == value]
+        reference = build_cc_from_rows(subset, spec, child_attributes)
+        request = CountsRequest(
+            node_id=f"edu{value}",
+            lineage=("root", f"edu{value}"),
+            conditions=(PathCondition(SPLIT_ATTRIBUTE, "=", value),),
+            attributes=child_attributes,
+            n_rows=len(subset),
+            est_cc_pairs=reference.n_pairs,
+        )
+        frontier.append((request, reference))
+    return frontier
+
+
+def scan_frontier(spec, rows, frontier, scan_kernel):
+    """Count the frontier through the middleware; best-of-N profile.
+
+    The root data set is committed straight into middleware memory, so
+    every measured scan runs in MEMORY mode: ``wall_seconds`` covers
+    routing + counting, not server I/O.  Returns ``(profile, results)``
+    where profile is ``{rows_per_sec, wall_seconds, matcher_evals}``.
+    """
+    server = SQLServer()
+    load_dataset(server, "data", spec, rows)
+    config = MiddlewareConfig.no_staging(
+        16_000_000, scan_kernel=scan_kernel
+    )
+    best = None
+    results = {}
+    with Middleware(server, "data", spec, config) as mw:
+        assert mw.staging.reserve_memory("root", len(rows))
+        mw.staging.commit_memory("root", list(rows))
+        for _ in range(REPEATS):
+            mw.queue_requests(request for request, _ in frontier)
+            wall = 0.0
+            seen = 0
+            evals = 0
+            while mw.pending:
+                for result in mw.process_next_batch():
+                    results[result.node_id] = result
+                scan = mw.execution.last_scan
+                assert scan.kernel == scan_kernel
+                wall += scan.wall_seconds
+                seen += scan.rows_seen
+                evals += scan.matcher_evals
+            profile = {
+                "rows_per_sec": seen / wall if wall > 0.0 else 0.0,
+                "wall_seconds": wall,
+                "matcher_evals": evals,
+            }
+            if best is None or profile["rows_per_sec"] > best["rows_per_sec"]:
+                best = profile
+    return best, results
+
+
+def check_equivalence(frontier, kernel_results, perrow_results):
+    """Both loops must reproduce the independent reference counts."""
+    for request, reference in frontier:
+        node_id = request.node_id
+        assert kernel_results[node_id].cc == reference, node_id
+        assert perrow_results[node_id].cc == reference, node_id
+        assert not kernel_results[node_id].used_sql_fallback
+        assert not perrow_results[node_id].used_sql_fallback
+
+
+def run_ab(n_rows=DEFAULT_ROWS):
+    """Run both loops over the same frontier; returns the comparison."""
+    spec = agrawal_spec()
+    rows = list(generate_agrawal_rows(AgrawalConfig(n_rows=n_rows, seed=3)))
+    frontier = build_frontier(spec, rows)
+
+    kernel, kernel_results = scan_frontier(spec, rows, frontier, True)
+    perrow, perrow_results = scan_frontier(spec, rows, frontier, False)
+    check_equivalence(frontier, kernel_results, perrow_results)
+
+    speedup = (
+        kernel["rows_per_sec"] / perrow["rows_per_sec"]
+        if perrow["rows_per_sec"] > 0.0 else 0.0
+    )
+    return {
+        "n_rows": n_rows,
+        "n_nodes": len(frontier),
+        "kernel": kernel,
+        "per-row": perrow,
+        "speedup": speedup,
+    }
+
+
+def report(comparison):
+    table = render_table(
+        ["scan loop", "rows/s", "wall (s)", "matcher evals"],
+        [
+            [
+                name,
+                f"{comparison[name]['rows_per_sec']:,.0f}",
+                f"{comparison[name]['wall_seconds']:.4f}",
+                f"{comparison[name]['matcher_evals']:,}",
+            ]
+            for name in ("kernel", "per-row")
+        ],
+        title=(
+            f"Scan kernel A/B: {comparison['n_rows']:,}-row Agrawal, "
+            f"{comparison['n_nodes']}-node frontier on {SPLIT_ATTRIBUTE} "
+            f"(best of {REPEATS})"
+        ),
+    )
+    return (
+        table
+        + f"\n\nkernel speedup: {comparison['speedup']:.2f}x "
+        f"(required >= {MIN_SPEEDUP:.1f}x; CC tables identical)"
+    )
+
+
+def bench_scan_kernel(benchmark):
+    comparison = benchmark.pedantic(run_ab, rounds=1, iterations=1)
+    write_report("scan_kernel", report(comparison))
+    assert comparison["speedup"] >= MIN_SPEEDUP
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=DEFAULT_ROWS)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small data set, equivalence check only (no speedup assert)",
+    )
+    args = parser.parse_args(argv)
+
+    n_rows = min(args.rows, 5_000) if args.smoke else args.rows
+    comparison = run_ab(n_rows)
+    write_report("scan_kernel", report(comparison))
+    if not args.smoke and comparison["speedup"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: kernel speedup {comparison['speedup']:.2f}x "
+            f"below the {MIN_SPEEDUP:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,11 @@ def _build_parser():
                      help="middleware memory budget in simulated bytes")
     fit.add_argument("--no-staging", action="store_true",
                      help="disable file and memory staging")
+    fit.add_argument("--no-scan-kernel", action="store_true",
+                     help="route rows with the reference per-row "
+                          "matcher loop instead of the compiled kernel")
+    fit.add_argument("--scan-chunk-rows", type=int, default=1024,
+                     help="rows per scan chunk for buffered staging I/O")
     fit.add_argument("--out", default=None, help="write the model as JSON")
     fit.add_argument("--render-depth", type=int, default=None,
                      help="print the tree down to this depth")
@@ -167,10 +172,14 @@ def _cmd_fit(args):
     server = SQLServer()
     load_dataset(server, "data", spec, rows)
 
+    scan_options = {
+        "scan_kernel": not args.no_scan_kernel,
+        "scan_chunk_rows": args.scan_chunk_rows,
+    }
     if args.no_staging:
-        config = MiddlewareConfig.no_staging(args.memory)
+        config = MiddlewareConfig.no_staging(args.memory, **scan_options)
     else:
-        config = MiddlewareConfig(memory_bytes=args.memory)
+        config = MiddlewareConfig(memory_bytes=args.memory, **scan_options)
     classifier = DecisionTreeClassifier(
         criterion=args.criterion,
         max_depth=args.max_depth,

@@ -20,7 +20,7 @@ from .estimators import (
     root_cc_pairs,
 )
 from .execution import ExecutionModule, ExecutionStats, ScanStats
-from .filters import PathCondition, batch_filter, path_predicate
+from .filters import PathCondition, RoutingKernel, batch_filter, path_predicate
 from .middleware import Middleware
 from .requests import CountsRequest, CountsResult, RequestQueue
 from .scheduler import Schedule, Scheduler
@@ -49,6 +49,7 @@ __all__ = [
     "PathCondition",
     "PlainScanStrategy",
     "RequestQueue",
+    "RoutingKernel",
     "ScanStats",
     "Schedule",
     "Scheduler",

@@ -75,6 +75,30 @@ class CCTable:
         self._class_totals[class_label] += 1
         return new_pairs
 
+    def count_row_at(self, row, attr_positions, class_label):
+        """Count one record straight from a row tuple.
+
+        ``attr_positions`` is a precomputed sequence of
+        ``(attribute, row_index)`` pairs covering :attr:`attributes`.
+        Semantically identical to :meth:`count_row` but skips building
+        a per-row name→value mapping — the scan kernel's hot path.
+        Returns the number of new (attribute, value) pairs created.
+        """
+        vectors = self._vectors
+        n_classes = self.n_classes
+        new_pairs = 0
+        for attribute, position in attr_positions:
+            key = (attribute, row[position])
+            vector = vectors.get(key)
+            if vector is None:
+                vector = [0] * n_classes
+                vectors[key] = vector
+                new_pairs += 1
+            vector[class_label] += 1
+        self._records += 1
+        self._class_totals[class_label] += 1
+        return new_pairs
+
     def would_add_pairs(self, values_by_attribute):
         """How many new pairs counting this record would create."""
         vectors = self._vectors

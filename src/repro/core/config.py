@@ -51,6 +51,13 @@ class MiddlewareConfig:
     aux_free_build: bool = False
     #: Directory for staging files (None = private temp directory).
     staging_dir: str | None = None
+    #: Route rows through the compiled attribute-indexed scan kernel.
+    #: False selects the reference per-row matcher loop — the two are
+    #: equivalence-tested, so this is an A/B switch, not a feature gate.
+    scan_kernel: bool = True
+    #: Rows per scan chunk: staging writes and memory capture are
+    #: buffered and flushed at this granularity.
+    scan_chunk_rows: int = 1024
 
     def __post_init__(self):
         if self.memory_bytes < 0:
@@ -70,6 +77,8 @@ class MiddlewareConfig:
         if (self.file_budget_bytes is not None
                 and self.file_budget_bytes < 0):
             raise MiddlewareError("file_budget_bytes must be non-negative")
+        if self.scan_chunk_rows < 1:
+            raise MiddlewareError("scan_chunk_rows must be positive")
 
     @classmethod
     def no_staging(cls, memory_bytes, **overrides):

@@ -55,6 +55,9 @@ def estimate_cc_pairs(child_rows, parent_rows, parent_cards,
     the parent's pair total, the trivial upper bound the paper derives
     from ``card(n, A_j) <= card(p, A_j)``.
     """
+    # Materialize once: a generator argument would otherwise be
+    # exhausted by the summation loop, silently zeroing the floor.
+    child_attributes = tuple(child_attributes)
     if parent_rows <= 0:
         raise MiddlewareError("parent_rows must be positive")
     if child_rows < 0:
@@ -70,7 +73,7 @@ def estimate_cc_pairs(child_rows, parent_rows, parent_cards,
                 f"parent CC has no cardinality for {attribute!r}"
             ) from None
     estimate = math.ceil(child_rows / parent_rows * total_parent_pairs)
-    estimate = max(estimate, len(list(child_attributes)))
+    estimate = max(estimate, len(child_attributes))
     return min(estimate, total_parent_pairs)
 
 

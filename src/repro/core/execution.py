@@ -10,28 +10,46 @@ The same scan also performs the staging the scheduler planned: rows
 routed to a stage-target node are appended to its new middleware file
 and/or collected for middleware memory.
 
+Two scan loops implement the routing:
+
+* the **kernel** loop (default) compiles the batch's path conditions
+  into a :class:`~repro.core.filters.RoutingKernel` — one dict probe
+  per constrained attribute instead of one closure call per node — and
+  processes rows in configurable chunks so staging writes and memory
+  capture are flushed in blocks;
+* the **per-row** loop is the reference implementation: every node's
+  matcher closure is evaluated against every row.  It is kept as the
+  equivalence baseline behind ``config.scan_kernel = False``.
+
+Every scan records profiling counters on :class:`ScanStats` — wall
+time, rows/sec, matcher-evaluation counts, and which loop ran — which
+the middleware copies onto the session trace.
+
 Runtime memory errors are handled as in Section 4.1.1.  When a node's
 CC table outgrows what can be reserved there are two recoveries:
 
-* **deferral** — if the node shared the scan with other nodes, it is
-  simply counted on a *later* scan (the "multiple scans of the
-  database ... to build CC tables for active nodes" of Section 5.2.1B).
-  Its size estimate is raised to the pair count observed before the
-  overflow, so the next admission reserves realistically.
-* **SQL fallback** — if the node was scanned alone (its CC genuinely
-  cannot be accommodated), it switches to the SQL-based implementation
-  and its counts are fetched from the server after the scan, modelling
-  the paper's lazy retrieval: the middleware never holds that table
-  against its budget.
+* **deferral** — if the node shares the scan with other *surviving*
+  nodes, it is simply counted on a *later* scan (the "multiple scans
+  of the database ... to build CC tables for active nodes" of Section
+  5.2.1B).  Its size estimate is raised to the pair count observed
+  before the overflow, so the next admission reserves realistically.
+* **SQL fallback** — if the node was scanned alone, or every co-batched
+  peer has already been abandoned (so deferring would only buy it an
+  identical solo scan), its CC genuinely cannot be accommodated: it
+  switches to the SQL-based implementation and its counts are fetched
+  from the server after the scan, modelling the paper's lazy
+  retrieval: the middleware never holds that table against its budget.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from itertools import islice
 
 from ..common.errors import MiddlewareError
 from .cc_table import CCTable
-from .filters import batch_filter
+from .filters import RoutingKernel, batch_filter
 from .requests import CountsResult
 from .scheduler import _cc_tag
 from .sql_counting import counts_via_sql
@@ -50,6 +68,20 @@ class ScanStats:
     deferrals: int = 0
     files_written: int = 0
     memory_sets_loaded: int = 0
+    #: Wall-clock seconds spent producing and routing the scan's rows.
+    wall_seconds: float = 0.0
+    #: Condition-evaluation work: matcher closure calls in the per-row
+    #: loop, dispatch-table probes in the kernel loop.
+    matcher_evals: int = 0
+    #: True when the compiled routing kernel ran (False = per-row loop).
+    kernel: bool = False
+
+    @property
+    def rows_per_sec(self):
+        """Scan throughput (0.0 when the scan was too fast to time)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.rows_seen / self.wall_seconds
 
 
 @dataclass
@@ -66,6 +98,9 @@ class ExecutionStats:
     deferrals: int = 0
     files_written: int = 0
     memory_sets_loaded: int = 0
+    wall_seconds: float = 0.0
+    matcher_evals: int = 0
+    kernel_scans: int = 0
 
     def absorb(self, scan):
         self.scans_by_mode[scan.mode] += 1
@@ -76,23 +111,36 @@ class ExecutionStats:
         self.deferrals += scan.deferrals
         self.files_written += scan.files_written
         self.memory_sets_loaded += scan.memory_sets_loaded
+        self.wall_seconds += scan.wall_seconds
+        self.matcher_evals += scan.matcher_evals
+        self.kernel_scans += scan.kernel
 
     @property
     def total_scans(self):
         return sum(self.scans_by_mode.values())
 
+    @property
+    def rows_per_sec(self):
+        """Session-wide scan throughput."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.rows_seen / self.wall_seconds
+
 
 class _NodeCount:
     """Per-node counting state within one scan."""
 
-    __slots__ = ("request", "cc", "reserved", "fallback", "deferred")
+    __slots__ = ("request", "cc", "reserved", "fallback", "deferred",
+                 "attr_positions")
 
-    def __init__(self, request, cc, reserved):
+    def __init__(self, request, cc, reserved, attr_positions):
         self.request = request
         self.cc = cc
         self.reserved = reserved
         self.fallback = False
         self.deferred = False
+        #: Precomputed (attribute, row index) pairs for tuple counting.
+        self.attr_positions = attr_positions
 
     @property
     def abandoned(self):
@@ -116,6 +164,8 @@ class ExecutionModule:
         }
         self._class_index = spec.n_attributes
         self.stats = ExecutionStats()
+        #: The :class:`ScanStats` of the most recent :meth:`run`.
+        self.last_scan = None
 
     def run(self, schedule):
         """Execute one schedule.
@@ -126,19 +176,26 @@ class ExecutionModule:
         """
         scan = ScanStats(mode=schedule.mode)
         states = self._make_states(schedule)
-        matchers = [
-            (state, self._make_matcher(state.request)) for state in states
-        ]
         file_writers = self._open_file_writers(schedule)
         memory_capture = {
             node_id: [] for node_id in schedule.stage_memory_targets
         }
 
+        started = time.perf_counter()
         try:
             row_iter = self._rows_for(schedule, scan)
-            self._count_rows(
-                row_iter, matchers, file_writers, memory_capture, scan
-            )
+            if self._config.scan_kernel:
+                self._count_rows_kernel(
+                    row_iter, states, file_writers, memory_capture, scan
+                )
+            else:
+                matchers = [
+                    (state, self._make_matcher(state.request))
+                    for state in states
+                ]
+                self._count_rows(
+                    row_iter, matchers, file_writers, memory_capture, scan
+                )
         except Exception:
             for node_id in file_writers:
                 self._staging.abandon_file(node_id)
@@ -146,6 +203,7 @@ class ExecutionModule:
                 self._staging.cancel_memory_reservation(node_id)
             self._release_cc_reservations(states)
             raise
+        scan.wall_seconds = time.perf_counter() - started
 
         for node_id, writer in file_writers.items():
             writer.seal()
@@ -159,6 +217,7 @@ class ExecutionModule:
         finally:
             self._release_cc_reservations(states)
         self.stats.absorb(scan)
+        self.last_scan = scan
         return results, deferred
 
     # -- setup ------------------------------------------------------------
@@ -168,7 +227,10 @@ class ExecutionModule:
         for request in schedule.batch:
             cc = CCTable(request.attributes, self._spec.n_classes)
             reserved = schedule.cc_reservations.get(request.node_id, 0)
-            states.append(_NodeCount(request, cc, reserved))
+            positions = tuple(
+                (name, self._attr_index[name]) for name in request.attributes
+            )
+            states.append(_NodeCount(request, cc, reserved, positions))
         return states
 
     def _make_matcher(self, request):
@@ -187,13 +249,28 @@ class ExecutionModule:
         return match
 
     def _open_file_writers(self, schedule):
-        """Writers for planned staging targets and file splits."""
+        """Writers for planned staging targets and file splits.
+
+        Planned ``stage_file_targets`` were budget-checked by the
+        scheduler; §4.3.2 split files are decided here, so the same
+        file-space budget is enforced per split target — targets whose
+        data would overflow ``file_budget_bytes`` are skipped (their
+        nodes are still counted; they just keep reading the source).
+        """
+        staging = self._staging
         targets = list(schedule.stage_file_targets)
         if schedule.split_file:
+            rows_by_node = {r.node_id: r.n_rows for r in schedule.batch}
+            planned = sum(rows_by_node.get(node_id, 0) for node_id in targets)
             for node_id in schedule.node_ids:
-                if node_id != schedule.source_node and node_id not in targets:
-                    targets.append(node_id)
-        return {node_id: self._staging.open_file(node_id) for node_id in targets}
+                if node_id == schedule.source_node or node_id in targets:
+                    continue
+                n_rows = rows_by_node.get(node_id, 0)
+                if not staging.file_space_for(planned + n_rows):
+                    continue
+                targets.append(node_id)
+                planned += n_rows
+        return {node_id: staging.open_file(node_id) for node_id in targets}
 
     def _rows_for(self, schedule, scan):
         """The row iterator for the schedule's data source."""
@@ -215,16 +292,88 @@ class ExecutionModule:
         )
         return iter(rows)
 
-    # -- the scan loop ------------------------------------------------------
+    # -- the scan loops ------------------------------------------------------
+
+    def _count_rows_kernel(self, row_iter, states, file_writers,
+                           memory_capture, scan):
+        """Chunked routing through the compiled dispatch kernel."""
+        scan.kernel = True
+        class_index = self._class_index
+        budget = self._budget
+        kernel = RoutingKernel(
+            [state.request.conditions for state in states],
+            self._attr_index,
+        )
+        route = kernel.route
+        n_probes = kernel.n_probes
+        chunk_rows = self._config.scan_chunk_rows
+        # Staging output is buffered per chunk and flushed in blocks.
+        write_buffers = {node_id: [] for node_id in file_writers}
+        capture_buffers = {node_id: [] for node_id in memory_capture}
+
+        while True:
+            chunk = list(islice(row_iter, chunk_rows))
+            if not chunk:
+                break
+            scan.rows_seen += len(chunk)
+            scan.matcher_evals += n_probes * len(chunk)
+            for row in chunk:
+                mask = route(row)
+                if not mask:
+                    continue
+                scan.rows_routed += 1
+                # A frontier is an antichain, so normally exactly one
+                # bit is set; draining the mask keeps the module
+                # correct even for overlapping request sets.
+                while mask:
+                    low_bit = mask & -mask
+                    mask ^= low_bit
+                    target = states[low_bit.bit_length() - 1]
+                    node_id = target.request.node_id
+
+                    if not target.abandoned:
+                        new_pairs = target.cc.count_row_at(
+                            row, target.attr_positions, row[class_index]
+                        )
+                        if new_pairs:
+                            needed = target.cc.size_bytes
+                            if needed > target.reserved:
+                                deficit = needed - target.reserved
+                                if budget.try_reserve(
+                                    _cc_tag(node_id), deficit
+                                ):
+                                    target.reserved = needed
+                                else:
+                                    # Section 4.1.1: no new entries fit.
+                                    self._abandon(target, states, scan)
+
+                    buffer = write_buffers.get(node_id)
+                    if buffer is not None:
+                        buffer.append(row)
+                    buffer = capture_buffers.get(node_id)
+                    if buffer is not None:
+                        buffer.append(row)
+
+            for node_id, rows in write_buffers.items():
+                if rows:
+                    file_writers[node_id].append_rows(rows)
+                    rows.clear()
+            for node_id, rows in capture_buffers.items():
+                if rows:
+                    memory_capture[node_id].extend(rows)
+                    rows.clear()
 
     def _count_rows(self, row_iter, matchers, file_writers, memory_capture,
                     scan):
+        """The reference per-row matcher loop (``scan_kernel = False``)."""
         attribute_names = self._spec.attribute_names
         class_index = self._class_index
         budget = self._budget
+        n_matchers = len(matchers)
 
         for row in row_iter:
             scan.rows_seen += 1
+            scan.matcher_evals += n_matchers
             routed = False
             values = None
             # A frontier is an antichain, so normally exactly one node
@@ -248,7 +397,11 @@ class ExecutionModule:
                                 target.reserved = needed
                             else:
                                 # Section 4.1.1: no new entries fit.
-                                self._abandon(target, matchers, scan)
+                                self._abandon(
+                                    target,
+                                    [state for state, _ in matchers],
+                                    scan,
+                                )
 
                 writer = file_writers.get(node_id)
                 if writer is not None:
@@ -259,12 +412,15 @@ class ExecutionModule:
             if routed:
                 scan.rows_routed += 1
 
-    def _abandon(self, target, matchers, scan):
+    def _abandon(self, target, states, scan):
         """Handle a CC-memory overflow for one node (Section 4.1.1).
 
-        A node sharing the scan with others is deferred to a later scan
-        with a corrected size estimate; a node scanned alone genuinely
-        cannot fit and switches to SQL-based lazy counting.
+        A node sharing the scan with other *surviving* nodes is
+        deferred to a later scan with a corrected size estimate; a node
+        counted alone — scanned solo, or the last survivor of a batch
+        whose peers all overflowed — genuinely cannot fit and switches
+        to SQL-based lazy counting (deferring it would only replay the
+        same solo overflow on the next scan).
         """
         budget = self._budget
         request = target.request
@@ -272,7 +428,11 @@ class ExecutionModule:
         target.cc = None
         budget.release(_cc_tag(request.node_id))
         target.reserved = 0
-        if len(matchers) > 1:
+        surviving_peers = sum(
+            1 for state in states
+            if state is not target and not state.abandoned
+        )
+        if surviving_peers:
             target.deferred = True
             # The estimate was too low: raise it to what was actually
             # observed (a lower bound on the true size) so the next

@@ -64,6 +64,102 @@ def path_predicate(conditions):
     return all_of([condition.to_expr() for condition in conditions])
 
 
+class RoutingKernel:
+    """Attribute-indexed row routing for one batched scan.
+
+    The per-row matcher loop evaluates every node's path conjunction
+    against every record — O(nodes × conditions) closure calls per row.
+    This kernel compiles the batch once into per-attribute dispatch
+    tables: each node occupies one bit of a candidate mask, and each
+    attribute that appears in *any* node's path maps the attribute's
+    row value to the mask of nodes still viable given that value.
+    Routing a row is then one dict probe per constrained attribute
+    (O(tree depth)), intersecting masks and stopping early when no
+    candidate survives.
+
+    The mask construction handles the full condition algebra the tree
+    clients emit: repeated ``<>`` conditions on one attribute (the
+    "other" branch of successive binary splits on the same attribute),
+    an ``=`` combined with ``<>`` on the same attribute, and nodes with
+    no condition on a probed attribute (always viable there).
+    """
+
+    __slots__ = ("_probes", "_full_mask", "n_slots")
+
+    def __init__(self, condition_sets, attr_index):
+        """Compile the kernel.
+
+        :param condition_sets: one sequence of :class:`PathCondition`
+            per routing slot (node), in slot order.
+        :param attr_index: mapping attribute name -> row tuple index.
+        """
+        condition_sets = [tuple(conditions) for conditions in condition_sets]
+        self.n_slots = len(condition_sets)
+        self._full_mask = (1 << self.n_slots) - 1
+
+        # Per attribute: slot -> (set of required values, set of
+        # excluded values).  A slot with several distinct required
+        # values can never match (contradictory path); it simply never
+        # enters any mask for that attribute.
+        by_attr = {}
+        for slot, conditions in enumerate(condition_sets):
+            for condition in conditions:
+                eq_values, ne_values = by_attr.setdefault(
+                    condition.attribute, {}
+                ).setdefault(slot, (set(), set()))
+                if condition.op == "=":
+                    eq_values.add(condition.value)
+                else:
+                    ne_values.add(condition.value)
+
+        probes = []
+        for attribute, constrained in by_attr.items():
+            interesting = set()
+            for eq_values, ne_values in constrained.values():
+                interesting |= eq_values
+                interesting |= ne_values
+            # Slots unconstrained on this attribute are viable for
+            # every value; slots with only exclusions are additionally
+            # viable for any value outside their exclusion set — in
+            # particular for every value not in ``interesting``.
+            default = 0
+            for slot in range(self.n_slots):
+                pair = constrained.get(slot)
+                if pair is None or not pair[0]:
+                    default |= 1 << slot
+            table = {}
+            for value in interesting:
+                mask = 0
+                for slot in range(self.n_slots):
+                    pair = constrained.get(slot)
+                    if pair is None:
+                        mask |= 1 << slot
+                        continue
+                    eq_values, ne_values = pair
+                    if eq_values and eq_values != {value}:
+                        continue
+                    if value in ne_values:
+                        continue
+                    mask |= 1 << slot
+                table[value] = mask
+            probes.append((attr_index[attribute], table, default))
+        self._probes = tuple(probes)
+
+    @property
+    def n_probes(self):
+        """Dispatch tables consulted per row (≤ distinct path attrs)."""
+        return len(self._probes)
+
+    def route(self, row):
+        """Mask of slots whose path conjunction matches ``row``."""
+        mask = self._full_mask
+        for index, table, default in self._probes:
+            mask &= table.get(row[index], default)
+            if not mask:
+                return 0
+        return mask
+
+
 def batch_filter(predicates):
     """The pushed-down disjunction ``S_1 OR ... OR S_k``.
 

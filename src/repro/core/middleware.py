@@ -96,6 +96,7 @@ class Middleware:
         for request in deferred:
             self._queue.put(request)
         stats = self.execution.stats
+        scan = self.execution.last_scan
         self.trace.add(
             ScheduleRecord(
                 sequence=len(self.trace),
@@ -110,6 +111,10 @@ class Middleware:
                 deferrals=len(deferred),
                 sql_fallbacks=sum(r.used_sql_fallback for r in results),
                 cost=self.server.meter.total_since(snapshot),
+                wall_seconds=scan.wall_seconds,
+                rows_per_sec=scan.rows_per_sec,
+                matcher_evals=scan.matcher_evals,
+                kernel=scan.kernel,
             )
         )
         return results
@@ -153,6 +158,9 @@ class Middleware:
             f"  scans: {stats.batches} batches ({scans})",
             f"  rows: {stats.rows_seen:,} seen, "
             f"{stats.rows_routed:,} routed",
+            f"  scan loop: {stats.kernel_scans}/{stats.batches} kernelized, "
+            f"{stats.rows_per_sec:,.0f} rows/s, "
+            f"{stats.matcher_evals:,} matcher evals",
             f"  recoveries: {stats.deferrals} deferrals, "
             f"{stats.sql_fallbacks} SQL fallbacks",
             f"  staging: {stats.files_written} files written, "

@@ -27,6 +27,15 @@ class ScheduleRecord:
     deferrals: int
     sql_fallbacks: int
     cost: float               # simulated cost charged during the scan
+    # -- per-scan profiling (scan-kernel observability layer) --
+    #: Wall-clock seconds spent producing and routing the scan's rows.
+    wall_seconds: float = 0.0
+    #: rows_seen / wall_seconds, 0.0 when the scan was too fast to time.
+    rows_per_sec: float = 0.0
+    #: Matcher closure calls (per-row loop) or dispatch probes (kernel).
+    matcher_evals: int = 0
+    #: True when the compiled routing kernel ran this scan.
+    kernel: bool = False
 
     def __str__(self):
         actions = []
@@ -41,11 +50,15 @@ class ScheduleRecord:
         if self.sql_fallbacks:
             actions.append(f"sql_fallback={self.sql_fallbacks}")
         suffix = f" [{', '.join(actions)}]" if actions else ""
+        profile = ""
+        if self.wall_seconds > 0.0:
+            loop = "kernel" if self.kernel else "per-row"
+            profile = f" {self.rows_per_sec:,.0f} rows/s ({loop})"
         return (
             f"#{self.sequence} {self.mode}"
             f"{f'({self.source_node})' if self.source_node is not None else ''}"
             f" batch={len(self.batch)} rows={self.rows_seen}"
-            f" cost={self.cost:.1f}{suffix}"
+            f" cost={self.cost:.1f}{profile}{suffix}"
         )
 
 

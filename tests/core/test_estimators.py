@@ -68,6 +68,17 @@ class TestEstimateCCPairs:
         cards = parent_cc.pair_count_by_attribute()
         assert estimate_cc_pairs(0, 6, cards, ["A1", "A2"]) == 0
 
+    def test_generator_argument_keeps_floor(self, parent_cc):
+        # Regression: a generator used to be exhausted by the
+        # cardinality summation, so the one-pair-per-attribute floor
+        # silently became max(estimate, 0).
+        cards = parent_cc.pair_count_by_attribute()
+        from_list = estimate_cc_pairs(1, 600, cards, ["A1", "A2"])
+        from_generator = estimate_cc_pairs(
+            1, 600, cards, (name for name in ["A1", "A2"])
+        )
+        assert from_generator == from_list == 2
+
     def test_dropped_attribute_shrinks_estimate(self, parent_cc):
         cards = parent_cc.pair_count_by_attribute()
         both = estimate_cc_pairs(4, 6, cards, ["A1", "A2"])

@@ -1,0 +1,285 @@
+"""Unit tests for the batched scan kernel and its profiling layer.
+
+The kernel (`repro.core.filters.RoutingKernel` driven by
+`ExecutionModule._count_rows_kernel`) must route rows exactly like the
+reference per-row matcher loop; ``config.scan_kernel`` is the A/B
+switch the equivalence tests flip.
+"""
+
+import pytest
+
+from repro.client.baselines import build_cc_from_rows
+from repro.client.decision_tree import DecisionTreeClassifier
+from repro.core.config import MiddlewareConfig
+from repro.core.filters import PathCondition, RoutingKernel
+from repro.core.middleware import Middleware
+from repro.core.requests import CountsRequest
+from repro.datagen.dataset import DatasetSpec
+from repro.datagen.loader import load_dataset
+from repro.datagen.random_tree import RandomTreeConfig, build_random_tree
+from repro.sqlengine.database import SQLServer
+
+from ..conftest import tree_signature
+
+ATTR_INDEX = {"A1": 0, "A2": 1, "A3": 2}
+
+
+def kernel_for(*condition_sets):
+    return RoutingKernel(condition_sets, ATTR_INDEX)
+
+
+class TestRoutingKernel:
+    def test_unconditioned_slot_matches_everything(self):
+        kernel = kernel_for(())
+        assert kernel.route((0, 1, 2)) == 0b1
+        assert kernel.n_probes == 0
+
+    def test_equality_dispatch(self):
+        kernel = kernel_for(
+            (PathCondition("A1", "=", 0),),
+            (PathCondition("A1", "=", 1),),
+        )
+        assert kernel.route((0, 9, 9)) == 0b01
+        assert kernel.route((1, 9, 9)) == 0b10
+        assert kernel.route((2, 9, 9)) == 0
+
+    def test_inequality_dispatch(self):
+        kernel = kernel_for(
+            (PathCondition("A1", "=", 0),),
+            (PathCondition("A1", "<>", 0),),
+        )
+        assert kernel.route((0, 0, 0)) == 0b01
+        assert kernel.route((5, 0, 0)) == 0b10
+
+    def test_repeated_inequalities_on_one_attribute(self):
+        # The "other" branch of successive binary splits on A1.
+        kernel = kernel_for(
+            (PathCondition("A1", "<>", 0), PathCondition("A1", "<>", 1)),
+        )
+        assert kernel.route((0, 0, 0)) == 0
+        assert kernel.route((1, 0, 0)) == 0
+        assert kernel.route((2, 0, 0)) == 0b1
+
+    def test_equality_and_inequality_on_one_attribute(self):
+        kernel = kernel_for(
+            (PathCondition("A1", "=", 1), PathCondition("A1", "<>", 0)),
+        )
+        assert kernel.route((1, 0, 0)) == 0b1
+        assert kernel.route((0, 0, 0)) == 0
+        assert kernel.route((2, 0, 0)) == 0
+
+    def test_contradictory_equalities_never_match(self):
+        kernel = kernel_for(
+            (PathCondition("A1", "=", 0), PathCondition("A1", "=", 1)),
+        )
+        for value in range(3):
+            assert kernel.route((value, 0, 0)) == 0
+
+    def test_multi_attribute_conjunction(self):
+        kernel = kernel_for(
+            (PathCondition("A1", "=", 0), PathCondition("A2", "=", 1)),
+            (PathCondition("A1", "=", 0), PathCondition("A2", "<>", 1)),
+        )
+        assert kernel.route((0, 1, 0)) == 0b01
+        assert kernel.route((0, 2, 0)) == 0b10
+        assert kernel.route((1, 1, 0)) == 0
+        assert kernel.n_probes == 2
+
+    def test_probe_count_is_depth_not_nodes(self):
+        # Five nodes all splitting on the same attribute: one probe.
+        kernel = kernel_for(
+            *[(PathCondition("A1", "=", v),) for v in range(5)]
+        )
+        assert kernel.n_probes == 1
+        assert kernel.n_slots == 5
+
+    def test_matches_reference_matchers_on_random_batches(self):
+        import itertools
+
+        condition_sets = [
+            (),
+            (PathCondition("A1", "=", 0),),
+            (PathCondition("A1", "<>", 0), PathCondition("A2", "=", 2),),
+            (PathCondition("A1", "<>", 0), PathCondition("A2", "<>", 2),
+             PathCondition("A3", "=", 1),),
+            (PathCondition("A2", "=", 1), PathCondition("A3", "<>", 0),),
+        ]
+        kernel = kernel_for(*condition_sets)
+        for row in itertools.product(range(3), repeat=3):
+            expected = 0
+            for slot, conditions in enumerate(condition_sets):
+                if all(
+                    c.matches(row[ATTR_INDEX[c.attribute]])
+                    for c in conditions
+                ):
+                    expected |= 1 << slot
+            assert kernel.route(row) == expected, row
+
+
+# ---------------------------------------------------------------------------
+# kernel vs per-row loop equivalence through the middleware
+# ---------------------------------------------------------------------------
+
+SPEC = DatasetSpec([3, 3], 3)
+
+
+def dataset_rows():
+    rows = []
+    label = 0
+    for a1 in range(3):
+        for a2 in range(3):
+            for _ in range(a1 + a2 + 1):
+                rows.append((a1, a2, label % 3))
+                label += 1
+    return rows
+
+
+def make_server(rows):
+    server = SQLServer()
+    load_dataset(server, "data", SPEC, rows)
+    return server
+
+
+def child_request(node_id, value, rows):
+    subset = [r for r in rows if r[0] == value]
+    return CountsRequest(
+        node_id=node_id,
+        lineage=("root", node_id),
+        conditions=(PathCondition("A1", "=", value),),
+        attributes=("A2",),
+        n_rows=len(subset),
+        est_cc_pairs=3,
+    )
+
+
+def frontier_results(**config_overrides):
+    rows = dataset_rows()
+    server = make_server(rows)
+    config_overrides.setdefault("memory_bytes", 100_000)
+    with Middleware(
+        server, "data", SPEC, MiddlewareConfig(**config_overrides)
+    ) as mw:
+        for value in range(3):
+            mw.queue_request(child_request(f"n{value}", value, rows))
+        results = {}
+        while mw.pending:
+            for result in mw.process_next_batch():
+                results[result.node_id] = result
+        return results, mw.trace
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("chunk_rows", [1, 7, 1024])
+    def test_frontier_counts_identical_across_loops(self, chunk_rows):
+        kernel_results, _ = frontier_results(
+            scan_kernel=True, scan_chunk_rows=chunk_rows
+        )
+        perrow_results, _ = frontier_results(scan_kernel=False)
+        rows = dataset_rows()
+        assert set(kernel_results) == set(perrow_results)
+        for value in range(3):
+            subset = [r for r in rows if r[0] == value]
+            reference = build_cc_from_rows(subset, SPEC, ("A2",))
+            assert kernel_results[f"n{value}"].cc == reference
+            assert perrow_results[f"n{value}"].cc == reference
+
+    def test_full_fit_grows_identical_tree(self):
+        generating = build_random_tree(
+            RandomTreeConfig(
+                n_attributes=6,
+                values_per_attribute=3,
+                n_classes=3,
+                n_leaves=8,
+                cases_per_leaf=12,
+                seed=17,
+            )
+        )
+        trees = {}
+        for kernel_flag in (True, False):
+            server = SQLServer()
+            load_dataset(
+                server, "data", generating.spec, generating.materialize()
+            )
+            config = MiddlewareConfig(
+                memory_bytes=50_000, scan_kernel=kernel_flag
+            )
+            with Middleware(server, "data", generating.spec, config) as mw:
+                classifier = DecisionTreeClassifier()
+                classifier.fit(mw)
+                trees[kernel_flag] = classifier.tree
+        assert tree_signature(trees[True].root) == tree_signature(
+            trees[False].root
+        )
+
+    def test_staged_rows_identical_across_loops(self):
+        for kernel_flag in (True, False):
+            rows = dataset_rows()
+            server = make_server(rows)
+            config = MiddlewareConfig(
+                memory_bytes=100_000,
+                memory_staging=False,
+                scan_kernel=kernel_flag,
+                scan_chunk_rows=4,
+            )
+            with Middleware(server, "data", SPEC, config) as mw:
+                mw.queue_request(
+                    CountsRequest(
+                        node_id="root",
+                        lineage=("root",),
+                        conditions=(),
+                        attributes=("A1", "A2"),
+                        n_rows=len(rows),
+                        est_cc_pairs=6,
+                    )
+                )
+                mw.process_next_batch()
+                staged = list(mw.staging.file_for("root").scan())
+                assert staged == rows
+
+
+class TestScanProfiling:
+    def test_trace_records_kernel_profile(self):
+        _, trace = frontier_results(scan_kernel=True)
+        record = trace[0]
+        assert record.kernel
+        assert record.wall_seconds > 0.0
+        assert record.rows_per_sec > 0.0
+        # One probed attribute (A1) per row.
+        assert record.matcher_evals == record.rows_seen
+
+    def test_trace_records_perrow_profile(self):
+        _, trace = frontier_results(scan_kernel=False)
+        record = trace[0]
+        assert not record.kernel
+        assert record.wall_seconds > 0.0
+        # Three matcher closures evaluated per row.
+        assert record.matcher_evals == 3 * record.rows_seen
+
+    def test_session_stats_accumulate_profile(self):
+        rows = dataset_rows()
+        server = make_server(rows)
+        with Middleware(
+            server, "data", SPEC, MiddlewareConfig(memory_bytes=100_000)
+        ) as mw:
+            for value in range(3):
+                mw.queue_request(child_request(f"n{value}", value, rows))
+            while mw.pending:
+                mw.process_next_batch()
+            stats = mw.stats
+            assert stats.kernel_scans == stats.batches
+            assert stats.wall_seconds > 0.0
+            assert stats.rows_per_sec > 0.0
+            assert stats.matcher_evals > 0
+
+    def test_report_mentions_scan_loop(self):
+        rows = dataset_rows()
+        server = make_server(rows)
+        with Middleware(
+            server, "data", SPEC, MiddlewareConfig(memory_bytes=100_000)
+        ) as mw:
+            mw.queue_request(child_request("n0", 0, rows))
+            mw.process_next_batch()
+            report = mw.report()
+        assert "scan loop:" in report
+        assert "rows/s" in report
+        assert "(kernel)" in report

@@ -103,6 +103,59 @@ class TestStagedFile:
         assert not os.path.exists(path)
 
 
+class TestBlockIO:
+    def test_block_write_scan_round_trip(self, manager):
+        staged = manager.open_file("n1")
+        # Spill across several write blocks and read blocks.
+        rows = [(i % 3, (i * 7) % 3, i % 2)
+                for i in range(staged.BLOCK_ROWS * 2 + 123)]
+        staged.append_rows(rows)
+        staged.seal()
+        assert staged.row_count == len(rows)
+        assert list(staged.scan()) == rows
+
+    def test_mixed_append_modes_preserve_order(self, manager):
+        staged = manager.open_file("n1")
+        staged.append((0, 0, 0))
+        staged.append_rows([(1, 1, 1), (2, 2, 0)])
+        staged.append((0, 2, 1))
+        staged.seal()
+        assert list(staged.scan()) == [
+            (0, 0, 0), (1, 1, 1), (2, 2, 0), (0, 2, 1)
+        ]
+
+    def test_append_rows_after_seal_rejected(self, manager):
+        staged = manager.open_file("n1")
+        staged.seal()
+        with pytest.raises(StagingError):
+            staged.append_rows([(0, 0, 0)])
+
+    def test_block_writes_keep_per_row_metering(self, manager):
+        meter = manager._test_meter
+        staged = manager.open_file("n1")
+        rows = [(i % 3, i % 3, i % 2) for i in range(50)]
+        staged.append_rows(rows)
+        assert meter.charges["file_write"] == 0  # still charged at seal
+        staged.seal()
+        assert meter.charges["file_write"] == pytest.approx(
+            len(rows) * manager._test_model.file_write_row
+        )
+        before = meter.charges["file_read"]
+        assert len(list(staged.scan())) == len(rows)
+        assert meter.charges["file_read"] - before == pytest.approx(
+            len(rows) * manager._test_model.file_row_io
+        )
+
+    def test_unflushed_rows_visible_after_seal(self, manager):
+        # Fewer rows than one block: everything sits in the buffer
+        # until seal flushes it.
+        staged = manager.open_file("n1")
+        staged.append_rows([(1, 2, 0)])
+        assert os.path.getsize(staged.path) == 0
+        staged.seal()
+        assert list(staged.scan()) == [(1, 2, 0)]
+
+
 class TestResolve:
     def test_unstaged_resolves_to_server(self, manager):
         request = make_request(3, (0, 1, 3))
