@@ -1,0 +1,262 @@
+"""Parallel partitioned scan A/B: worker pool vs the serial kernel.
+
+Not a paper figure — this benchmark guards the parallel scan executor.
+The same 100k-row Agrawal frontier as ``bench_scan_kernel.py`` is
+counted through the real middleware once with the serial kernel and
+once per worker count (1/2/4/8), flipping only ``config.scan_workers``
+(and using the process pool by default, since routing is CPU-bound
+Python where threads only interleave under the GIL).
+
+Every configuration must produce CC tables identical to an independent
+reference count — partial counts over disjoint row partitions merge
+exactly, so worker count may change wall-clock time but never a single
+counter.  On a machine with >= 4 usable cores, the 4-worker
+process-pool run must reach ``MIN_PARALLEL_SPEEDUP`` x the serial
+kernel's rows/sec; on smaller machines the floor is reported but not
+enforced (a 1-core box cannot physically show parallel speedup).
+
+Results land in ``benchmarks/results/parallel_scan.txt`` (human) and
+``benchmarks/results/BENCH_scan.json`` (machine-readable trajectory).
+
+Standalone::
+
+    python benchmarks/bench_parallel_scan.py [--rows N] [--smoke]
+        [--pool thread|process] [--workers 1 2 4 8]
+
+``--smoke`` shrinks the data set and only checks CC equivalence — CI
+uses it to fail on correctness regressions, never on machine speed.
+"""
+
+import argparse
+import os
+import sys
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone run from the repo root
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "src")
+    )
+
+from bench_scan_kernel import REPEATS, SPLIT_ATTRIBUTE, build_frontier
+
+from repro.bench.harness import update_bench_json, write_report
+from repro.common.text import render_table
+from repro.core.config import MiddlewareConfig
+from repro.core.middleware import Middleware
+from repro.datagen.agrawal import AgrawalConfig, agrawal_spec, generate_agrawal_rows
+from repro.datagen.loader import load_dataset
+from repro.sqlengine.database import SQLServer
+
+#: Required parallel/serial throughput at 4 workers (full runs on
+#: machines with >= MIN_CORES usable cores only).
+MIN_PARALLEL_SPEEDUP = 2.0
+#: Cores needed before the speedup floor is enforced.
+MIN_CORES = 4
+#: Rows in the full-size run; ``--smoke`` shrinks this.
+DEFAULT_ROWS = 100_000
+#: Worker counts A/B'd against the serial kernel.
+DEFAULT_WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _usable_cores():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity support
+        return os.cpu_count() or 1
+
+
+def scan_frontier(spec, rows, frontier, workers, pool):
+    """Count the frontier through the middleware; best-of-N profile.
+
+    ``workers=0`` means the serial kernel (``scan_workers=1``).  As in
+    the kernel A/B, the root data set is committed straight into
+    middleware memory so measured wall time is routing + counting +
+    (for parallel runs) partition shipping and CC-partial merging —
+    the true cost of the parallel path, not just its kernels.
+    """
+    server = SQLServer()
+    load_dataset(server, "data", spec, rows)
+    config = MiddlewareConfig.no_staging(
+        16_000_000,
+        scan_kernel=True,
+        scan_workers=max(1, workers),
+        scan_pool=pool,
+        scan_parallel_min_rows=0,
+    )
+    best = None
+    results = {}
+    with Middleware(server, "data", spec, config) as mw:
+        assert mw.staging.reserve_memory("root", len(rows))
+        mw.staging.commit_memory("root", list(rows))
+        for _ in range(REPEATS):
+            mw.queue_requests(request for request, _ in frontier)
+            wall = 0.0
+            seen = 0
+            merge = 0.0
+            while mw.pending:
+                for result in mw.process_next_batch():
+                    results[result.node_id] = result
+                scan = mw.execution.last_scan
+                assert scan.workers == max(1, workers)
+                wall += scan.wall_seconds
+                seen += scan.rows_seen
+                merge += scan.merge_seconds
+            profile = {
+                "rows_per_sec": seen / wall if wall > 0.0 else 0.0,
+                "wall_seconds": wall,
+                "merge_seconds": merge,
+            }
+            if best is None or profile["rows_per_sec"] > best["rows_per_sec"]:
+                best = profile
+    return best, results
+
+
+def check_equivalence(frontier, results_by_label):
+    """Every configuration must reproduce the reference counts."""
+    for label, results in results_by_label.items():
+        for request, reference in frontier:
+            node_id = request.node_id
+            assert results[node_id].cc == reference, (label, node_id)
+            assert not results[node_id].used_sql_fallback, (label, node_id)
+
+
+def run_ab(n_rows=DEFAULT_ROWS, pool="process",
+           worker_counts=DEFAULT_WORKER_COUNTS):
+    """A/B the worker ladder against the serial kernel."""
+    spec = agrawal_spec()
+    rows = list(generate_agrawal_rows(AgrawalConfig(n_rows=n_rows, seed=3)))
+    frontier = build_frontier(spec, rows)
+
+    serial, serial_results = scan_frontier(spec, rows, frontier, 0, pool)
+    ladder = {}
+    results_by_label = {"serial": serial_results}
+    for workers in worker_counts:
+        profile, results = scan_frontier(spec, rows, frontier, workers, pool)
+        profile["speedup"] = (
+            profile["rows_per_sec"] / serial["rows_per_sec"]
+            if serial["rows_per_sec"] > 0.0 else 0.0
+        )
+        ladder[workers] = profile
+        results_by_label[f"{workers}w"] = results
+    check_equivalence(frontier, results_by_label)
+
+    return {
+        "n_rows": n_rows,
+        "n_nodes": len(frontier),
+        "pool": pool,
+        "cores": _usable_cores(),
+        "serial": serial,
+        "ladder": ladder,
+    }
+
+
+def report(comparison):
+    ladder = comparison["ladder"]
+    rows = [
+        [
+            "serial kernel",
+            f"{comparison['serial']['rows_per_sec']:,.0f}",
+            f"{comparison['serial']['wall_seconds']:.4f}",
+            "-",
+            "1.00x",
+        ]
+    ]
+    for workers, profile in sorted(ladder.items()):
+        rows.append(
+            [
+                f"{workers} workers",
+                f"{profile['rows_per_sec']:,.0f}",
+                f"{profile['wall_seconds']:.4f}",
+                f"{profile['merge_seconds']:.4f}",
+                f"{profile['speedup']:.2f}x",
+            ]
+        )
+    table = render_table(
+        ["scan executor", "rows/s", "wall (s)", "merge (s)", "speedup"],
+        rows,
+        title=(
+            f"Parallel scan A/B ({comparison['pool']} pool): "
+            f"{comparison['n_rows']:,}-row Agrawal, "
+            f"{comparison['n_nodes']}-node frontier on {SPLIT_ATTRIBUTE} "
+            f"(best of {REPEATS}, {comparison['cores']} usable cores)"
+        ),
+    )
+    floor_note = (
+        f"floor: >= {MIN_PARALLEL_SPEEDUP:.1f}x at 4 workers "
+        f"(enforced on machines with >= {MIN_CORES} cores; "
+        f"this machine has {comparison['cores']})"
+    )
+    return (
+        table
+        + "\n\nCC tables identical across all configurations.\n"
+        + floor_note
+    )
+
+
+def record_json(comparison, smoke=False):
+    """Persist the ladder machine-readably (BENCH_scan.json)."""
+    update_bench_json(
+        "parallel_scan",
+        {
+            "config": {
+                "n_rows": comparison["n_rows"],
+                "n_nodes": comparison["n_nodes"],
+                "pool": comparison["pool"],
+                "repeats": REPEATS,
+                "smoke": smoke,
+            },
+            "serial_rows_per_sec": comparison["serial"]["rows_per_sec"],
+            "workers": {
+                str(workers): {
+                    "rows_per_sec": profile["rows_per_sec"],
+                    "speedup": profile["speedup"],
+                    "merge_seconds": profile["merge_seconds"],
+                }
+                for workers, profile in comparison["ladder"].items()
+            },
+            "min_parallel_speedup": MIN_PARALLEL_SPEEDUP,
+            "floor_enforced": comparison["cores"] >= MIN_CORES,
+            "cpu_count": comparison["cores"],
+        },
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=DEFAULT_ROWS)
+    parser.add_argument("--pool", choices=("thread", "process"),
+                        default="process")
+    parser.add_argument("--workers", type=int, nargs="+",
+                        default=list(DEFAULT_WORKER_COUNTS))
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small data set, CC-equivalence check only (no speedup floor)",
+    )
+    args = parser.parse_args(argv)
+
+    n_rows = min(args.rows, 5_000) if args.smoke else args.rows
+    worker_counts = tuple(args.workers)
+    if args.smoke:
+        worker_counts = tuple(w for w in worker_counts if w <= 4) or (2,)
+    comparison = run_ab(n_rows, pool=args.pool, worker_counts=worker_counts)
+    write_report("parallel_scan", report(comparison))
+    record_json(comparison, smoke=args.smoke)
+
+    if args.smoke:
+        return 0  # equivalence already asserted in run_ab
+    four = comparison["ladder"].get(4)
+    if comparison["cores"] >= MIN_CORES and four is not None \
+            and four["speedup"] < MIN_PARALLEL_SPEEDUP:
+        print(
+            f"FAIL: 4-worker speedup {four['speedup']:.2f}x below the "
+            f"{MIN_PARALLEL_SPEEDUP:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,7 +34,7 @@ except ImportError:  # standalone run from the repo root
                         os.pardir, "src")
     )
 
-from repro.bench.harness import write_report
+from repro.bench.harness import update_bench_json, write_report
 from repro.client.baselines import build_cc_from_rows
 from repro.common.text import render_table
 from repro.core.config import MiddlewareConfig
@@ -154,6 +154,26 @@ def run_ab(n_rows=DEFAULT_ROWS):
     }
 
 
+def record_json(comparison, smoke=False):
+    """Persist the A/B machine-readably (benchmarks/results/BENCH_scan.json)."""
+    update_bench_json(
+        "scan_kernel",
+        {
+            "config": {
+                "n_rows": comparison["n_rows"],
+                "n_nodes": comparison["n_nodes"],
+                "repeats": REPEATS,
+                "smoke": smoke,
+            },
+            "kernel_rows_per_sec": comparison["kernel"]["rows_per_sec"],
+            "per_row_rows_per_sec": comparison["per-row"]["rows_per_sec"],
+            "speedup": comparison["speedup"],
+            "min_speedup": MIN_SPEEDUP,
+            "cpu_count": os.cpu_count(),
+        },
+    )
+
+
 def report(comparison):
     table = render_table(
         ["scan loop", "rows/s", "wall (s)", "matcher evals"],
@@ -182,6 +202,7 @@ def report(comparison):
 def bench_scan_kernel(benchmark):
     comparison = benchmark.pedantic(run_ab, rounds=1, iterations=1)
     write_report("scan_kernel", report(comparison))
+    record_json(comparison)
     assert comparison["speedup"] >= MIN_SPEEDUP
 
 
@@ -197,6 +218,7 @@ def main(argv=None):
     n_rows = min(args.rows, 5_000) if args.smoke else args.rows
     comparison = run_ab(n_rows)
     write_report("scan_kernel", report(comparison))
+    record_json(comparison, smoke=args.smoke)
     if not args.smoke and comparison["speedup"] < MIN_SPEEDUP:
         print(
             f"FAIL: kernel speedup {comparison['speedup']:.2f}x "

@@ -15,6 +15,7 @@ the paper's Section 5.  The harness gives them a common vocabulary:
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass, field
@@ -187,4 +188,31 @@ def write_report(name, text):
     path = os.path.join(results_dir(), f"{name}.txt")
     with open(path, "w") as handle:
         handle.write(text + "\n")
+    return path
+
+
+def update_bench_json(section, payload, filename="BENCH_scan.json"):
+    """Merge one benchmark's machine-readable results into a shared
+    JSON file under benchmarks/results/.
+
+    The file is one JSON object with one key per benchmark
+    (``section``), so successive benchmarks — and successive PRs —
+    accumulate a perf trajectory that tooling can diff, while a rerun
+    of one benchmark only replaces its own section.  Corrupt or
+    missing files are replaced rather than fatal.
+    """
+    path = os.path.join(results_dir(), filename)
+    data = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            if not isinstance(data, dict):
+                data = {}
+        except (ValueError, OSError):
+            data = {}
+    data[section] = payload
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path

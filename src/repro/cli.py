@@ -94,6 +94,16 @@ def _build_parser():
                           "matcher loop instead of the compiled kernel")
     fit.add_argument("--scan-chunk-rows", type=int, default=1024,
                      help="rows per scan chunk for buffered staging I/O")
+    fit.add_argument("--scan-workers", type=int, default=None,
+                     help="worker tasks per scan (default: "
+                          "$REPRO_SCAN_WORKERS or 1 = serial)")
+    fit.add_argument("--scan-pool", choices=("thread", "process"),
+                     default=None,
+                     help="worker pool kind for parallel scans "
+                          "(default: thread)")
+    fit.add_argument("--scan-parallel-min-rows", type=int, default=None,
+                     help="scans under this many source rows stay "
+                          "serial (default: 2048)")
     fit.add_argument("--out", default=None, help="write the model as JSON")
     fit.add_argument("--render-depth", type=int, default=None,
                      help="print the tree down to this depth")
@@ -176,6 +186,14 @@ def _cmd_fit(args):
         "scan_kernel": not args.no_scan_kernel,
         "scan_chunk_rows": args.scan_chunk_rows,
     }
+    # Only forward parallel-scan flags the user actually set, so the
+    # config's own defaults (including $REPRO_SCAN_WORKERS) apply.
+    if args.scan_workers is not None:
+        scan_options["scan_workers"] = args.scan_workers
+    if args.scan_pool is not None:
+        scan_options["scan_pool"] = args.scan_pool
+    if args.scan_parallel_min_rows is not None:
+        scan_options["scan_parallel_min_rows"] = args.scan_parallel_min_rows
     if args.no_staging:
         config = MiddlewareConfig.no_staging(args.memory, **scan_options)
     else:

@@ -223,7 +223,15 @@ class CCTable:
         return out
 
     def merge(self, other):
-        """Fold ``other``'s counts into this table (same shape required)."""
+        """Fold ``other``'s counts into this table (same shape required).
+
+        CC tables are purely additive: counts built over disjoint row
+        partitions merge *exactly*, and merging is commutative and
+        associative, so per-worker partials from a parallel scan can be
+        absorbed in any completion order and still equal the serial
+        count.  This is the contract the parallel scan executor (and
+        :meth:`merged`) relies on.  Returns ``self``.
+        """
         if (other.attributes != self.attributes
                 or other.n_classes != self.n_classes):
             raise MiddlewareError("cannot merge CC tables of different shape")
@@ -238,6 +246,19 @@ class CCTable:
         for class_label, count in enumerate(other._class_totals):
             self._class_totals[class_label] += count
         return self
+
+    @classmethod
+    def merged(cls, attributes, n_classes, partials):
+        """Sum of additive partial tables (the parallel-scan merge).
+
+        Builds one table of the given shape and folds every partial
+        in; by the :meth:`merge` contract the result is independent of
+        the order of ``partials``.
+        """
+        total = cls(attributes, n_classes)
+        for partial in partials:
+            total.merge(partial)
+        return total
 
     def __eq__(self, other):
         return (

@@ -11,13 +11,38 @@ Section 4.3.3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 from ..common.errors import MiddlewareError
 
 #: Server-access strategy names (Section 4.3.3); "scan" is the default
 #: plain filtered cursor the paper's system uses.
 AUX_STRATEGIES = ("scan", "temp_table", "tid_join", "keyset")
+
+#: Worker-pool kinds for the parallel scan executor.  Threads are the
+#: default (cheap, shares the routing kernel in place); the process
+#: pool sidesteps the GIL for CPU-bound routing at the price of
+#: pickling partitions and partial CC tables across the boundary.
+SCAN_POOLS = ("thread", "process")
+
+
+def _default_scan_workers():
+    """Default scan worker count: ``$REPRO_SCAN_WORKERS``, else 1.
+
+    The environment override lets a whole test or CI run opt into the
+    parallel scan executor without touching any call site (the CI
+    matrix runs the tier-1 suite once serial and once with 4 workers).
+    """
+    raw = os.environ.get("REPRO_SCAN_WORKERS", "").strip()
+    if not raw:
+        return 1
+    try:
+        return int(raw)
+    except ValueError:
+        raise MiddlewareError(
+            f"REPRO_SCAN_WORKERS must be an integer, got {raw!r}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -58,6 +83,21 @@ class MiddlewareConfig:
     #: Rows per scan chunk: staging writes and memory capture are
     #: buffered and flushed at this granularity.
     scan_chunk_rows: int = 1024
+    #: Worker tasks per scan.  1 (the default, overridable through
+    #: ``$REPRO_SCAN_WORKERS``) keeps the serial loops; >1 partitions
+    #: the row source and counts private per-node CC partials in a
+    #: worker pool, merging them afterwards — CC tables are additive,
+    #: so partial counts over disjoint partitions merge exactly.
+    scan_workers: int = field(default_factory=_default_scan_workers)
+    #: Worker-pool kind for the parallel executor: one of
+    #: :data:`SCAN_POOLS`.  "thread" is the low-overhead default;
+    #: "process" pays serialization to escape the GIL on CPU-bound
+    #: routing workloads.
+    scan_pool: str = "thread"
+    #: Scans over fewer source rows than this stay serial even when
+    #: ``scan_workers`` > 1 — pool startup and merge overhead dominate
+    #: tiny scans.
+    scan_parallel_min_rows: int = 2048
 
     def __post_init__(self):
         if self.memory_bytes < 0:
@@ -79,6 +119,16 @@ class MiddlewareConfig:
             raise MiddlewareError("file_budget_bytes must be non-negative")
         if self.scan_chunk_rows < 1:
             raise MiddlewareError("scan_chunk_rows must be positive")
+        if self.scan_workers < 1:
+            raise MiddlewareError("scan_workers must be at least 1")
+        if self.scan_pool not in SCAN_POOLS:
+            raise MiddlewareError(
+                f"scan_pool must be one of {SCAN_POOLS}"
+            )
+        if self.scan_parallel_min_rows < 0:
+            raise MiddlewareError(
+                "scan_parallel_min_rows must be non-negative"
+            )
 
     @classmethod
     def no_staging(cls, memory_bytes, **overrides):

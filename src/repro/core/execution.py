@@ -21,9 +21,24 @@ Two scan loops implement the routing:
   matcher closure is evaluated against every row.  It is kept as the
   equivalence baseline behind ``config.scan_kernel = False``.
 
+When ``config.scan_workers`` > 1 (and the source is large enough),
+the kernel loop runs **partitioned**: the row source is cut into
+ordered partitions, a worker pool (threads by default, processes via
+``config.scan_pool``) routes each partition through the same compiled
+kernel into *private* per-node CC partials, and the coordinator merges
+the partials into the real CC tables — CC tables are additive count
+structures, so partial counts over disjoint partitions merge exactly.
+Staged rows funnel through a single
+:class:`~repro.core.staging.PipelinedStagingWriter` in partition
+order, overlapping block flushes with counting and keeping staged
+files bit-identical to a serial scan's.  Memory overflow (below) is
+detected on the *merged* sizes in batch order, so recovery decisions
+are deterministic for any worker count.
+
 Every scan records profiling counters on :class:`ScanStats` — wall
-time, rows/sec, matcher-evaluation counts, and which loop ran — which
-the middleware copies onto the session trace.
+time, rows/sec, matcher-evaluation counts, which loop ran, worker
+count and merge time — which the middleware copies onto the session
+trace.
 
 Runtime memory errors are handled as in Section 4.1.1.  When a node's
 CC table outgrows what can be reserved there are two recoveries:
@@ -44,6 +59,7 @@ CC table outgrows what can be reserved there are two recoveries:
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from itertools import islice
 
@@ -53,7 +69,7 @@ from .filters import RoutingKernel, batch_filter
 from .requests import CountsResult
 from .scheduler import _cc_tag
 from .sql_counting import counts_via_sql
-from .staging import DataLocation
+from .staging import DataLocation, PipelinedStagingWriter
 
 
 @dataclass
@@ -75,6 +91,12 @@ class ScanStats:
     matcher_evals: int = 0
     #: True when the compiled routing kernel ran (False = per-row loop).
     kernel: bool = False
+    #: Worker tasks that counted this scan (1 = one of the serial loops).
+    workers: int = 1
+    #: Wall-clock seconds merging per-worker CC partials (parallel only).
+    merge_seconds: float = 0.0
+    #: Per-partition counting seconds as reported by the workers.
+    worker_seconds: list = field(default_factory=list)
 
     @property
     def rows_per_sec(self):
@@ -101,6 +123,8 @@ class ExecutionStats:
     wall_seconds: float = 0.0
     matcher_evals: int = 0
     kernel_scans: int = 0
+    parallel_scans: int = 0
+    merge_seconds: float = 0.0
 
     def absorb(self, scan):
         self.scans_by_mode[scan.mode] += 1
@@ -114,6 +138,8 @@ class ExecutionStats:
         self.wall_seconds += scan.wall_seconds
         self.matcher_evals += scan.matcher_evals
         self.kernel_scans += scan.kernel
+        self.parallel_scans += scan.workers > 1
+        self.merge_seconds += scan.merge_seconds
 
     @property
     def total_scans(self):
@@ -125,6 +151,64 @@ class ExecutionStats:
         if self.wall_seconds <= 0.0:
             return 0.0
         return self.rows_seen / self.wall_seconds
+
+
+# -- parallel scan workers ---------------------------------------------------
+#
+# The routing context is installed once per worker (thread or process)
+# by the pool initializer rather than shipped with every partition, so
+# a process pool pickles the compiled kernel W times, not once per
+# partition.  Only one scan runs at a time per middleware process, so a
+# module-level slot is safe for thread pools too.
+
+_WORKER_CTX = None
+
+
+def _init_scan_worker(kernel, slots, class_index, n_classes):
+    global _WORKER_CTX
+    _WORKER_CTX = (kernel, slots, class_index, n_classes)
+
+
+def _count_partition(seq, rows, stage_nodes, capture_nodes):
+    """Count one row partition against the installed routing context.
+
+    Runs inside a worker.  Returns only additive, order-independent
+    state — per-slot CC partials, the routed-row count, and the rows
+    destined for each staging target — so the coordinator can merge
+    partials in any completion order and apply staging output in
+    partition (``seq``) order.  The worker never touches the memory
+    budget, the cost meter, or any file: those stay single-threaded.
+    """
+    kernel, slots, class_index, n_classes = _WORKER_CTX
+    started = time.perf_counter()
+    partials = [
+        CCTable(attributes, n_classes) for _, attributes, _ in slots
+    ]
+    writes = {node_id: [] for node_id in stage_nodes}
+    captures = {node_id: [] for node_id in capture_nodes}
+    route = kernel.route
+    routed = 0
+    for row in rows:
+        mask = route(row)
+        if not mask:
+            continue
+        routed += 1
+        while mask:
+            low_bit = mask & -mask
+            mask ^= low_bit
+            slot = low_bit.bit_length() - 1
+            node_id, _, attr_positions = slots[slot]
+            partials[slot].count_row_at(
+                row, attr_positions, row[class_index]
+            )
+            buffer = writes.get(node_id)
+            if buffer is not None:
+                buffer.append(row)
+            buffer = captures.get(node_id)
+            if buffer is not None:
+                buffer.append(row)
+    return seq, partials, routed, writes, captures, \
+        time.perf_counter() - started
 
 
 class _NodeCount:
@@ -184,7 +268,13 @@ class ExecutionModule:
         started = time.perf_counter()
         try:
             row_iter = self._rows_for(schedule, scan)
-            if self._config.scan_kernel:
+            workers = self._parallel_workers(schedule)
+            if workers > 1:
+                self._count_rows_parallel(
+                    row_iter, states, file_writers, memory_capture, scan,
+                    workers, self._partition_rows(schedule, workers),
+                )
+            elif self._config.scan_kernel:
                 self._count_rows_kernel(
                     row_iter, states, file_writers, memory_capture, scan
                 )
@@ -271,6 +361,43 @@ class ExecutionModule:
                 targets.append(node_id)
                 planned += n_rows
         return {node_id: staging.open_file(node_id) for node_id in targets}
+
+    def _source_rows(self, schedule):
+        """Rows the scan is expected to read, known before it runs.
+
+        Exact for staged sources; for server scans it is the batch's
+        relevant-row total (an underestimate without filter push-down,
+        which only makes the parallel gate conservative).
+        """
+        staging = self._staging
+        if schedule.mode is DataLocation.MEMORY:
+            return len(staging.memory_rows(schedule.source_node))
+        if schedule.mode is DataLocation.FILE:
+            return staging.file_for(schedule.source_node).row_count
+        return sum(request.n_rows for request in schedule.batch)
+
+    def _parallel_workers(self, schedule):
+        """Worker count for this scan (1 = stay on a serial loop).
+
+        The parallel path is a kernel-loop variant, so the per-row
+        reference loop (``scan_kernel=False``) always stays serial;
+        scans below ``scan_parallel_min_rows`` stay serial because
+        pool startup and merge overhead would dominate them.
+        """
+        config = self._config
+        if config.scan_workers <= 1 or not config.scan_kernel:
+            return 1
+        if self._source_rows(schedule) < config.scan_parallel_min_rows:
+            return 1
+        return config.scan_workers
+
+    def _partition_rows(self, schedule, n_workers):
+        """Partition size: ~2 partitions per worker, but never smaller
+        than a serial scan chunk (tiny partitions would be all task
+        overhead, and with a process pool all pickling)."""
+        estimated = self._source_rows(schedule)
+        per_partition = -(-estimated // (n_workers * 2)) if estimated else 0
+        return max(self._config.scan_chunk_rows, per_partition)
 
     def _rows_for(self, schedule, scan):
         """The row iterator for the schedule's data source."""
@@ -362,6 +489,106 @@ class ExecutionModule:
                 if rows:
                     memory_capture[node_id].extend(rows)
                     rows.clear()
+
+    def _count_rows_parallel(self, row_iter, states, file_writers,
+                             memory_capture, scan, n_workers,
+                             partition_rows):
+        """Partitioned scan through a worker pool (the parallel path).
+
+        The coordinator cuts the row source into ordered partitions
+        and feeds them to ``n_workers`` pool workers, each of which
+        routes its rows through the shared compiled kernel into
+        *private* per-node CC partials.  Completed partials are merged
+        into the real CC tables here (additive counts merge exactly),
+        while staged rows funnel through one
+        :class:`~repro.core.staging.PipelinedStagingWriter` strictly in
+        partition order — staged files and memory captures come out
+        bit-identical to a serial scan's, and flushes overlap counting.
+
+        §4.1.1 overflow is *not* checked row-by-row: workers count
+        unconditionally and the merged sizes are admitted against the
+        budget afterwards, in batch order.  Deferral / SQL-fallback
+        decisions therefore depend only on the merged result, never on
+        worker count or partition boundaries.  (Deferred nodes get
+        their estimate raised to the exact pair count, so the next
+        admission reserves precisely.)
+
+        The row source is consumed on this thread, so simulated
+        per-row meter charges accumulate exactly as in a serial scan.
+        """
+        scan.kernel = True
+        scan.workers = n_workers
+        kernel = RoutingKernel(
+            [state.request.conditions for state in states],
+            self._attr_index,
+        )
+        slots = tuple(
+            (state.request.node_id, state.request.attributes,
+             state.attr_positions)
+            for state in states
+        )
+        n_probes = kernel.n_probes
+        stage_nodes = tuple(file_writers)
+        capture_nodes = tuple(memory_capture)
+        pool_cls = (
+            ProcessPoolExecutor if self._config.scan_pool == "process"
+            else ThreadPoolExecutor
+        )
+
+        writer = None
+        if stage_nodes or capture_nodes:
+            writer = PipelinedStagingWriter(file_writers, memory_capture)
+        try:
+            with pool_cls(
+                max_workers=n_workers,
+                initializer=_init_scan_worker,
+                initargs=(kernel, slots, self._class_index,
+                          self._spec.n_classes),
+            ) as pool:
+                futures = []
+                seq = 0
+                while True:
+                    partition = list(islice(row_iter, partition_rows))
+                    if not partition:
+                        break
+                    scan.rows_seen += len(partition)
+                    scan.matcher_evals += n_probes * len(partition)
+                    futures.append(
+                        pool.submit(_count_partition, seq, partition,
+                                    stage_nodes, capture_nodes)
+                    )
+                    seq += 1
+                for future in futures:
+                    (_, partials, routed, writes, captures,
+                     seconds) = future.result()
+                    scan.rows_routed += routed
+                    scan.worker_seconds.append(seconds)
+                    merge_started = time.perf_counter()
+                    for state, partial in zip(states, partials):
+                        state.cc.merge(partial)
+                    scan.merge_seconds += (
+                        time.perf_counter() - merge_started
+                    )
+                    if writer is not None:
+                        writer.put(writes, captures)
+        except BaseException:
+            if writer is not None:
+                writer.abort()
+            raise
+        if writer is not None:
+            writer.close()
+
+        # Deterministic §4.1.1 admission on the merged sizes.
+        budget = self._budget
+        for state in states:
+            needed = state.cc.size_bytes
+            if needed > state.reserved:
+                deficit = needed - state.reserved
+                if budget.try_reserve(_cc_tag(state.request.node_id),
+                                      deficit):
+                    state.reserved = needed
+                else:
+                    self._abandon(state, states, scan)
 
     def _count_rows(self, row_iter, matchers, file_writers, memory_capture,
                     scan):

@@ -115,6 +115,8 @@ class Middleware:
                 rows_per_sec=scan.rows_per_sec,
                 matcher_evals=scan.matcher_evals,
                 kernel=scan.kernel,
+                workers=scan.workers,
+                merge_seconds=scan.merge_seconds,
             )
         )
         return results
@@ -159,6 +161,10 @@ class Middleware:
             f"  rows: {stats.rows_seen:,} seen, "
             f"{stats.rows_routed:,} routed",
             f"  scan loop: {stats.kernel_scans}/{stats.batches} kernelized, "
+            f"{stats.parallel_scans} parallel "
+            f"({self.config.scan_workers} workers, "
+            f"{self.config.scan_pool} pool, "
+            f"{stats.merge_seconds:.4f}s merging), "
             f"{stats.rows_per_sec:,.0f} rows/s, "
             f"{stats.matcher_evals:,} matcher evals",
             f"  recoveries: {stats.deferrals} deferrals, "

@@ -14,6 +14,16 @@ perform, applying the paper's rules in order:
 * **Rule 4** — only scheduled nodes' data qualifies for staging.
 * **Rule 5** — stage the largest data set that fits.
 * **Rule 6** — server→file staging precedes file→memory staging.
+
+Cost-model note for the parallel scan executor: every quantity the
+scheduler reasons about — simulated per-row tier costs, CC-size
+estimates, memory and file budgets — is independent of how many
+workers the execution module spreads a scan across.  Parallelism
+changes wall-clock time only; the meter still charges per row on the
+coordinator thread, so tier orderings, admission decisions and staging
+plans are identical at any ``config.scan_workers`` setting.  That is
+deliberate: it keeps plans (and therefore traces and costs)
+reproducible across machines with different core counts.
 """
 
 from __future__ import annotations

@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import enum
 import os
+import queue
 import struct
 import tempfile
+import threading
 
 from ..common.errors import StagingError
 
@@ -64,6 +66,8 @@ class StagedFile:
         self._handle = open(path, "wb")
         self._writing = True
         self._buffer = []
+        #: Scans currently iterating this file (guards `delete`).
+        self._active_scans = 0
 
     @property
     def path(self):
@@ -110,12 +114,25 @@ class StagedFile:
             )
 
     def scan(self):
-        """Yield all rows; charges per-row file-read cost."""
+        """Yield all rows; charges per-row file-read cost.
+
+        Determinism guards: the file must be sealed first (every scan
+        of a staged file sees exactly the committed ``row_count`` rows,
+        never a torn prefix), and a sealed file can never carry
+        unflushed rows.  Several scans may iterate concurrently — each
+        opens its own handle and meters its own rows — but the file
+        cannot be deleted while any of them is active.
+        """
         if self._writing:
             raise StagingError("seal the file before scanning it")
+        if self._buffer:
+            raise StagingError(
+                "sealed staging file still holds unflushed rows"
+            )
         record = self._struct
         block = record.size * self.BLOCK_ROWS
         rows_read = 0
+        self._active_scans += 1
         try:
             with open(self._path, "rb") as handle:
                 while True:
@@ -129,6 +146,7 @@ class StagedFile:
                     if len(chunk) < block:
                         break
         finally:
+            self._active_scans -= 1
             self._meter.charge(
                 "file_read",
                 self._model.file_row_io * rows_read,
@@ -137,6 +155,11 @@ class StagedFile:
 
     def delete(self):
         """Remove the file from disk."""
+        if self._active_scans:
+            raise StagingError(
+                f"cannot delete {self._path!r}: "
+                f"{self._active_scans} scan(s) still active"
+            )
         if self._writing:
             self._buffer.clear()
             self._handle.close()
@@ -148,6 +171,88 @@ class StagedFile:
         return (
             f"StagedFile(owner={self.owner_node!r}, rows={self._row_count})"
         )
+
+
+class PipelinedStagingWriter:
+    """Single-writer funnel for a parallel scan's staging output.
+
+    Scan workers never touch staging files.  The scan coordinator
+    queues each partition's staged rows here *in partition order*, and
+    one background thread appends them to the staging files and
+    memory-capture lists while later partitions are still being
+    counted — block flushes overlap counting instead of serializing
+    behind it.  Ordered submission keeps staged files bit-identical to
+    a serial scan's.
+
+    The queue is bounded (default depth 2 — double buffering: one
+    block being flushed, one queued behind it), so a slow disk applies
+    backpressure to the scan instead of buffering unbounded rows.
+
+    Writer-thread failures are captured and re-raised on the next
+    :meth:`put` or at :meth:`close`; once an error is recorded the
+    thread keeps draining the queue without writing, so producers are
+    never left blocked on a full queue.
+    """
+
+    _STOP = object()
+
+    def __init__(self, file_writers, memory_capture, depth=2):
+        self._file_writers = file_writers
+        self._memory_capture = memory_capture
+        self._queue = queue.Queue(maxsize=max(1, depth))
+        self._error = None
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._drain, name="staging-writer", daemon=True
+        )
+        self._thread.start()
+
+    def put(self, file_rows, capture_rows):
+        """Queue one partition's staged rows.
+
+        ``file_rows`` / ``capture_rows`` map node_id -> row list; the
+        caller must submit partitions in scan order.
+        """
+        if self._error is not None:
+            raise self._error
+        if self._closed:
+            raise StagingError("staging writer is already closed")
+        if file_rows or capture_rows:
+            self._queue.put((file_rows, capture_rows))
+
+    def _drain(self):
+        while True:
+            item = self._queue.get()
+            if item is self._STOP:
+                return
+            if self._error is not None:
+                continue  # keep draining so producers never block
+            file_rows, capture_rows = item
+            try:
+                for node_id, rows in file_rows.items():
+                    if rows:
+                        self._file_writers[node_id].append_rows(rows)
+                for node_id, rows in capture_rows.items():
+                    if rows:
+                        self._memory_capture[node_id].extend(rows)
+            except BaseException as exc:  # surfaced to the producer
+                self._error = exc
+
+    def close(self):
+        """Flush everything and surface any writer-thread error."""
+        self._shutdown()
+        if self._error is not None:
+            raise self._error
+
+    def abort(self):
+        """Stop without raising (the scan is already failing)."""
+        self._shutdown()
+
+    def _shutdown(self):
+        if not self._closed:
+            self._closed = True
+            self._queue.put(self._STOP)
+            self._thread.join()
 
 
 class StagingManager:

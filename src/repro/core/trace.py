@@ -36,6 +36,10 @@ class ScheduleRecord:
     matcher_evals: int = 0
     #: True when the compiled routing kernel ran this scan.
     kernel: bool = False
+    #: Worker tasks that counted the scan (1 = a serial loop).
+    workers: int = 1
+    #: Seconds spent merging per-worker CC partials (parallel scans).
+    merge_seconds: float = 0.0
 
     def __str__(self):
         actions = []
@@ -53,6 +57,8 @@ class ScheduleRecord:
         profile = ""
         if self.wall_seconds > 0.0:
             loop = "kernel" if self.kernel else "per-row"
+            if self.workers > 1:
+                loop += f" x{self.workers}w"
             profile = f" {self.rows_per_sec:,.0f} rows/s ({loop})"
         return (
             f"#{self.sequence} {self.mode}"

@@ -118,6 +118,58 @@ class TestSingleScanCounting:
                 mw.process_next_batch()
 
 
+class _SpyStrategy:
+    """Wraps a server-access strategy, recording row-request predicates."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.predicates = []
+
+    def rows(self, predicate, relevant):
+        self.predicates.append(predicate)
+        return self._inner.rows(predicate, relevant)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestRowSources:
+    """`_rows_for` contracts: metering and filter push-down wiring."""
+
+    def test_memory_scan_meters_one_read_per_row(self):
+        rows = dataset_rows()
+        server = make_server(rows)
+        with middleware_for(server, file_staging=False) as mw:
+            mw.queue_request(root_request(rows))
+            mw.process_next_batch()  # stages all rows into memory
+            before = server.meter.counts["memory_read"]
+            charge_before = server.meter.charges["memory_read"]
+            mw.queue_request(child_request("n0", 0, rows))
+            mw.process_next_batch()  # served from root's memory set
+            # Exactly one metered read event per source row, priced at
+            # the model's per-row memory rate.
+            assert server.meter.counts["memory_read"] - before == len(rows)
+            assert server.meter.charges["memory_read"] - charge_before == \
+                pytest.approx(server.model.memory_row * len(rows))
+
+    def test_push_filters_off_sends_no_predicate(self):
+        rows = dataset_rows()
+        for push in (True, False):
+            server = make_server(rows)
+            with middleware_for(server, file_staging=False,
+                                memory_staging=False,
+                                push_filters=push) as mw:
+                spy = _SpyStrategy(mw.execution._strategy)
+                mw.execution._strategy = spy
+                mw.queue_request(child_request("n0", 0, rows))
+                mw.process_next_batch()
+            assert len(spy.predicates) == 1
+            if push:
+                assert spy.predicates[0] is not None
+            else:
+                assert spy.predicates[0] is None
+
+
 class TestFilterPushdown:
     def test_pushdown_reduces_transfer(self):
         rows = dataset_rows()

@@ -1,0 +1,396 @@
+"""Unit tests for the parallel partitioned scan executor.
+
+The parallel path (`ExecutionModule._count_rows_parallel`) must be a
+pure wall-clock optimisation: for any worker count and pool kind it has
+to produce the same CC tables, the same staged files (bit-identical),
+the same memory captures, the same overflow recoveries, the same meter
+charges and the same fitted trees as the serial kernel loop.  These
+tests force the parallel path onto tiny data sets with
+``scan_parallel_min_rows=0`` and small partitions so several workers
+genuinely share each scan.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.client.baselines import build_cc_from_rows
+from repro.client.decision_tree import DecisionTreeClassifier
+from repro.common.cost import CostMeter, CostModel
+from repro.common.errors import MiddlewareError, StagingError
+from repro.common.memory import MemoryBudget
+from repro.core.config import MiddlewareConfig
+from repro.core.filters import PathCondition
+from repro.core.middleware import Middleware
+from repro.core.requests import CountsRequest
+from repro.core.staging import PipelinedStagingWriter, StagingManager
+from repro.datagen.dataset import DatasetSpec
+from repro.datagen.loader import load_dataset
+from repro.datagen.random_tree import RandomTreeConfig, build_random_tree
+from repro.sqlengine.database import SQLServer
+
+from ..conftest import tree_signature
+
+SPEC = DatasetSpec([3, 3], 3)
+
+#: Overrides that force the parallel path onto the 27-row data set:
+#: no minimum-size gate, and partitions of at most 4 rows so every
+#: worker count under test actually splits the scan.
+PARALLEL = {"scan_parallel_min_rows": 0, "scan_chunk_rows": 4}
+
+
+def dataset_rows():
+    rows = []
+    label = 0
+    for a1 in range(3):
+        for a2 in range(3):
+            for _ in range(a1 + a2 + 1):
+                rows.append((a1, a2, label % 3))
+                label += 1
+    return rows
+
+
+def make_server(rows):
+    server = SQLServer()
+    load_dataset(server, "data", SPEC, rows)
+    return server
+
+
+def root_request(rows):
+    return CountsRequest(
+        node_id="root",
+        lineage=("root",),
+        conditions=(),
+        attributes=("A1", "A2"),
+        n_rows=len(rows),
+        est_cc_pairs=6,
+    )
+
+
+def child_request(node_id, value, rows, est_cc_pairs=3):
+    subset = [r for r in rows if r[0] == value]
+    return CountsRequest(
+        node_id=node_id,
+        lineage=("root", node_id),
+        conditions=(PathCondition("A1", "=", value),),
+        attributes=("A2",),
+        n_rows=len(subset),
+        est_cc_pairs=est_cc_pairs,
+    )
+
+
+def frontier_results(**config_overrides):
+    rows = dataset_rows()
+    server = make_server(rows)
+    config_overrides.setdefault("memory_bytes", 100_000)
+    with Middleware(
+        server, "data", SPEC, MiddlewareConfig(**config_overrides)
+    ) as mw:
+        for value in range(3):
+            mw.queue_request(child_request(f"n{value}", value, rows))
+        results = {}
+        while mw.pending:
+            for result in mw.process_next_batch():
+                results[result.node_id] = result
+        return results, mw.trace, server.meter.total
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_frontier_counts_identical_to_serial(self, workers):
+        parallel, _, _ = frontier_results(scan_workers=workers, **PARALLEL)
+        rows = dataset_rows()
+        for value in range(3):
+            subset = [r for r in rows if r[0] == value]
+            reference = build_cc_from_rows(subset, SPEC, ("A2",))
+            assert parallel[f"n{value}"].cc == reference
+            assert not parallel[f"n{value}"].used_sql_fallback
+
+    def test_process_pool_counts_identical(self):
+        results, _, _ = frontier_results(
+            scan_workers=2, scan_pool="process", **PARALLEL
+        )
+        rows = dataset_rows()
+        for value in range(3):
+            subset = [r for r in rows if r[0] == value]
+            assert results[f"n{value}"].cc == build_cc_from_rows(
+                subset, SPEC, ("A2",)
+            )
+
+    def test_meter_charges_identical_to_serial(self):
+        # Simulated costs accrue on the coordinator thread, so the
+        # scheduler sees identical economics at any worker count.
+        _, _, serial_cost = frontier_results(scan_workers=1, **PARALLEL)
+        _, _, parallel_cost = frontier_results(scan_workers=4, **PARALLEL)
+        assert parallel_cost == pytest.approx(serial_cost)
+
+    def _staged_root_bytes(self, workers):
+        rows = dataset_rows()
+        server = make_server(rows)
+        config = MiddlewareConfig(
+            memory_bytes=100_000,
+            memory_staging=False,
+            scan_workers=workers,
+            **PARALLEL,
+        )
+        with Middleware(server, "data", SPEC, config) as mw:
+            mw.queue_request(root_request(rows))
+            mw.process_next_batch()
+            staged = mw.staging.file_for("root")
+            assert list(staged.scan()) == rows
+            with open(staged.path, "rb") as handle:
+                return handle.read()
+
+    def test_staged_file_bit_identical_to_serial(self):
+        serial = self._staged_root_bytes(1)
+        for workers in (2, 4):
+            assert self._staged_root_bytes(workers) == serial
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_memory_capture_identical_to_serial(self, workers):
+        rows = dataset_rows()
+        server = make_server(rows)
+        config = MiddlewareConfig(
+            memory_bytes=100_000,
+            file_staging=False,
+            scan_workers=workers,
+            **PARALLEL,
+        )
+        with Middleware(server, "data", SPEC, config) as mw:
+            mw.queue_request(root_request(rows))
+            mw.process_next_batch()
+            assert mw.staging.memory_rows("root") == rows
+
+    def test_full_fit_grows_identical_tree(self):
+        generating = build_random_tree(
+            RandomTreeConfig(
+                n_attributes=6,
+                values_per_attribute=3,
+                n_classes=3,
+                n_leaves=8,
+                cases_per_leaf=12,
+                seed=17,
+            )
+        )
+        trees = {}
+        for workers in (1, 4):
+            server = SQLServer()
+            load_dataset(
+                server, "data", generating.spec, generating.materialize()
+            )
+            config = MiddlewareConfig(
+                memory_bytes=50_000, scan_workers=workers, **PARALLEL
+            )
+            with Middleware(server, "data", generating.spec, config) as mw:
+                classifier = DecisionTreeClassifier()
+                classifier.fit(mw)
+                trees[workers] = classifier.tree
+        assert tree_signature(trees[1].root) == tree_signature(
+            trees[4].root
+        )
+
+
+class TestParallelOverflow:
+    """§4.1.1 recovery must not depend on the worker count."""
+
+    def overflow_results(self, workers):
+        rows = dataset_rows()
+        server = make_server(rows)
+        # Underestimates (1 pair each) admit all three nodes at once,
+        # but the budget cannot hold their real CC tables.
+        config = MiddlewareConfig(
+            memory_bytes=100,
+            file_staging=False,
+            memory_staging=False,
+            scan_workers=workers,
+            **PARALLEL,
+        )
+        with Middleware(server, "data", SPEC, config) as mw:
+            for value in range(3):
+                mw.queue_request(
+                    child_request(f"n{value}", value, rows, est_cc_pairs=1)
+                )
+            outcomes = []
+            results = {}
+            while mw.pending:
+                for result in mw.process_next_batch():
+                    results[result.node_id] = result
+                scan = mw.execution.last_scan
+                outcomes.append(
+                    (scan.deferrals, scan.sql_fallbacks, scan.nodes_served)
+                )
+            stats = (mw.stats.deferrals, mw.stats.sql_fallbacks,
+                     mw.stats.batches)
+        return results, outcomes, stats
+
+    def test_recovery_deterministic_across_worker_counts(self):
+        # Per-scan recovery decisions depend only on the merged sizes,
+        # so every parallel worker count takes the identical path.  The
+        # serial kernel is not scan-for-scan identical — it abandons
+        # mid-scan with a partial pair count as the corrected estimate,
+        # where the parallel path abandons post-merge with the exact
+        # count — but its final counts must match exactly.
+        serial_results, _, serial_stats = self.overflow_results(1)
+        assert serial_stats[0] >= 1  # the scenario really overflows
+        reference_results, reference_outcomes, reference_stats = \
+            self.overflow_results(2)
+        assert reference_outcomes[0][0] >= 1  # parallel overflows too
+        rows = dataset_rows()
+        references = {
+            f"n{value}": build_cc_from_rows(
+                [r for r in rows if r[0] == value], SPEC, ("A2",)
+            )
+            for value in range(3)
+        }
+        for workers in (4, 8):
+            results, outcomes, stats = self.overflow_results(workers)
+            assert outcomes == reference_outcomes
+            assert stats == reference_stats
+            for node_id, reference in references.items():
+                assert results[node_id].cc == reference
+        for node_id, reference in references.items():
+            assert serial_results[node_id].cc == reference
+            assert reference_results[node_id].cc == reference
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_solo_overflow_falls_back_to_sql(self, workers):
+        rows = dataset_rows()
+        server = make_server(rows)
+        config = MiddlewareConfig(
+            memory_bytes=8,
+            file_staging=False,
+            memory_staging=False,
+            scan_workers=workers,
+            **PARALLEL,
+        )
+        with Middleware(server, "data", SPEC, config) as mw:
+            mw.queue_request(root_request(rows))
+            (result,) = mw.process_next_batch()
+            assert mw.stats.deferrals == 0
+        assert result.used_sql_fallback
+        assert result.cc == build_cc_from_rows(rows, SPEC, ("A1", "A2"))
+
+
+class TestParallelProfiling:
+    def test_trace_records_worker_profile(self):
+        _, trace, _ = frontier_results(scan_workers=2, **PARALLEL)
+        record = trace[0]
+        assert record.kernel
+        assert record.workers == 2
+        assert record.merge_seconds >= 0.0
+        assert "x2w" in str(record)
+
+    def test_stats_count_parallel_scans(self):
+        rows = dataset_rows()
+        server = make_server(rows)
+        config = MiddlewareConfig(
+            memory_bytes=100_000, scan_workers=2, **PARALLEL
+        )
+        with Middleware(server, "data", SPEC, config) as mw:
+            mw.queue_request(root_request(rows))
+            mw.process_next_batch()
+            scan = mw.execution.last_scan
+            assert scan.workers == 2
+            assert len(scan.worker_seconds) >= 2  # several partitions ran
+            assert mw.stats.parallel_scans == 1
+            report = mw.report()
+        assert "parallel" in report
+        assert "2 workers" in report
+
+    def test_small_scans_stay_serial(self):
+        # 27 rows is far below the default scan_parallel_min_rows gate.
+        rows = dataset_rows()
+        server = make_server(rows)
+        config = MiddlewareConfig(memory_bytes=100_000, scan_workers=4)
+        with Middleware(server, "data", SPEC, config) as mw:
+            mw.queue_request(root_request(rows))
+            mw.process_next_batch()
+            assert mw.execution.last_scan.workers == 1
+            assert mw.stats.parallel_scans == 0
+
+    def test_per_row_loop_never_parallelizes(self):
+        results, trace, _ = frontier_results(
+            scan_workers=4, scan_kernel=False, **PARALLEL
+        )
+        assert trace[0].workers == 1
+        assert not trace[0].kernel
+        rows = dataset_rows()
+        subset = [r for r in rows if r[0] == 0]
+        assert results["n0"].cc == build_cc_from_rows(subset, SPEC, ("A2",))
+
+
+class TestParallelConfig:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(MiddlewareError):
+            MiddlewareConfig(scan_workers=0)
+
+    def test_unknown_pool_rejected(self):
+        with pytest.raises(MiddlewareError):
+            MiddlewareConfig(scan_pool="fiber")
+
+    def test_negative_min_rows_rejected(self):
+        with pytest.raises(MiddlewareError):
+            MiddlewareConfig(scan_parallel_min_rows=-1)
+
+    def test_env_var_sets_default_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCAN_WORKERS", "3")
+        assert MiddlewareConfig().scan_workers == 3
+        # An explicit value still wins over the environment.
+        assert MiddlewareConfig(scan_workers=2).scan_workers == 2
+
+    def test_env_var_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCAN_WORKERS", "many")
+        with pytest.raises(MiddlewareError):
+            MiddlewareConfig()
+
+
+class _ExplodingWriter:
+    """A staging-file stand-in whose writes always fail."""
+
+    def append_rows(self, rows):
+        raise StagingError("disk full")
+
+
+class TestPipelinedStagingWriter:
+    @pytest.fixture
+    def staged(self, tmp_path):
+        manager = StagingManager(
+            SPEC, CostMeter(), CostModel(), MemoryBudget(10_000),
+            staging_dir=str(tmp_path),
+        )
+        yield manager.open_file("n1")
+        manager.close()
+
+    def test_partitions_written_in_submission_order(self, staged):
+        capture = {"m1": []}
+        writer = PipelinedStagingWriter({"n1": staged}, capture)
+        writer.put({"n1": [(0, 0, 0), (1, 1, 1)]}, {"m1": [(0, 0, 0)]})
+        writer.put({"n1": [(2, 2, 2)]}, {"m1": [(2, 2, 2)]})
+        writer.put({}, {})  # empty partitions are skipped, not queued
+        writer.close()
+        staged.seal()
+        assert list(staged.scan()) == [(0, 0, 0), (1, 1, 1), (2, 2, 2)]
+        assert capture["m1"] == [(0, 0, 0), (2, 2, 2)]
+
+    def test_close_surfaces_writer_error(self):
+        writer = PipelinedStagingWriter({"n1": _ExplodingWriter()}, {})
+        writer.put({"n1": [(0, 0, 0)]}, {})
+        with pytest.raises(StagingError, match="disk full"):
+            writer.close()
+
+    def test_put_surfaces_earlier_error(self):
+        writer = PipelinedStagingWriter({"n1": _ExplodingWriter()}, {})
+        writer.put({"n1": [(0, 0, 0)]}, {})
+        deadline = time.monotonic() + 5.0
+        while writer._error is None and time.monotonic() < deadline:
+            time.sleep(0.001)
+        with pytest.raises(StagingError, match="disk full"):
+            writer.put({"n1": [(1, 1, 1)]}, {})
+        writer.abort()  # abort never raises
+
+    def test_put_after_close_rejected(self, staged):
+        writer = PipelinedStagingWriter({"n1": staged}, {})
+        writer.close()
+        with pytest.raises(StagingError):
+            writer.put({"n1": [(0, 0, 0)]}, {})

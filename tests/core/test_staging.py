@@ -103,6 +103,54 @@ class TestStagedFile:
         assert not os.path.exists(path)
 
 
+class TestScanGuards:
+    """Determinism guards on `StagedFile.scan` (parallel-scan era)."""
+
+    def test_scan_with_unflushed_buffer_rejected(self, manager):
+        # White-box: a sealed file must never carry unflushed rows; if
+        # internal state is ever corrupted that way, scanning must
+        # refuse rather than yield a torn row set.
+        staged = manager.open_file("n1")
+        staged.append((0, 0, 0))
+        staged.seal()
+        staged._buffer.append(b"\x00")
+        with pytest.raises(StagingError, match="unflushed"):
+            list(staged.scan())
+
+    def test_interleaved_scans_both_complete(self, manager):
+        staged = manager.open_file("n1")
+        rows = [(i % 3, (i * 7) % 3, i % 2) for i in range(100)]
+        staged.append_rows(rows)
+        staged.seal()
+        before = manager._test_meter.counts["file_read"]
+        first, second = staged.scan(), staged.scan()
+        collected = ([], [])
+        for row_a, row_b in zip(first, second):
+            collected[0].append(row_a)
+            collected[1].append(row_b)
+        # zip leaves the second generator suspended on its last row;
+        # drain both so the per-scan read charges are finalized.
+        collected[0].extend(first)
+        collected[1].extend(second)
+        assert collected[0] == rows
+        assert collected[1] == rows
+        # Each scan opened its own handle and metered its own rows.
+        assert manager._test_meter.counts["file_read"] - before == \
+            2 * len(rows)
+
+    def test_delete_during_active_scan_rejected(self, manager):
+        staged = manager.open_file("n1")
+        staged.append_rows([(0, 0, 0), (1, 1, 1)])
+        staged.seal()
+        scan = staged.scan()
+        assert next(scan) == (0, 0, 0)
+        with pytest.raises(StagingError, match="still active"):
+            staged.delete()
+        scan.close()  # finishing the scan releases the guard
+        staged.delete()
+        assert not os.path.exists(staged.path)
+
+
 class TestBlockIO:
     def test_block_write_scan_round_trip(self, manager):
         staged = manager.open_file("n1")
