@@ -15,6 +15,13 @@ process-pool run must reach ``MIN_PARALLEL_SPEEDUP`` x the serial
 kernel's rows/sec; on smaller machines the floor is reported but not
 enforced (a 1-core box cannot physically show parallel speedup).
 
+A second A/B guards the pool lifecycle: the same frontier is counted
+through one session with the persistent warm pool
+(``scan_pool_reuse=True``) and once with cold per-scan pools, and the
+warm run's mean per-scan setup seconds must come in below the cold
+baseline (enforced on >= ``MIN_CORES``-core machines, reported
+elsewhere).
+
 Results land in ``benchmarks/results/parallel_scan.txt`` (human) and
 ``benchmarks/results/BENCH_scan.json`` (machine-readable trajectory).
 
@@ -113,6 +120,58 @@ def scan_frontier(spec, rows, frontier, workers, pool):
     return best, results
 
 
+def pool_lifecycle_ab(spec, rows, frontier, workers, pool):
+    """Warm (session pool) vs cold (per-scan pool) setup overhead.
+
+    Both runs count the same frontier through identical middleware
+    sessions ``REPEATS`` times; the only difference is
+    ``scan_pool_reuse``.  The warm session pays executor creation once
+    (first parallel scan) and re-broadcasts the kernel only when a
+    schedule's kernel changes, so its mean per-scan setup must fall
+    below the cold baseline that rebuilds the pool every scan.
+    """
+    profiles = {}
+    for label, reuse in (("warm", True), ("cold", False)):
+        server = SQLServer()
+        load_dataset(server, "data", spec, rows)
+        config = MiddlewareConfig.no_staging(
+            16_000_000,
+            scan_kernel=True,
+            scan_workers=workers,
+            scan_pool=pool,
+            scan_parallel_min_rows=0,
+            scan_pool_reuse=reuse,
+        )
+        with Middleware(server, "data", spec, config) as mw:
+            assert mw.staging.reserve_memory("root", len(rows))
+            mw.staging.commit_memory("root", list(rows))
+            wall = setup = 0.0
+            seen = scans = 0
+            for _ in range(REPEATS):
+                mw.queue_requests(request for request, _ in frontier)
+                while mw.pending:
+                    mw.process_next_batch()
+                    scan = mw.execution.last_scan
+                    assert scan.workers == workers
+                    assert scan.pool_reused == (reuse and scans > 0)
+                    wall += scan.wall_seconds
+                    setup += scan.pool_setup_seconds
+                    seen += scan.rows_seen
+                    scans += 1
+            session_pool = mw.scan_pool
+            assert (session_pool is not None) == reuse
+            if reuse:
+                assert session_pool.pools_created == 1
+                assert session_pool.scans_served == scans
+        profiles[label] = {
+            "scans": scans,
+            "rows_per_sec": seen / wall if wall > 0.0 else 0.0,
+            "setup_seconds_total": setup,
+            "setup_seconds_per_scan": setup / scans if scans else 0.0,
+        }
+    return profiles
+
+
 def check_equivalence(frontier, results_by_label):
     """Every configuration must reproduce the reference counts."""
     for label, results in results_by_label.items():
@@ -142,6 +201,9 @@ def run_ab(n_rows=DEFAULT_ROWS, pool="process",
         results_by_label[f"{workers}w"] = results
     check_equivalence(frontier, results_by_label)
 
+    ab_workers = max(w for w in worker_counts if w <= 4)
+    pool_ab = pool_lifecycle_ab(spec, rows, frontier, ab_workers, pool)
+
     return {
         "n_rows": n_rows,
         "n_nodes": len(frontier),
@@ -149,6 +211,8 @@ def run_ab(n_rows=DEFAULT_ROWS, pool="process",
         "cores": _usable_cores(),
         "serial": serial,
         "ladder": ladder,
+        "pool_ab_workers": ab_workers,
+        "pool_ab": pool_ab,
     }
 
 
@@ -188,10 +252,32 @@ def report(comparison):
         f"(enforced on machines with >= {MIN_CORES} cores; "
         f"this machine has {comparison['cores']})"
     )
+    pool_rows = [
+        [
+            label,
+            f"{profile['scans']}",
+            f"{profile['rows_per_sec']:,.0f}",
+            f"{profile['setup_seconds_per_scan'] * 1e3:.3f}",
+            f"{profile['setup_seconds_total'] * 1e3:.3f}",
+        ]
+        for label, profile in comparison["pool_ab"].items()
+    ]
+    pool_table = render_table(
+        ["pool lifecycle", "scans", "rows/s", "setup/scan (ms)",
+         "setup total (ms)"],
+        pool_rows,
+        title=(
+            f"Warm session pool vs cold per-scan pools "
+            f"({comparison['pool_ab_workers']} workers, "
+            f"{comparison['pool']} pool)"
+        ),
+    )
     return (
         table
         + "\n\nCC tables identical across all configurations.\n"
         + floor_note
+        + "\n\n"
+        + pool_table
     )
 
 
@@ -215,6 +301,20 @@ def record_json(comparison, smoke=False):
                     "merge_seconds": profile["merge_seconds"],
                 }
                 for workers, profile in comparison["ladder"].items()
+            },
+            "pool_lifecycle": {
+                "workers": comparison["pool_ab_workers"],
+                **{
+                    label: {
+                        "scans": profile["scans"],
+                        "rows_per_sec": profile["rows_per_sec"],
+                        "setup_seconds_per_scan":
+                            profile["setup_seconds_per_scan"],
+                        "setup_seconds_total":
+                            profile["setup_seconds_total"],
+                    }
+                    for label, profile in comparison["pool_ab"].items()
+                },
             },
             "min_parallel_speedup": MIN_PARALLEL_SPEEDUP,
             "floor_enforced": comparison["cores"] >= MIN_CORES,
@@ -252,6 +352,18 @@ def main(argv=None):
         print(
             f"FAIL: 4-worker speedup {four['speedup']:.2f}x below the "
             f"{MIN_PARALLEL_SPEEDUP:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    warm = comparison["pool_ab"]["warm"]
+    cold = comparison["pool_ab"]["cold"]
+    if comparison["cores"] >= MIN_CORES and (
+            warm["setup_seconds_per_scan"]
+            >= cold["setup_seconds_per_scan"]):
+        print(
+            "FAIL: warm session pool did not reduce per-scan setup "
+            f"({warm['setup_seconds_per_scan'] * 1e3:.3f}ms warm vs "
+            f"{cold['setup_seconds_per_scan'] * 1e3:.3f}ms cold)",
             file=sys.stderr,
         )
         return 1

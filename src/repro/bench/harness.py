@@ -62,6 +62,10 @@ class RunResult:
     rows_seen: int = 0
     sql_fallbacks: int = 0
     breakdown: dict = field(default_factory=dict)
+    #: Persistent scan-pool observability (middleware runs only):
+    #: executors created, kernel installs, scans served, total setup
+    #: seconds.  Empty when no scan went parallel.
+    pool: dict = field(default_factory=dict)
     #: The fitted classifier (middleware runs only).
     classifier: object = None
 
@@ -115,6 +119,14 @@ class Workbench:
                 sql_fallbacks=stats.sql_fallbacks,
                 breakdown=dict(self.meter.breakdown()),
             )
+            pool = middleware.scan_pool
+            if pool is not None:
+                result.pool = {
+                    "pools_created": pool.pools_created,
+                    "kernels_installed": pool.kernels_installed,
+                    "scans_served": pool.scans_served,
+                    "setup_seconds": stats.pool_setup_seconds,
+                }
         result.classifier = classifier
         return result
 

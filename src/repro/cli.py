@@ -104,6 +104,16 @@ def _build_parser():
     fit.add_argument("--scan-parallel-min-rows", type=int, default=None,
                      help="scans under this many source rows stay "
                           "serial (default: 2048)")
+    fit.add_argument("--scan-prefetch-partitions", type=int, default=None,
+                     help="SERVER-cursor partitions a producer thread "
+                          "pulls ahead of the workers (default: 2; "
+                          "0 = inline pulls)")
+    fit.add_argument("--no-scan-pool-reuse", action="store_true",
+                     help="rebuild the worker pool for every parallel "
+                          "scan instead of reusing the session pool")
+    fit.add_argument("--no-scan-split-writers", action="store_true",
+                     help="funnel split-file staging output through one "
+                          "writer thread instead of one per file")
     fit.add_argument("--out", default=None, help="write the model as JSON")
     fit.add_argument("--render-depth", type=int, default=None,
                      help="print the tree down to this depth")
@@ -194,6 +204,14 @@ def _cmd_fit(args):
         scan_options["scan_pool"] = args.scan_pool
     if args.scan_parallel_min_rows is not None:
         scan_options["scan_parallel_min_rows"] = args.scan_parallel_min_rows
+    if args.scan_prefetch_partitions is not None:
+        scan_options["scan_prefetch_partitions"] = (
+            args.scan_prefetch_partitions
+        )
+    if args.no_scan_pool_reuse:
+        scan_options["scan_pool_reuse"] = False
+    if args.no_scan_split_writers:
+        scan_options["scan_split_writers"] = False
     if args.no_staging:
         config = MiddlewareConfig.no_staging(args.memory, **scan_options)
     else:

@@ -23,9 +23,16 @@ from .execution import ExecutionModule, ExecutionStats, ScanStats
 from .filters import PathCondition, RoutingKernel, batch_filter, path_predicate
 from .middleware import Middleware
 from .requests import CountsRequest, CountsResult, RequestQueue
+from .scan_pool import ScanWorkerPool
 from .scheduler import Schedule, Scheduler
 from .sql_counting import CC_COLUMNS, cc_statement, counts_via_sql
-from .staging import DataLocation, StagedFile, StagingManager
+from .staging import (
+    DataLocation,
+    ParallelStagingWriter,
+    PipelinedStagingWriter,
+    StagedFile,
+    StagingManager,
+)
 from .trace import ExecutionTrace, ScheduleRecord
 
 __all__ = [
@@ -46,10 +53,13 @@ __all__ = [
     "Middleware",
     "MiddlewareConfig",
     "PAIR_KEY_BYTES",
+    "ParallelStagingWriter",
     "PathCondition",
+    "PipelinedStagingWriter",
     "PlainScanStrategy",
     "RequestQueue",
     "RoutingKernel",
+    "ScanWorkerPool",
     "ScanStats",
     "Schedule",
     "Scheduler",

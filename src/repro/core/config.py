@@ -98,6 +98,22 @@ class MiddlewareConfig:
     #: ``scan_workers`` > 1 — pool startup and merge overhead dominate
     #: tiny scans.
     scan_parallel_min_rows: int = 2048
+    #: Reuse one :class:`~repro.core.scan_pool.ScanWorkerPool` across
+    #: every parallel scan of a middleware session (created lazily on
+    #: the first such scan, torn down by ``Middleware.close()``).
+    #: False rebuilds a pool per scan — the cold-start baseline the
+    #: warm-pool benchmark compares against.
+    scan_pool_reuse: bool = True
+    #: SERVER-scan prefetch depth: a bounded producer thread pulls up
+    #: to this many row partitions ahead of the workers, overlapping
+    #: cursor row production with counting.  0 keeps the coordinator's
+    #: inline pull-then-submit loop.  Meter charges still accrue once
+    #: per row, so simulated costs are prefetch-independent.
+    scan_prefetch_partitions: int = 2
+    #: Give each §4.3.2 split-output file its own writer thread and
+    #: bounded queue (multi-file staged scans only).  False funnels all
+    #: staging output through the single pipelined writer thread.
+    scan_split_writers: bool = True
 
     def __post_init__(self):
         if self.memory_bytes < 0:
@@ -128,6 +144,10 @@ class MiddlewareConfig:
         if self.scan_parallel_min_rows < 0:
             raise MiddlewareError(
                 "scan_parallel_min_rows must be non-negative"
+            )
+        if self.scan_prefetch_partitions < 0:
+            raise MiddlewareError(
+                "scan_prefetch_partitions must be non-negative"
             )
 
     @classmethod

@@ -23,17 +23,23 @@ Two scan loops implement the routing:
 
 When ``config.scan_workers`` > 1 (and the source is large enough),
 the kernel loop runs **partitioned**: the row source is cut into
-ordered partitions, a worker pool (threads by default, processes via
-``config.scan_pool``) routes each partition through the same compiled
-kernel into *private* per-node CC partials, and the coordinator merges
-the partials into the real CC tables — CC tables are additive count
-structures, so partial counts over disjoint partitions merge exactly.
-Staged rows funnel through a single
-:class:`~repro.core.staging.PipelinedStagingWriter` in partition
-order, overlapping block flushes with counting and keeping staged
-files bit-identical to a serial scan's.  Memory overflow (below) is
-detected on the *merged* sizes in batch order, so recovery decisions
-are deterministic for any worker count.
+ordered partitions, a persistent
+:class:`~repro.core.scan_pool.ScanWorkerPool` (threads by default,
+processes via ``config.scan_pool``; owned by the middleware session
+and reused across scans) routes each partition through the same
+compiled kernel into *private* per-node CC partials, and the
+coordinator merges the partials into the real CC tables — CC tables
+are additive count structures, so partial counts over disjoint
+partitions merge exactly.  SERVER-mode scans overlap row production
+with counting through a bounded prefetch thread
+(``config.scan_prefetch_partitions``).  Staged rows are applied in
+partition order by a :class:`~repro.core.staging.PipelinedStagingWriter`
+(single funnel) or, for multi-file split scans, a
+:class:`~repro.core.staging.ParallelStagingWriter` with one thread per
+output file — either way staged files stay bit-identical to a serial
+scan's.  Memory overflow (below) is detected on the *merged* sizes in
+batch order, so recovery decisions are deterministic for any worker
+count.
 
 Every scan records profiling counters on :class:`ScanStats` — wall
 time, rows/sec, matcher-evaluation counts, which loop ran, worker
@@ -58,8 +64,10 @@ CC table outgrows what can be reserved there are two recoveries:
 
 from __future__ import annotations
 
+import queue
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections import deque
 from dataclasses import dataclass, field
 from itertools import islice
 
@@ -67,9 +75,14 @@ from ..common.errors import MiddlewareError
 from .cc_table import CCTable
 from .filters import RoutingKernel, batch_filter
 from .requests import CountsResult
+from .scan_pool import ScanWorkerPool
 from .scheduler import _cc_tag
 from .sql_counting import counts_via_sql
-from .staging import DataLocation, PipelinedStagingWriter
+from .staging import (
+    DataLocation,
+    ParallelStagingWriter,
+    PipelinedStagingWriter,
+)
 
 
 @dataclass
@@ -97,6 +110,17 @@ class ScanStats:
     merge_seconds: float = 0.0
     #: Per-partition counting seconds as reported by the workers.
     worker_seconds: list = field(default_factory=list)
+    #: Wall-clock seconds spent standing the worker pool up for this
+    #: scan (executor creation + kernel install; ~0 on warm reuse).
+    pool_setup_seconds: float = 0.0
+    #: True when the scan reused an already-running worker pool.
+    pool_reused: bool = False
+    #: Partitions the prefetch thread was allowed to run ahead
+    #: (0 = inline pull-then-submit, or a serial scan).
+    prefetch_depth: int = 0
+    #: Per-file writer threads used for staging output (0 = the single
+    #: pipelined funnel, or a serial scan).
+    split_writers: int = 0
 
     @property
     def rows_per_sec(self):
@@ -125,8 +149,21 @@ class ExecutionStats:
     kernel_scans: int = 0
     parallel_scans: int = 0
     merge_seconds: float = 0.0
+    worker_seconds_total: float = 0.0
+    pool_setup_seconds: float = 0.0
+    prefetched_scans: int = 0
 
     def absorb(self, scan):
+        """Fold one *final* :class:`ScanStats` into the session totals.
+
+        Called exactly once per executed scan, with that scan's own
+        freshly built stats object.  When a node overflows (§4.1.1) and
+        its count is retried on a later scan, the retry is a *new* scan
+        with new stats — the earlier attempt's ``merge_seconds`` /
+        ``worker_seconds`` must never ride along into the retry's
+        record, so each ``ScanStats`` owns its per-attempt lists and
+        nothing here is read from shared pool state.
+        """
         self.scans_by_mode[scan.mode] += 1
         self.rows_seen += scan.rows_seen
         self.rows_routed += scan.rows_routed
@@ -140,6 +177,9 @@ class ExecutionStats:
         self.kernel_scans += scan.kernel
         self.parallel_scans += scan.workers > 1
         self.merge_seconds += scan.merge_seconds
+        self.worker_seconds_total += sum(scan.worker_seconds)
+        self.pool_setup_seconds += scan.pool_setup_seconds
+        self.prefetched_scans += scan.prefetch_depth > 0
 
     @property
     def total_scans(self):
@@ -153,62 +193,100 @@ class ExecutionStats:
         return self.rows_seen / self.wall_seconds
 
 
-# -- parallel scan workers ---------------------------------------------------
-#
-# The routing context is installed once per worker (thread or process)
-# by the pool initializer rather than shipped with every partition, so
-# a process pool pickles the compiled kernel W times, not once per
-# partition.  Only one scan runs at a time per middleware process, so a
-# module-level slot is safe for thread pools too.
-
-_WORKER_CTX = None
+# -- partition production ----------------------------------------------------
 
 
-def _init_scan_worker(kernel, slots, class_index, n_classes):
-    global _WORKER_CTX
-    _WORKER_CTX = (kernel, slots, class_index, n_classes)
+def _slice_partitions(row_iter, partition_rows):
+    """Cut a row iterator into ordered list partitions, inline."""
+    while True:
+        partition = list(islice(row_iter, partition_rows))
+        if not partition:
+            return
+        yield partition
 
 
-def _count_partition(seq, rows, stage_nodes, capture_nodes):
-    """Count one row partition against the installed routing context.
+class _PartitionProducer:
+    """Bounded async prefetch of row partitions (SERVER-mode scans).
 
-    Runs inside a worker.  Returns only additive, order-independent
-    state — per-slot CC partials, the routed-row count, and the rows
-    destined for each staging target — so the coordinator can merge
-    partials in any completion order and apply staging output in
-    partition (``seq``) order.  The worker never touches the memory
-    budget, the cost meter, or any file: those stay single-threaded.
+    The coordinator used to alternate pull-then-submit: materialize a
+    partition from the server cursor, submit it, pull the next.  This
+    producer moves the pulling onto a background thread with a bounded
+    queue, so the next partition is fetched *while* the pool counts the
+    current one.  Depth bounds memory and applies backpressure — a slow
+    consumer stalls the cursor instead of buffering unbounded rows.
+
+    The row source is still consumed by exactly one thread, so every
+    simulated per-row meter charge accrues exactly once; only *where*
+    the wall-clock time is spent changes (see ``docs/cost_model.md``).
+
+    A producer-side failure is re-raised to the coordinator from
+    :meth:`partitions`; :meth:`stop` shuts the thread down without
+    raising (for scans already failing) and closes the row source.
     """
-    kernel, slots, class_index, n_classes = _WORKER_CTX
-    started = time.perf_counter()
-    partials = [
-        CCTable(attributes, n_classes) for _, attributes, _ in slots
-    ]
-    writes = {node_id: [] for node_id in stage_nodes}
-    captures = {node_id: [] for node_id in capture_nodes}
-    route = kernel.route
-    routed = 0
-    for row in rows:
-        mask = route(row)
-        if not mask:
-            continue
-        routed += 1
-        while mask:
-            low_bit = mask & -mask
-            mask ^= low_bit
-            slot = low_bit.bit_length() - 1
-            node_id, _, attr_positions = slots[slot]
-            partials[slot].count_row_at(
-                row, attr_positions, row[class_index]
-            )
-            buffer = writes.get(node_id)
-            if buffer is not None:
-                buffer.append(row)
-            buffer = captures.get(node_id)
-            if buffer is not None:
-                buffer.append(row)
-    return seq, partials, routed, writes, captures, \
-        time.perf_counter() - started
+
+    _DONE = object()
+
+    def __init__(self, row_iter, partition_rows, depth):
+        self._rows = row_iter
+        self._partition_rows = partition_rows
+        self._queue = queue.Queue(maxsize=max(1, depth))
+        self._stop_event = threading.Event()
+        self._error = None
+        self._thread = threading.Thread(
+            target=self._produce, name="scan-prefetch", daemon=True
+        )
+        self._thread.start()
+
+    def _produce(self):
+        try:
+            while not self._stop_event.is_set():
+                partition = list(
+                    islice(self._rows, self._partition_rows)
+                )
+                if not partition:
+                    break
+                while not self._stop_event.is_set():
+                    try:
+                        self._queue.put(partition, timeout=0.05)
+                        break
+                    except queue.Full:
+                        continue
+        except BaseException as exc:  # surfaced via partitions()
+            self._error = exc
+        finally:
+            while not self._stop_event.is_set():
+                try:
+                    self._queue.put(self._DONE, timeout=0.05)
+                    break
+                except queue.Full:
+                    continue
+
+    def partitions(self):
+        """Yield partitions in scan order; re-raises producer errors."""
+        while True:
+            item = self._queue.get()
+            if item is self._DONE:
+                self._thread.join()
+                if self._error is not None:
+                    raise self._error
+                return
+            yield item
+
+    def stop(self):
+        """Shut the producer down without raising (failure path)."""
+        self._stop_event.set()
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+        self._thread.join()
+        close = getattr(self._rows, "close", None)
+        if close is not None:
+            try:
+                close()
+            except BaseException:
+                pass
 
 
 class _NodeCount:
@@ -235,7 +313,7 @@ class ExecutionModule:
     """Runs schedules: scan-based counting plus staging writes."""
 
     def __init__(self, server, table_name, spec, staging, budget, config,
-                 strategy):
+                 strategy, pool_provider=None):
         self._server = server
         self._table_name = table_name
         self._spec = spec
@@ -243,6 +321,11 @@ class ExecutionModule:
         self._budget = budget
         self._config = config
         self._strategy = strategy
+        #: Zero-arg callable returning the session's shared
+        #: :class:`ScanWorkerPool` (the middleware binds its own pool
+        #: here).  None — or ``config.scan_pool_reuse`` off — builds a
+        #: throwaway per-scan pool instead.
+        self._pool_provider = pool_provider
         self._attr_index = {
             name: i for i, name in enumerate(spec.attribute_names)
         }
@@ -271,8 +354,9 @@ class ExecutionModule:
             workers = self._parallel_workers(schedule)
             if workers > 1:
                 self._count_rows_parallel(
-                    row_iter, states, file_writers, memory_capture, scan,
-                    workers, self._partition_rows(schedule, workers),
+                    schedule, row_iter, states, file_writers,
+                    memory_capture, scan, workers,
+                    self._partition_rows(schedule, workers),
                 )
             elif self._config.scan_kernel:
                 self._count_rows_kernel(
@@ -490,31 +574,70 @@ class ExecutionModule:
                     memory_capture[node_id].extend(rows)
                     rows.clear()
 
-    def _count_rows_parallel(self, row_iter, states, file_writers,
+    def _acquire_pool(self):
+        """The worker pool for one parallel scan: ``(pool, owned)``.
+
+        The session's persistent pool is used whenever the middleware
+        provided one and ``config.scan_pool_reuse`` is on; otherwise a
+        throwaway pool is built (and, ``owned`` = True, closed by the
+        caller after the scan) — the cold-start baseline.
+        """
+        if self._config.scan_pool_reuse and self._pool_provider is not None:
+            return self._pool_provider(), False
+        return (
+            ScanWorkerPool(self._config.scan_pool,
+                           self._config.scan_workers),
+            True,
+        )
+
+    @staticmethod
+    def _scan_signature(states):
+        """Equality key for a schedule's routing kernel (pool install)."""
+        return tuple(
+            (state.request.node_id,
+             tuple(state.request.conditions),
+             tuple(state.request.attributes))
+            for state in states
+        )
+
+    def _count_rows_parallel(self, schedule, row_iter, states, file_writers,
                              memory_capture, scan, n_workers,
                              partition_rows):
-        """Partitioned scan through a worker pool (the parallel path).
+        """Partitioned scan through the worker pool (the parallel path).
 
-        The coordinator cuts the row source into ordered partitions
-        and feeds them to ``n_workers`` pool workers, each of which
-        routes its rows through the shared compiled kernel into
-        *private* per-node CC partials.  Completed partials are merged
-        into the real CC tables here (additive counts merge exactly),
-        while staged rows funnel through one
-        :class:`~repro.core.staging.PipelinedStagingWriter` strictly in
-        partition order — staged files and memory captures come out
-        bit-identical to a serial scan's, and flushes overlap counting.
+        The row source is cut into ordered partitions — inline for
+        staged sources, through a bounded :class:`_PartitionProducer`
+        prefetch thread for SERVER scans — and submitted to the
+        session's persistent :class:`ScanWorkerPool`, which routes each
+        partition through the shared compiled kernel into *private*
+        per-node CC partials.  At most ``2 × workers`` partitions are
+        in flight; completed partials are merged into the real CC
+        tables in submission order (additive counts merge exactly),
+        and each partition's staged rows are handed — strictly in
+        partition order — to a per-file
+        :class:`~repro.core.staging.ParallelStagingWriter` (multi-file
+        split scans) or the single
+        :class:`~repro.core.staging.PipelinedStagingWriter`.  Staged
+        files and memory captures come out bit-identical to a serial
+        scan's, and flushes overlap counting.
+
+        On failure the scan drains its outstanding futures, stops the
+        prefetch thread and aborts the staging writer *before*
+        re-raising, so no half-written staged file survives (the
+        caller deletes the abandoned files) and the persistent pool
+        carries no stale work into the next scan.
 
         §4.1.1 overflow is *not* checked row-by-row: workers count
         unconditionally and the merged sizes are admitted against the
         budget afterwards, in batch order.  Deferral / SQL-fallback
         decisions therefore depend only on the merged result, never on
-        worker count or partition boundaries.  (Deferred nodes get
-        their estimate raised to the exact pair count, so the next
-        admission reserves precisely.)
+        worker count, partition boundaries, prefetch depth or writer
+        arrangement.  (Deferred nodes get their estimate raised to the
+        exact pair count, so the next admission reserves precisely.)
 
-        The row source is consumed on this thread, so simulated
-        per-row meter charges accumulate exactly as in a serial scan.
+        The row source is consumed by exactly one thread (this one, or
+        the prefetch producer), so simulated per-row meter charges
+        accumulate exactly as in a serial scan.
         """
         scan.kernel = True
         scan.workers = n_workers
@@ -530,53 +653,70 @@ class ExecutionModule:
         n_probes = kernel.n_probes
         stage_nodes = tuple(file_writers)
         capture_nodes = tuple(memory_capture)
-        pool_cls = (
-            ProcessPoolExecutor if self._config.scan_pool == "process"
-            else ThreadPoolExecutor
+
+        pool, owned = self._acquire_pool()
+        scan.pool_reused = pool.active
+        scan.pool_setup_seconds = pool.install(
+            self._scan_signature(states), kernel, slots,
+            self._class_index, self._spec.n_classes,
         )
 
         writer = None
         if stage_nodes or capture_nodes:
-            writer = PipelinedStagingWriter(file_writers, memory_capture)
+            if (len(file_writers) > 1
+                    and self._config.scan_split_writers):
+                writer = ParallelStagingWriter(file_writers, memory_capture)
+                scan.split_writers = writer.n_writers
+            else:
+                writer = PipelinedStagingWriter(file_writers, memory_capture)
+
+        producer = None
+        prefetch = self._config.scan_prefetch_partitions
+        if schedule.mode is DataLocation.SERVER and prefetch > 0:
+            producer = _PartitionProducer(row_iter, partition_rows, prefetch)
+            partitions = producer.partitions()
+            scan.prefetch_depth = prefetch
+        else:
+            partitions = _slice_partitions(row_iter, partition_rows)
+
+        def collect(future):
+            (_, partials, routed, writes, captures,
+             seconds) = future.result()
+            scan.rows_routed += routed
+            scan.worker_seconds.append(seconds)
+            merge_started = time.perf_counter()
+            for state, partial in zip(states, partials):
+                state.cc.merge(partial)
+            scan.merge_seconds += time.perf_counter() - merge_started
+            if writer is not None:
+                writer.put(writes, captures)
+
+        inflight = deque()
+        max_inflight = max(2, 2 * n_workers)
         try:
-            with pool_cls(
-                max_workers=n_workers,
-                initializer=_init_scan_worker,
-                initargs=(kernel, slots, self._class_index,
-                          self._spec.n_classes),
-            ) as pool:
-                futures = []
-                seq = 0
-                while True:
-                    partition = list(islice(row_iter, partition_rows))
-                    if not partition:
-                        break
-                    scan.rows_seen += len(partition)
-                    scan.matcher_evals += n_probes * len(partition)
-                    futures.append(
-                        pool.submit(_count_partition, seq, partition,
-                                    stage_nodes, capture_nodes)
-                    )
-                    seq += 1
-                for future in futures:
-                    (_, partials, routed, writes, captures,
-                     seconds) = future.result()
-                    scan.rows_routed += routed
-                    scan.worker_seconds.append(seconds)
-                    merge_started = time.perf_counter()
-                    for state, partial in zip(states, partials):
-                        state.cc.merge(partial)
-                    scan.merge_seconds += (
-                        time.perf_counter() - merge_started
-                    )
-                    if writer is not None:
-                        writer.put(writes, captures)
-        except BaseException:
+            for seq, partition in enumerate(partitions):
+                scan.rows_seen += len(partition)
+                scan.matcher_evals += n_probes * len(partition)
+                inflight.append(
+                    pool.submit(seq, partition, stage_nodes, capture_nodes)
+                )
+                if len(inflight) >= max_inflight:
+                    collect(inflight.popleft())
+            while inflight:
+                collect(inflight.popleft())
+            if writer is not None:
+                writer.close()
+        except BaseException as exc:
+            if producer is not None:
+                producer.stop()
+            pool.drain(inflight)
             if writer is not None:
                 writer.abort()
+            pool.retire_broken(exc)
             raise
-        if writer is not None:
-            writer.close()
+        finally:
+            if owned:
+                pool.close()
 
         # Deterministic §4.1.1 admission on the merged sizes.
         budget = self._budget

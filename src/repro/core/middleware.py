@@ -20,6 +20,7 @@ from .auxiliary import make_strategy
 from .config import MiddlewareConfig
 from .execution import ExecutionModule
 from .requests import RequestQueue
+from .scan_pool import ScanWorkerPool
 from .scheduler import Scheduler
 from .staging import StagingManager
 from .trace import ExecutionTrace, ScheduleRecord
@@ -50,6 +51,7 @@ class Middleware:
             build_threshold=self.config.aux_build_threshold,
             free_build=self.config.aux_free_build,
         )
+        self._scan_pool = None
         self.execution = ExecutionModule(
             server,
             table_name,
@@ -58,10 +60,31 @@ class Middleware:
             self.budget,
             self.config,
             self._strategy,
+            pool_provider=self._shared_scan_pool,
         )
         self._queue = RequestQueue()
         self.trace = ExecutionTrace()
         self._closed = False
+
+    def _shared_scan_pool(self):
+        """The session's scan-worker pool, created lazily on first use.
+
+        The pool outlives individual scans (and individual ``fit()``
+        calls sharing this session): workers stay warm and the routing
+        kernel is re-broadcast only when a schedule's kernel actually
+        changes.  :meth:`close` tears it down.
+        """
+        if self._scan_pool is None:
+            self._scan_pool = ScanWorkerPool(
+                self.config.scan_pool, self.config.scan_workers
+            )
+        return self._scan_pool
+
+    @property
+    def scan_pool(self):
+        """The session's persistent scan-worker pool (None until the
+        first scan goes parallel with ``scan_pool_reuse`` on)."""
+        return self._scan_pool
 
     # -- the Figure-3 interface --------------------------------------------
 
@@ -117,6 +140,9 @@ class Middleware:
                 kernel=scan.kernel,
                 workers=scan.workers,
                 merge_seconds=scan.merge_seconds,
+                pool_setup_seconds=scan.pool_setup_seconds,
+                prefetch_depth=scan.prefetch_depth,
+                split_writers=scan.split_writers,
             )
         )
         return results
@@ -169,6 +195,10 @@ class Middleware:
             f"{stats.matcher_evals:,} matcher evals",
             f"  recoveries: {stats.deferrals} deferrals, "
             f"{stats.sql_fallbacks} SQL fallbacks",
+        ]
+        if self._scan_pool is not None:
+            lines.append(f"  scan pool: {self._scan_pool!r}")
+        lines += [
             f"  staging: {stats.files_written} files written, "
             f"{stats.memory_sets_loaded} memory sets loaded",
             f"  memory: {self.budget.used:,} / {self.budget.budget:,} "
@@ -185,8 +215,11 @@ class Middleware:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self):
-        """Release staged files, memory reservations and server structures."""
+        """Release staged files, memory reservations, server structures
+        and the session's scan-worker pool."""
         if not self._closed:
+            if self._scan_pool is not None:
+                self._scan_pool.close()
             self.staging.close()
             self._strategy.close()
             self._closed = True

@@ -1,0 +1,246 @@
+"""The persistent scan-worker pool behind the parallel scan executor.
+
+The paper's batching argument (§4) is that one shared sequential scan
+amortizes CC-table construction across all active nodes; any fixed
+per-scan overhead erodes exactly that win.  The first parallel
+executor paid one such overhead on every scan: it built a fresh
+``ThreadPoolExecutor``/``ProcessPoolExecutor`` (forking W processes in
+the worst case), shipped the compiled routing kernel to each worker
+through the pool initializer, counted one scan, and tore everything
+down again.
+
+:class:`ScanWorkerPool` makes the pool a *session*-lifetime resource:
+
+* it is owned by the :class:`~repro.core.middleware.Middleware`
+  session, created lazily on the first scan that goes parallel, reused
+  by every later scan, and shut down in ``Middleware.close()``;
+* each scan *installs* its routing context (compiled kernel, slot
+  table, class index) before submitting partitions.  Installation is
+  generation-counted: worker-side state is refreshed only when the
+  schedule's kernel actually changed — a retried or repeated schedule
+  reuses the already-installed context;
+* thread workers read the installed context by reference (shared
+  memory); process workers receive ``(generation, payload)`` with each
+  partition and unpickle the payload only when their cached generation
+  is stale, so a scan's kernel is pickled once on the coordinator and
+  decoded at most once per worker process, never once per partition;
+* a scan that fails mid-flight :meth:`drain`\\ s its outstanding
+  futures — cancelling queued partitions and waiting out running ones
+  — so the next scan reuses a pool with no stale work in it, and
+  :meth:`retire_broken` recycles the executor when the failure killed
+  it (e.g. a dead process worker), letting the next scan transparently
+  rebuild.
+
+Worker tasks return only additive, order-independent state (per-slot
+CC partials, routed counts, staged-row buffers), so everything the
+coordinator merges is independent of completion order; staging output
+is applied strictly in partition order by the caller.  Workers never
+touch the memory budget, the cost meter, or any file.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+
+from ..common.errors import MiddlewareError
+from .cc_table import CCTable
+
+#: Worker-process routing-context cache: ``(generation, ctx)``.  One
+#: slot per process is safe because a worker serves one pool, and a
+#: pool installs contexts with strictly increasing generations.
+_PROCESS_CTX = (0, None)
+
+
+def _count_partition(ctx, seq, rows, stage_nodes, capture_nodes):
+    """Count one row partition against a routing context.
+
+    Runs inside a worker (thread or process).  Returns only additive,
+    order-independent state — per-slot CC partials, the routed-row
+    count, and the rows destined for each staging target — so the
+    coordinator can merge partials in any completion order and apply
+    staging output in partition (``seq``) order.
+    """
+    kernel, slots, class_index, n_classes = ctx
+    started = time.perf_counter()
+    partials = [
+        CCTable(attributes, n_classes) for _, attributes, _ in slots
+    ]
+    writes = {node_id: [] for node_id in stage_nodes}
+    captures = {node_id: [] for node_id in capture_nodes}
+    route = kernel.route
+    routed = 0
+    for row in rows:
+        mask = route(row)
+        if not mask:
+            continue
+        routed += 1
+        while mask:
+            low_bit = mask & -mask
+            mask ^= low_bit
+            slot = low_bit.bit_length() - 1
+            node_id, _, attr_positions = slots[slot]
+            partials[slot].count_row_at(
+                row, attr_positions, row[class_index]
+            )
+            buffer = writes.get(node_id)
+            if buffer is not None:
+                buffer.append(row)
+            buffer = captures.get(node_id)
+            if buffer is not None:
+                buffer.append(row)
+    return seq, partials, routed, writes, captures, \
+        time.perf_counter() - started
+
+
+def _count_partition_pickled(generation, payload, seq, rows, stage_nodes,
+                             capture_nodes):
+    """Process-pool task: refresh the cached context when stale."""
+    global _PROCESS_CTX
+    cached_generation, ctx = _PROCESS_CTX
+    if cached_generation != generation:
+        ctx = pickle.loads(payload)
+        _PROCESS_CTX = (generation, ctx)
+    return _count_partition(ctx, seq, rows, stage_nodes, capture_nodes)
+
+
+class ScanWorkerPool:
+    """A reusable worker pool for partitioned scans.
+
+    Lifecycle: construct cheaply (no executor yet), :meth:`install` a
+    scan's routing context (which lazily creates the executor),
+    :meth:`submit` partitions, and :meth:`close` once at session end.
+    ``install``/``submit`` may be repeated for any number of scans.
+    """
+
+    def __init__(self, kind, n_workers):
+        if kind not in ("thread", "process"):
+            raise MiddlewareError(f"unknown scan pool kind: {kind!r}")
+        if n_workers < 1:
+            raise MiddlewareError("scan pool needs at least one worker")
+        self.kind = kind
+        self.n_workers = n_workers
+        self._executor = None
+        self._closed = False
+        #: Monotone per-install counter; process workers cache by it.
+        self._generation = 0
+        self._signature = None
+        self._ctx = None
+        self._payload = None
+        # -- observability ------------------------------------------------
+        #: Executors created over the pool's lifetime (1 = fully warm
+        #: reuse; grows only on first use or after a broken executor).
+        self.pools_created = 0
+        #: Contexts actually (re)installed — scans whose kernel differed
+        #: from the previously installed one.
+        self.kernels_installed = 0
+        #: Scans that ran through this pool.
+        self.scans_served = 0
+
+    @property
+    def active(self):
+        """True when a live executor is standing by (the pool is warm)."""
+        return self._executor is not None
+
+    def _ensure_executor(self):
+        """Create the executor lazily; returns creation seconds."""
+        if self._closed:
+            raise MiddlewareError("scan-worker pool is already closed")
+        if self._executor is not None:
+            return 0.0
+        started = time.perf_counter()
+        executor_cls = (
+            ProcessPoolExecutor if self.kind == "process"
+            else ThreadPoolExecutor
+        )
+        self._executor = executor_cls(max_workers=self.n_workers)
+        self.pools_created += 1
+        return time.perf_counter() - started
+
+    def install(self, signature, kernel, slots, class_index, n_classes):
+        """Install one scan's routing context; returns setup seconds.
+
+        ``signature`` is any equality-comparable description of the
+        schedule's kernel; worker-side state is refreshed only when it
+        differs from the currently installed one, so repeated or
+        retried schedules pay no re-broadcast.
+        """
+        setup_seconds = self._ensure_executor()
+        if self._signature is None or signature != self._signature:
+            started = time.perf_counter()
+            self._generation += 1
+            self._ctx = (kernel, slots, class_index, n_classes)
+            if self.kind == "process":
+                self._payload = pickle.dumps(
+                    self._ctx, pickle.HIGHEST_PROTOCOL
+                )
+            self._signature = signature
+            self.kernels_installed += 1
+            setup_seconds += time.perf_counter() - started
+        self.scans_served += 1
+        return setup_seconds
+
+    def submit(self, seq, rows, stage_nodes, capture_nodes):
+        """Submit one partition against the installed context."""
+        if self._ctx is None:
+            raise MiddlewareError("install a routing context first")
+        if self.kind == "process":
+            return self._executor.submit(
+                _count_partition_pickled, self._generation, self._payload,
+                seq, rows, stage_nodes, capture_nodes,
+            )
+        return self._executor.submit(
+            _count_partition, self._ctx, seq, rows, stage_nodes,
+            capture_nodes,
+        )
+
+    def drain(self, futures):
+        """Cancel/await outstanding futures of a failed scan.
+
+        Queued partitions are cancelled; running ones are waited out
+        (their results and errors discarded), so the executor holds no
+        work from the failed scan when the next scan reuses it.  Never
+        raises.
+        """
+        for future in futures:
+            future.cancel()
+        for future in futures:
+            try:
+                future.exception()
+            except BaseException:
+                pass  # cancelled, or the pool itself broke
+
+    def retire_broken(self, exc):
+        """Recycle the executor when ``exc`` says it broke mid-scan.
+
+        A dead process worker leaves a ``BrokenExecutor`` behind; the
+        executor is shut down and dropped so the next scan's
+        :meth:`install` transparently builds a fresh one (the installed
+        context is kept — new workers re-fetch it by generation).
+        """
+        if isinstance(exc, BrokenExecutor) and self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def close(self):
+        """Shut the executor down; the pool cannot be used afterwards."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._closed = True
+
+    def __repr__(self):
+        state = "closed" if self._closed else (
+            "warm" if self.active else "cold"
+        )
+        return (
+            f"ScanWorkerPool(kind={self.kind!r}, workers={self.n_workers}, "
+            f"{state}, created={self.pools_created}, "
+            f"installs={self.kernels_installed}, "
+            f"scans={self.scans_served})"
+        )

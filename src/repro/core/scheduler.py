@@ -21,8 +21,11 @@ estimates, memory and file budgets — is independent of how many
 workers the execution module spreads a scan across.  Parallelism
 changes wall-clock time only; the meter still charges per row on the
 coordinator thread, so tier orderings, admission decisions and staging
-plans are identical at any ``config.scan_workers`` setting.  That is
-deliberate: it keeps plans (and therefore traces and costs)
+plans are identical at any ``config.scan_workers`` setting.  The same
+independence extends to the executor's lifecycle knobs — pool reuse,
+SERVER-cursor prefetch depth, per-file split writers — which shift
+where wall-clock time is spent without moving a single metered charge.
+That is deliberate: it keeps plans (and therefore traces and costs)
 reproducible across machines with different core counts.
 """
 

@@ -68,6 +68,11 @@ class StagedFile:
         self._buffer = []
         #: Scans currently iterating this file (guards `delete`).
         self._active_scans = 0
+        #: Physical I/O blocks flushed so far (observability; a
+        #: zero-row append must never bump this).
+        self.blocks_flushed = 0
+        #: ``append``/``append_rows`` calls that actually added rows.
+        self.write_calls = 0
 
     @property
     def path(self):
@@ -83,16 +88,28 @@ class StagedFile:
             raise StagingError("staged file is already sealed")
         self._buffer.append(self._struct.pack(*row))
         self._row_count += 1
+        self.write_calls += 1
         if len(self._buffer) >= self.BLOCK_ROWS:
             self._flush()
 
     def append_rows(self, rows):
-        """Buffer many rows at once (one flush check per block)."""
+        """Buffer many rows at once (one flush check per block).
+
+        An empty iterable is a strict no-op: a zero-row split partition
+        must not bump flush counters, force a physical flush, or change
+        what :meth:`seal` will meter — so serial and parallel scans
+        (whose partitioning can hand a writer empty slices) account
+        identically.
+        """
         if not self._writing:
             raise StagingError("staged file is already sealed")
         pack = self._struct.pack
-        self._buffer.extend(pack(*row) for row in rows)
-        self._row_count += len(rows)
+        packed = [pack(*row) for row in rows]
+        if not packed:
+            return
+        self._buffer.extend(packed)
+        self._row_count += len(packed)
+        self.write_calls += 1
         if len(self._buffer) >= self.BLOCK_ROWS:
             self._flush()
 
@@ -100,6 +117,7 @@ class StagedFile:
         if self._buffer:
             self._handle.write(b"".join(self._buffer))
             self._buffer.clear()
+            self.blocks_flushed += 1
 
     def seal(self):
         """Finish writing and charge the accumulated write cost."""
@@ -253,6 +271,102 @@ class PipelinedStagingWriter:
             self._closed = True
             self._queue.put(self._STOP)
             self._thread.join()
+
+
+class ParallelStagingWriter:
+    """Per-file writer threads for a parallel scan's staging output.
+
+    The §4.3.2 file-split path can open many output files in one scan
+    (one per surviving batch node); funnelling them all through the
+    single :class:`PipelinedStagingWriter` thread serializes every
+    split behind one appender.  This writer gives each output
+    :class:`StagedFile` its own thread and its own bounded queue, so
+    independent files flush concurrently while counting continues.
+
+    Determinism is preserved per file: the coordinator calls
+    :meth:`put` strictly in partition order, each file's rows land on
+    that file's FIFO queue in that order, and a single thread drains
+    each queue — so every staged file is bit-identical to a serial
+    scan's.  Memory captures are applied inline on the coordinator
+    (list extends are cheap and stay ordered).
+
+    Error propagation mirrors the single-writer funnel: the first
+    writer-thread failure is recorded and re-raised on the next
+    :meth:`put` or at :meth:`close`; a failed thread keeps draining its
+    queue without writing so the producer is never left blocked, and
+    :meth:`abort` shuts every thread down without raising.
+    """
+
+    _STOP = object()
+
+    def __init__(self, file_writers, memory_capture, depth=2):
+        self._memory_capture = memory_capture
+        self._error = None
+        self._error_lock = threading.Lock()
+        self._closed = False
+        self._queues = {}
+        self._threads = []
+        for node_id, writer in file_writers.items():
+            q = queue.Queue(maxsize=max(1, depth))
+            thread = threading.Thread(
+                target=self._drain,
+                args=(writer, q),
+                name=f"staging-writer-{node_id}",
+                daemon=True,
+            )
+            self._queues[node_id] = q
+            self._threads.append(thread)
+            thread.start()
+
+    @property
+    def n_writers(self):
+        """Writer threads running (one per output file)."""
+        return len(self._threads)
+
+    def put(self, file_rows, capture_rows):
+        """Queue one partition's staged rows (in partition order)."""
+        if self._error is not None:
+            raise self._error
+        if self._closed:
+            raise StagingError("staging writer is already closed")
+        for node_id, rows in file_rows.items():
+            if rows:
+                self._queues[node_id].put(rows)
+        for node_id, rows in capture_rows.items():
+            if rows:
+                self._memory_capture[node_id].extend(rows)
+
+    def _drain(self, writer, q):
+        while True:
+            item = q.get()
+            if item is self._STOP:
+                return
+            if self._error is not None:
+                continue  # keep draining so the producer never blocks
+            try:
+                writer.append_rows(item)
+            except BaseException as exc:  # surfaced to the producer
+                with self._error_lock:
+                    if self._error is None:
+                        self._error = exc
+
+    def close(self):
+        """Flush every file and surface the first writer-thread error."""
+        self._shutdown()
+        if self._error is not None:
+            raise self._error
+
+    def abort(self):
+        """Stop without raising (the scan is already failing)."""
+        self._shutdown()
+
+    def _shutdown(self):
+        if not self._closed:
+            self._closed = True
+            for q in self._queues.values():
+                q.put(self._STOP)
+            for thread in self._threads:
+                thread.join()
 
 
 class StagingManager:

@@ -40,6 +40,13 @@ class ScheduleRecord:
     workers: int = 1
     #: Seconds spent merging per-worker CC partials (parallel scans).
     merge_seconds: float = 0.0
+    #: Seconds of pool/kernel setup this scan paid (0.0 on a warm pool
+    #: with an unchanged kernel — the reuse win the trace makes visible).
+    pool_setup_seconds: float = 0.0
+    #: SERVER-cursor prefetch depth in effect (0 = inline pulls).
+    prefetch_depth: int = 0
+    #: Per-file staging writer threads used (0 = single pipelined funnel).
+    split_writers: int = 0
 
     def __str__(self):
         actions = []

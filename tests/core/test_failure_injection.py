@@ -101,6 +101,86 @@ class TestScanFailureCleanup:
             assert result.cc.records == len(ROWS)
 
 
+class TestPoisonedPartition:
+    """A worker dying mid-scan must not corrupt the session.
+
+    The poison is a row carrying an unhashable attribute value: the
+    routing kernel's dict probe raises ``TypeError`` *inside a pool
+    worker*, which is the failure mode the persistent pool must survive
+    — outstanding futures drained, the staging writer aborted, no
+    half-written staged file left behind, and the same pool object
+    serving the next scan.
+    """
+
+    POISON = ([], 0, 0)  # unhashable A1 value blows up in the worker
+
+    def _poison(self, middleware, poison_after=8):
+        original = middleware.execution._rows_for
+
+        def poisoned(schedule, scan):
+            rows = list(original(schedule, scan))
+            rows.insert(poison_after, self.POISON)
+            return iter(rows)
+
+        middleware.execution._rows_for = poisoned
+
+    def _restore(self, middleware):
+        middleware.execution._rows_for = type(
+            middleware.execution
+        )._rows_for.__get__(middleware.execution)
+
+    PARALLEL = {
+        "scan_workers": 2,
+        "scan_parallel_min_rows": 0,
+        "scan_chunk_rows": 4,
+    }
+
+    def test_staged_file_set_unchanged_after_worker_failure(self, tmp_path):
+        with make_middleware(memory_staging=False,
+                             staging_dir=str(tmp_path),
+                             **self.PARALLEL) as mw:
+            self._poison(mw)
+            mw.queue_request(root_request())
+            with pytest.raises(TypeError):
+                mw.process_next_batch()
+            # The poisoned scan staged nothing and leaked nothing: no
+            # registered file, no stray bytes on disk, no memory held.
+            assert mw.staging.file_nodes() == []
+            assert list(tmp_path.iterdir()) == []
+            assert mw.budget.used == 0
+
+    def test_pool_survives_and_serves_the_next_scan(self):
+        with make_middleware(**self.PARALLEL) as mw:
+            self._poison(mw)
+            mw.queue_request(root_request())
+            with pytest.raises(TypeError):
+                mw.process_next_batch()
+            pool = mw.scan_pool
+            assert pool is not None and pool.active
+            created_before = pool.pools_created
+            self._restore(mw)
+            mw.queue_request(root_request())
+            (result,) = mw.process_next_batch()
+            assert result.cc.records == len(ROWS)
+            # Same pool object, same executor: a worker-level failure
+            # does not cost the session its warm pool.
+            assert mw.scan_pool is pool
+            assert pool.pools_created == created_before
+
+    def test_poison_mid_stream_with_prefetch_enabled(self, tmp_path):
+        with make_middleware(memory_staging=False,
+                             staging_dir=str(tmp_path),
+                             scan_prefetch_partitions=3,
+                             **self.PARALLEL) as mw:
+            self._poison(mw, poison_after=20)
+            mw.queue_request(root_request())
+            with pytest.raises(TypeError):
+                mw.process_next_batch()
+            assert mw.staging.file_nodes() == []
+            assert list(tmp_path.iterdir()) == []
+            assert mw.budget.used == 0
+
+
 class TestBadClientInput:
     def test_wrong_row_promise_surfaces_clearly(self):
         with make_middleware() as mw:

@@ -24,7 +24,11 @@ from repro.core.config import MiddlewareConfig
 from repro.core.filters import PathCondition
 from repro.core.middleware import Middleware
 from repro.core.requests import CountsRequest
-from repro.core.staging import PipelinedStagingWriter, StagingManager
+from repro.core.staging import (
+    ParallelStagingWriter,
+    PipelinedStagingWriter,
+    StagingManager,
+)
 from repro.datagen.dataset import DatasetSpec
 from repro.datagen.loader import load_dataset
 from repro.datagen.random_tree import RandomTreeConfig, build_random_tree
@@ -394,3 +398,221 @@ class TestPipelinedStagingWriter:
         writer.close()
         with pytest.raises(StagingError):
             writer.put({"n1": [(0, 0, 0)]}, {})
+
+
+class TestParallelStagingWriter:
+    """Per-file writer threads must keep the pipelined semantics."""
+
+    @pytest.fixture
+    def manager(self, tmp_path):
+        manager = StagingManager(
+            SPEC, CostMeter(), CostModel(), MemoryBudget(10_000),
+            staging_dir=str(tmp_path),
+        )
+        yield manager
+        manager.close()
+
+    def test_one_writer_thread_per_file(self, manager):
+        files = {f"n{i}": manager.open_file(f"n{i}") for i in range(3)}
+        writer = ParallelStagingWriter(files, {})
+        assert writer.n_writers == 3
+        writer.close()
+
+    def test_per_file_order_preserved_across_files(self, manager):
+        files = {f"n{i}": manager.open_file(f"n{i}") for i in range(2)}
+        capture = {"m1": []}
+        writer = ParallelStagingWriter(files, capture)
+        writer.put({"n0": [(0, 0, 0)], "n1": [(1, 1, 1)]},
+                   {"m1": [(0, 0, 0)]})
+        writer.put({"n0": [(2, 2, 2)]}, {})
+        writer.put({}, {})  # empty partitions are skipped, not queued
+        writer.put({"n0": [(0, 1, 2)], "n1": [(2, 1, 0)]},
+                   {"m1": [(2, 1, 0)]})
+        writer.close()
+        for staged in files.values():
+            staged.seal()
+        assert list(files["n0"].scan()) == [
+            (0, 0, 0), (2, 2, 2), (0, 1, 2)
+        ]
+        assert list(files["n1"].scan()) == [(1, 1, 1), (2, 1, 0)]
+        assert capture["m1"] == [(0, 0, 0), (2, 1, 0)]
+
+    def test_close_surfaces_writer_error(self, manager):
+        writer = ParallelStagingWriter(
+            {"ok": manager.open_file("ok"), "bad": _ExplodingWriter()}, {}
+        )
+        writer.put({"ok": [(0, 0, 0)], "bad": [(1, 1, 1)]}, {})
+        with pytest.raises(StagingError, match="disk full"):
+            writer.close()
+
+    def test_put_surfaces_earlier_error(self):
+        writer = ParallelStagingWriter({"bad": _ExplodingWriter()}, {})
+        writer.put({"bad": [(0, 0, 0)]}, {})
+        deadline = time.monotonic() + 5.0
+        while writer._error is None and time.monotonic() < deadline:
+            time.sleep(0.001)
+        with pytest.raises(StagingError, match="disk full"):
+            writer.put({"bad": [(1, 1, 1)]}, {})
+        writer.abort()  # abort never raises
+
+    def test_put_after_close_rejected(self, manager):
+        writer = ParallelStagingWriter({"n1": manager.open_file("n1")}, {})
+        writer.close()
+        with pytest.raises(StagingError):
+            writer.put({"n1": [(0, 0, 0)]}, {})
+
+    def test_abort_after_close_is_idempotent(self, manager):
+        writer = ParallelStagingWriter({"n1": manager.open_file("n1")}, {})
+        writer.close()
+        writer.abort()
+        writer.abort()
+
+
+class TestPrefetch:
+    """SERVER-cursor prefetch must change only where time is spent."""
+
+    @pytest.mark.parametrize("depth", [0, 1, 3])
+    def test_counts_and_costs_identical_at_any_depth(self, depth):
+        results, trace, cost = frontier_results(
+            scan_workers=2, scan_prefetch_partitions=depth, **PARALLEL
+        )
+        reference, _, reference_cost = frontier_results(
+            scan_workers=1, scan_prefetch_partitions=0, **PARALLEL
+        )
+        rows = dataset_rows()
+        for value in range(3):
+            subset = [r for r in rows if r[0] == value]
+            assert results[f"n{value}"].cc == build_cc_from_rows(
+                subset, SPEC, ("A2",)
+            )
+        # Exactly one thread consumes the cursor, so meter charges are
+        # identical whether or not the producer thread pulled ahead.
+        assert cost == pytest.approx(reference_cost)
+        assert trace[0].prefetch_depth == depth
+
+    def test_prefetch_only_applies_to_server_scans(self):
+        rows = dataset_rows()
+        server = make_server(rows)
+        config = MiddlewareConfig(
+            memory_bytes=100_000,
+            file_staging=False,
+            scan_workers=2,
+            scan_prefetch_partitions=3,
+            **PARALLEL,
+        )
+        with Middleware(server, "data", SPEC, config) as mw:
+            mw.queue_request(root_request(rows))
+            mw.process_next_batch()  # SERVER scan, stages root to memory
+            assert mw.execution.last_scan.prefetch_depth == 3
+            for value in range(3):
+                mw.queue_request(child_request(f"n{value}", value, rows))
+            while mw.pending:
+                mw.process_next_batch()
+                assert mw.execution.last_scan.prefetch_depth == 0
+
+    def test_negative_prefetch_rejected(self):
+        with pytest.raises(MiddlewareError):
+            MiddlewareConfig(scan_prefetch_partitions=-1)
+
+
+class TestSplitWriters:
+    """§4.3.2 split scans with one writer per output file."""
+
+    def _split_children(self, workers, **overrides):
+        rows = dataset_rows()
+        server = make_server(rows)
+        config = MiddlewareConfig(
+            memory_bytes=100_000,
+            memory_staging=False,
+            file_split_threshold=1.0,
+            scan_workers=workers,
+            **PARALLEL,
+            **overrides,
+        )
+        split_writer_counts = []
+        with Middleware(server, "data", SPEC, config) as mw:
+            mw.queue_request(root_request(rows))
+            mw.process_next_batch()  # SERVER scan stages the root file
+            for value in range(3):
+                mw.queue_request(child_request(f"n{value}", value, rows))
+            while mw.pending:
+                mw.process_next_batch()
+                split_writer_counts.append(
+                    mw.execution.last_scan.split_writers
+                )
+            payload = {}
+            for value in range(3):
+                staged = mw.staging.file_for(f"n{value}")
+                with open(staged.path, "rb") as handle:
+                    payload[f"n{value}"] = handle.read()
+        return payload, split_writer_counts
+
+    def test_split_files_bit_identical_across_workers(self):
+        serial, serial_writers = self._split_children(1)
+        assert all(count == 0 for count in serial_writers)  # serial path
+        for workers in (2, 4):
+            parallel, writer_counts = self._split_children(workers)
+            assert parallel == serial
+            assert max(writer_counts) == 3  # one thread per output file
+
+    def test_split_writers_can_be_disabled(self):
+        payload, writer_counts = self._split_children(
+            2, scan_split_writers=False
+        )
+        reference, _ = self._split_children(1)
+        assert payload == reference
+        assert all(count == 0 for count in writer_counts)
+
+
+class TestAbsorbAccounting:
+    """`ExecutionStats.absorb` must count each scan's profile once."""
+
+    def _overflow_session(self, workers):
+        rows = dataset_rows()
+        server = make_server(rows)
+        config = MiddlewareConfig(
+            memory_bytes=100,
+            file_staging=False,
+            memory_staging=False,
+            scan_workers=workers,
+            **PARALLEL,
+        )
+        mw = Middleware(server, "data", SPEC, config)
+        for value in range(3):
+            mw.queue_request(
+                child_request(f"n{value}", value, rows, est_cc_pairs=1)
+            )
+        return mw
+
+    def test_retried_scan_profiles_absorbed_exactly_once(self):
+        with self._overflow_session(2) as mw:
+            per_scan = []
+            while mw.pending:
+                mw.process_next_batch()
+                scan = mw.execution.last_scan
+                per_scan.append(
+                    (scan.merge_seconds, tuple(scan.worker_seconds),
+                     scan.pool_setup_seconds)
+                )
+            assert mw.stats.deferrals >= 1  # an abandonment retried
+            assert len(per_scan) >= 2
+            # Each retry built a fresh ScanStats: the per-scan worker
+            # profiles are independent lists, never one accumulator.
+            assert mw.stats.merge_seconds == pytest.approx(
+                sum(merge for merge, _, _ in per_scan)
+            )
+            assert mw.stats.worker_seconds_total == pytest.approx(
+                sum(sum(seconds) for _, seconds, _ in per_scan)
+            )
+            assert mw.stats.pool_setup_seconds == pytest.approx(
+                sum(setup for _, _, setup in per_scan)
+            )
+            # The trace mirrors the same per-attempt numbers.
+            assert mw.stats.merge_seconds == pytest.approx(
+                sum(record.merge_seconds for record in mw.trace)
+            )
+
+    def test_trace_merge_matches_stats_on_clean_runs(self):
+        _, trace, _ = frontier_results(scan_workers=4, **PARALLEL)
+        assert sum(r.merge_seconds for r in trace) >= 0.0
+        assert all(r.pool_setup_seconds >= 0.0 for r in trace)

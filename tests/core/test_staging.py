@@ -203,6 +203,41 @@ class TestBlockIO:
         staged.seal()
         assert list(staged.scan()) == [(1, 2, 0)]
 
+    def test_empty_append_rows_is_a_strict_noop(self, manager):
+        # A zero-row split partition must not bump flush counters or
+        # touch the meter — parallel split scans routinely hand a
+        # writer empty slices.
+        meter = manager._test_meter
+        staged = manager.open_file("n1")
+        staged.append_rows([(0, 0, 0)])
+        counters = (staged.write_calls, staged.blocks_flushed,
+                    staged.row_count, len(staged._buffer))
+        charges = dict(meter.charges)
+        for payload in ([], iter(()), (row for row in ())):
+            staged.append_rows(payload)
+        assert (staged.write_calls, staged.blocks_flushed,
+                staged.row_count, len(staged._buffer)) == counters
+        assert dict(meter.charges) == charges
+        staged.seal()
+        assert list(staged.scan()) == [(0, 0, 0)]
+        assert meter.charges["file_write"] == pytest.approx(
+            manager._test_model.file_write_row
+        )
+
+    def test_write_counters_track_real_appends(self, manager):
+        staged = manager.open_file("n1")
+        assert staged.write_calls == 0
+        assert staged.blocks_flushed == 0
+        staged.append((0, 0, 0))
+        staged.append_rows([(1, 1, 1), (2, 2, 0)])
+        assert staged.write_calls == 2
+        assert staged.blocks_flushed == 0  # still buffered
+        staged.append_rows(
+            [(i % 3, i % 3, i % 2) for i in range(staged.BLOCK_ROWS)]
+        )
+        assert staged.blocks_flushed >= 1
+        staged.seal()
+
 
 class TestResolve:
     def test_unstaged_resolves_to_server(self, manager):
@@ -357,3 +392,72 @@ class TestClose:
         manager.close()
         assert not os.path.exists(path)
         assert budget.used == 0
+
+
+class TestMeteredCostParity:
+    """Simulated staging costs are identical serial vs parallel.
+
+    The parallel executor (split writers, prefetch, worker pools) may
+    only move wall-clock time around; every metered charge — file
+    writes at seal, file reads on later scans, memory loads — must
+    match the serial run to the cent, including on §4.3.2 split scans
+    where parallel runs hand writers empty partition slices.
+    """
+
+    def _split_run_cost(self, workers):
+        from repro.core.config import MiddlewareConfig
+        from repro.core.filters import PathCondition
+        from repro.core.middleware import Middleware
+        from repro.datagen.loader import load_dataset
+        from repro.sqlengine.database import SQLServer
+
+        rows = [(a, b, (a + b) % 2) for a in range(3) for b in range(3)
+                for _ in range(3)]
+        server = SQLServer()
+        load_dataset(server, "data", SPEC, rows)
+        config = MiddlewareConfig(
+            memory_bytes=100_000,
+            memory_staging=False,
+            file_split_threshold=1.0,
+            scan_workers=workers,
+            scan_parallel_min_rows=0,
+            scan_chunk_rows=4,
+        )
+        with Middleware(server, "data", SPEC, config) as mw:
+            mw.queue_request(
+                CountsRequest(
+                    node_id="root",
+                    lineage=("root",),
+                    conditions=(),
+                    attributes=("A1", "A2"),
+                    n_rows=len(rows),
+                    est_cc_pairs=6,
+                )
+            )
+            mw.process_next_batch()
+            for value in range(3):
+                subset = sum(1 for r in rows if r[0] == value)
+                mw.queue_request(
+                    CountsRequest(
+                        node_id=f"n{value}",
+                        lineage=("root", f"n{value}"),
+                        conditions=(PathCondition("A1", "=", value),),
+                        attributes=("A2",),
+                        n_rows=subset,
+                        est_cc_pairs=3,
+                    )
+                )
+            while mw.pending:
+                mw.process_next_batch()
+            breakdown = dict(server.meter.breakdown())
+        return server.meter.total, breakdown
+
+    def test_split_scan_costs_identical_across_workers(self):
+        serial_total, serial_breakdown = self._split_run_cost(1)
+        assert serial_breakdown.get("file_write", 0) > 0  # really staged
+        for workers in (2, 4):
+            total, breakdown = self._split_run_cost(workers)
+            assert total == pytest.approx(serial_total)
+            assert breakdown.keys() == serial_breakdown.keys()
+            for charge, amount in serial_breakdown.items():
+                assert breakdown[charge] == pytest.approx(amount), charge
