@@ -1,0 +1,91 @@
+"""CLI driver: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 = clean, 1 = findings reported, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .engine import analyze
+from .rules import default_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Run the repro static-analysis suite (concurrency lint + "
+            "config consistency) over the given files or directories."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print findings silenced by pragmas",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help=(
+            "project root for cross-file rules (docs/, README.md); "
+            "auto-detected from the nearest pyproject.toml by default"
+        ),
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    try:
+        report = analyze(args.paths, rules, root=args.root)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        payload = {
+            "files_scanned": report.files_scanned,
+            "parse_errors": report.parse_errors,
+            "findings": [f.to_dict() for f in report.findings],
+            "suppressed": [f.to_dict() for f in report.suppressed],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        if args.show_suppressed:
+            for finding in report.suppressed:
+                print(f"[suppressed] {finding.render()}")
+        summary = (
+            f"{len(report.findings)} finding(s), "
+            f"{len(report.suppressed)} suppressed, "
+            f"{report.files_scanned} file(s) scanned"
+        )
+        print(summary)
+
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

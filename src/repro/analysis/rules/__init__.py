@@ -1,0 +1,36 @@
+"""Rule registry for the repro static-analysis suite."""
+
+from __future__ import annotations
+
+from .base import Rule
+from .future_drain import FutureDrainRule
+from .guarded_by import GuardedByRule
+from .knob_consistency import KnobConsistencyRule
+from .pickle_boundary import PickleBoundaryRule
+from .resource_lifecycle import ResourceLifecycleRule
+
+#: Every shipped rule, in reporting order.
+ALL_RULES: list[type[Rule]] = [
+    GuardedByRule,
+    FutureDrainRule,
+    ResourceLifecycleRule,
+    PickleBoundaryRule,
+    KnobConsistencyRule,
+]
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every shipped rule."""
+    return [cls() for cls in ALL_RULES]
+
+
+__all__ = [
+    "ALL_RULES",
+    "FutureDrainRule",
+    "GuardedByRule",
+    "KnobConsistencyRule",
+    "PickleBoundaryRule",
+    "ResourceLifecycleRule",
+    "Rule",
+    "default_rules",
+]

@@ -1,0 +1,153 @@
+"""future-drain: every submitted future must be awaited or drainable.
+
+PR 3's bugfix sweep found scans that failed mid-flight while futures
+from ``pool.submit(...)`` were still outstanding — the next scan then
+reused a pool with stale work in it.  The repair was structural: every
+future is appended to a tracked collection (``inflight``) and the
+exception path drains/cancels that collection before re-raising.  This
+rule enforces the structure:
+
+* a ``submit()`` whose result is discarded (a bare expression
+  statement) is a finding — nobody can ever await or cancel it;
+* a ``submit()`` result assigned to a local that is never used again
+  is a finding for the same reason;
+* ``submit()`` results collected into a list/deque (via ``append`` or
+  a comprehension) require the enclosing function to have an
+  ``except`` or ``finally`` block that references the collection and
+  calls one of the drain verbs (``drain``, ``cancel``, ``result``,
+  ``exception``, ``popleft``, ``shutdown``) — i.e. the exception path
+  must be able to reach the futures;
+* returning the future transfers responsibility to the caller and is
+  always fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Project
+from ..findings import Finding
+from ..source import SourceFile
+from .base import Rule, call_name, iter_functions, names_in, walk_with_stack
+
+#: Methods whose presence on the exception path counts as draining.
+DRAIN_VERBS = {"drain", "cancel", "result", "exception", "popleft",
+               "shutdown", "pop", "join"}
+
+
+def _is_submit(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and call_name(node) == "submit"
+
+
+class FutureDrainRule(Rule):
+    name = "future-drain"
+    description = (
+        "submit() results must be returned, awaited, or collected into "
+        "a structure the exception path drains/cancels"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project.files:
+            for _, function in iter_functions(source.tree):
+                yield from self._check_function(source, function)
+
+    def _check_function(self, source: SourceFile,
+                        function: ast.FunctionDef) -> Iterable[Finding]:
+        collections: set[str] = set()
+        assigned: dict[str, ast.AST] = {}
+        saw_submit = False
+
+        for node, stack in walk_with_stack(function):
+            if not _is_submit(node):
+                continue
+            saw_submit = True
+            parent = stack[-1] if stack else function
+            if isinstance(parent, ast.Expr):
+                yield self.finding(
+                    source, node,
+                    "result of submit() is discarded; the future can "
+                    "never be awaited or cancelled",
+                )
+            elif isinstance(parent, ast.Return):
+                continue  # responsibility transferred to the caller
+            elif (isinstance(parent, ast.Call)
+                  and call_name(parent) == "append"
+                  and isinstance(parent.func, ast.Attribute)
+                  and isinstance(parent.func.value, ast.Name)):
+                collections.add(parent.func.value.id)
+            elif any(isinstance(anc, (ast.ListComp, ast.SetComp,
+                                      ast.GeneratorExp)) for anc in stack):
+                comp_targets = self._comprehension_targets(function, stack)
+                collections.update(comp_targets)
+            elif isinstance(parent, ast.Assign):
+                for target in parent.targets:
+                    if isinstance(target, ast.Name):
+                        assigned[target.id] = node
+
+        if not saw_submit:
+            return
+
+        # Locals holding a single future must be used again.
+        for name, node in assigned.items():
+            uses = sum(
+                1 for n in ast.walk(function)
+                if isinstance(n, ast.Name) and n.id == name
+            )
+            if uses <= 1:  # the assignment itself
+                yield self.finding(
+                    source, node,
+                    f"future assigned to '{name}' is never awaited, "
+                    "cancelled, or tracked",
+                )
+
+        # Collections of futures need a reachable drain on the
+        # exception path.
+        for name in sorted(collections):
+            if not self._drained_on_exception_path(function, name):
+                yield self.finding(
+                    source, function,
+                    f"futures collected in '{name}' are not drained or "
+                    "cancelled on any except/finally path of "
+                    f"'{function.name}'",
+                )
+
+    @staticmethod
+    def _comprehension_targets(function: ast.FunctionDef,
+                               stack: list[ast.AST]) -> set[str]:
+        """Names a submit-bearing comprehension is assigned to."""
+        out: set[str] = set()
+        for index, node in enumerate(stack):
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) for t in node.targets
+            ):
+                out.update(
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                )
+        return out
+
+    @staticmethod
+    def _drained_on_exception_path(function: ast.FunctionDef,
+                                   collection: str) -> bool:
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Try):
+                continue
+            regions: list[list[ast.stmt]] = [
+                handler.body for handler in node.handlers
+            ]
+            if node.finalbody:
+                regions.append(node.finalbody)
+            for region in regions:
+                for stmt in region:
+                    mentions = any(
+                        collection in names_in(sub)
+                        for sub in ast.walk(stmt)
+                    )
+                    verbs = any(
+                        isinstance(sub, ast.Call)
+                        and call_name(sub) in DRAIN_VERBS
+                        for sub in ast.walk(stmt)
+                    )
+                    if mentions and verbs:
+                        return True
+        return False

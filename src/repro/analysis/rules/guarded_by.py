@@ -1,0 +1,137 @@
+"""guarded-by: lock-discipline checking for declared attributes.
+
+Concurrency state in this codebase is documented at the point of
+initialisation::
+
+    class ScanWorkerPool:
+        def __init__(self, ...):
+            self._lock = threading.Lock()
+            #: guarded by self._lock
+            self._executor = None
+
+The declaration is a contract the whole class must honour: every
+*mutation* of ``self._executor`` outside ``__init__`` must happen
+lexically inside a ``with self._lock:`` block.  (Reads are not
+checked — several of the guarded attributes are intentionally read
+unlocked on single-writer paths; the invariant the PR-1..3 bugs broke
+was always an unguarded *write*.)
+
+Mutations recognised: plain assignment, augmented assignment,
+annotated assignment, and ``del`` of ``self.<attr>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..engine import Project
+from ..findings import Finding
+from ..source import SourceFile
+from .base import Rule, iter_functions, self_attr, walk_with_stack
+
+#: The declaration comment, e.g. ``#: guarded by self._lock``.
+_DECLARATION = re.compile(r"#:?\s*guarded by\s+self\.(\w+)")
+
+
+def _declared_guards(source: SourceFile,
+                     class_node: ast.ClassDef) -> dict[str, int]:
+    """``attr -> declaration line`` for one class, plus the lock names.
+
+    Returns the mapping of guarded attribute name to the lock attribute
+    it is guarded by, discovered from ``__init__`` assignments whose
+    own line or the comment line directly above carries the
+    declaration.
+    """
+    guards: dict[str, str] = {}
+    for node in ast.walk(class_node):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            attr = self_attr(target)
+            if attr is None:
+                continue
+            for text in (source.line_text(node.lineno),
+                         source.comment_above(node.lineno)):
+                match = _DECLARATION.search(text)
+                if match is not None:
+                    guards[attr] = match.group(1)
+    return guards
+
+
+class GuardedByRule(Rule):
+    name = "guarded-by"
+    description = (
+        "attributes declared '#: guarded by self.<lock>' may only be "
+        "mutated inside a 'with' on that lock (outside __init__)"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project.files:
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterable[Finding]:
+        guards_by_class = {
+            node: _declared_guards(source, node)
+            for node in ast.walk(source.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for owner, function in iter_functions(source.tree):
+            if owner is None or function.name == "__init__":
+                continue
+            guards = guards_by_class.get(owner)
+            if guards:
+                yield from self._check_function(source, function, guards)
+
+    def _check_function(self, source: SourceFile,
+                        function: ast.FunctionDef,
+                        guards: dict[str, str]) -> Iterable[Finding]:
+        for node, stack in walk_with_stack(function):
+            mutated: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                mutated = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                mutated = [node.target]
+            elif isinstance(node, ast.Delete):
+                mutated = list(node.targets)
+            # `a, self.x = ...` mutates self.x too.
+            mutated = [
+                element
+                for target in mutated
+                for element in (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+            ]
+            for target in mutated:
+                attr = self_attr(target)
+                if attr is None or attr not in guards:
+                    continue
+                lock = guards[attr]
+                held = {
+                    name
+                    for with_node in stack
+                    if isinstance(with_node, ast.With)
+                    for name in self._locks_of(with_node)
+                }
+                if lock not in held:
+                    yield self.finding(
+                        source, node,
+                        f"'self.{attr}' is declared guarded by "
+                        f"'self.{lock}' but is mutated in "
+                        f"'{function.name}' without holding it",
+                    )
+
+    @staticmethod
+    def _locks_of(with_node: ast.With) -> list[str]:
+        out = []
+        for item in with_node.items:
+            name = self_attr(item.context_expr)
+            if name is not None:
+                out.append(name)
+        return out

@@ -1,0 +1,159 @@
+"""pickle-boundary: process-worker payloads must be picklable.
+
+``ScanWorkerPool(kind="process")`` ships its work through
+``ProcessPoolExecutor.submit`` — everything in the call crosses a
+pickle boundary into the worker.  PR 3 established the payload
+protocol (plain tuples of arrays and node descriptors, refreshed by
+generation); this rule keeps unpicklable state from sneaking back in.
+
+The rule activates only for files that actually touch process pools
+(reference ``ProcessPoolExecutor``, ``multiprocessing`` or
+``get_context``).  Inside such a file it flags, for every
+``.submit(...)`` call and every tuple assigned to a ``*payload*``
+variable:
+
+* ``lambda`` expressions and generator expressions — never picklable;
+* ``self`` itself — drags the whole object (locks, executors, file
+  handles) across the boundary;
+* ``self.<attr>`` where the class assigns ``<attr>`` from a known
+  unpicklable constructor (``threading.Lock/RLock/Condition/Event``,
+  ``open(...)``, a ``ThreadPoolExecutor``/``ProcessPoolExecutor``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Project
+from ..findings import Finding
+from ..source import SourceFile
+from .base import Rule, call_name, self_attr
+
+#: Constructors whose result must never cross the pickle boundary.
+UNPICKLABLE_CONSTRUCTORS = {
+    "Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore",
+    "open", "ThreadPoolExecutor", "ProcessPoolExecutor", "Thread",
+}
+
+#: File-level markers that a module works with process pools.
+_PROCESS_MARKERS = {"ProcessPoolExecutor", "multiprocessing", "get_context"}
+
+
+def _file_is_process_scoped(source: SourceFile) -> bool:
+    names = {
+        node.id for node in ast.walk(source.tree)
+        if isinstance(node, ast.Name)
+    }
+    attrs = {
+        node.attr for node in ast.walk(source.tree)
+        if isinstance(node, ast.Attribute)
+    }
+    imported = set()
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            imported.update(alias.name.split(".")[0] for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            imported.add(node.module.split(".")[0])
+            imported.update(alias.name for alias in node.names)
+    return bool(_PROCESS_MARKERS & (names | attrs | imported))
+
+
+def _unpicklable_attrs(tree: ast.AST) -> set[str]:
+    """``self.<attr>`` names assigned from unpicklable constructors."""
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)):
+            continue
+        if call_name(node.value) not in UNPICKLABLE_CONSTRUCTORS:
+            continue
+        for target in node.targets:
+            attr = self_attr(target)
+            if attr is not None:
+                out.add(attr)
+    return out
+
+
+class PickleBoundaryRule(Rule):
+    name = "pickle-boundary"
+    description = (
+        "process-pool payloads must not capture locks, file handles, "
+        "lambdas, generators, or whole objects"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project.files:
+            if not _file_is_process_scoped(source):
+                continue
+            tainted = _unpicklable_attrs(source.tree)
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.Call) and \
+                        call_name(node) == "submit":
+                    yield from self._check_payload(
+                        source, node.args, tainted, "submit() payload"
+                    )
+                elif (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Tuple)
+                    and len(node.targets) == 1
+                    and self._is_payload_target(node.targets[0])
+                ):
+                    yield from self._check_payload(
+                        source, node.value.elts, tainted, "worker payload"
+                    )
+
+    @staticmethod
+    def _is_payload_target(target: ast.AST) -> bool:
+        if isinstance(target, ast.Name):
+            return "payload" in target.id
+        attr = self_attr(target)
+        return attr is not None and "payload" in attr
+
+    def _check_payload(self, source: SourceFile, values: list[ast.expr],
+                       tainted: set[str], where: str) -> Iterable[Finding]:
+        for value in values:
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Lambda):
+                    yield self.finding(
+                        source, sub,
+                        f"{where} contains a lambda; lambdas cannot "
+                        "cross the pickle boundary into a process "
+                        "worker",
+                    )
+                elif isinstance(sub, ast.GeneratorExp):
+                    yield self.finding(
+                        source, sub,
+                        f"{where} contains a generator expression; "
+                        "generators cannot be pickled — materialise a "
+                        "list first",
+                    )
+                elif isinstance(sub, ast.Name) and sub.id == "self":
+                    attr = None
+                    # `self` alone is the problem; `self.x` is handled
+                    # by the attribute branch below via its parent.
+                    if not self._name_is_attribute_base(value, sub):
+                        yield self.finding(
+                            source, sub,
+                            f"{where} ships `self` across the pickle "
+                            "boundary; pass plain fields instead of "
+                            "the whole object",
+                        )
+                    del attr
+                elif isinstance(sub, ast.Attribute):
+                    attr = self_attr(sub)
+                    if attr is not None and attr in tainted:
+                        yield self.finding(
+                            source, sub,
+                            f"{where} ships `self.{attr}`, which is "
+                            "assigned from an unpicklable constructor "
+                            "(lock/file/executor)",
+                        )
+
+    @staticmethod
+    def _name_is_attribute_base(root: ast.expr, name: ast.Name) -> bool:
+        """True when ``name`` occurs as the ``x`` of some ``x.attr``."""
+        for node in ast.walk(root):
+            if isinstance(node, ast.Attribute) and node.value is name:
+                return True
+        return False

@@ -23,7 +23,7 @@ from .client.evaluation import cross_validate, evaluate
 from .client.growth import GrowthPolicy
 from .client.serialize import load_tree, save_tree
 from .common.errors import ReproError
-from .core.config import MiddlewareConfig
+from .core.config import AUX_STRATEGIES, MiddlewareConfig
 from .core.middleware import Middleware
 from .datagen.census import CensusConfig, census_spec, generate_census_rows
 from .datagen.dataset import DatasetSpec
@@ -89,6 +89,31 @@ def _build_parser():
                      help="middleware memory budget in simulated bytes")
     fit.add_argument("--no-staging", action="store_true",
                      help="disable file and memory staging")
+    fit.add_argument("--file-split-threshold", type=float, default=None,
+                     help="file-split trigger in [0, 1]: a file scan "
+                          "whose active nodes cover at most this "
+                          "fraction writes fresh per-node files "
+                          "(default: 0.5)")
+    fit.add_argument("--file-budget-bytes", type=int, default=None,
+                     help="cap on total staged-file bytes "
+                          "(default: unlimited)")
+    fit.add_argument("--no-push-filters", action="store_true",
+                     help="keep batch filter expressions out of server "
+                          "scans (route every row in the middleware)")
+    fit.add_argument("--aux-strategy", choices=AUX_STRATEGIES,
+                     default=None,
+                     help="server-access strategy for partial scans "
+                          "(default: scan)")
+    fit.add_argument("--aux-build-threshold", type=float, default=None,
+                     help="relevant-row fraction in (0, 1] below which "
+                          "the auxiliary strategy builds its structure "
+                          "(default: 0.1)")
+    fit.add_argument("--aux-free-build", action="store_true",
+                     help="do not charge auxiliary-structure builds to "
+                          "the simulated cost meter")
+    fit.add_argument("--staging-dir", default=None,
+                     help="directory for staging files (default: a "
+                          "private temp directory)")
     fit.add_argument("--no-scan-kernel", action="store_true",
                      help="route rows with the reference per-row "
                           "matcher loop instead of the compiled kernel")
@@ -212,6 +237,20 @@ def _cmd_fit(args):
         scan_options["scan_pool_reuse"] = False
     if args.no_scan_split_writers:
         scan_options["scan_split_writers"] = False
+    if args.file_split_threshold is not None:
+        scan_options["file_split_threshold"] = args.file_split_threshold
+    if args.file_budget_bytes is not None:
+        scan_options["file_budget_bytes"] = args.file_budget_bytes
+    if args.no_push_filters:
+        scan_options["push_filters"] = False
+    if args.aux_strategy is not None:
+        scan_options["aux_strategy"] = args.aux_strategy
+    if args.aux_build_threshold is not None:
+        scan_options["aux_build_threshold"] = args.aux_build_threshold
+    if args.aux_free_build:
+        scan_options["aux_free_build"] = True
+    if args.staging_dir is not None:
+        scan_options["staging_dir"] = args.staging_dir
     if args.no_staging:
         config = MiddlewareConfig.no_staging(args.memory, **scan_options)
     else:

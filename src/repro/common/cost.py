@@ -98,10 +98,15 @@ class CostMeter:
     and diffed, which is how benchmarks charge individual phases.
     """
 
-    charges: dict = field(default_factory=lambda: {c: 0.0 for c in CATEGORIES})
-    counts: dict = field(default_factory=lambda: {c: 0 for c in CATEGORIES})
+    charges: dict[str, float] = field(
+        default_factory=lambda: {c: 0.0 for c in CATEGORIES}
+    )
+    counts: dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in CATEGORIES}
+    )
 
-    def charge(self, category, amount, events=1):
+    def charge(self, category: str, amount: float,
+               events: int = 1) -> None:
         """Add ``amount`` cost units under ``category``.
 
         ``events`` counts how many underlying operations the charge
@@ -115,23 +120,23 @@ class CostMeter:
         self.counts[category] += events
 
     @property
-    def total(self):
+    def total(self) -> float:
         """Total simulated cost across all categories."""
         return sum(self.charges.values())
 
-    def snapshot(self):
+    def snapshot(self) -> dict[str, float]:
         """Return an immutable copy of the current charges."""
         return dict(self.charges)
 
-    def since(self, snapshot):
+    def since(self, snapshot: dict[str, float]) -> dict[str, float]:
         """Per-category charges accumulated since ``snapshot``."""
         return {c: self.charges[c] - snapshot.get(c, 0.0) for c in self.charges}
 
-    def total_since(self, snapshot):
+    def total_since(self, snapshot: dict[str, float]) -> float:
         """Total cost accumulated since ``snapshot``."""
         return self.total - sum(snapshot.values())
 
-    def rollback_to(self, snapshot):
+    def rollback_to(self, snapshot: dict[str, float]) -> None:
         """Restore charges to ``snapshot`` (event counts are kept).
 
         Used to model idealised operations the paper assumes free, e.g.
@@ -140,18 +145,18 @@ class CostMeter:
         for category in self.charges:
             self.charges[category] = snapshot.get(category, 0.0)
 
-    def reset(self):
+    def reset(self) -> None:
         """Zero out all charges and event counts."""
         for category in self.charges:
             self.charges[category] = 0.0
             self.counts[category] = 0
 
-    def breakdown(self):
+    def breakdown(self) -> list[tuple[str, float]]:
         """Non-zero charges, largest first, as ``[(category, cost), ...]``."""
         items = [(c, v) for c, v in self.charges.items() if v > 0]
         items.sort(key=lambda item: item[1], reverse=True)
         return items
 
-    def __str__(self):
+    def __str__(self) -> str:
         parts = ", ".join(f"{c}={v:.1f}" for c, v in self.breakdown())
         return f"CostMeter(total={self.total:.1f}; {parts})"

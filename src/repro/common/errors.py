@@ -4,6 +4,8 @@ Keeping all exceptions in one module gives callers a single import point
 and lets tests assert on precise failure modes instead of bare ``Exception``.
 """
 
+from __future__ import annotations
+
 
 class ReproError(Exception):
     """Base class for every error raised by this package."""
@@ -16,7 +18,7 @@ class SQLError(ReproError):
 class SQLSyntaxError(SQLError):
     """The SQL text could not be tokenised or parsed."""
 
-    def __init__(self, message, position=None):
+    def __init__(self, message: str, position: int | None = None):
         if position is not None:
             message = f"{message} (at offset {position})"
         super().__init__(message)
@@ -50,7 +52,7 @@ class MemoryBudgetExceeded(MiddlewareError):
     fallback of Section 4.1.1; it escapes only on programming errors.
     """
 
-    def __init__(self, requested, available, budget):
+    def __init__(self, requested: int, available: int, budget: int):
         super().__init__(
             f"requested {requested} bytes but only {available} of "
             f"{budget} bytes are free"

@@ -17,40 +17,40 @@ from .errors import MemoryBudgetExceeded
 class MemoryBudget:
     """A fixed pool of simulated bytes with named reservations."""
 
-    def __init__(self, budget_bytes):
+    def __init__(self, budget_bytes: int):
         if budget_bytes < 0:
             raise ValueError("memory budget must be non-negative")
         self._budget = int(budget_bytes)
-        self._reservations = {}
+        self._reservations: dict[str, int] = {}
 
     @property
-    def budget(self):
+    def budget(self) -> int:
         """Total size of the pool in bytes."""
         return self._budget
 
     @property
-    def used(self):
+    def used(self) -> int:
         """Bytes currently reserved."""
         return sum(self._reservations.values())
 
     @property
-    def available(self):
+    def available(self) -> int:
         """Bytes currently free."""
         return self._budget - self.used
 
-    def holds(self, tag):
+    def holds(self, tag: str) -> bool:
         """True if a reservation named ``tag`` exists."""
         return tag in self._reservations
 
-    def reserved(self, tag):
+    def reserved(self, tag: str) -> int:
         """Size in bytes of the reservation named ``tag`` (0 if absent)."""
         return self._reservations.get(tag, 0)
 
-    def fits(self, nbytes):
+    def fits(self, nbytes: int) -> bool:
         """True if ``nbytes`` more could be reserved right now."""
         return nbytes <= self.available
 
-    def reserve(self, tag, nbytes):
+    def reserve(self, tag: str, nbytes: int) -> None:
         """Reserve ``nbytes`` under ``tag``; raises if it does not fit.
 
         Reserving an existing tag *adds* to it (CC tables grow as a scan
@@ -63,7 +63,7 @@ class MemoryBudget:
             raise MemoryBudgetExceeded(nbytes, self.available, self._budget)
         self._reservations[tag] = self._reservations.get(tag, 0) + nbytes
 
-    def try_reserve(self, tag, nbytes):
+    def try_reserve(self, tag: str, nbytes: int) -> bool:
         """Like :meth:`reserve` but returns False instead of raising."""
         try:
             self.reserve(tag, nbytes)
@@ -71,11 +71,11 @@ class MemoryBudget:
             return False
         return True
 
-    def release(self, tag):
+    def release(self, tag: str) -> int:
         """Free the reservation named ``tag``; returns the bytes freed."""
         return self._reservations.pop(tag, 0)
 
-    def resize(self, tag, nbytes):
+    def resize(self, tag: str, nbytes: int) -> None:
         """Set the reservation named ``tag`` to exactly ``nbytes``."""
         nbytes = int(nbytes)
         if nbytes < 0:
@@ -89,11 +89,11 @@ class MemoryBudget:
         else:
             self._reservations[tag] = nbytes
 
-    def tags(self):
+    def tags(self) -> list[str]:
         """Names of all live reservations."""
         return list(self._reservations)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"MemoryBudget(used={self.used}/{self._budget}, "
             f"reservations={len(self._reservations)})"

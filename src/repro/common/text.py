@@ -7,8 +7,10 @@ third-party dependency.
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
 
-def format_value(value):
+
+def format_value(value: object) -> str:
     """Render a cell: floats get 2 decimals, everything else ``str``."""
     if isinstance(value, float):
         return f"{value:,.2f}"
@@ -17,37 +19,40 @@ def format_value(value):
     return str(value)
 
 
-def render_table(headers, rows, title=None):
+def render_table(headers: Sequence[object],
+                 rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
     """Render ``rows`` (sequences) under ``headers`` as an aligned table."""
     cells = [[format_value(v) for v in row] for row in rows]
-    headers = [str(h) for h in headers]
-    widths = [len(h) for h in headers]
+    names = [str(h) for h in headers]
+    widths = [len(h) for h in names]
     for row in cells:
-        if len(row) != len(headers):
+        if len(row) != len(names):
             raise ValueError("row width does not match header width")
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
 
-    def line(parts):
+    def line(parts: Iterable[str]) -> str:
         return "  ".join(part.rjust(widths[i]) for i, part in enumerate(parts))
 
-    out = []
+    out: list[str] = []
     if title:
         out.append(title)
-    out.append(line(headers))
+    out.append(line(names))
     out.append(line(["-" * w for w in widths]))
     for row in cells:
         out.append(line(row))
     return "\n".join(out)
 
 
-def render_series(name, xs, ys):
+def render_series(name: str, xs: Iterable[object],
+                  ys: Iterable[object]) -> str:
     """Render one named (x, y) series, one point per line."""
-    rows = list(zip(xs, ys))
+    rows: list[Sequence[object]] = [list(p) for p in zip(xs, ys)]
     return render_table(["x", name], rows)
 
 
-def human_bytes(nbytes):
+def human_bytes(nbytes: float) -> str:
     """Human-readable byte size (binary units), e.g. ``'64.0 KiB'``."""
     size = float(nbytes)
     for unit in ("B", "KiB", "MiB", "GiB"):

@@ -22,12 +22,14 @@ where construction costs are neglected.
 
 from __future__ import annotations
 
+from typing import Any, Callable, Iterator
+
 from ..common.errors import MiddlewareError
 from ..sqlengine.expr import And, ColumnRef, Comparison, Literal, Or, TrueExpr
 from ..sqlengine.tempstructs import TIDList, copy_subset_to_table
 
 
-def predicate_disjuncts(expr):
+def predicate_disjuncts(expr: Any) -> list[frozenset[tuple[str, str, Any]]] | None:
     """Normalise a batch filter into disjuncts of condition sets.
 
     Returns a list of frozensets of ``(attribute, op, value)`` triples
@@ -40,12 +42,12 @@ def predicate_disjuncts(expr):
     if expr is None or isinstance(expr, TrueExpr):
         return [frozenset()]
     disjuncts = expr.parts if isinstance(expr, Or) else (expr,)
-    out = []
+    out: list[frozenset[tuple[str, str, Any]]] = []
     for disjunct in disjuncts:
         conjuncts = (
             disjunct.parts if isinstance(disjunct, And) else (disjunct,)
         )
-        items = set()
+        items: set[tuple[str, str, Any]] = set()
         for conjunct in conjuncts:
             if (
                 isinstance(conjunct, Comparison)
@@ -62,7 +64,7 @@ def predicate_disjuncts(expr):
     return out
 
 
-def predicate_covers(built, current):
+def predicate_covers(built: Any, current: Any) -> bool:
     """True when rows matching ``current`` all match ``built``.
 
     Sound (never claims coverage falsely) for the path predicates tree
@@ -81,7 +83,12 @@ def predicate_covers(built, current):
 class ServerAccessStrategy:
     """Interface: produce the rows of one server-side scan."""
 
-    def rows(self, predicate, relevant_rows, covered_by_build=None):
+    def rows(
+        self,
+        predicate: Any,
+        relevant_rows: int,
+        covered_by_build: Callable[[], bool] | None = None,
+    ) -> Iterator[Any]:
         """Iterate rows matching ``predicate``.
 
         :param predicate: the pushed batch filter (None = all rows).
@@ -93,18 +100,23 @@ class ServerAccessStrategy:
         """
         raise NotImplementedError
 
-    def close(self):
+    def close(self) -> None:
         """Release any server-side structures."""
 
 
 class PlainScanStrategy(ServerAccessStrategy):
     """The default: a fresh filtered forward cursor per scan."""
 
-    def __init__(self, server, table_name):
+    def __init__(self, server: Any, table_name: str) -> None:
         self._server = server
         self._table_name = table_name
 
-    def rows(self, predicate, relevant_rows, covered_by_build=None):
+    def rows(
+        self,
+        predicate: Any,
+        relevant_rows: int,
+        covered_by_build: Callable[[], bool] | None = None,
+    ) -> Iterator[Any]:
         with self._server.open_cursor(self._table_name, predicate) as cursor:
             yield from cursor.rows()
 
@@ -112,8 +124,9 @@ class PlainScanStrategy(ServerAccessStrategy):
 class _ThresholdStrategy(ServerAccessStrategy):
     """Shared build-on-threshold behaviour for the aux strategies."""
 
-    def __init__(self, server, table_name, build_threshold=0.1,
-                 free_build=False):
+    def __init__(self, server: Any, table_name: str,
+                 build_threshold: float = 0.1,
+                 free_build: bool = False) -> None:
         if not 0.0 < build_threshold <= 1.0:
             raise MiddlewareError("build_threshold must be within (0, 1]")
         self._server = server
@@ -121,13 +134,18 @@ class _ThresholdStrategy(ServerAccessStrategy):
         self._threshold = build_threshold
         self._free_build = free_build
         self._built = False
-        self._built_predicate = None
+        self._built_predicate: Any = None
 
     @property
-    def has_structure(self):
+    def has_structure(self) -> bool:
         return self._built
 
-    def rows(self, predicate, relevant_rows, covered_by_build=None):
+    def rows(
+        self,
+        predicate: Any,
+        relevant_rows: int,
+        covered_by_build: Callable[[], bool] | None = None,
+    ) -> Iterator[Any]:
         table = self._server.table(self._table_name)
         total = max(1, table.row_count)
         fraction = relevant_rows / total
@@ -144,11 +162,11 @@ class _ThresholdStrategy(ServerAccessStrategy):
             return self._plain_scan(predicate)
         return self._scan_structure(predicate)
 
-    def _plain_scan(self, predicate):
+    def _plain_scan(self, predicate: Any) -> Iterator[Any]:
         with self._server.open_cursor(self._table_name, predicate) as cursor:
             yield from cursor.rows()
 
-    def _rebuild(self, predicate, relevant_rows):
+    def _rebuild(self, predicate: Any, relevant_rows: int) -> None:
         self._teardown()
         meter = self._server.meter
         snapshot = meter.snapshot() if self._free_build else None
@@ -158,38 +176,39 @@ class _ThresholdStrategy(ServerAccessStrategy):
         self._built = True
         self._built_predicate = predicate
 
-    def _build(self, predicate):
+    def _build(self, predicate: Any) -> None:
         raise NotImplementedError
 
-    def _scan_structure(self, predicate):
+    def _scan_structure(self, predicate: Any) -> Iterator[Any]:
         raise NotImplementedError
 
-    def _teardown(self):
+    def _teardown(self) -> None:
         self._built = False
         self._built_predicate = None
 
-    def close(self):
+    def close(self) -> None:
         self._teardown()
 
 
 class TempTableStrategy(_ThresholdStrategy):
     """§4.3.3(a): copy the relevant subset into a new temp table."""
 
-    def __init__(self, server, table_name, build_threshold=0.1,
-                 free_build=False):
+    def __init__(self, server: Any, table_name: str,
+                 build_threshold: float = 0.1,
+                 free_build: bool = False) -> None:
         super().__init__(server, table_name, build_threshold, free_build)
-        self._temp_name = None
+        self._temp_name: str | None = None
 
-    def _build(self, predicate):
+    def _build(self, predicate: Any) -> None:
         self._temp_name = copy_subset_to_table(
             self._server, self._table_name, predicate
         )
 
-    def _scan_structure(self, predicate):
+    def _scan_structure(self, predicate: Any) -> Iterator[Any]:
         with self._server.open_cursor(self._temp_name, predicate) as cursor:
             yield from cursor.rows()
 
-    def _teardown(self):
+    def _teardown(self) -> None:
         super()._teardown()
         if self._temp_name and self._server.database.has_table(self._temp_name):
             self._server.drop_table(self._temp_name)
@@ -199,18 +218,19 @@ class TempTableStrategy(_ThresholdStrategy):
 class TIDJoinStrategy(_ThresholdStrategy):
     """§4.3.3(b): a TID list joined back to the base table."""
 
-    def __init__(self, server, table_name, build_threshold=0.1,
-                 free_build=False):
+    def __init__(self, server: Any, table_name: str,
+                 build_threshold: float = 0.1,
+                 free_build: bool = False) -> None:
         super().__init__(server, table_name, build_threshold, free_build)
-        self._tids = None
+        self._tids: Any = None
 
-    def _build(self, predicate):
+    def _build(self, predicate: Any) -> None:
         self._tids = TIDList(self._server, self._table_name, predicate)
 
-    def _scan_structure(self, predicate):
+    def _scan_structure(self, predicate: Any) -> Iterator[Any]:
         yield from self._tids.fetch(predicate)
 
-    def _teardown(self):
+    def _teardown(self) -> None:
         super()._teardown()
         self._tids = None
 
@@ -218,28 +238,30 @@ class TIDJoinStrategy(_ThresholdStrategy):
 class KeysetStrategy(_ThresholdStrategy):
     """§4.3.3(c): keyset cursor + stored-procedure filtering."""
 
-    def __init__(self, server, table_name, build_threshold=0.1,
-                 free_build=False):
+    def __init__(self, server: Any, table_name: str,
+                 build_threshold: float = 0.1,
+                 free_build: bool = False) -> None:
         super().__init__(server, table_name, build_threshold, free_build)
-        self._cursor = None
+        self._cursor: Any = None
 
-    def _build(self, predicate):
+    def _build(self, predicate: Any) -> None:
         self._cursor = self._server.open_keyset_cursor(
             self._table_name, predicate
         )
 
-    def _scan_structure(self, predicate):
+    def _scan_structure(self, predicate: Any) -> Iterator[Any]:
         yield from self._cursor.fetch(predicate)
 
-    def _teardown(self):
+    def _teardown(self) -> None:
         super()._teardown()
         if self._cursor is not None:
             self._cursor.close()
         self._cursor = None
 
 
-def make_strategy(name, server, table_name, build_threshold=0.1,
-                  free_build=False):
+def make_strategy(name: str, server: Any, table_name: str,
+                  build_threshold: float = 0.1,
+                  free_build: bool = False) -> ServerAccessStrategy:
     """Instantiate a strategy by config name."""
     if name == "scan":
         return PlainScanStrategy(server, table_name)

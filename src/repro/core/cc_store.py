@@ -17,17 +17,19 @@ tables.
 
 from __future__ import annotations
 
+from typing import Any, Iterator, Sequence
+
 from .cc_table import CCTable
 
 
 class _TreeNode:
     __slots__ = ("key", "vector", "left", "right")
 
-    def __init__(self, key, n_classes):
+    def __init__(self, key: tuple[str, object], n_classes: int):
         self.key = key
         self.vector = [0] * n_classes
-        self.left = None
-        self.right = None
+        self.left: _TreeNode | None = None
+        self.right: _TreeNode | None = None
 
 
 class BinaryTreeCCStore:
@@ -38,23 +40,24 @@ class BinaryTreeCCStore:
     ``__len__`` and sorted ``items()``.
     """
 
-    def __init__(self, n_classes):
+    def __init__(self, n_classes: int):
         self._n_classes = n_classes
-        self._root = None
+        self._root: _TreeNode | None = None
         self._size = 0
 
-    def __len__(self):
+    def __len__(self) -> int:
         return self._size
 
-    def __contains__(self, key):
+    def __contains__(self, key: tuple[str, object]) -> bool:
         return self._find(key) is not None
 
-    def get(self, key):
+    def get(self, key: tuple[str, object]) -> list[int] | None:
         """The class-count vector for ``key``, or None."""
         node = self._find(key)
         return node.vector if node is not None else None
 
-    def get_or_create(self, key):
+    def get_or_create(self, key: tuple[str, object]) -> \
+            tuple[list[int], bool]:
         """The vector for ``key``, inserting a zero vector if new.
 
         Returns ``(vector, created)``.
@@ -80,9 +83,9 @@ class BinaryTreeCCStore:
                     return node.right.vector, True
                 node = node.right
 
-    def items(self):
+    def items(self) -> Iterator[tuple[tuple[str, object], list[int]]]:
         """Yield ``(key, vector)`` in sorted key order (in-order walk)."""
-        stack = []
+        stack: list[_TreeNode] = []
         node = self._root
         while stack or node is not None:
             while node is not None:
@@ -92,7 +95,7 @@ class BinaryTreeCCStore:
             yield node.key, node.vector
             node = node.right
 
-    def _find(self, key):
+    def _find(self, key: tuple[str, object]) -> _TreeNode | None:
         node = self._root
         while node is not None:
             if key == node.key:
@@ -101,10 +104,10 @@ class BinaryTreeCCStore:
         return None
 
     @property
-    def depth(self):
+    def depth(self) -> int:
         """Height of the tree (0 for empty) — for diagnostics."""
 
-        def measure(node):
+        def measure(node: _TreeNode | None) -> int:
             if node is None:
                 return 0
             return 1 + max(measure(node.left), measure(node.right))
@@ -112,7 +115,9 @@ class BinaryTreeCCStore:
         return measure(self._root)
 
 
-def cc_table_via_tree_store(attributes, n_classes, rows, spec):
+def cc_table_via_tree_store(attributes: Sequence[str], n_classes: int,
+                            rows: Iterator[Any] | Sequence[Any],
+                            spec: Any) -> CCTable:
     """Build a :class:`CCTable` by counting through a tree store.
 
     Counts every row into a :class:`BinaryTreeCCStore` first, then

@@ -18,6 +18,8 @@ every size the scheduler reasons about is expressed in *pairs*.
 
 from __future__ import annotations
 
+from typing import Any, Iterable, Mapping, Sequence
+
 from ..common.errors import MiddlewareError
 
 #: Simulated bytes for one (attribute, value) key.
@@ -26,12 +28,12 @@ PAIR_KEY_BYTES = 8
 BYTES_PER_COUNT = 4
 
 
-def bytes_for_pairs(n_pairs, n_classes):
+def bytes_for_pairs(n_pairs: int, n_classes: int) -> int:
     """Simulated size of a CC table with ``n_pairs`` (attr, value) pairs."""
     return n_pairs * (PAIR_KEY_BYTES + BYTES_PER_COUNT * n_classes)
 
 
-def _value_sort_key(value):
+def _value_sort_key(value: Any) -> tuple[bool, str, Any]:
     """Deterministic ordering for possibly-None attribute values."""
     return (value is not None, str(type(value)), value)
 
@@ -42,18 +44,20 @@ class CCTable:
     __slots__ = ("attributes", "n_classes", "_vectors", "_records",
                  "_class_totals")
 
-    def __init__(self, attributes, n_classes):
+    def __init__(self, attributes: Iterable[str], n_classes: int) -> None:
         if n_classes < 1:
             raise MiddlewareError("CC table needs at least one class")
         self.attributes = tuple(attributes)
         self.n_classes = n_classes
-        self._vectors = {}  # (attribute, value) -> list of class counts
+        #: (attribute, value) -> list of class counts
+        self._vectors: dict[tuple[str, Any], list[int]] = {}
         self._records = 0
-        self._class_totals = [0] * n_classes
+        self._class_totals: list[int] = [0] * n_classes
 
     # -- updates ---------------------------------------------------------
 
-    def count_row(self, values_by_attribute, class_label):
+    def count_row(self, values_by_attribute: Mapping[str, Any],
+                  class_label: int) -> int:
         """Count one record.
 
         ``values_by_attribute`` maps attribute name -> value for (at
@@ -75,7 +79,9 @@ class CCTable:
         self._class_totals[class_label] += 1
         return new_pairs
 
-    def count_row_at(self, row, attr_positions, class_label):
+    def count_row_at(self, row: Sequence[Any],
+                     attr_positions: Iterable[tuple[str, int]],
+                     class_label: int) -> int:
         """Count one record straight from a row tuple.
 
         ``attr_positions`` is a precomputed sequence of
@@ -99,7 +105,9 @@ class CCTable:
         self._class_totals[class_label] += 1
         return new_pairs
 
-    def would_add_pairs(self, values_by_attribute):
+    def would_add_pairs(
+        self, values_by_attribute: Mapping[str, Any]
+    ) -> int:
         """How many new pairs counting this record would create."""
         vectors = self._vectors
         return sum(
@@ -108,7 +116,8 @@ class CCTable:
             if (attribute, values_by_attribute[attribute]) not in vectors
         )
 
-    def add_counts(self, attribute, value, class_label, count):
+    def add_counts(self, attribute: str, value: Any, class_label: int,
+                   count: int) -> None:
         """Bulk-add ``count`` co-occurrences (SQL result ingestion).
 
         Does *not* touch the record total — callers deriving a CC table
@@ -127,7 +136,7 @@ class CCTable:
         vector[class_label] += count
         self._class_totals[class_label] += count
 
-    def set_records(self, n_records):
+    def set_records(self, n_records: int) -> None:
         """Declare the record total after bulk ingestion.
 
         Class totals were accumulated once per attribute during
@@ -136,7 +145,7 @@ class CCTable:
         """
         n_attributes = len(self.attributes)
         if n_attributes and self._records == 0:
-            rescaled = []
+            rescaled: list[int] = []
             for total in self._class_totals:
                 if total % n_attributes:
                     raise MiddlewareError(
@@ -155,25 +164,25 @@ class CCTable:
     # -- reads ------------------------------------------------------------
 
     @property
-    def records(self):
+    def records(self) -> int:
         """Number of records counted (|S| at the node)."""
         return self._records
 
     @property
-    def n_pairs(self):
+    def n_pairs(self) -> int:
         """Number of distinct (attribute, value) pairs."""
         return len(self._vectors)
 
     @property
-    def size_bytes(self):
+    def size_bytes(self) -> int:
         """Simulated memory footprint."""
         return bytes_for_pairs(self.n_pairs, self.n_classes)
 
-    def class_totals(self):
+    def class_totals(self) -> list[int]:
         """Per-class record counts at this node (a copy)."""
         return list(self._class_totals)
 
-    def vector(self, attribute, value):
+    def vector(self, attribute: str, value: Any) -> list[int]:
         """Class-count vector for ``(attribute, value)`` (a copy).
 
         Unseen pairs return a zero vector — a value absent from the
@@ -184,7 +193,7 @@ class CCTable:
             return [0] * self.n_classes
         return list(vector)
 
-    def values_of(self, attribute):
+    def values_of(self, attribute: str) -> list[Any]:
         """Sorted values ``attribute`` takes in the node's data.
 
         NULL-safe: a None value (possible when mining tables loaded
@@ -195,23 +204,23 @@ class CCTable:
             key=_value_sort_key,
         )
 
-    def cardinality(self, attribute):
+    def cardinality(self, attribute: str) -> int:
         """``card(n, A)`` — distinct values of ``attribute`` at the node."""
         return sum(1 for (attr, _) in self._vectors if attr == attribute)
 
-    def pair_count_by_attribute(self):
+    def pair_count_by_attribute(self) -> dict[str, int]:
         """Mapping attribute -> cardinality (for estimators)."""
         cards = {attribute: 0 for attribute in self.attributes}
         for attr, _ in self._vectors:
             cards[attr] += 1
         return cards
 
-    def rows(self):
+    def rows(self) -> list[tuple[str, Any, int, int]]:
         """The 4-column table, sorted: (attr_name, value, class, count).
 
         Zero counts are omitted, as a SQL GROUP BY would.
         """
-        out = []
+        out: list[tuple[str, Any, int, int]] = []
         ordered = sorted(
             self._vectors.items(),
             key=lambda item: (item[0][0], _value_sort_key(item[0][1])),
@@ -222,7 +231,7 @@ class CCTable:
                     out.append((attribute, value, class_label, count))
         return out
 
-    def merge(self, other):
+    def merge(self, other: CCTable) -> CCTable:
         """Fold ``other``'s counts into this table (same shape required).
 
         CC tables are purely additive: counts built over disjoint row
@@ -248,7 +257,8 @@ class CCTable:
         return self
 
     @classmethod
-    def merged(cls, attributes, n_classes, partials):
+    def merged(cls, attributes: Iterable[str], n_classes: int,
+               partials: Iterable[CCTable]) -> CCTable:
         """Sum of additive partial tables (the parallel-scan merge).
 
         Builds one table of the given shape and folds every partial
@@ -260,7 +270,7 @@ class CCTable:
             total.merge(partial)
         return total
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, CCTable)
             and self.attributes == other.attributes
@@ -269,7 +279,7 @@ class CCTable:
             and self._vectors == other._vectors
         )
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"CCTable(records={self._records}, pairs={self.n_pairs}, "
             f"attributes={len(self.attributes)})"

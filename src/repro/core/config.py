@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..common.errors import MiddlewareError
 
@@ -27,7 +28,7 @@ AUX_STRATEGIES = ("scan", "temp_table", "tid_join", "keyset")
 SCAN_POOLS = ("thread", "process")
 
 
-def _default_scan_workers():
+def _default_scan_workers() -> int:
     """Default scan worker count: ``$REPRO_SCAN_WORKERS``, else 1.
 
     The environment override lets a whole test or CI run opt into the
@@ -115,7 +116,7 @@ class MiddlewareConfig:
     #: staging output through the single pipelined writer thread.
     scan_split_writers: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.memory_bytes < 0:
             raise MiddlewareError("memory_bytes must be non-negative")
         if not 0.0 <= self.file_split_threshold <= 1.0:
@@ -151,7 +152,8 @@ class MiddlewareConfig:
             )
 
     @classmethod
-    def no_staging(cls, memory_bytes, **overrides):
+    def no_staging(cls, memory_bytes: int,
+                   **overrides: Any) -> MiddlewareConfig:
         """Staging completely disabled (every scan hits the server)."""
         return cls(
             memory_bytes=memory_bytes,
@@ -161,7 +163,8 @@ class MiddlewareConfig:
         )
 
     @classmethod
-    def memory_only(cls, memory_bytes, **overrides):
+    def memory_only(cls, memory_bytes: int,
+                    **overrides: Any) -> MiddlewareConfig:
         """Only memory caching (no local disk available)."""
         return cls(
             memory_bytes=memory_bytes,
@@ -171,7 +174,8 @@ class MiddlewareConfig:
         )
 
     @classmethod
-    def file_only(cls, memory_bytes, split_threshold=0.5, **overrides):
+    def file_only(cls, memory_bytes: int, split_threshold: float = 0.5,
+                  **overrides: Any) -> MiddlewareConfig:
         """Only file caching (counts memory, no data in memory)."""
         return cls(
             memory_bytes=memory_bytes,

@@ -16,22 +16,25 @@ Two quantities drive scheduling:
 from __future__ import annotations
 
 import math
+from typing import Any, Iterable, Mapping
 
 from ..common.errors import MiddlewareError
 
 
-def exact_child_rows_for_value(parent_cc, attribute, value):
+def exact_child_rows_for_value(parent_cc: Any, attribute: str,
+                               value: object) -> int:
     """``|n|`` for the child reached via ``attribute = value``."""
-    return sum(parent_cc.vector(attribute, value))
+    return int(sum(parent_cc.vector(attribute, value)))
 
 
-def exact_child_rows_for_other(parent_cc, attribute, values):
+def exact_child_rows_for_other(parent_cc: Any, attribute: str,
+                               values: Iterable[object]) -> int:
     """``|n|`` for the residual branch ``attribute NOT IN values``."""
     taken = sum(
         exact_child_rows_for_value(parent_cc, attribute, value)
         for value in values
     )
-    remainder = parent_cc.records - taken
+    remainder = int(parent_cc.records) - taken
     if remainder < 0:
         raise MiddlewareError(
             "child sizes exceed parent size — inconsistent CC table"
@@ -39,8 +42,9 @@ def exact_child_rows_for_other(parent_cc, attribute, values):
     return remainder
 
 
-def estimate_cc_pairs(child_rows, parent_rows, parent_cards,
-                      child_attributes):
+def estimate_cc_pairs(child_rows: int, parent_rows: int,
+                      parent_cards: Mapping[str, int],
+                      child_attributes: Iterable[str]) -> int:
     """``Est_cc(n)`` in (attribute, value) pairs.
 
     :param child_rows: exact ``|n|``.
@@ -77,11 +81,12 @@ def estimate_cc_pairs(child_rows, parent_rows, parent_cards,
     return min(estimate, total_parent_pairs)
 
 
-def root_cc_pairs(spec, attributes=None):
+def root_cc_pairs(spec: Any,
+                  attributes: Iterable[str] | None = None) -> int:
     """Pair bound for the root, where no parent CC exists.
 
     The root's CC can at most contain every (attribute, value) pair of
     the schema, which the catalog knows exactly.
     """
     names = list(attributes) if attributes is not None else spec.attribute_names
-    return sum(spec.cardinality(name) for name in names)
+    return int(sum(spec.cardinality(name) for name in names))

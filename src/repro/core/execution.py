@@ -70,6 +70,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from itertools import islice
+from typing import Any, Callable, Iterator, Sequence
 
 from ..common.errors import MiddlewareError
 from .cc_table import CCTable
@@ -82,6 +83,7 @@ from .staging import (
     DataLocation,
     ParallelStagingWriter,
     PipelinedStagingWriter,
+    StagedFile,
 )
 
 
@@ -109,7 +111,7 @@ class ScanStats:
     #: Wall-clock seconds merging per-worker CC partials (parallel only).
     merge_seconds: float = 0.0
     #: Per-partition counting seconds as reported by the workers.
-    worker_seconds: list = field(default_factory=list)
+    worker_seconds: list[float] = field(default_factory=list)
     #: Wall-clock seconds spent standing the worker pool up for this
     #: scan (executor creation + kernel install; ~0 on warm reuse).
     pool_setup_seconds: float = 0.0
@@ -123,7 +125,7 @@ class ScanStats:
     split_writers: int = 0
 
     @property
-    def rows_per_sec(self):
+    def rows_per_sec(self) -> float:
         """Scan throughput (0.0 when the scan was too fast to time)."""
         if self.wall_seconds <= 0.0:
             return 0.0
@@ -134,7 +136,7 @@ class ScanStats:
 class ExecutionStats:
     """Cumulative counters across a middleware session."""
 
-    scans_by_mode: dict = field(
+    scans_by_mode: dict[DataLocation, int] = field(
         default_factory=lambda: {loc: 0 for loc in DataLocation}
     )
     rows_seen: int = 0
@@ -153,7 +155,7 @@ class ExecutionStats:
     pool_setup_seconds: float = 0.0
     prefetched_scans: int = 0
 
-    def absorb(self, scan):
+    def absorb(self, scan: ScanStats) -> None:
         """Fold one *final* :class:`ScanStats` into the session totals.
 
         Called exactly once per executed scan, with that scan's own
@@ -182,11 +184,11 @@ class ExecutionStats:
         self.prefetched_scans += scan.prefetch_depth > 0
 
     @property
-    def total_scans(self):
+    def total_scans(self) -> int:
         return sum(self.scans_by_mode.values())
 
     @property
-    def rows_per_sec(self):
+    def rows_per_sec(self) -> float:
         """Session-wide scan throughput."""
         if self.wall_seconds <= 0.0:
             return 0.0
@@ -196,7 +198,8 @@ class ExecutionStats:
 # -- partition production ----------------------------------------------------
 
 
-def _slice_partitions(row_iter, partition_rows):
+def _slice_partitions(row_iter: Iterator[Any],
+                      partition_rows: int) -> Iterator[list[Any]]:
     """Cut a row iterator into ordered list partitions, inline."""
     while True:
         partition = list(islice(row_iter, partition_rows))
@@ -226,18 +229,21 @@ class _PartitionProducer:
 
     _DONE = object()
 
-    def __init__(self, row_iter, partition_rows, depth):
+    def __init__(self, row_iter: Iterator[Any], partition_rows: int,
+                 depth: int) -> None:
         self._rows = row_iter
         self._partition_rows = partition_rows
-        self._queue = queue.Queue(maxsize=max(1, depth))
+        self._queue: queue.Queue[Any] = queue.Queue(maxsize=max(1, depth))
         self._stop_event = threading.Event()
-        self._error = None
+        self._error_lock = threading.Lock()
+        #: guarded by self._error_lock
+        self._error: BaseException | None = None
         self._thread = threading.Thread(
             target=self._produce, name="scan-prefetch", daemon=True
         )
         self._thread.start()
 
-    def _produce(self):
+    def _produce(self) -> None:
         try:
             while not self._stop_event.is_set():
                 partition = list(
@@ -252,7 +258,8 @@ class _PartitionProducer:
                     except queue.Full:
                         continue
         except BaseException as exc:  # surfaced via partitions()
-            self._error = exc
+            with self._error_lock:
+                self._error = exc
         finally:
             while not self._stop_event.is_set():
                 try:
@@ -261,7 +268,7 @@ class _PartitionProducer:
                 except queue.Full:
                     continue
 
-    def partitions(self):
+    def partitions(self) -> Iterator[list[Any]]:
         """Yield partitions in scan order; re-raises producer errors."""
         while True:
             item = self._queue.get()
@@ -272,7 +279,7 @@ class _PartitionProducer:
                 return
             yield item
 
-    def stop(self):
+    def stop(self) -> None:
         """Shut the producer down without raising (failure path)."""
         self._stop_event.set()
         while True:
@@ -295,9 +302,11 @@ class _NodeCount:
     __slots__ = ("request", "cc", "reserved", "fallback", "deferred",
                  "attr_positions")
 
-    def __init__(self, request, cc, reserved, attr_positions):
+    def __init__(self, request: Any, cc: CCTable, reserved: int,
+                 attr_positions: tuple[tuple[str, int], ...]) -> None:
         self.request = request
-        self.cc = cc
+        #: The node's CC table (None once the node is abandoned).
+        self.cc: Any = cc
         self.reserved = reserved
         self.fallback = False
         self.deferred = False
@@ -305,15 +314,17 @@ class _NodeCount:
         self.attr_positions = attr_positions
 
     @property
-    def abandoned(self):
+    def abandoned(self) -> bool:
         return self.fallback or self.deferred
 
 
 class ExecutionModule:
     """Runs schedules: scan-based counting plus staging writes."""
 
-    def __init__(self, server, table_name, spec, staging, budget, config,
-                 strategy, pool_provider=None):
+    def __init__(self, server: Any, table_name: str, spec: Any,
+                 staging: Any, budget: Any, config: Any, strategy: Any,
+                 pool_provider: Callable[[], ScanWorkerPool] | None = None,
+                 ) -> None:
         self._server = server
         self._table_name = table_name
         self._spec = spec
@@ -332,9 +343,9 @@ class ExecutionModule:
         self._class_index = spec.n_attributes
         self.stats = ExecutionStats()
         #: The :class:`ScanStats` of the most recent :meth:`run`.
-        self.last_scan = None
+        self.last_scan: ScanStats | None = None
 
-    def run(self, schedule):
+    def run(self, schedule: Any) -> tuple[list[CountsResult], list[Any]]:
         """Execute one schedule.
 
         Returns ``(results, deferred)``: the fulfilled
@@ -344,7 +355,7 @@ class ExecutionModule:
         scan = ScanStats(mode=schedule.mode)
         states = self._make_states(schedule)
         file_writers = self._open_file_writers(schedule)
-        memory_capture = {
+        memory_capture: dict[Any, list[Any]] = {
             node_id: [] for node_id in schedule.stage_memory_targets
         }
 
@@ -370,7 +381,10 @@ class ExecutionModule:
                 self._count_rows(
                     row_iter, matchers, file_writers, memory_capture, scan
                 )
-        except Exception:
+        except BaseException:
+            # BaseException, not Exception: a KeyboardInterrupt (or
+            # SystemExit) mid-scan must not leak open staging writers
+            # or CC/memory reservations either.
             for node_id in file_writers:
                 self._staging.abandon_file(node_id)
             for node_id in memory_capture:
@@ -396,7 +410,7 @@ class ExecutionModule:
 
     # -- setup ------------------------------------------------------------
 
-    def _make_states(self, schedule):
+    def _make_states(self, schedule: Any) -> list[_NodeCount]:
         states = []
         for request in schedule.batch:
             cc = CCTable(request.attributes, self._spec.n_classes)
@@ -407,14 +421,16 @@ class ExecutionModule:
             states.append(_NodeCount(request, cc, reserved, positions))
         return states
 
-    def _make_matcher(self, request):
+    def _make_matcher(
+        self, request: Any
+    ) -> Callable[[Sequence[Any]], bool]:
         """Compile a node's path conditions into a tuple-level check."""
         checks = [
             (self._attr_index[c.attribute], c.op == "=", c.value)
             for c in request.conditions
         ]
 
-        def match(row):
+        def match(row: Sequence[Any]) -> bool:
             for index, want_equal, value in checks:
                 if (row[index] == value) != want_equal:
                     return False
@@ -422,7 +438,7 @@ class ExecutionModule:
 
         return match
 
-    def _open_file_writers(self, schedule):
+    def _open_file_writers(self, schedule: Any) -> dict[Any, StagedFile]:
         """Writers for planned staging targets and file splits.
 
         Planned ``stage_file_targets`` were budget-checked by the
@@ -446,7 +462,7 @@ class ExecutionModule:
                 planned += n_rows
         return {node_id: staging.open_file(node_id) for node_id in targets}
 
-    def _source_rows(self, schedule):
+    def _source_rows(self, schedule: Any) -> int:
         """Rows the scan is expected to read, known before it runs.
 
         Exact for staged sources; for server scans it is the batch's
@@ -460,7 +476,7 @@ class ExecutionModule:
             return staging.file_for(schedule.source_node).row_count
         return sum(request.n_rows for request in schedule.batch)
 
-    def _parallel_workers(self, schedule):
+    def _parallel_workers(self, schedule: Any) -> int:
         """Worker count for this scan (1 = stay on a serial loop).
 
         The parallel path is a kernel-loop variant, so the per-row
@@ -475,7 +491,7 @@ class ExecutionModule:
             return 1
         return config.scan_workers
 
-    def _partition_rows(self, schedule, n_workers):
+    def _partition_rows(self, schedule: Any, n_workers: int) -> int:
         """Partition size: ~2 partitions per worker, but never smaller
         than a serial scan chunk (tiny partitions would be all task
         overhead, and with a process pool all pickling)."""
@@ -483,7 +499,7 @@ class ExecutionModule:
         per_partition = -(-estimated // (n_workers * 2)) if estimated else 0
         return max(self._config.scan_chunk_rows, per_partition)
 
-    def _rows_for(self, schedule, scan):
+    def _rows_for(self, schedule: Any, scan: ScanStats) -> Iterator[Any]:
         """The row iterator for the schedule's data source."""
         staging = self._staging
         if schedule.mode is DataLocation.SERVER:
@@ -505,8 +521,11 @@ class ExecutionModule:
 
     # -- the scan loops ------------------------------------------------------
 
-    def _count_rows_kernel(self, row_iter, states, file_writers,
-                           memory_capture, scan):
+    def _count_rows_kernel(self, row_iter: Iterator[Any],
+                           states: list[_NodeCount],
+                           file_writers: dict[Any, StagedFile],
+                           memory_capture: dict[Any, list[Any]],
+                           scan: ScanStats) -> None:
         """Chunked routing through the compiled dispatch kernel."""
         scan.kernel = True
         class_index = self._class_index
@@ -519,8 +538,12 @@ class ExecutionModule:
         n_probes = kernel.n_probes
         chunk_rows = self._config.scan_chunk_rows
         # Staging output is buffered per chunk and flushed in blocks.
-        write_buffers = {node_id: [] for node_id in file_writers}
-        capture_buffers = {node_id: [] for node_id in memory_capture}
+        write_buffers: dict[Any, list[Any]] = {
+            node_id: [] for node_id in file_writers
+        }
+        capture_buffers: dict[Any, list[Any]] = {
+            node_id: [] for node_id in memory_capture
+        }
 
         while True:
             chunk = list(islice(row_iter, chunk_rows))
@@ -574,7 +597,7 @@ class ExecutionModule:
                     memory_capture[node_id].extend(rows)
                     rows.clear()
 
-    def _acquire_pool(self):
+    def _acquire_pool(self) -> tuple[ScanWorkerPool, bool]:
         """The worker pool for one parallel scan: ``(pool, owned)``.
 
         The session's persistent pool is used whenever the middleware
@@ -591,7 +614,7 @@ class ExecutionModule:
         )
 
     @staticmethod
-    def _scan_signature(states):
+    def _scan_signature(states: list[_NodeCount]) -> tuple[Any, ...]:
         """Equality key for a schedule's routing kernel (pool install)."""
         return tuple(
             (state.request.node_id,
@@ -600,9 +623,12 @@ class ExecutionModule:
             for state in states
         )
 
-    def _count_rows_parallel(self, schedule, row_iter, states, file_writers,
-                             memory_capture, scan, n_workers,
-                             partition_rows):
+    def _count_rows_parallel(self, schedule: Any, row_iter: Iterator[Any],
+                             states: list[_NodeCount],
+                             file_writers: dict[Any, StagedFile],
+                             memory_capture: dict[Any, list[Any]],
+                             scan: ScanStats, n_workers: int,
+                             partition_rows: int) -> None:
         """Partitioned scan through the worker pool (the parallel path).
 
         The row source is cut into ordered partitions — inline for
@@ -661,7 +687,7 @@ class ExecutionModule:
             self._class_index, self._spec.n_classes,
         )
 
-        writer = None
+        writer: ParallelStagingWriter | PipelinedStagingWriter | None = None
         if stage_nodes or capture_nodes:
             if (len(file_writers) > 1
                     and self._config.scan_split_writers):
@@ -670,7 +696,8 @@ class ExecutionModule:
             else:
                 writer = PipelinedStagingWriter(file_writers, memory_capture)
 
-        producer = None
+        producer: _PartitionProducer | None = None
+        partitions: Iterator[list[Any]]
         prefetch = self._config.scan_prefetch_partitions
         if schedule.mode is DataLocation.SERVER and prefetch > 0:
             producer = _PartitionProducer(row_iter, partition_rows, prefetch)
@@ -679,7 +706,7 @@ class ExecutionModule:
         else:
             partitions = _slice_partitions(row_iter, partition_rows)
 
-        def collect(future):
+        def collect(future: Any) -> None:
             (_, partials, routed, writes, captures,
              seconds) = future.result()
             scan.rows_routed += routed
@@ -691,7 +718,7 @@ class ExecutionModule:
             if writer is not None:
                 writer.put(writes, captures)
 
-        inflight = deque()
+        inflight: deque[Any] = deque()
         max_inflight = max(2, 2 * n_workers)
         try:
             for seq, partition in enumerate(partitions):
@@ -730,8 +757,14 @@ class ExecutionModule:
                 else:
                     self._abandon(state, states, scan)
 
-    def _count_rows(self, row_iter, matchers, file_writers, memory_capture,
-                    scan):
+    def _count_rows(
+        self,
+        row_iter: Iterator[Any],
+        matchers: list[tuple[_NodeCount, Callable[[Sequence[Any]], bool]]],
+        file_writers: dict[Any, StagedFile],
+        memory_capture: dict[Any, list[Any]],
+        scan: ScanStats,
+    ) -> None:
         """The reference per-row matcher loop (``scan_kernel = False``)."""
         attribute_names = self._spec.attribute_names
         class_index = self._class_index
@@ -742,7 +775,7 @@ class ExecutionModule:
             scan.rows_seen += 1
             scan.matcher_evals += n_matchers
             routed = False
-            values = None
+            values: dict[str, Any] | None = None
             # A frontier is an antichain, so normally exactly one node
             # matches; updating every match keeps the module correct
             # even for overlapping request sets.
@@ -779,7 +812,8 @@ class ExecutionModule:
             if routed:
                 scan.rows_routed += 1
 
-    def _abandon(self, target, states, scan):
+    def _abandon(self, target: _NodeCount, states: list[_NodeCount],
+                 scan: ScanStats) -> None:
         """Handle a CC-memory overflow for one node (Section 4.1.1).
 
         A node sharing the scan with other *surviving* nodes is
@@ -813,7 +847,9 @@ class ExecutionModule:
 
     # -- wrap-up ---------------------------------------------------------------
 
-    def _finish(self, states, schedule, scan):
+    def _finish(
+        self, states: list[_NodeCount], schedule: Any, scan: ScanStats
+    ) -> tuple[list[CountsResult], list[Any]]:
         results = []
         deferred = []
         for state in states:
@@ -848,6 +884,6 @@ class ExecutionModule:
             scan.nodes_served += 1
         return results, deferred
 
-    def _release_cc_reservations(self, states):
+    def _release_cc_reservations(self, states: list[_NodeCount]) -> None:
         for state in states:
             self._budget.release(_cc_tag(state.request.node_id))

@@ -10,6 +10,8 @@ transmitted — avoiding the record tagging of SLIQ/SPRINT.
 
 from __future__ import annotations
 
+from typing import Any, Iterable, Mapping, Sequence
+
 from ..common.errors import MiddlewareError
 from ..sqlengine.expr import TRUE, all_of, any_of, eq, ne
 
@@ -26,40 +28,40 @@ class PathCondition:
 
     __slots__ = ("attribute", "op", "value")
 
-    def __init__(self, attribute, op, value):
+    def __init__(self, attribute: str, op: str, value: object):
         if op not in CONDITION_OPS:
             raise MiddlewareError(f"unsupported edge condition op: {op!r}")
         self.attribute = attribute
         self.op = op
         self.value = value
 
-    def to_expr(self):
+    def to_expr(self) -> Any:
         """The condition as a SQL engine expression."""
         if self.op == "=":
             return eq(self.attribute, self.value)
         return ne(self.attribute, self.value)
 
-    def matches(self, value):
+    def matches(self, value: object) -> bool:
         """Evaluate the condition against a concrete attribute value."""
         if self.op == "=":
             return value == self.value
         return value != self.value
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, PathCondition)
             and (self.attribute, self.op, self.value)
             == (other.attribute, other.op, other.value)
         )
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash((self.attribute, self.op, self.value))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"PathCondition({self.attribute} {self.op} {self.value})"
 
 
-def path_predicate(conditions):
+def path_predicate(conditions: Iterable[PathCondition]) -> Any:
     """AND of a node's path conditions (TRUE for the root)."""
     return all_of([condition.to_expr() for condition in conditions])
 
@@ -86,23 +88,24 @@ class RoutingKernel:
 
     __slots__ = ("_probes", "_full_mask", "n_slots")
 
-    def __init__(self, condition_sets, attr_index):
+    def __init__(self, condition_sets: Iterable[Sequence[PathCondition]],
+                 attr_index: Mapping[str, int]):
         """Compile the kernel.
 
         :param condition_sets: one sequence of :class:`PathCondition`
             per routing slot (node), in slot order.
         :param attr_index: mapping attribute name -> row tuple index.
         """
-        condition_sets = [tuple(conditions) for conditions in condition_sets]
-        self.n_slots = len(condition_sets)
+        compiled = [tuple(conditions) for conditions in condition_sets]
+        self.n_slots = len(compiled)
         self._full_mask = (1 << self.n_slots) - 1
 
         # Per attribute: slot -> (set of required values, set of
         # excluded values).  A slot with several distinct required
         # values can never match (contradictory path); it simply never
         # enters any mask for that attribute.
-        by_attr = {}
-        for slot, conditions in enumerate(condition_sets):
+        by_attr: dict[str, dict[int, tuple[set[object], set[object]]]] = {}
+        for slot, conditions in enumerate(compiled):
             for condition in conditions:
                 eq_values, ne_values = by_attr.setdefault(
                     condition.attribute, {}
@@ -114,7 +117,7 @@ class RoutingKernel:
 
         probes = []
         for attribute, constrained in by_attr.items():
-            interesting = set()
+            interesting: set[object] = set()
             for eq_values, ne_values in constrained.values():
                 interesting |= eq_values
                 interesting |= ne_values
@@ -127,7 +130,7 @@ class RoutingKernel:
                 pair = constrained.get(slot)
                 if pair is None or not pair[0]:
                     default |= 1 << slot
-            table = {}
+            table: dict[object, int] = {}
             for value in interesting:
                 mask = 0
                 for slot in range(self.n_slots):
@@ -146,11 +149,11 @@ class RoutingKernel:
         self._probes = tuple(probes)
 
     @property
-    def n_probes(self):
+    def n_probes(self) -> int:
         """Dispatch tables consulted per row (≤ distinct path attrs)."""
         return len(self._probes)
 
-    def route(self, row):
+    def route(self, row: Sequence[Any]) -> int:
         """Mask of slots whose path conjunction matches ``row``."""
         mask = self._full_mask
         for index, table, default in self._probes:
@@ -160,7 +163,7 @@ class RoutingKernel:
         return mask
 
 
-def batch_filter(predicates):
+def batch_filter(predicates: Iterable[Any]) -> Any | None:
     """The pushed-down disjunction ``S_1 OR ... OR S_k``.
 
     Returns ``None`` (no WHERE clause) when any predicate is TRUE —

@@ -15,6 +15,8 @@ Figure-3 interface to mining clients:
 
 from __future__ import annotations
 
+from typing import Any, Iterable, Iterator
+
 from ..common.memory import MemoryBudget
 from .auxiliary import make_strategy
 from .config import MiddlewareConfig
@@ -29,7 +31,8 @@ from .trace import ExecutionTrace, ScheduleRecord
 class Middleware:
     """Scalable classification middleware over one server table."""
 
-    def __init__(self, server, table_name, spec, config=None):
+    def __init__(self, server: Any, table_name: str, spec: Any,
+                 config: MiddlewareConfig | None = None) -> None:
         self.server = server
         self.table_name = table_name
         self.spec = spec
@@ -51,7 +54,7 @@ class Middleware:
             build_threshold=self.config.aux_build_threshold,
             free_build=self.config.aux_free_build,
         )
-        self._scan_pool = None
+        self._scan_pool: ScanWorkerPool | None = None
         self.execution = ExecutionModule(
             server,
             table_name,
@@ -66,7 +69,7 @@ class Middleware:
         self.trace = ExecutionTrace()
         self._closed = False
 
-    def _shared_scan_pool(self):
+    def _shared_scan_pool(self) -> ScanWorkerPool:
         """The session's scan-worker pool, created lazily on first use.
 
         The pool outlives individual scans (and individual ``fit()``
@@ -81,28 +84,28 @@ class Middleware:
         return self._scan_pool
 
     @property
-    def scan_pool(self):
+    def scan_pool(self) -> ScanWorkerPool | None:
         """The session's persistent scan-worker pool (None until the
         first scan goes parallel with ``scan_pool_reuse`` on)."""
         return self._scan_pool
 
     # -- the Figure-3 interface --------------------------------------------
 
-    def queue_request(self, request):
+    def queue_request(self, request: Any) -> None:
         """Queue one counts request for an active node."""
         self._queue.put(request)
 
-    def queue_requests(self, requests):
+    def queue_requests(self, requests: Iterable[Any]) -> None:
         """Queue several requests at once."""
         for request in requests:
             self._queue.put(request)
 
     @property
-    def pending(self):
+    def pending(self) -> int:
         """Number of requests awaiting service."""
         return len(self._queue)
 
-    def process_next_batch(self):
+    def process_next_batch(self) -> list[Any]:
         """Schedule and service the next batch; returns its results.
 
         Requests deferred by a runtime memory overflow (Section 4.1.1)
@@ -147,7 +150,7 @@ class Middleware:
         )
         return results
 
-    def serve(self):
+    def serve(self) -> Iterator[list[Any]]:
         """Yield result batches until the request queue drains.
 
         Convenience generator for clients that interleave consuming
@@ -163,16 +166,16 @@ class Middleware:
     # -- inspection ---------------------------------------------------------
 
     @property
-    def stats(self):
+    def stats(self) -> Any:
         """Cumulative execution statistics."""
         return self.execution.stats
 
-    def location_tag(self, request):
+    def location_tag(self, request: Any) -> str:
         """The paper's S/I/L data-location prefix for a node (Fig. 1)."""
         location, _ = self.staging.resolve(request)
         return location.tag
 
-    def report(self):
+    def report(self) -> str:
         """A human-readable session summary: scans, cost, staging, trace."""
         stats = self.stats
         meter = self.server.meter
@@ -214,7 +217,7 @@ class Middleware:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def close(self):
+    def close(self) -> None:
         """Release staged files, memory reservations, server structures
         and the session's scan-worker pool."""
         if not self._closed:
@@ -224,14 +227,15 @@ class Middleware:
             self._strategy.close()
             self._closed = True
 
-    def __enter__(self):
+    def __enter__(self) -> Middleware:
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback):
+    def __exit__(self, exc_type: Any, exc_value: Any,
+                 traceback: Any) -> bool:
         self.close()
         return False
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"Middleware(table={self.table_name!r}, pending={self.pending}, "
             f"budget={self.budget!r})"

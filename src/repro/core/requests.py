@@ -11,6 +11,7 @@ middleware never has to inspect client data structures.
 from __future__ import annotations
 
 from collections import deque
+from typing import Any, Iterable, Sequence
 
 from ..common.errors import MiddlewareError
 from ..sqlengine.expr import TRUE
@@ -30,8 +31,10 @@ class CountsRequest:
         "predicate",
     )
 
-    def __init__(self, node_id, lineage, conditions, attributes, n_rows,
-                 est_cc_pairs):
+    def __init__(self, node_id: str, lineage: Sequence[str],
+                 conditions: Iterable[Any],
+                 attributes: Iterable[str], n_rows: int,
+                 est_cc_pairs: int):
         """
         :param node_id: opaque, hashable node identifier.
         :param lineage: node ids from the root down to *this node
@@ -58,14 +61,14 @@ class CountsRequest:
         self.predicate = path_predicate(self.conditions)
 
     @property
-    def is_root(self):
+    def is_root(self) -> bool:
         return self.predicate is TRUE or len(self.lineage) == 1
 
-    def descends_from(self, node_id):
+    def descends_from(self, node_id: str) -> bool:
         """True if ``node_id`` is this node or one of its ancestors."""
         return node_id in self.lineage
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"CountsRequest(node={self.node_id!r}, rows={self.n_rows}, "
             f"est_pairs={self.est_cc_pairs})"
@@ -77,7 +80,8 @@ class CountsResult:
 
     __slots__ = ("node_id", "cc", "source", "used_sql_fallback")
 
-    def __init__(self, node_id, cc, source, used_sql_fallback=False):
+    def __init__(self, node_id: str, cc: Any, source: Any,
+                 used_sql_fallback: bool = False):
         self.node_id = node_id
         self.cc = cc
         #: Where the data was read from: a DataLocation value.
@@ -86,7 +90,7 @@ class CountsResult:
         #: recounted with the lazy SQL path (Section 4.1.1).
         self.used_sql_fallback = used_sql_fallback
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"CountsResult(node={self.node_id!r}, records={self.cc.records}, "
             f"source={self.source}, fallback={self.used_sql_fallback})"
@@ -96,11 +100,11 @@ class CountsResult:
 class RequestQueue:
     """FIFO of pending :class:`CountsRequest` with membership checks."""
 
-    def __init__(self):
-        self._queue = deque()
-        self._ids = set()
+    def __init__(self) -> None:
+        self._queue: deque[CountsRequest] = deque()
+        self._ids: set[str] = set()
 
-    def put(self, request):
+    def put(self, request: CountsRequest) -> None:
         if request.node_id in self._ids:
             raise MiddlewareError(
                 f"node {request.node_id!r} already has a pending request"
@@ -108,7 +112,7 @@ class RequestQueue:
         self._queue.append(request)
         self._ids.add(request.node_id)
 
-    def remove(self, requests):
+    def remove(self, requests: Iterable[CountsRequest]) -> None:
         """Remove specific requests (the scheduled batch)."""
         batch_ids = {r.node_id for r in requests}
         missing = batch_ids - self._ids
@@ -119,12 +123,12 @@ class RequestQueue:
         )
         self._ids -= batch_ids
 
-    def pending(self):
+    def pending(self) -> list[CountsRequest]:
         """Snapshot of pending requests in arrival order."""
         return list(self._queue)
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self._queue)
 
-    def __bool__(self):
+    def __bool__(self) -> bool:
         return bool(self._queue)

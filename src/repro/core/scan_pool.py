@@ -41,12 +41,16 @@ touch the memory budget, the cost meter, or any file.
 from __future__ import annotations
 
 import pickle
+import threading
 import time
 from concurrent.futures import (
     BrokenExecutor,
+    Executor,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from typing import Any, Iterable, Sequence
 
 from ..common.errors import MiddlewareError
 from .cc_table import CCTable
@@ -54,10 +58,32 @@ from .cc_table import CCTable
 #: Worker-process routing-context cache: ``(generation, ctx)``.  One
 #: slot per process is safe because a worker serves one pool, and a
 #: pool installs contexts with strictly increasing generations.
-_PROCESS_CTX = (0, None)
+_PROCESS_CTX: tuple[int, Any] = (0, None)
 
 
-def _count_partition(ctx, seq, rows, stage_nodes, capture_nodes):
+def reset_process_context() -> None:
+    """Reset the module-level worker routing-context cache.
+
+    ``_PROCESS_CTX`` lives in module globals so process workers can
+    cache an unpickled context between partitions.  Inside the
+    *coordinator* process the same global is touched when the pool runs
+    thread workers (same interpreter) and whenever tests call the
+    worker functions directly — without an explicit reset, a kernel
+    installed by one pool could leak into the next pool's first scan
+    at the same generation number.  :meth:`ScanWorkerPool.close` calls
+    this, and test fixtures use it to isolate cases from each other.
+    """
+    global _PROCESS_CTX
+    _PROCESS_CTX = (0, None)
+
+
+def _count_partition(
+    ctx: Any,
+    seq: int,
+    rows: Sequence[Any],
+    stage_nodes: Iterable[Any],
+    capture_nodes: Iterable[Any],
+) -> tuple[int, list[CCTable], int, dict[Any, list[Any]], dict[Any, list[Any]], float]:
     """Count one row partition against a routing context.
 
     Runs inside a worker (thread or process).  Returns only additive,
@@ -71,8 +97,10 @@ def _count_partition(ctx, seq, rows, stage_nodes, capture_nodes):
     partials = [
         CCTable(attributes, n_classes) for _, attributes, _ in slots
     ]
-    writes = {node_id: [] for node_id in stage_nodes}
-    captures = {node_id: [] for node_id in capture_nodes}
+    writes: dict[Any, list[Any]] = {node_id: [] for node_id in stage_nodes}
+    captures: dict[Any, list[Any]] = {
+        node_id: [] for node_id in capture_nodes
+    }
     route = kernel.route
     routed = 0
     for row in rows:
@@ -98,8 +126,14 @@ def _count_partition(ctx, seq, rows, stage_nodes, capture_nodes):
         time.perf_counter() - started
 
 
-def _count_partition_pickled(generation, payload, seq, rows, stage_nodes,
-                             capture_nodes):
+def _count_partition_pickled(
+    generation: int,
+    payload: bytes,
+    seq: int,
+    rows: Sequence[Any],
+    stage_nodes: Iterable[Any],
+    capture_nodes: Iterable[Any],
+) -> tuple[int, list[CCTable], int, dict[Any, list[Any]], dict[Any, list[Any]], float]:
     """Process-pool task: refresh the cached context when stale."""
     global _PROCESS_CTX
     cached_generation, ctx = _PROCESS_CTX
@@ -118,20 +152,26 @@ class ScanWorkerPool:
     ``install``/``submit`` may be repeated for any number of scans.
     """
 
-    def __init__(self, kind, n_workers):
+    def __init__(self, kind: str, n_workers: int) -> None:
         if kind not in ("thread", "process"):
             raise MiddlewareError(f"unknown scan pool kind: {kind!r}")
         if n_workers < 1:
             raise MiddlewareError("scan pool needs at least one worker")
         self.kind = kind
         self.n_workers = n_workers
-        self._executor = None
+        #: Serialises executor lifecycle transitions: the middleware's
+        #: shared pool can see ``close()``/``retire_broken()`` racing a
+        #: late ``_ensure_executor()`` from another thread.
+        self._lock = threading.Lock()
+        #: guarded by self._lock
+        self._executor: Executor | None = None
+        #: guarded by self._lock
         self._closed = False
         #: Monotone per-install counter; process workers cache by it.
         self._generation = 0
-        self._signature = None
-        self._ctx = None
-        self._payload = None
+        self._signature: Any = None
+        self._ctx: tuple[Any, Any, int, int] | None = None
+        self._payload: bytes | None = None
         # -- observability ------------------------------------------------
         #: Executors created over the pool's lifetime (1 = fully warm
         #: reuse; grows only on first use or after a broken executor).
@@ -143,26 +183,28 @@ class ScanWorkerPool:
         self.scans_served = 0
 
     @property
-    def active(self):
+    def active(self) -> bool:
         """True when a live executor is standing by (the pool is warm)."""
         return self._executor is not None
 
-    def _ensure_executor(self):
+    def _ensure_executor(self) -> float:
         """Create the executor lazily; returns creation seconds."""
-        if self._closed:
-            raise MiddlewareError("scan-worker pool is already closed")
-        if self._executor is not None:
-            return 0.0
-        started = time.perf_counter()
-        executor_cls = (
-            ProcessPoolExecutor if self.kind == "process"
-            else ThreadPoolExecutor
-        )
-        self._executor = executor_cls(max_workers=self.n_workers)
-        self.pools_created += 1
-        return time.perf_counter() - started
+        with self._lock:
+            if self._closed:
+                raise MiddlewareError("scan-worker pool is already closed")
+            if self._executor is not None:
+                return 0.0
+            started = time.perf_counter()
+            executor_cls = (
+                ProcessPoolExecutor if self.kind == "process"
+                else ThreadPoolExecutor
+            )
+            self._executor = executor_cls(max_workers=self.n_workers)
+            self.pools_created += 1
+            return time.perf_counter() - started
 
-    def install(self, signature, kernel, slots, class_index, n_classes):
+    def install(self, signature: Any, kernel: Any, slots: Any,
+                class_index: int, n_classes: int) -> float:
         """Install one scan's routing context; returns setup seconds.
 
         ``signature`` is any equality-comparable description of the
@@ -185,21 +227,27 @@ class ScanWorkerPool:
         self.scans_served += 1
         return setup_seconds
 
-    def submit(self, seq, rows, stage_nodes, capture_nodes):
+    def submit(self, seq: int, rows: Sequence[Any],
+               stage_nodes: Iterable[Any],
+               capture_nodes: Iterable[Any]) -> Future[Any]:
         """Submit one partition against the installed context."""
-        if self._ctx is None:
+        executor = self._executor
+        if self._ctx is None or executor is None:
             raise MiddlewareError("install a routing context first")
         if self.kind == "process":
-            return self._executor.submit(
-                _count_partition_pickled, self._generation, self._payload,
+            payload = self._payload
+            if payload is None:
+                raise MiddlewareError("install a routing context first")
+            return executor.submit(
+                _count_partition_pickled, self._generation, payload,
                 seq, rows, stage_nodes, capture_nodes,
             )
-        return self._executor.submit(
+        return executor.submit(
             _count_partition, self._ctx, seq, rows, stage_nodes,
             capture_nodes,
         )
 
-    def drain(self, futures):
+    def drain(self, futures: Iterable[Future[Any]]) -> None:
         """Cancel/await outstanding futures of a failed scan.
 
         Queued partitions are cancelled; running ones are waited out
@@ -215,7 +263,7 @@ class ScanWorkerPool:
             except BaseException:
                 pass  # cancelled, or the pool itself broke
 
-    def retire_broken(self, exc):
+    def retire_broken(self, exc: BaseException) -> None:
         """Recycle the executor when ``exc`` says it broke mid-scan.
 
         A dead process worker leaves a ``BrokenExecutor`` behind; the
@@ -223,18 +271,32 @@ class ScanWorkerPool:
         :meth:`install` transparently builds a fresh one (the installed
         context is kept — new workers re-fetch it by generation).
         """
-        if isinstance(exc, BrokenExecutor) and self._executor is not None:
-            self._executor.shutdown(wait=True)
+        if not isinstance(exc, BrokenExecutor):
+            return
+        with self._lock:
+            executor = self._executor
             self._executor = None
+        if executor is not None:
+            # shutdown() outside the lock: waiting for workers while
+            # holding it would block a concurrent close().
+            executor.shutdown(wait=True)
 
-    def close(self):
-        """Shut the executor down; the pool cannot be used afterwards."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
+    def close(self) -> None:
+        """Shut the executor down; the pool cannot be used afterwards.
+
+        Also resets the module-level worker context cache so the next
+        pool in this interpreter starts from a clean generation-0
+        state (see :func:`reset_process_context`).
+        """
+        with self._lock:
+            executor = self._executor
             self._executor = None
-        self._closed = True
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=True)
+        reset_process_context()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         state = "closed" if self._closed else (
             "warm" if self.active else "cold"
         )

@@ -32,6 +32,7 @@ reproducible across machines with different core counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Sequence
 
 from ..common.errors import SchedulingError
 from .cc_table import bytes_for_pairs
@@ -43,22 +44,22 @@ class Schedule:
     """One planned scan: its source, batch, and staging actions."""
 
     mode: DataLocation
-    source_node: object  # staged ancestor id (None for server scans)
-    batch: list  # CountsRequests, in servicing (Rule 3) order
+    source_node: Any  # staged ancestor id (None for server scans)
+    batch: list[Any]  # CountsRequests, in servicing (Rule 3) order
     #: node_id -> bytes reserved up-front for its CC table.
-    cc_reservations: dict = field(default_factory=dict)
+    cc_reservations: dict[Any, int] = field(default_factory=dict)
     #: nodes whose rows this scan writes to new staging files.
-    stage_file_targets: list = field(default_factory=list)
+    stage_file_targets: list[Any] = field(default_factory=list)
     #: nodes whose rows this scan loads into middleware memory.
-    stage_memory_targets: list = field(default_factory=list)
+    stage_memory_targets: list[Any] = field(default_factory=list)
     #: True when this file scan splits into per-node files (§4.3.2).
     split_file: bool = False
 
     @property
-    def node_ids(self):
+    def node_ids(self) -> list[Any]:
         return [request.node_id for request in self.batch]
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"Schedule(mode={self.mode.name}, source={self.source_node!r}, "
             f"batch={len(self.batch)}, stage_file={self.stage_file_targets}, "
@@ -69,13 +70,14 @@ class Schedule:
 class Scheduler:
     """Plans scans over the request queue (Rules 1–6)."""
 
-    def __init__(self, spec, staging, budget, config):
+    def __init__(self, spec: Any, staging: Any, budget: Any,
+                 config: Any) -> None:
         self._spec = spec
         self._staging = staging
         self._budget = budget
         self._config = config
 
-    def plan(self, pending):
+    def plan(self, pending: Sequence[Any]) -> Schedule:
         """Produce the next :class:`Schedule` for ``pending`` requests.
 
         The staging manager is garbage-collected first, so location
@@ -103,7 +105,11 @@ class Scheduler:
 
     # -- Rules 1 and 2 -----------------------------------------------------
 
-    def _pick_mode_and_source(self, pending, resolutions):
+    def _pick_mode_and_source(
+        self,
+        pending: Sequence[Any],
+        resolutions: dict[Any, tuple[DataLocation, Any]],
+    ) -> tuple[DataLocation, Any]:
         """Best (mode, source) group present in the queue.
 
         Rule 1 picks the tier; Rule 2 picks one shared source within
@@ -113,7 +119,7 @@ class Scheduler:
         determinism.
         """
         best_tier = max(location for location, _ in resolutions.values())
-        group_sizes = {}
+        group_sizes: dict[tuple[DataLocation, Any], int] = {}
         for location, source in resolutions.values():
             if location is best_tier:
                 key = (location, source)
@@ -125,7 +131,9 @@ class Scheduler:
 
     # -- Rule 3 --------------------------------------------------------------
 
-    def _admit_by_cc_size(self, eligible, source):
+    def _admit_by_cc_size(
+        self, eligible: Sequence[Any], source: Any
+    ) -> tuple[list[Any], dict[Any, int]]:
         """Admit nodes smallest-estimated-CC-first while memory lasts.
 
         The head node is always admitted: if even its estimate cannot
@@ -141,8 +149,8 @@ class Scheduler:
             eligible,
             key=lambda r: (r.est_cc_pairs, str(r.node_id)),
         )
-        batch = []
-        reservations = {}
+        batch: list[Any] = []
+        reservations: dict[Any, int] = {}
         for request in ordered:
             tag = _cc_tag(request.node_id)
             wanted = bytes_for_pairs(request.est_cc_pairs, n_classes)
@@ -168,7 +176,7 @@ class Scheduler:
 
     # -- Rules 4, 5, 6 ----------------------------------------------------------
 
-    def _plan_staging(self, schedule):
+    def _plan_staging(self, schedule: Schedule) -> None:
         """Decide staging actions for the scheduled batch.
 
         Rule 4 restricts candidates to the batch itself; Rule 5 orders
@@ -210,7 +218,8 @@ class Scheduler:
 
         # MEMORY scans are already on the best tier; nothing to stage.
 
-    def _plan_memory_staging(self, schedule, candidates):
+    def _plan_memory_staging(self, schedule: Schedule,
+                             candidates: Sequence[Any]) -> None:
         """Rule 5 for memory: largest data sets that fit, post-CC."""
         staging = self._staging
         for request in candidates:
@@ -220,6 +229,6 @@ class Scheduler:
                 schedule.stage_memory_targets.append(request.node_id)
 
 
-def _cc_tag(node_id):
+def _cc_tag(node_id: Any) -> str:
     """Budget reservation tag for a node's CC table."""
     return f"cc:{node_id}"

@@ -18,6 +18,8 @@ This path is used two ways:
 
 from __future__ import annotations
 
+from typing import Any, Iterable, Sequence
+
 from ..sqlengine.ast_nodes import CountStar, Select, SelectItem, UnionAll
 from ..sqlengine.expr import ColumnRef, Literal
 from .cc_table import CCTable
@@ -26,17 +28,19 @@ from .cc_table import CCTable
 CC_COLUMNS = ("attr_name", "value", "class_label", "cnt")
 
 
-def cc_statement(table_name, attributes, class_name, predicate=None):
+def cc_statement(table_name: str, attributes: Iterable[str],
+                 class_name: str,
+                 predicate: Any | None = None) -> Any:
     """The UNION statement computing a node's CC table.
 
     One GROUP BY branch per attribute; a single attribute degenerates
     to a plain grouped SELECT.
     """
-    attributes = list(attributes)
-    if not attributes:
+    names = list(attributes)
+    if not names:
         raise ValueError("a CC query needs at least one attribute")
     branches = []
-    for attribute in attributes:
+    for attribute in names:
         items = [
             SelectItem(Literal(attribute), "attr_name"),
             SelectItem(ColumnRef(attribute), "value"),
@@ -56,7 +60,9 @@ def cc_statement(table_name, attributes, class_name, predicate=None):
     return UnionAll(branches)
 
 
-def counts_via_sql(server, table_name, spec, attributes, predicate=None):
+def counts_via_sql(server: Any, table_name: str, spec: Any,
+                   attributes: Sequence[str],
+                   predicate: Any | None = None) -> CCTable:
     """Execute the CC query and assemble the :class:`CCTable`.
 
     The row total is recovered from the per-attribute sums (every

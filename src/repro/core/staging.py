@@ -25,6 +25,8 @@ import struct
 import tempfile
 import threading
 
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
 from ..common.errors import StagingError
 
 
@@ -36,7 +38,7 @@ class DataLocation(enum.IntEnum):
     MEMORY = 2
 
     @property
-    def tag(self):
+    def tag(self) -> str:
         """The paper's single-letter node prefix (Fig. 1): S / I / L."""
         return {self.SERVER: "S", self.FILE: "I", self.MEMORY: "L"}[self]
 
@@ -56,7 +58,8 @@ class StagedFile:
     #: packed records; reads fetch this many records per ``read``).
     BLOCK_ROWS = 1024
 
-    def __init__(self, path, n_fields, owner_node, meter, model):
+    def __init__(self, path: str, n_fields: int, owner_node: Any,
+                 meter: Any, model: Any) -> None:
         self._path = path
         self._struct = struct.Struct(f"<{n_fields}i")
         self.owner_node = owner_node
@@ -65,7 +68,7 @@ class StagedFile:
         self._row_count = 0
         self._handle = open(path, "wb")
         self._writing = True
-        self._buffer = []
+        self._buffer: list[bytes] = []
         #: Scans currently iterating this file (guards `delete`).
         self._active_scans = 0
         #: Physical I/O blocks flushed so far (observability; a
@@ -75,14 +78,14 @@ class StagedFile:
         self.write_calls = 0
 
     @property
-    def path(self):
+    def path(self) -> str:
         return self._path
 
     @property
-    def row_count(self):
+    def row_count(self) -> int:
         return self._row_count
 
-    def append(self, row):
+    def append(self, row: Sequence[int]) -> None:
         """Buffer one row for writing."""
         if not self._writing:
             raise StagingError("staged file is already sealed")
@@ -92,7 +95,7 @@ class StagedFile:
         if len(self._buffer) >= self.BLOCK_ROWS:
             self._flush()
 
-    def append_rows(self, rows):
+    def append_rows(self, rows: Iterable[Sequence[int]]) -> None:
         """Buffer many rows at once (one flush check per block).
 
         An empty iterable is a strict no-op: a zero-row split partition
@@ -113,13 +116,13 @@ class StagedFile:
         if len(self._buffer) >= self.BLOCK_ROWS:
             self._flush()
 
-    def _flush(self):
+    def _flush(self) -> None:
         if self._buffer:
             self._handle.write(b"".join(self._buffer))
             self._buffer.clear()
             self.blocks_flushed += 1
 
-    def seal(self):
+    def seal(self) -> None:
         """Finish writing and charge the accumulated write cost."""
         if self._writing:
             self._flush()
@@ -131,7 +134,7 @@ class StagedFile:
                 events=self._row_count,
             )
 
-    def scan(self):
+    def scan(self) -> Iterator[tuple[int, ...]]:
         """Yield all rows; charges per-row file-read cost.
 
         Determinism guards: the file must be sealed first (every scan
@@ -171,7 +174,7 @@ class StagedFile:
                 events=rows_read,
             )
 
-    def delete(self):
+    def delete(self) -> None:
         """Remove the file from disk."""
         if self._active_scans:
             raise StagingError(
@@ -185,7 +188,7 @@ class StagedFile:
         if os.path.exists(self._path):
             os.remove(self._path)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"StagedFile(owner={self.owner_node!r}, rows={self._row_count})"
         )
@@ -214,18 +217,23 @@ class PipelinedStagingWriter:
 
     _STOP = object()
 
-    def __init__(self, file_writers, memory_capture, depth=2):
+    def __init__(self, file_writers: Mapping[Any, StagedFile],
+                 memory_capture: Mapping[Any, list[Any]],
+                 depth: int = 2) -> None:
         self._file_writers = file_writers
         self._memory_capture = memory_capture
-        self._queue = queue.Queue(maxsize=max(1, depth))
-        self._error = None
+        self._queue: queue.Queue[Any] = queue.Queue(maxsize=max(1, depth))
+        self._error_lock = threading.Lock()
+        #: guarded by self._error_lock
+        self._error: BaseException | None = None
         self._closed = False
         self._thread = threading.Thread(
             target=self._drain, name="staging-writer", daemon=True
         )
         self._thread.start()
 
-    def put(self, file_rows, capture_rows):
+    def put(self, file_rows: Mapping[Any, list[Any]],
+            capture_rows: Mapping[Any, list[Any]]) -> None:
         """Queue one partition's staged rows.
 
         ``file_rows`` / ``capture_rows`` map node_id -> row list; the
@@ -238,7 +246,7 @@ class PipelinedStagingWriter:
         if file_rows or capture_rows:
             self._queue.put((file_rows, capture_rows))
 
-    def _drain(self):
+    def _drain(self) -> None:
         while True:
             item = self._queue.get()
             if item is self._STOP:
@@ -254,19 +262,21 @@ class PipelinedStagingWriter:
                     if rows:
                         self._memory_capture[node_id].extend(rows)
             except BaseException as exc:  # surfaced to the producer
-                self._error = exc
+                with self._error_lock:
+                    if self._error is None:
+                        self._error = exc
 
-    def close(self):
+    def close(self) -> None:
         """Flush everything and surface any writer-thread error."""
         self._shutdown()
         if self._error is not None:
             raise self._error
 
-    def abort(self):
+    def abort(self) -> None:
         """Stop without raising (the scan is already failing)."""
         self._shutdown()
 
-    def _shutdown(self):
+    def _shutdown(self) -> None:
         if not self._closed:
             self._closed = True
             self._queue.put(self._STOP)
@@ -299,15 +309,18 @@ class ParallelStagingWriter:
 
     _STOP = object()
 
-    def __init__(self, file_writers, memory_capture, depth=2):
+    def __init__(self, file_writers: Mapping[Any, StagedFile],
+                 memory_capture: Mapping[Any, list[Any]],
+                 depth: int = 2) -> None:
         self._memory_capture = memory_capture
-        self._error = None
         self._error_lock = threading.Lock()
+        #: guarded by self._error_lock
+        self._error: BaseException | None = None
         self._closed = False
-        self._queues = {}
-        self._threads = []
+        self._queues: dict[Any, queue.Queue[Any]] = {}
+        self._threads: list[threading.Thread] = []
         for node_id, writer in file_writers.items():
-            q = queue.Queue(maxsize=max(1, depth))
+            q: queue.Queue[Any] = queue.Queue(maxsize=max(1, depth))
             thread = threading.Thread(
                 target=self._drain,
                 args=(writer, q),
@@ -319,11 +332,12 @@ class ParallelStagingWriter:
             thread.start()
 
     @property
-    def n_writers(self):
+    def n_writers(self) -> int:
         """Writer threads running (one per output file)."""
         return len(self._threads)
 
-    def put(self, file_rows, capture_rows):
+    def put(self, file_rows: Mapping[Any, list[Any]],
+            capture_rows: Mapping[Any, list[Any]]) -> None:
         """Queue one partition's staged rows (in partition order)."""
         if self._error is not None:
             raise self._error
@@ -336,7 +350,7 @@ class ParallelStagingWriter:
             if rows:
                 self._memory_capture[node_id].extend(rows)
 
-    def _drain(self, writer, q):
+    def _drain(self, writer: StagedFile, q: queue.Queue[Any]) -> None:
         while True:
             item = q.get()
             if item is self._STOP:
@@ -350,17 +364,17 @@ class ParallelStagingWriter:
                     if self._error is None:
                         self._error = exc
 
-    def close(self):
+    def close(self) -> None:
         """Flush every file and surface the first writer-thread error."""
         self._shutdown()
         if self._error is not None:
             raise self._error
 
-    def abort(self):
+    def abort(self) -> None:
         """Stop without raising (the scan is already failing)."""
         self._shutdown()
 
-    def _shutdown(self):
+    def _shutdown(self) -> None:
         if not self._closed:
             self._closed = True
             for q in self._queues.values():
@@ -372,18 +386,20 @@ class ParallelStagingWriter:
 class StagingManager:
     """Tracks which nodes have staged data and where."""
 
-    def __init__(self, spec, meter, model, budget, staging_dir=None,
-                 file_budget_bytes=None):
+    def __init__(self, spec: Any, meter: Any, model: Any, budget: Any,
+                 staging_dir: str | None = None,
+                 file_budget_bytes: int | None = None) -> None:
         self._spec = spec
         self._meter = meter
         self._model = model
         self._budget = budget
         self._file_budget = file_budget_bytes
-        self._files = {}  # node_id -> StagedFile
-        self._memory = {}  # node_id -> list of rows
+        self._files: dict[Any, StagedFile] = {}
+        self._memory: dict[Any, list[Any]] = {}
         self._n_fields = spec.n_attributes + 1
         self._row_bytes = spec.row_bytes
         self._file_counter = 0
+        self._tempdir: tempfile.TemporaryDirectory[str] | None
         if staging_dir is None:
             self._tempdir = tempfile.TemporaryDirectory(prefix="repro-stage-")
             self._dir = self._tempdir.name
@@ -395,24 +411,24 @@ class StagingManager:
     # -- budgets -----------------------------------------------------------
 
     @property
-    def file_bytes_used(self):
+    def file_bytes_used(self) -> int:
         """Simulated bytes currently staged in files."""
         return sum(f.row_count * self._row_bytes for f in self._files.values())
 
-    def file_space_for(self, n_rows):
+    def file_space_for(self, n_rows: int) -> bool:
         """True if a file of ``n_rows`` fits the file-space budget."""
         if self._file_budget is None:
             return True
         needed = n_rows * self._row_bytes
         return self.file_bytes_used + needed <= self._file_budget
 
-    def memory_bytes_for(self, n_rows):
+    def memory_bytes_for(self, n_rows: int) -> int:
         """Simulated bytes to hold ``n_rows`` in middleware memory."""
         return n_rows * self._row_bytes
 
     # -- lookup ------------------------------------------------------------
 
-    def resolve(self, request):
+    def resolve(self, request: Any) -> tuple[DataLocation, Any]:
         """Best data source for ``request``: ``(location, source_node)``.
 
         Rule 1 ordering: an in-memory ancestor beats any file, a file
@@ -428,27 +444,27 @@ class StagingManager:
                 return DataLocation.FILE, node_id
         return DataLocation.SERVER, None
 
-    def memory_rows(self, node_id):
+    def memory_rows(self, node_id: Any) -> list[Any]:
         try:
             return self._memory[node_id]
         except KeyError:
             raise StagingError(f"no memory data staged for {node_id!r}") from None
 
-    def file_for(self, node_id):
+    def file_for(self, node_id: Any) -> StagedFile:
         try:
             return self._files[node_id]
         except KeyError:
             raise StagingError(f"no file staged for {node_id!r}") from None
 
-    def memory_nodes(self):
+    def memory_nodes(self) -> list[Any]:
         return sorted(self._memory, key=str)
 
-    def file_nodes(self):
+    def file_nodes(self) -> list[Any]:
         return sorted(self._files, key=str)
 
     # -- staging writes ------------------------------------------------------
 
-    def open_file(self, node_id):
+    def open_file(self, node_id: Any) -> StagedFile:
         """Create (and register) a staging file for ``node_id``."""
         if node_id in self._files:
             raise StagingError(f"{node_id!r} already has a staged file")
@@ -460,18 +476,18 @@ class StagingManager:
         self._files[node_id] = staged
         return staged
 
-    def abandon_file(self, node_id):
+    def abandon_file(self, node_id: Any) -> None:
         """Drop a file opened this scan (e.g. budget raced); deletes it."""
         staged = self._files.pop(node_id, None)
         if staged is not None:
             staged.delete()
 
-    def reserve_memory(self, node_id, n_rows):
+    def reserve_memory(self, node_id: Any, n_rows: int) -> bool:
         """Try to reserve budget for ``n_rows`` of ``node_id``'s data."""
         nbytes = self.memory_bytes_for(n_rows)
         return self._budget.try_reserve(_data_tag(node_id), nbytes)
 
-    def commit_memory(self, node_id, rows):
+    def commit_memory(self, node_id: Any, rows: list[Any]) -> None:
         """Install rows collected during a scan; charges load cost."""
         if node_id in self._memory:
             raise StagingError(f"{node_id!r} already staged in memory")
@@ -485,16 +501,16 @@ class StagingManager:
             events=len(rows),
         )
 
-    def cancel_memory_reservation(self, node_id):
+    def cancel_memory_reservation(self, node_id: Any) -> None:
         """Release a reservation that was never committed."""
         self._budget.release(_data_tag(node_id))
 
-    def drop_memory(self, node_id):
+    def drop_memory(self, node_id: Any) -> None:
         """Evict a node's in-memory data set."""
         self._memory.pop(node_id, None)
         self._budget.release(_data_tag(node_id))
 
-    def drop_file(self, node_id):
+    def drop_file(self, node_id: Any) -> None:
         """Delete a node's staging file."""
         staged = self._files.pop(node_id, None)
         if staged is not None:
@@ -502,7 +518,7 @@ class StagingManager:
 
     # -- lifecycle ------------------------------------------------------------
 
-    def garbage_collect(self, pending_requests):
+    def garbage_collect(self, pending_requests: Iterable[Any]) -> list[Any]:
         """Drop staged data no pending request resolves to.
 
         Called at scheduling time, when the client has queued every
@@ -511,12 +527,12 @@ class StagingManager:
         either finished or better served by a nearer staged set.
         Returns the node ids dropped.
         """
-        needed = set()
+        needed: set[tuple[DataLocation, Any]] = set()
         for request in pending_requests:
             location, source = self.resolve(request)
             if location is not DataLocation.SERVER:
                 needed.add((location, source))
-        dropped = []
+        dropped: list[Any] = []
         for node_id in list(self._memory):
             if (DataLocation.MEMORY, node_id) not in needed:
                 self.drop_memory(node_id)
@@ -527,7 +543,7 @@ class StagingManager:
                 dropped.append(node_id)
         return dropped
 
-    def evict_memory_except(self, keep_node):
+    def evict_memory_except(self, keep_node: Any) -> int:
         """Evict all in-memory data sets except ``keep_node``.
 
         Last-resort path when CC tables for the next batch cannot be
@@ -540,7 +556,7 @@ class StagingManager:
                 self.drop_memory(node_id)
         return freed
 
-    def close(self):
+    def close(self) -> None:
         """Delete every staged file and release memory reservations."""
         for node_id in list(self._files):
             self.drop_file(node_id)
@@ -550,13 +566,13 @@ class StagingManager:
             self._tempdir.cleanup()
             self._tempdir = None
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"StagingManager(files={len(self._files)}, "
             f"memory_sets={len(self._memory)})"
         )
 
 
-def _data_tag(node_id):
+def _data_tag(node_id: Any) -> str:
     """Budget reservation tag for a node's staged in-memory data."""
     return f"data:{node_id}"

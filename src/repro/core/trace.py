@@ -9,6 +9,7 @@ users can audit why a run cost what it did.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 
 @dataclass(frozen=True)
@@ -18,9 +19,9 @@ class ScheduleRecord:
     sequence: int
     mode: str                 # SERVER / FILE / MEMORY
     source_node: object       # staged ancestor id, None for server scans
-    batch: tuple              # node ids serviced, in Rule-3 order
-    stage_file_targets: tuple
-    stage_memory_targets: tuple
+    batch: tuple[str, ...]    # node ids serviced, in Rule-3 order
+    stage_file_targets: tuple[str, ...]
+    stage_memory_targets: tuple[str, ...]
     split_file: bool
     rows_seen: int
     rows_routed: int
@@ -48,7 +49,7 @@ class ScheduleRecord:
     #: Per-file staging writer threads used (0 = single pipelined funnel).
     split_writers: int = 0
 
-    def __str__(self):
+    def __str__(self) -> str:
         actions = []
         if self.stage_file_targets:
             actions.append(f"stage->file{list(self.stage_file_targets)}")
@@ -79,28 +80,28 @@ class ScheduleRecord:
 class ExecutionTrace:
     """The ordered sequence of :class:`ScheduleRecord` for one session."""
 
-    records: list = field(default_factory=list)
+    records: list[ScheduleRecord] = field(default_factory=list)
 
-    def add(self, record):
+    def add(self, record: ScheduleRecord) -> None:
         self.records.append(record)
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.records)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ScheduleRecord]:
         return iter(self.records)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int) -> ScheduleRecord:
         return self.records[index]
 
-    def by_mode(self, mode_name):
+    def by_mode(self, mode_name: str) -> list[ScheduleRecord]:
         """Records whose scan ran in the given tier."""
         return [r for r in self.records if r.mode == mode_name]
 
     @property
-    def total_cost(self):
+    def total_cost(self) -> float:
         return sum(r.cost for r in self.records)
 
-    def render(self):
+    def render(self) -> str:
         """Multi-line human-readable trace."""
         return "\n".join(str(record) for record in self.records)

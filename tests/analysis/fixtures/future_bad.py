@@ -1,0 +1,37 @@
+"""Fixture: future-drain violations (the leaked-futures bug, reduced)."""
+
+
+def fire_and_forget(pool, work):
+    for item in work:
+        # VIOLATION: the future is discarded; nobody can await or
+        # cancel it when the scan fails.
+        pool.submit(item)
+
+
+def assigned_but_abandoned(pool, item):
+    future = pool.submit(item)  # VIOLATION: never used again
+    return None
+
+
+def undrained_collection(pool, work):
+    inflight = []
+    for item in work:
+        inflight.append(pool.submit(item))
+    # VIOLATION: no except/finally ever drains `inflight`; a failure
+    # between submits leaves live futures behind.
+    return [f.result() for f in inflight]
+
+
+def drained_collection(pool, work):
+    inflight = []
+    try:
+        for item in work:
+            inflight.append(pool.submit(item))
+        return [f.result() for f in inflight]
+    except BaseException:
+        pool.drain(inflight)  # OK: the exception path reaches them
+        raise
+
+
+def transfer_to_caller(pool, item):
+    return pool.submit(item)  # OK: responsibility moves to the caller

@@ -1,0 +1,32 @@
+"""Fixture: guarded-by violations (a real PR-3-era race, reduced)."""
+
+import threading
+
+
+class LeakyPool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: guarded by self._lock
+        self._executor = None
+        #: guarded by self._lock
+        self._closed = False
+
+    def ensure(self):
+        # VIOLATION: mutates self._executor without holding self._lock;
+        # two threads racing here both see None and build two executors.
+        if self._executor is None:
+            self._executor = object()
+        return self._executor
+
+    def close(self):
+        with self._lock:
+            self._executor = None  # OK: lock held
+        self._closed = True  # VIOLATION: outside the with block
+
+    def close_unpack(self):
+        # VIOLATION: tuple-unpack mutation without the lock.
+        executor, self._executor = self._executor, None
+        return executor
+
+    def read_is_fine(self):
+        return self._executor  # reads are intentionally not checked

@@ -1,0 +1,10 @@
+"""Fixture CLI module for the knob-consistency rule."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--memory", type=int, default=1024)
+    parser.add_argument("--chunk-rows", type=int, default=64)
+    return parser

@@ -1,0 +1,20 @@
+"""Fixture config module: two knobs violate the three-way contract."""
+
+import os
+from dataclasses import dataclass
+
+
+def _workers():
+    return int(os.environ.get("REPRO_FIXTURE_WORKERS", "1"))
+
+
+@dataclass(frozen=True)
+class MiddlewareConfig:
+    #: Documented and flagged: fully consistent.
+    memory_bytes: int = 1024
+    #: VIOLATION: no --secret-knob flag anywhere, not in the docs.
+    secret_knob: int = 7
+    #: VIOLATION: boolean defaulting True needs a --no-ghost-toggle.
+    ghost_toggle: bool = True
+    #: Flagged and documented.
+    chunk_rows: int = 64

@@ -1,0 +1,30 @@
+"""Fixture: pickle-boundary violations (process-pool payload hazards)."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+class BadDispatcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._executor = ProcessPoolExecutor(max_workers=2)
+
+    def ship_lambda(self, rows):
+        # VIOLATION: lambdas cannot cross the pickle boundary.
+        return self._executor.submit(lambda: len(rows))
+
+    def ship_self(self, worker, rows):
+        # VIOLATION: `self` drags the lock and executor along.
+        return self._executor.submit(worker, self, rows)
+
+    def ship_lock(self, worker, rows):
+        # VIOLATION: self._lock is assigned from threading.Lock().
+        return self._executor.submit(worker, self._lock, rows)
+
+    def ship_generator(self, worker, rows):
+        # VIOLATION: generator expressions are unpicklable.
+        return self._executor.submit(worker, (r for r in rows))
+
+    def ship_plain_payload(self, worker, rows):
+        payload = (tuple(rows), len(rows))  # OK: plain data
+        return self._executor.submit(worker, payload)

@@ -1,0 +1,54 @@
+"""Fixture: resource-lifecycle violations (the PR-1 leak, reduced)."""
+
+from staging import StagedFile  # fixture-local stand-in
+
+
+def narrow_cleanup_handler(staging, writers):
+    try:
+        run_scan(writers)
+    except Exception:  # VIOLATION: KeyboardInterrupt skips the cleanup
+        for node_id in writers:
+            staging.abandon_file(node_id)
+        raise
+
+
+def broad_cleanup_handler(staging, writers):
+    try:
+        run_scan(writers)
+    except BaseException:  # OK
+        for node_id in writers:
+            staging.abandon_file(node_id)
+        raise
+
+
+def never_closed(path, rows):
+    writer = StagedFile(path)  # VIOLATION: no closer call at all
+    for row in rows:
+        writer.append(row)
+
+
+def normal_path_only(path, rows):
+    writer = StagedFile(path)  # VIOLATION: a raise in append leaks it
+    for row in rows:
+        writer.append(row)
+    writer.seal()
+
+
+def closed_on_both_paths(path, rows):
+    writer = StagedFile(path)  # OK: sealed or deleted on every path
+    try:
+        for row in rows:
+            writer.append(row)
+        writer.seal()
+    except BaseException:
+        writer.delete()
+        raise
+
+
+def escapes_to_caller(path):
+    writer = StagedFile(path)  # OK: ownership transferred
+    return writer
+
+
+def run_scan(writers):
+    raise RuntimeError("scan failed")

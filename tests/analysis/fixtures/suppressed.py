@@ -1,0 +1,14 @@
+"""Fixture: the suppression pragma in all three states."""
+
+
+def justified(pool, item):
+    pool.submit(item)  # repro-lint: disable=future-drain -- fixture: intentionally fire-and-forget
+
+
+def unjustified(pool, item):
+    pool.submit(item)  # repro-lint: disable=future-drain
+
+
+def unused(pool, item):
+    future = pool.submit(item)  # repro-lint: disable=guarded-by -- wrong rule name, never matches
+    return future.result()

@@ -1,0 +1,63 @@
+"""The ``python -m repro.analysis`` driver: formats and exit codes."""
+
+import json
+import os
+
+from repro.analysis.__main__ import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def test_exit_zero_on_clean_file(tmp_path, capsys):
+    path = tmp_path / "clean.py"
+    path.write_text("x = 1\n")
+    assert main([str(path), "--root", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_exit_one_on_findings(capsys):
+    code = main([fixture("future_bad.py"), "--root", FIXTURES])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "[future-drain]" in out
+    assert "future_bad.py" in out
+
+
+def test_json_format_is_machine_readable(capsys):
+    code = main([fixture("future_bad.py"), "--format", "json",
+                 "--root", FIXTURES])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_scanned"] == 1
+    rules = {f["rule"] for f in payload["findings"]}
+    assert rules == {"future-drain"}
+    first = payload["findings"][0]
+    assert set(first) == {"path", "line", "column", "rule", "message"}
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("guarded-by", "future-drain", "resource-lifecycle",
+                 "pickle-boundary", "knob-consistency"):
+        assert rule in out
+
+
+def test_show_suppressed(capsys):
+    code = main([fixture("suppressed.py"), "--show-suppressed",
+                 "--root", FIXTURES])
+    assert code == 1  # the unjustified + unused pragmas still fail it
+    out = capsys.readouterr().out
+    assert "[suppressed]" in out
+
+
+def test_parse_error_is_a_finding(tmp_path, capsys):
+    path = tmp_path / "broken.py"
+    path.write_text("def broken(:\n")
+    assert main([str(path), "--root", str(tmp_path)]) == 1
+    assert "[parse-error]" in capsys.readouterr().out

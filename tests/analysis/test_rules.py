@@ -1,0 +1,144 @@
+"""Each rule catches its seeded fixture violations — and only those."""
+
+import os
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.rules.future_drain import FutureDrainRule
+from repro.analysis.rules.guarded_by import GuardedByRule
+from repro.analysis.rules.knob_consistency import KnobConsistencyRule
+from repro.analysis.rules.pickle_boundary import PickleBoundaryRule
+from repro.analysis.rules.resource_lifecycle import ResourceLifecycleRule
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def findings_for(fixture, rule, root=None):
+    path = os.path.join(FIXTURES, fixture)
+    report = analyze([path], [rule], root=root or FIXTURES)
+    return report.findings
+
+
+def lines(findings):
+    return sorted(f.line for f in findings)
+
+
+class TestGuardedBy:
+    def test_catches_unguarded_mutations(self):
+        findings = findings_for("guarded_bad.py", GuardedByRule())
+        assert len(findings) == 3
+        assert all(f.rule == "guarded-by" for f in findings)
+        messages = " ".join(f.message for f in findings)
+        assert "_executor" in messages and "_closed" in messages
+
+    def test_locked_mutations_and_reads_pass(self):
+        findings = findings_for("guarded_bad.py", GuardedByRule())
+        flagged = {f.line for f in findings}
+        source_lines = open(
+            os.path.join(FIXTURES, "guarded_bad.py")
+        ).read().splitlines()
+        with_lock_line = next(
+            i for i, text in enumerate(source_lines, 1)
+            if "OK: lock held" in text
+        )
+        read_line = next(
+            i for i, text in enumerate(source_lines, 1)
+            if "reads are intentionally" in text
+        )
+        assert with_lock_line not in flagged
+        assert read_line not in flagged
+
+
+class TestFutureDrain:
+    def test_catches_leaked_futures(self):
+        findings = findings_for("future_bad.py", FutureDrainRule())
+        assert len(findings) == 3
+        messages = [f.message for f in findings]
+        assert any("discarded" in m for m in messages)
+        assert any("'future'" in m for m in messages)
+        assert any("'inflight'" in m for m in messages)
+
+    def test_drained_and_returned_futures_pass(self):
+        findings = findings_for("future_bad.py", FutureDrainRule())
+        messages = " ".join(f.message for f in findings)
+        assert "of 'drained_collection'" not in messages
+        assert "transfer_to_caller" not in messages
+
+
+class TestResourceLifecycle:
+    def test_catches_leaks_and_narrow_handlers(self):
+        findings = findings_for("resource_bad.py", ResourceLifecycleRule())
+        assert len(findings) == 3
+        messages = [f.message for f in findings]
+        assert any("catch BaseException" in m for m in messages)
+        assert any("no close/seal" in m for m in messages)
+        assert any("only closed on the normal path" in m for m in messages)
+
+    def test_well_behaved_functions_pass(self):
+        findings = findings_for("resource_bad.py", ResourceLifecycleRule())
+        text = open(os.path.join(FIXTURES, "resource_bad.py")).read()
+        ok_lines = {
+            i for i, line in enumerate(text.splitlines(), 1)
+            if "# OK" in line
+        }
+        assert not ok_lines & {f.line for f in findings}
+
+
+class TestPickleBoundary:
+    def test_catches_unpicklable_payloads(self):
+        findings = findings_for("pickle_bad.py", PickleBoundaryRule())
+        assert len(findings) == 4
+        messages = " ".join(f.message for f in findings)
+        assert "lambda" in messages
+        assert "`self`" in messages
+        assert "self._lock" in messages
+        assert "generator" in messages
+
+    def test_plain_payloads_pass(self):
+        findings = findings_for("pickle_bad.py", PickleBoundaryRule())
+        text = open(os.path.join(FIXTURES, "pickle_bad.py")).read()
+        ok_line = next(
+            i for i, line in enumerate(text.splitlines(), 1)
+            if "OK: plain data" in line
+        )
+        assert ok_line not in {f.line for f in findings}
+
+    def test_thread_only_files_are_skipped(self, tmp_path):
+        path = tmp_path / "threads_only.py"
+        path.write_text(
+            "import threading\n"
+            "def go(pool):\n"
+            "    f = pool.submit(lambda: 1)\n"
+            "    return f\n"
+        )
+        report = analyze([str(path)], [PickleBoundaryRule()],
+                         root=str(tmp_path))
+        assert report.findings == []
+
+
+class TestKnobConsistency:
+    def test_catches_missing_flags_and_docs(self):
+        root = os.path.join(FIXTURES, "knobs_bad")
+        report = analyze([root], [KnobConsistencyRule()], root=root)
+        messages = [f.message for f in report.findings]
+        assert len(messages) == 4
+        assert any("'secret_knob' has no CLI flag" in m for m in messages)
+        assert any("'secret_knob' is not mentioned" in m for m in messages)
+        assert any("--no-ghost-toggle" in m for m in messages)
+        assert any("'ghost_toggle' is not mentioned" in m for m in messages)
+
+    def test_consistent_knobs_and_env_pass(self):
+        root = os.path.join(FIXTURES, "knobs_bad")
+        report = analyze([root], [KnobConsistencyRule()], root=root)
+        messages = " ".join(f.message for f in report.findings)
+        assert "memory_bytes" not in messages
+        assert "chunk_rows" not in messages
+        assert "REPRO_FIXTURE_WORKERS" not in messages
+
+    def test_no_config_class_no_findings(self, tmp_path):
+        path = tmp_path / "plain.py"
+        path.write_text("x = 1\n")
+        report = analyze([str(path)], [KnobConsistencyRule()],
+                         root=str(tmp_path))
+        assert report.findings == []

@@ -1,0 +1,59 @@
+"""The suppression pragma: justified, unjustified, unused."""
+
+import os
+
+from repro.analysis import analyze
+from repro.analysis.rules.future_drain import FutureDrainRule
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def run():
+    path = os.path.join(FIXTURES, "suppressed.py")
+    return analyze([path], [FutureDrainRule()], root=FIXTURES)
+
+
+def test_justified_suppression_silences_the_finding():
+    report = run()
+    suppressed = [f for f in report.suppressed
+                  if f.rule == "future-drain"]
+    assert len(suppressed) == 1
+    # ...and no finding survives on the justified line itself.
+    justified_line = suppressed[0].line
+    assert all(f.line != justified_line for f in report.findings)
+
+
+def test_unjustified_suppression_is_reported():
+    report = run()
+    unjustified = [f for f in report.findings
+                   if f.rule == "unjustified-suppression"]
+    assert len(unjustified) == 1
+    assert "justification" in unjustified[0].message
+
+
+def test_unjustified_pragma_does_not_silence_the_finding():
+    report = run()
+    # The future-drain finding on the unjustified line still fires.
+    live = [f for f in report.findings if f.rule == "future-drain"]
+    assert len(live) == 1
+
+
+def test_unused_suppression_is_reported():
+    report = run()
+    unused = [f for f in report.findings
+              if f.rule == "unused-suppression"]
+    assert len(unused) == 1
+    assert "guarded-by" in unused[0].message
+
+
+def test_multi_rule_pragma_parses(tmp_path):
+    path = tmp_path / "multi.py"
+    path.write_text(
+        "def go(pool, item):\n"
+        "    pool.submit(item)  "
+        "# repro-lint: disable=future-drain,guarded-by -- demo of both\n"
+    )
+    report = analyze([str(path)], [FutureDrainRule()], root=str(tmp_path))
+    # future-drain matched; guarded-by never fires here -> unused.
+    assert [f.rule for f in report.findings] == ["unused-suppression"]
+    assert len(report.suppressed) == 1
