@@ -6,12 +6,14 @@ from .base import Rule
 from .future_drain import FutureDrainRule
 from .guarded_by import GuardedByRule
 from .knob_consistency import KnobConsistencyRule
+from .lock_order import LockOrderRule
 from .pickle_boundary import PickleBoundaryRule
 from .resource_lifecycle import ResourceLifecycleRule
 
 #: Every shipped rule, in reporting order.
 ALL_RULES: list[type[Rule]] = [
     GuardedByRule,
+    LockOrderRule,
     FutureDrainRule,
     ResourceLifecycleRule,
     PickleBoundaryRule,
@@ -29,6 +31,7 @@ __all__ = [
     "FutureDrainRule",
     "GuardedByRule",
     "KnobConsistencyRule",
+    "LockOrderRule",
     "PickleBoundaryRule",
     "ResourceLifecycleRule",
     "Rule",

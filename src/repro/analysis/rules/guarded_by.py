@@ -5,7 +5,7 @@ initialisation::
 
     class ScanWorkerPool:
         def __init__(self, ...):
-            self._lock = threading.Lock()
+            self._lock = new_lock("ScanWorkerPool._lock")
             #: guarded by self._lock
             self._executor = None
 
@@ -16,6 +16,10 @@ checked — several of the guarded attributes are intentionally read
 unlocked on single-writer paths; the invariant the PR-1..3 bugs broke
 was always an unguarded *write*.)
 
+Declaration parsing lives in :mod:`repro.analysis.runtime.contracts`,
+shared with the runtime sanitizer so the static and dynamic checkers
+can never disagree about what ``#: guarded by self._lock`` means.
+
 Mutations recognised: plain assignment, augmented assignment,
 annotated assignment, and ``del`` of ``self.<attr>``.
 """
@@ -23,44 +27,13 @@ annotated assignment, and ``del`` of ``self.<attr>``.
 from __future__ import annotations
 
 import ast
-import re
 from typing import Iterable
 
 from ..engine import Project
 from ..findings import Finding
+from ..runtime import contracts
 from ..source import SourceFile
 from .base import Rule, iter_functions, self_attr, walk_with_stack
-
-#: The declaration comment, e.g. ``#: guarded by self._lock``.
-_DECLARATION = re.compile(r"#:?\s*guarded by\s+self\.(\w+)")
-
-
-def _declared_guards(source: SourceFile,
-                     class_node: ast.ClassDef) -> dict[str, int]:
-    """``attr -> declaration line`` for one class, plus the lock names.
-
-    Returns the mapping of guarded attribute name to the lock attribute
-    it is guarded by, discovered from ``__init__`` assignments whose
-    own line or the comment line directly above carries the
-    declaration.
-    """
-    guards: dict[str, str] = {}
-    for node in ast.walk(class_node):
-        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
-            continue
-        targets = (
-            node.targets if isinstance(node, ast.Assign) else [node.target]
-        )
-        for target in targets:
-            attr = self_attr(target)
-            if attr is None:
-                continue
-            for text in (source.line_text(node.lineno),
-                         source.comment_above(node.lineno)):
-                match = _DECLARATION.search(text)
-                if match is not None:
-                    guards[attr] = match.group(1)
-    return guards
 
 
 class GuardedByRule(Rule):
@@ -75,11 +48,7 @@ class GuardedByRule(Rule):
             yield from self._check_file(source)
 
     def _check_file(self, source: SourceFile) -> Iterable[Finding]:
-        guards_by_class = {
-            node: _declared_guards(source, node)
-            for node in ast.walk(source.tree)
-            if isinstance(node, ast.ClassDef)
-        }
+        guards_by_class = contracts.guards_by_class(source.tree, source.lines)
         for owner, function in iter_functions(source.tree):
             if owner is None or function.name == "__init__":
                 continue
@@ -89,7 +58,8 @@ class GuardedByRule(Rule):
 
     def _check_function(self, source: SourceFile,
                         function: ast.FunctionDef,
-                        guards: dict[str, str]) -> Iterable[Finding]:
+                        guards: dict[str, contracts.GuardDecl]) \
+            -> Iterable[Finding]:
         for node, stack in walk_with_stack(function):
             mutated: list[ast.AST] = []
             if isinstance(node, ast.Assign):
@@ -112,7 +82,7 @@ class GuardedByRule(Rule):
                 attr = self_attr(target)
                 if attr is None or attr not in guards:
                     continue
-                lock = guards[attr]
+                lock = guards[attr].lock
                 held = {
                     name
                     for with_node in stack

@@ -1,0 +1,275 @@
+"""Instrumented locks and the global lock-order graph.
+
+The sanitizer's :class:`~repro.analysis.runtime.sanitizer.Sanitizer`
+monitor hands these out from the :mod:`repro.common.locks` factory in
+place of plain ``threading`` primitives.  Each lock knows its
+*contract name* (``"ClassName.attr"``); every acquisition is recorded
+on a per-thread held stack, and acquiring lock B while holding lock A
+adds the directed edge ``A -> B`` to a process-global
+:class:`LockOrderGraph` together with the stacks of both acquisitions.
+
+A cycle in that graph is a **potential deadlock**: two threads taking
+the same pair of locks in opposite orders never need to actually
+deadlock during the test run for the hazard to be real — the graph
+witnesses the orders that *can* interleave fatally.
+
+Costs are kept off the steady-state path: an acquisition captures a
+live frame reference (one ``sys._getframe`` call); stacks are only
+*formatted* the first time a given edge is observed.
+"""
+
+from __future__ import annotations
+
+import threading
+from types import FrameType, TracebackType
+from typing import Iterable, Optional
+
+from .findings import RuntimeFinding, format_frame_stack
+
+
+class _Held:
+    """One acquisition a thread currently holds."""
+
+    __slots__ = ("lock", "frame")
+
+    def __init__(self, lock: "SanitizedLock",
+                 frame: Optional[FrameType]) -> None:
+        self.lock = lock
+        self.frame = frame
+
+
+class _EdgeExample:
+    """The first observed occurrence of one lock-order edge."""
+
+    __slots__ = ("outer_stack", "inner_stack", "thread_name")
+
+    def __init__(self, outer_stack: str, inner_stack: str,
+                 thread_name: str) -> None:
+        self.outer_stack = outer_stack
+        self.inner_stack = inner_stack
+        self.thread_name = thread_name
+
+
+class LockOrderGraph:
+    """Directed graph of observed nested lock acquisitions.
+
+    Nodes are contract names; an edge ``A -> B`` means some thread
+    acquired ``B`` while holding ``A``.  The first example of each edge
+    keeps both acquisition stacks for reporting.
+    """
+
+    def __init__(self) -> None:
+        # A plain threading.Lock on purpose: the graph is sanitizer
+        # plumbing, not middleware state, and must never appear in its
+        # own edges.
+        self._mutex = threading.Lock()
+        self._edges: dict[tuple[str, str], _EdgeExample] = {}
+        self._local = threading.local()
+
+    # -- per-thread held stack ---------------------------------------------
+
+    def _held(self) -> list[_Held]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def record_acquire(self, lock: "SanitizedLock",
+                       frame: Optional[FrameType]) -> None:
+        """Note that the current thread just acquired ``lock``."""
+        held = self._held()
+        already_held = any(entry.lock is lock for entry in held)
+        if not already_held:
+            # A reentrant re-acquisition cannot block, so it
+            # contributes no ordering constraint.
+            inner_stack: Optional[str] = None
+            for entry in held:
+                if entry.lock.name == lock.name:
+                    continue
+                key = (entry.lock.name, lock.name)
+                if key in self._edges:
+                    continue
+                if inner_stack is None:
+                    inner_stack = format_frame_stack(frame)
+                example = _EdgeExample(
+                    outer_stack=format_frame_stack(entry.frame),
+                    inner_stack=inner_stack,
+                    thread_name=threading.current_thread().name,
+                )
+                with self._mutex:
+                    self._edges.setdefault(key, example)
+        held.append(_Held(lock, frame))
+
+    def record_release(self, lock: "SanitizedLock") -> None:
+        """Note that the current thread released ``lock``."""
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index].lock is lock:
+                del held[index]
+                return
+
+    def holds(self, lock: "SanitizedLock") -> bool:
+        """True when the current thread holds ``lock`` (by identity)."""
+        return any(entry.lock is lock for entry in self._held())
+
+    def held_names(self) -> list[str]:
+        """Contract names the current thread holds, outermost first."""
+        return [entry.lock.name for entry in self._held()]
+
+    # -- the graph ----------------------------------------------------------
+
+    def edges(self) -> dict[tuple[str, str], _EdgeExample]:
+        with self._mutex:
+            return dict(self._edges)
+
+    def edge_list(self) -> list[list[str]]:
+        """Sorted ``[outer, inner]`` pairs (witness-file material)."""
+        with self._mutex:
+            return sorted([outer, inner] for outer, inner in self._edges)
+
+    def cycles(self) -> list[tuple[str, ...]]:
+        """Every distinct simple cycle among the observed edges."""
+        with self._mutex:
+            edges = set(self._edges)
+        return find_cycles(edges)
+
+    def cycle_findings(self) -> list[RuntimeFinding]:
+        """One :class:`RuntimeFinding` per distinct cycle."""
+        examples = self.edges()
+        findings = []
+        for cycle in self.cycles():
+            path = " -> ".join(cycle + (cycle[0],))
+            sites: list[tuple[str, str]] = []
+            for index, outer in enumerate(cycle):
+                inner = cycle[(index + 1) % len(cycle)]
+                example = examples.get((outer, inner))
+                if example is None:
+                    continue
+                sites.append((
+                    f"'{outer}' held (thread {example.thread_name})",
+                    example.outer_stack,
+                ))
+                sites.append((
+                    f"'{inner}' then acquired under it",
+                    example.inner_stack,
+                ))
+            findings.append(
+                RuntimeFinding(
+                    rule="lock-order-cycle",
+                    message=(
+                        f"potential deadlock: locks are acquired in a "
+                        f"cycle {path}"
+                    ),
+                    sites=tuple(sites),
+                )
+            )
+        return findings
+
+
+def find_cycles(edges: Iterable[tuple[str, str]]) -> list[tuple[str, ...]]:
+    """Distinct simple cycles in a directed graph, canonically rotated.
+
+    Small-graph implementation: for every edge ``u -> v``, find a
+    shortest path back from ``v`` to ``u``; the edge plus the path is a
+    cycle.  Cycles are deduplicated by rotating each to start at its
+    smallest node, so ``A->B->A`` and ``B->A->B`` report once.
+    """
+    adjacency: dict[str, set[str]] = {}
+    for outer, inner in edges:
+        adjacency.setdefault(outer, set()).add(inner)
+
+    def shortest_path(start: str, goal: str) -> Optional[list[str]]:
+        if start == goal:
+            return [start]
+        frontier = [start]
+        came_from: dict[str, str] = {start: start}
+        while frontier:
+            nxt: list[str] = []
+            for node in frontier:
+                for neighbor in sorted(adjacency.get(node, ())):
+                    if neighbor in came_from:
+                        continue
+                    came_from[neighbor] = node
+                    if neighbor == goal:
+                        path = [goal]
+                        while path[-1] != start:
+                            path.append(came_from[path[-1]])
+                        return list(reversed(path))
+                    nxt.append(neighbor)
+            frontier = nxt
+        return None
+
+    seen: set[tuple[str, ...]] = set()
+    cycles: list[tuple[str, ...]] = []
+    for outer, inner in sorted(edges):
+        path = shortest_path(inner, outer)
+        if path is None:
+            continue
+        # path is inner..outer; prepending outer closes the loop
+        # (a len-1 path means inner == outer: a self-loop edge).
+        nodes = [outer] + path[:-1] if len(path) > 1 else [outer]
+        pivot = nodes.index(min(nodes))
+        canonical = tuple(nodes[pivot:] + nodes[:pivot])
+        if canonical not in seen:
+            seen.add(canonical)
+            cycles.append(canonical)
+    return cycles
+
+
+class SanitizedLock:
+    """A ``threading.Lock`` stand-in wired into the lock-order graph."""
+
+    _reentrant = False
+
+    def __init__(self, name: str, graph: LockOrderGraph) -> None:
+        self.name = name
+        self._graph = graph
+        self._inner = self._make_inner()
+
+    def _make_inner(self) -> "threading.Lock | threading.RLock":  # type: ignore[valid-type]
+        return threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        import sys
+        frame = sys._getframe(1)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._graph.record_acquire(self, frame)
+        return acquired
+
+    def release(self) -> None:
+        self._graph.record_release(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def held_by_current_thread(self) -> bool:
+        """True when the calling thread holds this lock instance."""
+        return self._graph.holds(self)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type: Optional[type],
+                 exc_value: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        kind = "SanitizedRLock" if self._reentrant else "SanitizedLock"
+        return f"{kind}({self.name!r})"
+
+
+class SanitizedRLock(SanitizedLock):
+    """The reentrant variant (reentry records no ordering edges)."""
+
+    _reentrant = True
+
+    def _make_inner(self) -> "threading.Lock | threading.RLock":  # type: ignore[valid-type]
+        return threading.RLock()
+
+    def locked(self) -> bool:
+        # RLock has no locked() before 3.12; approximate via holder.
+        return self.held_by_current_thread()

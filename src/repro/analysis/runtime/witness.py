@@ -1,0 +1,149 @@
+"""Resource witness and the checked-in lock-order witness file.
+
+Two witnesses live here:
+
+* :class:`ResourceWitness` — runtime create-vs-close tracking for
+  executors, futures, staged files and worker threads.  Anything
+  created but never closed by report time is a **leak finding** that
+  carries the creation stack, so "who forgot to shut this down" is
+  answered by the report, not by a debugger.
+
+* the **lock-order witness file** (``lock_order.witness.json`` at the
+  repo root) — the blessed set of nested-acquisition edges.  The
+  static ``lock-order`` rule merges the edges it can see in the AST
+  with this file and fails on any cycle; the sanitizer can emit an
+  updated edge list so the file never goes stale by hand-editing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Iterable, Optional
+
+from .findings import RuntimeFinding, capture_stack
+
+#: Name of the checked-in witness file, looked up at the project root.
+WITNESS_FILENAME = "lock_order.witness.json"
+
+
+class _LiveResource:
+    """One tracked object that has been created and not yet closed."""
+
+    __slots__ = ("kind", "detail", "thread_name", "stack", "seq")
+
+    def __init__(self, kind: str, detail: str, thread_name: str,
+                 stack: str, seq: int) -> None:
+        self.kind = kind
+        self.detail = detail
+        self.thread_name = thread_name
+        self.stack = stack
+        self.seq = seq
+
+
+class ResourceWitness:
+    """Tracks create/close pairs for pool-and-pipeline resources.
+
+    Keys objects by ``id()`` without holding strong references beyond
+    the bookkeeping record itself is unnecessary — the witness *does*
+    not keep the object, only its identity, so tracking never extends
+    a resource's lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._live: dict[tuple[str, int], _LiveResource] = {}
+        self._seq = 0
+        self._created = 0
+        self._closed = 0
+
+    def created(self, kind: str, obj: object, detail: str = "") -> None:
+        """Record that ``obj`` came into being (captures the stack now)."""
+        stack = capture_stack(skip=1)
+        record = _LiveResource(
+            kind=kind,
+            detail=detail,
+            thread_name=threading.current_thread().name,
+            stack=stack,
+            seq=0,
+        )
+        with self._mutex:
+            self._seq += 1
+            self._created += 1
+            record.seq = self._seq
+            self._live[(kind, id(obj))] = record
+
+    def closed(self, kind: str, obj: object) -> None:
+        """Record that ``obj`` was shut down / retired."""
+        with self._mutex:
+            if self._live.pop((kind, id(obj)), None) is not None:
+                self._closed += 1
+
+    def live(self) -> list[_LiveResource]:
+        """Records still open, in creation order."""
+        with self._mutex:
+            return sorted(self._live.values(), key=lambda r: r.seq)
+
+    def counts(self) -> dict[str, int]:
+        with self._mutex:
+            return {
+                "created": self._created,
+                "closed": self._closed,
+                "live": len(self._live),
+            }
+
+    def leak_findings(self) -> list[RuntimeFinding]:
+        """One finding per still-open resource."""
+        findings = []
+        for record in self.live():
+            what = f"{record.kind} ({record.detail})" if record.detail \
+                else record.kind
+            findings.append(
+                RuntimeFinding(
+                    rule="resource-leak",
+                    message=(
+                        f"{what} was created but never closed "
+                        f"(thread {record.thread_name})"
+                    ),
+                    sites=(("created here", record.stack),),
+                )
+            )
+        return findings
+
+
+def find_witness_file(start: Optional[str] = None) -> Optional[str]:
+    """Locate ``lock_order.witness.json`` walking up from ``start``."""
+    current = os.path.abspath(start or os.getcwd())
+    while True:
+        candidate = os.path.join(current, WITNESS_FILENAME)
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            return None
+        current = parent
+
+
+def load_witness_edges(path: str) -> list[tuple[str, str]]:
+    """The blessed ``(outer, inner)`` edges from a witness file."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    edges = payload.get("edges", [])
+    return [(str(outer), str(inner)) for outer, inner in edges]
+
+
+def save_witness_edges(path: str, edges: Iterable[tuple[str, str]],
+                       description: str = "") -> None:
+    """Write a witness file (sorted, deterministic, newline-terminated)."""
+    payload = {
+        "description": description or (
+            "Blessed nested lock-acquisition edges (outer, inner). "
+            "Checked by the static lock-order rule and refreshed from "
+            "sanitizer runs; a cycle through these edges fails CI."
+        ),
+        "edges": sorted([outer, inner] for outer, inner in set(edges)),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -15,17 +15,26 @@ access (and hence the cost) differs.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
+
 from ..core.cc_table import CCTable
 from ..core.sql_counting import counts_via_sql
 from ..sqlengine.ast_nodes import Select, Star
-from .growth import partition_node
-from .tree import DecisionTree
+from .growth import GrowthPolicy, partition_node
+from .tree import DecisionTree, TreeNode
+
+if TYPE_CHECKING:
+    from ..common.cost import CostMeter, CostModel
+    from ..datagen.dataset import DatasetSpec
+    from ..sqlengine.database import SQLServer
+    from ..sqlengine.expr import Expr
 
 
-def build_cc_from_rows(rows, spec, attributes):
+def build_cc_from_rows(rows: Iterable[Sequence[Any]],
+                       spec: "DatasetSpec",
+                       attributes: Iterable[str]) -> CCTable:
     """Build a CC table locally by scanning ``rows`` once."""
-    attributes = tuple(attributes)
-    cc = CCTable(attributes, spec.n_classes)
+    cc = CCTable(tuple(attributes), spec.n_classes)
     names = spec.attribute_names
     class_index = spec.n_attributes
     for row in rows:
@@ -34,23 +43,26 @@ def build_cc_from_rows(rows, spec, attributes):
     return cc
 
 
-def grow_in_memory(rows, spec, policy, meter=None, model=None):
+def grow_in_memory(rows: Iterable[Sequence[Any]], spec: "DatasetSpec",
+                   policy: GrowthPolicy,
+                   meter: Optional["CostMeter"] = None,
+                   model: Optional["CostModel"] = None) -> DecisionTree:
     """Grow a tree from rows held in client memory.
 
     When a meter is supplied, each node's CC construction charges one
     client-side pass over the node's rows at the *file* rate, modelling
     the extracted data sitting in "client secondary storage" (§2.3).
     """
-    rows = list(rows)
+    data = list(rows)
     tree = DecisionTree(spec)
     root = tree.root
-    root.n_rows = len(rows)
+    root.n_rows = len(data)
 
-    pending = [(root, rows)]
+    pending: list[tuple[TreeNode, list[Sequence[Any]]]] = [(root, data)]
     attr_index = {name: i for i, name in enumerate(spec.attribute_names)}
     while pending:
         node, node_rows = pending.pop()
-        if meter is not None:
+        if meter is not None and model is not None:
             meter.charge(
                 "file_read",
                 model.file_row_io * len(node_rows),
@@ -61,8 +73,9 @@ def grow_in_memory(rows, spec, policy, meter=None, model=None):
         if not children:
             continue
         for child in children:
-            index = attr_index[child.condition.attribute]
             condition = child.condition
+            assert condition is not None  # children carry edge conditions
+            index = attr_index[condition.attribute]
             child_rows = [
                 row for row in node_rows if condition.matches(row[index])
             ]
@@ -70,7 +83,9 @@ def grow_in_memory(rows, spec, policy, meter=None, model=None):
     return tree
 
 
-def extract_all_fit(server, table_name, spec, policy):
+def extract_all_fit(server: "SQLServer", table_name: str,
+                    spec: "DatasetSpec",
+                    policy: GrowthPolicy) -> DecisionTree:
     """Straw man 1: extract the whole table, then mine at the client.
 
     Pays one SELECT * (full scan + transfer of every row), then the
@@ -82,7 +97,9 @@ def extract_all_fit(server, table_name, spec, policy):
     )
 
 
-def sql_counting_fit(server, table_name, spec, policy):
+def sql_counting_fit(server: "SQLServer", table_name: str,
+                     spec: "DatasetSpec",
+                     policy: GrowthPolicy) -> DecisionTree:
     """Straw man 2: per-node UNION-of-GROUP-BYs counting at the server.
 
     Every active node issues its own CC statement; the server scans the
@@ -96,7 +113,7 @@ def sql_counting_fit(server, table_name, spec, policy):
     frontier = [root]
     while frontier:
         node = frontier.pop()
-        predicate = None
+        predicate: Optional["Expr"] = None
         conditions = node.path_conditions()
         if conditions:
             from ..core.filters import path_predicate

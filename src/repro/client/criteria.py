@@ -10,11 +10,12 @@ and gain ratio are provided for the broader family the scheme supports.
 from __future__ import annotations
 
 import math
+from typing import Sequence, Union
 
 from ..common.errors import ClientError
 
 
-def entropy(counts):
+def entropy(counts: Sequence[float]) -> float:
     """Shannon entropy (bits) of a class-count vector."""
     total = sum(counts)
     if total == 0:
@@ -27,7 +28,7 @@ def entropy(counts):
     return result
 
 
-def gini(counts):
+def gini(counts: Sequence[float]) -> float:
     """Gini impurity of a class-count vector."""
     total = sum(counts)
     if total == 0:
@@ -40,7 +41,8 @@ class SplitCriterion:
 
     name = "abstract"
 
-    def score(self, parent_counts, children_counts):
+    def score(self, parent_counts: Sequence[int],
+              children_counts: Sequence[Sequence[int]]) -> float:
         """Score a partition given parent and per-child class counts."""
         raise NotImplementedError
 
@@ -50,7 +52,8 @@ class InformationGain(SplitCriterion):
 
     name = "entropy"
 
-    def score(self, parent_counts, children_counts):
+    def score(self, parent_counts: Sequence[int],
+              children_counts: Sequence[Sequence[int]]) -> float:
         total = sum(parent_counts)
         if total == 0:
             return 0.0
@@ -66,10 +69,11 @@ class GainRatio(SplitCriterion):
 
     name = "gain_ratio"
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._gain = InformationGain()
 
-    def score(self, parent_counts, children_counts):
+    def score(self, parent_counts: Sequence[int],
+              children_counts: Sequence[Sequence[int]]) -> float:
         gain = self._gain.score(parent_counts, children_counts)
         if gain <= 0.0:
             return 0.0
@@ -85,7 +89,8 @@ class GiniGain(SplitCriterion):
 
     name = "gini"
 
-    def score(self, parent_counts, children_counts):
+    def score(self, parent_counts: Sequence[int],
+              children_counts: Sequence[Sequence[int]]) -> float:
         total = sum(parent_counts)
         if total == 0:
             return 0.0
@@ -107,7 +112,8 @@ class ChiSquare(SplitCriterion):
 
     name = "chi2"
 
-    def score(self, parent_counts, children_counts):
+    def score(self, parent_counts: Sequence[int],
+              children_counts: Sequence[Sequence[int]]) -> float:
         total = sum(parent_counts)
         if total == 0:
             return 0.0
@@ -135,13 +141,13 @@ class ChiSquare(SplitCriterion):
         return statistic / (total * dof_scale)
 
 
-_CRITERIA = {
+_CRITERIA: dict[str, type[SplitCriterion]] = {
     cls.name: cls
     for cls in (InformationGain, GainRatio, GiniGain, ChiSquare)
 }
 
 
-def make_criterion(name):
+def make_criterion(name: Union[str, SplitCriterion]) -> SplitCriterion:
     """Instantiate a criterion by name ('entropy', 'gain_ratio', 'gini')."""
     if isinstance(name, SplitCriterion):
         return name

@@ -12,18 +12,29 @@ Implements the client side of Figure 3:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence, Union
+
 from ..common.errors import NotFittedError
 from ..core.estimators import estimate_cc_pairs, root_cc_pairs
+from ..core.filters import PathCondition
 from ..core.requests import CountsRequest
+from .criteria import SplitCriterion
 from .growth import GrowthPolicy, partition_node
-from .tree import DecisionTree
+from .tree import DecisionTree, TreeNode
+
+if TYPE_CHECKING:
+    from ..core.cc_table import CCTable
+    from ..core.middleware import Middleware
+    from ..datagen.dataset import DatasetSpec
 
 
 class DecisionTreeClassifier:
     """Decision-tree induction over a SQL table via the middleware."""
 
-    def __init__(self, criterion="entropy", binary_splits=True,
-                 max_depth=None, min_rows=2, min_gain=0.0):
+    def __init__(self, criterion: Union[str, SplitCriterion] = "entropy",
+                 binary_splits: bool = True,
+                 max_depth: Optional[int] = None, min_rows: int = 2,
+                 min_gain: float = 0.0) -> None:
         self.policy = GrowthPolicy(
             criterion=criterion,
             binary_splits=binary_splits,
@@ -31,11 +42,11 @@ class DecisionTreeClassifier:
             min_rows=min_rows,
             min_gain=min_gain,
         )
-        self.tree_ = None
+        self.tree_: Optional[DecisionTree] = None
 
     # -- fitting ---------------------------------------------------------
 
-    def fit(self, middleware):
+    def fit(self, middleware: "Middleware") -> "DecisionTreeClassifier":
         """Grow the full tree through ``middleware``; returns self."""
         spec = middleware.spec
         tree = DecisionTree(spec)
@@ -55,7 +66,9 @@ class DecisionTreeClassifier:
         self.tree_ = tree
         return self
 
-    def _root_request(self, root, spec):
+    def _root_request(self, root: TreeNode,
+                      spec: "DatasetSpec") -> CountsRequest:
+        assert root.n_rows is not None  # set by fit() before queueing
         return CountsRequest(
             node_id=root.node_id,
             lineage=root.lineage(),
@@ -65,7 +78,9 @@ class DecisionTreeClassifier:
             est_cc_pairs=root_cc_pairs(spec, root.attributes),
         )
 
-    def _child_request(self, child, parent, parent_cc):
+    def _child_request(self, child: TreeNode, parent: TreeNode,
+                       parent_cc: "CCTable") -> CountsRequest:
+        assert child.n_rows is not None and parent.n_rows is not None
         est_pairs = estimate_cc_pairs(
             child.n_rows,
             parent.n_rows,
@@ -84,24 +99,26 @@ class DecisionTreeClassifier:
     # -- prediction -------------------------------------------------------
 
     @property
-    def tree(self):
+    def tree(self) -> DecisionTree:
         if self.tree_ is None:
             raise NotFittedError("call fit() before using the model")
         return self.tree_
 
-    def predict_row(self, row):
+    def predict_row(self, row: Sequence[Any]) -> int:
         return self.tree.predict_row(row)
 
-    def predict(self, rows):
+    def predict(self, rows: Iterable[Sequence[Any]]) -> list[int]:
         return self.tree.predict(rows)
 
-    def accuracy(self, rows):
+    def accuracy(self, rows: Iterable[Sequence[Any]]) -> float:
         return self.tree.accuracy(rows)
 
-    def rules(self):
+    def rules(
+        self,
+    ) -> list[tuple[list[PathCondition], int, Optional[int]]]:
         return self.tree.rules()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         if self.tree_ is None:
             return "DecisionTreeClassifier(unfitted)"
         return (

@@ -11,46 +11,50 @@ categorical codes the rest of the system consumes.
 from __future__ import annotations
 
 import math
+from typing import Any, Iterable, Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from ..common.errors import ClientError
 from ..datagen.dataset import DatasetSpec
 from .criteria import entropy
 
 
-def equal_width_edges(values, n_bins):
+def equal_width_edges(values: npt.ArrayLike, n_bins: int) -> list[float]:
     """Cut points splitting [min, max] into ``n_bins`` equal intervals."""
     if n_bins < 2:
         raise ClientError("need at least two bins")
-    values = np.asarray(values, dtype=float)
-    if values.size == 0:
+    column = np.asarray(values, dtype=float)
+    if column.size == 0:
         raise ClientError("cannot discretise an empty column")
-    low = float(values.min())
-    high = float(values.max())
+    low = float(column.min())
+    high = float(column.max())
     if low == high:
         return []
-    return list(np.linspace(low, high, n_bins + 1)[1:-1])
+    return [float(e) for e in np.linspace(low, high, n_bins + 1)[1:-1]]
 
 
-def equal_frequency_edges(values, n_bins):
+def equal_frequency_edges(values: npt.ArrayLike,
+                          n_bins: int) -> list[float]:
     """Cut points putting ~equal record counts in each bin."""
     if n_bins < 2:
         raise ClientError("need at least two bins")
-    values = np.sort(np.asarray(values, dtype=float))
-    if values.size == 0:
+    column = np.sort(np.asarray(values, dtype=float))
+    if column.size == 0:
         raise ClientError("cannot discretise an empty column")
     quantiles = np.linspace(0, 1, n_bins + 1)[1:-1]
-    edges = np.quantile(values, quantiles)
+    edges = np.quantile(column, quantiles)
     # Collapse duplicate edges (heavy ties) so bins stay distinct.
-    unique = []
+    unique: list[float] = []
     for edge in edges:
         if not unique or edge > unique[-1]:
             unique.append(float(edge))
     return unique
 
 
-def mdl_entropy_edges(values, labels, max_depth=16):
+def mdl_entropy_edges(values: npt.ArrayLike, labels: npt.ArrayLike,
+                      max_depth: int = 16) -> list[float]:
     """Fayyad–Irani recursive entropy discretisation with MDL stopping.
 
     Candidate cuts are boundary points (midpoints between adjacent
@@ -58,22 +62,24 @@ def mdl_entropy_edges(values, labels, max_depth=16):
     information gain beats the MDL criterion, and accepted intervals
     are split recursively.
     """
-    values = np.asarray(values, dtype=float)
-    labels = np.asarray(labels)
-    if values.size != labels.size:
+    column = np.asarray(values, dtype=float)
+    targets = np.asarray(labels)
+    if column.size != targets.size:
         raise ClientError("values and labels must align")
-    if values.size == 0:
+    if column.size == 0:
         raise ClientError("cannot discretise an empty column")
-    order = np.argsort(values, kind="stable")
-    values = values[order]
-    labels = labels[order]
-    edges = []
-    _mdl_split(values, labels, 0, values.size, edges, max_depth)
+    order = np.argsort(column, kind="stable")
+    column = column[order]
+    targets = targets[order]
+    edges: list[float] = []
+    _mdl_split(column, targets, 0, column.size, edges, max_depth)
     edges.sort()
     return edges
 
 
-def _mdl_split(values, labels, start, stop, edges, depth):
+def _mdl_split(values: npt.NDArray[np.float64], labels: npt.NDArray[Any],
+               start: int, stop: int, edges: list[float],
+               depth: int) -> None:
     if depth <= 0 or stop - start < 4:
         return
     best = _best_cut(values, labels, start, stop)
@@ -82,24 +88,30 @@ def _mdl_split(values, labels, start, stop, edges, depth):
     cut_index, gain, cut_value = best
     if not _mdl_accepts(labels, start, stop, cut_index, gain):
         return
-    edges.append(cut_value)
+    edges.append(float(cut_value))
     _mdl_split(values, labels, start, cut_index, edges, depth - 1)
     _mdl_split(values, labels, cut_index, stop, edges, depth - 1)
 
 
-def _class_counts(labels, start, stop):
-    counts = {}
+def _class_counts(labels: npt.NDArray[Any], start: int,
+                  stop: int) -> dict[Any, int]:
+    counts: dict[Any, int] = {}
     for label in labels[start:stop]:
         counts[label] = counts.get(label, 0) + 1
     return counts
 
 
-def _best_cut(values, labels, start, stop):
+def _best_cut(
+    values: npt.NDArray[np.float64],
+    labels: npt.NDArray[Any],
+    start: int,
+    stop: int,
+) -> Optional[tuple[int, float, float]]:
     """Highest-gain boundary cut in [start, stop), or None."""
     n = stop - start
     parent_entropy = entropy(list(_class_counts(labels, start, stop).values()))
-    best = None
-    left = {}
+    best: Optional[tuple[int, float, float]] = None
+    left: dict[Any, int] = {}
     right = _class_counts(labels, start, stop)
     for i in range(start, stop - 1):
         label = labels[i]
@@ -114,12 +126,13 @@ def _best_cut(values, labels, start, stop):
             + n_right / n * entropy(list(right.values()))
         )
         if best is None or gain > best[1]:
-            cut_value = (values[i] + values[i + 1]) / 2.0
+            cut_value = float(values[i] + values[i + 1]) / 2.0
             best = (i + 1, gain, cut_value)
     return best
 
 
-def _mdl_accepts(labels, start, stop, cut_index, gain):
+def _mdl_accepts(labels: npt.NDArray[Any], start: int, stop: int,
+                 cut_index: int, gain: float) -> bool:
     """The Fayyad–Irani MDL acceptance test."""
     n = stop - start
     parent = _class_counts(labels, start, stop)
@@ -144,46 +157,55 @@ class Discretizer:
 
     METHODS = ("equal_width", "equal_frequency", "mdl")
 
-    def __init__(self, method="equal_width", n_bins=8):
+    def __init__(self, method: str = "equal_width",
+                 n_bins: int = 8) -> None:
         if method not in self.METHODS:
             raise ClientError(f"method must be one of {self.METHODS}")
         self.method = method
         self.n_bins = n_bins
-        self.edges_ = None
+        self.edges_: Optional[list[list[float]]] = None
 
-    def fit(self, X, y=None):
+    def fit(self, X: npt.ArrayLike,
+            y: Optional[npt.ArrayLike] = None) -> "Discretizer":
         """Learn per-column cut points; returns self."""
-        X = np.asarray(X, dtype=float)
-        if X.ndim != 2:
+        matrix = np.asarray(X, dtype=float)
+        if matrix.ndim != 2:
             raise ClientError("X must be a 2-D matrix")
         if self.method == "mdl" and y is None:
             raise ClientError("mdl discretisation requires labels")
-        edges = []
-        for j in range(X.shape[1]):
-            column = X[:, j]
+        edges: list[list[float]] = []
+        for j in range(matrix.shape[1]):
+            column = matrix[:, j]
             if self.method == "equal_width":
                 edges.append(equal_width_edges(column, self.n_bins))
             elif self.method == "equal_frequency":
                 edges.append(equal_frequency_edges(column, self.n_bins))
             else:
+                assert y is not None  # guarded at entry for "mdl"
                 edges.append(mdl_entropy_edges(column, y))
         self.edges_ = edges
         return self
 
-    def transform(self, X):
+    def transform(self, X: npt.ArrayLike) -> npt.NDArray[np.int64]:
         """Map numeric values to bucket codes column by column."""
         if self.edges_ is None:
             raise ClientError("fit() the discretizer first")
-        X = np.asarray(X, dtype=float)
-        codes = np.empty(X.shape, dtype=np.int64)
+        matrix = np.asarray(X, dtype=float)
+        codes: npt.NDArray[np.int64] = np.empty(matrix.shape,
+                                                dtype=np.int64)
         for j, edges in enumerate(self.edges_):
-            codes[:, j] = np.searchsorted(np.asarray(edges), X[:, j])
+            codes[:, j] = np.searchsorted(np.asarray(edges),
+                                          matrix[:, j])
         return codes
 
-    def fit_transform(self, X, y=None):
+    def fit_transform(
+        self, X: npt.ArrayLike, y: Optional[npt.ArrayLike] = None
+    ) -> npt.NDArray[np.int64]:
         return self.fit(X, y).transform(X)
 
-    def spec(self, n_classes, attribute_names=None):
+    def spec(self, n_classes: int,
+             attribute_names: Optional[Iterable[str]] = None
+             ) -> DatasetSpec:
         """A :class:`DatasetSpec` describing the discretised matrix.
 
         Columns whose discretisation produced no cut (constant or MDL

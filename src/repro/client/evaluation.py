@@ -9,33 +9,43 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
 
 from ..common.errors import ClientError
 from .baselines import grow_in_memory
 from .growth import GrowthPolicy
 
+if TYPE_CHECKING:
+    from ..datagen.dataset import DatasetSpec
 
-def train_test_split(rows, test_fraction=0.25, seed=0):
+#: One data record: attribute codes with the class label last.
+DataRow = Sequence[Any]
+
+
+def train_test_split(
+    rows: Iterable[DataRow], test_fraction: float = 0.25, seed: int = 0
+) -> tuple[list[DataRow], list[DataRow]]:
     """Shuffle and split rows into ``(train, test)``."""
     if not 0.0 < test_fraction < 1.0:
         raise ClientError("test_fraction must be within (0, 1)")
-    rows = list(rows)
-    if len(rows) < 2:
+    data = list(rows)
+    if len(data) < 2:
         raise ClientError("need at least two rows to split")
     rng = random.Random(seed)
-    rng.shuffle(rows)
-    cut = max(1, int(len(rows) * test_fraction))
-    return rows[cut:], rows[:cut]
+    rng.shuffle(data)
+    cut = max(1, int(len(data) * test_fraction))
+    return data[cut:], data[:cut]
 
 
-def confusion_matrix(y_true, y_pred, n_classes):
+def confusion_matrix(y_true: Iterable[int], y_pred: Iterable[int],
+                     n_classes: int) -> list[list[int]]:
     """``matrix[actual][predicted]`` counts."""
-    y_true = list(y_true)
-    y_pred = list(y_pred)
-    if len(y_true) != len(y_pred):
+    actuals = list(y_true)
+    predictions = list(y_pred)
+    if len(actuals) != len(predictions):
         raise ClientError("label sequences must align")
     matrix = [[0] * n_classes for _ in range(n_classes)]
-    for actual, predicted in zip(y_true, y_pred):
+    for actual, predicted in zip(actuals, predictions):
         if not (0 <= actual < n_classes and 0 <= predicted < n_classes):
             raise ClientError("label outside [0, n_classes)")
         matrix[actual][predicted] += 1
@@ -58,18 +68,18 @@ class EvaluationReport:
     """Full evaluation of a classifier on one data set."""
 
     accuracy: float
-    matrix: list
-    per_class: list = field(default_factory=list)
+    matrix: list[list[int]]
+    per_class: list[ClassReport] = field(default_factory=list)
 
     @property
-    def macro_f1(self):
+    def macro_f1(self) -> float:
         """Unweighted mean F1 over classes that appear in the data."""
         present = [c for c in self.per_class if c.support > 0]
         if not present:
             return 0.0
         return sum(c.f1 for c in present) / len(present)
 
-    def __str__(self):
+    def __str__(self) -> str:
         lines = [f"accuracy: {self.accuracy:.4f}   macro-F1: {self.macro_f1:.4f}"]
         for entry in self.per_class:
             lines.append(
@@ -80,17 +90,18 @@ class EvaluationReport:
         return "\n".join(lines)
 
 
-def evaluate(model, rows, n_classes):
+def evaluate(model: Any, rows: Iterable[DataRow],
+             n_classes: int) -> EvaluationReport:
     """Evaluate a fitted model (anything with ``predict_row``)."""
-    rows = list(rows)
-    if not rows:
+    data = list(rows)
+    if not data:
         raise ClientError("cannot evaluate on an empty data set")
-    y_true = [row[-1] for row in rows]
-    y_pred = [model.predict_row(row) for row in rows]
+    y_true = [row[-1] for row in data]
+    y_pred = [model.predict_row(row) for row in data]
     matrix = confusion_matrix(y_true, y_pred, n_classes)
 
     hits = sum(matrix[c][c] for c in range(n_classes))
-    per_class = []
+    per_class: list[ClassReport] = []
     for label in range(n_classes):
         support = sum(matrix[label])
         predicted = sum(matrix[row][label] for row in range(n_classes))
@@ -104,10 +115,12 @@ def evaluate(model, rows, n_classes):
         per_class.append(
             ClassReport(label, precision, recall, f1, support)
         )
-    return EvaluationReport(hits / len(rows), matrix, per_class)
+    return EvaluationReport(hits / len(data), matrix, per_class)
 
 
-def cross_validate(rows, spec, policy=None, k=5, seed=0):
+def cross_validate(rows: Iterable[DataRow], spec: "DatasetSpec",
+                   policy: Optional[GrowthPolicy] = None, k: int = 5,
+                   seed: int = 0) -> list[float]:
     """k-fold cross-validation of the decision-tree grower.
 
     Grows each fold's tree with the in-memory reference grower — the
@@ -117,15 +130,15 @@ def cross_validate(rows, spec, policy=None, k=5, seed=0):
     """
     if k < 2:
         raise ClientError("cross-validation needs k >= 2")
-    rows = list(rows)
-    if len(rows) < k:
+    data = list(rows)
+    if len(data) < k:
         raise ClientError("need at least one row per fold")
     policy = policy or GrowthPolicy()
     rng = random.Random(seed)
-    rng.shuffle(rows)
+    rng.shuffle(data)
 
-    folds = [rows[i::k] for i in range(k)]
-    accuracies = []
+    folds = [data[i::k] for i in range(k)]
+    accuracies: list[float] = []
     for held_out in range(k):
         test = folds[held_out]
         train = [

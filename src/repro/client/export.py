@@ -10,19 +10,26 @@ restricted middleware surfaces) and trivially portable to any RDBMS.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional, Union
+
 from ..common.errors import ClientError
 from ..sqlengine.ast_nodes import Select, SelectItem, UnionAll
 from ..sqlengine.expr import ColumnRef, Literal
 from .tree import DecisionTree
 
+if TYPE_CHECKING:
+    from ..sqlengine.database import SQLServer
+    from ..sqlengine.executor import ResultSet
 
-def leaf_predicates(tree):
+
+def leaf_predicates(tree: DecisionTree) -> list[tuple[Optional[str], int]]:
     """``(predicate_sql, label)`` for every leaf, in walk order."""
-    out = []
+    out: list[tuple[Optional[str], int]] = []
     for node in tree.walk():
         if not node.is_leaf:
             continue
         conditions = node.path_conditions()
+        rendered: Optional[str]
         if conditions:
             rendered = " AND ".join(
                 condition.to_expr().to_sql() for condition in conditions
@@ -33,7 +40,10 @@ def leaf_predicates(tree):
     return out
 
 
-def tree_to_statement(tree, table_name, predicted_column="predicted"):
+def tree_to_statement(
+    tree: DecisionTree, table_name: str,
+    predicted_column: str = "predicted",
+) -> Union[Select, UnionAll]:
     """The scoring statement as an AST (one SELECT branch per leaf).
 
     Each branch projects the table's attribute columns, the true class,
@@ -51,7 +61,7 @@ def tree_to_statement(tree, table_name, predicted_column="predicted"):
 
     from ..core.filters import path_predicate
 
-    branches = []
+    branches: list[Select] = []
     for node in tree.walk():
         if not node.is_leaf:
             continue
@@ -72,13 +82,16 @@ def tree_to_statement(tree, table_name, predicted_column="predicted"):
     return UnionAll(branches)
 
 
-def tree_to_sql(tree, table_name, predicted_column="predicted"):
+def tree_to_sql(tree: DecisionTree, table_name: str,
+                predicted_column: str = "predicted") -> str:
     """The scoring statement as SQL text."""
     return tree_to_statement(tree, table_name, predicted_column).to_sql()
 
 
-def predict_in_database(server, table_name, tree,
-                        predicted_column="predicted"):
+def predict_in_database(server: "SQLServer", table_name: str,
+                        tree: DecisionTree,
+                        predicted_column: str = "predicted",
+                        ) -> "ResultSet":
     """Score ``table_name`` inside the server; returns the ResultSet.
 
     The result has one row per covered table row, with the predicted
@@ -88,7 +101,8 @@ def predict_in_database(server, table_name, tree,
     return server.execute(statement)
 
 
-def in_database_accuracy(server, table_name, tree):
+def in_database_accuracy(server: "SQLServer", table_name: str,
+                         tree: DecisionTree) -> float:
     """Accuracy of the deployed model over the whole table.
 
     Raises if the leaf SELECTs do not cover the table exactly once

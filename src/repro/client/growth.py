@@ -10,18 +10,24 @@ decision tree that is finally produced").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Union
 
 from ..common.errors import ClientError
 from .criteria import SplitCriterion, make_criterion
 from .splits import best_split, child_attributes
-from .tree import NodeState
+from .tree import DecisionTree, NodeState, TreeNode
+
+if TYPE_CHECKING:
+    from ..core.cc_table import CCTable
 
 
 @dataclass
 class GrowthPolicy:
     """Stopping rules and split preferences of one growth run."""
 
-    criterion: SplitCriterion = field(
+    #: A criterion instance, or its registry name (normalised by
+    #: ``__post_init__``).
+    criterion: Union[str, SplitCriterion] = field(
         default_factory=lambda: make_criterion("entropy")
     )
     #: Grow binary value-vs-rest splits (the paper's experiments) or
@@ -34,7 +40,7 @@ class GrowthPolicy:
     #: Required score improvement for a split to be accepted.
     min_gain: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.criterion = make_criterion(self.criterion)
         if self.min_rows < 1:
             raise ClientError("min_rows must be at least 1")
@@ -42,7 +48,8 @@ class GrowthPolicy:
             raise ClientError("max_depth must be non-negative")
 
 
-def is_terminal_before_counting(node, policy):
+def is_terminal_before_counting(node: TreeNode,
+                                policy: GrowthPolicy) -> bool:
     """Stopping rules decidable from inherited statistics alone.
 
     Children get exact sizes and class distributions from the parent's
@@ -52,7 +59,7 @@ def is_terminal_before_counting(node, policy):
     """
     if node.is_pure:
         return True
-    if node.n_rows < policy.min_rows:
+    if node.n_rows is not None and node.n_rows < policy.min_rows:
         return True
     if policy.max_depth is not None and node.depth >= policy.max_depth:
         return True
@@ -61,7 +68,8 @@ def is_terminal_before_counting(node, policy):
     return False
 
 
-def partition_node(tree, node, cc, policy):
+def partition_node(tree: DecisionTree, node: TreeNode, cc: "CCTable",
+                   policy: GrowthPolicy) -> list[TreeNode]:
     """Partition one counted node; returns children needing counts.
 
     ``cc`` is the node's CC table.  The node either becomes a leaf (no
@@ -85,7 +93,7 @@ def partition_node(tree, node, cc, policy):
 
     split = best_split(
         cc,
-        policy.criterion,
+        make_criterion(policy.criterion),
         binary=policy.binary_splits,
         min_gain=policy.min_gain,
     )
@@ -97,7 +105,7 @@ def partition_node(tree, node, cc, policy):
     node.split_kind = split.kind
     node.state = NodeState.PARTITIONED
 
-    to_count = []
+    to_count: list[TreeNode] = []
     for child_spec in split.children:
         attributes = child_attributes(
             node.attributes, cc, split, child_spec

@@ -10,25 +10,34 @@ issues that single request and never touches data.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional, Sequence
 
 from ..common.errors import ClientError, NotFittedError
 from ..core.estimators import root_cc_pairs
 from ..core.requests import CountsRequest
 
+if TYPE_CHECKING:
+    from ..core.cc_table import CCTable
+    from ..core.middleware import Middleware
+    from ..datagen.dataset import DatasetSpec
+
 
 class NaiveBayesClassifier:
     """Multinomial Naive Bayes with Laplace smoothing."""
 
-    def __init__(self, alpha=1.0):
+    def __init__(self, alpha: float = 1.0) -> None:
         if alpha < 0:
             raise ClientError("smoothing alpha must be non-negative")
         self.alpha = alpha
-        self._spec = None
-        self._log_priors = None
-        self._log_likelihoods = None  # (attribute, value, class) -> logp
-        self._class_counts = None
+        self._spec: Optional["DatasetSpec"] = None
+        self._log_priors: Optional[list[float]] = None
+        #: (attribute, value, class) -> log probability
+        self._log_likelihoods: Optional[dict[tuple[str, Any, int],
+                                            float]] = None
+        self._class_counts: Optional[list[int]] = None
+        self._attributes: tuple[str, ...] = ()
 
-    def fit(self, middleware):
+    def fit(self, middleware: "Middleware") -> "NaiveBayesClassifier":
         """Request the root CC table and derive the model; returns self."""
         spec = middleware.spec
         attributes = tuple(
@@ -49,12 +58,14 @@ class NaiveBayesClassifier:
         self._build_model(spec, attributes, result.cc)
         return self
 
-    def fit_from_cc(self, spec, cc):
+    def fit_from_cc(self, spec: "DatasetSpec",
+                    cc: "CCTable") -> "NaiveBayesClassifier":
         """Build the model from an existing root CC table (offline path)."""
         self._build_model(spec, cc.attributes, cc)
         return self
 
-    def _build_model(self, spec, attributes, cc):
+    def _build_model(self, spec: "DatasetSpec",
+                     attributes: Iterable[str], cc: "CCTable") -> None:
         totals = cc.class_totals()
         n = cc.records
         if n == 0:
@@ -66,7 +77,7 @@ class NaiveBayesClassifier:
             math.log((totals[c] + alpha) / (n + alpha * n_classes))
             for c in range(n_classes)
         ]
-        likelihoods = {}
+        likelihoods: dict[tuple[str, Any, int], float] = {}
         for attribute in attributes:
             card = spec.cardinality(attribute)
             for value in range(card):
@@ -78,17 +89,20 @@ class NaiveBayesClassifier:
         self._log_likelihoods = likelihoods
         self._class_counts = totals
         self._spec = spec
-        self._attributes = attributes
+        self._attributes = tuple(attributes)
 
     # -- prediction ---------------------------------------------------------
 
-    def _require_fitted(self):
+    def _require_fitted(self) -> None:
         if self._log_priors is None:
             raise NotFittedError("call fit() before predicting")
 
-    def predict_values(self, values_by_attribute):
+    def predict_values(self,
+                       values_by_attribute: Mapping[str, Any]) -> int:
         """Most probable class for an attribute dict."""
         self._require_fitted()
+        assert self._log_priors is not None
+        assert self._log_likelihoods is not None
         best_class = 0
         best_score = -math.inf
         lookup = self._log_likelihoods
@@ -104,25 +118,28 @@ class NaiveBayesClassifier:
                 best_class = c
         return best_class
 
-    def predict_row(self, row):
+    def predict_row(self, row: Sequence[Any]) -> int:
+        self._require_fitted()
+        assert self._spec is not None
         values = dict(zip(self._spec.attribute_names, row))
         return self.predict_values(values)
 
-    def predict(self, rows):
+    def predict(self, rows: Iterable[Sequence[Any]]) -> list[int]:
         return [self.predict_row(row) for row in rows]
 
-    def accuracy(self, rows):
-        rows = list(rows)
-        if not rows:
+    def accuracy(self, rows: Iterable[Sequence[Any]]) -> float:
+        data = list(rows)
+        if not data:
             raise ClientError("cannot score an empty data set")
-        hits = sum(1 for row in rows if self.predict_row(row) == row[-1])
-        return hits / len(rows)
+        hits = sum(1 for row in data if self.predict_row(row) == row[-1])
+        return hits / len(data)
 
-    def class_log_prior(self, c):
+    def class_log_prior(self, c: int) -> float:
         self._require_fitted()
+        assert self._log_priors is not None
         return self._log_priors[c]
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         if self._log_priors is None:
             return "NaiveBayesClassifier(unfitted)"
         return (

@@ -15,13 +15,13 @@ from __future__ import annotations
 import math
 
 from ..common.errors import ClientError
-from .tree import NodeState
+from .tree import DecisionTree, NodeState, TreeNode
 
 #: z-scores for the one-sided upper confidence bound at common levels.
-_Z_BY_CF = {0.10: 1.2816, 0.25: 0.6745, 0.50: 0.0}
+_Z_BY_CF: dict[float, float] = {0.10: 1.2816, 0.25: 0.6745, 0.50: 0.0}
 
 
-def _z_for(cf):
+def _z_for(cf: float) -> float:
     try:
         return _Z_BY_CF[cf]
     except KeyError:
@@ -30,7 +30,8 @@ def _z_for(cf):
         ) from None
 
 
-def pessimistic_errors(n_rows, n_errors, cf=0.25):
+def pessimistic_errors(n_rows: int, n_errors: float,
+                       cf: float = 0.25) -> float:
     """Wilson upper bound on errors among ``n_rows`` records.
 
     This is the normal-approximation upper confidence limit C4.5 uses;
@@ -54,7 +55,7 @@ def pessimistic_errors(n_rows, n_errors, cf=0.25):
     return rate * n_rows
 
 
-def node_leaf_errors(node, cf=0.25):
+def node_leaf_errors(node: TreeNode, cf: float = 0.25) -> float:
     """Pessimistic error count if ``node`` were a leaf."""
     if node.class_counts is None:
         raise ClientError("node has no class distribution")
@@ -63,7 +64,7 @@ def node_leaf_errors(node, cf=0.25):
     return pessimistic_errors(n, errors, cf)
 
 
-def prune(tree, cf=0.25):
+def prune(tree: DecisionTree, cf: float = 0.25) -> int:
     """Prune ``tree`` in place bottom-up; returns nodes pruned.
 
     After pruning, collapsed internal nodes become leaves and their
@@ -71,7 +72,7 @@ def prune(tree, cf=0.25):
     """
     pruned = 0
 
-    def visit(node):
+    def visit(node: TreeNode) -> float:
         nonlocal pruned
         if node.is_leaf:
             return node_leaf_errors(node, cf)
@@ -87,7 +88,7 @@ def prune(tree, cf=0.25):
     return pruned
 
 
-def _collapse(tree, node):
+def _collapse(tree: DecisionTree, node: TreeNode) -> None:
     """Turn ``node`` into a leaf, removing its subtree."""
     stack = list(node.children)
     while stack:

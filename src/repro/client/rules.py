@@ -15,8 +15,14 @@ module makes that representation first-class:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional, Sequence
+
 from ..common.errors import ClientError
 from ..core.filters import PathCondition
+from .tree import DecisionTree
+
+if TYPE_CHECKING:
+    from ..datagen.dataset import DatasetSpec
 
 
 class Rule:
@@ -24,20 +30,21 @@ class Rule:
 
     __slots__ = ("conditions", "label", "support", "confidence")
 
-    def __init__(self, conditions, label, support, confidence):
+    def __init__(self, conditions: Iterable[PathCondition], label: int,
+                 support: int, confidence: float) -> None:
         self.conditions = tuple(conditions)
         self.label = label
         self.support = support
         self.confidence = confidence
 
-    def matches(self, values_by_attribute):
+    def matches(self, values_by_attribute: Mapping[str, Any]) -> bool:
         """True if a record satisfies every condition."""
         return all(
             condition.matches(values_by_attribute.get(condition.attribute))
             for condition in self.conditions
         )
 
-    def render(self, class_names=None):
+    def render(self, class_names: Optional[Sequence[str]] = None) -> str:
         """Human-readable IF/THEN text."""
         if self.conditions:
             path = " AND ".join(
@@ -53,11 +60,12 @@ class Rule:
             f"[support={self.support}, confidence={self.confidence:.3f}]"
         )
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"Rule({self.render()})"
 
 
-def simplify_conditions(conditions, spec):
+def simplify_conditions(conditions: Iterable[PathCondition],
+                        spec: "DatasetSpec") -> list[PathCondition]:
     """Drop conditions made redundant by the others on the same path.
 
     Per attribute:
@@ -68,23 +76,23 @@ def simplify_conditions(conditions, spec):
     * exclusions covering all but one of the attribute's values
       collapse into a single equality on the survivor.
     """
-    by_attribute = {}
-    order = []
+    by_attribute: dict[str, list[PathCondition]] = {}
+    order: list[str] = []
     for condition in conditions:
         if condition.attribute not in by_attribute:
             by_attribute[condition.attribute] = []
             order.append(condition.attribute)
         by_attribute[condition.attribute].append(condition)
 
-    simplified = []
+    simplified: list[PathCondition] = []
     for attribute in order:
         parts = by_attribute[attribute]
         pinned = [c for c in parts if c.op == "="]
         if pinned:
             simplified.append(pinned[0])
             continue
-        excluded = []
-        seen = set()
+        excluded: list[PathCondition] = []
+        seen: set[object] = set()
         for condition in parts:
             if condition.value not in seen:
                 seen.add(condition.value)
@@ -100,14 +108,15 @@ def simplify_conditions(conditions, spec):
     return simplified
 
 
-def extract_rules(tree, simplify=True, sort_by="support"):
+def extract_rules(tree: DecisionTree, simplify: bool = True,
+                  sort_by: Optional[str] = "support") -> list[Rule]:
     """One :class:`Rule` per leaf of ``tree``.
 
     ``sort_by`` orders the list: "support" (descending), "confidence"
     (descending, then support), or None for tree walk order.
     """
     spec = tree.spec
-    rules = []
+    rules: list[Rule] = []
     for node in tree.walk():
         if not node.is_leaf:
             continue
@@ -119,8 +128,11 @@ def extract_rules(tree, simplify=True, sort_by="support"):
         total = sum(node.class_counts)
         winner = max(node.class_counts)
         confidence = winner / total if total else 0.0
+        # A leaf's support is its row count; the class-count total is
+        # the same figure and covers hand-built trees without n_rows.
+        support = node.n_rows if node.n_rows is not None else total
         rules.append(
-            Rule(conditions, node.majority_class, node.n_rows, confidence)
+            Rule(conditions, node.majority_class, support, confidence)
         )
     if sort_by == "support":
         rules.sort(key=lambda r: -r.support)
@@ -134,38 +146,42 @@ def extract_rules(tree, simplify=True, sort_by="support"):
 class RuleList:
     """An ordered first-match rule classifier with a default label."""
 
-    def __init__(self, rules, default_label, spec):
+    def __init__(self, rules: Iterable[Rule], default_label: int,
+                 spec: "DatasetSpec") -> None:
         self.rules = list(rules)
         self.default_label = default_label
         self.spec = spec
 
     @classmethod
-    def from_tree(cls, tree, simplify=True, sort_by="support"):
+    def from_tree(cls, tree: DecisionTree, simplify: bool = True,
+                  sort_by: Optional[str] = "support") -> "RuleList":
         """Build a rule list equivalent to ``tree`` on covered inputs."""
         rules = extract_rules(tree, simplify=simplify, sort_by=sort_by)
         return cls(rules, tree.root.majority_class, tree.spec)
 
-    def predict_values(self, values_by_attribute):
+    def predict_values(self,
+                       values_by_attribute: Mapping[str, Any]) -> int:
         for rule in self.rules:
             if rule.matches(values_by_attribute):
                 return rule.label
         return self.default_label
 
-    def predict_row(self, row):
+    def predict_row(self, row: Sequence[Any]) -> int:
         values = dict(zip(self.spec.attribute_names, row))
         return self.predict_values(values)
 
-    def predict(self, rows):
+    def predict(self, rows: Iterable[Sequence[Any]]) -> list[int]:
         return [self.predict_row(row) for row in rows]
 
-    def accuracy(self, rows):
-        rows = list(rows)
-        if not rows:
+    def accuracy(self, rows: Iterable[Sequence[Any]]) -> float:
+        data = list(rows)
+        if not data:
             raise ClientError("cannot score an empty data set")
-        hits = sum(1 for row in rows if self.predict_row(row) == row[-1])
-        return hits / len(rows)
+        hits = sum(1 for row in data if self.predict_row(row) == row[-1])
+        return hits / len(data)
 
-    def render(self, class_names=None, limit=None):
+    def render(self, class_names: Optional[Sequence[str]] = None,
+               limit: Optional[int] = None) -> str:
         """The rule list as text, optionally truncated."""
         rules = self.rules if limit is None else self.rules[:limit]
         lines = [rule.render(class_names) for rule in rules]
@@ -174,8 +190,8 @@ class RuleList:
         lines.append(f"DEFAULT class {self.default_label}")
         return "\n".join(lines)
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.rules)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"RuleList(rules={len(self.rules)})"

@@ -8,12 +8,13 @@ engine-independent — with a version field for forward compatibility.
 from __future__ import annotations
 
 import json
+from typing import Any, Mapping
 
 from ..common.errors import ClientError
 from ..core.filters import PathCondition
 from ..datagen.dataset import DatasetSpec
 from .naive_bayes import NaiveBayesClassifier
-from .tree import DecisionTree, NodeState
+from .tree import DecisionTree, NodeState, TreeNode
 
 FORMAT_VERSION = 1
 
@@ -23,12 +24,12 @@ FORMAT_VERSION = 1
 # ---------------------------------------------------------------------------
 
 
-def tree_to_dict(tree):
+def tree_to_dict(tree: DecisionTree) -> dict[str, Any]:
     """Serialise a :class:`DecisionTree` to JSON-ready primitives."""
     spec = tree.spec
 
-    def node_to_dict(node):
-        out = {
+    def node_to_dict(node: TreeNode) -> dict[str, Any]:
+        out: dict[str, Any] = {
             "state": node.state.value,
             "n_rows": node.n_rows,
             "class_counts": node.class_counts,
@@ -60,7 +61,7 @@ def tree_to_dict(tree):
     }
 
 
-def tree_from_dict(payload):
+def tree_from_dict(payload: Mapping[str, Any]) -> DecisionTree:
     """Rebuild a :class:`DecisionTree` from :func:`tree_to_dict` output."""
     _check_format(payload, "repro.decision_tree")
     spec_payload = payload["spec"]
@@ -72,7 +73,7 @@ def tree_from_dict(payload):
     )
     tree = DecisionTree(spec)
 
-    def fill(node, data):
+    def fill(node: TreeNode, data: Mapping[str, Any]) -> None:
         node.state = NodeState(data["state"])
         node.n_rows = data["n_rows"]
         node.class_counts = data["class_counts"]
@@ -99,13 +100,13 @@ def tree_from_dict(payload):
     return tree
 
 
-def save_tree(tree, path):
+def save_tree(tree: DecisionTree, path: str) -> None:
     """Write a tree to ``path`` as JSON."""
     with open(path, "w") as handle:
         json.dump(tree_to_dict(tree), handle, indent=1)
 
 
-def load_tree(path):
+def load_tree(path: str) -> DecisionTree:
     """Read a tree written by :func:`save_tree`."""
     with open(path) as handle:
         return tree_from_dict(json.load(handle))
@@ -116,10 +117,11 @@ def load_tree(path):
 # ---------------------------------------------------------------------------
 
 
-def naive_bayes_to_dict(model):
+def naive_bayes_to_dict(model: NaiveBayesClassifier) -> dict[str, Any]:
     """Serialise a fitted :class:`NaiveBayesClassifier`."""
     if model._log_priors is None:
         raise ClientError("cannot serialise an unfitted model")
+    assert model._spec is not None and model._log_likelihoods is not None
     spec = model._spec
     likelihoods = [
         [attribute, value, label, logp]
@@ -144,7 +146,9 @@ def naive_bayes_to_dict(model):
     }
 
 
-def naive_bayes_from_dict(payload):
+def naive_bayes_from_dict(
+    payload: Mapping[str, Any],
+) -> NaiveBayesClassifier:
     """Rebuild a :class:`NaiveBayesClassifier` from serialised form."""
     _check_format(payload, "repro.naive_bayes")
     spec_payload = payload["spec"]
@@ -166,19 +170,19 @@ def naive_bayes_from_dict(payload):
     return model
 
 
-def save_naive_bayes(model, path):
+def save_naive_bayes(model: NaiveBayesClassifier, path: str) -> None:
     """Write a Naive Bayes model to ``path`` as JSON."""
     with open(path, "w") as handle:
         json.dump(naive_bayes_to_dict(model), handle, indent=1)
 
 
-def load_naive_bayes(path):
+def load_naive_bayes(path: str) -> NaiveBayesClassifier:
     """Read a model written by :func:`save_naive_bayes`."""
     with open(path) as handle:
         return naive_bayes_from_dict(json.load(handle))
 
 
-def _check_format(payload, expected):
+def _check_format(payload: Mapping[str, Any], expected: str) -> None:
     if payload.get("format") != expected:
         raise ClientError(
             f"expected format {expected!r}, found {payload.get('format')!r}"

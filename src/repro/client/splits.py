@@ -14,8 +14,14 @@ tables.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
 from ..common.errors import ClientError
 from ..core.filters import PathCondition
+from .criteria import SplitCriterion
+
+if TYPE_CHECKING:
+    from ..core.cc_table import CCTable
 
 #: Scores within this tolerance are considered tied (floating point).
 SCORE_EPSILON = 1e-12
@@ -26,12 +32,13 @@ class ChildSpec:
 
     __slots__ = ("condition", "n_rows", "class_counts")
 
-    def __init__(self, condition, n_rows, class_counts):
+    def __init__(self, condition: PathCondition, n_rows: int,
+                 class_counts: Iterable[int]) -> None:
         self.condition = condition
         self.n_rows = n_rows
         self.class_counts = list(class_counts)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         c = self.condition
         return (
             f"ChildSpec({c.attribute} {c.op} {c.value}, rows={self.n_rows})"
@@ -43,29 +50,32 @@ class CandidateSplit:
 
     __slots__ = ("attribute", "kind", "value", "children", "score")
 
-    def __init__(self, attribute, kind, value, children, score):
+    def __init__(self, attribute: str, kind: str, value: Any,
+                 children: list[ChildSpec], score: float) -> None:
         self.attribute = attribute
         self.kind = kind  # "binary" or "multiway"
         self.value = value  # the pivot value for binary splits, else None
         self.children = children
         self.score = score
 
-    def sort_key(self):
+    def sort_key(self) -> tuple[float, str, Any]:
         """Orders candidates best-first, deterministically."""
         pivot = self.value if self.value is not None else -1
         return (-self.score, self.attribute, pivot)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"CandidateSplit({self.attribute}, {self.kind}, "
             f"value={self.value}, score={self.score:.4f})"
         )
 
 
-def enumerate_binary_splits(cc, attribute):
+def enumerate_binary_splits(
+    cc: "CCTable", attribute: str
+) -> list[tuple[Any, list[ChildSpec]]]:
     """All value-vs-rest splits of ``attribute`` with two non-empty sides."""
     totals = cc.class_totals()
-    candidates = []
+    candidates: list[tuple[Any, list[ChildSpec]]] = []
     for value in cc.values_of(attribute):
         inside = cc.vector(attribute, value)
         n_inside = sum(inside)
@@ -83,12 +93,14 @@ def enumerate_binary_splits(cc, attribute):
     return candidates
 
 
-def enumerate_multiway_split(cc, attribute):
+def enumerate_multiway_split(
+    cc: "CCTable", attribute: str
+) -> Optional[list[ChildSpec]]:
     """The complete split of ``attribute`` (one child per value), or None."""
     values = cc.values_of(attribute)
     if len(values) < 2:
         return None
-    children = []
+    children: list[ChildSpec] = []
     for value in values:
         counts = cc.vector(attribute, value)
         children.append(
@@ -97,7 +109,9 @@ def enumerate_multiway_split(cc, attribute):
     return children
 
 
-def best_split(cc, criterion, binary=True, min_gain=0.0):
+def best_split(cc: "CCTable", criterion: SplitCriterion,
+               binary: bool = True,
+               min_gain: float = 0.0) -> Optional[CandidateSplit]:
     """The highest-scoring candidate split, or None if none qualifies.
 
     ``min_gain`` filters out splits whose score is not strictly above
@@ -106,7 +120,7 @@ def best_split(cc, criterion, binary=True, min_gain=0.0):
     if cc.records == 0:
         raise ClientError("cannot split an empty node")
     parent_counts = cc.class_totals()
-    candidates = []
+    candidates: list[CandidateSplit] = []
     for attribute in cc.attributes:
         if binary:
             for value, children in enumerate_binary_splits(cc, attribute):
@@ -135,7 +149,9 @@ def best_split(cc, criterion, binary=True, min_gain=0.0):
     return min(candidates, key=CandidateSplit.sort_key)
 
 
-def child_attributes(parent_attributes, parent_cc, split, child):
+def child_attributes(parent_attributes: Iterable[str],
+                     parent_cc: "CCTable", split: CandidateSplit,
+                     child: ChildSpec) -> tuple[str, ...]:
     """Attributes still informative at ``child`` after ``split``.
 
     An attribute is dropped once the path fixes its value: the branch

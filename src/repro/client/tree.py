@@ -9,9 +9,22 @@ size and class distribution it inherited from its parent's CC table.
 from __future__ import annotations
 
 import enum
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    cast,
+)
 
 from ..common.errors import ClientError
 from ..core.filters import PathCondition
+
+if TYPE_CHECKING:
+    from ..datagen.dataset import DatasetSpec
 
 
 class NodeState(enum.Enum):
@@ -40,8 +53,11 @@ class TreeNode:
         "location_tag",
     )
 
-    def __init__(self, node_id, parent, condition, n_rows, class_counts,
-                 attributes):
+    def __init__(self, node_id: int, parent: Optional["TreeNode"],
+                 condition: Optional[PathCondition],
+                 n_rows: Optional[int],
+                 class_counts: Optional[Iterable[int]],
+                 attributes: Iterable[str]) -> None:
         self.node_id = node_id
         self.parent = parent
         #: Edge condition from the parent (None at the root).
@@ -53,55 +69,57 @@ class TreeNode:
         #: Attributes still present (not fixed by the path).
         self.attributes = tuple(attributes)
         self.state = NodeState.ACTIVE
-        self.children = []
-        self.split_attribute = None
-        self.split_kind = None
+        self.children: list[TreeNode] = []
+        self.split_attribute: Optional[str] = None
+        self.split_kind: Optional[str] = None
         #: The paper's S/I/L display prefix, recorded when counted.
-        self.location_tag = None
+        self.location_tag: Optional[str] = None
 
     @property
-    def is_leaf(self):
+    def is_leaf(self) -> bool:
         return self.state is NodeState.LEAF
 
     @property
-    def is_pure(self):
+    def is_pure(self) -> bool:
         """True when all records belong to one class."""
         if self.class_counts is None:
             return False
         return sum(1 for c in self.class_counts if c > 0) <= 1
 
     @property
-    def majority_class(self):
+    def majority_class(self) -> int:
         """The class assigned if this node becomes (or is) a leaf."""
         if self.class_counts is None:
             raise ClientError("node has no class distribution yet")
         best = max(self.class_counts)
         return self.class_counts.index(best)
 
-    def lineage(self):
+    def lineage(self) -> tuple[int, ...]:
         """Node ids from the root down to this node, inclusive."""
-        chain = []
-        node = self
+        chain: list[int] = []
+        node: Optional[TreeNode] = self
         while node is not None:
             chain.append(node.node_id)
             node = node.parent
         chain.reverse()
         return tuple(chain)
 
-    def path_conditions(self):
+    def path_conditions(self) -> list[PathCondition]:
         """The edge conditions from the root to this node."""
-        conditions = []
+        conditions: list[PathCondition] = []
         node = self
         while node.parent is not None:
+            # Invariant: every non-root node carries an edge condition.
+            assert node.condition is not None
             conditions.append(node.condition)
             node = node.parent
         conditions.reverse()
         return conditions
 
-    def mark_leaf(self):
+    def mark_leaf(self) -> None:
         self.state = NodeState.LEAF
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"TreeNode(id={self.node_id}, state={self.state.value}, "
             f"rows={self.n_rows}, depth={self.depth})"
@@ -111,10 +129,10 @@ class TreeNode:
 class DecisionTree:
     """The client's model: nodes, structure and prediction."""
 
-    def __init__(self, spec):
+    def __init__(self, spec: "DatasetSpec") -> None:
         self.spec = spec
         self._counter = 0
-        self.nodes = {}
+        self.nodes: dict[int, TreeNode] = {}
         usable = [
             name
             for name in spec.attribute_names
@@ -122,7 +140,11 @@ class DecisionTree:
         ]
         self.root = self._new_node(None, None, None, None, usable)
 
-    def _new_node(self, parent, condition, n_rows, class_counts, attributes):
+    def _new_node(self, parent: Optional[TreeNode],
+                  condition: Optional[PathCondition],
+                  n_rows: Optional[int],
+                  class_counts: Optional[Iterable[int]],
+                  attributes: Iterable[str]) -> TreeNode:
         node_id = self._counter
         self._counter += 1
         node = TreeNode(
@@ -133,7 +155,10 @@ class DecisionTree:
             parent.children.append(node)
         return node
 
-    def add_child(self, parent, condition, n_rows, class_counts, attributes):
+    def add_child(self, parent: TreeNode, condition: PathCondition,
+                  n_rows: Optional[int],
+                  class_counts: Optional[Iterable[int]],
+                  attributes: Iterable[str]) -> TreeNode:
         """Create a child under ``parent`` with exact statistics."""
         if not isinstance(condition, PathCondition):
             raise ClientError("child nodes need a PathCondition edge")
@@ -143,21 +168,21 @@ class DecisionTree:
     # -- structure queries --------------------------------------------------
 
     @property
-    def n_nodes(self):
+    def n_nodes(self) -> int:
         return len(self.nodes)
 
-    def leaves(self):
+    def leaves(self) -> list[TreeNode]:
         return [n for n in self.nodes.values() if n.is_leaf]
 
     @property
-    def n_leaves(self):
+    def n_leaves(self) -> int:
         return len(self.leaves())
 
     @property
-    def depth(self):
+    def depth(self) -> int:
         return max(node.depth for node in self.nodes.values())
 
-    def walk(self):
+    def walk(self) -> Iterator[TreeNode]:
         """Yield nodes depth-first, children in creation order."""
         stack = [self.root]
         while stack:
@@ -167,7 +192,8 @@ class DecisionTree:
 
     # -- prediction -----------------------------------------------------------
 
-    def predict_values(self, values_by_attribute):
+    def predict_values(self,
+                       values_by_attribute: Mapping[str, Any]) -> int:
         """Class label for one record given as an attribute dict.
 
         Descends edge conditions; a value no branch accepts (possible
@@ -176,10 +202,11 @@ class DecisionTree:
         """
         node = self.root
         while not node.is_leaf and node.children:
-            value = values_by_attribute.get(node.split_attribute)
-            chosen = None
+            value = values_by_attribute.get(cast(str, node.split_attribute))
+            chosen: Optional[TreeNode] = None
             for child in node.children:
-                if child.condition.matches(value):
+                if child.condition is not None and \
+                        child.condition.matches(value):
                     chosen = child
                     break
             if chosen is None:
@@ -187,17 +214,17 @@ class DecisionTree:
             node = chosen
         return node.majority_class
 
-    def predict_row(self, row):
+    def predict_row(self, row: Sequence[Any]) -> int:
         """Class label for one data row (attribute codes, class last
         position ignored if present)."""
         values = dict(zip(self.spec.attribute_names, row))
         return self.predict_values(values)
 
-    def predict(self, rows):
+    def predict(self, rows: Iterable[Sequence[Any]]) -> list[int]:
         """Labels for many rows."""
         return [self.predict_row(row) for row in rows]
 
-    def accuracy(self, rows):
+    def accuracy(self, rows: Iterable[Sequence[Any]]) -> float:
         """Fraction of rows whose last value matches the prediction."""
         rows = list(rows)
         if not rows:
@@ -209,9 +236,11 @@ class DecisionTree:
 
     # -- interpretation ----------------------------------------------------------
 
-    def rules(self):
+    def rules(
+        self,
+    ) -> list[tuple[list[PathCondition], int, Optional[int]]]:
         """Leaves as decision rules: (conditions, class, support)."""
-        out = []
+        out: list[tuple[list[PathCondition], int, Optional[int]]] = []
         for node in self.walk():
             if node.is_leaf:
                 out.append(
@@ -219,11 +248,11 @@ class DecisionTree:
                 )
         return out
 
-    def render(self, max_depth=None):
+    def render(self, max_depth: Optional[int] = None) -> str:
         """ASCII rendering of the tree (Fig. 1 style, with S/I/L tags)."""
-        lines = []
+        lines: list[str] = []
 
-        def visit(node, indent):
+        def visit(node: TreeNode, indent: str) -> None:
             if max_depth is not None and node.depth > max_depth:
                 return
             tag = f"{node.location_tag}-" if node.location_tag else ""
@@ -247,7 +276,8 @@ class DecisionTree:
         visit(self.root, "")
         return "\n".join(lines)
 
-    def to_dot(self, max_depth=None, class_names=None):
+    def to_dot(self, max_depth: Optional[int] = None,
+               class_names: Optional[Sequence[str]] = None) -> str:
         """The tree as Graphviz DOT text (``dot -Tpng`` renders it).
 
         Internal nodes show their split attribute and size; leaves show
@@ -258,7 +288,7 @@ class DecisionTree:
             '  node [shape=box, fontname="Helvetica"];',
         ]
 
-        def label_for(node):
+        def label_for(node: TreeNode) -> str:
             rows = node.n_rows if node.n_rows is not None else "?"
             if node.is_leaf:
                 label = (
@@ -269,7 +299,7 @@ class DecisionTree:
                 return f"{label}\\n{rows} rows"
             return f"{node.split_attribute}?\\n{rows} rows"
 
-        def visit(node):
+        def visit(node: TreeNode) -> None:
             if max_depth is not None and node.depth > max_depth:
                 return
             shape = ', style=filled, fillcolor="#e8f0fe"' if node.is_leaf else ""
@@ -280,6 +310,7 @@ class DecisionTree:
                 if max_depth is not None and child.depth > max_depth:
                     continue
                 c = child.condition
+                assert c is not None  # only the root lacks a condition
                 lines.append(
                     f"  n{node.node_id} -> n{child.node_id} "
                     f'[label="{c.op} {c.value}"];'
@@ -290,7 +321,7 @@ class DecisionTree:
         lines.append("}")
         return "\n".join(lines)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"DecisionTree(nodes={self.n_nodes}, leaves={self.n_leaves}, "
             f"depth={self.depth})"

@@ -17,6 +17,16 @@ from .errors import (
     StagingError,
     TypeMismatchError,
 )
+from .locks import (
+    LockMonitor,
+    current_monitor,
+    install_monitor,
+    new_lock,
+    new_rlock,
+    reset_monitor,
+    resource_closed,
+    resource_created,
+)
 from .memory import MemoryBudget
 from .text import format_value, human_bytes, render_series, render_table
 
@@ -29,6 +39,7 @@ __all__ = [
     "CursorStateError",
     "DataGenerationError",
     "DuplicateObjectError",
+    "LockMonitor",
     "MemoryBudget",
     "MemoryBudgetExceeded",
     "MiddlewareError",
@@ -39,8 +50,15 @@ __all__ = [
     "SQLSyntaxError",
     "StagingError",
     "TypeMismatchError",
+    "current_monitor",
     "format_value",
     "human_bytes",
+    "install_monitor",
+    "new_lock",
+    "new_rlock",
     "render_series",
     "render_table",
+    "reset_monitor",
+    "resource_closed",
+    "resource_created",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Sequence
 
+from ..common.locks import new_lock
 from .cc_table import CCTable
 
 
@@ -38,11 +39,21 @@ class BinaryTreeCCStore:
     Exposes the lookup/iteration surface :class:`CCTable` needs:
     ``get(key)``, ``get_or_create(key)``, ``__contains__``,
     ``__len__`` and sorted ``items()``.
+
+    Tree *mutation* is serialised by an internal mutex so several
+    counting threads may :meth:`get_or_create` concurrently (per-entry
+    vector increments remain the caller's concern).  Reads
+    (``get``/``items``) are deliberately lock-free — the store's users
+    only read after counting finishes, matching the single-writer
+    pattern documented on the guarded attributes.
     """
 
     def __init__(self, n_classes: int):
         self._n_classes = n_classes
+        self._lock = new_lock("BinaryTreeCCStore._lock")
+        #: guarded by self._lock
         self._root: _TreeNode | None = None
+        #: guarded by self._lock
         self._size = 0
 
     def __len__(self) -> int:
@@ -62,26 +73,27 @@ class BinaryTreeCCStore:
 
         Returns ``(vector, created)``.
         """
-        if self._root is None:
-            self._root = _TreeNode(key, self._n_classes)
-            self._size += 1
-            return self._root.vector, True
-        node = self._root
-        while True:
-            if key == node.key:
-                return node.vector, False
-            if key < node.key:
-                if node.left is None:
-                    node.left = _TreeNode(key, self._n_classes)
-                    self._size += 1
-                    return node.left.vector, True
-                node = node.left
-            else:
-                if node.right is None:
-                    node.right = _TreeNode(key, self._n_classes)
-                    self._size += 1
-                    return node.right.vector, True
-                node = node.right
+        with self._lock:
+            if self._root is None:
+                self._root = _TreeNode(key, self._n_classes)
+                self._size += 1
+                return self._root.vector, True
+            node = self._root
+            while True:
+                if key == node.key:
+                    return node.vector, False
+                if key < node.key:
+                    if node.left is None:
+                        node.left = _TreeNode(key, self._n_classes)
+                        self._size += 1
+                        return node.left.vector, True
+                    node = node.left
+                else:
+                    if node.right is None:
+                        node.right = _TreeNode(key, self._n_classes)
+                        self._size += 1
+                        return node.right.vector, True
+                    node = node.right
 
     def items(self) -> Iterator[tuple[tuple[str, object], list[int]]]:
         """Yield ``(key, vector)`` in sorted key order (in-order walk)."""

@@ -73,6 +73,7 @@ from itertools import islice
 from typing import Any, Callable, Iterator, Sequence
 
 from ..common.errors import MiddlewareError
+from ..common.locks import new_lock, resource_closed, resource_created
 from .cc_table import CCTable
 from .filters import RoutingKernel, batch_filter
 from .requests import CountsResult
@@ -235,13 +236,14 @@ class _PartitionProducer:
         self._partition_rows = partition_rows
         self._queue: queue.Queue[Any] = queue.Queue(maxsize=max(1, depth))
         self._stop_event = threading.Event()
-        self._error_lock = threading.Lock()
+        self._error_lock = new_lock("_PartitionProducer._error_lock")
         #: guarded by self._error_lock
         self._error: BaseException | None = None
         self._thread = threading.Thread(
             target=self._produce, name="scan-prefetch", daemon=True
         )
         self._thread.start()
+        resource_created("scan-prefetch", self, "partition producer thread")
 
     def _produce(self) -> None:
         try:
@@ -274,6 +276,7 @@ class _PartitionProducer:
             item = self._queue.get()
             if item is self._DONE:
                 self._thread.join()
+                resource_closed("scan-prefetch", self)
                 if self._error is not None:
                     raise self._error
                 return
@@ -288,6 +291,7 @@ class _PartitionProducer:
             except queue.Empty:
                 break
         self._thread.join()
+        resource_closed("scan-prefetch", self)
         close = getattr(self._rows, "close", None)
         if close is not None:
             try:

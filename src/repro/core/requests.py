@@ -11,11 +11,15 @@ middleware never has to inspect client data structures.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Sequence, Union
 
 from ..common.errors import MiddlewareError
 from ..sqlengine.expr import TRUE
 from .filters import path_predicate
+
+#: Opaque node identifier; the decision-tree client uses ints,
+#: hand-written drivers and tests use strings.
+NodeId = Union[int, str]
 
 
 class CountsRequest:
@@ -31,7 +35,7 @@ class CountsRequest:
         "predicate",
     )
 
-    def __init__(self, node_id: str, lineage: Sequence[str],
+    def __init__(self, node_id: NodeId, lineage: Sequence[NodeId],
                  conditions: Iterable[Any],
                  attributes: Iterable[str], n_rows: int,
                  est_cc_pairs: int):
@@ -64,7 +68,7 @@ class CountsRequest:
     def is_root(self) -> bool:
         return self.predicate is TRUE or len(self.lineage) == 1
 
-    def descends_from(self, node_id: str) -> bool:
+    def descends_from(self, node_id: NodeId) -> bool:
         """True if ``node_id`` is this node or one of its ancestors."""
         return node_id in self.lineage
 
@@ -80,7 +84,7 @@ class CountsResult:
 
     __slots__ = ("node_id", "cc", "source", "used_sql_fallback")
 
-    def __init__(self, node_id: str, cc: Any, source: Any,
+    def __init__(self, node_id: NodeId, cc: Any, source: Any,
                  used_sql_fallback: bool = False):
         self.node_id = node_id
         self.cc = cc
@@ -102,7 +106,7 @@ class RequestQueue:
 
     def __init__(self) -> None:
         self._queue: deque[CountsRequest] = deque()
-        self._ids: set[str] = set()
+        self._ids: set[NodeId] = set()
 
     def put(self, request: CountsRequest) -> None:
         if request.node_id in self._ids:

@@ -41,7 +41,6 @@ touch the memory budget, the cost meter, or any file.
 from __future__ import annotations
 
 import pickle
-import threading
 import time
 from concurrent.futures import (
     BrokenExecutor,
@@ -53,6 +52,7 @@ from concurrent.futures import (
 from typing import Any, Iterable, Sequence
 
 from ..common.errors import MiddlewareError
+from ..common.locks import new_lock, resource_closed, resource_created
 from .cc_table import CCTable
 
 #: Worker-process routing-context cache: ``(generation, ctx)``.  One
@@ -143,6 +143,16 @@ def _count_partition_pickled(
     return _count_partition(ctx, seq, rows, stage_nodes, capture_nodes)
 
 
+def _mark_future_done(future: Future[Any]) -> None:
+    """Done-callback telling the resource witness a future completed.
+
+    Fires on normal completion, error and cancellation alike, so any
+    future still *pending* at sanitizer report time is work a failed
+    scan left behind in the executor instead of draining.
+    """
+    resource_closed("future", future)
+
+
 class ScanWorkerPool:
     """A reusable worker pool for partitioned scans.
 
@@ -162,7 +172,7 @@ class ScanWorkerPool:
         #: Serialises executor lifecycle transitions: the middleware's
         #: shared pool can see ``close()``/``retire_broken()`` racing a
         #: late ``_ensure_executor()`` from another thread.
-        self._lock = threading.Lock()
+        self._lock = new_lock("ScanWorkerPool._lock")
         #: guarded by self._lock
         self._executor: Executor | None = None
         #: guarded by self._lock
@@ -200,6 +210,10 @@ class ScanWorkerPool:
                 else ThreadPoolExecutor
             )
             self._executor = executor_cls(max_workers=self.n_workers)
+            resource_created(
+                "executor", self._executor,
+                f"{self.kind} pool, {self.n_workers} workers",
+            )
             self.pools_created += 1
             return time.perf_counter() - started
 
@@ -238,14 +252,18 @@ class ScanWorkerPool:
             payload = self._payload
             if payload is None:
                 raise MiddlewareError("install a routing context first")
-            return executor.submit(
+            future = executor.submit(
                 _count_partition_pickled, self._generation, payload,
                 seq, rows, stage_nodes, capture_nodes,
             )
-        return executor.submit(
-            _count_partition, self._ctx, seq, rows, stage_nodes,
-            capture_nodes,
-        )
+        else:
+            future = executor.submit(
+                _count_partition, self._ctx, seq, rows, stage_nodes,
+                capture_nodes,
+            )
+        resource_created("future", future, f"scan partition {seq}")
+        future.add_done_callback(_mark_future_done)
+        return future
 
     def drain(self, futures: Iterable[Future[Any]]) -> None:
         """Cancel/await outstanding futures of a failed scan.
@@ -280,6 +298,7 @@ class ScanWorkerPool:
             # shutdown() outside the lock: waiting for workers while
             # holding it would block a concurrent close().
             executor.shutdown(wait=True)
+            resource_closed("executor", executor)
 
     def close(self) -> None:
         """Shut the executor down; the pool cannot be used afterwards.
@@ -294,6 +313,7 @@ class ScanWorkerPool:
             self._closed = True
         if executor is not None:
             executor.shutdown(wait=True)
+            resource_closed("executor", executor)
         reset_process_context()
 
     def __repr__(self) -> str:

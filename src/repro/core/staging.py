@@ -28,6 +28,7 @@ import threading
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ..common.errors import StagingError
+from ..common.locks import new_lock, resource_closed, resource_created
 
 
 class DataLocation(enum.IntEnum):
@@ -76,6 +77,10 @@ class StagedFile:
         self.blocks_flushed = 0
         #: ``append``/``append_rows`` calls that actually added rows.
         self.write_calls = 0
+        # The open write handle is a witnessed resource: it is retired
+        # by seal() (clean) or delete() (abandoned); a staged file the
+        # scan opened and then forgot is a sanitizer leak finding.
+        resource_created("staged-file", self, f"owner={owner_node!r}")
 
     @property
     def path(self) -> str:
@@ -128,6 +133,7 @@ class StagedFile:
             self._flush()
             self._handle.close()
             self._writing = False
+            resource_closed("staged-file", self)
             self._meter.charge(
                 "file_write",
                 self._model.file_write_row * self._row_count,
@@ -185,6 +191,7 @@ class StagedFile:
             self._buffer.clear()
             self._handle.close()
             self._writing = False
+            resource_closed("staged-file", self)
         if os.path.exists(self._path):
             os.remove(self._path)
 
@@ -223,7 +230,7 @@ class PipelinedStagingWriter:
         self._file_writers = file_writers
         self._memory_capture = memory_capture
         self._queue: queue.Queue[Any] = queue.Queue(maxsize=max(1, depth))
-        self._error_lock = threading.Lock()
+        self._error_lock = new_lock("PipelinedStagingWriter._error_lock")
         #: guarded by self._error_lock
         self._error: BaseException | None = None
         self._closed = False
@@ -231,6 +238,7 @@ class PipelinedStagingWriter:
             target=self._drain, name="staging-writer", daemon=True
         )
         self._thread.start()
+        resource_created("staging-writer", self, "pipelined funnel")
 
     def put(self, file_rows: Mapping[Any, list[Any]],
             capture_rows: Mapping[Any, list[Any]]) -> None:
@@ -281,6 +289,7 @@ class PipelinedStagingWriter:
             self._closed = True
             self._queue.put(self._STOP)
             self._thread.join()
+            resource_closed("staging-writer", self)
 
 
 class ParallelStagingWriter:
@@ -313,7 +322,7 @@ class ParallelStagingWriter:
                  memory_capture: Mapping[Any, list[Any]],
                  depth: int = 2) -> None:
         self._memory_capture = memory_capture
-        self._error_lock = threading.Lock()
+        self._error_lock = new_lock("ParallelStagingWriter._error_lock")
         #: guarded by self._error_lock
         self._error: BaseException | None = None
         self._closed = False
@@ -330,6 +339,9 @@ class ParallelStagingWriter:
             self._queues[node_id] = q
             self._threads.append(thread)
             thread.start()
+        resource_created(
+            "staging-writer", self, f"{len(self._threads)} split writers"
+        )
 
     @property
     def n_writers(self) -> int:
@@ -381,6 +393,7 @@ class ParallelStagingWriter:
                 q.put(self._STOP)
             for thread in self._threads:
                 thread.join()
+            resource_closed("staging-writer", self)
 
 
 class StagingManager:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
 
 from ..common.errors import DataGenerationError
 from .dataset import DatasetSpec
@@ -50,7 +51,7 @@ class AgrawalConfig:
     noise: float = 0.0
     seed: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.function not in FUNCTIONS:
             raise DataGenerationError(
                 f"function must be one of {FUNCTIONS}"
@@ -61,14 +62,16 @@ class AgrawalConfig:
             raise DataGenerationError("noise must be within [0, 1]")
 
 
-def agrawal_spec():
+def agrawal_spec() -> DatasetSpec:
     """Dataset spec of the discretised Agrawal data (binary class)."""
     names = [name for name, _ in AGRAWAL_ATTRIBUTES]
     cards = [card for _, card in AGRAWAL_ATTRIBUTES]
     return DatasetSpec(cards, 2, attribute_names=names, class_name="group")
 
 
-def generate_agrawal_rows(config):
+def generate_agrawal_rows(
+    config: AgrawalConfig,
+) -> Iterator[tuple[int, ...]]:
     """Yield discretised Agrawal rows (codes + group label)."""
     rng = random.Random(config.seed)
     label_fn = _LABEL_FUNCTIONS[config.function]
@@ -80,7 +83,9 @@ def generate_agrawal_rows(config):
         yield _discretise(person) + (label,)
 
 
-def generate_agrawal_dataset(config):
+def generate_agrawal_dataset(
+    config: AgrawalConfig,
+) -> "tuple[DatasetSpec, list[tuple[int, ...]]]":
     """Convenience: ``(spec, rows)``."""
     return agrawal_spec(), list(generate_agrawal_rows(config))
 
@@ -90,7 +95,7 @@ def generate_agrawal_dataset(config):
 # ---------------------------------------------------------------------------
 
 
-def _sample_person(rng):
+def _sample_person(rng: random.Random) -> dict[str, Any]:
     salary = rng.uniform(20_000, 150_000)
     commission = 0.0 if salary >= 75_000 else rng.uniform(10_000, 75_000)
     age = rng.uniform(20, 80)
@@ -118,12 +123,12 @@ def _sample_person(rng):
 # ---------------------------------------------------------------------------
 
 
-def _function1(p):
+def _function1(p: Mapping[str, Any]) -> int:
     """Group A: age < 40 or age >= 60."""
     return 1 if p["age"] < 40 or p["age"] >= 60 else 0
 
 
-def _function2(p):
+def _function2(p: Mapping[str, Any]) -> int:
     """Group A: age/salary bands."""
     age = p["age"]
     salary = p["salary"]
@@ -136,7 +141,7 @@ def _function2(p):
     return 1 if in_a else 0
 
 
-def _function3(p):
+def _function3(p: Mapping[str, Any]) -> int:
     """Group A: age/education bands."""
     age = p["age"]
     education = p["education"]
@@ -149,7 +154,9 @@ def _function3(p):
     return 1 if in_a else 0
 
 
-_LABEL_FUNCTIONS = {1: _function1, 2: _function2, 3: _function3}
+_LABEL_FUNCTIONS: dict[int, Callable[[Mapping[str, Any]], int]] = {
+    1: _function1, 2: _function2, 3: _function3,
+}
 
 
 # ---------------------------------------------------------------------------
@@ -157,7 +164,8 @@ _LABEL_FUNCTIONS = {1: _function1, 2: _function2, 3: _function3}
 # ---------------------------------------------------------------------------
 
 
-def _bracket(value, low, high, buckets):
+def _bracket(value: float, low: float, high: float,
+             buckets: int) -> int:
     """Equal-width bracket of ``value`` within [low, high]."""
     if value <= low:
         return 0
@@ -166,7 +174,7 @@ def _bracket(value, low, high, buckets):
     return int((value - low) / (high - low) * buckets)
 
 
-def _discretise(p):
+def _discretise(p: Mapping[str, Any]) -> tuple[int, ...]:
     commission = p["commission"]
     commission_code = (
         0 if commission == 0.0

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
 
 from ..common.errors import DataGenerationError
 from .dataset import DatasetSpec
@@ -43,21 +44,23 @@ class CensusConfig:
     label_noise: float = 0.05
     seed: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n_rows < 1:
             raise DataGenerationError("n_rows must be positive")
         if not 0.0 <= self.label_noise <= 1.0:
             raise DataGenerationError("label_noise must be within [0, 1]")
 
 
-def census_spec():
+def census_spec() -> DatasetSpec:
     """Dataset spec of the census-like table (binary income class)."""
     names = [name for name, _ in CENSUS_ATTRIBUTES]
     cards = [card for _, card in CENSUS_ATTRIBUTES]
     return DatasetSpec(cards, 2, attribute_names=names, class_name="income")
 
 
-def generate_census_rows(config):
+def generate_census_rows(
+    config: CensusConfig,
+) -> Iterator[tuple[int, ...]]:
     """Yield census-like rows (attribute codes + income label)."""
     rng = random.Random(config.seed)
     spec = census_spec()
@@ -69,7 +72,9 @@ def generate_census_rows(config):
         yield tuple(person[name] for name in spec.attribute_names) + (label,)
 
 
-def generate_census_dataset(config):
+def generate_census_dataset(
+    config: CensusConfig,
+) -> "tuple[DatasetSpec, list[tuple[int, ...]]]":
     """Convenience: ``(spec, rows)`` for the census-like workload."""
     return census_spec(), list(generate_census_rows(config))
 
@@ -79,7 +84,7 @@ def generate_census_dataset(config):
 # ---------------------------------------------------------------------------
 
 
-def _sample_person(rng):
+def _sample_person(rng: random.Random) -> dict[str, int]:
     """Sample one correlated synthetic person as an attribute dict."""
     age = _weighted(rng, [8, 14, 14, 13, 12, 11, 10, 10, 8])
     # Education correlates with age (young people cap out lower).
@@ -124,7 +129,8 @@ def _sample_person(rng):
     }
 
 
-def _income_label(rng, person):
+def _income_label(rng: random.Random,
+                  person: Mapping[str, int]) -> int:
     """Noisy rule mapping demographics to a binary income class."""
     score = 0.0
     score += 0.9 * min(person["education"], 14) / 14.0
@@ -137,7 +143,7 @@ def _income_label(rng, person):
     return 1 if score >= 1.8 else 0
 
 
-def _weighted(rng, weights):
+def _weighted(rng: random.Random, weights: Sequence[float]) -> int:
     """Index sampled proportionally to ``weights``."""
     total = sum(weights)
     pick = rng.random() * total

@@ -9,6 +9,8 @@ attributes are discretised up front; see
 
 from __future__ import annotations
 
+from typing import Iterable, Optional, Sequence
+
 from ..common.errors import DataGenerationError
 from ..sqlengine.schema import Column, TableSchema
 from ..sqlengine.types import ColumnType
@@ -20,38 +22,40 @@ CLASS_COLUMN = "class"
 class DatasetSpec:
     """Names and cardinalities of a categorical mining data set."""
 
-    def __init__(self, attribute_cards, n_classes, attribute_names=None,
-                 class_name=CLASS_COLUMN):
-        attribute_cards = list(attribute_cards)
-        if not attribute_cards:
+    def __init__(self, attribute_cards: Iterable[int], n_classes: int,
+                 attribute_names: Optional[Iterable[str]] = None,
+                 class_name: str = CLASS_COLUMN) -> None:
+        cards = list(attribute_cards)
+        if not cards:
             raise DataGenerationError("need at least one attribute")
-        if any(card < 2 for card in attribute_cards):
+        if any(card < 2 for card in cards):
             raise DataGenerationError(
                 "every attribute needs at least two values"
             )
         if n_classes < 2:
             raise DataGenerationError("need at least two class values")
         if attribute_names is None:
-            attribute_names = [f"A{i + 1}" for i in range(len(attribute_cards))]
-        attribute_names = list(attribute_names)
-        if len(attribute_names) != len(attribute_cards):
+            names = [f"A{i + 1}" for i in range(len(cards))]
+        else:
+            names = list(attribute_names)
+        if len(names) != len(cards):
             raise DataGenerationError(
                 "attribute_names and attribute_cards lengths differ"
             )
-        if class_name in attribute_names:
+        if class_name in names:
             raise DataGenerationError(
                 f"class column name {class_name!r} collides with an attribute"
             )
-        self.attribute_names = attribute_names
-        self.attribute_cards = attribute_cards
+        self.attribute_names = names
+        self.attribute_cards = cards
         self.n_classes = n_classes
         self.class_name = class_name
 
     @property
-    def n_attributes(self):
+    def n_attributes(self) -> int:
         return len(self.attribute_names)
 
-    def cardinality(self, attribute_name):
+    def cardinality(self, attribute_name: str) -> int:
         """Number of distinct values of ``attribute_name``."""
         try:
             index = self.attribute_names.index(attribute_name)
@@ -61,22 +65,22 @@ class DatasetSpec:
             ) from None
         return self.attribute_cards[index]
 
-    def schema(self):
+    def schema(self) -> TableSchema:
         """The SQL schema: one INT column per attribute plus the class."""
         columns = [Column(n, ColumnType.INT) for n in self.attribute_names]
         columns.append(Column(self.class_name, ColumnType.INT))
         return TableSchema(columns)
 
     @property
-    def row_bytes(self):
+    def row_bytes(self) -> int:
         """Simulated width of one record."""
         return self.schema().row_bytes
 
-    def rows_for_bytes(self, nbytes):
+    def rows_for_bytes(self, nbytes: float) -> int:
         """How many records make a data set of ``nbytes``."""
         return max(1, int(nbytes) // self.row_bytes)
 
-    def validate_row(self, row):
+    def validate_row(self, row: Sequence[int]) -> tuple[int, ...]:
         """Check attribute codes and class label are in range."""
         if len(row) != self.n_attributes + 1:
             raise DataGenerationError(
@@ -96,7 +100,7 @@ class DatasetSpec:
             )
         return tuple(row)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"DatasetSpec(m={self.n_attributes}, "
             f"cards={self.attribute_cards[:4]}{'...' if self.n_attributes > 4 else ''}, "
@@ -104,7 +108,8 @@ class DatasetSpec:
         )
 
 
-def uniform_spec(n_attributes, values_per_attribute, n_classes):
+def uniform_spec(n_attributes: int, values_per_attribute: int,
+                 n_classes: int) -> DatasetSpec:
     """A spec where every attribute has the same cardinality."""
     return DatasetSpec(
         [values_per_attribute] * n_attributes, n_classes

@@ -16,8 +16,10 @@ Two properties the paper exploits are preserved:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
+import numpy.typing as npt
 
 from ..common.errors import DataGenerationError
 from .dataset import DatasetSpec
@@ -37,7 +39,7 @@ class GaussianMixtureConfig:
     n_buckets: int = 8
     seed: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n_dimensions < 1:
             raise DataGenerationError("need at least one dimension")
         if self.n_classes < 2:
@@ -53,12 +55,14 @@ class GaussianMixtureConfig:
 class GaussianMixture:
     """A sampled mixture: component parameters plus the discretiser."""
 
-    def __init__(self, config):
+    def __init__(self, config: GaussianMixtureConfig) -> None:
         self.config = config
         rng = np.random.default_rng(config.seed)
         shape = (config.n_classes, config.n_dimensions)
-        self.means = rng.uniform(config.mean_low, config.mean_high, shape)
-        self.variances = rng.uniform(
+        self.means: npt.NDArray[np.float64] = rng.uniform(
+            config.mean_low, config.mean_high, shape
+        )
+        self.variances: npt.NDArray[np.float64] = rng.uniform(
             config.variance_low, config.variance_high, shape
         )
         # Equal-width bucket edges chosen to cover ±4σ_max around the
@@ -66,22 +70,26 @@ class GaussianMixture:
         max_sigma = float(np.sqrt(config.variance_high))
         low = config.mean_low - 4.0 * max_sigma
         high = config.mean_high + 4.0 * max_sigma
-        self.edges = np.linspace(low, high, config.n_buckets + 1)[1:-1]
+        self.edges: npt.NDArray[np.float64] = np.linspace(
+            low, high, config.n_buckets + 1
+        )[1:-1]
         self._rng = rng
 
-    def spec(self):
+    def spec(self) -> DatasetSpec:
         """Dataset spec: every dimension becomes one bucketed attribute."""
         return DatasetSpec(
             [self.config.n_buckets] * self.config.n_dimensions,
             self.config.n_classes,
         )
 
-    def sample_continuous(self):
+    def sample_continuous(
+        self,
+    ) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.int64]]:
         """Raw (X, y) before discretisation, as numpy arrays."""
         config = self.config
         n = config.n_classes * config.samples_per_class
-        X = np.empty((n, config.n_dimensions))
-        y = np.empty(n, dtype=np.int64)
+        X: npt.NDArray[np.float64] = np.empty((n, config.n_dimensions))
+        y: npt.NDArray[np.int64] = np.empty(n, dtype=np.int64)
         for label in range(config.n_classes):
             start = label * config.samples_per_class
             stop = start + config.samples_per_class
@@ -93,12 +101,14 @@ class GaussianMixture:
             y[start:stop] = label
         return X, y
 
-    def discretize(self, X):
+    def discretize(
+        self, X: npt.NDArray[np.float64]
+    ) -> npt.NDArray[np.int64]:
         """Map continuous samples to bucket codes (0..n_buckets-1)."""
         codes = np.searchsorted(self.edges, X)
         return codes.astype(np.int64)
 
-    def generate_rows(self):
+    def generate_rows(self) -> Iterator[tuple[int, ...]]:
         """Yield categorical data rows (codes + class label)."""
         X, y = self.sample_continuous()
         codes = self.discretize(X)
@@ -107,12 +117,14 @@ class GaussianMixture:
         for i in order:
             yield tuple(int(v) for v in codes[i]) + (int(y[i]),)
 
-    def materialize(self):
+    def materialize(self) -> list[tuple[int, ...]]:
         """All rows as a list."""
         return list(self.generate_rows())
 
 
-def generate_gaussian_dataset(config):
+def generate_gaussian_dataset(
+    config: GaussianMixtureConfig,
+) -> "tuple[GaussianMixture, list[tuple[int, ...]]]":
     """Convenience: sample the mixture and return ``(mixture, rows)``."""
     mixture = GaussianMixture(config)
     return mixture, mixture.materialize()

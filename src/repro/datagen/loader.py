@@ -2,8 +2,19 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-def load_dataset(server, table_name, spec, rows, validate=False):
+if TYPE_CHECKING:
+    from ..sqlengine.database import SQLServer
+    from ..sqlengine.heap import HeapTable
+    from ..sqlengine.types import SQLValue
+    from .dataset import DatasetSpec
+
+
+def load_dataset(server: "SQLServer", table_name: str,
+                 spec: "DatasetSpec",
+                 rows: Iterable[Sequence["SQLValue"]],
+                 validate: bool = False) -> "HeapTable":
     """Create ``table_name`` from ``spec`` and bulk-load ``rows``.
 
     Returns the created :class:`~repro.sqlengine.heap.HeapTable`.

@@ -17,12 +17,19 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Optional, Union
 
 from ..common.errors import DataGenerationError
 from .dataset import DatasetSpec
 
 #: Branch label for the residual ("A = other") branch of a binary split.
 OTHER = "other"
+
+#: A branch is labelled by a value code or by :data:`OTHER`.
+BranchValue = Union[int, str]
+
+#: attr -> ("fixed", value) or ("excluded", frozenset of values).
+Constraints = dict[str, tuple[str, Any]]
 
 
 @dataclass(frozen=True)
@@ -41,7 +48,7 @@ class RandomTreeConfig:
     class_noise: float = 0.0
     seed: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n_leaves < 1:
             raise DataGenerationError("n_leaves must be positive")
         if not 0.0 <= self.skew <= 1.0:
@@ -57,62 +64,71 @@ class GenNode:
 
     __slots__ = ("attribute", "branches", "label", "depth", "constraints")
 
-    def __init__(self, depth, constraints):
-        self.attribute = None
-        self.branches = None  # list of (branch_value_or_OTHER, child)
-        self.label = None
+    def __init__(self, depth: int, constraints: Constraints) -> None:
+        self.attribute: Optional[str] = None
+        #: list of (branch_value_or_OTHER, child); None while a leaf.
+        self.branches: Optional[list[tuple[BranchValue, GenNode]]] = None
+        self.label: Optional[int] = None
         self.depth = depth
-        #: attr -> ("fixed", value) or ("excluded", frozenset of values)
         self.constraints = constraints
 
     @property
-    def is_leaf(self):
+    def is_leaf(self) -> bool:
         return self.attribute is None
 
 
 class GeneratingTree:
     """A sampled decision tree plus the row sampler driven by it."""
 
-    def __init__(self, spec, root, leaves, config):
+    def __init__(self, spec: DatasetSpec, root: GenNode,
+                 leaves: list[GenNode],
+                 config: RandomTreeConfig) -> None:
         self.spec = spec
         self.root = root
         self.leaves = leaves
         self.config = config
 
     @property
-    def n_leaves(self):
+    def n_leaves(self) -> int:
         return len(self.leaves)
 
     @property
-    def depth(self):
+    def depth(self) -> int:
         return max(leaf.depth for leaf in self.leaves)
 
-    def expected_rows(self):
+    def expected_rows(self) -> int:
         """Expected data-set row count (exact when cases_stddev == 0)."""
         return self.n_leaves * self.config.cases_per_leaf
 
-    def classify(self, row_values):
+    def classify(self, row_values: Mapping[str, int]) -> int:
         """Label assigned by the generating tree to an attribute dict."""
         node = self.root
         while not node.is_leaf:
+            # is_leaf means attribute is None; inner nodes always
+            # carry both the attribute and their branch list.
+            assert node.attribute is not None and node.branches is not None
             value = row_values[node.attribute]
-            chosen = None
-            other = None
+            chosen: Optional[GenNode] = None
+            other: Optional[GenNode] = None
             for branch_value, child in node.branches:
                 if branch_value == OTHER:
                     other = child
                 elif branch_value == value:
                     chosen = child
                     break
-            node = chosen if chosen is not None else other
-            if node is None:
+            matched = chosen if chosen is not None else other
+            if matched is None:
                 raise DataGenerationError(
                     "generating tree has no branch for value "
                     f"{value!r} of {row_values}"
                 )
+            node = matched
+        assert node.label is not None  # assigned by build_random_tree
         return node.label
 
-    def generate_rows(self, rng=None):
+    def generate_rows(
+        self, rng: Optional[random.Random] = None
+    ) -> Iterator[tuple[int, ...]]:
         """Yield data rows (tuples of codes, class last)."""
         rng = rng or random.Random(self.config.seed + 1)
         spec = self.spec
@@ -121,24 +137,27 @@ class GeneratingTree:
             count = _case_count(rng, config)
             for _ in range(count):
                 row = _sample_row(rng, spec, leaf.constraints)
+                assert leaf.label is not None  # set when the tree was built
                 label = leaf.label
                 if config.class_noise and rng.random() < config.class_noise:
                     label = rng.randrange(spec.n_classes)
                 yield tuple(row) + (label,)
 
-    def materialize(self, rng=None):
+    def materialize(
+        self, rng: Optional[random.Random] = None
+    ) -> list[tuple[int, ...]]:
         """All rows as a list (convenience for tests and loading)."""
         return list(self.generate_rows(rng))
 
 
-def build_random_tree(config):
+def build_random_tree(config: RandomTreeConfig) -> GeneratingTree:
     """Grow a generating tree according to ``config``."""
     rng = random.Random(config.seed)
     cards = _attribute_cardinalities(rng, config)
     spec = DatasetSpec(cards, config.n_classes)
 
     root = GenNode(0, {})
-    leaves = [root]
+    leaves: list[GenNode] = [root]
     # Expand until the leaf target is met or no leaf can be split further.
     while len(leaves) < config.n_leaves:
         index = _pick_expandable(rng, leaves, spec, config)
@@ -146,6 +165,7 @@ def build_random_tree(config):
             break
         node = leaves.pop(index)
         _split_node(rng, node, spec, config)
+        assert node.branches is not None  # _split_node just set them
         leaves.extend(child for _, child in node.branches)
 
     for leaf in leaves:
@@ -153,7 +173,9 @@ def build_random_tree(config):
     return GeneratingTree(spec, root, leaves, config)
 
 
-def generate_random_tree_dataset(config):
+def generate_random_tree_dataset(
+    config: RandomTreeConfig,
+) -> "tuple[GeneratingTree, list[tuple[int, ...]]]":
     """Convenience: build the tree and return ``(tree, rows)``."""
     tree = build_random_tree(config)
     return tree, tree.materialize()
@@ -164,9 +186,10 @@ def generate_random_tree_dataset(config):
 # ---------------------------------------------------------------------------
 
 
-def _attribute_cardinalities(rng, config):
+def _attribute_cardinalities(rng: random.Random,
+                             config: RandomTreeConfig) -> list[int]:
     """Sample per-attribute cardinalities (min 2)."""
-    cards = []
+    cards: list[int] = []
     for _ in range(config.n_attributes):
         if config.values_stddev > 0:
             card = int(round(rng.gauss(
@@ -178,7 +201,7 @@ def _attribute_cardinalities(rng, config):
     return cards
 
 
-def _case_count(rng, config):
+def _case_count(rng: random.Random, config: RandomTreeConfig) -> int:
     """Sample the number of cases for one leaf."""
     if config.cases_stddev > 0:
         return max(0, int(round(rng.gauss(
@@ -187,7 +210,8 @@ def _case_count(rng, config):
     return config.cases_per_leaf
 
 
-def _allowed_values(spec, constraints, attribute):
+def _allowed_values(spec: DatasetSpec, constraints: Constraints,
+                    attribute: str) -> list[int]:
     """Values ``attribute`` may still take under ``constraints``."""
     card = spec.cardinality(attribute)
     constraint = constraints.get(attribute)
@@ -199,16 +223,19 @@ def _allowed_values(spec, constraints, attribute):
     return [v for v in range(card) if v not in payload]
 
 
-def _splittable_attributes(spec, node):
+def _splittable_attributes(spec: DatasetSpec,
+                           node: GenNode) -> list[str]:
     """Attributes with at least two remaining values at ``node``."""
-    names = []
+    names: list[str] = []
     for name in spec.attribute_names:
         if len(_allowed_values(spec, node.constraints, name)) >= 2:
             names.append(name)
     return names
 
 
-def _pick_expandable(rng, leaves, spec, config):
+def _pick_expandable(rng: random.Random, leaves: list[GenNode],
+                     spec: DatasetSpec,
+                     config: RandomTreeConfig) -> Optional[int]:
     """Index of the next leaf to expand, honouring ``skew``.
 
     skew=0 expands the shallowest leaf (breadth-first, bushy tree);
@@ -227,12 +254,13 @@ def _pick_expandable(rng, leaves, spec, config):
     return min(candidates, key=lambda i: (leaves[i].depth, i))
 
 
-def _split_node(rng, node, spec, config):
+def _split_node(rng: random.Random, node: GenNode, spec: DatasetSpec,
+                config: RandomTreeConfig) -> None:
     """Split ``node`` on a random still-splittable attribute."""
     attribute = rng.choice(_splittable_attributes(spec, node))
     allowed = _allowed_values(spec, node.constraints, attribute)
     node.attribute = attribute
-    branches = []
+    branches: list[tuple[BranchValue, GenNode]] = []
     if config.complete_splits:
         for value in allowed:
             constraints = dict(node.constraints)
@@ -246,15 +274,20 @@ def _split_node(rng, node, spec, config):
 
         excluded = dict(node.constraints)
         previous = excluded.get(attribute)
-        already = set(previous[1]) if previous and previous[0] == "excluded" else set()
+        already: set[int] = (
+            set(previous[1])
+            if previous is not None and previous[0] == "excluded"
+            else set()
+        )
         excluded[attribute] = ("excluded", frozenset(already | {value}))
         branches.append((OTHER, GenNode(node.depth + 1, excluded)))
     node.branches = branches
 
 
-def _sample_row(rng, spec, constraints):
+def _sample_row(rng: random.Random, spec: DatasetSpec,
+                constraints: Constraints) -> list[int]:
     """Sample attribute codes consistent with a leaf's constraints."""
-    row = []
+    row: list[int] = []
     for name in spec.attribute_names:
         allowed = _allowed_values(spec, constraints, name)
         row.append(allowed[0] if len(allowed) == 1 else rng.choice(allowed))

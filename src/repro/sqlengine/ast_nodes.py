@@ -8,21 +8,24 @@ CREATE INDEX, INSERT VALUES, DELETE, DROP TABLE and DROP INDEX.
 
 from __future__ import annotations
 
+from typing import Iterable, Optional, Sequence, Union
+
 from .expr import Expr
+from .types import SQLValue
 
 
 class Statement:
     """Base class for all statements."""
 
-    def to_sql(self):
+    def to_sql(self) -> str:
         raise NotImplementedError
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"{type(self).__name__}({self.to_sql()!r})"
 
 
 #: Aggregate function names the engine supports.
-AGGREGATE_FUNCS = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+AGGREGATE_FUNCS: tuple[str, ...] = ("COUNT", "SUM", "MIN", "MAX", "AVG")
 
 
 class SelectItem:
@@ -34,16 +37,17 @@ class SelectItem:
 
     __slots__ = ("expression", "alias")
 
-    def __init__(self, expression, alias=None):
+    def __init__(self, expression: Union[Expr, "Aggregate"],
+                 alias: Optional[str] = None) -> None:
         self.expression = expression
         self.alias = alias
 
     @property
-    def is_aggregate(self):
+    def is_aggregate(self) -> bool:
         return isinstance(self.expression, Aggregate)
 
     @property
-    def output_name(self):
+    def output_name(self) -> str:
         """Column name this item produces in the result set."""
         if self.alias:
             return self.alias
@@ -55,20 +59,20 @@ class SelectItem:
             return self.expression.name
         return "expr"
 
-    def to_sql(self):
+    def to_sql(self) -> str:
         rendered = self.expression.to_sql()
         if self.alias:
             return f"{rendered} AS {self.alias}"
         return rendered
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, SelectItem)
             and self.expression == other.expression
             and self.alias == other.alias
         )
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"SelectItem({self.to_sql()})"
 
 
@@ -81,7 +85,7 @@ class Aggregate:
 
     __slots__ = ("func", "operand")
 
-    def __init__(self, func, operand):
+    def __init__(self, func: str, operand: Union[Expr, "Star"]) -> None:
         func = func.upper()
         if func not in AGGREGATE_FUNCS:
             raise ValueError(f"unknown aggregate function: {func!r}")
@@ -91,28 +95,28 @@ class Aggregate:
         self.operand = operand
 
     @property
-    def is_count_star(self):
+    def is_count_star(self) -> bool:
         return self.func == "COUNT" and isinstance(self.operand, Star)
 
-    def to_sql(self):
+    def to_sql(self) -> str:
         return f"{self.func}({self.operand.to_sql()})"
 
-    def columns(self):
+    def columns(self) -> set[str]:
         if isinstance(self.operand, Star):
             return set()
         return self.operand.columns()
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Aggregate)
             and self.func == other.func
             and self.operand == other.operand
         )
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash((self.func, str(self.operand)))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"Aggregate({self.to_sql()})"
 
 
@@ -121,7 +125,7 @@ class CountStar(Aggregate):
 
     __slots__ = ()
 
-    def __init__(self):
+    def __init__(self) -> None:
         super().__init__("COUNT", Star())
 
 
@@ -130,16 +134,16 @@ class Star:
 
     __slots__ = ()
 
-    def to_sql(self):
+    def to_sql(self) -> str:
         return "*"
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, Star)
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash("*")
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "Star()"
 
 
@@ -151,8 +155,9 @@ class JoinClause(Statement):
     row's columns are named that way too.
     """
 
-    def __init__(self, left_table, left_alias, right_table, right_alias,
-                 left_column, right_column):
+    def __init__(self, left_table: str, left_alias: Optional[str],
+                 right_table: str, right_alias: Optional[str],
+                 left_column: str, right_column: str) -> None:
         self.left_table = left_table
         self.left_alias = left_alias or left_table
         self.right_table = right_table
@@ -162,7 +167,7 @@ class JoinClause(Statement):
         self.left_column = left_column    # qualified, e.g. "a.x"
         self.right_column = right_column  # qualified, e.g. "b.y"
 
-    def to_sql(self):
+    def to_sql(self) -> str:
         left = self.left_table
         if self.left_alias != self.left_table:
             left += f" {self.left_alias}"
@@ -186,8 +191,13 @@ class Select(Statement):
     ``into`` names a table to materialise results into.
     """
 
-    def __init__(self, items, table, where=None, group_by=None, into=None,
-                 order_by=None, limit=None):
+    def __init__(self, items: Union[list[SelectItem], Star],
+                 table: Union[str, JoinClause],
+                 where: Optional[Expr] = None,
+                 group_by: Optional[Iterable[str]] = None,
+                 into: Optional[str] = None,
+                 order_by: Optional[Iterable[tuple[str, bool]]] = None,
+                 limit: Optional[int] = None) -> None:
         if where is not None and not isinstance(where, Expr):
             raise TypeError("where must be an Expr or None")
         if limit is not None and limit < 0:
@@ -201,10 +211,10 @@ class Select(Statement):
         self.into = into
 
     @property
-    def is_join(self):
+    def is_join(self) -> bool:
         return isinstance(self.table, JoinClause)
 
-    def to_sql(self):
+    def to_sql(self) -> str:
         if isinstance(self.items, Star):
             projection = "*"
         else:
@@ -238,24 +248,25 @@ class UnionAll(Statement):
     exploit the commonality" behaviour the paper measured.
     """
 
-    def __init__(self, selects):
+    def __init__(self, selects: Iterable[Select]) -> None:
         selects = list(selects)
         if len(selects) < 2:
             raise ValueError("UNION ALL needs at least two branches")
         self.selects = selects
 
-    def to_sql(self):
+    def to_sql(self) -> str:
         return " UNION ALL ".join(s.to_sql() for s in self.selects)
 
 
 class CreateTable(Statement):
     """``CREATE TABLE name (col type, ...)``."""
 
-    def __init__(self, table, columns):
+    def __init__(self, table: str,
+                 columns: Iterable[tuple[str, str]]) -> None:
         self.table = table
         self.columns = list(columns)  # [(name, type_name)]
 
-    def to_sql(self):
+    def to_sql(self) -> str:
         cols = ", ".join(f"{n} {t}" for n, t in self.columns)
         return f"CREATE TABLE {self.table} ({cols})"
 
@@ -263,14 +274,15 @@ class CreateTable(Statement):
 class InsertValues(Statement):
     """``INSERT INTO name [(cols)] VALUES (...), (...)``."""
 
-    def __init__(self, table, columns, rows):
+    def __init__(self, table: str, columns: Optional[Iterable[str]],
+                 rows: Iterable[Sequence[SQLValue]]) -> None:
         self.table = table
         self.columns = list(columns) if columns else None
         self.rows = [tuple(r) for r in rows]
         if not self.rows:
             raise ValueError("INSERT needs at least one row")
 
-    def to_sql(self):
+    def to_sql(self) -> str:
         cols = f" ({', '.join(self.columns)})" if self.columns else ""
         from .expr import sql_literal
 
@@ -284,23 +296,23 @@ class InsertValues(Statement):
 class DropTable(Statement):
     """``DROP TABLE name``."""
 
-    def __init__(self, table):
+    def __init__(self, table: str) -> None:
         self.table = table
 
-    def to_sql(self):
+    def to_sql(self) -> str:
         return f"DROP TABLE {self.table}"
 
 
 class DeleteRows(Statement):
     """``DELETE FROM name [WHERE ...]``."""
 
-    def __init__(self, table, where=None):
+    def __init__(self, table: str, where: Optional[Expr] = None) -> None:
         if where is not None and not isinstance(where, Expr):
             raise TypeError("where must be an Expr or None")
         self.table = table
         self.where = where
 
-    def to_sql(self):
+    def to_sql(self) -> str:
         sql = f"DELETE FROM {self.table}"
         if self.where is not None:
             sql += f" WHERE {self.where.to_sql()}"
@@ -310,20 +322,20 @@ class DeleteRows(Statement):
 class CreateIndex(Statement):
     """``CREATE INDEX name ON table (column)``."""
 
-    def __init__(self, name, table, column):
+    def __init__(self, name: str, table: str, column: str) -> None:
         self.name = name
         self.table = table
         self.column = column
 
-    def to_sql(self):
+    def to_sql(self) -> str:
         return f"CREATE INDEX {self.name} ON {self.table} ({self.column})"
 
 
 class DropIndex(Statement):
     """``DROP INDEX name``."""
 
-    def __init__(self, name):
+    def __init__(self, name: str) -> None:
         self.name = name
 
-    def to_sql(self):
+    def to_sql(self) -> str:
         return f"DROP INDEX {self.name}"

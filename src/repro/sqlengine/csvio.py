@@ -9,13 +9,18 @@ Loading is bulk (not metered), like :meth:`SQLServer.bulk_load`.
 from __future__ import annotations
 
 import csv
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..common.errors import SQLError
 from .schema import Column, TableSchema
-from .types import ColumnType
+from .types import ColumnType, SQLValue
+
+if TYPE_CHECKING:
+    from .database import SQLServer
+    from .heap import HeapTable
 
 
-def export_csv(server, table_name, path):
+def export_csv(server: "SQLServer", table_name: str, path: str) -> int:
     """Write ``table_name`` to ``path`` with a header row.
 
     NULLs are written as empty fields.  Returns the row count.
@@ -31,7 +36,12 @@ def export_csv(server, table_name, path):
     return count
 
 
-def import_csv(server, table_name, path, schema=None):
+def import_csv(
+    server: "SQLServer",
+    table_name: str,
+    path: str,
+    schema: Optional[TableSchema] = None,
+) -> "HeapTable":
     """Create ``table_name`` from a CSV file; returns the new table.
 
     With no ``schema``, column types are inferred from the data: a
@@ -64,7 +74,7 @@ def import_csv(server, table_name, path, schema=None):
         )
 
     table = server.create_table(table_name, schema)
-    converters = [
+    converters: list[Callable[[str], SQLValue]] = [
         _int_or_null if column.type is ColumnType.INT else _str_or_null
         for column in schema
     ]
@@ -75,8 +85,9 @@ def import_csv(server, table_name, path, schema=None):
     return table
 
 
-def _infer_schema(header, rows):
-    columns = []
+def _infer_schema(header: list[str],
+                  rows: list[list[str]]) -> TableSchema:
+    columns: list[Column] = []
     for i, name in enumerate(header):
         column_type = ColumnType.INT
         for row in rows:
@@ -90,7 +101,7 @@ def _infer_schema(header, rows):
     return TableSchema(columns)
 
 
-def _parses_as_int(text):
+def _parses_as_int(text: str) -> bool:
     try:
         int(text)
     except ValueError:
@@ -98,10 +109,10 @@ def _parses_as_int(text):
     return True
 
 
-def _int_or_null(text):
+def _int_or_null(text: str) -> Optional[int]:
     text = text.strip()
     return None if text == "" else int(text)
 
 
-def _str_or_null(text):
+def _str_or_null(text: str) -> Optional[str]:
     return None if text == "" else text

@@ -15,14 +15,21 @@ Two cursor flavours from the paper:
 
 from __future__ import annotations
 
+from types import TracebackType
+from typing import Iterator, Optional
+
+from ..common.cost import CostMeter, CostModel
 from ..common.errors import CursorStateError
-from .expr import compile_predicate
+from .expr import Expr, compile_predicate
+from .heap import HeapTable
+from .types import Row
 
 
 class ForwardCursor:
     """Streaming scan of one table with a server-applied filter."""
 
-    def __init__(self, table, meter, model, predicate=None):
+    def __init__(self, table: HeapTable, meter: CostMeter,
+                 model: CostModel, predicate: Optional[Expr] = None) -> None:
         self._table = table
         self._meter = meter
         self._model = model
@@ -31,10 +38,10 @@ class ForwardCursor:
         meter.charge("cursor", model.cursor_open)
 
     @property
-    def is_open(self):
+    def is_open(self) -> bool:
         return self._open
 
-    def rows(self):
+    def rows(self) -> Iterator[Row]:
         """Yield qualifying rows; charges page I/O and transfer."""
         if not self._open:
             raise CursorStateError("cursor is closed")
@@ -54,13 +61,15 @@ class ForwardCursor:
             events=transferred,
         )
 
-    def close(self):
+    def close(self) -> None:
         self._open = False
 
-    def __enter__(self):
+    def __enter__(self) -> "ForwardCursor":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback):
+    def __exit__(self, exc_type: Optional[type],
+                 exc_value: Optional[BaseException],
+                 traceback: Optional[TracebackType]) -> bool:
         self.close()
         return False
 
@@ -74,7 +83,9 @@ class KeysetCursor:
     filter, exactly the stored-procedure trick of Section 4.3.3(c).
     """
 
-    def __init__(self, table, meter, model, open_predicate=None):
+    def __init__(self, table: HeapTable, meter: CostMeter,
+                 model: CostModel,
+                 open_predicate: Optional[Expr] = None) -> None:
         self._table = table
         self._meter = meter
         self._model = model
@@ -89,14 +100,15 @@ class KeysetCursor:
         self._tids = [tid for tid, row in table.scan() if predicate(row)]
 
     @property
-    def is_open(self):
+    def is_open(self) -> bool:
         return self._open
 
     @property
-    def keyset_size(self):
+    def keyset_size(self) -> int:
         return len(self._tids)
 
-    def fetch(self, filter_predicate=None):
+    def fetch(self,
+              filter_predicate: Optional[Expr] = None) -> Iterator[Row]:
         """Yield keyset rows matching ``filter_predicate`` (server-side)."""
         if not self._open:
             raise CursorStateError("cursor is closed")
@@ -119,12 +131,14 @@ class KeysetCursor:
             events=transferred,
         )
 
-    def close(self):
+    def close(self) -> None:
         self._open = False
 
-    def __enter__(self):
+    def __enter__(self) -> "KeysetCursor":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback):
+    def __exit__(self, exc_type: Optional[type],
+                 exc_value: Optional[BaseException],
+                 traceback: Optional[TracebackType]) -> bool:
         self.close()
         return False

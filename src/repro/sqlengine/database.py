@@ -7,25 +7,31 @@ operation issued during one experiment accumulates into one total.
 
 from __future__ import annotations
 
+from typing import Iterable, Optional, Sequence, Union
+
 from ..common.cost import CostMeter, CostModel
 from ..common.errors import CatalogError, DuplicateObjectError
+from .ast_nodes import Statement
 from .cursors import ForwardCursor, KeysetCursor
-from .executor import execute_statement
+from .executor import ResultSet, execute_statement
 from .heap import HeapTable
 from .indexes import IndexCatalog
+from .expr import Expr
 from .pages import DEFAULT_PAGE_BYTES
 from .parser import parse
+from .schema import TableSchema
+from .types import SQLValue
 
 
 class Database:
     """A named collection of heap tables plus their secondary indexes."""
 
-    def __init__(self, page_bytes=DEFAULT_PAGE_BYTES):
-        self._tables = {}
+    def __init__(self, page_bytes: int = DEFAULT_PAGE_BYTES) -> None:
+        self._tables: dict[str, HeapTable] = {}
         self._page_bytes = page_bytes
         self.indexes = IndexCatalog()
 
-    def create_table(self, name, schema):
+    def create_table(self, name: str, schema: TableSchema) -> HeapTable:
         """Create and return an empty table; raises on duplicates."""
         if name in self._tables:
             raise DuplicateObjectError(f"table already exists: {name!r}")
@@ -33,29 +39,31 @@ class Database:
         self._tables[name] = table
         return table
 
-    def table(self, name):
+    def table(self, name: str) -> HeapTable:
         try:
             return self._tables[name]
         except KeyError:
             raise CatalogError(f"no such table: {name!r}") from None
 
-    def has_table(self, name):
+    def has_table(self, name: str) -> bool:
         return name in self._tables
 
-    def drop_table(self, name):
+    def drop_table(self, name: str) -> None:
         if name not in self._tables:
             raise CatalogError(f"no such table: {name!r}")
         self.indexes.drop_for_table(name)
         del self._tables[name]
 
-    def table_names(self):
+    def table_names(self) -> list[str]:
         return sorted(self._tables)
 
 
 class SQLServer:
     """A metered SQL server: parse/execute, cursors, temp tables."""
 
-    def __init__(self, model=None, meter=None, page_bytes=DEFAULT_PAGE_BYTES):
+    def __init__(self, model: Optional[CostModel] = None,
+                 meter: Optional[CostMeter] = None,
+                 page_bytes: int = DEFAULT_PAGE_BYTES) -> None:
         self.model = model or CostModel()
         self.meter = meter or CostMeter()
         self.database = Database(page_bytes=page_bytes)
@@ -63,11 +71,12 @@ class SQLServer:
 
     # -- DDL / loading -------------------------------------------------------
 
-    def create_table(self, name, schema):
+    def create_table(self, name: str, schema: TableSchema) -> HeapTable:
         """Create a table directly (bulk-load path, no SQL overhead)."""
         return self.database.create_table(name, schema)
 
-    def bulk_load(self, name, rows, validate=True):
+    def bulk_load(self, name: str, rows: Iterable[Sequence[SQLValue]],
+                  validate: bool = True) -> int:
         """Load ``rows`` into table ``name``; returns rows loaded.
 
         Bulk loading models the one-off import that precedes mining; it
@@ -77,13 +86,13 @@ class SQLServer:
         table = self.database.table(name)
         return table.bulk_insert(rows, validate=validate)
 
-    def table(self, name):
+    def table(self, name: str) -> HeapTable:
         return self.database.table(name)
 
-    def drop_table(self, name):
+    def drop_table(self, name: str) -> None:
         self.database.drop_table(name)
 
-    def fresh_temp_name(self, prefix="temp"):
+    def fresh_temp_name(self, prefix: str = "temp") -> str:
         """A unique name for a temp table."""
         self._temp_counter += 1
         name = f"#{prefix}_{self._temp_counter}"
@@ -94,7 +103,7 @@ class SQLServer:
 
     # -- SQL -----------------------------------------------------------------
 
-    def execute(self, sql_or_statement):
+    def execute(self, sql_or_statement: Union[str, Statement]) -> ResultSet:
         """Execute SQL text or a pre-built statement AST.
 
         Each call pays the fixed per-statement overhead (parse, optimize,
@@ -110,17 +119,21 @@ class SQLServer:
 
     # -- cursors ---------------------------------------------------------------
 
-    def open_cursor(self, table_name, predicate=None):
+    def open_cursor(self, table_name: str,
+                    predicate: Optional[Expr] = None) -> ForwardCursor:
         """Open a forward cursor with an optional pushed WHERE filter."""
         table = self.database.table(table_name)
         return ForwardCursor(table, self.meter, self.model, predicate)
 
-    def open_keyset_cursor(self, table_name, open_predicate=None):
+    def open_keyset_cursor(
+        self, table_name: str,
+        open_predicate: Optional[Expr] = None,
+    ) -> KeysetCursor:
         """Open a keyset cursor (Section 4.3.3c)."""
         table = self.database.table(table_name)
         return KeysetCursor(table, self.meter, self.model, open_predicate)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"SQLServer(tables={self.database.table_names()}, "
             f"cost={self.meter.total:.1f})"

@@ -24,9 +24,14 @@ without GROUP BY.  ORDER BY sorts on output columns; LIMIT truncates.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from ..common.cost import CostMeter, CostModel
 from ..common.errors import CatalogError, SQLError
 from .ast_nodes import (
     Aggregate,
+    JoinClause,
+    Statement,
     CreateIndex,
     DeleteRows,
     CreateTable,
@@ -40,6 +45,8 @@ from .ast_nodes import (
 )
 from .expr import (
     And,
+    Expr,
+    RowFunc,
     ColumnRef,
     Comparison,
     InList,
@@ -47,7 +54,15 @@ from .expr import (
     compile_predicate,
 )
 from .schema import Column, TableSchema
-from .types import ColumnType
+from .types import ColumnType, Row, SQLValue
+
+if TYPE_CHECKING:
+    from .database import Database
+    from .heap import HeapTable
+    from .indexes import HashIndex
+
+#: Builds output column ``i`` of one group from (group_key, accumulators).
+_Builder = Callable[..., Any]
 
 
 class ResultSet:
@@ -55,31 +70,33 @@ class ResultSet:
 
     __slots__ = ("columns", "rows")
 
-    def __init__(self, columns, rows):
+    def __init__(self, columns: Iterable[str],
+                 rows: Iterable[Sequence[Any]]) -> None:
         self.columns = list(columns)
         self.rows = [tuple(r) for r in rows]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
         return iter(self.rows)
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.rows)
 
-    def column_index(self, name):
+    def column_index(self, name: str) -> int:
         try:
             return self.columns.index(name)
         except ValueError:
             raise CatalogError(f"result has no column {name!r}") from None
 
-    def as_dicts(self):
+    def as_dicts(self) -> list[dict[str, Any]]:
         """Rows as dictionaries keyed by column name."""
         return [dict(zip(self.columns, row)) for row in self.rows]
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"ResultSet(columns={self.columns}, rows={len(self.rows)})"
 
 
-def execute_statement(statement, database, meter, model):
+def execute_statement(statement: Statement, database: "Database",
+                      meter: CostMeter, model: CostModel) -> ResultSet:
     """Execute ``statement``; returns a :class:`ResultSet`."""
     if isinstance(statement, Select):
         return _execute_select(statement, database, meter, model)
@@ -102,7 +119,8 @@ def execute_statement(statement, database, meter, model):
     raise SQLError(f"cannot execute statement type {type(statement).__name__}")
 
 
-def _execute_union(statement, database, meter, model):
+def _execute_union(statement: UnionAll, database: "Database",
+                   meter: CostMeter, model: CostModel) -> ResultSet:
     """Run each branch independently and concatenate rows."""
     results = [
         _execute_select(select, database, meter, model)
@@ -112,7 +130,7 @@ def _execute_union(statement, database, meter, model):
     for other in results[1:]:
         if len(other.columns) != len(first.columns):
             raise SQLError("UNION ALL branches have different widths")
-    rows = []
+    rows: list[tuple[Any, ...]] = []
     for result in results:
         rows.extend(result.rows)
     return ResultSet(first.columns, rows)
@@ -123,7 +141,8 @@ def _execute_union(statement, database, meter, model):
 # ---------------------------------------------------------------------------
 
 
-def _execute_select(statement, database, meter, model):
+def _execute_select(statement: Select, database: "Database",
+                    meter: CostMeter, model: CostModel) -> ResultSet:
     if statement.is_join:
         schema, source_rows = _join_source(
             statement.table, database, meter, model
@@ -158,7 +177,9 @@ def _execute_select(statement, database, meter, model):
     return result
 
 
-def _access_path(statement, table, database, meter, model):
+def _access_path(statement: Select, table: "HeapTable",
+                 database: "Database", meter: CostMeter,
+                 model: CostModel) -> Iterable[Row]:
     """Choose index lookup or full scan; charge I/O; return row iterable.
 
     The returned rows are *candidates*: the caller still applies the
@@ -180,7 +201,9 @@ def _access_path(statement, table, database, meter, model):
     return table.scan_rows()
 
 
-def _index_probe_values(where, table, database):
+def _index_probe_values(
+    where: Optional[Expr], table: "HeapTable", database: "Database"
+) -> Optional[tuple["HashIndex", list[SQLValue]]]:
     """Return ``(index, values)`` when the WHERE can use an index.
 
     Usable shapes: a top-level ``col = literal`` / ``col IN (...)``, or
@@ -206,7 +229,10 @@ def _index_probe_values(where, table, database):
     return None
 
 
-def _join_source(join, database, meter, model):
+def _join_source(
+    join: JoinClause, database: "Database", meter: CostMeter,
+    model: CostModel,
+) -> tuple[TableSchema, Iterator[Row]]:
     """Hash inner equi-join: joined schema + row iterable.
 
     The joined schema qualifies every column as ``alias.column``.
@@ -229,7 +255,7 @@ def _join_source(join, database, meter, model):
         raise SQLError(f"ambiguous joined schema: {exc}") from None
 
     left_width = len(left.schema)
-    key_positions = []
+    key_positions: list[int] = []
     for qualified in (join.left_column, join.right_column):
         key_positions.append(schema.index_of(qualified))
     left_keys = [p for p in key_positions if p < left_width]
@@ -245,14 +271,14 @@ def _join_source(join, database, meter, model):
         pages = side.pages_touched()
         meter.charge("server_io", model.server_page_io * pages, events=pages)
 
-    buckets = {}
+    buckets: dict[SQLValue, list[Row]] = {}
     for row in right.scan_rows():
         key = row[right_key]
         if key is None:
             continue  # NULL never joins
         buckets.setdefault(key, []).append(row)
 
-    def rows():
+    def rows() -> Iterator[Row]:
         probes = 0
         try:
             for left_row in left.scan_rows():
@@ -268,19 +294,21 @@ def _join_source(join, database, meter, model):
     return schema, rows()
 
 
-def _has_aggregates(statement):
+def _has_aggregates(statement: Select) -> bool:
     if isinstance(statement.items, Star):
         return False
     return any(item.is_aggregate for item in statement.items)
 
 
-def _plain_select(statement, schema, source_rows, predicate):
+def _plain_select(statement: Select, schema: TableSchema,
+                  source_rows: Iterable[Row],
+                  predicate: RowFunc) -> ResultSet:
     if isinstance(statement.items, Star):
         rows = [row for row in source_rows if predicate(row)]
         return ResultSet(schema.column_names, rows)
 
-    evaluators = []
-    names = []
+    evaluators: list[RowFunc] = []
+    names: list[str] = []
     for item in statement.items:
         if item.is_aggregate:
             raise SQLError(
@@ -306,14 +334,14 @@ class _Accumulator:
 
     __slots__ = ("func", "operand", "count", "total", "best")
 
-    def __init__(self, func, operand):
+    def __init__(self, func: str, operand: Optional[RowFunc]) -> None:
         self.func = func
         self.operand = operand  # compiled expr, or None for COUNT(*)
         self.count = 0
-        self.total = 0
-        self.best = None
+        self.total: Any = 0
+        self.best: Any = None
 
-    def add(self, row):
+    def add(self, row: Row) -> None:
         if self.operand is None:  # COUNT(*)
             self.count += 1
             return
@@ -330,7 +358,7 @@ class _Accumulator:
             if self.best is None or value > self.best:
                 self.best = value
 
-    def result(self):
+    def result(self) -> Any:
         if self.func == "COUNT":
             return self.count
         if self.count == 0:
@@ -342,16 +370,19 @@ class _Accumulator:
         return self.best
 
 
-def _aggregate_plan(items, schema, group_names):
+def _aggregate_plan(
+    items: list[SelectItem], schema: TableSchema, group_names: list[str]
+) -> tuple[list[str], Callable[[], list[_Accumulator]], list[_Builder]]:
     """Compile select items into per-group output builders.
 
     Returns ``(names, factories, builders)`` where ``factories()``
     creates the accumulator list for a new group and
     ``builders[i](key, accumulators)`` produces output column i.
     """
-    names = []
-    specs = []  # aggregate specs in accumulator order
-    builders = []
+    names: list[str] = []
+    # Aggregate specs in accumulator order.
+    specs: list[tuple[str, Optional[RowFunc]]] = []
+    builders: list[_Builder] = []
     for item in items:
         names.append(item.output_name)
         expression = item.expression
@@ -384,14 +415,15 @@ def _aggregate_plan(items, schema, group_names):
                 "or aggregates"
             )
 
-    def factories():
+    def factories() -> list[_Accumulator]:
         return [_Accumulator(func, operand) for func, operand in specs]
 
     return names, factories, builders
 
 
-def _grouped_select(statement, schema, source_rows, predicate, meter,
-                    model):
+def _grouped_select(statement: Select, schema: TableSchema,
+                    source_rows: Iterable[Row], predicate: RowFunc,
+                    meter: CostMeter, model: CostModel) -> ResultSet:
     if isinstance(statement.items, Star):
         raise SQLError("SELECT * cannot be combined with GROUP BY")
 
@@ -400,7 +432,7 @@ def _grouped_select(statement, schema, source_rows, predicate, meter,
         statement.items, schema, list(statement.group_by)
     )
 
-    groups = {}
+    groups: dict[tuple[SQLValue, ...], list[_Accumulator]] = {}
     qualifying = 0
     for row in source_rows:
         if not predicate(row):
@@ -415,14 +447,16 @@ def _grouped_select(statement, schema, source_rows, predicate, meter,
             accumulator.add(row)
     meter.charge("groupby", model.groupby_row * qualifying, events=qualifying)
 
-    rows = []
+    rows: list[tuple[Any, ...]] = []
     for key in sorted(groups, key=_sort_key):
         accumulators = groups[key]
         rows.append(tuple(build(key, accumulators) for build in builders))
     return ResultSet(names, rows)
 
 
-def _global_aggregate(statement, schema, source_rows, predicate):
+def _global_aggregate(statement: Select, schema: TableSchema,
+                      source_rows: Iterable[Row],
+                      predicate: RowFunc) -> ResultSet:
     """Aggregates without GROUP BY: one output row, even over no rows."""
     names, factories, builders = _aggregate_plan(
         statement.items, schema, []
@@ -442,7 +476,7 @@ def _global_aggregate(statement, schema, source_rows, predicate):
 # ---------------------------------------------------------------------------
 
 
-def _order_and_limit(statement, result):
+def _order_and_limit(statement: Select, result: ResultSet) -> ResultSet:
     rows = result.rows
     if statement.order_by:
         # Stable sorts applied in reverse key order give multi-key sort.
@@ -458,7 +492,7 @@ def _order_and_limit(statement, result):
     return ResultSet(result.columns, rows)
 
 
-def _sort_key(key):
+def _sort_key(key: Sequence[Any]) -> tuple[tuple[bool, str, Any], ...]:
     """Order heterogeneous values deterministically (NULLs first,
     matching SQL Server's ascending NULL placement)."""
     return tuple(
@@ -471,9 +505,11 @@ def _sort_key(key):
 # ---------------------------------------------------------------------------
 
 
-def _materialize_into(name, result, database, meter, model):
+def _materialize_into(name: str, result: ResultSet,
+                      database: "Database", meter: CostMeter,
+                      model: CostModel) -> None:
     """Create ``name`` from ``result`` (SELECT INTO semantics)."""
-    columns = []
+    columns: list[Column] = []
     for i, column_name in enumerate(result.columns):
         column_type = _infer_type(result.rows, i)
         columns.append(Column(column_name, column_type))
@@ -488,7 +524,7 @@ def _materialize_into(name, result, database, meter, model):
     )
 
 
-def _infer_type(rows, index):
+def _infer_type(rows: list[tuple[Any, ...]], index: int) -> ColumnType:
     """Infer a column type from materialised values (INT wins ties)."""
     for row in rows:
         value = row[index]
@@ -498,7 +534,8 @@ def _infer_type(rows, index):
     return ColumnType.INT
 
 
-def _execute_create(statement, database):
+def _execute_create(statement: CreateTable,
+                    database: "Database") -> ResultSet:
     schema = TableSchema(
         Column(name, ColumnType.parse(type_name))
         for name, type_name in statement.columns
@@ -507,7 +544,9 @@ def _execute_create(statement, database):
     return ResultSet([], [])
 
 
-def _execute_create_index(statement, database, meter, model):
+def _execute_create_index(statement: CreateIndex, database: "Database",
+                          meter: CostMeter,
+                          model: CostModel) -> ResultSet:
     table = database.table(statement.table)
     # Building the index scans the table and inserts one entry per row.
     pages = table.pages_touched()
@@ -521,7 +560,8 @@ def _execute_create_index(statement, database, meter, model):
     return ResultSet([], [])
 
 
-def _execute_delete(statement, database, meter, model):
+def _execute_delete(statement: DeleteRows, database: "Database",
+                    meter: CostMeter, model: CostModel) -> ResultSet:
     """Tombstone qualifying rows; returns the deleted count.
 
     Finding the victims costs a full scan; the in-place tombstoning
@@ -538,7 +578,8 @@ def _execute_delete(statement, database, meter, model):
     return ResultSet(["deleted"], [(len(victims),)])
 
 
-def _execute_insert(statement, database):
+def _execute_insert(statement: InsertValues,
+                    database: "Database") -> ResultSet:
     table = database.table(statement.table)
     schema = table.schema
     if statement.columns:
@@ -548,7 +589,7 @@ def _execute_insert(statement, database):
                 "partial-column INSERT is not supported (no defaults)"
             )
         for values in statement.rows:
-            row = [None] * len(schema)
+            row: list[SQLValue] = [None] * len(schema)
             for position, value in zip(positions, values):
                 row[position] = value
             table.insert(row)

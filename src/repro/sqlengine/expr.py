@@ -18,9 +18,20 @@ the engine is total.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from .types import Row, SQLValue
+
+if TYPE_CHECKING:
+    from .schema import TableSchema
+
+#: A compiled expression: evaluates one row tuple to a value (scalar
+#: expressions) or a truth value (predicates).
+RowFunc = Callable[[Row], Any]
+
 COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
 
-_OP_FUNCS = {
+_OP_FUNCS: dict[str, Callable[[Any, Any], bool]] = {
     "=": lambda a, b: a == b,
     "<>": lambda a, b: a != b,
     "<": lambda a, b: a < b,
@@ -30,7 +41,7 @@ _OP_FUNCS = {
 }
 
 
-def sql_literal(value):
+def sql_literal(value: object) -> str:
     """Render a Python value as a SQL literal."""
     if value is None:
         return "NULL"
@@ -45,28 +56,30 @@ def sql_literal(value):
 class Expr:
     """Base class for all expression nodes."""
 
-    def columns(self):
+    def columns(self) -> set[str]:
         """Set of column names this expression references."""
         raise NotImplementedError
 
-    def to_sql(self):
+    def to_sql(self) -> str:
         """Render this expression as SQL text."""
         raise NotImplementedError
 
-    def compile(self, schema):
+    def compile(self, schema: "TableSchema") -> RowFunc:
         """Return ``callable(row_tuple) -> value`` for rows of ``schema``."""
         raise NotImplementedError
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"{type(self).__name__}({self.to_sql()})"
 
-    def __eq__(self, other):
-        return type(self) is type(other) and self._key() == other._key()
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Expr) or type(self) is not type(other):
+            return False
+        return self._key() == other._key()
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash((type(self).__name__, self._key()))
 
-    def _key(self):
+    def _key(self) -> tuple[object, ...]:
         raise NotImplementedError
 
 
@@ -75,7 +88,7 @@ class Literal(Expr):
 
     __slots__ = ("value",)
 
-    def __init__(self, value):
+    def __init__(self, value: SQLValue) -> None:
         self.value = value
 
     def columns(self):
@@ -97,7 +110,7 @@ class ColumnRef(Expr):
 
     __slots__ = ("name",)
 
-    def __init__(self, name):
+    def __init__(self, name: str) -> None:
         self.name = name
 
     def columns(self):
@@ -119,7 +132,7 @@ class Comparison(Expr):
 
     __slots__ = ("op", "left", "right")
 
-    def __init__(self, op, left, right):
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
         if op not in COMPARISON_OPS:
             raise ValueError(f"unknown comparison operator: {op!r}")
         self.op = op
@@ -137,7 +150,7 @@ class Comparison(Expr):
         right = self.right.compile(schema)
         func = _OP_FUNCS[self.op]
 
-        def evaluate(row):
+        def evaluate(row: Row) -> bool:
             a = left(row)
             b = right(row)
             if a is None or b is None:
@@ -155,7 +168,8 @@ class InList(Expr):
 
     __slots__ = ("operand", "values")
 
-    def __init__(self, operand, values):
+    def __init__(self, operand: Expr,
+                 values: Iterable[SQLValue]) -> None:
         self.operand = operand
         self.values = tuple(values)
         if not self.values:
@@ -172,7 +186,7 @@ class InList(Expr):
         operand = self.operand.compile(schema)
         values = frozenset(self.values)
 
-        def evaluate(row):
+        def evaluate(row: Row) -> bool:
             v = operand(row)
             return v is not None and v in values
 
@@ -187,7 +201,7 @@ class And(Expr):
 
     __slots__ = ("parts",)
 
-    def __init__(self, parts):
+    def __init__(self, parts: Iterable[Expr]) -> None:
         self.parts = tuple(parts)
         if not self.parts:
             raise ValueError("AND needs at least one operand")
@@ -204,7 +218,7 @@ class And(Expr):
     def compile(self, schema):
         compiled = [p.compile(schema) for p in self.parts]
 
-        def evaluate(row):
+        def evaluate(row: Row) -> bool:
             return all(c(row) for c in compiled)
 
         return evaluate
@@ -218,7 +232,7 @@ class Or(Expr):
 
     __slots__ = ("parts",)
 
-    def __init__(self, parts):
+    def __init__(self, parts: Iterable[Expr]) -> None:
         self.parts = tuple(parts)
         if not self.parts:
             raise ValueError("OR needs at least one operand")
@@ -235,7 +249,7 @@ class Or(Expr):
     def compile(self, schema):
         compiled = [p.compile(schema) for p in self.parts]
 
-        def evaluate(row):
+        def evaluate(row: Row) -> bool:
             return any(c(row) for c in compiled)
 
         return evaluate
@@ -249,7 +263,7 @@ class Not(Expr):
 
     __slots__ = ("operand",)
 
-    def __init__(self, operand):
+    def __init__(self, operand: Expr) -> None:
         self.operand = operand
 
     def columns(self):
@@ -287,7 +301,7 @@ class TrueExpr(Expr):
 TRUE = TrueExpr()
 
 
-def _parenthesize(expr):
+def _parenthesize(expr: Expr) -> str:
     """Wrap composite operands in parens so rendered SQL re-parses."""
     if isinstance(expr, (And, Or, Not)):
         return f"({expr.to_sql()})"
@@ -299,27 +313,27 @@ def _parenthesize(expr):
 # ---------------------------------------------------------------------------
 
 
-def col(name):
+def col(name: str) -> ColumnRef:
     """Shorthand for :class:`ColumnRef`."""
     return ColumnRef(name)
 
 
-def lit(value):
+def lit(value: SQLValue) -> Literal:
     """Shorthand for :class:`Literal`."""
     return Literal(value)
 
 
-def eq(column_name, value):
+def eq(column_name: str, value: SQLValue) -> Comparison:
     """``column = value`` with a literal right-hand side."""
     return Comparison("=", ColumnRef(column_name), Literal(value))
 
 
-def ne(column_name, value):
+def ne(column_name: str, value: SQLValue) -> Comparison:
     """``column <> value`` with a literal right-hand side."""
     return Comparison("<>", ColumnRef(column_name), Literal(value))
 
 
-def all_of(parts):
+def all_of(parts: Iterable[Expr]) -> Expr:
     """AND of ``parts``; collapses 0 parts to TRUE and 1 part to itself."""
     parts = [p for p in parts if not isinstance(p, TrueExpr)]
     if not parts:
@@ -329,7 +343,7 @@ def all_of(parts):
     return And(parts)
 
 
-def any_of(parts):
+def any_of(parts: Iterable[Expr]) -> Expr:
     """OR of ``parts``; collapses a single part to itself."""
     parts = list(parts)
     if not parts:
@@ -341,7 +355,8 @@ def any_of(parts):
     return Or(parts)
 
 
-def compile_predicate(expr, schema):
+def compile_predicate(expr: Optional[Expr],
+                      schema: "TableSchema") -> RowFunc:
     """Compile ``expr`` (or None, meaning TRUE) against ``schema``."""
     if expr is None:
         expr = TRUE

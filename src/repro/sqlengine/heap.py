@@ -10,65 +10,75 @@ heap without vacuuming behaves.
 
 from __future__ import annotations
 
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
 from .pages import DEFAULT_PAGE_BYTES, Page, rows_per_page
+from .schema import TableSchema
+from .types import Row, SQLValue
+
+#: Row identifier: ``(page_no, slot)``.
+TID = tuple[int, int]
 
 
 class HeapTable:
     """An append-only heap of typed rows."""
 
-    def __init__(self, name, schema, page_bytes=DEFAULT_PAGE_BYTES):
+    def __init__(self, name: str, schema: TableSchema,
+                 page_bytes: int = DEFAULT_PAGE_BYTES) -> None:
         self.name = name
         self.schema = schema
         self.page_bytes = page_bytes
         self._rows_per_page = rows_per_page(schema.row_bytes, page_bytes)
         self._pages = [Page(self._rows_per_page)]
         self._row_count = 0
-        self._indexes = []
+        self._indexes: list[Any] = []
 
     @property
-    def row_count(self):
+    def row_count(self) -> int:
         return self._row_count
 
     @property
-    def page_count(self):
+    def page_count(self) -> int:
         """Pages the table occupies (an empty table still has one)."""
         return len(self._pages)
 
     @property
-    def size_bytes(self):
+    def size_bytes(self) -> int:
         """Simulated data size: rows × row width."""
         return self._row_count * self.schema.row_bytes
 
-    def insert(self, row, validate=True):
+    def insert(self, row: Sequence[SQLValue],
+               validate: bool = True) -> TID:
         """Append one row; returns its TID."""
         if validate:
-            row = self.schema.validate_row(row)
+            stored = self.schema.validate_row(row)
         else:
-            row = tuple(row)
+            stored = tuple(row)
         page = self._pages[-1]
         if page.full:
             page = Page(self._rows_per_page)
             self._pages.append(page)
-        slot = page.append(row)
+        slot = page.append(stored)
         self._row_count += 1
         tid = (len(self._pages) - 1, slot)
         for index in self._indexes:
-            index.insert(row, tid)
+            index.insert(stored, tid)
         return tid
 
-    def attach_index(self, index):
+    def attach_index(self, index: Any) -> None:
         """Register a secondary index for maintenance on insert."""
         self._indexes.append(index)
 
-    def detach_index(self, index):
+    def detach_index(self, index: Any) -> None:
         """Stop maintaining ``index``."""
         self._indexes = [i for i in self._indexes if i is not index]
 
     @property
-    def index_count(self):
+    def index_count(self) -> int:
         return len(self._indexes)
 
-    def bulk_insert(self, rows, validate=True):
+    def bulk_insert(self, rows: Iterable[Sequence[SQLValue]],
+                    validate: bool = True) -> int:
         """Append many rows; returns the number inserted."""
         count = 0
         for row in rows:
@@ -76,14 +86,14 @@ class HeapTable:
             count += 1
         return count
 
-    def fetch(self, tid):
+    def fetch(self, tid: TID) -> Row:
         """Row at ``tid``; raises :class:`LookupError` if bad or deleted."""
         row = self.fetch_or_none(tid)
         if row is None:
             raise LookupError(f"no live row at TID {tid}")
         return row
 
-    def fetch_or_none(self, tid):
+    def fetch_or_none(self, tid: TID) -> Optional[Row]:
         """Row at ``tid``, or ``None`` for a tombstone.
 
         Raises :class:`IndexError` for a TID that never existed.
@@ -91,7 +101,7 @@ class HeapTable:
         page_no, slot = tid
         return self._pages[page_no].rows[slot]
 
-    def delete(self, tid):
+    def delete(self, tid: TID) -> Row:
         """Tombstone the row at ``tid``; returns the deleted row.
 
         Raises :class:`LookupError` if the row is already deleted.
@@ -107,21 +117,21 @@ class HeapTable:
             index.remove(row, tid)
         return row
 
-    def scan(self):
+    def scan(self) -> Iterator[tuple[TID, Row]]:
         """Yield ``(tid, row)`` for live rows, in storage order."""
         for page_no, page in enumerate(self._pages):
             for slot, row in enumerate(page.rows):
                 if row is not None:
                     yield (page_no, slot), row
 
-    def scan_rows(self):
+    def scan_rows(self) -> Iterator[Row]:
         """Yield live rows only, in storage order."""
         for page in self._pages:
             for row in page.rows:
                 if row is not None:
                     yield row
 
-    def pages_touched(self, row_count=None):
+    def pages_touched(self, row_count: Optional[int] = None) -> int:
         """Pages read by a sequential scan of ``row_count`` rows.
 
         With no argument, the full table.  A scan always touches at
@@ -134,10 +144,10 @@ class HeapTable:
             return 1
         return -(-row_count // self._rows_per_page)  # ceil division
 
-    def __len__(self):
+    def __len__(self) -> int:
         return self._row_count
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"HeapTable({self.name!r}, rows={self._row_count}, "
             f"pages={self.page_count})"

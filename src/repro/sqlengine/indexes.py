@@ -10,31 +10,39 @@ of a full page scan.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
 from ..common.errors import CatalogError
+from .types import SQLValue
+
+if TYPE_CHECKING:
+    from .database import Database
+    from .heap import TID, HeapTable
 
 
 class HashIndex:
     """An equality index mapping column values to TID lists."""
 
-    def __init__(self, name, table_name, column_name, column_index):
+    def __init__(self, name: str, table_name: str, column_name: str,
+                 column_index: int) -> None:
         self.name = name
         self.table_name = table_name
         self.column_name = column_name
         self._column_index = column_index
-        self._entries = {}  # value -> list of TIDs
+        self._entries: dict[SQLValue, list["TID"]] = {}
         self._size = 0
 
     @property
-    def entry_count(self):
+    def entry_count(self) -> int:
         """Total TIDs indexed."""
         return self._size
 
     @property
-    def distinct_keys(self):
+    def distinct_keys(self) -> int:
         """Number of distinct values indexed."""
         return len(self._entries)
 
-    def insert(self, row, tid):
+    def insert(self, row: Sequence[SQLValue], tid: "TID") -> None:
         """Index one row (NULL keys are not indexed, as in SQL)."""
         value = row[self._column_index]
         if value is None:
@@ -46,7 +54,7 @@ class HashIndex:
             bucket.append(tid)
         self._size += 1
 
-    def remove(self, row, tid):
+    def remove(self, row: Sequence[SQLValue], tid: "TID") -> None:
         """Unindex one row (called by the heap on delete)."""
         value = row[self._column_index]
         if value is None:
@@ -58,16 +66,16 @@ class HashIndex:
             if not bucket:
                 del self._entries[value]
 
-    def lookup(self, value):
+    def lookup(self, value: SQLValue) -> list["TID"]:
         """TIDs of rows whose key equals ``value`` (storage order)."""
         if value is None:
             return []
         return list(self._entries.get(value, ()))
 
-    def lookup_many(self, values):
+    def lookup_many(self, values: Iterable[SQLValue]) -> list["TID"]:
         """TIDs matching any of ``values``, deduplicated, storage order."""
-        tids = []
-        seen = set()
+        tids: list["TID"] = []
+        seen: set["TID"] = set()
         for value in values:
             for tid in self.lookup(value):
                 if tid not in seen:
@@ -76,7 +84,7 @@ class HashIndex:
         tids.sort()
         return tids
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"HashIndex({self.name!r} ON {self.table_name}({self.column_name}), "
             f"entries={self._size})"
@@ -86,11 +94,12 @@ class HashIndex:
 class IndexCatalog:
     """All indexes of one database, by name and by (table, column)."""
 
-    def __init__(self):
-        self._by_name = {}
-        self._by_target = {}  # (table, column) -> HashIndex
+    def __init__(self) -> None:
+        self._by_name: dict[str, HashIndex] = {}
+        self._by_target: dict[tuple[str, str], HashIndex] = {}
 
-    def create(self, name, table, column_name):
+    def create(self, name: str, table: "HeapTable",
+               column_name: str) -> HashIndex:
         """Create and backfill an index; returns it."""
         if name in self._by_name:
             raise CatalogError(f"index already exists: {name!r}")
@@ -108,7 +117,7 @@ class IndexCatalog:
         table.attach_index(index)
         return index
 
-    def drop(self, name, database):
+    def drop(self, name: str, database: "Database") -> None:
         """Drop an index by name."""
         index = self._by_name.pop(name, None)
         if index is None:
@@ -117,7 +126,7 @@ class IndexCatalog:
         if database.has_table(index.table_name):
             database.table(index.table_name).detach_index(index)
 
-    def drop_for_table(self, table_name):
+    def drop_for_table(self, table_name: str) -> None:
         """Drop every index on ``table_name`` (table being dropped)."""
         doomed = [
             name
@@ -128,14 +137,15 @@ class IndexCatalog:
             index = self._by_name.pop(name)
             del self._by_target[(index.table_name, index.column_name)]
 
-    def find(self, table_name, column_name):
+    def find(self, table_name: str,
+             column_name: str) -> Optional[HashIndex]:
         """The index on (table, column), or None."""
         return self._by_target.get((table_name, column_name))
 
-    def names(self):
+    def names(self) -> list[str]:
         return sorted(self._by_name)
 
-    def get(self, name):
+    def get(self, name: str) -> HashIndex:
         try:
             return self._by_name[name]
         except KeyError:

@@ -7,7 +7,13 @@ literals use single quotes with ``''`` escaping, as in T-SQL.
 
 from __future__ import annotations
 
+from typing import Union
+
 from ..common.errors import SQLSyntaxError
+
+#: Payload of one token: keyword/identifier/operator text, a numeric
+#: literal, or None for EOF.
+TokenValue = Union[str, int, float, None]
 
 KEYWORDS = frozenset(
     {
@@ -32,7 +38,7 @@ _PUNCT_CHARS = "(),*;."
 _OP_START = "=<>!"
 
 
-def _is_ascii_digit(ch):
+def _is_ascii_digit(ch: str) -> bool:
     """ASCII digits only: ``str.isdigit`` accepts characters like '²'
     that ``int()`` rejects."""
     return "0" <= ch <= "9"
@@ -43,24 +49,25 @@ class Token:
 
     __slots__ = ("kind", "value", "position")
 
-    def __init__(self, kind, value, position):
+    def __init__(self, kind: str, value: TokenValue,
+                 position: int) -> None:
         self.kind = kind
         self.value = value
         self.position = position
 
-    def matches(self, kind, value=None):
+    def matches(self, kind: str, value: TokenValue = None) -> bool:
         """True if this token has ``kind`` (and ``value``, if given)."""
         if self.kind != kind:
             return False
         return value is None or self.value == value
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"Token({self.kind}, {self.value!r}@{self.position})"
 
 
-def tokenize(text):
+def tokenize(text: str) -> list[Token]:
     """Tokenise ``text``; returns a list ending with an EOF token."""
-    tokens = []
+    tokens: list[Token] = []
     i = 0
     n = len(text)
     while i < n:
@@ -104,10 +111,10 @@ def tokenize(text):
     return tokens
 
 
-def _read_string(text, start):
+def _read_string(text: str, start: int) -> tuple[str, int]:
     """Read a single-quoted string starting at ``start``."""
     i = start + 1
-    parts = []
+    parts: list[str] = []
     n = len(text)
     while i < n:
         ch = text[i]
@@ -122,7 +129,7 @@ def _read_string(text, start):
     raise SQLSyntaxError("unterminated string literal", start)
 
 
-def _read_number(text, start):
+def _read_number(text: str, start: int) -> tuple[Union[int, float], int]:
     """Read an integer or float (optionally negative)."""
     i = start
     if text[i] == "-":
@@ -144,7 +151,7 @@ def _read_number(text, start):
     return (float(raw) if is_float else int(raw)), i
 
 
-def _read_identifier(text, start):
+def _read_identifier(text: str, start: int) -> tuple[str, int]:
     """Read an identifier, including the ``[bracketed]`` T-SQL form."""
     n = len(text)
     if text[start] == "[":
@@ -158,7 +165,7 @@ def _read_identifier(text, start):
     return text[start:i], i
 
 
-def _read_operator(text, start):
+def _read_operator(text: str, start: int) -> tuple[str, int]:
     """Read one of = <> < <= > >= != (normalising != to <>)."""
     two = text[start : start + 2]
     if two in ("<>", "<=", ">=", "!="):

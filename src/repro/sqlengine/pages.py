@@ -8,6 +8,10 @@ scan regardless of how selective the pushed filter is.
 
 from __future__ import annotations
 
+from typing import Iterator, Optional
+
+from .types import Row
+
 DEFAULT_PAGE_BYTES = 8192
 
 
@@ -16,31 +20,33 @@ class Page:
 
     __slots__ = ("capacity", "rows")
 
-    def __init__(self, capacity):
+    def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("page capacity must be at least one row")
         self.capacity = capacity
-        self.rows = []
+        # A slot holds None once its row is tombstoned (see HeapTable).
+        self.rows: list[Optional[Row]] = []
 
     @property
-    def full(self):
+    def full(self) -> bool:
         return len(self.rows) >= self.capacity
 
-    def append(self, row):
+    def append(self, row: Row) -> int:
         """Add ``row``; returns its slot number. Raises when full."""
         if self.full:
             raise ValueError("page is full")
         self.rows.append(row)
         return len(self.rows) - 1
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.rows)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Optional[Row]]:
         return iter(self.rows)
 
 
-def rows_per_page(row_bytes, page_bytes=DEFAULT_PAGE_BYTES):
+def rows_per_page(row_bytes: int,
+                  page_bytes: int = DEFAULT_PAGE_BYTES) -> int:
     """How many rows of ``row_bytes`` fit on one page (at least one)."""
     if row_bytes < 1:
         raise ValueError("row width must be at least one byte")

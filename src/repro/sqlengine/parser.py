@@ -31,11 +31,14 @@ this parser, and tests verify ``parse(sql).to_sql()`` re-parses.
 
 from __future__ import annotations
 
+from typing import Optional, Union, cast
+
 from ..common.errors import SQLSyntaxError
 from . import lexer
 from .ast_nodes import (
     AGGREGATE_FUNCS,
     Aggregate,
+    Statement,
     JoinClause,
     CreateIndex,
     DeleteRows,
@@ -50,6 +53,7 @@ from .ast_nodes import (
 )
 from .expr import (
     ColumnRef,
+    Expr,
     Comparison,
     InList,
     Literal,
@@ -57,35 +61,38 @@ from .expr import (
     all_of,
     any_of,
 )
+from .types import SQLValue
 
 
-def parse(sql):
+def parse(sql: str) -> Statement:
     """Parse one statement; raises :class:`SQLSyntaxError` on bad input."""
     return _Parser(lexer.tokenize(sql)).parse_statement()
 
 
 class _Parser:
-    def __init__(self, tokens):
+    def __init__(self, tokens: list[lexer.Token]) -> None:
         self._tokens = tokens
         self._pos = 0
 
     # -- token plumbing ----------------------------------------------------
 
-    def _peek(self):
+    def _peek(self) -> lexer.Token:
         return self._tokens[self._pos]
 
-    def _advance(self):
+    def _advance(self) -> lexer.Token:
         token = self._tokens[self._pos]
         if token.kind != lexer.EOF:
             self._pos += 1
         return token
 
-    def _accept(self, kind, value=None):
+    def _accept(self, kind: str,
+                value: lexer.TokenValue = None) -> Optional[lexer.Token]:
         if self._peek().matches(kind, value):
             return self._advance()
         return None
 
-    def _expect(self, kind, value=None):
+    def _expect(self, kind: str,
+                value: lexer.TokenValue = None) -> lexer.Token:
         token = self._accept(kind, value)
         if token is None:
             actual = self._peek()
@@ -95,18 +102,19 @@ class _Parser:
             )
         return token
 
-    def _expect_ident(self):
+    def _expect_ident(self) -> str:
         token = self._peek()
         if token.kind == lexer.IDENT:
-            return self._advance().value
+            return cast(str, self._advance().value)
         raise SQLSyntaxError(
             f"expected identifier, found {token.value!r}", token.position
         )
 
     # -- statements ---------------------------------------------------------
 
-    def parse_statement(self):
+    def parse_statement(self) -> Statement:
         token = self._peek()
+        statement: Statement
         if token.matches(lexer.KEYWORD, "SELECT"):
             statement = self._parse_select_union()
         elif token.matches(lexer.KEYWORD, "CREATE"):
@@ -130,7 +138,7 @@ class _Parser:
             )
         return statement
 
-    def _parse_select_union(self):
+    def _parse_select_union(self) -> Union[Select, UnionAll]:
         selects = [self._parse_select()]
         while self._accept(lexer.KEYWORD, "UNION"):
             # Plain UNION (dedupe) is treated as UNION ALL: the paper's CC
@@ -141,45 +149,45 @@ class _Parser:
             return selects[0]
         return UnionAll(selects)
 
-    def _parse_select(self):
+    def _parse_select(self) -> Select:
         self._expect(lexer.KEYWORD, "SELECT")
         self._accept(lexer.KEYWORD, "DISTINCT")  # tolerated, counts differ
         items = self._parse_items()
-        into = None
+        into: Optional[str] = None
         if self._accept(lexer.KEYWORD, "INTO"):
             into = self._expect_ident()
         self._expect(lexer.KEYWORD, "FROM")
         table = self._parse_from()
-        where = None
+        where: Optional[Expr] = None
         if self._accept(lexer.KEYWORD, "WHERE"):
             where = self._parse_or()
-        group_by = []
+        group_by: list[str] = []
         if self._accept(lexer.KEYWORD, "GROUP"):
             self._expect(lexer.KEYWORD, "BY")
             group_by.append(self._parse_name())
             while self._accept(lexer.PUNCT, ","):
                 group_by.append(self._parse_name())
-        order_by = []
+        order_by: list[tuple[str, bool]] = []
         if self._accept(lexer.KEYWORD, "ORDER"):
             self._expect(lexer.KEYWORD, "BY")
             order_by.append(self._parse_order_item())
             while self._accept(lexer.PUNCT, ","):
                 order_by.append(self._parse_order_item())
-        limit = None
+        limit: Optional[int] = None
         if self._accept(lexer.KEYWORD, "LIMIT"):
             token = self._peek()
             if token.kind != lexer.NUMBER or not isinstance(token.value, int):
                 raise SQLSyntaxError(
                     "LIMIT expects an integer", token.position
                 )
-            limit = self._advance().value
+            limit = cast(int, self._advance().value)
             if limit < 0:
                 raise SQLSyntaxError("LIMIT must be non-negative",
                                      token.position)
         return Select(items, table, where=where, group_by=group_by,
                       into=into, order_by=order_by, limit=limit)
 
-    def _parse_order_item(self):
+    def _parse_order_item(self) -> tuple[str, bool]:
         name = self._parse_name()
         ascending = True
         if self._accept(lexer.KEYWORD, "DESC"):
@@ -188,14 +196,14 @@ class _Parser:
             self._accept(lexer.KEYWORD, "ASC")
         return (name, ascending)
 
-    def _parse_name(self):
+    def _parse_name(self) -> str:
         """An identifier, optionally qualified (``alias.column``)."""
         name = self._expect_ident()
         if self._accept(lexer.PUNCT, "."):
             name = f"{name}.{self._expect_ident()}"
         return name
 
-    def _parse_from(self):
+    def _parse_from(self) -> Union[str, JoinClause]:
         """The FROM clause: a table name or a two-table inner join."""
         left_table, left_alias = self._parse_table_ref()
         is_join = False
@@ -224,17 +232,17 @@ class _Parser:
         except ValueError as exc:
             raise SQLSyntaxError(str(exc), self._peek().position) from None
 
-    def _parse_table_ref(self):
+    def _parse_table_ref(self) -> tuple[str, Optional[str]]:
         """``name [AS] [alias]`` — returns (name, alias-or-None)."""
         name = self._expect_ident()
-        alias = None
+        alias: Optional[str] = None
         if self._accept(lexer.KEYWORD, "AS"):
             alias = self._expect_ident()
         elif self._peek().kind == lexer.IDENT:
-            alias = self._advance().value
+            alias = cast(str, self._advance().value)
         return name, alias
 
-    def _parse_items(self):
+    def _parse_items(self) -> Union[list[SelectItem], Star]:
         if self._accept(lexer.PUNCT, "*"):
             return Star()
         items = [self._parse_item()]
@@ -242,11 +250,13 @@ class _Parser:
             items.append(self._parse_item())
         return items
 
-    def _parse_item(self):
+    def _parse_item(self) -> SelectItem:
         token = self._peek()
+        expression: Union[Expr, Aggregate]
         if token.kind == lexer.KEYWORD and token.value in AGGREGATE_FUNCS:
-            func = self._advance().value
+            func = cast(str, self._advance().value)
             self._expect(lexer.PUNCT, "(")
+            operand: Union[Expr, Star]
             if self._accept(lexer.PUNCT, "*"):
                 operand = Star()
             else:
@@ -258,14 +268,14 @@ class _Parser:
                 raise SQLSyntaxError(str(exc), token.position) from None
         else:
             expression = self._parse_scalar()
-        alias = None
+        alias: Optional[str] = None
         if self._accept(lexer.KEYWORD, "AS"):
             alias = self._expect_ident()
         elif self._peek().kind == lexer.IDENT:
-            alias = self._advance().value
+            alias = cast(str, self._advance().value)
         return SelectItem(expression, alias)
 
-    def _parse_create(self):
+    def _parse_create(self) -> Union[CreateTable, CreateIndex]:
         self._expect(lexer.KEYWORD, "CREATE")
         if self._accept(lexer.KEYWORD, "INDEX"):
             name = self._expect_ident()
@@ -284,16 +294,16 @@ class _Parser:
         self._expect(lexer.PUNCT, ")")
         return CreateTable(table, columns)
 
-    def _parse_column_def(self):
+    def _parse_column_def(self) -> tuple[str, str]:
         name = self._expect_ident()
         type_name = self._expect_ident()
         return (name, type_name)
 
-    def _parse_insert(self):
+    def _parse_insert(self) -> InsertValues:
         self._expect(lexer.KEYWORD, "INSERT")
         self._expect(lexer.KEYWORD, "INTO")
         table = self._expect_ident()
-        columns = None
+        columns: Optional[list[str]] = None
         if self._accept(lexer.PUNCT, "("):
             columns = [self._expect_ident()]
             while self._accept(lexer.PUNCT, ","):
@@ -305,7 +315,7 @@ class _Parser:
             rows.append(self._parse_value_row())
         return InsertValues(table, columns, rows)
 
-    def _parse_value_row(self):
+    def _parse_value_row(self) -> list[SQLValue]:
         self._expect(lexer.PUNCT, "(")
         values = [self._parse_literal_value()]
         while self._accept(lexer.PUNCT, ","):
@@ -313,16 +323,16 @@ class _Parser:
         self._expect(lexer.PUNCT, ")")
         return values
 
-    def _parse_delete(self):
+    def _parse_delete(self) -> DeleteRows:
         self._expect(lexer.KEYWORD, "DELETE")
         self._expect(lexer.KEYWORD, "FROM")
         table = self._expect_ident()
-        where = None
+        where: Optional[Expr] = None
         if self._accept(lexer.KEYWORD, "WHERE"):
             where = self._parse_or()
         return DeleteRows(table, where)
 
-    def _parse_drop(self):
+    def _parse_drop(self) -> Union[DropIndex, DropTable]:
         self._expect(lexer.KEYWORD, "DROP")
         if self._accept(lexer.KEYWORD, "INDEX"):
             return DropIndex(self._expect_ident())
@@ -331,24 +341,24 @@ class _Parser:
 
     # -- predicates ----------------------------------------------------------
 
-    def _parse_or(self):
+    def _parse_or(self) -> Expr:
         parts = [self._parse_and()]
         while self._accept(lexer.KEYWORD, "OR"):
             parts.append(self._parse_and())
         return any_of(parts) if len(parts) > 1 else parts[0]
 
-    def _parse_and(self):
+    def _parse_and(self) -> Expr:
         parts = [self._parse_not()]
         while self._accept(lexer.KEYWORD, "AND"):
             parts.append(self._parse_not())
         return all_of(parts) if len(parts) > 1 else parts[0]
 
-    def _parse_not(self):
+    def _parse_not(self) -> Expr:
         if self._accept(lexer.KEYWORD, "NOT"):
             return Not(self._parse_not())
         return self._parse_primary_pred()
 
-    def _parse_primary_pred(self):
+    def _parse_primary_pred(self) -> Expr:
         if self._peek().matches(lexer.PUNCT, "("):
             # Could be a parenthesised predicate or a parenthesised scalar
             # followed by a comparison; backtrack handles both.
@@ -366,7 +376,7 @@ class _Parser:
         left = self._parse_scalar()
         token = self._peek()
         if token.kind == lexer.OP:
-            op = self._advance().value
+            op = cast(str, self._advance().value)
             right = self._parse_scalar()
             return Comparison(op, left, right)
         negated = bool(self._accept(lexer.KEYWORD, "NOT"))
@@ -383,13 +393,13 @@ class _Parser:
             token.position,
         )
 
-    def _at_comparison(self):
+    def _at_comparison(self) -> bool:
         token = self._peek()
         return token.kind == lexer.OP or token.matches(
             lexer.KEYWORD, "IN"
         )
 
-    def _parse_scalar(self):
+    def _parse_scalar(self) -> Expr:
         token = self._peek()
         if token.kind == lexer.IDENT:
             return ColumnRef(self._parse_name())
@@ -408,10 +418,10 @@ class _Parser:
             token.position,
         )
 
-    def _parse_literal_value(self):
+    def _parse_literal_value(self) -> SQLValue:
         token = self._peek()
         if token.kind in (lexer.NUMBER, lexer.STRING):
-            return self._advance().value
+            return cast(SQLValue, self._advance().value)
         if token.matches(lexer.KEYWORD, "NULL"):
             self._advance()
             return None

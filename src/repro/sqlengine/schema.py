@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+from typing import Iterable, Iterator, Sequence, Union
+
 from ..common.errors import CatalogError, TypeMismatchError
-from .types import TYPE_WIDTH_BYTES, ColumnType, check_value
+from .types import TYPE_WIDTH_BYTES, ColumnType, Row, SQLValue, check_value
 
 
 class Column:
@@ -11,7 +13,8 @@ class Column:
 
     __slots__ = ("name", "type")
 
-    def __init__(self, name, column_type):
+    def __init__(self, name: str,
+                 column_type: Union[ColumnType, str]) -> None:
         if not name or not isinstance(name, str):
             raise ValueError("column name must be a non-empty string")
         if not isinstance(column_type, ColumnType):
@@ -20,28 +23,28 @@ class Column:
         self.type = column_type
 
     @property
-    def width_bytes(self):
+    def width_bytes(self) -> int:
         """Simulated storage width of this column."""
         return TYPE_WIDTH_BYTES[self.type]
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Column)
             and self.name == other.name
             and self.type == other.type
         )
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash((self.name, self.type))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"Column({self.name!r}, {self.type.value})"
 
 
 class TableSchema:
     """An ordered collection of :class:`Column` with fast name lookup."""
 
-    def __init__(self, columns):
+    def __init__(self, columns: Iterable[Column]) -> None:
         columns = list(columns)
         if not columns:
             raise ValueError("a table needs at least one column")
@@ -52,39 +55,39 @@ class TableSchema:
         self._index = {c.name: i for i, c in enumerate(columns)}
 
     @classmethod
-    def of(cls, *specs):
+    def of(cls, *specs: tuple[str, str]) -> "TableSchema":
         """Build a schema from ``("name", "type")`` pairs."""
         return cls(Column(name, type_) for name, type_ in specs)
 
     @property
-    def column_names(self):
+    def column_names(self) -> list[str]:
         return [c.name for c in self.columns]
 
     @property
-    def row_bytes(self):
+    def row_bytes(self) -> int:
         """Simulated width of one row (sum of column widths)."""
         return sum(c.width_bytes for c in self.columns)
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.columns)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Column]:
         return iter(self.columns)
 
-    def has_column(self, name):
+    def has_column(self, name: str) -> bool:
         return name in self._index
 
-    def index_of(self, name):
+    def index_of(self, name: str) -> int:
         """Position of column ``name``; raises :class:`CatalogError`."""
         try:
             return self._index[name]
         except KeyError:
             raise CatalogError(f"no such column: {name!r}") from None
 
-    def column(self, name):
+    def column(self, name: str) -> Column:
         return self.columns[self.index_of(name)]
 
-    def validate_row(self, row):
+    def validate_row(self, row: Sequence[SQLValue]) -> Row:
         """Type-check ``row`` (a sequence) against this schema."""
         if len(row) != len(self.columns):
             raise TypeMismatchError(
@@ -99,13 +102,13 @@ class TableSchema:
                 ) from None
         return tuple(row)
 
-    def project(self, names):
+    def project(self, names: Iterable[str]) -> "TableSchema":
         """A new schema containing only ``names``, in the given order."""
         return TableSchema([self.column(name) for name in names])
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, TableSchema) and self.columns == other.columns
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         cols = ", ".join(f"{c.name} {c.type.value}" for c in self.columns)
         return f"TableSchema({cols})"

@@ -15,10 +15,22 @@ index-scan benchmark can reproduce the paper's negative result.
 
 from __future__ import annotations
 
-from .expr import compile_predicate
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from .expr import Expr, compile_predicate
+from .types import Row
+
+if TYPE_CHECKING:
+    from .database import SQLServer
+    from .heap import TID
 
 
-def copy_subset_to_table(server, source_name, predicate, new_name=None):
+def copy_subset_to_table(
+    server: "SQLServer",
+    source_name: str,
+    predicate: Optional[Expr],
+    new_name: Optional[str] = None,
+) -> str:
     """Strategy (a): materialise the qualifying subset as a new table.
 
     Returns the new table's name.  Costs one full scan of the source
@@ -52,7 +64,8 @@ def copy_subset_to_table(server, source_name, predicate, new_name=None):
 class TIDList:
     """Strategy (b): a server-side list of qualifying TIDs."""
 
-    def __init__(self, server, source_name, predicate):
+    def __init__(self, server: "SQLServer", source_name: str,
+                 predicate: Optional[Expr]) -> None:
         self._server = server
         self._source_name = source_name
         meter = server.meter
@@ -66,17 +79,20 @@ class TIDList:
             "server_io", model.server_page_io * pages, events=pages
         )
         check = compile_predicate(predicate, source.schema)
-        self._tids = [tid for tid, row in source.scan() if check(row)]
+        self._tids: list["TID"] = [
+            tid for tid, row in source.scan() if check(row)
+        ]
         meter.charge(
             "temp_table",
             model.temp_table_row_write * len(self._tids) * 0.25,
             events=len(self._tids),
         )
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self._tids)
 
-    def fetch(self, filter_predicate=None):
+    def fetch(self,
+              filter_predicate: Optional[Expr] = None) -> Iterator[Row]:
         """Join the TID list back to the data table, filtered.
 
         Charges the per-row join cost for every TID (the join overhead

@@ -10,8 +10,15 @@ bytes" figures are computed from.
 from __future__ import annotations
 
 import enum
+from typing import Union
 
 from ..common.errors import TypeMismatchError
+
+#: A single SQL value: INT, VARCHAR or NULL.
+SQLValue = Union[int, str, None]
+
+#: One stored row (tuples keep rows hashable and immutable).
+Row = tuple[SQLValue, ...]
 
 
 class ColumnType(enum.Enum):
@@ -21,7 +28,7 @@ class ColumnType(enum.Enum):
     VARCHAR = "VARCHAR"
 
     @classmethod
-    def parse(cls, text):
+    def parse(cls, text: str) -> "ColumnType":
         """Parse a type name (case-insensitive) into a :class:`ColumnType`."""
         normalized = text.strip().upper()
         # Accept a couple of common aliases so hand-written DDL reads well.
@@ -36,13 +43,13 @@ class ColumnType(enum.Enum):
 #: Simulated storage width in bytes for each type.  VARCHAR is modelled as
 #: a fixed-width 16-byte field: the reproduction's datasets are categorical
 #: codes, so row width must be deterministic for size accounting.
-TYPE_WIDTH_BYTES = {
+TYPE_WIDTH_BYTES: dict[ColumnType, int] = {
     ColumnType.INT: 4,
     ColumnType.VARCHAR: 16,
 }
 
 
-def check_value(column_type, value):
+def check_value(column_type: ColumnType, value: SQLValue) -> SQLValue:
     """Validate ``value`` against ``column_type``; returns the value.
 
     ``None`` is accepted for either type (SQL NULL).  Bools are rejected

@@ -1,0 +1,64 @@
+"""Fixture: an AB/BA lock-order cycle the lock-order rule must flag."""
+
+import threading
+
+
+def new_lock(name):
+    del name
+    return threading.Lock()
+
+
+class CrossedLocks:
+    """Takes ``_a`` then ``_b`` on one path and ``_b`` then ``_a`` on
+    another — the classic two-lock deadlock shape."""
+
+    def __init__(self):
+        self._a = new_lock("CrossedLocks._a")
+        self._b = threading.Lock()
+        self._items = []
+
+    def forward(self, item):
+        with self._a:
+            with self._b:  # edge CrossedLocks._a -> CrossedLocks._b
+                self._items.append(item)
+
+    def backward(self):
+        with self._b:
+            with self._a:  # edge CrossedLocks._b -> CrossedLocks._a
+                return list(self._items)
+
+
+class StraightLocks:
+    """Consistent order everywhere: no cycle, no findings."""
+
+    def __init__(self):
+        self._outer = threading.Lock()
+        self._inner = new_lock("StraightLocks._inner")
+        self._value = 0
+
+    def bump(self):
+        with self._outer:
+            with self._inner:
+                self._value += 1
+
+    def read(self):
+        with self._outer:
+            with self._inner:
+                return self._value
+
+    def only_inner(self):
+        with self._inner:
+            return self._value
+
+
+class NotALock:
+    """``with self._conn`` is a context manager, not a lock — ignored."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._conn = open("/dev/null")
+
+    def use(self):
+        with self._lock:
+            with self._conn:
+                pass

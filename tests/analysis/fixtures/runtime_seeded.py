@@ -1,0 +1,51 @@
+"""Seeded runtime-sanitizer violations (loaded by test_runtime_sanitizer).
+
+Each class here trips one runtime checker when driven by the tests: an
+AB/BA lock-order cycle and a guarded-by write without the lock.  (Leak
+seeding uses the real :class:`repro.core.staging.StagedFile` and
+:class:`repro.core.scan_pool.ScanWorkerPool` directly in the tests.)
+The classes build their locks through the :mod:`repro.common.locks`
+factory, so under an installed sanitizer they get instrumented locks
+without knowing it.
+"""
+
+from repro.common.locks import new_lock
+
+
+class CrossedPair:
+    """forward() takes _a then _b; backward() takes _b then _a."""
+
+    def __init__(self):
+        self._a = new_lock("CrossedPair._a")
+        self._b = new_lock("CrossedPair._b")
+        self.items = []
+
+    def forward(self, item):
+        with self._a:
+            with self._b:
+                self.items.append(item)
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                return list(self.items)
+
+
+class GuardedCounter:
+    """_count is declared guarded; bump_racy() writes it bare."""
+
+    def __init__(self):
+        self._lock = new_lock("GuardedCounter._lock")
+        #: guarded by self._lock
+        self._count = 0
+
+    def bump_locked(self):
+        with self._lock:
+            self._count += 1
+
+    def bump_racy(self):
+        self._count += 1
+
+    @property
+    def count(self):
+        return self._count

@@ -1,6 +1,18 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Also hosts the opt-in concurrency-sanitizer plugin: run with
+``REPRO_SANITIZE=1`` and every test executes under the runtime
+sanitizer (:mod:`repro.analysis.runtime`) — instrumented locks feeding
+the lock-order graph, guarded-by enforcement on contract-bearing
+classes, and create/close witnessing of executors, futures and staged
+files.  Any finding fails the test that produced it with the full
+report; set ``REPRO_SANITIZE_REPORT=<path>`` to also write the JSON
+run report (CI uploads it as an artifact).
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -8,6 +20,65 @@ from repro.client.growth import GrowthPolicy
 from repro.datagen.loader import load_dataset
 from repro.datagen.random_tree import RandomTreeConfig, build_random_tree
 from repro.sqlengine.database import SQLServer
+
+_SANITIZE = os.environ.get("REPRO_SANITIZE", "") == "1"
+
+
+if _SANITIZE:
+    from repro.analysis import runtime as _runtime
+
+    def _current_findings(sanitizer):
+        """Guard violations + lock-order cycles observed so far.
+
+        Leaks are deliberately excluded from the per-test check —
+        session-lifetime resources (the shared scan pool) stay open
+        across tests by design and are leak-checked once at session
+        finish, after every owner has shut down.
+        """
+        return sanitizer.guard_findings() + sanitizer.graph.cycle_findings()
+
+    def pytest_configure(config):
+        config._repro_sanitizer = _runtime.activate()
+
+    def pytest_sessionfinish(session, exitstatus):
+        sanitizer = _runtime.active()
+        if sanitizer is None:
+            return
+        leaks = sanitizer.witness.leak_findings()
+        if leaks:
+            print("\nconcurrency sanitizer: resources leaked at "
+                  "session finish:\n")
+            for finding in leaks:
+                print(finding.render())
+                print()
+            session.exitstatus = 1
+
+    def pytest_unconfigure(config):
+        sanitizer = getattr(config, "_repro_sanitizer", None)
+        _runtime.deactivate()
+        report_path = os.environ.get("REPRO_SANITIZE_REPORT", "")
+        if sanitizer is not None and report_path:
+            _runtime.write_report(sanitizer, report_path)
+
+    @pytest.fixture(autouse=True)
+    def _repro_sanitize_check():
+        """Fail the first test that surfaces a new sanitizer finding."""
+        sanitizer = _runtime.active()
+        if sanitizer is None:
+            yield
+            return
+        before = {f.render() for f in _current_findings(sanitizer)}
+        yield
+        fresh = [
+            f for f in _current_findings(sanitizer)
+            if f.render() not in before
+        ]
+        if fresh:
+            pytest.fail(
+                "concurrency sanitizer findings:\n\n"
+                + "\n\n".join(f.render() for f in fresh),
+                pytrace=False,
+            )
 
 
 def tree_signature(node):
