@@ -10,10 +10,16 @@ Python where threads only interleave under the GIL).
 Every configuration must produce CC tables identical to an independent
 reference count — partial counts over disjoint row partitions merge
 exactly, so worker count may change wall-clock time but never a single
-counter.  On a machine with >= 4 usable cores, the 4-worker
-process-pool run must reach ``MIN_PARALLEL_SPEEDUP`` x the serial
-kernel's rows/sec; on smaller machines the floor is reported but not
-enforced (a 1-core box cannot physically show parallel speedup).
+counter.  Parallel runs take the columnar path (array-backed
+partitions, vectorized counting, shared-memory shipping on the process
+pool) and each profile records the per-stage wall-clock breakdown —
+``ship_seconds`` / ``count_seconds`` / ``merge_seconds`` — so a
+regression shows *where* the time went, not just that it went.  On a
+machine with >= 4 usable cores, the 4-worker process-pool run must
+reach ``MIN_PARALLEL_SPEEDUP`` x the serial kernel's rows/sec and the
+benchmark **exits non-zero** below the floor; on smaller machines the
+floor is recorded as skipped with a ``skip_reason`` (a 1-core box
+cannot physically show parallel speedup).
 
 A second A/B guards the pool lifecycle: the same frontier is counted
 through one session with the persistent warm pool
@@ -99,9 +105,11 @@ def scan_frontier(spec, rows, frontier, workers, pool):
         mw.staging.commit_memory("root", list(rows))
         for _ in range(REPEATS):
             mw.queue_requests(request for request, _ in frontier)
-            wall = 0.0
+            wall = ship = count = merge = 0.0
             seen = 0
-            merge = 0.0
+            columnar = True
+            partition_rows = 0
+            prefetch_peak = 0
             while mw.pending:
                 for result in mw.process_next_batch():
                     results[result.node_id] = result
@@ -109,11 +117,21 @@ def scan_frontier(spec, rows, frontier, workers, pool):
                 assert scan.workers == max(1, workers)
                 wall += scan.wall_seconds
                 seen += scan.rows_seen
+                ship += scan.ship_seconds
+                count += sum(scan.worker_seconds)
                 merge += scan.merge_seconds
+                columnar = columnar and scan.columnar
+                partition_rows = max(partition_rows, scan.partition_rows)
+                prefetch_peak = max(prefetch_peak, scan.prefetch_peak)
             profile = {
                 "rows_per_sec": seen / wall if wall > 0.0 else 0.0,
                 "wall_seconds": wall,
+                "ship_seconds": ship,
+                "count_seconds": count,
                 "merge_seconds": merge,
+                "columnar": columnar and workers > 0,
+                "partition_rows": partition_rows,
+                "prefetch_peak": prefetch_peak,
             }
             if best is None or profile["rows_per_sec"] > best["rows_per_sec"]:
                 best = profile
@@ -224,21 +242,27 @@ def report(comparison):
             f"{comparison['serial']['rows_per_sec']:,.0f}",
             f"{comparison['serial']['wall_seconds']:.4f}",
             "-",
+            "-",
+            "-",
             "1.00x",
         ]
     ]
     for workers, profile in sorted(ladder.items()):
         rows.append(
             [
-                f"{workers} workers",
+                f"{workers} workers"
+                + ("" if profile.get("columnar") else " (rows)"),
                 f"{profile['rows_per_sec']:,.0f}",
                 f"{profile['wall_seconds']:.4f}",
+                f"{profile['ship_seconds']:.4f}",
+                f"{profile['count_seconds']:.4f}",
                 f"{profile['merge_seconds']:.4f}",
                 f"{profile['speedup']:.2f}x",
             ]
         )
     table = render_table(
-        ["scan executor", "rows/s", "wall (s)", "merge (s)", "speedup"],
+        ["scan executor", "rows/s", "wall (s)", "ship (s)", "count (s)",
+         "merge (s)", "speedup"],
         rows,
         title=(
             f"Parallel scan A/B ({comparison['pool']} pool): "
@@ -329,7 +353,12 @@ def record_json(comparison, smoke=False):
                 str(workers): {
                     "rows_per_sec": profile["rows_per_sec"],
                     "speedup": profile["speedup"],
+                    "ship_seconds": profile["ship_seconds"],
+                    "count_seconds": profile["count_seconds"],
                     "merge_seconds": profile["merge_seconds"],
+                    "columnar": profile["columnar"],
+                    "partition_rows": profile["partition_rows"],
+                    "prefetch_peak": profile["prefetch_peak"],
                 }
                 for workers, profile in comparison["ladder"].items()
             },

@@ -44,6 +44,7 @@ OPENERS = {
     "PipelinedStagingWriter",
     "ParallelStagingWriter",
     "_PartitionProducer",
+    "ShmShipper",
     "open_file",
     "open",
 }

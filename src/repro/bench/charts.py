@@ -8,6 +8,8 @@ series over a shared x axis using one glyph per series.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 #: Glyphs assigned to series, in order.
 GLYPHS = "ox*+#@%&"
 
@@ -16,7 +18,9 @@ WIDTH = 60
 HEIGHT = 14
 
 
-def ascii_chart(xs, series, width=WIDTH, height=HEIGHT):
+def ascii_chart(xs: Sequence[object],
+                series: Sequence[tuple[str, Sequence[float]]],
+                width: int = WIDTH, height: int = HEIGHT) -> str:
     """Render ``series`` (``[(name, [y, ...]), ...]``) over ``xs``.
 
     X positions are spaced by rank (the paper's sweeps are roughly
@@ -29,24 +33,24 @@ def ascii_chart(xs, series, width=WIDTH, height=HEIGHT):
     for name, ys in series:
         if len(ys) != len(xs):
             raise ValueError(f"series {name!r} length mismatch")
-    peak = max((y for _, ys in series for y in ys), default=0)
+    peak = max((y for _, ys in series for y in ys), default=0.0)
     if peak <= 0:
         peak = 1.0
 
     grid = [[" "] * width for _ in range(height)]
 
-    def x_position(index):
+    def x_position(index: int) -> int:
         if len(xs) == 1:
             return 0
         return round(index * (width - 1) / (len(xs) - 1))
 
-    def y_position(value):
+    def y_position(value: float) -> int:
         row = round((height - 1) * (1 - value / peak))
         return min(height - 1, max(0, row))
 
     for series_index, (name, ys) in enumerate(series):
         glyph = GLYPHS[series_index % len(GLYPHS)]
-        previous = None
+        previous: Optional[tuple[int, int]] = None
         for i, y in enumerate(ys):
             column = x_position(i)
             row = y_position(y)
@@ -87,7 +91,7 @@ def ascii_chart(xs, series, width=WIDTH, height=HEIGHT):
     return "\n".join(lines)
 
 
-def _fmt(value):
+def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:g}"
     return str(value)

@@ -19,15 +19,20 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
 
 from ..client.baselines import extract_all_fit, sql_counting_fit
 from ..client.decision_tree import DecisionTreeClassifier
 from ..client.growth import GrowthPolicy
+from ..client.tree import DecisionTree
 from ..common.cost import CostMeter, CostModel
 from ..common.text import render_table
+from ..core.config import MiddlewareConfig
 from ..core.middleware import Middleware
+from ..datagen.dataset import DatasetSpec
 from ..datagen.loader import load_dataset
 from ..sqlengine.database import SQLServer
+from ..sqlengine.types import SQLValue
 
 #: Paper-size → simulation scale factor.  All experiments shrink the
 #: paper's data sets and memory budgets by the same factor, so every
@@ -38,12 +43,12 @@ SCALE = 0.01
 _MB = 1024 * 1024
 
 
-def mb(paper_megabytes):
+def mb(paper_megabytes: float) -> int:
     """Paper megabytes → simulated bytes at :data:`SCALE`."""
     return max(1, int(paper_megabytes * _MB * SCALE))
 
 
-def rows_for_mb(spec, paper_megabytes):
+def rows_for_mb(spec: DatasetSpec, paper_megabytes: float) -> int:
     """Rows forming a data set of the given (paper) size."""
     return spec.rows_for_bytes(mb(paper_megabytes))
 
@@ -58,35 +63,40 @@ class RunResult:
     tree_nodes: int
     tree_leaves: int
     tree_depth: int
-    scans: dict = field(default_factory=dict)
+    scans: dict[str, int] = field(default_factory=dict)
     rows_seen: int = 0
     sql_fallbacks: int = 0
-    breakdown: dict = field(default_factory=dict)
+    breakdown: dict[str, float] = field(default_factory=dict)
     #: Persistent scan-pool observability (middleware runs only):
     #: executors created, kernel installs, scans served, total setup
     #: seconds.  Empty when no scan went parallel.
-    pool: dict = field(default_factory=dict)
+    pool: dict[str, float] = field(default_factory=dict)
     #: The fitted classifier (middleware runs only).
-    classifier: object = None
+    classifier: Optional[DecisionTreeClassifier] = None
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"RunResult({self.label!r}, cost={self.cost:.1f})"
 
 
 class Workbench:
     """One loaded data set; many metered classifier runs against it."""
 
-    def __init__(self, spec, rows, table_name="data", model=None):
+    def __init__(self, spec: DatasetSpec,
+                 rows: Iterable[Sequence[SQLValue]],
+                 table_name: str = "data",
+                 model: Optional[CostModel] = None) -> None:
         self.spec = spec
         self.table_name = table_name
         self.model = model or CostModel()
         self.meter = CostMeter()
         self.server = SQLServer(model=self.model, meter=self.meter)
-        rows = list(rows)
-        load_dataset(self.server, table_name, spec, rows)
-        self.n_rows = len(rows)
+        loaded = list(rows)
+        load_dataset(self.server, table_name, spec, loaded)
+        self.n_rows = len(loaded)
 
-    def run_middleware(self, config, policy=None, label="middleware"):
+    def run_middleware(self, config: MiddlewareConfig,
+                       policy: Optional[GrowthPolicy] = None,
+                       label: str = "middleware") -> RunResult:
         """Grow a tree through the middleware; returns a RunResult."""
         policy = policy or GrowthPolicy()
         classifier = DecisionTreeClassifier(
@@ -130,7 +140,8 @@ class Workbench:
         result.classifier = classifier
         return result
 
-    def run_sql_counting(self, policy=None, label="sql counting"):
+    def run_sql_counting(self, policy: Optional[GrowthPolicy] = None,
+                         label: str = "sql counting") -> RunResult:
         """Grow via the per-node UNION baseline; returns a RunResult."""
         policy = policy or GrowthPolicy()
         self.meter.reset()
@@ -140,7 +151,8 @@ class Workbench:
         )
         return self._baseline_result(tree, label, started)
 
-    def run_extract_all(self, policy=None, label="extract all"):
+    def run_extract_all(self, policy: Optional[GrowthPolicy] = None,
+                        label: str = "extract all") -> RunResult:
         """Grow via the extract-everything baseline; returns a RunResult."""
         policy = policy or GrowthPolicy()
         self.meter.reset()
@@ -150,7 +162,8 @@ class Workbench:
         )
         return self._baseline_result(tree, label, started)
 
-    def _baseline_result(self, tree, label, started):
+    def _baseline_result(self, tree: DecisionTree, label: str,
+                         started: float) -> RunResult:
         return RunResult(
             label=label,
             cost=self.meter.total,
@@ -162,7 +175,8 @@ class Workbench:
         )
 
 
-def series_table(title, x_header, xs, series):
+def series_table(title: str, x_header: str, xs: Sequence[Any],
+                 series: Sequence[tuple[str, Sequence[RunResult]]]) -> str:
     """Render one paper chart: an aligned table plus an ASCII plot.
 
     ``series`` is ``[(name, [RunResult, ...]), ...]`` aligned with
@@ -173,7 +187,7 @@ def series_table(title, x_header, xs, series):
     headers = [x_header] + [name for name, _ in series]
     rows = []
     for i, x in enumerate(xs):
-        row = [x] + [runs[i].cost for _, runs in series]
+        row: list[Any] = [x] + [runs[i].cost for _, runs in series]
         rows.append(row)
     table = render_table(headers, rows, title=title)
     chart = ascii_chart(
@@ -183,7 +197,7 @@ def series_table(title, x_header, xs, series):
     return table + "\n\n" + chart
 
 
-def results_dir():
+def results_dir() -> str:
     """The benchmarks/results directory (created on demand)."""
     here = os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))
@@ -193,7 +207,7 @@ def results_dir():
     return path
 
 
-def write_report(name, text):
+def write_report(name: str, text: str) -> str:
     """Print a report and persist it under benchmarks/results/."""
     print()
     print(text)
@@ -203,7 +217,8 @@ def write_report(name, text):
     return path
 
 
-def update_bench_json(section, payload, filename="BENCH_scan.json"):
+def update_bench_json(section: str, payload: dict[str, Any],
+                      filename: str = "BENCH_scan.json") -> str:
     """Merge one benchmark's machine-readable results into a shared
     JSON file under benchmarks/results/.
 
@@ -214,7 +229,7 @@ def update_bench_json(section, payload, filename="BENCH_scan.json"):
     missing files are replaced rather than fatal.
     """
     path = os.path.join(results_dir(), filename)
-    data = {}
+    data: dict[str, Any] = {}
     if os.path.exists(path):
         try:
             with open(path) as handle:

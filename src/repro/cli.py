@@ -139,6 +139,16 @@ def _build_parser():
     fit.add_argument("--no-scan-split-writers", action="store_true",
                      help="funnel split-file staging output through one "
                           "writer thread instead of one per file")
+    fit.add_argument("--no-scan-columnar", action="store_true",
+                     help="count parallel scans over row tuples instead "
+                          "of columnar partitions")
+    fit.add_argument("--no-scan-shared-memory", action="store_true",
+                     help="pickle columnar partitions to process "
+                          "workers instead of shipping shared-memory "
+                          "segments")
+    fit.add_argument("--no-scan-adaptive-partitions", action="store_true",
+                     help="pin the static partition-sizing policy "
+                          "instead of adapting from worker timings")
     fit.add_argument("--out", default=None, help="write the model as JSON")
     fit.add_argument("--render-depth", type=int, default=None,
                      help="print the tree down to this depth")
@@ -237,6 +247,12 @@ def _cmd_fit(args):
         scan_options["scan_pool_reuse"] = False
     if args.no_scan_split_writers:
         scan_options["scan_split_writers"] = False
+    if args.no_scan_columnar:
+        scan_options["scan_columnar"] = False
+    if args.no_scan_shared_memory:
+        scan_options["scan_shared_memory"] = False
+    if args.no_scan_adaptive_partitions:
+        scan_options["scan_adaptive_partitions"] = False
     if args.file_split_threshold is not None:
         scan_options["file_split_threshold"] = args.file_split_threshold
     if args.file_budget_bytes is not None:

@@ -256,6 +256,30 @@ class CCTable:
             self._class_totals[class_label] += count
         return self
 
+    def merge_block(self, n_records: int, class_totals: Sequence[int],
+                    blocks: Iterable[tuple[str, Sequence[Any],
+                                           Sequence[Sequence[int]]]]) -> None:
+        """Fold one vectorized partial: pre-aggregated count blocks.
+
+        The columnar kernel returns, per attribute, the distinct values
+        it saw and their per-class count vectors (zero vectors already
+        omitted).  Folding them is the same additive merge as
+        :meth:`merge`, just without materializing a partial
+        :class:`CCTable` per partition.
+        """
+        vectors = self._vectors
+        for attribute, values, counts in blocks:
+            for value, vector in zip(values, counts):
+                mine = vectors.get((attribute, value))
+                if mine is None:
+                    vectors[(attribute, value)] = list(vector)
+                else:
+                    for class_label, count in enumerate(vector):
+                        mine[class_label] += count
+        self._records += n_records
+        for class_label, count in enumerate(class_totals):
+            self._class_totals[class_label] += count
+
     @classmethod
     def merged(cls, attributes: Iterable[str], n_classes: int,
                partials: Iterable[CCTable]) -> CCTable:

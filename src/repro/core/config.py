@@ -115,6 +115,24 @@ class MiddlewareConfig:
     #: bounded queue (multi-file staged scans only).  False funnels all
     #: staging output through the single pipelined writer thread.
     scan_split_writers: bool = True
+    #: Count parallel scans over array-backed columnar partitions with
+    #: the vectorized kernel (requires numpy; falls back to row tuples
+    #: when numpy is missing or the batch exceeds the mask width).
+    #: False forces the row-tuple parallel path — the equivalence
+    #: baseline the columnar path is tested against.
+    scan_columnar: bool = True
+    #: Ship columnar partitions to *process* workers through
+    #: ``multiprocessing.shared_memory`` segments (one copy; only the
+    #: segment handle is pickled).  False — or an unavailable
+    #: shared-memory implementation — pickles the column arrays
+    #: instead.  Thread pools never ship (shared address space).
+    scan_shared_memory: bool = True
+    #: Adapt partition sizing (and SERVER-scan prefetch depth) from
+    #: observed per-partition worker timings: partitions that are all
+    #: dispatch overhead coarsen the next scan's sizing, straggling
+    #: partitions refine it.  False pins the static ~2-per-worker
+    #: policy.
+    scan_adaptive_partitions: bool = True
 
     def __post_init__(self) -> None:
         if self.memory_bytes < 0:

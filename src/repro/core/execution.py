@@ -74,11 +74,13 @@ from typing import Any, Callable, Iterator, Sequence
 
 from ..common.errors import MiddlewareError
 from ..common.locks import new_lock, resource_closed, resource_created
+from ..sqlengine.columnar import ColumnarPartition, columnar_available, np
 from .cc_table import CCTable
 from .filters import RoutingKernel, batch_filter
 from .requests import CountsResult
 from .scan_pool import ScanWorkerPool
 from .scheduler import _cc_tag
+from .shm import ShmShipper, shm_available
 from .sql_counting import counts_via_sql
 from .staging import (
     DataLocation,
@@ -86,6 +88,7 @@ from .staging import (
     PipelinedStagingWriter,
     StagedFile,
 )
+from .vector_kernel import MAX_SLOTS
 
 
 @dataclass
@@ -124,6 +127,19 @@ class ScanStats:
     #: Per-file writer threads used for staging output (0 = the single
     #: pipelined funnel, or a serial scan).
     split_writers: int = 0
+    #: True when the scan counted over columnar partitions (the
+    #: vectorized parallel path) instead of row tuples.
+    columnar: bool = False
+    #: Wall-clock seconds encoding partitions to columnar form and
+    #: copying them into shared-memory segments (the "ship" stage of
+    #: the ship/count/merge breakdown; 0.0 for row-tuple scans).
+    ship_seconds: float = 0.0
+    #: Rows per partition the sizer chose for this scan (0 = serial).
+    partition_rows: int = 0
+    #: Highest prefetch depth the producer adapted to (>= the
+    #: configured ``prefetch_depth`` when consumer starvation grew it;
+    #: 0 without a prefetch thread).
+    prefetch_peak: int = 0
 
     @property
     def rows_per_sec(self) -> float:
@@ -155,6 +171,8 @@ class ExecutionStats:
     worker_seconds_total: float = 0.0
     pool_setup_seconds: float = 0.0
     prefetched_scans: int = 0
+    columnar_scans: int = 0
+    ship_seconds: float = 0.0
 
     def absorb(self, scan: ScanStats) -> None:
         """Fold one *final* :class:`ScanStats` into the session totals.
@@ -183,6 +201,8 @@ class ExecutionStats:
         self.worker_seconds_total += sum(scan.worker_seconds)
         self.pool_setup_seconds += scan.pool_setup_seconds
         self.prefetched_scans += scan.prefetch_depth > 0
+        self.columnar_scans += scan.columnar
+        self.ship_seconds += scan.ship_seconds
 
     @property
     def total_scans(self) -> int:
@@ -199,43 +219,229 @@ class ExecutionStats:
 # -- partition production ----------------------------------------------------
 
 
+def _close_source(source: Any) -> None:
+    """Close a row/partition source if it supports closing."""
+    close = getattr(source, "close", None)
+    if close is not None:
+        try:
+            close()
+        except BaseException:
+            pass
+
+
 def _slice_partitions(row_iter: Iterator[Any],
                       partition_rows: int) -> Iterator[list[Any]]:
-    """Cut a row iterator into ordered list partitions, inline."""
-    while True:
-        partition = list(islice(row_iter, partition_rows))
-        if not partition:
+    """Cut a row iterator into ordered list partitions.
+
+    Closing this generator (directly, or via a producer's ``stop``)
+    closes the underlying row source, so a cursor abandoned by a failed
+    scan releases its generator state deterministically.
+    """
+    try:
+        while True:
+            partition = list(islice(row_iter, partition_rows))
+            if not partition:
+                return
+            yield partition
+    finally:
+        _close_source(row_iter)
+
+
+class _StopWatch:
+    """A mutable seconds accumulator shared with source generators."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+    def add(self, started: float) -> None:
+        self.seconds += time.perf_counter() - started
+
+
+def _columnar_slices(row_iter: Iterator[Any], partition_rows: int,
+                     watch: _StopWatch) -> Iterator[ColumnarPartition]:
+    """Encode a row iterator into columnar partitions (SERVER scans).
+
+    Encoding runs on whichever single thread consumes this generator
+    (the prefetch producer, normally), so per-row meter charges inside
+    the cursor still accrue exactly once.
+    """
+    try:
+        while True:
+            chunk = list(islice(row_iter, partition_rows))
+            if not chunk:
+                return
+            started = time.perf_counter()
+            partition = ColumnarPartition.from_rows(chunk)
+            watch.add(started)
+            yield partition
+    finally:
+        _close_source(row_iter)
+
+
+def _columnar_memory_slices(table: ColumnarPartition,
+                            partition_rows: int,
+                            ) -> Iterator[ColumnarPartition]:
+    """Zero-copy partition views over a cached in-memory encoding."""
+    for start in range(0, table.n_rows, partition_rows):
+        yield table.slice(start, start + partition_rows)
+
+
+def _columnar_file_slices(block_iter: Iterator[Any], partition_rows: int,
+                          watch: _StopWatch) -> Iterator[ColumnarPartition]:
+    """Assemble staged-file int32 blocks into columnar partitions."""
+    pending: list[Any] = []
+    pending_rows = 0
+    try:
+        for block in block_iter:
+            pending.append(block)
+            pending_rows += int(block.shape[0])
+            while pending_rows >= partition_rows:
+                started = time.perf_counter()
+                matrix = (
+                    np.vstack(pending) if len(pending) > 1 else pending[0]
+                )
+                rest = matrix[partition_rows:]
+                pending = [rest] if rest.shape[0] else []
+                pending_rows = int(rest.shape[0])
+                partition = ColumnarPartition.from_matrix(
+                    matrix[:partition_rows]
+                )
+                watch.add(started)
+                yield partition
+        if pending_rows:
+            started = time.perf_counter()
+            matrix = np.vstack(pending) if len(pending) > 1 else pending[0]
+            partition = ColumnarPartition.from_matrix(matrix)
+            watch.add(started)
+            yield partition
+    finally:
+        _close_source(block_iter)
+
+
+class _PartitionSizer:
+    """Adaptive partition sizing from observed worker timings.
+
+    The static policy ("~2 partitions per worker") breaks down at the
+    edges: with no row estimate it degenerated to ``scan_chunk_rows``-
+    sized partitions (flooding the pool with tiny tasks), and skewed
+    batches leave workers idle behind one long partition.  The sizer
+    keeps the static policy as its starting point and steers two knobs
+    from each scan's ``worker_seconds``:
+
+    * partitions so fast they are all dispatch overhead → coarsen
+      (fewer partitions per worker, larger blind target);
+    * partitions too long — or one partition dominating the mean, the
+      skew signature — → refine so stragglers can be balanced.
+
+    Bounds keep every scan between 2 and 8 partitions per worker, so
+    the parallel-path contracts (at least two partitions whenever the
+    source exceeds one) hold for any observation history.
+    """
+
+    MIN_PARTS_PER_WORKER = 2
+    MAX_PARTS_PER_WORKER = 8
+    #: Mean partition seconds below which tasks are pure overhead.
+    TOO_FAST_SECONDS = 0.002
+    #: Mean partition seconds above which stragglers hurt balance.
+    TOO_SLOW_SECONDS = 0.25
+    #: Hard ceiling for the no-estimate partition size.
+    MAX_BLIND_ROWS = 1 << 20
+
+    def __init__(self, chunk_rows: int, adaptive: bool) -> None:
+        self._chunk_rows = max(1, chunk_rows)
+        self._adaptive = adaptive
+        self.parts_per_worker = self.MIN_PARTS_PER_WORKER
+        #: Partition size used when the schedule has no row estimate.
+        #: A sane per-worker target, not one serial chunk.
+        self.blind_rows = self._chunk_rows * 8
+
+    def partition_rows(self, estimated_rows: int, n_workers: int) -> int:
+        """Rows per partition for one scan."""
+        if estimated_rows:
+            per_partition = -(
+                -estimated_rows // (n_workers * self.parts_per_worker)
+            )
+            return max(self._chunk_rows, per_partition)
+        return max(self._chunk_rows, self.blind_rows)
+
+    def observe(self, worker_seconds: Sequence[float],
+                partition_rows: int) -> None:
+        """Fold one scan's per-partition timings into the policy."""
+        if not self._adaptive or not worker_seconds:
             return
-        yield partition
+        mean = sum(worker_seconds) / len(worker_seconds)
+        peak = max(worker_seconds)
+        if mean < self.TOO_FAST_SECONDS:
+            self.parts_per_worker = max(
+                self.MIN_PARTS_PER_WORKER, self.parts_per_worker - 1
+            )
+            self.blind_rows = min(
+                max(self.blind_rows, partition_rows * 2),
+                self.MAX_BLIND_ROWS,
+            )
+        elif mean > self.TOO_SLOW_SECONDS or (
+            len(worker_seconds) > 1 and peak > 2.0 * mean
+        ):
+            self.parts_per_worker = min(
+                self.MAX_PARTS_PER_WORKER, self.parts_per_worker + 1
+            )
+            self.blind_rows = max(self._chunk_rows, self.blind_rows // 2)
 
 
 class _PartitionProducer:
-    """Bounded async prefetch of row partitions (SERVER-mode scans).
+    """Bounded async prefetch of partitions (SERVER-mode scans).
 
     The coordinator used to alternate pull-then-submit: materialize a
     partition from the server cursor, submit it, pull the next.  This
-    producer moves the pulling onto a background thread with a bounded
-    queue, so the next partition is fetched *while* the pool counts the
-    current one.  Depth bounds memory and applies backpressure — a slow
-    consumer stalls the cursor instead of buffering unbounded rows.
+    producer moves the pulling onto a background thread, so the next
+    partition is fetched *while* the pool counts the current one.
 
-    The row source is still consumed by exactly one thread, so every
+    Backpressure is a semaphore of *permits*, not a bounded queue: the
+    producer takes one permit per partition it materializes and the
+    consumer returns it when the partition is collected, so at most
+    ``depth`` partitions are ever buffered — without the old 0.05s
+    ``queue.put`` timeout loop, which kept the thread spinning after a
+    consumer abort.  With stop/sentinel signalling through an unbounded
+    queue, every blocking wait has someone responsible for waking it:
+    :meth:`stop` releases a permit to unblock the producer, and the
+    producer's ``finally`` always enqueues the ``_DONE`` sentinel (an
+    unbounded ``put`` cannot block) to unblock the consumer.
+
+    Depth is adaptive: when the consumer finds the buffer empty after
+    having already consumed at least one partition — the pool is
+    outrunning the cursor — the depth grows (up to twice the configured
+    value, tracked in :attr:`peak_depth`) by releasing an extra permit.
+
+    The source is still consumed by exactly one thread, so every
     simulated per-row meter charge accrues exactly once; only *where*
     the wall-clock time is spent changes (see ``docs/cost_model.md``).
 
     A producer-side failure is re-raised to the coordinator from
     :meth:`partitions`; :meth:`stop` shuts the thread down without
-    raising (for scans already failing) and closes the row source.
+    raising (for scans already failing), drains anything still buffered
+    (counted in :attr:`leftover` — a failed scan must pin no
+    partitions) and closes the partition source.
     """
 
     _DONE = object()
 
-    def __init__(self, row_iter: Iterator[Any], partition_rows: int,
-                 depth: int) -> None:
-        self._rows = row_iter
-        self._partition_rows = partition_rows
-        self._queue: queue.Queue[Any] = queue.Queue(maxsize=max(1, depth))
+    def __init__(self, source: Iterator[Any], depth: int,
+                 max_depth: int | None = None) -> None:
+        self._source = source
+        self._queue: queue.Queue[Any] = queue.Queue()
         self._stop_event = threading.Event()
+        depth = max(1, depth)
+        self._permits = threading.Semaphore(depth)
+        self._depth = depth
+        self._max_depth = max(depth, max_depth if max_depth else depth)
+        #: Highest depth the adaptive growth reached.
+        self.peak_depth = depth
+        #: Partitions still buffered when :meth:`stop` drained the queue.
+        self.leftover = 0
+        self._consumed = 0
+        self._finished = False
         self._error_lock = new_lock("_PartitionProducer._error_lock")
         #: guarded by self._error_lock
         self._error: BaseException | None = None
@@ -247,57 +453,65 @@ class _PartitionProducer:
 
     def _produce(self) -> None:
         try:
-            while not self._stop_event.is_set():
-                partition = list(
-                    islice(self._rows, self._partition_rows)
-                )
-                if not partition:
+            while True:
+                self._permits.acquire()
+                if self._stop_event.is_set():
                     break
-                while not self._stop_event.is_set():
-                    try:
-                        self._queue.put(partition, timeout=0.05)
-                        break
-                    except queue.Full:
-                        continue
+                partition = next(self._source, self._DONE)
+                if partition is self._DONE:
+                    break
+                self._queue.put(partition)
         except BaseException as exc:  # surfaced via partitions()
             with self._error_lock:
                 self._error = exc
         finally:
-            while not self._stop_event.is_set():
-                try:
-                    self._queue.put(self._DONE, timeout=0.05)
-                    break
-                except queue.Full:
-                    continue
+            self._queue.put(self._DONE)
 
-    def partitions(self) -> Iterator[list[Any]]:
+    def _grow(self) -> None:
+        """Consumer found the buffer empty: let the producer run ahead."""
+        if self._consumed and self._depth < self._max_depth:
+            self._depth += 1
+            self.peak_depth = self._depth
+            self._permits.release()
+
+    def _join_thread(self) -> None:
+        if not self._finished:
+            self._finished = True
+            self._thread.join()
+            resource_closed("scan-prefetch", self)
+
+    def partitions(self) -> Iterator[Any]:
         """Yield partitions in scan order; re-raises producer errors."""
         while True:
-            item = self._queue.get()
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                self._grow()
+                item = self._queue.get()
             if item is self._DONE:
-                self._thread.join()
-                resource_closed("scan-prefetch", self)
-                if self._error is not None:
-                    raise self._error
+                self._join_thread()
+                with self._error_lock:
+                    error = self._error
+                if error is not None:
+                    raise error
                 return
+            self._consumed += 1
             yield item
+            self._permits.release()
 
     def stop(self) -> None:
         """Shut the producer down without raising (failure path)."""
         self._stop_event.set()
+        self._permits.release()
+        self._join_thread()
         while True:
             try:
-                self._queue.get_nowait()
+                item = self._queue.get_nowait()
             except queue.Empty:
                 break
-        self._thread.join()
-        resource_closed("scan-prefetch", self)
-        close = getattr(self._rows, "close", None)
-        if close is not None:
-            try:
-                close()
-            except BaseException:
-                pass
+            if item is not self._DONE:
+                self.leftover += 1
+        _close_source(self._source)
 
 
 class _NodeCount:
@@ -345,6 +559,9 @@ class ExecutionModule:
             name: i for i, name in enumerate(spec.attribute_names)
         }
         self._class_index = spec.n_attributes
+        self._sizer = _PartitionSizer(
+            config.scan_chunk_rows, config.scan_adaptive_partitions
+        )
         self.stats = ExecutionStats()
         #: The :class:`ScanStats` of the most recent :meth:`run`.
         self.last_scan: ScanStats | None = None
@@ -496,12 +713,17 @@ class ExecutionModule:
         return config.scan_workers
 
     def _partition_rows(self, schedule: Any, n_workers: int) -> int:
-        """Partition size: ~2 partitions per worker, but never smaller
-        than a serial scan chunk (tiny partitions would be all task
-        overhead, and with a process pool all pickling)."""
-        estimated = self._source_rows(schedule)
-        per_partition = -(-estimated // (n_workers * 2)) if estimated else 0
-        return max(self._config.scan_chunk_rows, per_partition)
+        """Partition size for one parallel scan, via the adaptive sizer.
+
+        Starts at ~2 partitions per worker and never goes below a
+        serial scan chunk (tiny partitions would be all task overhead,
+        and with a process pool all shipping); scans without a row
+        estimate get the sizer's blind per-worker target instead of
+        degenerating to one chunk per partition.
+        """
+        return self._sizer.partition_rows(
+            self._source_rows(schedule), n_workers
+        )
 
     def _rows_for(self, schedule: Any, scan: ScanStats) -> Iterator[Any]:
         """The row iterator for the schedule's data source."""
@@ -668,9 +890,24 @@ class ExecutionModule:
         The row source is consumed by exactly one thread (this one, or
         the prefetch producer), so simulated per-row meter charges
         accumulate exactly as in a serial scan.
+
+        When the columnar kernel is available (numpy importable,
+        ``config.scan_columnar`` on, batch narrow enough for the int64
+        candidate masks) the scan runs through
+        :meth:`_count_rows_parallel_columnar` instead — same structure,
+        but partitions are typed column arrays and counting is
+        vectorized; this row-tuple path is the fallback.
         """
+        if (self._config.scan_columnar and columnar_available()
+                and len(states) <= MAX_SLOTS):
+            self._count_rows_parallel_columnar(
+                schedule, row_iter, states, file_writers, memory_capture,
+                scan, n_workers, partition_rows,
+            )
+            return
         scan.kernel = True
         scan.workers = n_workers
+        scan.partition_rows = partition_rows
         kernel = RoutingKernel(
             [state.request.conditions for state in states],
             self._attr_index,
@@ -704,7 +941,10 @@ class ExecutionModule:
         partitions: Iterator[list[Any]]
         prefetch = self._config.scan_prefetch_partitions
         if schedule.mode is DataLocation.SERVER and prefetch > 0:
-            producer = _PartitionProducer(row_iter, partition_rows, prefetch)
+            producer = _PartitionProducer(
+                _slice_partitions(row_iter, partition_rows), prefetch,
+                max_depth=self._adaptive_prefetch_cap(prefetch),
+            )
             partitions = producer.partitions()
             scan.prefetch_depth = prefetch
         else:
@@ -740,16 +980,31 @@ class ExecutionModule:
         except BaseException as exc:
             if producer is not None:
                 producer.stop()
+            else:
+                _close_source(partitions)
             pool.drain(inflight)
             if writer is not None:
                 writer.abort()
             pool.retire_broken(exc)
             raise
         finally:
+            if producer is not None:
+                scan.prefetch_peak = producer.peak_depth
             if owned:
                 pool.close()
 
-        # Deterministic §4.1.1 admission on the merged sizes.
+        self._admit_merged(states, scan)
+        self._sizer.observe(scan.worker_seconds, partition_rows)
+
+    def _adaptive_prefetch_cap(self, prefetch: int) -> int:
+        """Ceiling for adaptive prefetch growth (2× the configured depth)."""
+        if not self._config.scan_adaptive_partitions:
+            return prefetch
+        return prefetch * 2
+
+    def _admit_merged(self, states: list[_NodeCount],
+                      scan: ScanStats) -> None:
+        """Deterministic §4.1.1 admission on the merged sizes."""
         budget = self._budget
         for state in states:
             needed = state.cc.size_bytes
@@ -760,6 +1015,192 @@ class ExecutionModule:
                     state.reserved = needed
                 else:
                     self._abandon(state, states, scan)
+
+    def _count_rows_parallel_columnar(
+            self, schedule: Any, row_iter: Iterator[Any],
+            states: list[_NodeCount],
+            file_writers: dict[Any, StagedFile],
+            memory_capture: dict[Any, list[Any]],
+            scan: ScanStats, n_workers: int,
+            partition_rows: int) -> None:
+        """The vectorized parallel path: columnar partitions, zero-copy.
+
+        Structure mirrors :meth:`_count_rows_parallel`; the differences
+        are what travels and how counting happens:
+
+        * partitions are :class:`ColumnarPartition` objects — typed
+          column buffers + null masks — built once at the source
+          (encoded from cursor rows for SERVER scans, zero-copy slices
+          of a cached session encoding for MEMORY scans, int32 block
+          matrices for FILE scans);
+        * process pools ship each partition through a
+          ``multiprocessing.shared_memory`` segment (one memcpy; only
+          the tiny segment handle is pickled) when
+          ``config.scan_shared_memory`` allows — the segment's
+          lifecycle is witnessed, created here and released when the
+          partition's result is collected, and the failure path closes
+          every still-live segment before re-raising;
+        * workers return pre-aggregated count *blocks* (folded via
+          ``CCTable.merge_block``) and staging output as selected-row
+          index arrays; the coordinator decodes staged rows from its
+          pinned partition copy, keeping staged files bit-identical to
+          a serial scan's.
+
+        §4.1.1 admission, writer arrangement, drain-on-failure and
+        meter-charge placement are identical to the row-tuple path.
+        """
+        scan.kernel = True
+        scan.columnar = True
+        scan.workers = n_workers
+        scan.partition_rows = partition_rows
+        kernel = RoutingKernel(
+            [state.request.conditions for state in states],
+            self._attr_index,
+        )
+        slots = tuple(
+            (state.request.node_id, state.request.attributes,
+             state.attr_positions)
+            for state in states
+        )
+        n_probes = kernel.n_probes
+        stage_nodes = tuple(file_writers)
+        capture_nodes = tuple(memory_capture)
+
+        pool, owned = self._acquire_pool()
+        scan.pool_reused = pool.active
+        scan.pool_setup_seconds = pool.install(
+            self._scan_signature(states), kernel, slots,
+            self._class_index, self._spec.n_classes,
+        )
+
+        writer: ParallelStagingWriter | PipelinedStagingWriter | None = None
+        if stage_nodes or capture_nodes:
+            if (len(file_writers) > 1
+                    and self._config.scan_split_writers):
+                writer = ParallelStagingWriter(file_writers, memory_capture)
+                scan.split_writers = writer.n_writers
+            else:
+                writer = PipelinedStagingWriter(file_writers, memory_capture)
+
+        watch = _StopWatch()
+        shipper: ShmShipper | None = None
+        if (pool.kind == "process" and self._config.scan_shared_memory
+                and shm_available()):
+            shipper = ShmShipper()
+
+        staging = self._staging
+        producer: _PartitionProducer | None = None
+        partitions: Iterator[ColumnarPartition]
+        if schedule.mode is DataLocation.SERVER:
+            source = _columnar_slices(row_iter, partition_rows, watch)
+            prefetch = self._config.scan_prefetch_partitions
+            if prefetch > 0:
+                producer = _PartitionProducer(
+                    source, prefetch,
+                    max_depth=self._adaptive_prefetch_cap(prefetch),
+                )
+                partitions = producer.partitions()
+                scan.prefetch_depth = prefetch
+            else:
+                partitions = source
+        elif schedule.mode is DataLocation.FILE:
+            # The row iterator was never started — dropping it unread
+            # performs no reads and charges nothing.
+            _close_source(row_iter)
+            partitions = _columnar_file_slices(
+                staging.file_for(schedule.source_node).scan_blocks(),
+                partition_rows, watch,
+            )
+        else:
+            # MEMORY: _rows_for already charged the memory read; count
+            # over zero-copy slices of the cached columnar encoding.
+            _close_source(row_iter)
+            encode_started = time.perf_counter()
+            table = staging.columnar_memory(schedule.source_node)
+            watch.add(encode_started)
+            partitions = _columnar_memory_slices(table, partition_rows)
+
+        #: seq -> (partition pinned for staged-row decode | None,
+        #:         shm segment name | None); entries live from submit
+        #: until collect, so a failed scan can release everything.
+        pinned: dict[int, tuple[ColumnarPartition | None, str | None]] = {}
+
+        def collect(future: Any) -> None:
+            (seq, payloads, routed, writes_idx, captures_idx,
+             seconds) = future.result()
+            partition, segment = pinned.pop(seq)
+            if shipper is not None and segment is not None:
+                shipper.release(segment)
+            scan.rows_routed += routed
+            scan.worker_seconds.append(seconds)
+            merge_started = time.perf_counter()
+            for state, payload in zip(states, payloads):
+                state.cc.merge_block(*payload)
+            scan.merge_seconds += time.perf_counter() - merge_started
+            if writer is not None and partition is not None:
+                writes = {
+                    node_id: partition.rows_at(idx)
+                    for node_id, idx in writes_idx.items() if len(idx)
+                }
+                captures = {
+                    node_id: partition.rows_at(idx)
+                    for node_id, idx in captures_idx.items() if len(idx)
+                }
+                writer.put(writes, captures)
+
+        inflight: deque[Any] = deque()
+        max_inflight = max(2, 2 * n_workers)
+        try:
+            for seq, partition in enumerate(partitions):
+                scan.rows_seen += partition.n_rows
+                scan.matcher_evals += n_probes * partition.n_rows
+                shipped: Any = partition
+                segment: str | None = None
+                if shipper is not None:
+                    ship_started = time.perf_counter()
+                    handle = shipper.ship(partition)
+                    watch.add(ship_started)
+                    shipped = handle
+                    segment = handle.segment
+                pinned[seq] = (
+                    partition if writer is not None else None, segment
+                )
+                inflight.append(
+                    pool.submit_columnar(
+                        seq, shipped, stage_nodes, capture_nodes
+                    )
+                )
+                if len(inflight) >= max_inflight:
+                    collect(inflight.popleft())
+            while inflight:
+                collect(inflight.popleft())
+            if writer is not None:
+                writer.close()
+        except BaseException as exc:
+            if producer is not None:
+                producer.stop()
+            else:
+                _close_source(partitions)
+            pool.drain(inflight)
+            if writer is not None:
+                writer.abort()
+            if shipper is not None:
+                shipper.close()
+            pool.retire_broken(exc)
+            raise
+        finally:
+            pinned.clear()
+            if shipper is not None:
+                # Idempotent: releases only what a failure left behind.
+                shipper.close()
+            scan.ship_seconds = watch.seconds
+            if producer is not None:
+                scan.prefetch_peak = producer.peak_depth
+            if owned:
+                pool.close()
+
+        self._admit_merged(states, scan)
+        self._sizer.observe(scan.worker_seconds, partition_rows)
 
     def _count_rows(
         self,

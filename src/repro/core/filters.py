@@ -153,6 +153,20 @@ class RoutingKernel:
         """Dispatch tables consulted per row (≤ distinct path attrs)."""
         return len(self._probes)
 
+    @property
+    def probes(self) -> tuple[tuple[int, dict[object, int], int], ...]:
+        """The compiled dispatch tables: ``(row_index, table, default)``.
+
+        Exposed for the vectorized kernel, which evaluates each probe
+        column-at-a-time instead of row-at-a-time.
+        """
+        return self._probes
+
+    @property
+    def full_mask(self) -> int:
+        """Mask with every slot's bit set (the routing starting point)."""
+        return self._full_mask
+
     def route(self, row: Sequence[Any]) -> int:
         """Mask of slots whose path conjunction matches ``row``."""
         mask = self._full_mask

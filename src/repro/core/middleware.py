@@ -146,6 +146,9 @@ class Middleware:
                 pool_setup_seconds=scan.pool_setup_seconds,
                 prefetch_depth=scan.prefetch_depth,
                 split_writers=scan.split_writers,
+                columnar=scan.columnar,
+                ship_seconds=scan.ship_seconds,
+                prefetch_peak=scan.prefetch_peak,
             )
         )
         return results

@@ -53,7 +53,10 @@ from typing import Any, Iterable, Sequence
 
 from ..common.errors import MiddlewareError
 from ..common.locks import new_lock, resource_closed, resource_created
+from ..sqlengine.columnar import ColumnarPartition
 from .cc_table import CCTable
+from .shm import ShmPartitionHandle, attach_readonly, partition_from_handle
+from .vector_kernel import count_partition_columnar
 
 #: Worker-process routing-context cache: ``(generation, ctx)``.  One
 #: slot per process is safe because a worker serves one pool, and a
@@ -141,6 +144,67 @@ def _count_partition_pickled(
         ctx = pickle.loads(payload)
         _PROCESS_CTX = (generation, ctx)
     return _count_partition(ctx, seq, rows, stage_nodes, capture_nodes)
+
+
+def _count_columnar_pickled(
+    generation: int,
+    payload: bytes,
+    seq: int,
+    partition: ColumnarPartition,
+    stage_nodes: Iterable[Any],
+    capture_nodes: Iterable[Any],
+) -> tuple[int, list[Any], int, dict[Any, Any], dict[Any, Any], float]:
+    """Process-pool task over a pickled columnar partition.
+
+    The fallback shipping path when shared memory is unavailable or
+    disabled: the partition's column arrays travel through pickle, but
+    counting is still vectorized.
+    """
+    global _PROCESS_CTX
+    cached_generation, ctx = _PROCESS_CTX
+    if cached_generation != generation:
+        ctx = pickle.loads(payload)
+        _PROCESS_CTX = (generation, ctx)
+    return count_partition_columnar(
+        ctx, seq, partition, stage_nodes, capture_nodes
+    )
+
+
+def _count_columnar_shm(
+    generation: int,
+    payload: bytes,
+    seq: int,
+    handle: ShmPartitionHandle,
+    stage_nodes: Iterable[Any],
+    capture_nodes: Iterable[Any],
+) -> tuple[int, list[Any], int, dict[Any, Any], dict[Any, Any], float]:
+    """Process-pool task over a shared-memory partition handle.
+
+    Only the handle (segment name + column offsets) was pickled; the
+    worker attaches read-only, counts over zero-copy views, then drops
+    every view *before* closing its attachment (closing a segment with
+    live numpy views raises ``BufferError``).  The coordinator owns the
+    segment and unlinks it after the merge.
+    """
+    global _PROCESS_CTX
+    cached_generation, ctx = _PROCESS_CTX
+    if cached_generation != generation:
+        ctx = pickle.loads(payload)
+        _PROCESS_CTX = (generation, ctx)
+    segment = attach_readonly(handle.segment)
+    try:
+        partition = partition_from_handle(segment, handle)
+        try:
+            return count_partition_columnar(
+                ctx, seq, partition, stage_nodes, capture_nodes
+            )
+        finally:
+            del partition
+    finally:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - views still alive
+            pass
 
 
 def _mark_future_done(future: Future[Any]) -> None:
@@ -262,6 +326,41 @@ class ScanWorkerPool:
                 capture_nodes,
             )
         resource_created("future", future, f"scan partition {seq}")
+        future.add_done_callback(_mark_future_done)
+        return future
+
+    def submit_columnar(self, seq: int, partition: Any,
+                        stage_nodes: Iterable[Any],
+                        capture_nodes: Iterable[Any]) -> Future[Any]:
+        """Submit one columnar partition (or shm handle) for counting.
+
+        Thread pools count the partition in place (shared memory by
+        construction).  Process pools dispatch on what the executor
+        shipped: a :class:`ShmPartitionHandle` attaches to the
+        coordinator's segment, a plain partition travels via pickle.
+        """
+        executor = self._executor
+        if self._ctx is None or executor is None:
+            raise MiddlewareError("install a routing context first")
+        if self.kind == "process":
+            payload = self._payload
+            if payload is None:
+                raise MiddlewareError("install a routing context first")
+            task = (
+                _count_columnar_shm
+                if isinstance(partition, ShmPartitionHandle)
+                else _count_columnar_pickled
+            )
+            future = executor.submit(
+                task, self._generation, payload, seq, partition,
+                stage_nodes, capture_nodes,
+            )
+        else:
+            future = executor.submit(
+                count_partition_columnar, self._ctx, seq, partition,
+                stage_nodes, capture_nodes,
+            )
+        resource_created("future", future, f"columnar partition {seq}")
         future.add_done_callback(_mark_future_done)
         return future
 

@@ -1,0 +1,164 @@
+"""Shared-memory shipping of columnar partitions to process workers.
+
+Pickling a 100k-row partition to a process worker copies every row
+three times (pickle, pipe, unpickle) and was the single largest cost in
+the 0.36x parallel-scan regression.  The shipper instead copies the
+partition's column arrays once into a ``multiprocessing.shared_memory``
+segment and pickles only a tiny :class:`ShmPartitionHandle` (segment
+name + per-column offsets); the worker attaches read-only and counts
+over zero-copy views.
+
+Lifecycle is explicit and witnessed: every segment is announced to the
+PR 5 resource monitor as a ``"shm-segment"`` resource when created and
+retired when released, so a segment that outlives its scan is a
+sanitizer *finding*, not a silent ``/dev/shm`` leak.  The coordinator
+owns every segment — workers only ever attach and close — and
+:meth:`ShmShipper.close` releases anything still live, which is what
+the failure path relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..common.locks import resource_closed, resource_created
+from ..sqlengine.columnar import ColumnarPartition
+
+try:  # pragma: no cover - stdlib, but gate anyway (some minimal builds)
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None  # type: ignore[assignment]
+
+shared_memory: Any = _shared_memory
+
+
+def shm_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` is usable."""
+    return shared_memory is not None
+
+
+@dataclass(frozen=True)
+class ShmColumnSpec:
+    """Where one column lives inside a segment.
+
+    ``null_offset`` is -1 when the column has no null mask; ``values``
+    is the dictionary (tuple of original objects) for DICT columns and
+    ``None`` for RAW ones.
+    """
+
+    kind: str
+    dtype: str
+    data_offset: int
+    null_offset: int
+    values: Optional[tuple[Any, ...]]
+
+
+@dataclass(frozen=True)
+class ShmPartitionHandle:
+    """The only thing pickled per partition: name + layout."""
+
+    segment: str
+    n_rows: int
+    columns: tuple[ShmColumnSpec, ...]
+
+
+class ShmShipper:
+    """Creates, tracks and releases the coordinator's shm segments.
+
+    Single-threaded by design: ship/release/close all run on the
+    coordinating scan thread, so no lock is needed — only the failure
+    path must remember that :meth:`close` is idempotent.
+    """
+
+    def __init__(self) -> None:
+        self._live: dict[str, Any] = {}
+        self.shipped = 0
+
+    def ship(self, partition: ColumnarPartition) -> ShmPartitionHandle:
+        """Copy ``partition`` into a fresh segment; returns its handle."""
+        total, specs = partition.layout()
+        segment = shared_memory.SharedMemory(create=True, size=total)
+        try:
+            partition.write_into(segment.buf)
+        except BaseException:
+            segment.close()
+            segment.unlink()
+            raise
+        self._live[segment.name] = segment
+        self.shipped += 1
+        resource_created(
+            "shm-segment", segment,
+            f"{segment.name} rows={partition.n_rows} bytes={total}",
+        )
+        return ShmPartitionHandle(
+            segment=segment.name,
+            n_rows=partition.n_rows,
+            columns=tuple(
+                ShmColumnSpec(kind, dtype, data_offset, null_offset, values)
+                for kind, dtype, data_offset, null_offset, values in specs
+            ),
+        )
+
+    def release(self, name: str) -> None:
+        """Close and unlink one segment (no-op if already released)."""
+        segment = self._live.pop(name, None)
+        if segment is None:
+            return
+        resource_closed("shm-segment", segment)
+        segment.close()
+        segment.unlink()
+
+    @property
+    def live_segments(self) -> int:
+        return len(self._live)
+
+    def close(self) -> None:
+        """Release every live segment.  Idempotent; never raises."""
+        for name in list(self._live):
+            try:
+                self.release(name)
+            except OSError:  # pragma: no cover - already-gone segment
+                pass
+
+
+def attach_readonly(name: str) -> Any:
+    """Attach to an existing segment without adopting ownership.
+
+    Python < 3.13 has no ``track=False``; whether the default tracking
+    is harmful depends on the start method.  Forked workers share the
+    coordinator's resource tracker, so the attach's duplicate
+    registration is a no-op and the coordinator's ``unlink`` retires
+    the name — unregistering here would turn that unlink into a noisy
+    double-remove.  Spawn children run a *private* tracker that would
+    unlink the segment when the worker exits — stealing it from the
+    coordinator — so there the attachment must be unregistered.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        import multiprocessing
+
+        if multiprocessing.get_start_method(allow_none=True) == "spawn":
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(
+                getattr(segment, "_name", "/" + name), "shared_memory"
+            )
+    except Exception:  # noqa: BLE001 - tracker quirks must not kill scans
+        pass
+    return segment
+
+
+def partition_from_handle(segment: Any,
+                          handle: ShmPartitionHandle) -> ColumnarPartition:
+    """Rebuild the zero-copy partition view over an attached segment."""
+    specs = [
+        (spec.kind, spec.dtype, spec.data_offset, spec.null_offset,
+         spec.values)
+        for spec in handle.columns
+    ]
+    return ColumnarPartition.from_buffer(segment.buf, handle.n_rows, specs)

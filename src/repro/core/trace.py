@@ -48,6 +48,13 @@ class ScheduleRecord:
     prefetch_depth: int = 0
     #: Per-file staging writer threads used (0 = single pipelined funnel).
     split_writers: int = 0
+    #: True when the scan counted over columnar partitions.
+    columnar: bool = False
+    #: Seconds encoding partitions / copying them into shared memory
+    #: (the "ship" stage; 0.0 for serial or row-tuple scans).
+    ship_seconds: float = 0.0
+    #: Highest prefetch depth the adaptive producer reached (0 = none).
+    prefetch_peak: int = 0
 
     def __str__(self) -> str:
         actions = []

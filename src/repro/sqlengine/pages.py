@@ -44,6 +44,15 @@ class Page:
     def __iter__(self) -> Iterator[Optional[Row]]:
         return iter(self.rows)
 
+    def live_rows(self) -> list[Row]:
+        """The page's rows with tombstoned slots skipped.
+
+        Batch accessor for the columnar scan path: callers collect
+        whole pages of live rows and encode them column-wise instead
+        of iterating slot by slot.
+        """
+        return [row for row in self.rows if row is not None]
+
 
 def rows_per_page(row_bytes: int,
                   page_bytes: int = DEFAULT_PAGE_BYTES) -> int:
