@@ -42,7 +42,7 @@ class Project:
     (falling back to the scanned path itself).
     """
 
-    def __init__(self, files: list[SourceFile], root: str):
+    def __init__(self, files: list[SourceFile], root: str) -> None:
         self.files = files
         self.root = root
 

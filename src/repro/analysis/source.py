@@ -46,7 +46,7 @@ class Suppression:
 class SourceFile:
     """One parsed Python module under analysis."""
 
-    def __init__(self, path: str, text: str):
+    def __init__(self, path: str, text: str) -> None:
         self.path = path
         self.text = text
         self.lines = text.splitlines()

@@ -1,0 +1,123 @@
+"""Diff a sanitizer run's observed lock-order edges against the witness.
+
+``lock_order.witness.json`` is the blessed set of nested lock
+acquisitions — the static ``lock-order`` rule merges it with the edges
+it can prove from the AST and fails on cycles.  The file only stays
+honest if runtime observations feed back into it, so CI runs::
+
+    python -m repro.analysis.witness_check sanitize-report.json
+
+after the sanitized test suites: every edge the instrumented locks
+*actually* observed (the report's ``lock_order_edges``) must already be
+blessed.  An undocumented nested acquisition fails the job — either
+the code grew a lock nesting nobody reviewed, or the witness file went
+stale.  ``--update`` rewrites the file with the union (run locally,
+commit the diff); blessed edges that were not observed are reported
+informationally but never fail, because no single test run exercises
+every code path.
+
+Exit codes follow ``python -m repro.analysis``: 0 clean, 1 findings,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from .runtime.witness import (
+    find_witness_file,
+    load_witness_edges,
+    save_witness_edges,
+)
+
+
+def observed_edges_from_report(path: str) -> list[tuple[str, str]]:
+    """The ``lock_order_edges`` recorded in a sanitizer run report."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    edges = payload.get("lock_order_edges", [])
+    return [(str(outer), str(inner)) for outer, inner in edges]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.witness_check",
+        description=(
+            "Fail when a sanitizer run observed nested lock "
+            "acquisitions missing from lock_order.witness.json."
+        ),
+    )
+    parser.add_argument(
+        "report",
+        help="sanitizer run report (REPRO_SANITIZE_REPORT output)",
+    )
+    parser.add_argument(
+        "--witness", default=None,
+        help=(
+            "witness file to check against (default: "
+            "lock_order.witness.json found walking up from the cwd)"
+        ),
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="bless the observed edges: rewrite the witness file with "
+             "the union and exit 0",
+    )
+    return parser
+
+
+def main(argv: "Optional[list[str]]" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    witness_path = args.witness or find_witness_file()
+    if witness_path is None:
+        print("error: no lock_order.witness.json found", file=sys.stderr)
+        return 2
+    try:
+        blessed = set(load_witness_edges(witness_path))
+        observed = set(observed_edges_from_report(args.report))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    undocumented = sorted(observed - blessed)
+    unexercised = sorted(blessed - observed)
+
+    if args.update:
+        save_witness_edges(witness_path, blessed | observed)
+        print(
+            f"witness updated: {len(undocumented)} edge(s) blessed, "
+            f"{len(blessed | observed)} total"
+        )
+        return 0
+
+    for outer, inner in unexercised:
+        # Informational only: one run never exercises every path.
+        print(f"note: blessed edge not observed this run: "
+              f"{outer} -> {inner}")
+    if undocumented:
+        for outer, inner in undocumented:
+            print(
+                f"undocumented lock-order edge: {outer} -> {inner} "
+                f"(observed by the sanitizer, missing from "
+                f"{witness_path})"
+            )
+        print(
+            f"{len(undocumented)} undocumented edge(s); re-run with "
+            "--update locally and commit the witness diff if this "
+            "nesting is intended"
+        )
+        return 1
+    print(
+        f"witness check clean: {len(observed)} observed edge(s), "
+        f"all blessed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

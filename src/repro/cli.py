@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
+from typing import Any, Iterable, Sequence
 
 from .client.decision_tree import DecisionTreeClassifier
 from .client.evaluation import cross_validate, evaluate
@@ -33,7 +34,7 @@ from .datagen.random_tree import RandomTreeConfig, build_random_tree
 from .sqlengine.database import SQLServer
 
 
-def main(argv=None):
+def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -41,7 +42,7 @@ def main(argv=None):
         parser.print_help()
         return 2
     try:
-        return args.handler(args)
+        return int(args.handler(args))
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -50,7 +51,7 @@ def main(argv=None):
         return 1
 
 
-def _build_parser():
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -149,6 +150,18 @@ def _build_parser():
     fit.add_argument("--no-scan-adaptive-partitions", action="store_true",
                      help="pin the static partition-sizing policy "
                           "instead of adapting from worker timings")
+    fit.add_argument("--no-scan-columnar-cache", action="store_true",
+                     help="re-encode every parallel scan instead of "
+                          "reusing table-version-keyed columnar "
+                          "encodings")
+    fit.add_argument("--scan-cache-bytes", type=int, default=None,
+                     help="byte budget for resident cached columnar "
+                          "encodings (default: 128 MiB; 0 disables "
+                          "caching)")
+    fit.add_argument("--no-scan-persistent-shm", action="store_true",
+                     help="re-ship cached encodings to process workers "
+                          "every scan instead of keeping one "
+                          "shared-memory segment alive per entry")
     fit.add_argument("--out", default=None, help="write the model as JSON")
     fit.add_argument("--render-depth", type=int, default=None,
                      help="print the tree down to this depth")
@@ -186,7 +199,8 @@ def _build_parser():
 # ---------------------------------------------------------------------------
 
 
-def _cmd_generate(args):
+def _cmd_generate(args: argparse.Namespace) -> int:
+    rows: Iterable[tuple[int, ...]]
     if args.workload == "census":
         spec = census_spec()
         rows = generate_census_rows(
@@ -222,12 +236,12 @@ def _cmd_generate(args):
     return 0
 
 
-def _cmd_fit(args):
+def _cmd_fit(args: argparse.Namespace) -> int:
     spec, rows = _read_csv_dataset(args.data, args.class_column)
     server = SQLServer()
     load_dataset(server, "data", spec, rows)
 
-    scan_options = {
+    scan_options: dict[str, Any] = {
         "scan_kernel": not args.no_scan_kernel,
         "scan_chunk_rows": args.scan_chunk_rows,
     }
@@ -253,6 +267,12 @@ def _cmd_fit(args):
         scan_options["scan_shared_memory"] = False
     if args.no_scan_adaptive_partitions:
         scan_options["scan_adaptive_partitions"] = False
+    if args.no_scan_columnar_cache:
+        scan_options["scan_columnar_cache"] = False
+    if args.scan_cache_bytes is not None:
+        scan_options["scan_cache_bytes"] = args.scan_cache_bytes
+    if args.no_scan_persistent_shm:
+        scan_options["scan_persistent_shm"] = False
     if args.file_split_threshold is not None:
         scan_options["file_split_threshold"] = args.file_split_threshold
     if args.file_budget_bytes is not None:
@@ -297,7 +317,7 @@ def _cmd_fit(args):
     return 0
 
 
-def _cmd_evaluate(args):
+def _cmd_evaluate(args: argparse.Namespace) -> int:
     spec, rows = _read_csv_dataset(args.data, args.class_column)
     policy = GrowthPolicy(criterion=args.criterion,
                           max_depth=args.max_depth)
@@ -310,7 +330,7 @@ def _cmd_evaluate(args):
     return 0
 
 
-def _cmd_predict(args):
+def _cmd_predict(args: argparse.Namespace) -> int:
     tree = load_tree(args.model)
     spec, rows = _read_csv_dataset(
         args.data, None, expected_spec=tree.spec
@@ -337,7 +357,8 @@ def _cmd_predict(args):
 # ---------------------------------------------------------------------------
 
 
-def _write_csv(path, spec, rows):
+def _write_csv(path: str, spec: DatasetSpec,
+               rows: Iterable[tuple[int, ...]]) -> int:
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(spec.attribute_names + [spec.class_name])
@@ -348,7 +369,11 @@ def _write_csv(path, spec, rows):
     return count
 
 
-def _read_csv_dataset(path, class_column, expected_spec=None):
+def _read_csv_dataset(
+    path: str,
+    class_column: str | None,
+    expected_spec: DatasetSpec | None = None,
+) -> tuple[DatasetSpec, list[tuple[int, ...]]]:
     """Load a codes CSV into ``(spec, rows)`` with the class last."""
     from .common.errors import ClientError
 
@@ -373,7 +398,7 @@ def _read_csv_dataset(path, class_column, expected_spec=None):
     class_position = header.index(class_column)
     attribute_names = [n for n in header if n != class_column]
 
-    rows = []
+    rows: list[tuple[int, ...]] = []
     for values in raw:
         attributes = [
             v for i, v in enumerate(values) if i != class_position
@@ -389,7 +414,7 @@ def _read_csv_dataset(path, class_column, expected_spec=None):
 
     if not rows:
         raise ClientError(f"{path!r} has no data rows")
-    cards = []
+    cards: list[int] = []
     for i in range(len(attribute_names)):
         cards.append(max(2, max(row[i] for row in rows) + 1))
     n_classes = max(2, max(row[-1] for row in rows) + 1)

@@ -27,6 +27,12 @@ from typing import Any, Callable, Iterator
 from ..common.errors import MiddlewareError
 from ..sqlengine.expr import And, ColumnRef, Comparison, Literal, Or, TrueExpr
 from ..sqlengine.tempstructs import TIDList, copy_subset_to_table
+from .columnar_cache import (
+    ColumnarScanPlan,
+    keyset_fetch_plan,
+    plain_table_plan,
+    tid_join_plan,
+)
 
 
 def predicate_disjuncts(expr: Any) -> list[frozenset[tuple[str, str, Any]]] | None:
@@ -100,6 +106,19 @@ class ServerAccessStrategy:
         """
         raise NotImplementedError
 
+    def plan_columnar(self, predicate: Any,
+                      relevant_rows: int) -> ColumnarScanPlan | None:
+        """A cacheable columnar plan for this scan, or None.
+
+        The plan must make exactly the same build / reuse / fall-back
+        decision :meth:`rows` would make for the same arguments —
+        including eagerly (re)building an auxiliary structure — and
+        carry meter charges identical to the streaming scan's, so the
+        executor can swap freely between the two paths.  ``None`` means
+        the strategy has no cacheable form and the executor streams.
+        """
+        return None
+
     def close(self) -> None:
         """Release any server-side structures."""
 
@@ -119,6 +138,11 @@ class PlainScanStrategy(ServerAccessStrategy):
     ) -> Iterator[Any]:
         with self._server.open_cursor(self._table_name, predicate) as cursor:
             yield from cursor.rows()
+
+    def plan_columnar(self, predicate: Any,
+                      relevant_rows: int) -> ColumnarScanPlan | None:
+        table = self._server.table(self._table_name)
+        return plain_table_plan(self._server, table, predicate)
 
 
 class _ThresholdStrategy(ServerAccessStrategy):
@@ -161,6 +185,34 @@ class _ThresholdStrategy(ServerAccessStrategy):
                 return self._scan_structure(predicate)
             return self._plain_scan(predicate)
         return self._scan_structure(predicate)
+
+    def plan_columnar(self, predicate: Any,
+                      relevant_rows: int) -> ColumnarScanPlan | None:
+        """The same build / reuse / plain-scan decision as :meth:`rows`.
+
+        A below-threshold uncovered batch (re)builds the structure
+        *here*, with the same ``free_build`` accounting as the
+        streaming path — so if the executor later declines the plan
+        (cache gate), :meth:`rows` will find the structure built and
+        covered and scan it, never building twice.
+        """
+        table = self._server.table(self._table_name)
+        total = max(1, table.row_count)
+        fraction = relevant_rows / total
+
+        covered = self._built and predicate_covers(
+            self._built_predicate, predicate
+        )
+        if not covered:
+            if fraction <= self._threshold:
+                self._rebuild(predicate, relevant_rows)
+            else:
+                return plain_table_plan(self._server, table, predicate)
+        return self._plan_structure(predicate)
+
+    def _plan_structure(self, predicate: Any) -> ColumnarScanPlan | None:
+        """A cacheable plan over the built structure (or None)."""
+        return None
 
     def _plain_scan(self, predicate: Any) -> Iterator[Any]:
         with self._server.open_cursor(self._table_name, predicate) as cursor:
@@ -208,6 +260,13 @@ class TempTableStrategy(_ThresholdStrategy):
         with self._server.open_cursor(self._temp_name, predicate) as cursor:
             yield from cursor.rows()
 
+    def _plan_structure(self, predicate: Any) -> ColumnarScanPlan | None:
+        # Temp tables are ordinary tables: the plain plan applies, and
+        # keying by (temp name, version) is safe because rebuilt
+        # structures get fresh temp names.
+        temp = self._server.table(self._temp_name)
+        return plain_table_plan(self._server, temp, predicate)
+
     def _teardown(self) -> None:
         super()._teardown()
         if self._temp_name and self._server.database.has_table(self._temp_name):
@@ -230,6 +289,13 @@ class TIDJoinStrategy(_ThresholdStrategy):
     def _scan_structure(self, predicate: Any) -> Iterator[Any]:
         yield from self._tids.fetch(predicate)
 
+    def _plan_structure(self, predicate: Any) -> ColumnarScanPlan | None:
+        table = self._server.table(self._table_name)
+        return tid_join_plan(
+            self._server, table, self._tids.tids,
+            self._built_predicate, predicate,
+        )
+
     def _teardown(self) -> None:
         super()._teardown()
         self._tids = None
@@ -251,6 +317,13 @@ class KeysetStrategy(_ThresholdStrategy):
 
     def _scan_structure(self, predicate: Any) -> Iterator[Any]:
         yield from self._cursor.fetch(predicate)
+
+    def _plan_structure(self, predicate: Any) -> ColumnarScanPlan | None:
+        table = self._server.table(self._table_name)
+        return keyset_fetch_plan(
+            self._server, table, self._cursor.tids,
+            self._built_predicate, predicate,
+        )
 
     def _teardown(self) -> None:
         super()._teardown()

@@ -1,0 +1,401 @@
+"""Table-version columnar scan cache ("encode once, scan every level").
+
+A SERVER fit touches the same table once per tree level: every batch
+the scheduler emits re-reads the (unchanged) data table, and the
+columnar parallel path re-encoded it into typed column arrays — and,
+for process pools, re-copied it into a fresh shared-memory segment —
+on every single scan.  Profiles showed encode + ship dominating warm
+multi-level fits.
+
+This module caches the encoding keyed by *data version*:
+
+* :class:`ColumnarScanPlan` — what one cacheable scan needs: a cache
+  key (``("table", name, version)`` for plain scans, structure-specific
+  keys for the §4.3.3 auxiliary strategies, ``("file", uid)`` for
+  staged files), an unmetered encoder for misses, and the explicit
+  meter charges that keep a cache-served scan cost-identical to the
+  streaming scan it replaces (see ``docs/cost_model.md``).
+* :class:`ColumnarScanCache` — an LRU of full-table
+  :class:`~repro.sqlengine.columnar.ColumnarPartition` encodings under
+  a byte budget (``config.scan_cache_bytes``), accounted from the flat
+  shared-memory layout size.  With a process pool the cache also owns
+  one *persistent* shm segment per entry (shipped once, witnessed with
+  a ``persistent`` marker) and hands scans a generation-counted
+  :class:`~repro.core.shm.ShmSegmentRef` so workers re-attach instead
+  of receiving a fresh copy per scan.
+
+Invalidation is by construction, not by callbacks: table mutations bump
+:attr:`~repro.sqlengine.heap.HeapTable.version`, so a stale entry can
+never be *hit* — admitting the new version drops the old one.  Staged
+files are immutable once sealed but their uids can be dropped and the
+path reused, so :class:`~repro.core.staging.StagingManager` fires drop
+listeners that evict ``("file", uid)`` entries eagerly.
+
+Everything here runs on the coordinating scan thread (one scan at a
+time per middleware session), so no lock is needed — mirroring
+:class:`~repro.core.shm.ShmShipper`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+from ..sqlengine.columnar import ColumnarPartition, np
+from .shm import ShmSegmentRef, ShmShipper, partition_from_handle
+
+#: Pre-encode admission estimate: one int64 cell per attribute + class.
+_BYTES_PER_CELL = 8
+
+
+@dataclass
+class ColumnarScanPlan:
+    """One cacheable scan: key, encoder, and equivalent meter charges.
+
+    ``encode`` materialises the *superset* the scan counts over (the
+    full table, the auxiliary structure's rows, or the staged file) as
+    one columnar partition.  When ``charge_on_miss`` is True the
+    encoder is unmetered (it bypasses the cursor layer) and the caller
+    must apply ``charge_scan``/``charge_rows`` on hits *and* misses;
+    when False the encoder itself meters (staged-file block scans), so
+    the explicit charges apply on hits only.
+
+    ``filter_expr`` is the pushed batch filter the workers apply as a
+    keep mask (None = count every row); per-scan filters deliberately
+    stay *out* of the cache key so every level of a fit shares one
+    encoding.
+    """
+
+    #: Cache identity; first two elements are the source prefix
+    #: (``("table", name)`` / ``("file", uid)`` / ...), used to drop
+    #: stale versions of the same source on admit.
+    key: tuple[Any, ...]
+    #: Pre-encode row estimate for the admission gate.
+    n_rows: int
+    #: Materialise the full superset encoding (miss path).
+    encode: Callable[[], ColumnarPartition]
+    #: Fixed per-scan charges (cursor open, page I/O, keyset/join fees).
+    charge_scan: Callable[[], None]
+    #: Per-qualifying-row charges (transfer), applied at scan end.
+    charge_rows: Callable[[int], None]
+    #: Worker-side keep filter (None/TRUE = keep everything).
+    filter_expr: Any = None
+    #: False when ``encode`` meters its own reads (staged files).
+    charge_on_miss: bool = True
+
+
+class _CacheEntry:
+    """One resident encoding (plus its persistent segment, if shipped)."""
+
+    __slots__ = ("key", "partition", "ref", "nbytes", "encode_seconds",
+                 "ship_seconds")
+
+    def __init__(self, key: tuple[Any, ...],
+                 partition: Optional[ColumnarPartition],
+                 nbytes: int) -> None:
+        self.key = key
+        self.partition = partition
+        #: Generation-counted persistent-segment reference, or None
+        #: when the entry was never shipped (thread pools, pickled
+        #: process fallback, transient entries).
+        self.ref: Optional[ShmSegmentRef] = None
+        self.nbytes = nbytes
+        #: Wall-clock cost of building this entry, reported as
+        #: ``encode_seconds_saved`` / ``ship_seconds_saved`` on hits.
+        self.encode_seconds = 0.0
+        self.ship_seconds = 0.0
+
+
+class ColumnarScanCache:
+    """LRU of full-table columnar encodings under a byte budget."""
+
+    def __init__(self, budget_bytes: int) -> None:
+        self._budget = max(0, budget_bytes)
+        self._entries: "OrderedDict[tuple[Any, ...], _CacheEntry]" = (
+            OrderedDict()
+        )
+        self._resident = 0
+        self._shipper: Optional[ShmShipper] = None
+        #: Monotone per-cache ship counter; workers cache one attached
+        #: segment and re-attach only when the generation moves.
+        self._generation = 0
+        self._closed = False
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of encodings currently held (= segment bytes when shipped)."""
+        return self._resident
+
+    @property
+    def resident_entries(self) -> int:
+        return len(self._entries)
+
+    @property
+    def live_segments(self) -> int:
+        """Persistent shm segments currently alive."""
+        return 0 if self._shipper is None else self._shipper.live_segments
+
+    # -- admission ---------------------------------------------------------
+
+    def admissible(self, plan: ColumnarScanPlan, n_columns: int) -> bool:
+        """Pre-encode gate: would this plan's encoding plausibly fit?
+
+        The estimate (rows × columns × 8) deliberately ignores null
+        masks and dictionary tuples; a plan that passes the gate but
+        encodes larger than the budget is still used — once,
+        transiently — by :meth:`admit`.
+        """
+        if self._closed or self._budget <= 0:
+            return False
+        return plan.n_rows * n_columns * _BYTES_PER_CELL <= self._budget
+
+    def lookup(self, key: tuple[Any, ...]) -> Optional[_CacheEntry]:
+        """The resident entry for ``key`` (bumps LRU), or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def admit(self, key: tuple[Any, ...], partition: ColumnarPartition,
+              ship: bool) -> _CacheEntry:
+        """Install a freshly encoded partition; returns its entry.
+
+        Admitting a new version of a source first drops any entry with
+        the same two-element key prefix (the stale version could never
+        be hit again, but would squat on the budget), then evicts LRU
+        entries until the newcomer fits.  An encoding larger than the
+        whole budget is returned as a *transient* entry — the caller
+        uses it for this scan and it is never stored or shipped.
+
+        With ``ship`` True the partition is copied once into a
+        persistent shared-memory segment and the entry's resident
+        partition is rebuilt as a zero-copy view over that segment, so
+        the coordinator and the segment share one physical copy.
+        """
+        nbytes = partition.nbytes
+        entry = _CacheEntry(key, partition, nbytes)
+        if self._closed or nbytes > self._budget:
+            return entry
+        self.invalidate(key[:2])
+        while self._entries and self._resident + nbytes > self._budget:
+            self._evict_lru()
+        if ship:
+            started = time.perf_counter()
+            shipper = self._shipper
+            if shipper is None:
+                shipper = self._shipper = ShmShipper()
+            handle = shipper.ship(partition, persistent=True)
+            self._generation += 1
+            entry.ref = ShmSegmentRef(self._generation, handle)
+            entry.partition = partition_from_handle(
+                shipper.segment(handle.segment), handle
+            )
+            entry.ship_seconds = time.perf_counter() - started
+        self._entries[key] = entry
+        self._resident += nbytes
+        return entry
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate(self, prefix: tuple[Any, ...]) -> int:
+        """Drop every entry whose key starts with ``prefix``."""
+        width = len(prefix)
+        stale = [k for k in self._entries if k[:width] == prefix]
+        for k in stale:
+            self._release(self._entries.pop(k))
+            self.invalidations += 1
+        return len(stale)
+
+    def on_file_dropped(self, staged: Any) -> None:
+        """Staging drop listener: evict a deleted file's encoding."""
+        self.invalidate(("file", staged.uid))
+
+    def _evict_lru(self) -> None:
+        _key, entry = self._entries.popitem(last=False)
+        self._release(entry)
+        self.evictions += 1
+
+    def _release(self, entry: _CacheEntry) -> None:
+        self._resident -= entry.nbytes
+        ref = entry.ref
+        # Drop the buffer views before releasing the backing segment —
+        # release() tolerates (and unlinks through) lingering views,
+        # but dropping ours first is the clean order.
+        entry.partition = None
+        entry.ref = None
+        if ref is not None and self._shipper is not None:
+            self._shipper.release(ref.handle.segment)
+
+    def close(self) -> None:
+        """Release every entry and persistent segment.  Idempotent."""
+        self._closed = True
+        while self._entries:
+            _key, entry = self._entries.popitem(last=False)
+            self._release(entry)
+        if self._shipper is not None:
+            self._shipper.close()
+            self._shipper = None
+
+
+# -- plan builders (shared by the access strategies and the executor) ------
+
+
+def plain_table_plan(server: Any, table: Any,
+                     predicate: Any) -> ColumnarScanPlan:
+    """Cacheable twin of a plain filtered forward-cursor scan.
+
+    Charges exactly what :class:`~repro.sqlengine.cursors.ForwardCursor`
+    charges — cursor open + per-page server I/O up front, per-row
+    transfer for qualifying rows at the end — while encoding the full
+    table from the unmetered heap iterator, so hits and misses are both
+    cost-identical to the streaming scan.
+    """
+    meter = server.meter
+    model = server.model
+
+    def charge_scan() -> None:
+        meter.charge("cursor", model.cursor_open)
+        pages = table.pages_touched()
+        meter.charge(
+            "server_io", model.server_page_io * pages, events=pages
+        )
+
+    def charge_rows(n: int) -> None:
+        meter.charge(
+            "transfer", model.transfer_per_row * n, events=n
+        )
+
+    def encode() -> ColumnarPartition:
+        return ColumnarPartition.from_rows(list(table.scan_rows()))
+
+    return ColumnarScanPlan(
+        key=("table", table.name, table.version),
+        n_rows=table.row_count,
+        encode=encode,
+        charge_scan=charge_scan,
+        charge_rows=charge_rows,
+        filter_expr=predicate,
+    )
+
+
+def _tid_rows(table: Any, tids: Any) -> Iterator[Any]:
+    """Live rows behind a TID list, skipping tombstones (unmetered)."""
+    for tid in tids:
+        row = table.fetch_or_none(tid)
+        if row is not None:
+            yield row
+
+
+def tid_join_plan(server: Any, table: Any, tids: Any,
+                  built_predicate: Any, predicate: Any) -> ColumnarScanPlan:
+    """Cacheable twin of :meth:`~repro.sqlengine.tempstructs.TIDList.fetch`."""
+    meter = server.meter
+    model = server.model
+    n_tids = len(tids)
+
+    def charge_scan() -> None:
+        meter.charge(
+            "tid_join", model.tid_join_row * n_tids, events=n_tids
+        )
+
+    def charge_rows(n: int) -> None:
+        meter.charge(
+            "transfer", model.transfer_per_row * n, events=n
+        )
+
+    def encode() -> ColumnarPartition:
+        return ColumnarPartition.from_rows(list(_tid_rows(table, tids)))
+
+    return ColumnarScanPlan(
+        key=("tids", table.name, table.version, built_predicate),
+        n_rows=n_tids,
+        encode=encode,
+        charge_scan=charge_scan,
+        charge_rows=charge_rows,
+        filter_expr=predicate,
+    )
+
+
+def keyset_fetch_plan(server: Any, table: Any, tids: Any,
+                      built_predicate: Any,
+                      predicate: Any) -> ColumnarScanPlan:
+    """Cacheable twin of :meth:`~repro.sqlengine.cursors.KeysetCursor.fetch`."""
+    meter = server.meter
+    model = server.model
+    n_tids = len(tids)
+
+    def charge_scan() -> None:
+        meter.charge(
+            "keyset", model.keyset_row * n_tids, events=n_tids
+        )
+
+    def charge_rows(n: int) -> None:
+        meter.charge(
+            "transfer", model.transfer_per_row * n, events=n
+        )
+
+    def encode() -> ColumnarPartition:
+        return ColumnarPartition.from_rows(list(_tid_rows(table, tids)))
+
+    return ColumnarScanPlan(
+        key=("keyset", table.name, table.version, built_predicate),
+        n_rows=n_tids,
+        encode=encode,
+        charge_scan=charge_scan,
+        charge_rows=charge_rows,
+        filter_expr=predicate,
+    )
+
+
+def staged_file_plan(staged: Any) -> ColumnarScanPlan:
+    """Cacheable twin of a staged-file block scan.
+
+    Unlike the server plans the miss path is *metered*: encoding reads
+    through :meth:`~repro.core.staging.StagedFile.scan_blocks`, which
+    charges per-row file I/O exactly as the streaming scan does — so
+    the explicit charges apply on hits only (``charge_on_miss=False``).
+    """
+
+    def encode() -> ColumnarPartition:
+        blocks = list(staged.scan_blocks())
+        if not blocks:
+            return ColumnarPartition.from_rows([])
+        matrix = np.vstack(blocks) if len(blocks) > 1 else blocks[0]
+        return ColumnarPartition.from_matrix(matrix)
+
+    def charge_scan() -> None:
+        staged.charge_cached_read()
+
+    def charge_rows(n: int) -> None:
+        return None
+
+    return ColumnarScanPlan(
+        key=("file", staged.uid),
+        n_rows=staged.row_count,
+        encode=encode,
+        charge_scan=charge_scan,
+        charge_rows=charge_rows,
+        filter_expr=None,
+        charge_on_miss=False,
+    )
+
+
+__all__ = [
+    "ColumnarScanCache",
+    "ColumnarScanPlan",
+    "keyset_fetch_plan",
+    "plain_table_plan",
+    "staged_file_plan",
+    "tid_join_plan",
+]

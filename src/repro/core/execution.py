@@ -75,7 +75,13 @@ from typing import Any, Callable, Iterator, Sequence
 from ..common.errors import MiddlewareError
 from ..common.locks import new_lock, resource_closed, resource_created
 from ..sqlengine.columnar import ColumnarPartition, columnar_available, np
+from ..sqlengine.expr import TrueExpr
 from .cc_table import CCTable
+from .columnar_cache import (
+    ColumnarScanCache,
+    ColumnarScanPlan,
+    staged_file_plan,
+)
 from .filters import RoutingKernel, batch_filter
 from .requests import CountsResult
 from .scan_pool import ScanWorkerPool
@@ -88,7 +94,7 @@ from .staging import (
     PipelinedStagingWriter,
     StagedFile,
 )
-from .vector_kernel import MAX_SLOTS
+from .vector_kernel import MAX_SLOTS, filter_supported
 
 
 @dataclass
@@ -130,10 +136,22 @@ class ScanStats:
     #: True when the scan counted over columnar partitions (the
     #: vectorized parallel path) instead of row tuples.
     columnar: bool = False
-    #: Wall-clock seconds encoding partitions to columnar form and
-    #: copying them into shared-memory segments (the "ship" stage of
-    #: the ship/count/merge breakdown; 0.0 for row-tuple scans).
+    #: Wall-clock seconds encoding rows into columnar partitions
+    #: (0.0 for row-tuple scans, and ~0 on a warm cache hit).
+    encode_seconds: float = 0.0
+    #: Wall-clock seconds copying partitions into shared-memory
+    #: segments (the memcpy only; encoding is ``encode_seconds``).
     ship_seconds: float = 0.0
+    #: True when the scan ran over the table-version columnar cache
+    #: (hit or miss); False for the streaming paths.
+    cached: bool = False
+    #: True when the cache served an existing encoding (no re-encode,
+    #: and with persistent shm no re-ship either).
+    cache_hit: bool = False
+    #: What building the hit entry originally cost — the work this
+    #: scan skipped (0.0 on misses and uncached scans).
+    encode_seconds_saved: float = 0.0
+    ship_seconds_saved: float = 0.0
     #: Rows per partition the sizer chose for this scan (0 = serial).
     partition_rows: int = 0
     #: Highest prefetch depth the producer adapted to (>= the
@@ -172,7 +190,13 @@ class ExecutionStats:
     pool_setup_seconds: float = 0.0
     prefetched_scans: int = 0
     columnar_scans: int = 0
+    encode_seconds: float = 0.0
     ship_seconds: float = 0.0
+    cached_scans: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    encode_seconds_saved: float = 0.0
+    ship_seconds_saved: float = 0.0
 
     def absorb(self, scan: ScanStats) -> None:
         """Fold one *final* :class:`ScanStats` into the session totals.
@@ -202,7 +226,13 @@ class ExecutionStats:
         self.pool_setup_seconds += scan.pool_setup_seconds
         self.prefetched_scans += scan.prefetch_depth > 0
         self.columnar_scans += scan.columnar
+        self.encode_seconds += scan.encode_seconds
         self.ship_seconds += scan.ship_seconds
+        self.cached_scans += scan.cached
+        self.cache_hits += scan.cache_hit
+        self.cache_misses += scan.cached and not scan.cache_hit
+        self.encode_seconds_saved += scan.encode_seconds_saved
+        self.ship_seconds_saved += scan.ship_seconds_saved
 
     @property
     def total_scans(self) -> int:
@@ -562,9 +592,32 @@ class ExecutionModule:
         self._sizer = _PartitionSizer(
             config.scan_chunk_rows, config.scan_adaptive_partitions
         )
+        #: Table-version columnar cache ("encode once, scan every
+        #: level"); None when disabled or numpy is unavailable.
+        self._scan_cache: ColumnarScanCache | None = None
+        if config.scan_columnar_cache and columnar_available():
+            self._scan_cache = ColumnarScanCache(config.scan_cache_bytes)
+            # Staged files are immutable once sealed, so the only
+            # invalidation they need is drop-time eviction.
+            staging.add_drop_listener(self._scan_cache.on_file_dropped)
         self.stats = ExecutionStats()
         #: The :class:`ScanStats` of the most recent :meth:`run`.
         self.last_scan: ScanStats | None = None
+
+    @property
+    def scan_cache(self) -> ColumnarScanCache | None:
+        """The session's columnar scan cache (observability / tests)."""
+        return self._scan_cache
+
+    def close(self) -> None:
+        """Release the scan cache and its persistent shm segments.
+
+        Called by the middleware after the worker pool is closed (so no
+        worker still holds an attachment) and before staging teardown.
+        Idempotent.
+        """
+        if self._scan_cache is not None:
+            self._scan_cache.close()
 
     def run(self, schedule: Any) -> tuple[list[CountsResult], list[Any]]:
         """Execute one schedule.
@@ -582,15 +635,23 @@ class ExecutionModule:
 
         started = time.perf_counter()
         try:
-            row_iter = self._rows_for(schedule, scan)
             workers = self._parallel_workers(schedule)
-            if workers > 1:
+            plan = self._cache_plan(schedule) if workers > 1 else None
+            if plan is not None:
+                self._count_cached_columnar(
+                    schedule, plan, states, file_writers,
+                    memory_capture, scan, workers,
+                    self._partition_rows(schedule, workers),
+                )
+            elif workers > 1:
+                row_iter = self._rows_for(schedule, scan)
                 self._count_rows_parallel(
                     schedule, row_iter, states, file_writers,
                     memory_capture, scan, workers,
                     self._partition_rows(schedule, workers),
                 )
             elif self._config.scan_kernel:
+                row_iter = self._rows_for(schedule, scan)
                 self._count_rows_kernel(
                     row_iter, states, file_writers, memory_capture, scan
                 )
@@ -600,7 +661,8 @@ class ExecutionModule:
                     for state in states
                 ]
                 self._count_rows(
-                    row_iter, matchers, file_writers, memory_capture, scan
+                    self._rows_for(schedule, scan), matchers,
+                    file_writers, memory_capture, scan,
                 )
         except BaseException:
             # BaseException, not Exception: a KeyboardInterrupt (or
@@ -1082,7 +1144,8 @@ class ExecutionModule:
             else:
                 writer = PipelinedStagingWriter(file_writers, memory_capture)
 
-        watch = _StopWatch()
+        encode_watch = _StopWatch()
+        ship_watch = _StopWatch()
         shipper: ShmShipper | None = None
         if (pool.kind == "process" and self._config.scan_shared_memory
                 and shm_available()):
@@ -1092,7 +1155,7 @@ class ExecutionModule:
         producer: _PartitionProducer | None = None
         partitions: Iterator[ColumnarPartition]
         if schedule.mode is DataLocation.SERVER:
-            source = _columnar_slices(row_iter, partition_rows, watch)
+            source = _columnar_slices(row_iter, partition_rows, encode_watch)
             prefetch = self._config.scan_prefetch_partitions
             if prefetch > 0:
                 producer = _PartitionProducer(
@@ -1109,7 +1172,7 @@ class ExecutionModule:
             _close_source(row_iter)
             partitions = _columnar_file_slices(
                 staging.file_for(schedule.source_node).scan_blocks(),
-                partition_rows, watch,
+                partition_rows, encode_watch,
             )
         else:
             # MEMORY: _rows_for already charged the memory read; count
@@ -1117,7 +1180,7 @@ class ExecutionModule:
             _close_source(row_iter)
             encode_started = time.perf_counter()
             table = staging.columnar_memory(schedule.source_node)
-            watch.add(encode_started)
+            encode_watch.add(encode_started)
             partitions = _columnar_memory_slices(table, partition_rows)
 
         #: seq -> (partition pinned for staged-row decode | None,
@@ -1159,7 +1222,7 @@ class ExecutionModule:
                 if shipper is not None:
                     ship_started = time.perf_counter()
                     handle = shipper.ship(partition)
-                    watch.add(ship_started)
+                    ship_watch.add(ship_started)
                     shipped = handle
                     segment = handle.segment
                 pinned[seq] = (
@@ -1193,12 +1256,231 @@ class ExecutionModule:
             if shipper is not None:
                 # Idempotent: releases only what a failure left behind.
                 shipper.close()
-            scan.ship_seconds = watch.seconds
+            scan.encode_seconds = encode_watch.seconds
+            scan.ship_seconds = ship_watch.seconds
             if producer is not None:
                 scan.prefetch_peak = producer.peak_depth
             if owned:
                 pool.close()
 
+        self._admit_merged(states, scan)
+        self._sizer.observe(scan.worker_seconds, partition_rows)
+
+    def _cache_plan(self, schedule: Any) -> ColumnarScanPlan | None:
+        """A table-version cache plan for this scan, or None to stream.
+
+        None falls back to the existing paths — the cache is an overlay,
+        never a requirement.  A plan needs: the cache enabled (numpy
+        present, ``scan_columnar_cache`` on), the columnar kernel
+        eligible (``scan_columnar`` on, batch narrow enough for the
+        int64 candidate masks), a worker-side filter the vector kernel
+        can evaluate, a strategy that can describe its scan as a plan,
+        and an encoding the byte budget could plausibly hold.  MEMORY
+        scans already count over a cached encoding and stay put.
+
+        Ordering note: for the §4.3.3 strategies ``plan_columnar`` may
+        eagerly (re)build the auxiliary structure, so the admission
+        gate runs *after* planning; a plan declined for size leaves the
+        strategy exactly where the streaming path expects it.
+        """
+        cache = self._scan_cache
+        if (cache is None or not self._config.scan_columnar
+                or not columnar_available()
+                or len(schedule.batch) > MAX_SLOTS):
+            return None
+        if schedule.mode is DataLocation.MEMORY:
+            return None
+        plan: ColumnarScanPlan | None
+        if schedule.mode is DataLocation.FILE:
+            plan = staged_file_plan(
+                self._staging.file_for(schedule.source_node)
+            )
+        else:
+            predicate = None
+            if self._config.push_filters:
+                predicate = batch_filter(
+                    [request.predicate for request in schedule.batch]
+                )
+            if not filter_supported(predicate):
+                return None
+            relevant = sum(request.n_rows for request in schedule.batch)
+            plan = self._strategy.plan_columnar(predicate, relevant)
+        if plan is None:
+            return None
+        if not cache.admissible(plan, self._spec.n_attributes + 1):
+            return None
+        return plan
+
+    def _count_cached_columnar(
+            self, schedule: Any, plan: ColumnarScanPlan,
+            states: list[_NodeCount],
+            file_writers: dict[Any, StagedFile],
+            memory_capture: dict[Any, list[Any]],
+            scan: ScanStats, n_workers: int,
+            partition_rows: int) -> None:
+        """Count over the cached full-source encoding ("warm scan").
+
+        Structure mirrors :meth:`_count_rows_parallel_columnar`, with
+        the encode/ship stages hoisted out of the per-scan loop:
+
+        * the full source is encoded **once per table version** — a
+          cache hit skips encoding entirely; a miss encodes from the
+          plan's unmetered source and installs the result;
+        * with a process pool + persistent shm the encoding lives in
+          one long-lived witnessed segment; workers get a generation-
+          counted :class:`~repro.core.shm.ShmSegmentRef` and re-attach
+          only when the generation moves, so an unchanged table costs
+          zero copies after its first scan;
+        * workers receive ``(start, stop)`` bounds plus the pushed
+          batch filter and evaluate it as a vector keep-mask
+          (:func:`~repro.core.vector_kernel.predicate_mask` replicates
+          SQL comparison semantics exactly), so per-scan filters stay
+          out of the cache key;
+        * meter charges are applied explicitly from the plan — a
+          cache-served scan costs exactly what its streaming twin
+          would (see ``docs/cost_model.md``).
+
+        Staged-row index arrays come back slice-relative; the
+        coordinator re-bases them onto the full encoding before
+        decoding, keeping staged files bit-identical to a serial
+        scan's.  §4.1.1 admission and drain-on-failure are unchanged.
+        A failure mid-count leaves the cache untouched — a miss admits
+        its entry only after encoding completes, and the encoding is
+        valid regardless of how the count ends — so the next scan hits
+        (or re-ships) cleanly.
+        """
+        scan.kernel = True
+        scan.columnar = True
+        scan.cached = True
+        scan.workers = n_workers
+        scan.partition_rows = partition_rows
+        kernel = RoutingKernel(
+            [state.request.conditions for state in states],
+            self._attr_index,
+        )
+        slots = tuple(
+            (state.request.node_id, state.request.attributes,
+             state.attr_positions)
+            for state in states
+        )
+        n_probes = kernel.n_probes
+        stage_nodes = tuple(file_writers)
+        capture_nodes = tuple(memory_capture)
+
+        pool, owned = self._acquire_pool()
+        scan.pool_reused = pool.active
+        scan.pool_setup_seconds = pool.install(
+            self._scan_signature(states), kernel, slots,
+            self._class_index, self._spec.n_classes,
+        )
+
+        writer: ParallelStagingWriter | PipelinedStagingWriter | None = None
+        if stage_nodes or capture_nodes:
+            if (len(file_writers) > 1
+                    and self._config.scan_split_writers):
+                writer = ParallelStagingWriter(file_writers, memory_capture)
+                scan.split_writers = writer.n_writers
+            else:
+                writer = PipelinedStagingWriter(file_writers, memory_capture)
+
+        cache = self._scan_cache
+        assert cache is not None
+        entry = cache.lookup(plan.key)
+        hit = entry is not None
+        if entry is not None:
+            scan.cache_hit = True
+            scan.encode_seconds_saved = entry.encode_seconds
+            scan.ship_seconds_saved = entry.ship_seconds
+        else:
+            encode_started = time.perf_counter()
+            partition = plan.encode()
+            encode_seconds = time.perf_counter() - encode_started
+            ship = (pool.kind == "process"
+                    and self._config.scan_shared_memory
+                    and self._config.scan_persistent_shm
+                    and shm_available())
+            entry = cache.admit(plan.key, partition, ship=ship)
+            entry.encode_seconds = encode_seconds
+            scan.encode_seconds = encode_seconds
+            scan.ship_seconds = entry.ship_seconds
+        if hit or plan.charge_on_miss:
+            plan.charge_scan()
+
+        table = entry.partition
+        assert table is not None
+        source: Any = entry.ref if entry.ref is not None else table
+        keep_spec: tuple[Any, dict[str, int]] | None = None
+        if (plan.filter_expr is not None
+                and not isinstance(plan.filter_expr, TrueExpr)):
+            keep_spec = (plan.filter_expr, self._attr_index)
+
+        #: seq -> the slice's row offset in the full encoding, for
+        #: re-basing staged/captured index arrays at collect time.
+        offsets: dict[int, int] = {}
+        total_seen = 0
+
+        def collect(future: Any) -> None:
+            nonlocal total_seen
+            (seq, payloads, routed, writes_idx, captures_idx,
+             seconds, seen) = future.result()
+            base = offsets.pop(seq)
+            total_seen += seen
+            scan.rows_seen += seen
+            scan.matcher_evals += n_probes * seen
+            scan.rows_routed += routed
+            scan.worker_seconds.append(seconds)
+            merge_started = time.perf_counter()
+            for state, payload in zip(states, payloads):
+                state.cc.merge_block(*payload)
+            scan.merge_seconds += time.perf_counter() - merge_started
+            if writer is not None:
+                writes = {
+                    node_id: table.rows_at(idx + base)
+                    for node_id, idx in writes_idx.items() if len(idx)
+                }
+                captures = {
+                    node_id: table.rows_at(idx + base)
+                    for node_id, idx in captures_idx.items() if len(idx)
+                }
+                writer.put(writes, captures)
+
+        inflight: deque[Any] = deque()
+        max_inflight = max(2, 2 * n_workers)
+        try:
+            for seq, start in enumerate(
+                range(0, table.n_rows, partition_rows)
+            ):
+                stop = min(start + partition_rows, table.n_rows)
+                offsets[seq] = start
+                inflight.append(
+                    pool.submit_columnar_slice(
+                        seq, source, start, stop, keep_spec,
+                        stage_nodes, capture_nodes,
+                    )
+                )
+                if len(inflight) >= max_inflight:
+                    collect(inflight.popleft())
+            while inflight:
+                collect(inflight.popleft())
+            if writer is not None:
+                writer.close()
+        except BaseException as exc:
+            pool.drain(inflight)
+            if writer is not None:
+                writer.abort()
+            pool.retire_broken(exc)
+            # The raised traceback pins this frame's locals; the
+            # partition views must not outlive the cache entry that
+            # owns the segment, or releasing it trips BufferError.
+            del table, source, entry
+            raise
+        finally:
+            offsets.clear()
+            if owned:
+                pool.close()
+
+        if hit or plan.charge_on_miss:
+            plan.charge_rows(total_seen)
         self._admit_merged(states, scan)
         self._sizer.observe(scan.worker_seconds, partition_rows)
 

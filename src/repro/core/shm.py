@@ -63,6 +63,22 @@ class ShmPartitionHandle:
     columns: tuple[ShmColumnSpec, ...]
 
 
+@dataclass(frozen=True)
+class ShmSegmentRef:
+    """A *persistent* segment a worker may already have attached.
+
+    The columnar cache ships each table version once and then hands
+    workers this generation-counted reference scan after scan (the
+    same trick :class:`~repro.core.scan_pool.ScanWorkerPool` plays
+    with kernel installs): a worker re-attaches only when
+    ``generation`` differs from the one it has cached, so an unchanged
+    table costs zero copies and zero attaches after the first scan.
+    """
+
+    generation: int
+    handle: ShmPartitionHandle
+
+
 class ShmShipper:
     """Creates, tracks and releases the coordinator's shm segments.
 
@@ -75,8 +91,15 @@ class ShmShipper:
         self._live: dict[str, Any] = {}
         self.shipped = 0
 
-    def ship(self, partition: ColumnarPartition) -> ShmPartitionHandle:
-        """Copy ``partition`` into a fresh segment; returns its handle."""
+    def ship(self, partition: ColumnarPartition,
+             persistent: bool = False) -> ShmPartitionHandle:
+        """Copy ``partition`` into a fresh segment; returns its handle.
+
+        ``persistent`` only affects the sanitizer witness detail: the
+        columnar cache's segments legitimately outlive individual scans
+        (they die with the cache entry), and the marker keeps that
+        visible in leak reports.
+        """
         total, specs = partition.layout()
         segment = shared_memory.SharedMemory(create=True, size=total)
         try:
@@ -87,9 +110,11 @@ class ShmShipper:
             raise
         self._live[segment.name] = segment
         self.shipped += 1
+        lifetime = " persistent" if persistent else ""
         resource_created(
             "shm-segment", segment,
-            f"{segment.name} rows={partition.n_rows} bytes={total}",
+            f"{segment.name} rows={partition.n_rows} bytes={total}"
+            f"{lifetime}",
         )
         return ShmPartitionHandle(
             segment=segment.name,
@@ -101,13 +126,32 @@ class ShmShipper:
         )
 
     def release(self, name: str) -> None:
-        """Close and unlink one segment (no-op if already released)."""
+        """Close and unlink one segment (no-op if already released).
+
+        A ``BufferError`` on close means a numpy view over the buffer
+        is still alive (dropped references the GC has not collected
+        yet); the segment is unlinked regardless — on POSIX the memory
+        is reclaimed once the last mapping dies with the view.
+        """
         segment = self._live.pop(name, None)
         if segment is None:
             return
         resource_closed("shm-segment", segment)
-        segment.close()
+        try:
+            segment.close()
+        except BufferError:
+            pass
         segment.unlink()
+
+    def segment(self, name: str) -> Any:
+        """The live segment object for ``name``.
+
+        The columnar cache rebuilds its resident partition as a
+        zero-copy view over the shipped segment (one physical copy for
+        coordinator *and* workers), so it needs the buffer back after
+        :meth:`ship`.  Raises :class:`KeyError` for released segments.
+        """
+        return self._live[name]
 
     @property
     def live_segments(self) -> int:

@@ -225,6 +225,15 @@ class ColumnarPartition:
         if self.n_rows:
             yield from self.rows_at(np.arange(self.n_rows))
 
+    @property
+    def nbytes(self) -> int:
+        """Flat-layout byte size (what one shared-memory segment — or
+        one cached resident encoding — costs).  Dictionary value tuples
+        ride outside the buffer and are not counted; they are small by
+        construction (distinct values only)."""
+        total, _ = self.layout()
+        return total
+
     # -- flat buffer layout (shared-memory shipping) -------------------
 
     def layout(self) -> tuple[int, list[tuple[str, str, int, int,

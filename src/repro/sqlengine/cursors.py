@@ -147,6 +147,15 @@ class KeysetCursor:
     def keyset_size(self) -> int:
         return len(self._tids)
 
+    @property
+    def tids(self) -> tuple[Any, ...]:
+        """The captured keyset, in capture order (read-only view).
+
+        Exposed for the columnar scan planner, which encodes the
+        keyset's live rows once and serves later fetches from cache.
+        """
+        return tuple(self._tids)
+
     def fetch(self,
               filter_predicate: Optional[Expr] = None) -> Iterator[Row]:
         """Yield keyset rows matching ``filter_predicate`` (server-side)."""

@@ -31,11 +31,22 @@ class HeapTable:
         self._rows_per_page = rows_per_page(schema.row_bytes, page_bytes)
         self._pages = [Page(self._rows_per_page)]
         self._row_count = 0
+        self._version = 0
         self._indexes: list[Any] = []
 
     @property
     def row_count(self) -> int:
         return self._row_count
+
+    @property
+    def version(self) -> int:
+        """Monotone data-version counter, bumped by every INSERT and
+        DELETE.  Two reads of an equal version are guaranteed to see
+        identical live rows, which is what lets scan-side caches key
+        columnar encodings by ``(table name, version)`` and skip
+        re-encoding an unchanged table.
+        """
+        return self._version
 
     @property
     def page_count(self) -> int:
@@ -60,6 +71,7 @@ class HeapTable:
             self._pages.append(page)
         slot = page.append(stored)
         self._row_count += 1
+        self._version += 1
         tid = (len(self._pages) - 1, slot)
         for index in self._indexes:
             index.insert(stored, tid)
@@ -108,11 +120,9 @@ class HeapTable:
         The page itself is not reclaimed.
         """
         page_no, slot = tid
-        row = self._pages[page_no].rows[slot]
-        if row is None:
-            raise LookupError(f"row at TID {tid} is already deleted")
-        self._pages[page_no].rows[slot] = None
+        row = self._pages[page_no].tombstone(slot)
         self._row_count -= 1
+        self._version += 1
         for index in self._indexes:
             index.remove(row, tid)
         return row

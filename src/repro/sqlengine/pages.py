@@ -18,7 +18,7 @@ DEFAULT_PAGE_BYTES = 8192
 class Page:
     """A fixed-capacity container of row tuples."""
 
-    __slots__ = ("capacity", "rows")
+    __slots__ = ("capacity", "rows", "version")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -26,6 +26,9 @@ class Page:
         self.capacity = capacity
         # A slot holds None once its row is tombstoned (see HeapTable).
         self.rows: list[Optional[Row]] = []
+        #: Bumped on every mutation (append / tombstone) so cached
+        #: encodings of the page's contents can detect staleness.
+        self.version = 0
 
     @property
     def full(self) -> bool:
@@ -36,7 +39,21 @@ class Page:
         if self.full:
             raise ValueError("page is full")
         self.rows.append(row)
+        self.version += 1
         return len(self.rows) - 1
+
+    def tombstone(self, slot: int) -> Row:
+        """Clear ``slot``; returns the row that lived there.
+
+        Raises :class:`LookupError` when the slot is already a
+        tombstone (matching :meth:`HeapTable.delete` semantics).
+        """
+        row = self.rows[slot]
+        if row is None:
+            raise LookupError(f"slot {slot} is already a tombstone")
+        self.rows[slot] = None
+        self.version += 1
+        return row
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -471,13 +471,17 @@ class TestParallelStagingWriter:
 class TestPrefetch:
     """SERVER-cursor prefetch must change only where time is spent."""
 
+    # The columnar cache's encode-once path never streams partitions,
+    # so the prefetch producer only runs with the cache pinned off.
     @pytest.mark.parametrize("depth", [0, 1, 3])
     def test_counts_and_costs_identical_at_any_depth(self, depth):
         results, trace, cost = frontier_results(
-            scan_workers=2, scan_prefetch_partitions=depth, **PARALLEL
+            scan_workers=2, scan_prefetch_partitions=depth,
+            scan_columnar_cache=False, **PARALLEL
         )
         reference, _, reference_cost = frontier_results(
-            scan_workers=1, scan_prefetch_partitions=0, **PARALLEL
+            scan_workers=1, scan_prefetch_partitions=0,
+            scan_columnar_cache=False, **PARALLEL
         )
         rows = dataset_rows()
         for value in range(3):
@@ -498,6 +502,7 @@ class TestPrefetch:
             file_staging=False,
             scan_workers=2,
             scan_prefetch_partitions=3,
+            scan_columnar_cache=False,
             **PARALLEL,
         )
         with Middleware(server, "data", SPEC, config) as mw:
