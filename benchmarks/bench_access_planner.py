@@ -1,0 +1,263 @@
+"""Access-planner A/B: cost-based path choice vs the blind heuristics.
+
+Not a paper figure — this benchmark guards the engine's cost-based
+access-path planner (and the middleware's ``aux_strategy="auto"``
+wiring) against the two failure modes it replaced:
+
+* the **blind index heuristic** that probed whenever an index existed,
+  metering *worse* than a page scan at low selectivity;
+* the **blind scan** that ignored indexes entirely, paying full page
+  I/O for needle-in-a-haystack predicates.
+
+Two A/Bs run over the same data:
+
+1. **engine** — one indexed table, one narrow (~0.1%) and one wide
+   (100%) predicate; each is fetched three ways (planner choice,
+   forced index, forced seq) with metered costs compared;
+2. **fit** — the same decision-tree fit through the middleware with
+   ``aux_strategy="auto"``, once consulting the planner and once with
+   ``scan_use_planner=False``, checking identical trees and that the
+   planner never meters worse.
+
+All floors compare *simulated* (deterministic, machine-independent)
+costs, so they are enforced on every run — ``--smoke`` only shrinks
+the data set.
+
+Standalone: ``python benchmarks/bench_access_planner.py [--rows N] [--smoke]``
+"""
+
+import argparse
+import os
+import sys
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone run from the repo root
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "src")
+    )
+
+from repro.bench.harness import update_bench_json, write_report
+from repro.client.decision_tree import DecisionTreeClassifier
+from repro.common.text import render_table
+from repro.core.config import MiddlewareConfig
+from repro.core.middleware import Middleware
+from repro.datagen.loader import load_dataset
+from repro.datagen.random_tree import RandomTreeConfig, build_random_tree
+from repro.sqlengine.database import SQLServer
+from repro.sqlengine.expr import Comparison, col, compile_predicate, eq, lit
+from repro.sqlengine.planner import fetch_candidates, plan_access_path
+from repro.sqlengine.schema import TableSchema
+
+#: Rows in the engine-level table; ``--smoke`` shrinks this.
+DEFAULT_ROWS = 50_000
+
+
+def measure_fetch(server, where, force):
+    """Metered cost of fetching + filtering ``where`` one forced way."""
+    table = server.table("t")
+    plan = plan_access_path(where, table, server.database, server.model,
+                            force=force)
+    predicate = compile_predicate(where, table.schema)
+    snapshot = server.meter.snapshot()
+    matched = sum(
+        1
+        for _tid, row in fetch_candidates(plan, table, server.meter,
+                                          server.model)
+        if predicate(row)
+    )
+    return {
+        "path": plan.path,
+        "cost": server.meter.total_since(snapshot),
+        "matched_rows": matched,
+    }
+
+
+def engine_ab(n_rows):
+    """Planner vs forced index vs forced seq at both selectivities."""
+    server = SQLServer()
+    server.create_table("t", TableSchema.of(("a", "int"), ("b", "int")))
+    server.bulk_load("t", [(i % 100, i) for i in range(n_rows)])
+    server.execute("CREATE INDEX ix_b ON t (b) USING range")
+
+    scenarios = {
+        # One row of n_rows: the index must win here.
+        "high_selectivity": eq("b", n_rows // 2),
+        # Every row qualifies: probing all TIDs must lose to the scan.
+        "low_selectivity": Comparison(">=", col("b"), lit(0)),
+    }
+    out = {}
+    for name, where in scenarios.items():
+        out[name] = {
+            "planner": measure_fetch(server, where, None),
+            "forced_index": measure_fetch(server, where, "index"),
+            "forced_seq": measure_fetch(server, where, "seq"),
+        }
+    return out
+
+
+def fit_ab(use_planner):
+    """One middleware fit with the auto strategy; returns (cost, tree)."""
+    generating = build_random_tree(
+        RandomTreeConfig(
+            n_attributes=6,
+            values_per_attribute=3,
+            n_classes=3,
+            n_leaves=12,
+            cases_per_leaf=25,
+            seed=29,
+        )
+    )
+    server = SQLServer()
+    load_dataset(server, "data", generating.spec, generating.materialize())
+    for name in generating.spec.attribute_names:
+        server.execute(f"CREATE INDEX ix_{name} ON data ({name})")
+    # A low build threshold keeps the TID join out of the narrow-batch
+    # window, so the A/B isolates index-probe vs blind-scan choices.
+    config = MiddlewareConfig.no_staging(
+        500_000, aux_strategy="auto", scan_use_planner=use_planner,
+        aux_build_threshold=0.02,
+    )
+    with Middleware(server, "data", generating.spec, config) as mw:
+        model = DecisionTreeClassifier().fit(mw)
+        paths = [
+            record.access_path for record in mw.trace.by_mode("SERVER")
+        ]
+    return {
+        "total_cost": server.meter.total,
+        "index_path_scans": sum(path == "index" for path in paths),
+        "server_scans": len(paths),
+        "tree_nodes": model.tree.n_nodes,
+    }
+
+
+def run_ab(n_rows=DEFAULT_ROWS):
+    engine = engine_ab(n_rows)
+    planner_fit = fit_ab(use_planner=True)
+    blind_fit = fit_ab(use_planner=False)
+
+    floors = {}
+    for name, scenario in engine.items():
+        floors[f"engine_{name}_planner_le_seq"] = {
+            "planner_cost": scenario["planner"]["cost"],
+            "bound": scenario["forced_seq"]["cost"],
+            "ok": scenario["planner"]["cost"]
+            <= scenario["forced_seq"]["cost"] + 1e-9,
+            "enforced": True,
+        }
+        floors[f"engine_{name}_planner_le_blind_index"] = {
+            "planner_cost": scenario["planner"]["cost"],
+            "bound": scenario["forced_index"]["cost"],
+            "ok": scenario["planner"]["cost"]
+            <= scenario["forced_index"]["cost"] + 1e-9,
+            "enforced": True,
+        }
+    floors["engine_paths_cross"] = {
+        "high_selectivity_path": engine["high_selectivity"]["planner"]["path"],
+        "low_selectivity_path": engine["low_selectivity"]["planner"]["path"],
+        "ok": engine["high_selectivity"]["planner"]["path"] == "index"
+        and engine["low_selectivity"]["planner"]["path"] == "seq",
+        "enforced": True,
+    }
+    floors["fit_planner_le_blind"] = {
+        "planner_cost": planner_fit["total_cost"],
+        "bound": blind_fit["total_cost"],
+        "ok": planner_fit["total_cost"] <= blind_fit["total_cost"] + 1e-9,
+        "enforced": True,
+    }
+    floors["fit_trees_identical"] = {
+        "planner_nodes": planner_fit["tree_nodes"],
+        "blind_nodes": blind_fit["tree_nodes"],
+        "ok": planner_fit["tree_nodes"] == blind_fit["tree_nodes"],
+        "enforced": True,
+    }
+    return {
+        "n_rows": n_rows,
+        "engine": engine,
+        "fit": {"planner": planner_fit, "blind": blind_fit},
+        "floors": floors,
+    }
+
+
+def record_json(comparison, smoke=False):
+    update_bench_json(
+        "access_planner",
+        {
+            "config": {"n_rows": comparison["n_rows"], "smoke": smoke},
+            "engine": comparison["engine"],
+            "fit": comparison["fit"],
+            "floors": comparison["floors"],
+        },
+    )
+
+
+def report(comparison):
+    rows = []
+    for name, scenario in comparison["engine"].items():
+        for variant in ("planner", "forced_index", "forced_seq"):
+            entry = scenario[variant]
+            rows.append([
+                name,
+                variant,
+                entry["path"],
+                f"{entry['cost']:,.2f}",
+                f"{entry['matched_rows']:,}",
+            ])
+    table = render_table(
+        ["scenario", "variant", "path", "metered cost", "matched rows"],
+        rows,
+        title=(
+            f"Access-planner A/B: {comparison['n_rows']:,}-row table, "
+            "range index on b"
+        ),
+    )
+    fit = comparison["fit"]
+    lines = [
+        table,
+        "",
+        (
+            f"fit (auto strategy): planner={fit['planner']['total_cost']:,.1f} "
+            f"({fit['planner']['index_path_scans']}/"
+            f"{fit['planner']['server_scans']} index scans) vs "
+            f"blind={fit['blind']['total_cost']:,.1f}"
+        ),
+    ]
+    for name, floor in comparison["floors"].items():
+        verdict = "ok" if floor["ok"] else "VIOLATED"
+        lines.append(f"floor {name}: {verdict}")
+    return "\n".join(lines)
+
+
+def bench_access_planner(benchmark):
+    comparison = benchmark.pedantic(run_ab, rounds=1, iterations=1)
+    write_report("access_planner", report(comparison))
+    record_json(comparison)
+    assert all(floor["ok"] for floor in comparison["floors"].values())
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=DEFAULT_ROWS)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small data set (floors stay enforced: costs are simulated)",
+    )
+    args = parser.parse_args(argv)
+
+    n_rows = min(args.rows, 5_000) if args.smoke else args.rows
+    comparison = run_ab(n_rows)
+    write_report("access_planner", report(comparison))
+    record_json(comparison, smoke=args.smoke)
+    failures = [
+        name for name, floor in comparison["floors"].items()
+        if not floor["ok"]
+    ]
+    if failures:
+        print(f"FLOOR VIOLATIONS: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

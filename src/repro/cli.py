@@ -162,6 +162,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="re-ship cached encodings to process workers "
                           "every scan instead of keeping one "
                           "shared-memory segment alive per entry")
+    fit.add_argument("--no-scan-use-planner", action="store_true",
+                     help="strip the index candidate from the auto "
+                          "strategy's access-path planner (the blind "
+                          "baseline; fixed strategies ignore this)")
     fit.add_argument("--out", default=None, help="write the model as JSON")
     fit.add_argument("--render-depth", type=int, default=None,
                      help="print the tree down to this depth")
@@ -273,6 +277,8 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         scan_options["scan_cache_bytes"] = args.scan_cache_bytes
     if args.no_scan_persistent_shm:
         scan_options["scan_persistent_shm"] = False
+    if args.no_scan_use_planner:
+        scan_options["scan_use_planner"] = False
     if args.file_split_threshold is not None:
         scan_options["file_split_threshold"] = args.file_split_threshold
     if args.file_budget_bytes is not None:

@@ -18,21 +18,54 @@ every disjunct extends some disjunct of the build predicate.  Batches
 outside the covered subtree fall back to a plain scan or trigger a
 rebuild.  ``free_build`` reproduces the paper's idealised experiment
 where construction costs are neglected.
+
+:class:`PlannedScanStrategy` (``aux_strategy="auto"``) replaces the
+hard-coded strategy knob with a per-scan decision: it consults the
+engine's cost-based access-path planner and picks the cheapest of a
+filtered seq scan, a secondary-index probe, and a TID join.  Every
+strategy records the path its latest scan took in ``last_choice`` so
+the execution trace can report it.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from ..common.errors import MiddlewareError
-from ..sqlengine.expr import And, ColumnRef, Comparison, Literal, Or, TrueExpr
+from ..sqlengine.expr import (
+    And,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Or,
+    TrueExpr,
+    compile_predicate,
+)
+from ..sqlengine.planner import AccessPlan, plan_access_path
 from ..sqlengine.tempstructs import TIDList, copy_subset_to_table
 from .columnar_cache import (
     ColumnarScanPlan,
+    index_fetch_plan,
     keyset_fetch_plan,
     plain_table_plan,
     tid_join_plan,
 )
+
+
+@dataclass(frozen=True)
+class AccessChoice:
+    """The access path one server scan took, for the trace.
+
+    ``path`` is one of ``"seq"``, ``"index"``, ``"temp_table"``,
+    ``"tid_join"``, ``"keyset"``; ``est_cost`` is the strategy's
+    estimate of the access charges (excluding per-row transfer), which
+    for planner-chosen paths equals what the meter is charged.
+    """
+
+    path: str
+    est_cost: float
+    detail: str = ""
 
 
 def predicate_disjuncts(expr: Any) -> list[frozenset[tuple[str, str, Any]]] | None:
@@ -89,6 +122,9 @@ def predicate_covers(built: Any, current: Any) -> bool:
 class ServerAccessStrategy:
     """Interface: produce the rows of one server-side scan."""
 
+    #: The access path the most recent scan took (None before any scan).
+    last_choice: AccessChoice | None = None
+
     def rows(
         self,
         predicate: Any,
@@ -123,6 +159,12 @@ class ServerAccessStrategy:
         """Release any server-side structures."""
 
 
+def _seq_scan_estimate(server: Any, table: Any) -> float:
+    """The plain-cursor access estimate: open fee + every page."""
+    model = server.model
+    return model.cursor_open + model.server_page_io * table.pages_touched()
+
+
 class PlainScanStrategy(ServerAccessStrategy):
     """The default: a fresh filtered forward cursor per scan."""
 
@@ -130,23 +172,37 @@ class PlainScanStrategy(ServerAccessStrategy):
         self._server = server
         self._table_name = table_name
 
+    def _record_seq(self) -> None:
+        table = self._server.table(self._table_name)
+        self.last_choice = AccessChoice(
+            "seq", _seq_scan_estimate(self._server, table)
+        )
+
     def rows(
         self,
         predicate: Any,
         relevant_rows: int,
         covered_by_build: Callable[[], bool] | None = None,
     ) -> Iterator[Any]:
+        self._record_seq()
+        return self._scan(predicate)
+
+    def _scan(self, predicate: Any) -> Iterator[Any]:
         with self._server.open_cursor(self._table_name, predicate) as cursor:
             yield from cursor.rows()
 
     def plan_columnar(self, predicate: Any,
                       relevant_rows: int) -> ColumnarScanPlan | None:
+        self._record_seq()
         table = self._server.table(self._table_name)
         return plain_table_plan(self._server, table, predicate)
 
 
 class _ThresholdStrategy(ServerAccessStrategy):
     """Shared build-on-threshold behaviour for the aux strategies."""
+
+    #: Trace label for scans served from the built structure.
+    _structure_path = "structure"
 
     def __init__(self, server: Any, table_name: str,
                  build_threshold: float = 0.1,
@@ -182,8 +238,13 @@ class _ThresholdStrategy(ServerAccessStrategy):
         if not covered:
             if fraction <= self._threshold:
                 self._rebuild(predicate, relevant_rows)
+                self._record_structure()
                 return self._scan_structure(predicate)
+            self.last_choice = AccessChoice(
+                "seq", _seq_scan_estimate(self._server, table)
+            )
             return self._plain_scan(predicate)
+        self._record_structure()
         return self._scan_structure(predicate)
 
     def plan_columnar(self, predicate: Any,
@@ -207,8 +268,21 @@ class _ThresholdStrategy(ServerAccessStrategy):
             if fraction <= self._threshold:
                 self._rebuild(predicate, relevant_rows)
             else:
+                self.last_choice = AccessChoice(
+                    "seq", _seq_scan_estimate(self._server, table)
+                )
                 return plain_table_plan(self._server, table, predicate)
+        self._record_structure()
         return self._plan_structure(predicate)
+
+    def _record_structure(self) -> None:
+        self.last_choice = AccessChoice(
+            self._structure_path, self._serve_estimate()
+        )
+
+    def _serve_estimate(self) -> float:
+        """Estimated access charges of one structure-served scan."""
+        return 0.0
 
     def _plan_structure(self, predicate: Any) -> ColumnarScanPlan | None:
         """A cacheable plan over the built structure (or None)."""
@@ -245,11 +319,17 @@ class _ThresholdStrategy(ServerAccessStrategy):
 class TempTableStrategy(_ThresholdStrategy):
     """§4.3.3(a): copy the relevant subset into a new temp table."""
 
+    _structure_path = "temp_table"
+
     def __init__(self, server: Any, table_name: str,
                  build_threshold: float = 0.1,
                  free_build: bool = False) -> None:
         super().__init__(server, table_name, build_threshold, free_build)
         self._temp_name: str | None = None
+
+    def _serve_estimate(self) -> float:
+        temp = self._server.table(self._temp_name)
+        return _seq_scan_estimate(self._server, temp)
 
     def _build(self, predicate: Any) -> None:
         self._temp_name = copy_subset_to_table(
@@ -277,11 +357,16 @@ class TempTableStrategy(_ThresholdStrategy):
 class TIDJoinStrategy(_ThresholdStrategy):
     """§4.3.3(b): a TID list joined back to the base table."""
 
+    _structure_path = "tid_join"
+
     def __init__(self, server: Any, table_name: str,
                  build_threshold: float = 0.1,
                  free_build: bool = False) -> None:
         super().__init__(server, table_name, build_threshold, free_build)
         self._tids: Any = None
+
+    def _serve_estimate(self) -> float:
+        return self._server.model.tid_join_row * len(self._tids)
 
     def _build(self, predicate: Any) -> None:
         self._tids = TIDList(self._server, self._table_name, predicate)
@@ -304,11 +389,16 @@ class TIDJoinStrategy(_ThresholdStrategy):
 class KeysetStrategy(_ThresholdStrategy):
     """§4.3.3(c): keyset cursor + stored-procedure filtering."""
 
+    _structure_path = "keyset"
+
     def __init__(self, server: Any, table_name: str,
                  build_threshold: float = 0.1,
                  free_build: bool = False) -> None:
         super().__init__(server, table_name, build_threshold, free_build)
         self._cursor: Any = None
+
+    def _serve_estimate(self) -> float:
+        return self._server.model.keyset_row * self._cursor.keyset_size
 
     def _build(self, predicate: Any) -> None:
         self._cursor = self._server.open_keyset_cursor(
@@ -332,9 +422,182 @@ class KeysetStrategy(_ThresholdStrategy):
         self._cursor = None
 
 
+class PlannedScanStrategy(ServerAccessStrategy):
+    """``aux_strategy="auto"``: per-scan cost-based access-path choice.
+
+    Every scan is costed across three candidate paths and the cheapest
+    wins:
+
+    * a plain filtered cursor (cursor open + every page);
+    * a planner index probe (:func:`~repro.sqlengine.planner.
+      plan_access_path` over the server's secondary indexes) — the
+      per-scan, data-dependent version of §4.3.3's "auxiliary
+      structures", with exact probe counts so the estimate equals the
+      metered charge;
+    * a §4.3.3(b) TID join, served when a built list still covers the
+      batch, or built when the relevant fraction drops below
+      ``build_threshold`` *and* the projected serve cost beats both
+      other candidates.
+
+    ``use_planner=False`` removes the index candidate — the blind
+    baseline the planner A/B benchmark compares against.  Ties go to
+    the earlier candidate (seq first), so the planner never picks a
+    path that merely matches the scan it would replace.
+    """
+
+    def __init__(self, server: Any, table_name: str,
+                 build_threshold: float = 0.1,
+                 free_build: bool = False,
+                 use_planner: bool = True) -> None:
+        if not 0.0 < build_threshold <= 1.0:
+            raise MiddlewareError("build_threshold must be within (0, 1]")
+        self._server = server
+        self._table_name = table_name
+        self._threshold = build_threshold
+        self._free_build = free_build
+        self._use_planner = use_planner
+        self._tids: Any = None
+        self._built_predicate: Any = None
+
+    @property
+    def has_structure(self) -> bool:
+        return self._tids is not None
+
+    def _choose(
+        self, predicate: Any, relevant_rows: int,
+        covered_by_build: Callable[[], bool] | None = None,
+    ) -> tuple[str, float, AccessPlan | None]:
+        """Cost the candidate paths; return (path, est_cost, plan)."""
+        server = self._server
+        table = server.table(self._table_name)
+        model = server.model
+        candidates: list[tuple[str, float, AccessPlan | None]] = [
+            ("seq", _seq_scan_estimate(server, table), None)
+        ]
+        if self._use_planner:
+            plan = plan_access_path(
+                predicate, table, server.database, model
+            )
+            if plan.probes:
+                candidates.append(("index", plan.index_cost, plan))
+        covered = self._tids is not None and (
+            covered_by_build()
+            if covered_by_build is not None
+            else predicate_covers(self._built_predicate, predicate)
+        )
+        if covered:
+            candidates.append(
+                ("tid_serve", model.tid_join_row * len(self._tids), None)
+            )
+        else:
+            fraction = relevant_rows / max(1, table.row_count)
+            if fraction <= self._threshold:
+                projected = model.tid_join_row * relevant_rows
+                best = min(cost for _path, cost, _plan in candidates)
+                if self._free_build or projected < best:
+                    candidates.append(("tid_build", projected, None))
+        # min() is stable: ties favour the earlier candidate (seq first).
+        return min(candidates, key=lambda c: c[1])
+
+    def rows(
+        self,
+        predicate: Any,
+        relevant_rows: int,
+        covered_by_build: Callable[[], bool] | None = None,
+    ) -> Iterator[Any]:
+        path, cost, plan = self._choose(
+            predicate, relevant_rows, covered_by_build
+        )
+        if path == "index":
+            assert plan is not None
+            self.last_choice = AccessChoice("index", cost, plan.describe())
+            return self._index_rows(plan, predicate)
+        if path in ("tid_serve", "tid_build"):
+            if path == "tid_build":
+                self._rebuild(predicate)
+            self.last_choice = AccessChoice(
+                "tid_join", self._server.model.tid_join_row
+                * len(self._tids), f"tids={len(self._tids)}"
+            )
+            return iter(self._tids.fetch(predicate))
+        self.last_choice = AccessChoice("seq", cost)
+        return self._plain_scan(predicate)
+
+    def plan_columnar(self, predicate: Any,
+                      relevant_rows: int) -> ColumnarScanPlan | None:
+        """The same choice as :meth:`rows`, as a meter-identical plan."""
+        path, cost, plan = self._choose(predicate, relevant_rows)
+        server = self._server
+        table = server.table(self._table_name)
+        if path == "index":
+            assert plan is not None
+            self.last_choice = AccessChoice("index", cost, plan.describe())
+            return index_fetch_plan(server, table, plan, predicate)
+        if path in ("tid_serve", "tid_build"):
+            if path == "tid_build":
+                self._rebuild(predicate)
+            self.last_choice = AccessChoice(
+                "tid_join", server.model.tid_join_row * len(self._tids),
+                f"tids={len(self._tids)}"
+            )
+            return tid_join_plan(
+                server, table, self._tids.tids,
+                self._built_predicate, predicate,
+            )
+        self.last_choice = AccessChoice("seq", cost)
+        return plain_table_plan(server, table, predicate)
+
+    def _index_rows(self, plan: AccessPlan,
+                    predicate: Any) -> Iterator[Any]:
+        """Stream an index probe: exact planner charges + row transfer."""
+        server = self._server
+        table = server.table(self._table_name)
+        meter = server.meter
+        model = server.model
+        tids = plan.fetch_tids()
+        meter.charge(
+            "index", model.index_probe * plan.index_descents,
+            events=plan.index_descents,
+        )
+        meter.charge(
+            "index", model.index_row_fetch * len(tids), events=len(tids)
+        )
+        check = compile_predicate(predicate, table.schema)
+        transferred = 0
+        for tid in tids:
+            row = table.fetch_or_none(tid)
+            if row is not None and check(row):
+                transferred += 1
+                yield row
+        meter.charge(
+            "transfer", model.transfer_per_row * transferred,
+            events=transferred,
+        )
+
+    def _plain_scan(self, predicate: Any) -> Iterator[Any]:
+        with self._server.open_cursor(self._table_name, predicate) as cursor:
+            yield from cursor.rows()
+
+    def _rebuild(self, predicate: Any) -> None:
+        self._tids = None
+        self._built_predicate = None
+        meter = self._server.meter
+        snapshot = meter.snapshot() if self._free_build else None
+        tids = TIDList(self._server, self._table_name, predicate)
+        if snapshot is not None:
+            meter.rollback_to(snapshot)
+        self._tids = tids
+        self._built_predicate = predicate
+
+    def close(self) -> None:
+        self._tids = None
+        self._built_predicate = None
+
+
 def make_strategy(name: str, server: Any, table_name: str,
                   build_threshold: float = 0.1,
-                  free_build: bool = False) -> ServerAccessStrategy:
+                  free_build: bool = False,
+                  use_planner: bool = True) -> ServerAccessStrategy:
     """Instantiate a strategy by config name."""
     if name == "scan":
         return PlainScanStrategy(server, table_name)
@@ -347,4 +610,7 @@ def make_strategy(name: str, server: Any, table_name: str,
     if name == "keyset":
         return KeysetStrategy(server, table_name, build_threshold,
                               free_build)
+    if name == "auto":
+        return PlannedScanStrategy(server, table_name, build_threshold,
+                                   free_build, use_planner)
     raise MiddlewareError(f"unknown server-access strategy: {name!r}")

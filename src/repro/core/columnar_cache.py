@@ -358,6 +358,52 @@ def keyset_fetch_plan(server: Any, table: Any, tids: Any,
     )
 
 
+def index_fetch_plan(server: Any, table: Any, access_plan: Any,
+                     predicate: Any) -> ColumnarScanPlan:
+    """Cacheable twin of a planner-chosen index probe + TID fetch.
+
+    ``access_plan`` is an :class:`~repro.sqlengine.planner.AccessPlan`
+    whose chosen path is an index probe.  Charges exactly what the
+    streaming index path charges — per-descent probes and per-TID row
+    fetches up front, per-row transfer for qualifying rows at the end.
+    The cache key carries the probe's identity (index name, probed
+    values / interval), so different probes over the same table version
+    encode separately, while the same split predicate re-probed across
+    tree levels shares one encoding.
+    """
+    meter = server.meter
+    model = server.model
+    tids = access_plan.fetch_tids()
+    descents = access_plan.index_descents
+    n_tids = len(tids)
+
+    def charge_scan() -> None:
+        meter.charge(
+            "index", model.index_probe * descents, events=descents
+        )
+        meter.charge(
+            "index", model.index_row_fetch * n_tids, events=n_tids
+        )
+
+    def charge_rows(n: int) -> None:
+        meter.charge(
+            "transfer", model.transfer_per_row * n, events=n
+        )
+
+    def encode() -> ColumnarPartition:
+        return ColumnarPartition.from_rows(list(_tid_rows(table, tids)))
+
+    return ColumnarScanPlan(
+        key=("ixfetch", table.name, table.version)
+        + access_plan.cache_token(),
+        n_rows=n_tids,
+        encode=encode,
+        charge_scan=charge_scan,
+        charge_rows=charge_rows,
+        filter_expr=predicate,
+    )
+
+
 def staged_file_plan(staged: Any) -> ColumnarScanPlan:
     """Cacheable twin of a staged-file block scan.
 
@@ -394,6 +440,7 @@ def staged_file_plan(staged: Any) -> ColumnarScanPlan:
 __all__ = [
     "ColumnarScanCache",
     "ColumnarScanPlan",
+    "index_fetch_plan",
     "keyset_fetch_plan",
     "plain_table_plan",
     "staged_file_plan",

@@ -18,8 +18,9 @@ from typing import Any
 from ..common.errors import MiddlewareError
 
 #: Server-access strategy names (Section 4.3.3); "scan" is the default
-#: plain filtered cursor the paper's system uses.
-AUX_STRATEGIES = ("scan", "temp_table", "tid_join", "keyset")
+#: plain filtered cursor the paper's system uses; "auto" consults the
+#: engine's cost-based access-path planner per scan.
+AUX_STRATEGIES = ("scan", "temp_table", "tid_join", "keyset", "auto")
 
 #: Worker-pool kinds for the parallel scan executor.  Threads are the
 #: default (cheap, shares the routing kernel in place); the process
@@ -150,6 +151,12 @@ class MiddlewareConfig:
     #: instead of receiving a fresh copy per scan.  False ships the
     #: cached encoding per scan as ordinary pickled slices.
     scan_persistent_shm: bool = True
+    #: Let ``aux_strategy="auto"`` consult the engine's cost-based
+    #: access-path planner, adding secondary-index probes to its
+    #: candidate set.  False removes the index candidate — the blind
+    #: baseline the planner A/B benchmark compares against.  Ignored
+    #: by the other (fixed) strategies.
+    scan_use_planner: bool = True
 
     def __post_init__(self) -> None:
         if self.memory_bytes < 0:

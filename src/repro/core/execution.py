@@ -158,6 +158,13 @@ class ScanStats:
     #: configured ``prefetch_depth`` when consumer starvation grew it;
     #: 0 without a prefetch thread).
     prefetch_peak: int = 0
+    #: Access path the server strategy took for this scan ("seq" /
+    #: "index" / "temp_table" / "tid_join" / "keyset"; "" for FILE and
+    #: MEMORY scans, which have no server access path).
+    access_path: str = ""
+    #: The strategy's estimate of the access charges for that path
+    #: (equals the metered charge for planner-chosen paths).
+    access_cost_est: float = 0.0
 
     @property
     def rows_per_sec(self) -> float:
@@ -197,6 +204,8 @@ class ExecutionStats:
     cache_misses: int = 0
     encode_seconds_saved: float = 0.0
     ship_seconds_saved: float = 0.0
+    #: SERVER scans whose access path was a secondary-index probe.
+    index_path_scans: int = 0
 
     def absorb(self, scan: ScanStats) -> None:
         """Fold one *final* :class:`ScanStats` into the session totals.
@@ -233,6 +242,7 @@ class ExecutionStats:
         self.cache_misses += scan.cached and not scan.cache_hit
         self.encode_seconds_saved += scan.encode_seconds_saved
         self.ship_seconds_saved += scan.ship_seconds_saved
+        self.index_path_scans += scan.access_path == "index"
 
     @property
     def total_scans(self) -> int:
@@ -675,6 +685,12 @@ class ExecutionModule:
             self._release_cc_reservations(states)
             raise
         scan.wall_seconds = time.perf_counter() - started
+
+        if schedule.mode is DataLocation.SERVER:
+            choice = getattr(self._strategy, "last_choice", None)
+            if choice is not None:
+                scan.access_path = choice.path
+                scan.access_cost_est = choice.est_cost
 
         for node_id, writer in file_writers.items():
             writer.seal()

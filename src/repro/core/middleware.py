@@ -53,6 +53,7 @@ class Middleware:
             table_name,
             build_threshold=self.config.aux_build_threshold,
             free_build=self.config.aux_free_build,
+            use_planner=self.config.scan_use_planner,
         )
         self._scan_pool: ScanWorkerPool | None = None
         self.execution = ExecutionModule(
@@ -152,6 +153,8 @@ class Middleware:
                 prefetch_peak=scan.prefetch_peak,
                 cached=scan.cached,
                 cache_hit=scan.cache_hit,
+                access_path=scan.access_path,
+                access_cost_est=scan.access_cost_est,
             )
         )
         return results
@@ -205,6 +208,11 @@ class Middleware:
             f"  recoveries: {stats.deferrals} deferrals, "
             f"{stats.sql_fallbacks} SQL fallbacks",
         ]
+        if stats.index_path_scans:
+            lines.append(
+                f"  access planner: {stats.index_path_scans} scans "
+                "served by secondary-index probes"
+            )
         if self._scan_pool is not None:
             lines.append(f"  scan pool: {self._scan_pool!r}")
         cache = self.execution.scan_cache

@@ -63,6 +63,12 @@ class ScheduleRecord:
     #: cache; ``cache_hit`` says whether the encoding was reused.
     cached: bool = False
     cache_hit: bool = False
+    #: Access path the server-side strategy took ("seq" / "index" /
+    #: "temp_table" / "tid_join" / "keyset"; "" for non-SERVER scans).
+    access_path: str = ""
+    #: The strategy's access-cost estimate for that path (0.0 when
+    #: no path was recorded).
+    access_cost_est: float = 0.0
 
     def __str__(self) -> str:
         actions = []
@@ -85,9 +91,11 @@ class ScheduleRecord:
             if self.cached:
                 loop += " warm" if self.cache_hit else " cold"
             profile = f" {self.rows_per_sec:,.0f} rows/s ({loop})"
+        path = f" via={self.access_path}" if self.access_path else ""
         return (
             f"#{self.sequence} {self.mode}"
             f"{f'({self.source_node})' if self.source_node is not None else ''}"
+            f"{path}"
             f" batch={len(self.batch)} rows={self.rows_seen}"
             f" cost={self.cost:.1f}{profile}{suffix}"
         )

@@ -15,6 +15,7 @@ from .ast_nodes import (
     DeleteRows,
     DropIndex,
     DropTable,
+    Explain,
     InsertValues,
     JoinClause,
     Select,
@@ -22,7 +23,7 @@ from .ast_nodes import (
     Star,
     UnionAll,
 )
-from .indexes import HashIndex, IndexCatalog
+from .indexes import INDEX_KINDS, AnyIndex, HashIndex, IndexCatalog, RangeIndex
 from .csvio import export_csv, import_csv
 from .cursors import ForwardCursor, KeysetCursor
 from .database import Database, SQLServer
@@ -50,20 +51,30 @@ from .expr import (
 from .heap import HeapTable
 from .pages import DEFAULT_PAGE_BYTES, Page, rows_per_page
 from .parser import parse
+from .planner import AccessPlan, ProbeCandidate, plan_access_path
 from .schema import Column, TableSchema
+from .statistics import ColumnStats, StatisticsCatalog
 from .tempstructs import TIDList, copy_subset_to_table
 from .types import TYPE_WIDTH_BYTES, ColumnType, check_value
 
 __all__ = [
     "AGGREGATE_FUNCS",
+    "AccessPlan",
     "Aggregate",
     "And",
+    "AnyIndex",
     "Column",
+    "ColumnStats",
     "CreateIndex",
     "DeleteRows",
     "DropIndex",
+    "Explain",
     "HashIndex",
+    "INDEX_KINDS",
     "IndexCatalog",
+    "ProbeCandidate",
+    "RangeIndex",
+    "StatisticsCatalog",
     "ColumnRef",
     "ColumnType",
     "Comparison",
@@ -107,6 +118,7 @@ __all__ = [
     "lit",
     "ne",
     "parse",
+    "plan_access_path",
     "rows_per_page",
     "sql_literal",
 ]

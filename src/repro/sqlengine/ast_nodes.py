@@ -320,15 +320,20 @@ class DeleteRows(Statement):
 
 
 class CreateIndex(Statement):
-    """``CREATE INDEX name ON table (column)``."""
+    """``CREATE INDEX name ON table (column) [USING hash|range]``."""
 
-    def __init__(self, name: str, table: str, column: str) -> None:
+    def __init__(self, name: str, table: str, column: str,
+                 kind: str = "hash") -> None:
         self.name = name
         self.table = table
         self.column = column
+        self.kind = kind
 
     def to_sql(self) -> str:
-        return f"CREATE INDEX {self.name} ON {self.table} ({self.column})"
+        sql = f"CREATE INDEX {self.name} ON {self.table} ({self.column})"
+        if self.kind != "hash":
+            sql += f" USING {self.kind}"
+        return sql
 
 
 class DropIndex(Statement):
@@ -339,3 +344,19 @@ class DropIndex(Statement):
 
     def to_sql(self) -> str:
         return f"DROP INDEX {self.name}"
+
+
+class Explain(Statement):
+    """``EXPLAIN <statement>`` — run it, report the access-path plan.
+
+    The wrapped statement executes for real (EXPLAIN ANALYZE style) so
+    the report can show actual meter charges next to the estimates.
+    """
+
+    def __init__(self, statement: Statement) -> None:
+        if isinstance(statement, Explain):
+            raise ValueError("EXPLAIN cannot wrap another EXPLAIN")
+        self.statement = statement
+
+    def to_sql(self) -> str:
+        return f"EXPLAIN {self.statement.to_sql()}"

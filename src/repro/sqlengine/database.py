@@ -20,6 +20,7 @@ from .expr import Expr
 from .pages import DEFAULT_PAGE_BYTES
 from .parser import parse
 from .schema import TableSchema
+from .statistics import StatisticsCatalog
 from .types import SQLValue
 
 
@@ -30,6 +31,7 @@ class Database:
         self._tables: dict[str, HeapTable] = {}
         self._page_bytes = page_bytes
         self.indexes = IndexCatalog()
+        self.statistics = StatisticsCatalog()
 
     def create_table(self, name: str, schema: TableSchema) -> HeapTable:
         """Create and return an empty table; raises on duplicates."""
@@ -51,7 +53,8 @@ class Database:
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
             raise CatalogError(f"no such table: {name!r}")
-        self.indexes.drop_for_table(name)
+        self.indexes.drop_for_table(name, self)
+        self.statistics.invalidate_table(name)
         del self._tables[name]
 
     def table_names(self) -> list[str]:

@@ -8,10 +8,14 @@ Design notes that matter for the reproduction:
   it is exactly the behaviour of the commercial optimizers the paper
   measured ("optimizers in most database systems are not capable of
   exploiting the commonality").
-* A top-level equality (or IN-list) predicate on an indexed column
-  uses the index instead, charging per-probe and per-row-fetch costs —
-  the server-side "auxiliary structure" capability Section 4.3.3
-  evaluates.
+* Single-table SELECT and DELETE route through the cost-based
+  access-path planner (:mod:`repro.sqlengine.planner`): candidate index
+  probes (equality, IN, range intervals) are costed against the page
+  scan and the cheaper path wins, charging per-probe and per-row-fetch
+  costs — the server-side "auxiliary structure" capability Section
+  4.3.3 evaluates, minus its blind always-use-the-index heuristic.
+* ``EXPLAIN <statement>`` executes the statement and reports the
+  chosen access path with estimated vs actual charges.
 * All I/O is charged to the :class:`~repro.common.cost.CostMeter` the
   owning server passes in: page reads for scans, index probes, per-row
   GROUP BY evaluation, per-row transfer for rows shipped to the
@@ -37,6 +41,7 @@ from .ast_nodes import (
     CreateTable,
     DropIndex,
     DropTable,
+    Explain,
     InsertValues,
     Select,
     SelectItem,
@@ -44,22 +49,18 @@ from .ast_nodes import (
     UnionAll,
 )
 from .expr import (
-    And,
-    Expr,
     RowFunc,
     ColumnRef,
-    Comparison,
-    InList,
     Literal,
     compile_predicate,
 )
+from .planner import AccessPlan, fetch_candidates, plan_access_path
 from .schema import Column, TableSchema
 from .types import ColumnType, Row, SQLValue
 
 if TYPE_CHECKING:
     from .database import Database
     from .heap import HeapTable
-    from .indexes import HashIndex
 
 #: Builds output column ``i`` of one group from (group_key, accumulators).
 _Builder = Callable[..., Any]
@@ -105,7 +106,7 @@ def execute_statement(statement: Statement, database: "Database",
     if isinstance(statement, CreateTable):
         return _execute_create(statement, database)
     if isinstance(statement, InsertValues):
-        return _execute_insert(statement, database)
+        return _execute_insert(statement, database, meter, model)
     if isinstance(statement, DropTable):
         database.drop_table(statement.table)
         return ResultSet([], [])
@@ -116,6 +117,8 @@ def execute_statement(statement: Statement, database: "Database",
     if isinstance(statement, DropIndex):
         database.indexes.drop(statement.name, database)
         return ResultSet([], [])
+    if isinstance(statement, Explain):
+        return _execute_explain(statement, database, meter, model)
     raise SQLError(f"cannot execute statement type {type(statement).__name__}")
 
 
@@ -180,53 +183,13 @@ def _execute_select(statement: Select, database: "Database",
 def _access_path(statement: Select, table: "HeapTable",
                  database: "Database", meter: CostMeter,
                  model: CostModel) -> Iterable[Row]:
-    """Choose index lookup or full scan; charge I/O; return row iterable.
+    """Plan the cheapest access path, charge it, return a row iterable.
 
     The returned rows are *candidates*: the caller still applies the
-    full WHERE predicate (the index only narrows the fetch).
+    full WHERE predicate (an index probe only narrows the fetch).
     """
-    probe = _index_probe_values(statement.where, table, database)
-    if probe is not None:
-        index, values = probe
-        tids = index.lookup_many(values)
-        meter.charge("index", model.index_probe * len(values),
-                     events=len(values))
-        meter.charge(
-            "index", model.index_row_fetch * len(tids), events=len(tids)
-        )
-        return [table.fetch(tid) for tid in tids]
-
-    pages = table.pages_touched()
-    meter.charge("server_io", model.server_page_io * pages, events=pages)
-    return table.scan_rows()
-
-
-def _index_probe_values(
-    where: Optional[Expr], table: "HeapTable", database: "Database"
-) -> Optional[tuple["HashIndex", list[SQLValue]]]:
-    """Return ``(index, values)`` when the WHERE can use an index.
-
-    Usable shapes: a top-level ``col = literal`` / ``col IN (...)``, or
-    one such conjunct inside a top-level AND.
-    """
-    if where is None:
-        return None
-    candidates = where.parts if isinstance(where, And) else (where,)
-    for part in candidates:
-        if (
-            isinstance(part, Comparison)
-            and part.op == "="
-            and isinstance(part.left, ColumnRef)
-            and isinstance(part.right, Literal)
-        ):
-            index = database.indexes.find(table.name, part.left.name)
-            if index is not None:
-                return index, [part.right.value]
-        if isinstance(part, InList) and isinstance(part.operand, ColumnRef):
-            index = database.indexes.find(table.name, part.operand.name)
-            if index is not None:
-                return index, list(part.values)
-    return None
+    plan = plan_access_path(statement.where, table, database, model)
+    return (row for _tid, row in fetch_candidates(plan, table, meter, model))
 
 
 def _join_source(
@@ -556,7 +519,9 @@ def _execute_create_index(statement: CreateIndex, database: "Database",
         model.index_build_row * table.row_count,
         events=table.row_count,
     )
-    database.indexes.create(statement.name, table, statement.column)
+    database.indexes.create(
+        statement.name, table, statement.column, kind=statement.kind
+    )
     return ResultSet([], [])
 
 
@@ -564,22 +529,34 @@ def _execute_delete(statement: DeleteRows, database: "Database",
                     meter: CostMeter, model: CostModel) -> ResultSet:
     """Tombstone qualifying rows; returns the deleted count.
 
-    Finding the victims costs a full scan; the in-place tombstoning
-    itself is free in the model (and the table's page count — hence
-    future scan cost — does not shrink, as in a heap without vacuum).
+    Victim-finding goes through the same access-path planner as
+    SELECT, so an indexed equality/range WHERE probes instead of
+    scanning every page.  The in-place tombstoning itself is free in
+    the model (the table's page count — hence future scan cost — does
+    not shrink, as in a heap without vacuum), but each tombstoned row
+    pays ``index_build_row`` per attached index for the entry removals,
+    mirroring the per-entry charge CREATE INDEX pays to add them.
     """
     table = database.table(statement.table)
-    pages = table.pages_touched()
-    meter.charge("server_io", model.server_page_io * pages, events=pages)
+    plan = plan_access_path(statement.where, table, database, model)
     predicate = compile_predicate(statement.where, table.schema)
-    victims = [tid for tid, row in table.scan() if predicate(row)]
+    victims = [
+        tid
+        for tid, row in fetch_candidates(plan, table, meter, model)
+        if predicate(row)
+    ]
     for tid in victims:
         table.delete(tid)
+    maintenance = len(victims) * table.index_count
+    if maintenance:
+        meter.charge(
+            "index", model.index_build_row * maintenance, events=maintenance
+        )
     return ResultSet(["deleted"], [(len(victims),)])
 
 
-def _execute_insert(statement: InsertValues,
-                    database: "Database") -> ResultSet:
+def _execute_insert(statement: InsertValues, database: "Database",
+                    meter: CostMeter, model: CostModel) -> ResultSet:
     table = database.table(statement.table)
     schema = table.schema
     if statement.columns:
@@ -596,4 +573,76 @@ def _execute_insert(statement: InsertValues,
     else:
         for values in statement.rows:
             table.insert(values)
+    # Each inserted row pays one index-maintenance entry per attached
+    # index — the same per-entry rate CREATE INDEX charges, so
+    # build-now vs build-later strategies meter consistently.
+    maintenance = len(statement.rows) * table.index_count
+    if maintenance:
+        meter.charge(
+            "index", model.index_build_row * maintenance, events=maintenance
+        )
     return ResultSet([], [])
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN
+# ---------------------------------------------------------------------------
+
+
+def _execute_explain(statement: Explain, database: "Database",
+                     meter: CostMeter, model: CostModel) -> ResultSet:
+    """Run the inner statement; report plan plus estimated vs actual cost.
+
+    The inner statement really executes (EXPLAIN ANALYZE style), so the
+    "actual" numbers are genuine meter charges, and an EXPLAINed DML
+    statement has its usual side effects.
+    """
+    inner = statement.statement
+    plan = _planned_access(inner, database, model)
+    lines: list[str] = [f"Statement: {inner.to_sql()}"]
+    if plan is not None:
+        lines.append(f"Plan: {plan.describe()}")
+        alternative = plan.describe_alternative()
+        if alternative is not None:
+            lines.append(f"Rejected: {alternative}")
+        table = database.table(_single_table(inner) or "")
+        lines.append(
+            f"Estimated qualifying rows: {plan.est_rows} of "
+            f"{table.row_count} (selectivity {plan.selectivity:.3f})"
+        )
+        lines.append(f"Estimated access cost: {plan.est_cost:.2f}")
+    else:
+        lines.append("Plan: (no single-table access path)")
+    snapshot = meter.snapshot()
+    execute_statement(inner, database, meter, model)
+    actual = meter.since(snapshot)
+    total = meter.total_since(snapshot)
+    parts = ", ".join(
+        f"{category}={amount:.2f}"
+        for category, amount in sorted(actual.items())
+        if amount > 0
+    )
+    lines.append(f"Actual charges: total={total:.2f} ({parts})")
+    return ResultSet(["plan"], [(line,) for line in lines])
+
+
+def _single_table(statement: Statement) -> Optional[str]:
+    """The statement's single base table, when the planner applies."""
+    if isinstance(statement, Select) and not statement.is_join:
+        return statement.table
+    if isinstance(statement, DeleteRows):
+        return statement.table
+    return None
+
+
+def _planned_access(statement: Statement, database: "Database",
+                    model: CostModel) -> Optional[AccessPlan]:
+    """The access plan EXPLAIN reports, or None for unplanned shapes."""
+    table_name = _single_table(statement)
+    if table_name is None or not database.has_table(table_name):
+        return None
+    where = statement.where if isinstance(
+        statement, (Select, DeleteRows)
+    ) else None
+    return plan_access_path(where, database.table(table_name),
+                            database, model)

@@ -2,15 +2,27 @@
 
 Section 4.3.3 of the paper asks whether server-side index structures
 can let the scan touch only the relevant subset of a table.  This
-module provides the real thing — an equality index maintained on
-insert — which the executor uses automatically for indexed equality
-(and IN-list) predicates, charging probe and row-fetch costs instead
-of a full page scan.
+module provides two real structures, both maintained by the heap on
+insert and delete:
+
+* :class:`HashIndex` — an equality index (value → TID bucket), serving
+  ``=`` and ``IN`` probes;
+* :class:`RangeIndex` — a sorted B+tree-style index, serving ``=``,
+  ``IN`` *and* range / interval probes (``<``, ``<=``, ``>``, ``>=``)
+  — exactly the shape of tree-split predicates like ``age <= 30``.
+
+Neither is used blindly: the access-path planner
+(:mod:`repro.sqlengine.planner`) costs every candidate probe against a
+sequential scan and picks the cheapest.  Both indexes therefore expose
+*exact* entry counts (``count_many`` / ``count_range``) that cost
+nothing to compute — the in-memory analogue of the histogram peek a
+disk-based optimizer would do against the index root.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+from bisect import bisect_left, bisect_right, insort
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
 from ..common.errors import CatalogError
 from .types import SQLValue
@@ -19,9 +31,27 @@ if TYPE_CHECKING:
     from .database import Database
     from .heap import TID, HeapTable
 
+#: Index kinds the catalog can create (``CREATE INDEX ... USING kind``).
+INDEX_KINDS = ("hash", "range")
+
+#: An interval endpoint: ``(value, inclusive)`` or None for unbounded.
+Bound = Optional[tuple[SQLValue, bool]]
+
+
+def _rank(value: SQLValue) -> int:
+    """Cross-type ordering rank: numbers sort before strings.
+
+    Keys are compared as ``(rank, value)`` so a mixed-type key space
+    (possible through unvalidated temp-table inserts) never raises —
+    values of different ranks only ever compare by rank.
+    """
+    return 1 if isinstance(value, str) else 0
+
 
 class HashIndex:
     """An equality index mapping column values to TID lists."""
+
+    kind = "hash"
 
     def __init__(self, name: str, table_name: str, column_name: str,
                  column_index: int) -> None:
@@ -66,6 +96,17 @@ class HashIndex:
             if not bucket:
                 del self._entries[value]
 
+    def count(self, value: SQLValue) -> int:
+        """Exact number of TIDs whose key equals ``value`` (free peek)."""
+        if value is None:
+            return 0
+        return len(self._entries.get(value, ()))
+
+    def count_many(self, values: Iterable[SQLValue]) -> int:
+        """Exact TID count matching any of ``values`` (buckets are
+        disjoint, so the sum equals the deduplicated union size)."""
+        return sum(self.count(value) for value in set(values))
+
     def lookup(self, value: SQLValue) -> list["TID"]:
         """TIDs of rows whose key equals ``value`` (storage order)."""
         if value is None:
@@ -91,16 +132,163 @@ class HashIndex:
         )
 
 
+class RangeIndex:
+    """A sorted (B+tree-style) index serving equality *and* range probes.
+
+    Entries are kept as one sorted list of ``(rank, value, tid)``
+    triples, so every probe is a pair of bisections: ``count_range`` is
+    O(log n) and ``lookup_range`` is O(log n + k).  NULL keys are not
+    indexed (no SQL comparison ever matches them).
+    """
+
+    kind = "range"
+
+    def __init__(self, name: str, table_name: str, column_name: str,
+                 column_index: int) -> None:
+        self.name = name
+        self.table_name = table_name
+        self.column_name = column_name
+        self._column_index = column_index
+        #: Sorted triples; TIDs are (page, slot) int pairs, so the
+        #: triple as a whole is always comparable.
+        self._items: list[tuple[int, SQLValue, "TID"]] = []
+
+    @property
+    def entry_count(self) -> int:
+        """Total TIDs indexed."""
+        return len(self._items)
+
+    @property
+    def distinct_keys(self) -> int:
+        """Number of distinct values indexed."""
+        distinct = 0
+        previous: Optional[tuple[int, SQLValue]] = None
+        for rank, value, _tid in self._items:
+            key = (rank, value)
+            if key != previous:
+                distinct += 1
+                previous = key
+        return distinct
+
+    def insert(self, row: Sequence[SQLValue], tid: "TID") -> None:
+        """Index one row (NULL keys are not indexed, as in SQL)."""
+        value = row[self._column_index]
+        if value is None:
+            return
+        insort(self._items, (_rank(value), value, tid))
+
+    def remove(self, row: Sequence[SQLValue], tid: "TID") -> None:
+        """Unindex one row (called by the heap on delete)."""
+        value = row[self._column_index]
+        if value is None:
+            return
+        item = (_rank(value), value, tid)
+        position = bisect_left(self._items, item)
+        if position < len(self._items) and self._items[position] == item:
+            del self._items[position]
+
+    # -- position plumbing --------------------------------------------------
+
+    #: TID sentinels below/above every real (page, slot) pair.
+    _TID_LO: "TID" = (-1, -1)
+    _TID_HI: "TID" = (1 << 62, 1 << 62)
+
+    def _lower_position(self, lower: Bound) -> int:
+        if lower is None:
+            return 0
+        value, inclusive = lower
+        if value is None:
+            # A NULL bound matches nothing: empty interval.
+            return len(self._items)
+        key = (_rank(value), value)
+        if inclusive:
+            return bisect_left(self._items, key + (self._TID_LO,))
+        return bisect_right(self._items, key + (self._TID_HI,))
+
+    def _upper_position(self, upper: Bound) -> int:
+        if upper is None:
+            return len(self._items)
+        value, inclusive = upper
+        if value is None:
+            return 0
+        key = (_rank(value), value)
+        if inclusive:
+            return bisect_right(self._items, key + (self._TID_HI,))
+        return bisect_left(self._items, key + (self._TID_LO,))
+
+    def _span(self, lower: Bound, upper: Bound) -> tuple[int, int]:
+        """Half-open slice ``[lo, hi)`` of entries inside the interval.
+
+        When the interval mixes ranks (e.g. a numeric lower bound with
+        a string upper bound) the slice still only covers keys that
+        satisfy *both* bounds under the rank ordering; the executor
+        re-checks the full predicate on fetched rows anyway.
+        """
+        lo = self._lower_position(lower)
+        hi = self._upper_position(upper)
+        return lo, max(lo, hi)
+
+    # -- probes -------------------------------------------------------------
+
+    def count_range(self, lower: Bound, upper: Bound) -> int:
+        """Exact entry count inside the interval (two bisections)."""
+        lo, hi = self._span(lower, upper)
+        return hi - lo
+
+    def lookup_range(self, lower: Bound, upper: Bound) -> list["TID"]:
+        """TIDs inside the interval, in storage order."""
+        lo, hi = self._span(lower, upper)
+        return sorted(item[2] for item in self._items[lo:hi])
+
+    def count(self, value: SQLValue) -> int:
+        """Exact number of TIDs whose key equals ``value``."""
+        if value is None:
+            return 0
+        return self.count_range((value, True), (value, True))
+
+    def count_many(self, values: Iterable[SQLValue]) -> int:
+        """Exact TID count matching any of ``values``."""
+        return sum(self.count(value) for value in set(values))
+
+    def lookup(self, value: SQLValue) -> list["TID"]:
+        """TIDs of rows whose key equals ``value`` (storage order)."""
+        if value is None:
+            return []
+        return self.lookup_range((value, True), (value, True))
+
+    def lookup_many(self, values: Iterable[SQLValue]) -> list["TID"]:
+        """TIDs matching any of ``values``, deduplicated, storage order."""
+        tids: set["TID"] = set()
+        for value in set(values):
+            tids.update(self.lookup(value))
+        return sorted(tids)
+
+    def __repr__(self) -> str:
+        return (
+            f"RangeIndex({self.name!r} ON "
+            f"{self.table_name}({self.column_name}), "
+            f"entries={len(self._items)})"
+        )
+
+
+#: Any secondary index the catalog can hold.
+AnyIndex = Union[HashIndex, RangeIndex]
+
+
 class IndexCatalog:
     """All indexes of one database, by name and by (table, column)."""
 
     def __init__(self) -> None:
-        self._by_name: dict[str, HashIndex] = {}
-        self._by_target: dict[tuple[str, str], HashIndex] = {}
+        self._by_name: dict[str, AnyIndex] = {}
+        self._by_target: dict[tuple[str, str], AnyIndex] = {}
 
-    def create(self, name: str, table: "HeapTable",
-               column_name: str) -> HashIndex:
+    def create(self, name: str, table: "HeapTable", column_name: str,
+               kind: str = "hash") -> AnyIndex:
         """Create and backfill an index; returns it."""
+        if kind not in INDEX_KINDS:
+            raise CatalogError(
+                f"unknown index kind {kind!r} (expected one of {INDEX_KINDS})"
+            )
         if name in self._by_name:
             raise CatalogError(f"index already exists: {name!r}")
         key = (table.name, column_name)
@@ -109,7 +297,11 @@ class IndexCatalog:
                 f"column {column_name!r} of {table.name!r} is already indexed"
             )
         column_index = table.schema.index_of(column_name)
-        index = HashIndex(name, table.name, column_name, column_index)
+        index: AnyIndex
+        if kind == "range":
+            index = RangeIndex(name, table.name, column_name, column_index)
+        else:
+            index = HashIndex(name, table.name, column_name, column_index)
         for tid, row in table.scan():
             index.insert(row, tid)
         self._by_name[name] = index
@@ -126,26 +318,48 @@ class IndexCatalog:
         if database.has_table(index.table_name):
             database.table(index.table_name).detach_index(index)
 
-    def drop_for_table(self, table_name: str) -> None:
-        """Drop every index on ``table_name`` (table being dropped)."""
+    def drop_for_table(self, table_name: str,
+                       database: Optional["Database"] = None) -> None:
+        """Drop every index on ``table_name`` (table being dropped).
+
+        The indexes are also detached from the heap when the table is
+        still in the catalog: callers holding a reference to the
+        :class:`~repro.sqlengine.heap.HeapTable` must not keep feeding
+        inserts and deletes into dropped index structures.
+        """
         doomed = [
             name
             for name, index in self._by_name.items()
             if index.table_name == table_name
         ]
+        table = (
+            database.table(table_name)
+            if database is not None and database.has_table(table_name)
+            else None
+        )
         for name in doomed:
             index = self._by_name.pop(name)
             del self._by_target[(index.table_name, index.column_name)]
+            if table is not None:
+                table.detach_index(index)
 
     def find(self, table_name: str,
-             column_name: str) -> Optional[HashIndex]:
+             column_name: str) -> Optional[AnyIndex]:
         """The index on (table, column), or None."""
         return self._by_target.get((table_name, column_name))
+
+    def for_table(self, table_name: str) -> list[AnyIndex]:
+        """All indexes on ``table_name``, ordered by name."""
+        return [
+            index
+            for _name, index in sorted(self._by_name.items())
+            if index.table_name == table_name
+        ]
 
     def names(self) -> list[str]:
         return sorted(self._by_name)
 
-    def get(self, name: str) -> HashIndex:
+    def get(self, name: str) -> AnyIndex:
         try:
             return self._by_name[name]
         except KeyError:

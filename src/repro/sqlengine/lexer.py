@@ -21,7 +21,7 @@ KEYWORDS = frozenset(
         "AS", "AND", "OR", "NOT", "IN", "COUNT", "SUM", "MIN", "MAX",
         "AVG", "CREATE", "TABLE", "INDEX", "ON", "INSERT", "INTO",
         "VALUES", "NULL", "DROP", "DISTINCT", "ASC", "DESC", "LIMIT",
-        "JOIN", "INNER", "DELETE",
+        "JOIN", "INNER", "DELETE", "EXPLAIN", "USING",
     }
 )
 

@@ -2,7 +2,8 @@
 
 Grammar (informal)::
 
-    statement   := select_union | create | insert | delete | drop
+    statement   := [EXPLAIN] bare_statement
+    bare_statement := select_union | create | insert | delete | drop
     select_union:= select (UNION [ALL] select)*
     select      := SELECT items [INTO ident] FROM from_clause
                    [WHERE or_expr] [GROUP BY name (, name)*]
@@ -12,7 +13,8 @@ Grammar (informal)::
     items       := '*' | item (',' item)*
     item        := (AGG '(' ('*' | scalar) ')' | or_expr) [AS? ident]
     create      := CREATE (TABLE ident '(' coldefs ')'
-                          | INDEX ident ON ident '(' ident ')')
+                          | INDEX ident ON ident '(' ident ')'
+                            [USING (hash | range)])
     insert      := INSERT INTO ident ['(' idents ')'] VALUES rows
     delete      := DELETE FROM ident [WHERE or_expr]
     drop        := DROP (TABLE | INDEX) ident
@@ -45,12 +47,14 @@ from .ast_nodes import (
     CreateTable,
     DropIndex,
     DropTable,
+    Explain,
     InsertValues,
     Select,
     SelectItem,
     Star,
     UnionAll,
 )
+from .indexes import INDEX_KINDS
 from .expr import (
     ColumnRef,
     Expr,
@@ -113,23 +117,15 @@ class _Parser:
     # -- statements ---------------------------------------------------------
 
     def parse_statement(self) -> Statement:
-        token = self._peek()
         statement: Statement
-        if token.matches(lexer.KEYWORD, "SELECT"):
-            statement = self._parse_select_union()
-        elif token.matches(lexer.KEYWORD, "CREATE"):
-            statement = self._parse_create()
-        elif token.matches(lexer.KEYWORD, "INSERT"):
-            statement = self._parse_insert()
-        elif token.matches(lexer.KEYWORD, "DROP"):
-            statement = self._parse_drop()
-        elif token.matches(lexer.KEYWORD, "DELETE"):
-            statement = self._parse_delete()
+        if self._peek().matches(lexer.KEYWORD, "EXPLAIN"):
+            token = self._advance()
+            try:
+                statement = Explain(self._parse_bare_statement())
+            except ValueError as exc:  # nested EXPLAIN is unreachable here
+                raise SQLSyntaxError(str(exc), token.position) from None
         else:
-            raise SQLSyntaxError(
-                f"unexpected start of statement: {token.value!r}",
-                token.position,
-            )
+            statement = self._parse_bare_statement()
         self._accept(lexer.PUNCT, ";")
         end = self._peek()
         if end.kind != lexer.EOF:
@@ -137,6 +133,23 @@ class _Parser:
                 f"trailing input after statement: {end.value!r}", end.position
             )
         return statement
+
+    def _parse_bare_statement(self) -> Statement:
+        token = self._peek()
+        if token.matches(lexer.KEYWORD, "SELECT"):
+            return self._parse_select_union()
+        if token.matches(lexer.KEYWORD, "CREATE"):
+            return self._parse_create()
+        if token.matches(lexer.KEYWORD, "INSERT"):
+            return self._parse_insert()
+        if token.matches(lexer.KEYWORD, "DROP"):
+            return self._parse_drop()
+        if token.matches(lexer.KEYWORD, "DELETE"):
+            return self._parse_delete()
+        raise SQLSyntaxError(
+            f"unexpected start of statement: {token.value!r}",
+            token.position,
+        )
 
     def _parse_select_union(self) -> Union[Select, UnionAll]:
         selects = [self._parse_select()]
@@ -284,7 +297,17 @@ class _Parser:
             self._expect(lexer.PUNCT, "(")
             column = self._expect_ident()
             self._expect(lexer.PUNCT, ")")
-            return CreateIndex(name, table, column)
+            kind = "hash"
+            if self._accept(lexer.KEYWORD, "USING"):
+                token = self._peek()
+                kind = self._expect_ident().lower()
+                if kind not in INDEX_KINDS:
+                    raise SQLSyntaxError(
+                        f"unknown index kind {kind!r} "
+                        f"(expected one of {', '.join(INDEX_KINDS)})",
+                        token.position,
+                    )
+            return CreateIndex(name, table, column, kind=kind)
         self._expect(lexer.KEYWORD, "TABLE")
         table = self._expect_ident()
         self._expect(lexer.PUNCT, "(")

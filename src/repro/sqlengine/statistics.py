@@ -1,0 +1,248 @@
+"""Lightweight table/column statistics feeding the access-path planner.
+
+A real optimizer keeps per-column statistics in the catalog and
+estimates predicate selectivity from them; this module is the
+reproduction's version of that.  Per-column stats — live row count,
+null count, distinct-key count, min/max — are computed by one pass
+over the column and cached keyed by the table's data
+:attr:`~repro.sqlengine.heap.HeapTable.version`, so an unchanged table
+never recomputes and a mutated table can never serve stale numbers.
+
+Collection is deliberately *unmetered*: catalog statistics are
+bookkeeping a server maintains as a side effect of DML, not I/O the
+paper's experiments would charge to a query.
+
+Selectivity estimation follows the classic System-R rules:
+
+* ``col = v``      → (1 - null_fraction) / n_distinct
+* ``col IN (...)`` → k / n_distinct, capped at the non-null fraction
+* range ops        → linear interpolation between min and max for
+  numeric columns, :data:`DEFAULT_RANGE_SELECTIVITY` otherwise
+* AND → product, OR → inclusion-exclusion, NOT → complement
+
+These estimates drive the *cardinality* numbers EXPLAIN reports.  The
+planner's access-path costs use exact index entry counts instead (see
+:mod:`repro.sqlengine.planner`), so estimation error can never make a
+chosen plan meter worse than the sequential scan it beat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .expr import (
+    And,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    Not,
+    Or,
+    TrueExpr,
+)
+from .types import SQLValue
+
+if TYPE_CHECKING:
+    from .heap import HeapTable
+
+#: Fallback selectivity for an equality whose shape defies estimation
+#: (e.g. column-to-column comparison) — System R's magic 1/10.
+DEFAULT_EQ_SELECTIVITY = 0.1
+
+#: Fallback selectivity for a range predicate without usable min/max —
+#: System R's magic 1/3.
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """One column's statistics at one table version."""
+
+    column: str
+    n_rows: int
+    n_nulls: int
+    n_distinct: int
+    min_value: SQLValue
+    max_value: SQLValue
+
+    @property
+    def non_null_fraction(self) -> float:
+        if self.n_rows <= 0:
+            return 0.0
+        return (self.n_rows - self.n_nulls) / self.n_rows
+
+
+class StatisticsCatalog:
+    """Version-keyed per-column statistics for one database."""
+
+    def __init__(self) -> None:
+        #: (table, column) → (version the stats were computed at, stats).
+        self._cache: dict[tuple[str, str], tuple[int, ColumnStats]] = {}
+
+    def column_stats(self, table: "HeapTable",
+                     column_name: str) -> ColumnStats:
+        """Current stats for one column (recomputed only on version bumps)."""
+        key = (table.name, column_name)
+        cached = self._cache.get(key)
+        if cached is not None and cached[0] == table.version:
+            return cached[1]
+        stats = self._compute(table, column_name)
+        self._cache[key] = (table.version, stats)
+        return stats
+
+    def invalidate_table(self, table_name: str) -> None:
+        """Forget every column of a dropped table."""
+        stale = [k for k in self._cache if k[0] == table_name]
+        for k in stale:
+            del self._cache[k]
+
+    @staticmethod
+    def _compute(table: "HeapTable", column_name: str) -> ColumnStats:
+        position = table.schema.index_of(column_name)
+        n_rows = 0
+        n_nulls = 0
+        distinct: set[SQLValue] = set()
+        min_key: Optional[tuple[int, SQLValue]] = None
+        max_key: Optional[tuple[int, SQLValue]] = None
+        for row in table.scan_rows():
+            n_rows += 1
+            value = row[position]
+            if value is None:
+                n_nulls += 1
+                continue
+            distinct.add(value)
+            # Rank-prefixed keys keep mixed-type columns comparable.
+            sort_key = (1 if isinstance(value, str) else 0, value)
+            if min_key is None or sort_key < min_key:
+                min_key = sort_key
+            if max_key is None or sort_key > max_key:
+                max_key = sort_key
+        return ColumnStats(
+            column=column_name,
+            n_rows=n_rows,
+            n_nulls=n_nulls,
+            n_distinct=len(distinct),
+            min_value=None if min_key is None else min_key[1],
+            max_value=None if max_key is None else max_key[1],
+        )
+
+    # -- selectivity --------------------------------------------------------
+
+    def selectivity(self, table: "HeapTable",
+                    expr: Optional[Expr]) -> float:
+        """Estimated fraction of rows satisfying ``expr`` (in [0, 1])."""
+        if expr is None or isinstance(expr, TrueExpr):
+            return 1.0
+        return _clamp(self._selectivity(table, expr))
+
+    def estimate_rows(self, table: "HeapTable",
+                      expr: Optional[Expr]) -> int:
+        """Estimated qualifying row count for ``expr``."""
+        return round(self.selectivity(table, expr) * table.row_count)
+
+    def _selectivity(self, table: "HeapTable", expr: Expr) -> float:
+        if isinstance(expr, TrueExpr):
+            return 1.0
+        if isinstance(expr, And):
+            product = 1.0
+            for part in expr.parts:
+                product *= _clamp(self._selectivity(table, part))
+            return product
+        if isinstance(expr, Or):
+            miss = 1.0
+            for part in expr.parts:
+                miss *= 1.0 - _clamp(self._selectivity(table, part))
+            return 1.0 - miss
+        if isinstance(expr, Not):
+            return 1.0 - _clamp(self._selectivity(table, expr.operand))
+        if isinstance(expr, InList):
+            return self._in_selectivity(table, expr)
+        if isinstance(expr, Comparison):
+            return self._comparison_selectivity(table, expr)
+        return DEFAULT_RANGE_SELECTIVITY
+
+    def _in_selectivity(self, table: "HeapTable", expr: InList) -> float:
+        if not isinstance(expr.operand, ColumnRef):
+            return DEFAULT_EQ_SELECTIVITY * len(set(expr.values))
+        stats = self.column_stats(table, expr.operand.name)
+        if stats.n_distinct <= 0:
+            return 0.0
+        k = len({v for v in expr.values if v is not None})
+        return min(1.0, k / stats.n_distinct) * stats.non_null_fraction
+
+    def _comparison_selectivity(self, table: "HeapTable",
+                                expr: Comparison) -> float:
+        sided = _column_vs_literal(expr)
+        if sided is None:
+            return (
+                DEFAULT_EQ_SELECTIVITY
+                if expr.op in ("=", "<>")
+                else DEFAULT_RANGE_SELECTIVITY
+            )
+        column, op, value = sided
+        stats = self.column_stats(table, column)
+        if value is None or stats.n_rows == 0:
+            return 0.0  # NULL comparisons never match
+        if op == "=":
+            if stats.n_distinct <= 0:
+                return 0.0
+            return stats.non_null_fraction / stats.n_distinct
+        if op == "<>":
+            if stats.n_distinct <= 0:
+                return 0.0
+            return stats.non_null_fraction * (1.0 - 1.0 / stats.n_distinct)
+        return self._range_selectivity(stats, op, value)
+
+    @staticmethod
+    def _range_selectivity(stats: ColumnStats, op: str,
+                           value: SQLValue) -> float:
+        lo = stats.min_value
+        hi = stats.max_value
+        numeric = (
+            isinstance(value, (int, float))
+            and isinstance(lo, (int, float))
+            and isinstance(hi, (int, float))
+        )
+        if not numeric:
+            return DEFAULT_RANGE_SELECTIVITY * stats.non_null_fraction
+        assert isinstance(value, (int, float))
+        assert isinstance(lo, (int, float)) and isinstance(hi, (int, float))
+        if hi <= lo:
+            # Single-valued column: the bound either covers it or not.
+            if op in ("<", "<="):
+                covered = lo < value or (op == "<=" and lo == value)
+            else:
+                covered = lo > value or (op == ">=" and lo == value)
+            return stats.non_null_fraction if covered else 0.0
+        fraction = (value - lo) / (hi - lo)
+        below = _clamp(fraction)
+        if op in ("<", "<="):
+            return below * stats.non_null_fraction
+        return (1.0 - below) * stats.non_null_fraction
+
+
+def _column_vs_literal(
+    expr: Comparison,
+) -> Optional[tuple[str, str, SQLValue]]:
+    """Normalise ``col op lit`` / ``lit op col`` to ``(col, op, lit)``.
+
+    Flipping the operands mirrors the comparison operator
+    (``5 <= age`` becomes ``age >= 5``).  Returns None for any other
+    operand shape.
+    """
+    if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
+        return expr.left.name, expr.op, expr.right.value
+    if isinstance(expr.left, Literal) and isinstance(expr.right, ColumnRef):
+        mirrored = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        return (
+            expr.right.name,
+            mirrored.get(expr.op, expr.op),
+            expr.left.value,
+        )
+    return None
+
+
+def _clamp(value: float) -> float:
+    return min(1.0, max(0.0, value))

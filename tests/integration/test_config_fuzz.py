@@ -31,7 +31,7 @@ configs = st.builds(
     ),
     push_filters=st.booleans(),
     aux_strategy=st.sampled_from(("scan", "temp_table", "tid_join",
-                                  "keyset")),
+                                  "keyset", "auto")),
     aux_build_threshold=st.floats(min_value=0.01, max_value=1.0),
     aux_free_build=st.booleans(),
 )

@@ -45,6 +45,10 @@ CONFIGS = {
         500_000, aux_strategy="tid_join"
     ),
     "aux_keyset": MiddlewareConfig.no_staging(500_000, aux_strategy="keyset"),
+    "aux_auto": MiddlewareConfig.no_staging(500_000, aux_strategy="auto"),
+    "aux_auto_blind": MiddlewareConfig.no_staging(
+        500_000, aux_strategy="auto", scan_use_planner=False
+    ),
     "tight_file_budget": MiddlewareConfig(
         memory_bytes=500_000, file_budget_bytes=500
     ),
