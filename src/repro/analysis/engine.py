@@ -20,10 +20,15 @@ Suppression policy:
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Collection, Iterable, Protocol, Sequence
 
 from .findings import Finding
 from .source import SourceFile
+
+if TYPE_CHECKING:
+    from .project_index import ProjectIndex
 
 #: Directory names never descended into while collecting files.
 _SKIP_DIRS = {"__pycache__", ".git", ".hg", ".venv", "venv", "node_modules"}
@@ -45,6 +50,18 @@ class Project:
     def __init__(self, files: list[SourceFile], root: str) -> None:
         self.files = files
         self.root = root
+        self._index: ProjectIndex | None = None
+
+    def index(self) -> ProjectIndex:
+        """The interprocedural index, built once per project.
+
+        Rules that set ``needs_index`` call this; the engine usually
+        pre-builds it (timed separately) before running them.
+        """
+        if self._index is None:
+            from .project_index import ProjectIndex
+            self._index = ProjectIndex.build(self)
+        return self._index
 
     def by_suffix(self, suffix: str) -> list[SourceFile]:
         """Scanned files whose path ends with ``suffix``."""
@@ -53,6 +70,15 @@ class Project:
             f for f in self.files
             if f.path.replace("\\", "/").endswith(normalized)
         ]
+
+
+class RuleLike(Protocol):
+    """What the engine needs from a rule (see ``rules.base.Rule``)."""
+
+    name: str
+    needs_index: bool
+
+    def check(self, project: Project) -> Iterable[Finding]: ...
 
 
 @dataclass
@@ -65,6 +91,14 @@ class AnalysisReport:
     files_scanned: int = 0
     #: Files that could not be parsed (reported as findings too).
     parse_errors: int = 0
+    #: Rules this run executed, in registry order.
+    rules_run: list[str] = field(default_factory=list)
+    #: Detected project root (SARIF URIs are relative to it).
+    root: str = "."
+    #: Wall seconds per rule; building the interprocedural index is
+    #: charged to the pseudo-entry ``project-index``, not to whichever
+    #: rule happened to run first.
+    rule_timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -127,17 +161,46 @@ def load_project(paths: list[str], root: str | None = None) -> \
     return Project(files, detected_root), errors
 
 
-def run_rules(project: Project, rules: list[object]) -> list[Finding]:
+def run_rules(project: Project,
+              rules: Sequence[RuleLike]) -> list[Finding]:
     """Run every rule over the project; findings come back sorted."""
+    findings, _ = run_rules_timed(project, rules)
+    return findings
+
+
+def run_rules_timed(project: Project, rules: Sequence[RuleLike]) -> \
+        tuple[list[Finding], dict[str, float]]:
+    """Like :func:`run_rules`, plus wall seconds per rule.
+
+    When any rule needs the interprocedural index it is built up
+    front and timed under the ``project-index`` pseudo-entry, so
+    per-rule numbers stay comparable regardless of run order.
+    """
+    timings: dict[str, float] = {}
+    if any(getattr(rule, "needs_index", False) for rule in rules):
+        started = time.perf_counter()
+        project.index()
+        timings["project-index"] = time.perf_counter() - started
     findings: list[Finding] = []
     for rule in rules:
+        started = time.perf_counter()
         findings.extend(rule.check(project))
-    return sorted(findings)
+        timings[rule.name] = time.perf_counter() - started
+    return sorted(findings), timings
 
 
-def apply_suppressions(project: Project,
-                       findings: list[Finding]) -> AnalysisReport:
-    """Split findings into reported vs suppressed; audit the pragmas."""
+def apply_suppressions(
+    project: Project,
+    findings: list[Finding],
+    active_rules: Collection[str] | None = None,
+) -> AnalysisReport:
+    """Split findings into reported vs suppressed; audit the pragmas.
+
+    ``active_rules`` scopes the *unused*-suppression audit to the
+    rules that actually ran: a ``--select``ed single-rule run must not
+    flag every other rule's pragma as stale.  ``None`` (the default)
+    audits everything — the full-suite behaviour.
+    """
     report = AnalysisReport(files_scanned=len(project.files))
     by_path = {f.path: f for f in project.files}
     for finding in findings:
@@ -174,9 +237,17 @@ def apply_suppressions(project: Project,
                     )
                 )
                 continue
-            unused = [r for r in suppression.rules
-                      if r not in suppression.used]
-            if unused:
+            # One finding *per unused rule*: a shared
+            # ``disable=a,b`` pragma where only ``a`` still fires must
+            # report ``b`` individually, and a narrowed run
+            # (``--select``) must stay silent about rules it never
+            # executed.
+            for rule_name in suppression.rules:
+                if rule_name in suppression.used:
+                    continue
+                if active_rules is not None and \
+                        rule_name not in active_rules:
+                    continue
                 report.findings.append(
                     Finding(
                         path=source.path,
@@ -184,8 +255,9 @@ def apply_suppressions(project: Project,
                         column=0,
                         rule=UNUSED_SUPPRESSION,
                         message=(
-                            "suppression never matched a finding for "
-                            f"{', '.join(sorted(unused))}; remove it"
+                            f"suppression of '{rule_name}' never "
+                            "matched a finding; remove it from the "
+                            "pragma"
                         ),
                     )
                 )
@@ -194,12 +266,18 @@ def apply_suppressions(project: Project,
     return report
 
 
-def analyze(paths: list[str], rules: list[object],
+def analyze(paths: list[str], rules: Sequence[RuleLike],
             root: str | None = None) -> AnalysisReport:
     """Parse, run, suppress — the one-call entry point."""
     project, parse_errors = load_project(paths, root=root)
-    findings = run_rules(project, rules)
-    report = apply_suppressions(project, findings)
+    findings, timings = run_rules_timed(project, rules)
+    report = apply_suppressions(
+        project, findings,
+        active_rules={rule.name for rule in rules},
+    )
     report.findings = sorted(report.findings + parse_errors)
     report.parse_errors = len(parse_errors)
+    report.rules_run = [rule.name for rule in rules]
+    report.rule_timings = timings
+    report.root = project.root
     return report

@@ -19,10 +19,17 @@ from ..source import SourceFile
 
 
 class Rule:
-    """Base class: subclasses set ``name``/``description``."""
+    """Base class: subclasses set ``name``/``description``.
+
+    Rules that query the interprocedural
+    :class:`~repro.analysis.project_index.ProjectIndex` set
+    ``needs_index = True`` so the engine builds (and times) the index
+    once before any of them runs, via :meth:`Project.index`.
+    """
 
     name = "rule"
     description = ""
+    needs_index = False
 
     def check(self, project: Project) -> Iterable[Finding]:
         raise NotImplementedError

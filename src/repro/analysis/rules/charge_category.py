@@ -1,0 +1,146 @@
+"""Rule: every charge category is a literal from the one registry.
+
+``CostMeter.charge`` keys its buckets by plain string.  A typo'd
+category (``"severio"``) does not crash anything at the call site —
+it silently opens a new bucket, the intended bucket under-reports, and
+every cost-parity claim downstream is quietly wrong.  The registry of
+valid categories already exists: the ``CATEGORIES`` tuple next to
+``CostModel``.  This rule closes the loop in both directions:
+
+* every ``meter.charge(...)`` category must be a **string literal**
+  (a computed category cannot be audited statically), and that literal
+  must appear in ``CATEGORIES``;
+* every ``CATEGORIES`` entry must be charged somewhere, and every
+  ``CostModel`` field must be read inside some charging function —
+  a priced-but-never-charged field means a paper cost the
+  reproduction silently dropped.
+
+The registry is discovered *in the scanned project* (the ``CostModel``
+class definition and the module-level ``CATEGORIES`` tuple), never
+imported, so fixtures can carry their own miniature cost model.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Project
+from ..findings import Finding
+from ..project_index import ProjectIndex
+from ..source import SourceFile
+from .base import Rule
+from .meter_common import charge_calls, is_charge_call, literal_category
+
+
+class ChargeCategoryRule(Rule):
+
+    name = "charge-category"
+    description = (
+        "meter.charge categories must be literals from the CATEGORIES "
+        "registry; registry entries and CostModel fields must all be "
+        "exercised by some charge site"
+    )
+    needs_index = True
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        index = project.index()
+        findings: list[Finding] = []
+
+        # -- the registry, discovered from source --------------------
+        valid: set[str] = set()
+        category_decls: list[tuple[SourceFile, ast.Constant]] = []
+        model_fields: list[tuple[SourceFile, ast.AnnAssign, str]] = []
+        for source in project.files:
+            for stmt in source.tree.body:
+                targets: list[ast.expr] = []
+                if isinstance(stmt, ast.Assign):
+                    targets = list(stmt.targets)
+                elif isinstance(stmt, ast.AnnAssign) and \
+                        stmt.value is not None:
+                    targets = [stmt.target]
+                value = getattr(stmt, "value", None)
+                if not any(
+                    isinstance(t, ast.Name) and t.id == "CATEGORIES"
+                    for t in targets
+                ):
+                    continue
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    for elt in value.elts:
+                        if isinstance(elt, ast.Constant) and \
+                                isinstance(elt.value, str):
+                            valid.add(elt.value)
+                            category_decls.append((source, elt))
+            for stmt in source.tree.body:
+                if isinstance(stmt, ast.ClassDef) and \
+                        stmt.name == "CostModel":
+                    for item in stmt.body:
+                        if isinstance(item, ast.AnnAssign) and \
+                                isinstance(item.target, ast.Name):
+                            model_fields.append(
+                                (source, item, item.target.id)
+                            )
+
+        # -- every charge site, project-wide -------------------------
+        charged: set[str] = set()
+        for source in project.files:
+            for node in ast.walk(source.tree):
+                if not (isinstance(node, ast.Call)
+                        and is_charge_call(node)):
+                    continue
+                category = literal_category(node)
+                if category is None:
+                    findings.append(self.finding(
+                        source, node,
+                        "charge category must be a string literal so "
+                        "the registry can audit it",
+                    ))
+                    continue
+                charged.add(category)
+                if valid and category not in valid:
+                    findings.append(self.finding(
+                        source, node,
+                        f"unknown charge category '{category}': not in "
+                        "the CATEGORIES registry (a typo here silently "
+                        "opens a new bucket)",
+                    ))
+
+        # -- registry entries and model fields nobody exercises ------
+        for source, elt in category_decls:
+            if elt.value not in charged:
+                findings.append(self.finding(
+                    source, elt,
+                    f"category '{elt.value}' is declared in CATEGORIES "
+                    "but no code ever charges it",
+                ))
+        if model_fields and charged:
+            used_fields = self._fields_read_by_chargers(index)
+            for source, item, field_name in model_fields:
+                if field_name not in used_fields:
+                    findings.append(self.finding(
+                        source, item,
+                        f"CostModel field '{field_name}' is never read "
+                        "inside any charging function — a priced cost "
+                        "no charge site accounts for",
+                    ))
+        return findings
+
+    @staticmethod
+    def _fields_read_by_chargers(index: ProjectIndex) -> set[str]:
+        """Attribute names read inside functions that charge.
+
+        Fields often flow through locals (``cost = model.index_probe *
+        n; meter.charge("index", cost)``), so the check is scoped to
+        the charging function, not the charge call's argument list.
+        """
+        used: set[str] = set()
+        for info in index.functions.values():
+            if not any(True for _ in charge_calls(info.node)):
+                continue
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Attribute):
+                    used.add(node.attr)
+        return used
+
+
+__all__ = ["ChargeCategoryRule"]

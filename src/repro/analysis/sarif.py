@@ -1,0 +1,138 @@
+"""SARIF 2.1.0 output for the analysis suite.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning ingests, so uploading
+one file from the CI ``static-analysis`` job turns every finding into
+an inline PR annotation.  Only the small stable core of the spec is
+emitted:
+
+* one ``run`` with a ``tool.driver`` carrying the full rule catalog
+  (including the engine pseudo-rules, so suppression-audit findings
+  resolve their ``ruleId``);
+* one ``result`` per finding — suppressed findings are included too,
+  marked with ``suppressions: [{"kind": "inSource"}]`` so code
+  scanning shows them as closed instead of losing the audit trail;
+* per-rule wall times under ``run.properties.ruleTimings`` (the same
+  numbers ``--format json`` reports).
+
+Columns are 1-based in SARIF; the engine's are 0-based AST offsets,
+hence the ``+ 1``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from .engine import (
+    UNJUSTIFIED_SUPPRESSION,
+    UNUSED_SUPPRESSION,
+    AnalysisReport,
+    RuleLike,
+)
+from .findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Engine pseudo-rules that can appear as finding ``rule`` values
+#: without a Rule class behind them.
+_PSEUDO_RULES = (
+    (UNJUSTIFIED_SUPPRESSION,
+     "a repro-lint suppression pragma lacks a ' -- why' justification"),
+    (UNUSED_SUPPRESSION,
+     "a suppressed rule never matched a finding on that line"),
+    ("parse-error", "the file could not be parsed"),
+)
+
+
+def _artifact_uri(path: str, root: str) -> str:
+    """A root-relative, forward-slash URI for one finding path."""
+    relative = os.path.relpath(os.path.abspath(path),
+                               os.path.abspath(root))
+    if relative.startswith(".."):
+        relative = path
+    return relative.replace(os.sep, "/")
+
+
+def _result(finding: Finding, root: str,
+            suppressed: bool) -> dict[str, object]:
+    result: dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _artifact_uri(finding.path, root),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def to_sarif(report: AnalysisReport, rules: Sequence[RuleLike],
+             root: str) -> dict[str, object]:
+    """The SARIF 2.1.0 document for one analysis run."""
+    descriptors: list[dict[str, object]] = [
+        {
+            "id": rule.name,
+            "shortDescription": {"text": rule.description},
+        }
+        for rule in rules
+    ]
+    known = {rule.name for rule in rules}
+    for name, description in _PSEUDO_RULES:
+        if name not in known:
+            descriptors.append({
+                "id": name,
+                "shortDescription": {"text": description},
+            })
+
+    results = [
+        _result(finding, root, suppressed=False)
+        for finding in report.findings
+    ]
+    results.extend(
+        _result(finding, root, suppressed=True)
+        for finding in report.suppressed
+    )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "informationUri":
+                            "docs/static_analysis.md",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+                "properties": {
+                    "filesScanned": report.files_scanned,
+                    "parseErrors": report.parse_errors,
+                    "rulesRun": report.rules_run,
+                    "ruleTimings": {
+                        name: round(seconds, 6)
+                        for name, seconds in
+                        sorted(report.rule_timings.items())
+                    },
+                },
+            }
+        ],
+    }

@@ -251,6 +251,7 @@ class ColumnarScanCache:
 # -- plan builders (shared by the access strategies and the executor) ------
 
 
+#: meter parity with ForwardCursor.__init__ + ForwardCursor.rows
 def plain_table_plan(server: Any, table: Any,
                      predicate: Any) -> ColumnarScanPlan:
     """Cacheable twin of a plain filtered forward-cursor scan.
@@ -297,6 +298,7 @@ def _tid_rows(table: Any, tids: Any) -> Iterator[Any]:
             yield row
 
 
+#: meter parity with TIDList.fetch
 def tid_join_plan(server: Any, table: Any, tids: Any,
                   built_predicate: Any, predicate: Any) -> ColumnarScanPlan:
     """Cacheable twin of :meth:`~repro.sqlengine.tempstructs.TIDList.fetch`."""
@@ -327,6 +329,7 @@ def tid_join_plan(server: Any, table: Any, tids: Any,
     )
 
 
+#: meter parity with KeysetCursor.fetch
 def keyset_fetch_plan(server: Any, table: Any, tids: Any,
                       built_predicate: Any,
                       predicate: Any) -> ColumnarScanPlan:
@@ -358,6 +361,7 @@ def keyset_fetch_plan(server: Any, table: Any, tids: Any,
     )
 
 
+#: meter parity with PlannedScanStrategy._index_rows
 def index_fetch_plan(server: Any, table: Any, access_plan: Any,
                      predicate: Any) -> ColumnarScanPlan:
     """Cacheable twin of a planner-chosen index probe + TID fetch.

@@ -189,6 +189,7 @@ class StagedFile:
                 events=rows_read,
             )
 
+    #: meter parity with StagedFile.scan
     def scan_blocks(self) -> Iterator[Any]:
         """Yield row blocks as int32 matrices (the columnar scan path).
 
@@ -234,6 +235,7 @@ class StagedFile:
                 events=rows_read,
             )
 
+    #: meter parity with StagedFile.scan
     def charge_cached_read(self) -> None:
         """Meter one full scan's read cost without touching the disk.
 

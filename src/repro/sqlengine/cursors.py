@@ -61,6 +61,7 @@ class ForwardCursor:
             events=transferred,
         )
 
+    #: meter parity with ForwardCursor.rows
     def partitions(self, partition_rows: int) -> Iterator[Any]:
         """Yield qualifying rows as :class:`ColumnarPartition` batches.
 

@@ -1,0 +1,40 @@
+"""Seeded violations for the charge-category rule.
+
+Carries its own miniature cost registry (the rule discovers
+``CATEGORIES``/``CostModel`` in the scanned project, never imports
+them) with one never-charged category, one never-read model field,
+one typo'd charge and one computed charge.
+"""
+
+CATEGORIES = (
+    "scan",
+    "transfer",
+    "ghost",  # BAD: declared but never charged anywhere below
+)
+
+
+class CostModel:
+    scan_page: float = 1.0
+    transfer_per_row: float = 0.1
+    phantom_cost: float = 9.9  # BAD: never read by any charging function
+
+
+def charge_scan(meter, model):
+    # OK: literal category from the registry, reads model.scan_page.
+    meter.charge("scan", model.scan_page)
+
+
+def charge_typo(meter, model):
+    # BAD: "trasnfer" silently opens a new bucket.
+    meter.charge("trasnfer", model.transfer_per_row)
+
+
+def charge_computed(meter, model, category):
+    # BAD: computed category cannot be audited statically.
+    meter.charge(category, model.transfer_per_row)
+
+
+def charge_transfer(meter, model, rows):
+    # OK: keeps "transfer" exercised so only "ghost" goes stale.
+    cost = model.transfer_per_row * rows
+    meter.charge("transfer", cost)

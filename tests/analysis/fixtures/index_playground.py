@@ -1,0 +1,62 @@
+"""ProjectIndex unit-test fixture: cycles, dispatch, inheritance.
+
+Shapes exercised:
+
+* a two-function recursion cycle (``ping``/``pong``) — reachability
+  must terminate and include both;
+* dynamic-dispatch fallback — ``poke_untyped`` calls ``recalibrate``
+  on an untyped receiver; exactly one project class defines it, so
+  the fallback binds (and marks the site ``via_fallback``), while
+  ``shutdown_untyped`` calls blocklisted ``close`` which must stay
+  unresolved;
+* inheritance — ``Derived`` inherits ``base_helper``; a typed call
+  through a ``Derived`` receiver must resolve via the MRO.
+"""
+
+
+def ping(n):
+    if n > 0:
+        return pong(n - 1)
+    return 0
+
+
+def pong(n):
+    return ping(n)
+
+
+class Gadget:
+    def recalibrate(self):
+        return "ok"
+
+    def close(self):
+        return None
+
+
+def poke_untyped(thing):
+    # Untyped receiver; 'recalibrate' has exactly one project owner.
+    return thing.recalibrate()
+
+
+def shutdown_untyped(thing):
+    # 'close' is on the common-name blocklist: must NOT resolve.
+    return thing.close()
+
+
+class Base:
+    def base_helper(self):
+        return 1
+
+    def template(self):
+        return self.hook()
+
+    def hook(self):
+        return 0
+
+
+class Derived(Base):
+    def hook(self):
+        return self.base_helper()
+
+
+def drive(obj: Derived):
+    return obj.template()

@@ -1,0 +1,50 @@
+"""Seeded violations for the mutation-completeness rule.
+
+One heap, two metered insert paths: ``careful_insert`` discharges
+every obligation (version bump, physical index maintenance, literal
+"index" charge); ``sloppy_insert`` discharges none of them and must
+draw all four findings.
+"""
+
+
+class MutPage:
+    def __init__(self):
+        self.rows = []
+
+    def live_rows(self):
+        return list(self.rows)
+
+    def append(self, row):
+        self.rows.append(row)
+        return len(self.rows) - 1
+
+
+class MutHeap:
+    def __init__(self):
+        self._pages = [MutPage()]
+        self._indexes = []
+        self._version = 0
+
+    def insert(self, row):
+        return self._pages[-1].append(row)
+
+    def insert_maintained(self, row):
+        tid = self._pages[-1].append(row)
+        self._version += 1
+        for index in self._indexes:
+            index.insert(row)
+        return tid
+
+
+def careful_insert(heap: MutHeap, row, meter, model):
+    # OK: version bump + index loop reachable, "index" charged here.
+    meter.charge("transfer", model.transfer_per_row)
+    meter.charge("index", model.index_probe)
+    return heap.insert_maintained(row)
+
+
+def sloppy_insert(heap: MutHeap, row, meter, model):
+    # BAD x4: no version bump, no statistics invalidation, no physical
+    # index maintenance, no "index" charge.
+    meter.charge("transfer", model.transfer_per_row)
+    return heap.insert(row)

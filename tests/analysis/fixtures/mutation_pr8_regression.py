@@ -1,0 +1,41 @@
+"""Regression fixture: PR 8's INSERT bug, distilled.
+
+The shipped bug: the INSERT executor bumped the table version and
+maintained indexes *physically*, but never charged the "index"
+maintenance cost — every insert silently under-billed.  This file
+reproduces exactly that shape; mutation-completeness must fail on it
+forever, and with precisely one finding (the fiscal half), because
+the physical half here is genuinely correct.
+"""
+
+
+class RegressionPage:
+    def __init__(self):
+        self.rows = []
+
+    def live_rows(self):
+        return list(self.rows)
+
+    def append(self, row):
+        self.rows.append(row)
+        return len(self.rows) - 1
+
+
+class RegressionHeap:
+    def __init__(self):
+        self._pages = [RegressionPage()]
+        self._indexes = []
+        self._version = 0
+
+    def insert(self, row):
+        tid = self._pages[-1].append(row)
+        self._version += 1
+        for index in self._indexes:
+            index.insert(row)
+        return tid
+
+
+def execute_insert(heap: RegressionHeap, row, meter, model):
+    # Physically complete, fiscally silent: no "index" charge.
+    meter.charge("transfer", model.transfer_per_row)
+    return heap.insert(row)

@@ -1,0 +1,57 @@
+"""Seeded violations for the meter-parity rule.
+
+Five declarations: a multiset mismatch, a dangling target, an
+unverifiable (computed-category) declarer, an ambiguous bare-name
+target, and one correct ``A + B`` union declaration that must pass.
+"""
+
+
+def _charge_scan(meter, model):
+    meter.charge("scan", model.scan_page)
+    meter.charge("transfer", model.transfer_per_row)
+
+
+def _charge_extra(meter, model):
+    meter.charge("extra", model.extra_cost)
+
+
+#: meter parity with _charge_scan
+def mismatched_twin(meter, model):
+    # BAD: missing the transfer charge its twin pays.
+    meter.charge("scan", model.scan_page)
+
+
+#: meter parity with does_not_exist_anywhere
+def dangling_twin(meter, model):
+    # BAD: target resolves to nothing in the scanned project.
+    meter.charge("scan", model.scan_page)
+
+
+#: meter parity with _charge_scan
+def opaque_twin(meter, model, category):
+    # BAD: computed category makes the declaration unverifiable.
+    meter.charge(category, model.scan_page)
+
+
+#: meter parity with _charge_scan + _charge_extra
+def union_twin(meter, model):
+    # OK: matches the summed multiset of both targets.
+    meter.charge("scan", model.scan_page)
+    meter.charge("transfer", model.transfer_per_row)
+    meter.charge("extra", model.extra_cost)
+
+
+class AlphaCursor:
+    def fetch(self, meter, model):
+        meter.charge("scan", model.scan_page)
+
+
+class BetaCursor:
+    def fetch(self, meter, model):
+        meter.charge("scan", model.scan_page)
+
+
+#: meter parity with fetch
+def ambiguous_twin(meter, model):
+    # BAD: bare "fetch" matches both cursor classes.
+    meter.charge("scan", model.scan_page)

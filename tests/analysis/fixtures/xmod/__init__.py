@@ -1,0 +1,1 @@
+"""Cross-module fixture package for ProjectIndex resolution tests."""

@@ -1,0 +1,27 @@
+"""Facade half: reaches storage only through import aliases.
+
+``count_free`` is the cross-module seeded violation — a metered
+function whose path to the heap rows crosses a module boundary twice
+(aliased class import, aliased module import) without a charge.
+"""
+
+from .storage import XHeap as Store
+
+from . import storage as st
+
+
+def build_store() -> Store:
+    return Store()
+
+
+def count_free(meter) -> int:
+    # BAD: aliased cross-module path to heap rows, no charge.
+    store = build_store()
+    return sum(1 for _row in store.scan_rows())
+
+
+def count_paid(meter, model) -> int:
+    # OK: charges before the aliased module call reaches the rows.
+    meter.charge("scan", model.scan_page)
+    heap = st.make_heap()
+    return sum(1 for _row in heap.scan_rows())

@@ -1,0 +1,23 @@
+"""Storage half of the cross-module fixture: a mini page/heap stack."""
+
+
+class XPage:
+    def __init__(self):
+        self.rows = []
+
+    def live_rows(self):
+        return list(self.rows)
+
+
+class XHeap:
+    def __init__(self):
+        self._pages = [XPage()]
+
+    def scan_rows(self):
+        for page in self._pages:
+            for row in page.live_rows():
+                yield row
+
+
+def make_heap():
+    return XHeap()

@@ -3,6 +3,8 @@
 import json
 import os
 
+import pytest
+
 from repro.analysis.__main__ import main
 
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
@@ -61,3 +63,67 @@ def test_parse_error_is_a_finding(tmp_path, capsys):
     path.write_text("def broken(:\n")
     assert main([str(path), "--root", str(tmp_path)]) == 1
     assert "[parse-error]" in capsys.readouterr().out
+
+
+def test_list_rules_includes_meter_family(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("charge-category", "unmetered-row-access",
+                 "mutation-completeness", "meter-parity"):
+        assert rule in out
+
+
+def test_select_runs_only_named_rules(capsys):
+    code = main([fixture("parity_bad.py"), "--format", "json",
+                 "--select", "meter-parity", "--root", FIXTURES])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["rules_run"] == ["meter-parity"]
+    assert {f["rule"] for f in payload["findings"]} == {"meter-parity"}
+
+
+def test_select_unknown_rule_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([fixture("parity_bad.py"), "--select", "no-such-rule"])
+    assert excinfo.value.code == 2
+    assert "no-such-rule" in capsys.readouterr().err
+
+
+def test_json_reports_per_rule_timings(capsys):
+    main([fixture("parity_bad.py"), "--format", "json",
+          "--select", "meter-parity,charge-category",
+          "--root", FIXTURES])
+    payload = json.loads(capsys.readouterr().out)
+    timings = payload["rule_timings"]
+    # One entry per rule run, plus the shared index build.
+    assert set(timings) == \
+        {"meter-parity", "charge-category", "project-index"}
+    assert all(seconds >= 0 for seconds in timings.values())
+
+
+def test_time_budget_exceeded_fails(tmp_path, capsys):
+    path = tmp_path / "clean.py"
+    path.write_text("x = 1\n")
+    code = main([str(path), "--root", str(tmp_path),
+                 "--time-budget", "0"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "over the 0.00s budget" in captured.err
+    assert "slowest:" in captured.err
+
+
+def test_time_budget_generous_passes(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text("x = 1\n")
+    assert main([str(path), "--root", str(tmp_path),
+                 "--time-budget", "60"]) == 0
+
+
+def test_output_writes_file_instead_of_stdout(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    code = main([fixture("future_bad.py"), "--format", "json",
+                 "--output", str(report_path), "--root", FIXTURES])
+    assert code == 1
+    assert capsys.readouterr().out == ""
+    payload = json.loads(report_path.read_text())
+    assert payload["findings"]

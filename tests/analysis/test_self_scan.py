@@ -34,6 +34,19 @@ def test_every_suppression_in_src_is_justified_and_used():
     assert audit == []
 
 
+def test_meter_family_runs_and_src_stays_clean():
+    """The interprocedural meter rules are on by default and src/ is
+    clean under them — every justified suppression stays accounted."""
+    report = analyze(
+        [os.path.join(REPO_ROOT, "src")], default_rules(), root=REPO_ROOT
+    )
+    for rule in ("charge-category", "unmetered-row-access",
+                 "mutation-completeness", "meter-parity"):
+        assert rule in report.rules_run
+    assert "project-index" in report.rule_timings
+    assert report.clean
+
+
 def test_scan_covers_the_whole_package():
     report = analyze(
         [os.path.join(REPO_ROOT, "src")], default_rules(), root=REPO_ROOT

@@ -1,16 +1,24 @@
-"""The suppression pragma: justified, unjustified, unused."""
+"""The suppression pragma: justified, unjustified, unused.
+
+The unused audit is per *rule*, scoped to the rules that actually ran:
+``disable=a,b`` where only ``a`` matched reports ``b`` unused — but
+only when ``b`` was part of the run, so ``--select`` passes cannot
+false-flag pragmas belonging to unselected rules.
+"""
 
 import os
 
 from repro.analysis import analyze
 from repro.analysis.rules.future_drain import FutureDrainRule
+from repro.analysis.rules.guarded_by import GuardedByRule
 
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
 
 
-def run():
+def run(rules=None):
     path = os.path.join(FIXTURES, "suppressed.py")
-    return analyze([path], [FutureDrainRule()], root=FIXTURES)
+    rules = rules or [FutureDrainRule(), GuardedByRule()]
+    return analyze([path], rules, root=FIXTURES)
 
 
 def test_justified_suppression_silences_the_finding():
@@ -46,14 +54,29 @@ def test_unused_suppression_is_reported():
     assert "guarded-by" in unused[0].message
 
 
-def test_multi_rule_pragma_parses(tmp_path):
+def test_unused_audit_skips_rules_that_did_not_run():
+    # Only future-drain runs: the never-matching guarded-by pragma
+    # cannot be judged unused, because its rule never had the chance.
+    report = run([FutureDrainRule()])
+    assert not any(
+        f.rule == "unused-suppression" for f in report.findings
+    )
+
+
+def test_multi_rule_pragma_audits_each_rule_separately(tmp_path):
     path = tmp_path / "multi.py"
     path.write_text(
         "def go(pool, item):\n"
         "    pool.submit(item)  "
         "# repro-lint: disable=future-drain,guarded-by -- demo of both\n"
     )
-    report = analyze([str(path)], [FutureDrainRule()], root=str(tmp_path))
-    # future-drain matched; guarded-by never fires here -> unused.
+    report = analyze(
+        [str(path)], [FutureDrainRule(), GuardedByRule()],
+        root=str(tmp_path),
+    )
+    # future-drain matched; guarded-by ran but never fired -> exactly
+    # one unused finding, naming the stale half of the pragma.
     assert [f.rule for f in report.findings] == ["unused-suppression"]
+    assert "guarded-by" in report.findings[0].message
+    assert "future-drain" not in report.findings[0].message
     assert len(report.suppressed) == 1
