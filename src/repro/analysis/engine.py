@@ -28,6 +28,7 @@ from .findings import Finding
 from .source import SourceFile
 
 if TYPE_CHECKING:
+    from .lockset import LockSetAnalysis
     from .project_index import ProjectIndex
 
 #: Directory names never descended into while collecting files.
@@ -51,6 +52,7 @@ class Project:
         self.files = files
         self.root = root
         self._index: ProjectIndex | None = None
+        self._lockset: LockSetAnalysis | None = None
 
     def index(self) -> ProjectIndex:
         """The interprocedural index, built once per project.
@@ -62,6 +64,17 @@ class Project:
             from .project_index import ProjectIndex
             self._index = ProjectIndex.build(self)
         return self._index
+
+    def lockset(self) -> LockSetAnalysis:
+        """The lock-set analysis, built once on top of the index.
+
+        Rules that set ``needs_lockset`` call this; like the index it
+        is pre-built (timed under ``lock-set``) by the engine.
+        """
+        if self._lockset is None:
+            from .lockset import LockSetAnalysis
+            self._lockset = LockSetAnalysis.build(self)
+        return self._lockset
 
     def by_suffix(self, suffix: str) -> list[SourceFile]:
         """Scanned files whose path ends with ``suffix``."""
@@ -77,6 +90,7 @@ class RuleLike(Protocol):
 
     name: str
     needs_index: bool
+    needs_lockset: bool
 
     def check(self, project: Project) -> Iterable[Finding]: ...
 
@@ -95,9 +109,10 @@ class AnalysisReport:
     rules_run: list[str] = field(default_factory=list)
     #: Detected project root (SARIF URIs are relative to it).
     root: str = "."
-    #: Wall seconds per rule; building the interprocedural index is
-    #: charged to the pseudo-entry ``project-index``, not to whichever
-    #: rule happened to run first.
+    #: Wall seconds per rule; building the interprocedural index and
+    #: the lock-set analysis are charged to the pseudo-entries
+    #: ``project-index`` / ``lock-set``, not to whichever rule
+    #: happened to run first.
     rule_timings: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -177,10 +192,19 @@ def run_rules_timed(project: Project, rules: Sequence[RuleLike]) -> \
     per-rule numbers stay comparable regardless of run order.
     """
     timings: dict[str, float] = {}
-    if any(getattr(rule, "needs_index", False) for rule in rules):
+    needs_lockset = any(
+        getattr(rule, "needs_lockset", False) for rule in rules
+    )
+    if needs_lockset or any(
+        getattr(rule, "needs_index", False) for rule in rules
+    ):
         started = time.perf_counter()
         project.index()
         timings["project-index"] = time.perf_counter() - started
+    if needs_lockset:
+        started = time.perf_counter()
+        project.lockset()
+        timings["lock-set"] = time.perf_counter() - started
     findings: list[Finding] = []
     for rule in rules:
         started = time.perf_counter()

@@ -1,0 +1,916 @@
+"""The lock-set layer: which locks are provably held, whole-program.
+
+The per-file concurrency rules from the first analysis PR could only
+reason lexically: a write to a ``#: guarded by self._lock`` attribute
+was clean iff it sat *textually* inside ``with self._lock:``, and a
+lock-order edge existed only when two ``with`` blocks nested inside
+one function of one class.  That forces the common helper pattern —
+``with self._lock: self._apply(...)`` where ``_apply`` does the write
+— into either a suppression or a false pass, and leaves every
+cross-class acquisition edge to the runtime witness file.
+
+This module computes, RacerD-style, a *lock set* for every function in
+the :class:`~repro.analysis.project_index.ProjectIndex` call graph:
+
+* **must-entry** — the set of locks provably held on *every* path into
+  the function.  Computed as a greatest fixpoint: each resolved call
+  site contributes ``must_entry(caller) ∪ lexical(site)`` and the
+  contributions meet by intersection.  Thread roots and functions with
+  no known callers contribute the empty set (they can be entered with
+  no project lock held).
+* **⊥ (unknown)** — an explicit bottom element.  Some entry paths are
+  invisible: a dynamic-dispatch fallback guess, a function escaping
+  as a value (callbacks), decorator-wrapped defs, implicit dunder
+  dispatch, and call sites inside nested ``def``/``lambda`` (a
+  closure runs later, under unknown locks).  Those paths are *taint*:
+  they never contribute an empty lock set — so a tainted function
+  whose every *known* caller holds the lock stays clean — and a
+  function **all** of whose entry paths are unknown is ⊥ outright.
+  Rules treat ⊥ as "unknown" and stay silent: the analysis degrades
+  to *unknown*, never to *unlocked*, and every finding carries a
+  concrete witnessing caller chain.  The runtime sanitizer covers the
+  residue.
+* **may-entry** — the union over the same contributions, used to
+  derive the static lock-order graph: holding lock A (on *some* path)
+  while acquiring lock B is a potential A→B edge even when the two
+  acquisitions live two calls and two classes apart.
+* **lock identity** — locks are named canonically ``"ClassName.attr"``
+  (the string literal passed to ``new_lock``/``new_rlock`` when there
+  is one), and a lock created in one class and passed into another's
+  ``__init__`` resolves to the *creator's* canonical name, so aliased
+  acquisitions produce one graph node instead of silently dropping
+  the edge.
+* **RLock re-entrancy** — re-acquiring a held re-entrant lock is
+  neither an edge nor a self-deadlock; re-acquiring a held *plain*
+  lock is a guaranteed deadlock and surfaces as a self-edge.
+* **thread roots** — discovered structurally: ``threading.Thread(
+  target=...)`` sites, ``executor.submit(f, ...)`` first arguments,
+  and the public entry points of ``Middleware`` classes.  The
+  atomicity rule uses them to ask whether a racy sequence is actually
+  reachable from two threads.
+
+The analysis is built once per run (``Project.lockset()``, timed as
+``lock-set`` next to ``project-index``) and shared by the whole
+concurrency family.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, \
+    Optional, Sequence, Set, Tuple
+
+from .project_index import CallSite, ClassInfo, FunctionInfo, ProjectIndex
+
+if TYPE_CHECKING:
+    from .engine import Project
+
+#: Calls that create a lock the analysis can name.  ``new_lock`` /
+#: ``new_rlock`` are the project's sanitizer-aware factories; bare
+#: ``threading.Lock()`` / ``RLock()`` appear in fixtures and tests.
+LOCK_FACTORIES = frozenset({"new_lock", "Lock"})
+RLOCK_FACTORIES = frozenset({"new_rlock", "RLock"})
+
+#: Upper bound on constructor-parameter alias resolution rounds: a
+#: lock can thread A → B → C through two ``__init__`` hops.
+ALIAS_ROUNDS = 4
+
+#: must-entry lattice: a concrete frozenset of canonical lock names,
+#: or ``None`` for ⊥ (no known entry path — unknown, not unlocked).
+MustState = Optional[FrozenSet[str]]
+
+
+def short_path(path: Sequence[str]) -> str:
+    """Render a qualname chain compactly: keep the last two segments."""
+    return " -> ".join(".".join(q.split(".")[-2:]) for q in path)
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _terminal_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One named lock: canonical identity plus re-entrancy."""
+
+    #: ``"ClassName.attr"`` — the factory's string literal when given,
+    #: else derived from the owning class and attribute.
+    canonical: str
+    reentrant: bool
+
+
+@dataclass(frozen=True)
+class ThreadRoot:
+    """A function some thread enters from outside the call graph."""
+
+    qualname: str
+    #: ``thread-target`` | ``executor-submit`` | ``public-entry``.
+    kind: str
+    #: Where the root was discovered (qualname of the spawning
+    #: function, or the owning class for public entry points).
+    via: str
+    #: True when many threads may run this root concurrently (executor
+    #: submissions, ``Thread(...)`` constructed inside a loop).
+    multi: bool
+
+
+@dataclass
+class Acquisition:
+    """One ``with self.<lock>:`` statement inside a function."""
+
+    function: str
+    node: ast.With
+    lock: LockInfo
+    #: Canonical names lexically held *around* this acquisition.
+    held_lexical: FrozenSet[str]
+
+
+@dataclass
+class StaticEdge:
+    """Holding ``outer``, the program acquires ``inner``."""
+
+    outer: str
+    inner: str
+    #: Function containing the inner acquisition.
+    function: str
+    #: The ``with`` statement performing the inner acquisition.
+    node: ast.With
+    #: Caller chain (outermost first, ending at ``function``) through
+    #: which ``outer`` is held; length 1 means purely lexical.
+    chain: Tuple[str, ...]
+
+
+class LockRegistry:
+    """Canonical names for every lock attribute in the project."""
+
+    def __init__(self) -> None:
+        #: (class qualname, attr) -> LockInfo.
+        self._by_attr: Dict[Tuple[str, str], LockInfo] = {}
+
+    @classmethod
+    def build(cls, index: ProjectIndex) -> "LockRegistry":
+        registry = cls()
+        registry._collect_factories(index)
+        registry._thread_constructor_params(index)
+        return registry
+
+    # -- construction --------------------------------------------------------
+
+    def _collect_factories(self, index: ProjectIndex) -> None:
+        """Pass 1: ``self.attr = new_lock("Cls.attr")`` in any method."""
+        for cls_info in index.classes.values():
+            for method_qualname in cls_info.methods.values():
+                method = index.functions.get(method_qualname)
+                if method is None:
+                    continue
+                for node in ast.walk(method.node):
+                    attr, value = _attr_assignment(node)
+                    if attr is None or not isinstance(value, ast.Call):
+                        continue
+                    info = _factory_lock(value, cls_info.name, attr)
+                    if info is not None:
+                        self._by_attr.setdefault(
+                            (cls_info.qualname, attr), info
+                        )
+
+    def _thread_constructor_params(self, index: ProjectIndex) -> None:
+        """Pass 2: ``self.attr = <ctor param>`` resolved at call sites.
+
+        Iterated so a lock can thread through several ``__init__``
+        hops; a parameter whose call sites disagree about which lock
+        they pass stays unregistered (conservative).
+        """
+        for _ in range(ALIAS_ROUNDS):
+            if not self._thread_once(index):
+                break
+
+    def _thread_once(self, index: ProjectIndex) -> bool:
+        changed = False
+        for cls_info in index.classes.values():
+            ctor_qualname = cls_info.methods.get("__init__")
+            ctor = index.functions.get(ctor_qualname or "")
+            if ctor is None:
+                continue
+            aliases = _param_aliases(ctor)
+            if not aliases:
+                continue
+            params = _param_names(ctor)
+            for attr, param in aliases.items():
+                key = (cls_info.qualname, attr)
+                if key in self._by_attr:
+                    continue
+                info = self._lock_passed_for(
+                    index, ctor.qualname, params, param
+                )
+                if info is not None:
+                    self._by_attr[key] = info
+                    changed = True
+        return changed
+
+    def _lock_passed_for(self, index: ProjectIndex, ctor: str,
+                         params: List[str],
+                         param: str) -> Optional[LockInfo]:
+        """The unique LockInfo every ctor call site passes for a param."""
+        found: Set[LockInfo] = set()
+        for caller_qualname, sites in index.calls.items():
+            caller = index.functions.get(caller_qualname)
+            if caller is None:
+                continue
+            for site in sites:
+                if ctor not in site.targets or site.via_fallback:
+                    continue
+                arg = _argument_for(site.node, params, param)
+                if arg is None:
+                    continue
+                info = self._lock_of_expr(index, caller, arg)
+                if info is None:
+                    return None  # a site we cannot name: give up.
+                found.add(info)
+        if len(found) == 1:
+            return next(iter(found))
+        return None
+
+    def _lock_of_expr(self, index: ProjectIndex, caller: FunctionInfo,
+                      expr: ast.AST) -> Optional[LockInfo]:
+        """Resolve an argument expression to a known lock, best effort."""
+        attr = _self_attr(expr)
+        if attr is not None:
+            owner = _owner_class(index, caller)
+            if owner is not None:
+                return self.lookup(index, owner.qualname, attr)
+            return None
+        if isinstance(expr, ast.Call):
+            direct = _factory_lock(expr, "", "")
+            if direct is not None and direct.canonical:
+                return direct
+            # A project factory function whose body returns a named
+            # factory call (``def make(): return new_lock("A.b")``).
+            for site in index.calls.get(caller.qualname, []):
+                if site.node is not expr:
+                    continue
+                for target in site.targets:
+                    info = _returned_lock(index, target)
+                    if info is not None:
+                        return info
+            return None
+        if isinstance(expr, ast.Name):
+            # A local assigned from a factory call in the same body.
+            for node in ast.walk(caller.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if len(node.targets) != 1 or not isinstance(
+                    node.targets[0], ast.Name
+                ) or node.targets[0].id != expr.id:
+                    continue
+                if isinstance(node.value, ast.Call):
+                    info = _factory_lock(node.value, "", "")
+                    if info is not None and info.canonical:
+                        return info
+                local_attr = _self_attr(node.value)
+                if local_attr is not None:
+                    owner = _owner_class(index, caller)
+                    if owner is not None:
+                        return self.lookup(
+                            index, owner.qualname, local_attr
+                        )
+            return None
+        return None
+
+    # -- queries -------------------------------------------------------------
+
+    def lookup(self, index: ProjectIndex, class_qualname: str,
+               attr: str) -> Optional[LockInfo]:
+        """The lock behind ``self.<attr>`` on a class, MRO-aware."""
+        for owner in _project_mro(index, class_qualname):
+            info = self._by_attr.get((owner, attr))
+            if info is not None:
+                return info
+        return None
+
+    def canonical_guard(self, index: ProjectIndex, class_qualname: str,
+                        attr: str) -> str:
+        """Canonical name for a guard lock, with a naming fallback."""
+        info = self.lookup(index, class_qualname, attr)
+        if info is not None:
+            return info.canonical
+        simple = class_qualname.rsplit(".", 1)[-1]
+        return f"{simple}.{attr}"
+
+    def known_locks(self) -> Dict[Tuple[str, str], LockInfo]:
+        return dict(self._by_attr)
+
+
+def _attr_assignment(
+    node: ast.AST,
+) -> Tuple[Optional[str], Optional[ast.AST]]:
+    """``(attr, value)`` for ``self.attr = value`` forms, else Nones."""
+    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+        attr = _self_attr(node.targets[0])
+        if attr is not None:
+            return attr, node.value
+    if isinstance(node, ast.AnnAssign) and node.value is not None:
+        attr = _self_attr(node.target)
+        if attr is not None:
+            return attr, node.value
+    return None, None
+
+
+def _factory_lock(call: ast.Call, class_name: str,
+                  attr: str) -> Optional[LockInfo]:
+    """LockInfo for a lock-factory call, or None for other calls.
+
+    The canonical name prefers the factory's first string-literal
+    argument (the sanitizer's naming convention); without one it is
+    ``"ClassName.attr"`` — empty when neither is known, which callers
+    treat as unusable.
+    """
+    name = _terminal_name(call)
+    if name is None:
+        return None
+    if name in LOCK_FACTORIES:
+        reentrant = False
+    elif name in RLOCK_FACTORIES:
+        reentrant = True
+    else:
+        return None
+    canonical = ""
+    if call.args and isinstance(call.args[0], ast.Constant) and \
+            isinstance(call.args[0].value, str):
+        canonical = call.args[0].value
+    elif class_name and attr:
+        canonical = f"{class_name}.{attr}"
+    if not canonical:
+        return None
+    return LockInfo(canonical=canonical, reentrant=reentrant)
+
+
+def _returned_lock(index: ProjectIndex,
+                   qualname: str) -> Optional[LockInfo]:
+    """The named lock a factory *function* returns, if any."""
+    info = index.functions.get(qualname)
+    if info is None:
+        return None
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Return) and isinstance(
+            node.value, ast.Call
+        ):
+            found = _factory_lock(node.value, "", "")
+            if found is not None:
+                return found
+    return None
+
+
+def _param_names(ctor: FunctionInfo) -> List[str]:
+    args = ctor.node.args
+    return [a.arg for a in list(args.posonlyargs) + list(args.args)]
+
+
+def _param_aliases(ctor: FunctionInfo) -> Dict[str, str]:
+    """``self.attr = <param>`` assignments in an ``__init__`` body."""
+    params = set(_param_names(ctor)) - {"self"}
+    out: Dict[str, str] = {}
+    for node in ast.walk(ctor.node):
+        attr, value = _attr_assignment(node)
+        if attr is None:
+            continue
+        if isinstance(value, ast.Name) and value.id in params:
+            out.setdefault(attr, value.id)
+    return out
+
+
+def _argument_for(call: ast.Call, params: List[str],
+                  param: str) -> Optional[ast.AST]:
+    """The expression a call passes for a named constructor param."""
+    for keyword in call.keywords:
+        if keyword.arg == param:
+            return keyword.value
+    try:
+        position = params.index(param) - 1  # self occupies slot 0.
+    except ValueError:
+        return None
+    if 0 <= position < len(call.args):
+        arg = call.args[position]
+        if not isinstance(arg, ast.Starred):
+            return arg
+    return None
+
+
+def _owner_class(index: ProjectIndex,
+                 info: FunctionInfo) -> Optional[ClassInfo]:
+    if info.class_name is None:
+        return None
+    return index.classes.get(info.qualname.rsplit(".", 1)[0])
+
+
+def _project_mro(index: ProjectIndex, class_qualname: str) -> List[str]:
+    """BFS over project bases (self first, cycle-safe)."""
+    out: List[str] = []
+    queue: List[str] = [class_qualname]
+    seen: Set[str] = set()
+    while queue:
+        current = queue.pop(0)
+        if current in seen or current not in index.classes:
+            continue
+        seen.add(current)
+        out.append(current)
+        queue.extend(index.classes[current].bases)
+    return out
+
+
+def _walk_direct(node: ast.AST,
+                 stack: List[ast.AST]) -> Iterator[
+                     Tuple[ast.AST, List[ast.AST]]]:
+    """(descendant, ancestors) pairs; nested defs are not entered."""
+    for child in ast.iter_child_nodes(node):
+        yield child, stack
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef, ast.Lambda)):
+            continue
+        yield from _walk_direct(child, stack + [child])
+
+
+def discover_thread_roots(index: ProjectIndex) -> Dict[str, ThreadRoot]:
+    """Structural thread-root discovery over the whole project.
+
+    * ``threading.Thread(target=f)`` — ``f`` runs on a new thread; a
+      construction site inside a loop spawns many (``multi``).
+    * ``executor.submit(f, ...)`` — pool workers run ``f`` on many
+      threads concurrently (always ``multi``).
+    * public methods of ``Middleware`` classes — external callers
+      enter here; a *pair* of distinct entries is what makes a shared
+      mutation racy, so these are not ``multi`` on their own.
+    """
+    roots: Dict[str, ThreadRoot] = {}
+
+    def note(qualname: Optional[str], kind: str, via: str,
+             multi: bool) -> None:
+        if qualname is None or qualname not in index.functions:
+            return
+        existing = roots.get(qualname)
+        if existing is None:
+            roots[qualname] = ThreadRoot(qualname, kind, via, multi)
+        elif multi and not existing.multi:
+            roots[qualname] = ThreadRoot(
+                qualname, existing.kind, existing.via, True
+            )
+
+    for info in index.functions.values():
+        owner = _owner_class(index, info)
+        module = index.modules.get(info.module)
+        for node, stack in _walk_direct(info.node, []):
+            if not isinstance(node, ast.Call):
+                continue
+            in_loop = any(
+                isinstance(a, (ast.For, ast.While)) for a in stack
+            )
+            name = _terminal_name(node)
+            if name == "Thread":
+                target = _thread_target(node)
+                note(
+                    _resolve_callable(index, info, owner, module,
+                                      target),
+                    "thread-target", info.qualname, in_loop,
+                )
+            elif name == "submit" and isinstance(
+                node.func, ast.Attribute
+            ) and node.args:
+                note(
+                    _resolve_callable(index, info, owner, module,
+                                      node.args[0]),
+                    "executor-submit", info.qualname, True,
+                )
+
+    for cls_info in index.classes.values():
+        if not cls_info.name.endswith("Middleware"):
+            continue
+        for method_name, qualname in cls_info.methods.items():
+            if method_name.startswith("_"):
+                continue
+            note(qualname, "public-entry", cls_info.qualname, False)
+    return roots
+
+
+def _thread_target(call: ast.Call) -> Optional[ast.AST]:
+    for keyword in call.keywords:
+        if keyword.arg == "target":
+            return keyword.value
+    if len(call.args) >= 2:  # Thread(group, target, ...)
+        return call.args[1]
+    return None
+
+
+def _resolve_callable(index: ProjectIndex, info: FunctionInfo,
+                      owner: Optional[ClassInfo],
+                      module: Optional[object],
+                      expr: Optional[ast.AST]) -> Optional[str]:
+    """A function reference (not a call) to a project qualname."""
+    if expr is None:
+        return None
+    attr = _self_attr(expr)
+    if attr is not None and owner is not None:
+        return index.lookup_method(owner.qualname, attr)
+    if isinstance(expr, ast.Name):
+        mod = index.modules.get(info.module)
+        if mod is not None:
+            resolved = mod.symbols.get(expr.id)
+            if resolved in index.functions:
+                return resolved
+        scoped = f"{info.module}.{expr.id}" if info.module else expr.id
+        if scoped in index.functions:
+            return scoped
+    return None
+
+
+@dataclass
+class _CallerLink:
+    """One resolved edge into a function, with its lexical context."""
+
+    caller: str
+    site: CallSite
+    #: Locks lexically held around the call site in the caller.
+    lexical: FrozenSet[str]
+    #: True when the site sits inside a nested def/lambda — a closure
+    #: executes later, under unknown locks.
+    deferred: bool
+
+
+class LockSetAnalysis:
+    """Must/may lock sets, static edges, thread roots — one build."""
+
+    def __init__(self, index: ProjectIndex, registry: LockRegistry,
+                 roots: Dict[str, ThreadRoot]) -> None:
+        self.index = index
+        self.registry = registry
+        self.roots = roots
+        #: qualname -> must-entry state (None = ⊥).
+        self.must_entry: Dict[str, MustState] = {}
+        #: qualname -> union of locks possibly held on entry.
+        self.may_entry: Dict[str, FrozenSet[str]] = {}
+        #: qualname -> lexical acquisitions in that function.
+        self.acquisitions: Dict[str, List[Acquisition]] = {}
+        #: The static lock-order graph with witness chains.
+        self.edges: List[StaticEdge] = []
+        #: Functions with entry paths the graph cannot see, and why
+        #: (fallback dispatch, escapes, dunders, decorators).  A
+        #: tainted function with *no* known entry path is ⊥.
+        self.taint_reasons: Dict[str, str] = {}
+        self._callers: Dict[str, List[_CallerLink]] = {}
+        #: (function, lock) -> introducing caller link, for chains.
+        self._may_provenance: Dict[Tuple[str, str], _CallerLink] = {}
+        self._reach_cache: Dict[str, Dict[str, int]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, project: "Project") -> "LockSetAnalysis":
+        index = project.index()
+        registry = LockRegistry.build(index)
+        roots = discover_thread_roots(index)
+        analysis = cls(index, registry, roots)
+        analysis._scan_functions()
+        analysis._solve_must()
+        analysis._solve_may()
+        analysis._derive_edges()
+        return analysis
+
+    def _scan_functions(self) -> None:
+        """Lexical pass: acquisitions, call-site contexts, ⊥ seeds."""
+        index = self.index
+        for qualname, info in index.functions.items():
+            owner = _owner_class(index, info)
+            held_at_call: Dict[int, FrozenSet[str]] = {}
+            direct_nodes: Set[int] = set()
+            acquisitions: List[Acquisition] = []
+            for node, stack in _walk_direct(info.node, []):
+                direct_nodes.add(id(node))
+                if isinstance(node, ast.Call):
+                    held_at_call[id(node)] = self._held_in_stack(
+                        owner, stack
+                    )
+                if isinstance(node, ast.With):
+                    held = self._held_in_stack(owner, stack)
+                    for item in node.items:
+                        attr = _self_attr(item.context_expr)
+                        if attr is None or owner is None:
+                            continue
+                        lock = self.registry.lookup(
+                            index, owner.qualname, attr
+                        )
+                        if lock is None:
+                            continue
+                        acquisitions.append(Acquisition(
+                            function=qualname, node=node, lock=lock,
+                            held_lexical=held,
+                        ))
+            self.acquisitions[qualname] = acquisitions
+            for site in index.calls.get(qualname, []):
+                deferred = id(site.node) not in direct_nodes
+                lexical = held_at_call.get(id(site.node), frozenset())
+                for target in site.targets:
+                    if site.via_fallback:
+                        # A dispatch guess: taint the target rather
+                        # than invent a caller relationship.
+                        self.taint_reasons.setdefault(
+                            target, "reached via dynamic-dispatch "
+                            f"fallback from {qualname}"
+                        )
+                        continue
+                    self._callers.setdefault(target, []).append(
+                        _CallerLink(qualname, site, lexical, deferred)
+                    )
+            self._seed_bottom(info)
+
+    def _seed_bottom(self, info: FunctionInfo) -> None:
+        """Taint functions whose callers cannot all be seen."""
+        name = info.name
+        if name.startswith("__") and name.endswith("__") and \
+                name != "__init__":
+            self.taint_reasons.setdefault(
+                info.qualname, "dunder methods dispatch implicitly"
+            )
+        if info.node.decorator_list:
+            self.taint_reasons.setdefault(
+                info.qualname, "decorated defs are called through "
+                "their wrapper"
+            )
+        # Escape analysis: the function referenced as a *value* in a
+        # position other than a recognised thread-root slot.
+        for qualname in _escaped_references(self.index, info):
+            self.taint_reasons.setdefault(
+                qualname, f"escapes as a value in {info.qualname}"
+            )
+
+    def _held_in_stack(self, owner: Optional[ClassInfo],
+                       stack: List[ast.AST]) -> FrozenSet[str]:
+        if owner is None:
+            return frozenset()
+        held: Set[str] = set()
+        for ancestor in stack:
+            if not isinstance(ancestor, ast.With):
+                continue
+            for item in ancestor.items:
+                attr = _self_attr(item.context_expr)
+                if attr is None:
+                    continue
+                lock = self.registry.lookup(
+                    self.index, owner.qualname, attr
+                )
+                if lock is not None:
+                    held.add(lock.canonical)
+        return frozenset(held)
+
+    # -- must dataflow -------------------------------------------------------
+
+    def _solve_must(self) -> None:
+        """Greatest fixpoint from ⊤ = all locks, over *known* paths.
+
+        First a least fixpoint marks every function with at least one
+        known entry path: being a thread root, having no callers at
+        all (externally callable, no taint), or being called — through
+        a resolved, non-deferred site — by a function that is itself
+        known.  Everything else is ⊥.  Then the meet runs over known
+        contributions only: a tainted function's invisible extra
+        callers never pull the set down to "unlocked".
+        """
+        top = frozenset(
+            info.canonical
+            for info in self.registry.known_locks().values()
+        )
+        known = self._solve_known()
+        state: Dict[str, MustState] = {
+            qualname: (top if qualname in known else None)
+            for qualname in self.index.functions
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname in known:
+                new = self._must_transfer(qualname, state)
+                if new != state[qualname]:
+                    state[qualname] = new
+                    changed = True
+        self.must_entry = state
+
+    def _solve_known(self) -> Set[str]:
+        known: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for qualname in self.index.functions:
+                if qualname in known:
+                    continue
+                links = self._callers.get(qualname, [])
+                entered_outside = qualname in self.roots or (
+                    not links and qualname not in self.taint_reasons
+                )
+                if entered_outside or any(
+                    not link.deferred and link.caller in known
+                    for link in links
+                ):
+                    known.add(qualname)
+                    changed = True
+        return known
+
+    def _must_transfer(self, qualname: str,
+                       state: Dict[str, MustState]) -> MustState:
+        parts: List[FrozenSet[str]] = []
+        links = self._callers.get(qualname, [])
+        if qualname in self.roots or (
+            not links and qualname not in self.taint_reasons
+        ):
+            # Entered from outside the graph: no project lock held.
+            parts.append(frozenset())
+        for link in links:
+            if link.deferred:
+                continue  # closure: an unknown path, not a witness.
+            caller_state = state.get(link.caller)
+            if caller_state is None:
+                continue  # ⊥ caller: taint, never "unlocked".
+            parts.append(caller_state | link.lexical)
+        if not parts:
+            return None
+        result = parts[0]
+        for part in parts[1:]:
+            result = result & part
+        return result
+
+    # -- may dataflow --------------------------------------------------------
+
+    def _solve_may(self) -> None:
+        """Least fixpoint: union of caller contributions, from ∅."""
+        state: Dict[str, FrozenSet[str]] = {
+            qualname: frozenset() for qualname in self.index.functions
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname in self.index.functions:
+                merged: Set[str] = set(state[qualname])
+                for link in self._callers.get(qualname, []):
+                    incoming = state.get(link.caller, frozenset())
+                    contribution = incoming if link.deferred \
+                        else incoming | link.lexical
+                    for lock in contribution:
+                        if lock not in merged:
+                            merged.add(lock)
+                            self._may_provenance.setdefault(
+                                (qualname, lock), link
+                            )
+                if len(merged) != len(state[qualname]):
+                    state[qualname] = frozenset(merged)
+                    changed = True
+        self.may_entry = state
+
+    # -- static lock-order edges ---------------------------------------------
+
+    def _derive_edges(self) -> None:
+        seen: Set[Tuple[str, str, str]] = set()
+        for qualname, acquisitions in self.acquisitions.items():
+            entry = self.may_entry.get(qualname, frozenset())
+            for acq in acquisitions:
+                held = entry | acq.held_lexical
+                for outer in sorted(held):
+                    if outer == acq.lock.canonical:
+                        if acq.lock.reentrant:
+                            continue  # RLock re-entry: legal, no edge.
+                        # Re-acquiring a held plain lock: self-deadlock.
+                    key = (outer, acq.lock.canonical, qualname)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    chain = self._held_chain(qualname, outer,
+                                             acq.held_lexical)
+                    self.edges.append(StaticEdge(
+                        outer=outer, inner=acq.lock.canonical,
+                        function=qualname, node=acq.node, chain=chain,
+                    ))
+
+    def _held_chain(self, qualname: str, lock: str,
+                    held_lexical: FrozenSet[str]) -> Tuple[str, ...]:
+        """Caller chain explaining how ``lock`` is held at ``qualname``."""
+        if lock in held_lexical:
+            return (qualname,)
+        chain = [qualname]
+        seen = {qualname}
+        current = qualname
+        while True:
+            link = self._may_provenance.get((current, lock))
+            if link is None or link.caller in seen:
+                break
+            chain.append(link.caller)
+            seen.add(link.caller)
+            if lock in link.lexical:
+                break  # acquired lexically around this call site.
+            current = link.caller
+        return tuple(reversed(chain))
+
+    # -- queries -------------------------------------------------------------
+
+    def edge_pairs(self) -> Set[Tuple[str, str]]:
+        """The static graph as bare ``(outer, inner)`` pairs."""
+        return {(edge.outer, edge.inner) for edge in self.edges}
+
+    def must_holds(self, qualname: str) -> MustState:
+        """Locks provably held on entry (None = ⊥ / unknown)."""
+        return self.must_entry.get(qualname, frozenset())
+
+    def unlocked_chain(self, qualname: str,
+                       lock: str) -> Tuple[str, ...]:
+        """A caller chain (outermost first) that reaches ``qualname``
+        without holding ``lock`` — the witness for a guarded-by or
+        atomicity finding.  Falls back to ``(qualname,)`` when the
+        function simply has no known callers.
+        """
+        chain = [qualname]
+        seen = {qualname}
+        current = qualname
+        while True:
+            links = self._callers.get(current, [])
+            step = None
+            for link in links:
+                if link.caller in seen or link.deferred:
+                    continue
+                caller_state = self.must_entry.get(link.caller)
+                if caller_state is None:
+                    continue
+                if lock not in (caller_state | link.lexical):
+                    step = link
+                    break
+            if step is None:
+                break
+            chain.append(step.caller)
+            seen.add(step.caller)
+            current = step.caller
+        return tuple(reversed(chain))
+
+    def roots_reaching(self, qualname: str) -> List[ThreadRoot]:
+        """Thread roots from which ``qualname`` is reachable."""
+        out: List[ThreadRoot] = []
+        for root in self.roots.values():
+            reach = self._root_reach(root.qualname)
+            if qualname in reach:
+                out.append(root)
+        return out
+
+    def _root_reach(self, root: str) -> Dict[str, int]:
+        if root not in self._reach_cache:
+            self._reach_cache[root] = self.index.reachable(root)
+        return self._reach_cache[root]
+
+
+def _escaped_references(index: ProjectIndex,
+                        info: FunctionInfo) -> Iterator[str]:
+    """Project functions ``info`` passes around as values.
+
+    A reference in a call-argument position that is not a recognised
+    thread-root slot (``Thread(target=...)``, ``submit(f, ...)``), or
+    assigned to an attribute/variable, means the function may be
+    invoked later from an arbitrary context — its entry state is ⊥.
+    Thread-root slots are exempt because roots get the stronger, more
+    useful "entered with no locks" state.
+    """
+    owner = _owner_class(index, info)
+    module = index.modules.get(info.module)
+
+    def resolve(expr: ast.AST) -> Optional[str]:
+        return _resolve_callable(index, info, owner, module, expr)
+
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Call):
+            exempt: Set[int] = {id(node.func)}
+            name = _terminal_name(node)
+            if name == "Thread":
+                target = _thread_target(node)
+                if target is not None:
+                    exempt.add(id(target))
+            elif name == "submit" and node.args:
+                exempt.add(id(node.args[0]))
+            for child in list(node.args) + [
+                k.value for k in node.keywords
+            ]:
+                if id(child) in exempt:
+                    continue
+                found = resolve(child)
+                if found is not None:
+                    yield found
+        elif isinstance(node, ast.Assign):
+            found = resolve(node.value) if not isinstance(
+                node.value, ast.Call
+            ) else None
+            if found is not None:
+                yield found

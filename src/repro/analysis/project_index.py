@@ -183,6 +183,39 @@ def _annotation_name(node: Optional[ast.AST]) -> Optional[str]:
     return None
 
 
+def _tuple_elem_annotations(
+    node: Optional[ast.AST],
+) -> Optional[List[ast.AST]]:
+    """Element annotations of ``tuple[X, Y]`` / ``Tuple[X, Y]``.
+
+    Returns None for anything that is not a fixed-arity tuple
+    annotation (including ``tuple[X, ...]``); string annotations are
+    re-parsed first, like :func:`_annotation_name` does.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            inner = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+        return _tuple_elem_annotations(inner)
+    if not isinstance(node, ast.Subscript):
+        return None
+    head = _annotation_name(node.value)
+    if head not in ("tuple", "Tuple", "typing.Tuple"):
+        return None
+    if not isinstance(node.slice, ast.Tuple):
+        return None
+    elems = list(node.slice.elts)
+    if any(
+        isinstance(e, ast.Constant) and e.value is Ellipsis
+        for e in elems
+    ):
+        return None
+    return elems
+
+
 def _iter_own_calls(node: ast.AST) -> Iterator[ast.Call]:
     """Every Call lexically inside ``node``, *including* nested defs.
 
@@ -634,6 +667,14 @@ class ProjectIndex:
                                             module)
                 if inferred is not None:
                     env.setdefault(node.targets[0].id, inferred)
+            elif isinstance(node, ast.Assign) and \
+                    len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Tuple) and \
+                    isinstance(node.value, ast.Call):
+                # ``pool, owned = self._acquire_pool()`` — thread a
+                # ``tuple[X, Y]`` return annotation positionally.
+                self._unpack_types(node.targets[0], node.value, env,
+                                   cls_info, module)
             elif isinstance(node, ast.For) and \
                     isinstance(node.target, ast.Name):
                 elem = self._iter_elem_type(node.iter, cls_info)
@@ -654,6 +695,31 @@ class ProjectIndex:
         self.edges[info.qualname] = {
             target for site in sites for target in site.targets
         }
+
+    def _unpack_types(self, target: ast.Tuple, call: ast.Call,
+                      env: Dict[str, str],
+                      cls_info: Optional[ClassInfo],
+                      module: Optional[ModuleInfo]) -> None:
+        """Positional types for ``a, b = f()`` from f's ``tuple[...]``
+        return annotation."""
+        if not all(isinstance(e, ast.Name) for e in target.elts):
+            return
+        for callee in self._call_targets(call, env, cls_info, module):
+            fn = self.functions.get(callee)
+            if fn is None:
+                continue
+            elems = _tuple_elem_annotations(fn.node.returns)
+            if elems is None or len(elems) != len(target.elts):
+                continue
+            fn_module = self.modules.get(fn.module)
+            for name_node, annotation in zip(target.elts, elems):
+                resolved = self._class_for_annotation(
+                    fn_module, annotation
+                )
+                if resolved is not None and \
+                        isinstance(name_node, ast.Name):
+                    env.setdefault(name_node.id, resolved)
+            return
 
     def _was_fallback(self, call: ast.Call, env: Dict[str, str],
                       cls_info: Optional[ClassInfo],

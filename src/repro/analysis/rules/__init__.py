@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from .atomicity import AtomicityRule
 from .base import Rule
 from .charge_category import ChargeCategoryRule
 from .future_drain import FutureDrainRule
@@ -14,11 +15,14 @@ from .pickle_boundary import PickleBoundaryRule
 from .resource_lifecycle import ResourceLifecycleRule
 from .unmetered_row_access import UnmeteredRowAccessRule
 
-#: Every shipped rule, in reporting order.  The last four are the
-#: meter-integrity family, built on the interprocedural ProjectIndex.
+#: Every shipped rule, in reporting order.  The first three are the
+#: concurrency family, built on the lock-set layer; the last four are
+#: the meter-integrity family, built on the interprocedural
+#: ProjectIndex.
 ALL_RULES: list[type[Rule]] = [
     GuardedByRule,
     LockOrderRule,
+    AtomicityRule,
     FutureDrainRule,
     ResourceLifecycleRule,
     PickleBoundaryRule,
@@ -50,6 +54,7 @@ def rules_by_name(names: list[str]) -> list[Rule]:
 
 __all__ = [
     "ALL_RULES",
+    "AtomicityRule",
     "ChargeCategoryRule",
     "FutureDrainRule",
     "GuardedByRule",

@@ -1,0 +1,217 @@
+"""atomicity: guarded read-modify-write sequences must be atomic.
+
+Holding the right lock around the *write* is necessary but not
+sufficient: ``self._x = self._x + 1`` with the lock taken only around
+the assignment, or the check-then-act idiom ::
+
+    if self._cache is None:          # read, unlocked
+        with self._lock:
+            self._cache = build()    # write, locked
+
+still races — a second thread can interleave between the read and the
+write, so both threads observe the stale value.  The ``guarded-by``
+rule cannot see this (every individual write is locked); this rule
+checks the *sequence*.
+
+Recognised sequences on a ``#: guarded by`` attribute:
+
+* augmented assignment: ``self._x += ...``;
+* self-referential assignment: ``self._x = f(self._x, ...)``;
+* check-then-act: an ``if`` whose test reads ``self._x`` and whose
+  body (or else-branch) writes ``self._x``.
+
+A sequence is atomic when the whole of it sits lexically inside
+``with self.<lock>:`` or when the lock-set layer proves the lock held
+on entry along every caller path (must-entry).  ⊥ entries are
+*unknown* and stay silent, as everywhere in the family.
+
+A non-atomic sequence is only a *race* if two threads can actually
+reach it, so findings are gated on the structurally discovered thread
+roots (:func:`repro.analysis.lockset.discover_thread_roots`): the
+function must be reachable from two distinct roots, or from one root
+that is multi-threaded by construction (executor submissions,
+``Thread(...)`` in a loop).  The finding names the witnessing root
+paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..engine import Project
+from ..findings import Finding
+from ..lockset import LockSetAnalysis, ThreadRoot, short_path
+from ..project_index import FunctionInfo
+from ..runtime import contracts
+from ..source import SourceFile
+from .base import Rule, iter_functions, self_attr, walk_with_stack, \
+    with_lock_names
+
+
+class AtomicityRule(Rule):
+    name = "atomicity"
+    description = (
+        "read-modify-write sequences on '#: guarded by' attributes "
+        "reachable from two thread roots must hold the lock across "
+        "the whole sequence"
+    )
+    needs_index = True
+    needs_lockset = True
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        lockset = project.lockset()
+        by_node = {
+            id(info.node): info
+            for info in lockset.index.functions.values()
+        }
+        for source in project.files:
+            yield from self._check_file(source, lockset, by_node)
+
+    def _check_file(self, source: SourceFile,
+                    lockset: LockSetAnalysis,
+                    by_node: dict[int, FunctionInfo]) \
+            -> Iterable[Finding]:
+        guards_by_class = contracts.guards_by_class(source.tree, source.lines)
+        for owner, function in iter_functions(source.tree):
+            if owner is None or function.name == "__init__":
+                continue
+            guards = guards_by_class.get(owner)
+            if not guards:
+                continue
+            info = by_node.get(id(function))
+            if info is None:
+                continue  # nested def: ⊥ territory.
+            yield from self._check_function(
+                source, function, guards, lockset, info
+            )
+
+    def _check_function(self, source: SourceFile,
+                        function: ast.FunctionDef,
+                        guards: dict[str, contracts.GuardDecl],
+                        lockset: LockSetAnalysis,
+                        info: FunctionInfo) -> Iterable[Finding]:
+        qualname = info.qualname
+        class_qualname = qualname.rsplit(".", 1)[0]
+        entry = lockset.must_holds(qualname)
+        if entry is None:
+            return  # ⊥: unknown, never "unlocked".
+        roots = None  # computed lazily, once per function.
+        seen: set[tuple[int, str]] = set()
+        for node, attr, kind, held in _rmw_sequences(function, guards):
+            if (id(node), attr) in seen:
+                continue
+            seen.add((id(node), attr))
+            lock = guards[attr].lock
+            if lock in held:
+                continue  # whole sequence inside ``with self.<lock>:``.
+            canonical = lockset.registry.canonical_guard(
+                lockset.index, class_qualname, lock
+            )
+            if canonical in entry:
+                continue  # every caller already holds the lock.
+            if roots is None:
+                roots = lockset.roots_reaching(qualname)
+            racy_roots = _racy(roots)
+            if racy_roots is None:
+                continue  # at most one thread can get here.
+            yield self.finding(
+                source, node,
+                f"{kind} on 'self.{attr}' (guarded by 'self.{lock}') "
+                f"is not atomic: the lock is not held across the read "
+                f"and the write, and the sequence is reachable from "
+                f"{_describe_roots(lockset, qualname, racy_roots)}",
+            )
+
+
+def _racy(roots: list[ThreadRoot]) -> list[ThreadRoot] | None:
+    """The roots that make a sequence racy, or None when it is not."""
+    multi = [root for root in roots if root.multi]
+    if multi:
+        return multi[:1] if len(roots) == 1 else roots[:2]
+    if len(roots) >= 2:
+        return roots[:2]
+    return None
+
+
+def _describe_roots(lockset: LockSetAnalysis, qualname: str,
+                    roots: list[ThreadRoot]) -> str:
+    parts = []
+    for root in roots:
+        path = lockset.index.find_path(root.qualname, {qualname})
+        where = short_path(path) if path else root.qualname
+        note = " [multi-threaded]" if root.multi else ""
+        parts.append(
+            f"thread root '{root.qualname.rsplit('.', 1)[-1]}'"
+            f"{note} ({root.kind}: {where})"
+        )
+    return " and ".join(parts)
+
+
+def _rmw_sequences(
+    function: ast.FunctionDef,
+    guards: dict[str, contracts.GuardDecl],
+) -> Iterator[tuple[ast.AST, str, str, set[str]]]:
+    """``(stmt, attr, kind, lexically_held_lock_attrs)`` sequences."""
+    for node, stack in walk_with_stack(function):
+        held = with_lock_names(stack)
+        if isinstance(node, ast.AugAssign):
+            attr = self_attr(node.target)
+            if attr is not None and attr in guards:
+                yield node, attr, "read-modify-write", held
+        elif isinstance(node, ast.Assign):
+            reads = _guarded_reads(node.value, guards)
+            for target in node.targets:
+                for element in (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                ):
+                    attr = self_attr(element)
+                    if attr is not None and attr in guards \
+                            and attr in reads:
+                        yield node, attr, "read-modify-write", held
+        elif isinstance(node, ast.If):
+            tested = _guarded_reads(node.test, guards)
+            if not tested:
+                continue
+            written = _written_attrs(node, guards)
+            for attr in sorted(tested & written):
+                yield node, attr, "check-then-act", held
+
+
+def _guarded_reads(node: ast.AST,
+                   guards: dict[str, contracts.GuardDecl]) -> set[str]:
+    """Guarded attributes read anywhere under ``node``."""
+    out: set[str] = set()
+    for child in ast.walk(node):
+        attr = self_attr(child)
+        if attr is not None and attr in guards and \
+                isinstance(getattr(child, "ctx", None), ast.Load):
+            out.add(attr)
+    return out
+
+
+def _written_attrs(node: ast.If,
+                   guards: dict[str, contracts.GuardDecl]) -> set[str]:
+    """Guarded attributes written inside an ``if`` body/orelse."""
+    out: set[str] = set()
+    for stmt in node.body + node.orelse:
+        for child in ast.walk(stmt):
+            targets: list[ast.AST] = []
+            if isinstance(child, ast.Assign):
+                targets = list(child.targets)
+            elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+                targets = [child.target]
+            elif isinstance(child, ast.Delete):
+                targets = list(child.targets)
+            for target in targets:
+                for element in (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                ):
+                    attr = self_attr(element)
+                    if attr is not None and attr in guards:
+                        out.add(attr)
+    return out

@@ -24,12 +24,17 @@ class Rule:
     Rules that query the interprocedural
     :class:`~repro.analysis.project_index.ProjectIndex` set
     ``needs_index = True`` so the engine builds (and times) the index
-    once before any of them runs, via :meth:`Project.index`.
+    once before any of them runs, via :meth:`Project.index`.  Rules
+    that additionally query the lock-set dataflow
+    (:class:`~repro.analysis.lockset.LockSetAnalysis`) set
+    ``needs_lockset = True``; the engine pre-builds it under the
+    ``lock-set`` timing entry via :meth:`Project.lockset`.
     """
 
     name = "rule"
     description = ""
     needs_index = False
+    needs_lockset = False
 
     def check(self, project: Project) -> Iterable[Finding]:
         raise NotImplementedError

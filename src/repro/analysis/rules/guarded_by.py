@@ -10,11 +10,22 @@ initialisation::
             self._executor = None
 
 The declaration is a contract the whole class must honour: every
-*mutation* of ``self._executor`` outside ``__init__`` must happen
-lexically inside a ``with self._lock:`` block.  (Reads are not
-checked — several of the guarded attributes are intentionally read
-unlocked on single-writer paths; the invariant the PR-1..3 bugs broke
-was always an unguarded *write*.)
+*mutation* of ``self._executor`` outside ``__init__`` must happen with
+the lock held.  (Reads are not checked — several of the guarded
+attributes are intentionally read unlocked on single-writer paths; the
+invariant the PR-1..3 bugs broke was always an unguarded *write*.)
+
+Since the lock-set layer (:mod:`repro.analysis.lockset`) the check is
+*interprocedural*: a mutation is clean when the lock is held lexically
+(``with self._lock:`` around the write) **or** provably held on entry
+along every caller path into the mutating function — the common
+``with self._lock: self._apply(...)`` helper pattern no longer needs a
+suppression.  Conversely, a helper reachable from even one caller path
+that does not hold the lock is a finding, and the finding names that
+path.  A function whose entry state is ⊥ (reached through dynamic
+dispatch, escaped as a callback, dunder/decorated) is *unknown*, not
+unlocked: the rule stays silent and the runtime sanitizer owns the
+residue.
 
 Declaration parsing lives in :mod:`repro.analysis.runtime.contracts`,
 shared with the runtime sanitizer so the static and dynamic checkers
@@ -31,77 +42,116 @@ from typing import Iterable
 
 from ..engine import Project
 from ..findings import Finding
+from ..lockset import LockSetAnalysis, short_path
+from ..project_index import FunctionInfo
 from ..runtime import contracts
 from ..source import SourceFile
-from .base import Rule, iter_functions, self_attr, walk_with_stack
+from .base import Rule, iter_functions, self_attr, walk_with_stack, \
+    with_lock_names
+
+
+def guarded_mutations(
+    function: ast.FunctionDef,
+    guards: dict[str, contracts.GuardDecl],
+) -> Iterable[tuple[ast.AST, str, set[str]]]:
+    """``(stmt, attr, lexically_held_lock_attrs)`` for guarded writes.
+
+    Shared with the atomicity rule: one definition of "a mutation of a
+    guarded attribute" and of which lock attributes the enclosing
+    ``with`` statements hold.
+    """
+    for node, stack in walk_with_stack(function):
+        mutated: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            mutated = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            mutated = [node.target]
+        elif isinstance(node, ast.Delete):
+            mutated = list(node.targets)
+        # `a, self.x = ...` mutates self.x too.
+        mutated = [
+            element
+            for target in mutated
+            for element in (
+                target.elts
+                if isinstance(target, (ast.Tuple, ast.List))
+                else [target]
+            )
+        ]
+        for target in mutated:
+            attr = self_attr(target)
+            if attr is None or attr not in guards:
+                continue
+            yield node, attr, with_lock_names(stack)
 
 
 class GuardedByRule(Rule):
     name = "guarded-by"
     description = (
         "attributes declared '#: guarded by self.<lock>' may only be "
-        "mutated inside a 'with' on that lock (outside __init__)"
+        "mutated with that lock held — lexically or on every caller "
+        "path (outside __init__)"
     )
+    needs_index = True
+    needs_lockset = True
 
     def check(self, project: Project) -> Iterable[Finding]:
+        lockset = project.lockset()
+        by_node = {
+            id(info.node): info
+            for info in lockset.index.functions.values()
+        }
         for source in project.files:
-            yield from self._check_file(source)
+            yield from self._check_file(source, lockset, by_node)
 
-    def _check_file(self, source: SourceFile) -> Iterable[Finding]:
+    def _check_file(self, source: SourceFile,
+                    lockset: LockSetAnalysis,
+                    by_node: dict[int, FunctionInfo]) \
+            -> Iterable[Finding]:
         guards_by_class = contracts.guards_by_class(source.tree, source.lines)
         for owner, function in iter_functions(source.tree):
             if owner is None or function.name == "__init__":
                 continue
             guards = guards_by_class.get(owner)
             if guards:
-                yield from self._check_function(source, function, guards)
-
-    def _check_function(self, source: SourceFile,
-                        function: ast.FunctionDef,
-                        guards: dict[str, contracts.GuardDecl]) \
-            -> Iterable[Finding]:
-        for node, stack in walk_with_stack(function):
-            mutated: list[ast.AST] = []
-            if isinstance(node, ast.Assign):
-                mutated = list(node.targets)
-            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-                mutated = [node.target]
-            elif isinstance(node, ast.Delete):
-                mutated = list(node.targets)
-            # `a, self.x = ...` mutates self.x too.
-            mutated = [
-                element
-                for target in mutated
-                for element in (
-                    target.elts
-                    if isinstance(target, (ast.Tuple, ast.List))
-                    else [target]
+                yield from self._check_function(
+                    source, owner, function, guards, lockset, by_node
                 )
-            ]
-            for target in mutated:
-                attr = self_attr(target)
-                if attr is None or attr not in guards:
-                    continue
-                lock = guards[attr].lock
-                held = {
-                    name
-                    for with_node in stack
-                    if isinstance(with_node, ast.With)
-                    for name in self._locks_of(with_node)
-                }
-                if lock not in held:
-                    yield self.finding(
-                        source, node,
-                        f"'self.{attr}' is declared guarded by "
-                        f"'self.{lock}' but is mutated in "
-                        f"'{function.name}' without holding it",
-                    )
 
-    @staticmethod
-    def _locks_of(with_node: ast.With) -> list[str]:
-        out = []
-        for item in with_node.items:
-            name = self_attr(item.context_expr)
-            if name is not None:
-                out.append(name)
-        return out
+    def _check_function(self, source: SourceFile, owner: ast.ClassDef,
+                        function: ast.FunctionDef,
+                        guards: dict[str, contracts.GuardDecl],
+                        lockset: LockSetAnalysis,
+                        by_node: dict[int, FunctionInfo]) \
+            -> Iterable[Finding]:
+        info = by_node.get(id(function))
+        for node, attr, held in guarded_mutations(function, guards):
+            lock = guards[attr].lock
+            if lock in held:
+                continue  # lexically inside ``with self.<lock>:``.
+            message = (
+                f"'self.{attr}' is declared guarded by "
+                f"'self.{lock}' but is mutated in "
+                f"'{function.name}' without holding it"
+            )
+            if info is None:
+                # Nested def / not a call-graph node: the closure runs
+                # later under unknown locks — ⊥, sanitizer territory.
+                continue
+            qualname = info.qualname
+            class_qualname = qualname.rsplit(".", 1)[0]
+            entry = lockset.must_holds(qualname)
+            if entry is None:
+                continue  # ⊥: unknown, never "unlocked".
+            canonical = lockset.registry.canonical_guard(
+                lockset.index, class_qualname, lock
+            )
+            if canonical in entry:
+                continue  # every caller path holds the lock.
+            chain = lockset.unlocked_chain(qualname, canonical)
+            if len(chain) > 1:
+                message += (
+                    f" (reached without '{canonical}' via "
+                    f"{short_path(chain)})"
+                )
+            yield self.finding(source, node, message)

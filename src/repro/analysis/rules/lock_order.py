@@ -4,146 +4,87 @@ Two threads that take the same pair of locks in opposite orders can
 deadlock; neither side is wrong in isolation, so the property is global
 and needs a *graph*.  This rule builds that graph from two sources:
 
-* **the AST** — inside one class, ``with self._a:`` nested inside
-  ``with self._b:`` is the edge ``Class._b -> Class._a``.  Only
-  attributes initialised as locks (``new_lock(...)``, ``new_rlock``,
-  ``threading.Lock()``/``RLock()``) count; other context managers are
-  ignored.  Edges are named with the same ``"ClassName.attr"`` contract
-  names the :mod:`repro.common.locks` factory uses.
+* **the lock-set layer** (:mod:`repro.analysis.lockset`) — the static
+  acquisition graph.  Holding lock A while acquiring lock B is the
+  edge ``A -> B``, where "holding" is either lexical (``with self._a:``
+  around ``with self._b:``) or *interprocedural*: the may-entry lock
+  set propagated through resolved call sites, so an acquisition two
+  calls deep in another class still produces the edge.  Locks are
+  named canonically ``"ClassName.attr"`` by the
+  :class:`~repro.analysis.lockset.LockRegistry` — a lock created in
+  one class and passed into another's ``__init__`` resolves to its
+  creator's name instead of silently dropping the edge.  Re-acquiring
+  a held *re-entrant* lock is legal and produces no edge; re-acquiring
+  a held plain lock is a self-deadlock and produces a self-edge
+  (a one-node cycle).
 * **the witness file** — ``lock_order.witness.json`` at the project
   root, the blessed cross-module edges observed by the runtime
-  sanitizer (the AST cannot see an acquisition that happens two calls
-  deep in another class).
+  sanitizer.  Static analysis under-approximates (⊥ calls, implicit
+  dispatch), so runtime edges still merge into the cycle check;
+  ``witness_check --static-diff`` separately audits that every
+  *blessed* edge either has a static path or a written justification.
 
-A cycle through the merged graph that touches at least one AST edge is
-reported on that edge's source line.  Cycles made purely of witness
-edges are the runtime sanitizer's to report — it has the stacks.
+A cycle through the merged graph that touches at least one static edge
+is reported on that edge's acquisition line, with the caller chain
+explaining how the outer lock is held when the edge is not lexical.
+Cycles made purely of witness edges are the runtime sanitizer's to
+report — it has the stacks.
 """
 
 from __future__ import annotations
 
-import ast
 from typing import Iterable
 
 from ..engine import Project
 from ..findings import Finding
+from ..lockset import short_path
 from ..runtime.locks import find_cycles
 from ..runtime.witness import find_witness_file, load_witness_edges
-from ..source import SourceFile
-from .base import Rule, call_name, iter_functions, self_attr, walk_with_stack
-
-#: Call names whose result is a lock for the purposes of this rule.
-_LOCK_FACTORIES = {"new_lock", "new_rlock", "Lock", "RLock"}
-
-
-def _lock_attrs(class_node: ast.ClassDef) -> set[str]:
-    """Attributes of a class initialised from a lock factory."""
-    attrs: set[str] = set()
-    for node in ast.walk(class_node):
-        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
-            continue
-        value = node.value
-        if not (isinstance(value, ast.Call)
-                and call_name(value) in _LOCK_FACTORIES):
-            continue
-        targets = (
-            node.targets if isinstance(node, ast.Assign) else [node.target]
-        )
-        for target in targets:
-            attr = self_attr(target)
-            if attr is not None:
-                attrs.add(attr)
-    return attrs
-
-
-class _SourceEdge:
-    """One AST-observed edge with where to report it."""
-
-    __slots__ = ("outer", "inner", "source", "node", "function")
-
-    def __init__(self, outer: str, inner: str, source: SourceFile,
-                 node: ast.AST, function: str) -> None:
-        self.outer = outer
-        self.inner = inner
-        self.source = source
-        self.node = node
-        self.function = function
+from .base import Rule
 
 
 class LockOrderRule(Rule):
     name = "lock-order"
     description = (
-        "nested lock acquisitions must not form a cycle with the edges "
-        "in lock_order.witness.json (potential deadlock)"
+        "static lock acquisitions (lexical and through callees) must "
+        "not form a cycle with the edges in lock_order.witness.json "
+        "(potential deadlock)"
     )
+    needs_index = True
+    needs_lockset = True
 
     def check(self, project: Project) -> Iterable[Finding]:
-        source_edges: list[_SourceEdge] = []
-        for source in project.files:
-            source_edges.extend(self._file_edges(source))
+        lockset = project.lockset()
 
         witness_edges: list[tuple[str, str]] = []
         witness_path = find_witness_file(project.root)
         if witness_path is not None:
             witness_edges = load_witness_edges(witness_path)
 
-        merged = {(e.outer, e.inner) for e in source_edges}
+        merged = lockset.edge_pairs()
         merged.update(witness_edges)
         cycle_nodes = [set(cycle) for cycle in find_cycles(merged)]
         if not cycle_nodes:
             return
 
-        for edge in source_edges:
+        for edge in lockset.edges:
             for nodes in cycle_nodes:
                 if edge.outer in nodes and edge.inner in nodes:
+                    info = lockset.index.functions.get(edge.function)
+                    if info is None:
+                        break
                     path = " -> ".join(sorted(nodes))
-                    yield self.finding(
-                        edge.source, edge.node,
+                    message = (
                         f"acquiring '{edge.inner}' while holding "
-                        f"'{edge.outer}' in '{edge.function}' closes a "
+                        f"'{edge.outer}' in '{info.name}' closes a "
                         f"lock-order cycle ({path}); a thread taking "
-                        f"these locks in the opposite order can deadlock",
+                        f"these locks in the opposite order can "
+                        f"deadlock"
                     )
-                    break
-
-    def _file_edges(self, source: SourceFile) -> Iterable[_SourceEdge]:
-        lock_attrs_by_class = {
-            node: _lock_attrs(node)
-            for node in ast.walk(source.tree)
-            if isinstance(node, ast.ClassDef)
-        }
-        for owner, function in iter_functions(source.tree):
-            if owner is None:
-                continue
-            locks = lock_attrs_by_class.get(owner) or set()
-            if not locks:
-                continue
-            for node, stack in walk_with_stack(function):
-                if not isinstance(node, ast.With):
-                    continue
-                inners = [
-                    attr for item in node.items
-                    for attr in [self_attr(item.context_expr)]
-                    if attr is not None and attr in locks
-                ]
-                if not inners:
-                    continue
-                outers = {
-                    attr
-                    for ancestor in stack
-                    if isinstance(ancestor, ast.With)
-                    for item in ancestor.items
-                    for attr in [self_attr(item.context_expr)]
-                    if attr is not None and attr in locks
-                }
-                for inner in inners:
-                    for outer in outers:
-                        if outer == inner:
-                            continue
-                        yield _SourceEdge(
-                            outer=f"{owner.name}.{outer}",
-                            inner=f"{owner.name}.{inner}",
-                            source=source,
-                            node=node,
-                            function=function.name,
+                    if len(edge.chain) > 1:
+                        message += (
+                            f" — '{edge.outer}' is held via "
+                            f"{short_path(edge.chain)}"
                         )
+                    yield self.finding(info.source, edge.node, message)
+                    break

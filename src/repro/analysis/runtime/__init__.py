@@ -51,15 +51,21 @@ from .locks import LockOrderGraph, SanitizedLock, SanitizedRLock, find_cycles
 from .sanitizer import Sanitizer
 from .witness import (
     WITNESS_FILENAME,
+    WITNESS_VERSION,
     ResourceWitness,
+    WitnessEdge,
     find_witness_file,
+    load_witness,
     load_witness_edges,
+    merge_witness_edges,
+    save_witness,
     save_witness_edges,
 )
 
 __all__ = [
     "GUARD_DECLARATION",
     "WITNESS_FILENAME",
+    "WITNESS_VERSION",
     "ClassContract",
     "ContractRegistry",
     "GuardDecl",
@@ -69,6 +75,7 @@ __all__ = [
     "SanitizedLock",
     "SanitizedRLock",
     "Sanitizer",
+    "WitnessEdge",
     "activate",
     "active",
     "capture_stack",
@@ -77,7 +84,10 @@ __all__ = [
     "find_witness_file",
     "guards_by_class",
     "guards_for_class",
+    "load_witness",
     "load_witness_edges",
+    "merge_witness_edges",
+    "save_witness",
     "save_witness_edges",
     "write_report",
 ]

@@ -64,6 +64,7 @@ class LockOrderGraph:
         # own edges.
         self._mutex = threading.Lock()
         self._edges: dict[tuple[str, str], _EdgeExample] = {}
+        self._edge_threads: dict[tuple[str, str], set[str]] = {}
         self._local = threading.local()
 
     # -- per-thread held stack ---------------------------------------------
@@ -83,19 +84,28 @@ class LockOrderGraph:
         if not already_held:
             # A reentrant re-acquisition cannot block, so it
             # contributes no ordering constraint.
+            thread_name = threading.current_thread().name
             inner_stack: Optional[str] = None
             for entry in held:
                 if entry.lock.name == lock.name:
                     continue
                 key = (entry.lock.name, lock.name)
-                if key in self._edges:
+                with self._mutex:
+                    # Every occurrence records the holding thread (the
+                    # witness file keeps the full set); stacks are only
+                    # formatted for the first example of an edge.
+                    self._edge_threads.setdefault(key, set()).add(
+                        thread_name
+                    )
+                    known = key in self._edges
+                if known:
                     continue
                 if inner_stack is None:
                     inner_stack = format_frame_stack(frame)
                 example = _EdgeExample(
                     outer_stack=format_frame_stack(entry.frame),
                     inner_stack=inner_stack,
-                    thread_name=threading.current_thread().name,
+                    thread_name=thread_name,
                 )
                 with self._mutex:
                     self._edges.setdefault(key, example)
@@ -127,6 +137,25 @@ class LockOrderGraph:
         """Sorted ``[outer, inner]`` pairs (witness-file material)."""
         with self._mutex:
             return sorted([outer, inner] for outer, inner in self._edges)
+
+    def edge_records(self) -> list[dict[str, object]]:
+        """Sorted edge records with every observed holding thread.
+
+        This is the v2 witness-file material: each record carries the
+        names of all threads ever seen holding the outer lock while
+        taking the inner one, not just the first example's thread.
+        """
+        with self._mutex:
+            return [
+                {
+                    "outer": outer,
+                    "inner": inner,
+                    "threads": sorted(
+                        self._edge_threads.get((outer, inner), ())
+                    ),
+                }
+                for outer, inner in sorted(self._edges)
+            ]
 
     def cycles(self) -> list[tuple[str, ...]]:
         """Every distinct simple cycle among the observed edges."""

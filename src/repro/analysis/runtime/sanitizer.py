@@ -203,6 +203,10 @@ class Sanitizer(LockMonitor):
         return {
             "findings": [f.to_dict() for f in findings],
             "lock_order_edges": self.observed_edges(),
+            # v2 witness material: the same edges with every thread
+            # name observed holding them (witness_check --update
+            # merges these into the blessed file).
+            "lock_order_edge_records": self.graph.edge_records(),
             "resources": self.witness.counts(),
             "clean": not findings,
         }

@@ -13,6 +13,14 @@ Two witnesses live here:
   static ``lock-order`` rule merges the edges it can see in the AST
   with this file and fails on any cycle; the sanitizer can emit an
   updated edge list so the file never goes stale by hand-editing.
+
+The witness file format is versioned.  Version 1 stored bare
+``[outer, inner]`` pairs; version 2 stores one record per edge with
+the names of every thread observed holding the outer lock while
+taking the inner one, plus an optional human ``justification`` for
+edges the static lock-set analysis cannot derive (consumed by
+``witness_check --static-diff``).  :func:`load_witness` reads both;
+:func:`save_witness` always writes version 2.
 """
 
 from __future__ import annotations
@@ -20,12 +28,16 @@ from __future__ import annotations
 import json
 import os
 import threading
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from .findings import RuntimeFinding, capture_stack
 
 #: Name of the checked-in witness file, looked up at the project root.
 WITNESS_FILENAME = "lock_order.witness.json"
+
+#: Format version written by :func:`save_witness`.
+WITNESS_VERSION = 2
 
 
 class _LiveResource:
@@ -125,25 +137,124 @@ def find_witness_file(start: Optional[str] = None) -> Optional[str]:
         current = parent
 
 
-def load_witness_edges(path: str) -> list[tuple[str, str]]:
-    """The blessed ``(outer, inner)`` edges from a witness file."""
+@dataclass(frozen=True)
+class WitnessEdge:
+    """One blessed nested-acquisition edge ``outer -> inner``.
+
+    ``threads`` holds the names of every thread the sanitizer has seen
+    take ``inner`` while holding ``outer``; ``justification`` is a
+    human note explaining a purely-runtime edge the static lock-set
+    analysis cannot derive (``witness_check --static-diff`` treats a
+    blessed-but-underivable edge without one as a finding).
+    """
+
+    outer: str
+    inner: str
+    threads: tuple[str, ...] = ()
+    justification: Optional[str] = None
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        return (self.outer, self.inner)
+
+
+def load_witness(path: str) -> list[WitnessEdge]:
+    """Every blessed edge from a witness file, any format version.
+
+    Version is detected from the payload: v2 files carry a ``version``
+    key and dict-shaped edge records; v1 files store bare
+    ``[outer, inner]`` pairs and still load (with empty thread sets).
+    """
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
-    edges = payload.get("edges", [])
-    return [(str(outer), str(inner)) for outer, inner in edges]
+    out: list[WitnessEdge] = []
+    for edge in payload.get("edges", []):
+        if isinstance(edge, dict):
+            justification = edge.get("justification")
+            out.append(
+                WitnessEdge(
+                    outer=str(edge["outer"]),
+                    inner=str(edge["inner"]),
+                    threads=tuple(
+                        str(name) for name in edge.get("threads", [])
+                    ),
+                    justification=(
+                        str(justification)
+                        if justification is not None else None
+                    ),
+                )
+            )
+        else:
+            outer, inner = edge
+            out.append(WitnessEdge(outer=str(outer), inner=str(inner)))
+    return out
 
 
-def save_witness_edges(path: str, edges: Iterable[tuple[str, str]],
-                       description: str = "") -> None:
-    """Write a witness file (sorted, deterministic, newline-terminated)."""
+def load_witness_edges(path: str) -> list[tuple[str, str]]:
+    """The blessed ``(outer, inner)`` edges from a witness file."""
+    return [edge.pair for edge in load_witness(path)]
+
+
+def merge_witness_edges(*sources: Iterable[WitnessEdge]) \
+        -> list[WitnessEdge]:
+    """Union of edges from ``sources``, merged per ``(outer, inner)``.
+
+    Thread sets are unioned; the first non-``None`` justification
+    wins.  Sorted by pair, so a save of the result is deterministic.
+    """
+    merged: dict[tuple[str, str], WitnessEdge] = {}
+    for source in sources:
+        for edge in source:
+            previous = merged.get(edge.pair)
+            if previous is None:
+                merged[edge.pair] = edge
+                continue
+            merged[edge.pair] = WitnessEdge(
+                outer=edge.outer,
+                inner=edge.inner,
+                threads=tuple(
+                    sorted(set(previous.threads) | set(edge.threads))
+                ),
+                justification=previous.justification
+                if previous.justification is not None
+                else edge.justification,
+            )
+    return [merged[pair] for pair in sorted(merged)]
+
+
+def save_witness(path: str, edges: Iterable[WitnessEdge],
+                 description: str = "") -> None:
+    """Write a v2 witness file (sorted, deterministic, newline-ended)."""
+    records: list[dict[str, object]] = []
+    for edge in merge_witness_edges(edges):
+        record: dict[str, object] = {
+            "outer": edge.outer,
+            "inner": edge.inner,
+            "threads": sorted(set(edge.threads)),
+        }
+        if edge.justification is not None:
+            record["justification"] = edge.justification
+        records.append(record)
     payload = {
         "description": description or (
-            "Blessed nested lock-acquisition edges (outer, inner). "
-            "Checked by the static lock-order rule and refreshed from "
-            "sanitizer runs; a cycle through these edges fails CI."
+            "Blessed nested lock-acquisition edges (outer, inner) with "
+            "the thread names observed holding them. Checked by the "
+            "static lock-order rule and refreshed from sanitizer runs; "
+            "a cycle through these edges fails CI."
         ),
-        "edges": sorted([outer, inner] for outer, inner in set(edges)),
+        "version": WITNESS_VERSION,
+        "edges": records,
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def save_witness_edges(path: str, edges: Iterable[tuple[str, str]],
+                       description: str = "") -> None:
+    """Write a witness file from bare pairs (no thread information)."""
+    save_witness(
+        path,
+        [WitnessEdge(outer=outer, inner=inner) for outer, inner in edges],
+        description,
+    )

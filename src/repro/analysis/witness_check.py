@@ -12,9 +12,18 @@ after the sanitized test suites: every edge the instrumented locks
 blessed.  An undocumented nested acquisition fails the job — either
 the code grew a lock nesting nobody reviewed, or the witness file went
 stale.  ``--update`` rewrites the file with the union (run locally,
-commit the diff); blessed edges that were not observed are reported
-informationally but never fail, because no single test run exercises
-every code path.
+commit the diff), merging the holding-thread names from the report's
+``lock_order_edge_records`` into each blessed record; blessed edges
+that were not observed are reported informationally but never fail,
+because no single test run exercises every code path.
+
+``--static-diff`` closes the loop in the other direction: it builds
+the interprocedural lock-set analysis over the sources (``--src``,
+default ``src``) and demands that every blessed edge be *derivable*
+statically.  A blessed edge with no static acquisition path is either
+stale or genuinely dynamic; the former should be deleted, the latter
+documented with a ``justification`` field on its witness record.
+Unjustified underivable edges are findings and fail the check.
 
 Exit codes follow ``python -m repro.analysis``: 0 clean, 1 findings,
 2 usage error.
@@ -28,9 +37,11 @@ import sys
 from typing import Optional
 
 from .runtime.witness import (
+    WitnessEdge,
     find_witness_file,
-    load_witness_edges,
-    save_witness_edges,
+    load_witness,
+    merge_witness_edges,
+    save_witness,
 )
 
 
@@ -40,6 +51,41 @@ def observed_edges_from_report(path: str) -> list[tuple[str, str]]:
         payload = json.load(handle)
     edges = payload.get("lock_order_edges", [])
     return [(str(outer), str(inner)) for outer, inner in edges]
+
+
+def observed_records_from_report(path: str) -> list[WitnessEdge]:
+    """Observed edges as witness records, thread names included.
+
+    Prefers the report's ``lock_order_edge_records`` (present since
+    witness format v2); falls back to the bare ``lock_order_edges``
+    pairs from older reports, which carry no thread information.
+    """
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    records = payload.get("lock_order_edge_records")
+    if records is not None:
+        return [
+            WitnessEdge(
+                outer=str(record["outer"]),
+                inner=str(record["inner"]),
+                threads=tuple(
+                    str(name) for name in record.get("threads", [])
+                ),
+            )
+            for record in records
+        ]
+    return [
+        WitnessEdge(outer=outer, inner=inner)
+        for outer, inner in observed_edges_from_report(path)
+    ]
+
+
+def static_edge_pairs(src_paths: list[str]) -> set[tuple[str, str]]:
+    """Every lock-order edge the lock-set analysis derives from source."""
+    from .engine import load_project
+
+    project, _ = load_project(src_paths)
+    return set(project.lockset().edge_pairs())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,7 +110,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--update", action="store_true",
         help="bless the observed edges: rewrite the witness file with "
-             "the union and exit 0",
+             "the union (merging observed thread names) and exit 0",
+    )
+    parser.add_argument(
+        "--static-diff", action="store_true",
+        help=(
+            "also require every blessed edge to be derivable by the "
+            "static lock-set analysis; underivable edges without a "
+            "'justification' on their witness record are findings"
+        ),
+    )
+    parser.add_argument(
+        "--src", nargs="*", default=["src"], metavar="PATH",
+        help="sources the static lock-set analysis scans for "
+             "--static-diff (default: src)",
     )
     return parser
 
@@ -78,23 +137,27 @@ def main(argv: "Optional[list[str]]" = None) -> int:
         print("error: no lock_order.witness.json found", file=sys.stderr)
         return 2
     try:
-        blessed = set(load_witness_edges(witness_path))
-        observed = set(observed_edges_from_report(args.report))
+        blessed_records = load_witness(witness_path)
+        observed_records = observed_records_from_report(args.report)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    blessed = {edge.pair for edge in blessed_records}
+    observed = {edge.pair for edge in observed_records}
 
     undocumented = sorted(observed - blessed)
     unexercised = sorted(blessed - observed)
 
     if args.update:
-        save_witness_edges(witness_path, blessed | observed)
+        merged = merge_witness_edges(blessed_records, observed_records)
+        save_witness(witness_path, merged)
         print(
             f"witness updated: {len(undocumented)} edge(s) blessed, "
-            f"{len(blessed | observed)} total"
+            f"{len(merged)} total"
         )
         return 0
 
+    failed = False
     for outer, inner in unexercised:
         # Informational only: one run never exercises every path.
         print(f"note: blessed edge not observed this run: "
@@ -111,6 +174,44 @@ def main(argv: "Optional[list[str]]" = None) -> int:
             "--update locally and commit the witness diff if this "
             "nesting is intended"
         )
+        failed = True
+
+    if args.static_diff:
+        static = static_edge_pairs(args.src)
+        underivable = [
+            edge for edge in blessed_records if edge.pair not in static
+        ]
+        unjustified = [
+            edge for edge in underivable if edge.justification is None
+        ]
+        for edge in underivable:
+            if edge.justification is not None:
+                print(
+                    f"note: blessed edge not statically derivable "
+                    f"(justified): {edge.outer} -> {edge.inner} — "
+                    f"{edge.justification}"
+                )
+        if unjustified:
+            for edge in unjustified:
+                print(
+                    f"blessed edge has no static acquisition path: "
+                    f"{edge.outer} -> {edge.inner} (the lock-set "
+                    f"analysis over {', '.join(args.src)} cannot "
+                    f"derive it; delete the stale edge or add a "
+                    f"'justification' to its witness record)"
+                )
+            print(
+                f"{len(unjustified)} statically underivable edge(s) "
+                "without justification"
+            )
+            failed = True
+        else:
+            print(
+                f"static diff clean: {len(blessed)} blessed edge(s), "
+                f"{len(static)} statically derived"
+            )
+
+    if failed:
         return 1
     print(
         f"witness check clean: {len(observed)} observed edge(s), "

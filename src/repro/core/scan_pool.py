@@ -348,10 +348,14 @@ class ScanWorkerPool:
         self._executor: Executor | None = None
         #: guarded by self._lock
         self._closed = False
-        #: Monotone per-install counter; process workers cache by it.
+        # Monotone per-install counter; process workers cache by it.
+        #: guarded by self._lock
         self._generation = 0
+        #: guarded by self._lock
         self._signature: Any = None
+        #: guarded by self._lock
         self._ctx: tuple[Any, Any, int, int] | None = None
+        #: guarded by self._lock
         self._payload: bytes | None = None
         # -- observability ------------------------------------------------
         #: Executors created over the pool's lifetime (1 = fully warm
@@ -398,18 +402,24 @@ class ScanWorkerPool:
         retried schedules pay no re-broadcast.
         """
         setup_seconds = self._ensure_executor()
-        if self._signature is None or signature != self._signature:
-            started = time.perf_counter()
-            self._generation += 1
-            self._ctx = (kernel, slots, class_index, n_classes)
-            if self.kind == "process":
-                self._payload = pickle.dumps(
-                    self._ctx, pickle.HIGHEST_PROTOCOL
-                )
-            self._signature = signature
-            self.kernels_installed += 1
-            setup_seconds += time.perf_counter() - started
-        self.scans_served += 1
+        # Two sessions sharing the middleware's pool can install
+        # concurrently; without the lock the generation bump, context
+        # and signature tear, leaving a generation paired with another
+        # install's kernel.  (``_ensure_executor`` takes the same
+        # plain lock internally, so it must complete first.)
+        with self._lock:
+            if self._signature is None or signature != self._signature:
+                started = time.perf_counter()
+                self._generation += 1
+                self._ctx = (kernel, slots, class_index, n_classes)
+                if self.kind == "process":
+                    self._payload = pickle.dumps(
+                        self._ctx, pickle.HIGHEST_PROTOCOL
+                    )
+                self._signature = signature
+                self.kernels_installed += 1
+                setup_seconds += time.perf_counter() - started
+            self.scans_served += 1
         return setup_seconds
 
     def submit(self, seq: int, rows: Sequence[Any],

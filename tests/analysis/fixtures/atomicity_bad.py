@@ -1,0 +1,44 @@
+"""Fixture: non-atomic sequences on guarded state, raced by two threads.
+
+Every individual *write* holds the lock — the ``guarded-by`` rule is
+clean on this file.  The races are in the sequences: ``_refill``
+checks ``self._batch`` outside the lock and acts inside it, and both
+worker threads run it.  ``_drain``'s check-then-act on ``self._mark``
+is the single-root contrast: only one thread ever executes it, so it
+must NOT fire.
+"""
+
+import threading
+
+
+class Buffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: guarded by self._lock
+        self._batch = None
+        #: guarded by self._lock
+        self._count = 0
+        #: guarded by self._lock
+        self._mark = 0
+
+    def start(self):
+        threading.Thread(target=self._pump).start()
+        threading.Thread(target=self._drain).start()
+
+    def _pump(self):
+        self._refill()
+
+    def _drain(self):
+        self._refill()
+        with self._lock:
+            self._count += 1  # OK: whole sequence inside the lock
+        if self._mark == 0:
+            with self._lock:
+                self._mark = 1  # OK: only the _drain thread runs this
+
+    def _refill(self):
+        # VIOLATION: check outside the lock, act inside it; both
+        # worker threads race through here and can both see None.
+        if self._batch is None:
+            with self._lock:
+                self._batch = object()

@@ -1,0 +1,34 @@
+"""Fixture: a lock passed through a constructor parameter.
+
+``Worker`` never creates a lock — it borrows ``Coordinator._mu``
+through its constructor.  The registry resolves the alias, so the
+guard contract on ``Worker._count`` refers to the canonical
+``"Coordinator._mu"`` and the interprocedural check sees that
+``Coordinator.racy_bump`` reaches the mutation without it.
+"""
+
+import threading
+
+
+class Worker:
+    def __init__(self, mu):
+        self._lock = mu
+        #: guarded by self._lock
+        self._count = 0
+
+    def bump(self):
+        self._count += 1  # VIOLATION when reached lock-free
+
+
+class Coordinator:
+    def __init__(self):
+        self._mu = threading.Lock()
+        self._worker = Worker(self._mu)
+
+    def locked_bump(self):
+        with self._mu:
+            self._worker.bump()
+
+    def racy_bump(self):
+        # VIOLATION source: no lock around the worker call.
+        self._worker.bump()

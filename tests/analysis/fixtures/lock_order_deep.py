@@ -1,0 +1,45 @@
+"""Fixture: cross-class AB/BA lock-order cycle, two calls deep.
+
+Neither class nests the two ``with`` statements lexically — the edges
+only exist interprocedurally.  ``Outer.forward`` holds ``Outer._a``
+and reaches ``Inner._mid`` (via ``Inner.deep``), which takes
+``Inner._b``; ``Inner.backward`` holds ``Inner._b`` and reaches
+``Outer.grab`` (via ``Inner._hop``), which takes ``Outer._a``.  The
+two derived edges close a deadlock cycle.
+"""
+
+import threading
+
+
+class Inner:
+    def __init__(self, back: "Outer"):
+        self._b = threading.Lock()
+        self._back = back
+
+    def deep(self):
+        self._mid()
+
+    def _mid(self):
+        with self._b:  # VIOLATION: Inner._b under Outer._a
+            pass
+
+    def backward(self):
+        with self._b:
+            self._hop()
+
+    def _hop(self):
+        self._back.grab()
+
+
+class Outer:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._inner = Inner(self)
+
+    def forward(self):
+        with self._a:
+            self._inner.deep()
+
+    def grab(self):
+        with self._a:  # VIOLATION: Outer._a under Inner._b
+            pass

@@ -1,0 +1,47 @@
+"""Fixture: interprocedural guarded-by — helper without caller lock.
+
+``Pool._apply`` never takes the lock itself; it relies on callers.
+One caller path (``racy_path``) forgets, so the must-entry meet for
+``_apply`` is empty and the mutation is a finding whose message names
+the unlocked caller chain.  ``CleanPool._apply`` is the same shape
+but every caller holds the lock, so it must stay silent.
+"""
+
+import threading
+
+
+class Pool:
+    def __init__(self):
+        self._l = threading.Lock()
+        #: guarded by self._l
+        self._slots = []
+
+    def locked_path(self, item):
+        with self._l:
+            self._apply(item)
+
+    def racy_path(self, item):
+        # VIOLATION source: calls the mutating helper lock-free.
+        self._apply(item)
+
+    def _apply(self, item):
+        self._slots = self._slots + [item]  # the flagged mutation
+
+
+class CleanPool:
+    def __init__(self):
+        self._l = threading.Lock()
+        #: guarded by self._l
+        self._slots = []
+
+    def first_path(self, item):
+        with self._l:
+            self._apply(item)
+
+    def second_path(self, item):
+        with self._l:
+            self._apply(item)
+
+    def _apply(self, item):
+        # OK: every caller path provably holds CleanPool._l.
+        self._slots = self._slots + [item]

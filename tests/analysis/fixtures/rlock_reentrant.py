@@ -1,0 +1,35 @@
+"""Fixture: reentrancy semantics — RLock re-entry is clean, Lock is not.
+
+``Reentrant.inner`` re-acquires an RLock its caller already holds:
+that can never block, contributes no ordering edge, and must NOT be a
+finding.  ``SelfDeadlock.inner`` does the same with a plain Lock —
+the second acquire blocks forever, a one-node cycle.
+"""
+
+import threading
+
+
+class Reentrant:
+    def __init__(self):
+        self._r = threading.RLock()
+
+    def outer(self):
+        with self._r:
+            self.inner()
+
+    def inner(self):
+        with self._r:  # OK: reentrant re-acquisition
+            pass
+
+
+class SelfDeadlock:
+    def __init__(self):
+        self._m = threading.Lock()
+
+    def outer(self):
+        with self._m:
+            self.inner()
+
+    def inner(self):
+        with self._m:  # VIOLATION: plain lock re-acquired -> deadlock
+            pass

@@ -1,0 +1,287 @@
+"""The interprocedural lock-set layer: registry, roots, dataflow."""
+
+import json
+import os
+import textwrap
+
+from repro.analysis.engine import load_project
+from repro.analysis.runtime.witness import (
+    WitnessEdge,
+    load_witness,
+    load_witness_edges,
+    merge_witness_edges,
+    save_witness,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def lockset_for(*names, source=None, tmp_path=None):
+    if source is not None:
+        path = tmp_path / "probe.py"
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        paths, root = [str(path)], str(tmp_path)
+    else:
+        paths = [os.path.join(FIXTURES, name) for name in names]
+        root = FIXTURES
+    project, errors = load_project(paths, root=root)
+    assert not errors
+    return project.lockset()
+
+
+class TestLockRegistry:
+    def test_constructor_locks_get_canonical_names(self):
+        lockset = lockset_for("lockset_helper_bad.py")
+        info = lockset.registry.lookup(
+            lockset.index, "lockset_helper_bad.Pool", "_l"
+        )
+        assert info is not None
+        assert info.canonical == "Pool._l"
+        assert not info.reentrant
+
+    def test_rlock_factories_are_marked_reentrant(self):
+        lockset = lockset_for("rlock_reentrant.py")
+        info = lockset.registry.lookup(
+            lockset.index, "rlock_reentrant.Reentrant", "_r"
+        )
+        assert info is not None and info.reentrant
+        plain = lockset.registry.lookup(
+            lockset.index, "rlock_reentrant.SelfDeadlock", "_m"
+        )
+        assert plain is not None and not plain.reentrant
+
+    def test_ctor_param_lock_resolves_to_owner_canonical(self):
+        # Worker borrows Coordinator._mu through __init__; the alias
+        # must resolve to the owner's canonical name, not "Worker._lock".
+        lockset = lockset_for("lock_alias_bad.py")
+        info = lockset.registry.lookup(
+            lockset.index, "lock_alias_bad.Worker", "_lock"
+        )
+        assert info is not None
+        assert info.canonical == "Coordinator._mu"
+        assert lockset.registry.canonical_guard(
+            lockset.index, "lock_alias_bad.Worker", "_lock"
+        ) == "Coordinator._mu"
+
+    def test_ambiguous_ctor_sites_drop_the_alias(self, tmp_path):
+        # Two call sites pass two different locks: no canonical name
+        # is safe, so the alias must not register.
+        lockset = lockset_for(source="""
+            import threading
+
+            class Shared:
+                def __init__(self, mu):
+                    self._lock = mu
+
+            class A:
+                def __init__(self):
+                    self._m = threading.Lock()
+                    self._s = Shared(self._m)
+
+            class B:
+                def __init__(self):
+                    self._m = threading.Lock()
+                    self._s = Shared(self._m)
+        """, tmp_path=tmp_path)
+        assert lockset.registry.lookup(
+            lockset.index, "probe.Shared", "_lock"
+        ) is None
+
+
+class TestThreadRoots:
+    def test_discovers_all_three_root_kinds(self, tmp_path):
+        lockset = lockset_for(source="""
+            import threading
+            from concurrent.futures import ThreadPoolExecutor
+
+            class FanOut:
+                def launch(self):
+                    for _ in range(4):
+                        threading.Thread(target=self._work).start()
+                    with ThreadPoolExecutor() as pool:
+                        pool.submit(self._task, 1)
+
+                def _work(self):
+                    pass
+
+                def _task(self, n):
+                    return n
+
+            class GateMiddleware:
+                def process(self):
+                    pass
+
+                def _private(self):
+                    pass
+        """, tmp_path=tmp_path)
+        roots = {
+            q.split(".", 1)[1]: (r.kind, r.multi)
+            for q, r in lockset.roots.items()
+        }
+        assert roots == {
+            # Thread(...) inside a loop and executor submissions are
+            # multi-threaded by construction.
+            "FanOut._work": ("thread-target", True),
+            "FanOut._task": ("executor-submit", True),
+            "GateMiddleware.process": ("public-entry", False),
+        }
+
+    def test_single_thread_target_is_not_multi(self):
+        lockset = lockset_for("atomicity_bad.py")
+        roots = {
+            q: (r.kind, r.multi) for q, r in lockset.roots.items()
+        }
+        assert roots == {
+            "atomicity_bad.Buffer._pump": ("thread-target", False),
+            "atomicity_bad.Buffer._drain": ("thread-target", False),
+        }
+
+    def test_roots_reaching_walks_the_call_graph(self):
+        lockset = lockset_for("atomicity_bad.py")
+        reaching = lockset.roots_reaching("atomicity_bad.Buffer._refill")
+        assert sorted(r.qualname for r in reaching) == [
+            "atomicity_bad.Buffer._drain",
+            "atomicity_bad.Buffer._pump",
+        ]
+
+
+class TestMustEntry:
+    def test_helper_meet_is_empty_when_one_caller_forgets(self):
+        lockset = lockset_for("lockset_helper_bad.py")
+        assert lockset.must_holds(
+            "lockset_helper_bad.Pool._apply"
+        ) == frozenset()
+
+    def test_helper_keeps_lock_when_every_caller_holds_it(self):
+        lockset = lockset_for("lockset_helper_bad.py")
+        assert lockset.must_holds(
+            "lockset_helper_bad.CleanPool._apply"
+        ) == frozenset({"CleanPool._l"})
+
+    def test_unlocked_chain_names_the_forgetful_caller(self):
+        lockset = lockset_for("lockset_helper_bad.py")
+        chain = lockset.unlocked_chain(
+            "lockset_helper_bad.Pool._apply", "Pool._l"
+        )
+        assert chain == (
+            "lockset_helper_bad.Pool.racy_path",
+            "lockset_helper_bad.Pool._apply",
+        )
+
+    def test_decorated_defs_are_tainted_bottom(self, tmp_path):
+        # A decorator can call the wrapped function from anywhere, so
+        # a decorated def with no other entry path is unknown (⊥) —
+        # never "provably unlocked".
+        lockset = lockset_for(source="""
+            def deco(fn):
+                return fn
+
+            class Holder:
+                @deco
+                def decorated(self):
+                    pass
+        """, tmp_path=tmp_path)
+        assert "probe.Holder.decorated" in lockset.taint_reasons
+        assert lockset.must_holds("probe.Holder.decorated") is None
+
+
+class TestStaticEdges:
+    def test_cross_class_edges_derive_through_two_calls(self):
+        lockset = lockset_for("lock_order_deep.py")
+        assert lockset.edge_pairs() == {
+            ("Outer._a", "Inner._b"),
+            ("Inner._b", "Outer._a"),
+        }
+
+    def test_rlock_reentry_contributes_no_edge(self):
+        lockset = lockset_for("rlock_reentrant.py")
+        # The plain-lock self-deadlock is the only edge; the RLock
+        # re-acquisition is silent.
+        assert lockset.edge_pairs() == {
+            ("SelfDeadlock._m", "SelfDeadlock._m"),
+        }
+
+
+class TestTupleUnpackThreading:
+    def test_annotated_tuple_return_types_flow_to_targets(self, tmp_path):
+        # ``pool, owned = self._acquire()`` — the index threads the
+        # element types so calls on ``pool`` resolve (this is what
+        # lets the lock-set layer see ScanWorkerPool.install's callers).
+        lockset = lockset_for(source="""
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    #: guarded by self._lock
+                    self._n = 0
+
+                def install(self):
+                    self._n = self._n + 1
+
+            class Driver:
+                def _acquire(self) -> "tuple[Pool, bool]":
+                    return Pool(), True
+
+                def run(self):
+                    pool, owned = self._acquire()
+                    pool.install()
+        """, tmp_path=tmp_path)
+        # install is reached from Driver.run, so it has a known entry
+        # (not ⊥) with no lock held.
+        assert lockset.must_holds("probe.Pool.install") == frozenset()
+        assert "probe.Pool.install" not in lockset.taint_reasons
+        chain = lockset.unlocked_chain("probe.Pool.install", "Pool._lock")
+        assert chain[-2:] == ("probe.Driver.run", "probe.Pool.install")
+
+
+class TestWitnessFormat:
+    def test_v1_pair_files_still_load(self, tmp_path):
+        path = tmp_path / "lock_order.witness.json"
+        path.write_text(json.dumps({
+            "description": "old format",
+            "edges": [["a.m", "b.m"], ["b.m", "c.m"]],
+        }), encoding="utf-8")
+        edges = load_witness(str(path))
+        assert [e.pair for e in edges] == [("a.m", "b.m"), ("b.m", "c.m")]
+        assert all(e.threads == () for e in edges)
+        assert load_witness_edges(str(path)) == [
+            ("a.m", "b.m"), ("b.m", "c.m"),
+        ]
+
+    def test_v2_records_round_trip(self, tmp_path):
+        path = tmp_path / "lock_order.witness.json"
+        save_witness(str(path), [
+            WitnessEdge("a.m", "b.m", threads=("T1", "T2")),
+            WitnessEdge("b.m", "c.m", justification="dynamic dispatch"),
+        ])
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["version"] == 2
+        edges = load_witness(str(path))
+        assert edges == [
+            WitnessEdge("a.m", "b.m", threads=("T1", "T2")),
+            WitnessEdge("b.m", "c.m", justification="dynamic dispatch"),
+        ]
+
+    def test_save_is_deterministic(self, tmp_path):
+        path = tmp_path / "lock_order.witness.json"
+        save_witness(str(path), [
+            WitnessEdge("a.m", "b.m", threads=("T2", "T1", "T1")),
+        ])
+        first = path.read_bytes()
+        save_witness(str(path), load_witness(str(path)))
+        assert path.read_bytes() == first
+        assert first.endswith(b"\n")
+
+    def test_merge_unions_threads_and_keeps_justification(self):
+        merged = merge_witness_edges(
+            [WitnessEdge("a.m", "b.m", threads=("T1",),
+                         justification="why")],
+            [WitnessEdge("a.m", "b.m", threads=("T2",)),
+             WitnessEdge("x.m", "y.m")],
+        )
+        assert merged == [
+            WitnessEdge("a.m", "b.m", threads=("T1", "T2"),
+                        justification="why"),
+            WitnessEdge("x.m", "y.m"),
+        ]

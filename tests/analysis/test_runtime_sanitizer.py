@@ -85,6 +85,23 @@ class TestLockOrderCycle:
                 ["CrossedPair._a", "CrossedPair._b"]
             ]
 
+    def test_edge_records_collect_every_holding_thread(self):
+        # The first example's stacks are kept once, but the thread set
+        # grows on every occurrence — that is what the v2 witness file
+        # stores.
+        with seeded_sanitizer() as (sanitizer, module):
+            pair = module.CrossedPair()
+            for name in ("fwd-A", "fwd-B"):
+                worker = threading.Thread(
+                    target=pair.forward, args=(1,), name=name
+                )
+                worker.start()
+                worker.join()
+            assert sanitizer.graph.edge_records() == [
+                {"outer": "CrossedPair._a", "inner": "CrossedPair._b",
+                 "threads": ["fwd-A", "fwd-B"]},
+            ]
+
     def test_find_cycles_canonicalises(self):
         cycles = find_cycles([("A", "B"), ("B", "A"), ("B", "C")])
         assert cycles == [("A", "B")]
@@ -238,6 +255,9 @@ class TestActivateDeactivate:
             assert report["lock_order_edges"] == [
                 ["CrossedPair._a", "CrossedPair._b"]
             ]
+            records = report["lock_order_edge_records"]
+            assert [r["outer"] for r in records] == ["CrossedPair._a"]
+            assert records[0]["threads"] == ["MainThread"]
             assert set(report["resources"]) == {"created", "closed", "live"}
 
 

@@ -1,23 +1,29 @@
 """The CI witness check: observed lock-order edges must be blessed."""
 
 import json
+import textwrap
 
 import pytest
 
 from repro.analysis.runtime.witness import (
+    WitnessEdge,
+    load_witness,
     load_witness_edges,
+    save_witness,
     save_witness_edges,
 )
 from repro.analysis.witness_check import main
 
 
-def write_report(path, edges):
+def write_report(path, edges, records=None):
     payload = {
         "clean": True,
         "findings": [],
         "lock_order_edges": [list(edge) for edge in edges],
         "resources": {"created": 0, "closed": 0, "live": 0},
     }
+    if records is not None:
+        payload["lock_order_edge_records"] = records
     path.write_text(json.dumps(payload), encoding="utf-8")
 
 
@@ -112,3 +118,84 @@ class TestWitnessCheck:
         )
         assert main([str(report)]) == 2
         assert "no lock_order.witness.json" in capsys.readouterr().err
+
+    def test_update_merges_observed_thread_names(self, tmp_path, witness):
+        # The report's edge records carry the holding threads; --update
+        # folds them into the blessed records (v2 format).
+        report = tmp_path / "report.json"
+        write_report(
+            report,
+            [("pool.mutex", "queue.mutex")],
+            records=[{"outer": "pool.mutex", "inner": "queue.mutex",
+                      "threads": ["MainThread", "scan-1"]}],
+        )
+        assert main([str(report), "--witness", str(witness),
+                     "--update"]) == 0
+        payload = json.loads(witness.read_text(encoding="utf-8"))
+        assert payload["version"] == 2
+        assert load_witness(str(witness)) == [
+            WitnessEdge("pool.mutex", "queue.mutex",
+                        threads=("MainThread", "scan-1")),
+        ]
+
+
+@pytest.fixture
+def nested_src(tmp_path):
+    """A tiny source tree whose lock-set analysis derives one edge."""
+    src = tmp_path / "mysrc"
+    src.mkdir()
+    (src / "pair.py").write_text(textwrap.dedent("""
+        import threading
+
+
+        class Pair:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def nest(self):
+                with self._a:
+                    with self._b:
+                        pass
+    """), encoding="utf-8")
+    return src
+
+
+class TestStaticDiff:
+    def test_derivable_blessed_edge_is_clean(self, tmp_path, nested_src,
+                                             capsys):
+        witness = tmp_path / "lock_order.witness.json"
+        save_witness_edges(str(witness), [("Pair._a", "Pair._b")])
+        report = tmp_path / "report.json"
+        write_report(report, [("Pair._a", "Pair._b")])
+        assert main([str(report), "--witness", str(witness),
+                     "--static-diff", "--src", str(nested_src)]) == 0
+        assert "static diff clean" in capsys.readouterr().out
+
+    def test_underivable_edge_without_justification_fails(
+            self, tmp_path, nested_src, capsys):
+        witness = tmp_path / "lock_order.witness.json"
+        save_witness_edges(str(witness), [("Ghost._a", "Ghost._b")])
+        report = tmp_path / "report.json"
+        write_report(report, [])
+        assert main([str(report), "--witness", str(witness),
+                     "--static-diff", "--src", str(nested_src)]) == 1
+        out = capsys.readouterr().out
+        assert "no static acquisition path: Ghost._a -> Ghost._b" in out
+        assert "justification" in out
+
+    def test_justified_runtime_only_edge_is_a_note(self, tmp_path,
+                                                   nested_src, capsys):
+        witness = tmp_path / "lock_order.witness.json"
+        save_witness(str(witness), [
+            WitnessEdge("Dyn._x", "Dyn._y",
+                        justification="dispatched via plugin table"),
+        ])
+        report = tmp_path / "report.json"
+        write_report(report, [])
+        assert main([str(report), "--witness", str(witness),
+                     "--static-diff", "--src", str(nested_src)]) == 0
+        out = capsys.readouterr().out
+        assert "not statically derivable (justified): Dyn._x -> Dyn._y" \
+            in out
+        assert "dispatched via plugin table" in out

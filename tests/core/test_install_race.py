@@ -1,0 +1,93 @@
+"""Regression: concurrent ``ScanWorkerPool.install`` must not tear.
+
+Two sessions sharing the middleware's pool can install concurrently.
+Before the fix, ``install`` mutated ``_generation``/``_ctx``/
+``_signature``/``_payload`` outside ``self._lock``: the generation
+bump raced (lost increments) and a generation could end up paired
+with another install's kernel.  The static concurrency family
+(guarded-by, atomicity) now catches the unlocked version; these tests
+pin the runtime behaviour of the fixed one.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import runtime
+from repro.core.scan_pool import ScanWorkerPool
+
+
+class TestInstallUnderSanitizer:
+    def test_worker_thread_install_has_no_guard_violations(self):
+        # The sanitizer's instrumented __setattr__ verifies the
+        # declared lock is held on every guarded write — including
+        # the install fields this regression is about.
+        if runtime.active() is not None:
+            pytest.skip("REPRO_SANITIZE plugin owns the global sanitizer")
+        sanitizer = runtime.activate()
+        try:
+            pool = ScanWorkerPool("thread", 2)
+            errors = []
+
+            def session(tag):
+                try:
+                    pool.install(tag, kernel=tag, slots=(),
+                                 class_index=0, n_classes=2)
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            workers = [
+                threading.Thread(target=session, args=(f"sig{i % 2}",))
+                for i in range(4)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            pool.close()
+            assert not errors
+            assert sanitizer.guard_findings() == []
+        finally:
+            runtime.deactivate()
+
+
+class TestInstallAtomicity:
+    def test_generation_matches_installs_and_ctx_pairs_signature(self):
+        # Hammer install from many threads with two alternating
+        # signatures: every refresh must keep (signature, ctx) paired
+        # and the generation equal to the number of installs.
+        pool = ScanWorkerPool("thread", 2)
+        try:
+            barrier = threading.Barrier(8)
+            errors = []
+
+            def session(index):
+                signature = f"sig{index % 2}"
+                try:
+                    barrier.wait(timeout=10)
+                    for _ in range(50):
+                        pool.install(signature, kernel=signature,
+                                     slots=(), class_index=0,
+                                     n_classes=2)
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            workers = [
+                threading.Thread(target=session, args=(index,))
+                for index in range(8)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            assert not errors
+            # The installed context always pairs with the signature
+            # that installed it (pre-fix, these could tear apart).
+            assert pool._ctx is not None
+            assert pool._ctx[0] == pool._signature
+            # Every kernel refresh bumped the generation exactly once
+            # (pre-fix, concurrent ``+= 1`` lost increments).
+            assert pool._generation == pool.kernels_installed
+            assert pool.scans_served == 8 * 50
+        finally:
+            pool.close()
